@@ -1,0 +1,57 @@
+//! Ablation benches: each optimization pass of §4.2 toggled off
+//! individually on the 3-d MTTKRP and SSYMV kernels, quantifying its
+//! contribution to the end-to-end speedup (the design-choice analysis
+//! DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use systec_core::CompileOptions;
+use systec_kernels::{defs, Prepared};
+use systec_tensor::generate::{random_dense, rng, symmetric_erdos_renyi};
+
+fn variants() -> Vec<(&'static str, CompileOptions)> {
+    let all = CompileOptions::default();
+    vec![
+        ("full", all),
+        ("no_cse", CompileOptions { cse: false, ..all }),
+        ("no_distribute", CompileOptions { distribute: false, ..all }),
+        ("no_diag_split", CompileOptions { diagonal_split: false, ..all }),
+        ("no_workspace", CompileOptions { workspace: false, ..all }),
+        ("no_consolidate", CompileOptions { consolidate: false, ..all }),
+        ("no_visible_output", CompileOptions { visible_output: false, ..all }),
+        ("with_lookup_tables", CompileOptions { lookup_tables: true, ..all }),
+        ("symmetrize_only", CompileOptions::none()),
+    ]
+}
+
+fn benches(c: &mut Criterion) {
+    let mut r = rng(9);
+
+    let def = defs::ssymv();
+    let a = symmetric_erdos_renyi(2500, 2, 3e-3, &mut r);
+    let x = random_dense(vec![2500], &mut r);
+    let inputs = def.inputs([("A", a.into()), ("x", x.into())]).unwrap();
+    let mut group = c.benchmark_group("ablation_ssymv");
+    for (name, options) in variants() {
+        let prepared = Prepared::compile_with(&def, &inputs, options).expect("prepare");
+        group.bench_function(name, |b| b.iter(|| prepared.run_timed().expect("run")));
+    }
+    group.finish();
+
+    let def = defs::mttkrp(3);
+    let a = symmetric_erdos_renyi(40, 3, 1e-2, &mut r);
+    let b_mat = random_dense(vec![40, 16], &mut r);
+    let inputs = def.inputs([("A", a.into()), ("B", b_mat.into())]).unwrap();
+    let mut group = c.benchmark_group("ablation_mttkrp3");
+    for (name, options) in variants() {
+        let prepared = Prepared::compile_with(&def, &inputs, options).expect("prepare");
+        group.bench_function(name, |b| b.iter(|| prepared.run_timed().expect("run")));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = benches
+}
+criterion_main!(ablation);

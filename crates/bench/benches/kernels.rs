@@ -1,0 +1,75 @@
+//! Criterion benches: symmetric vs naive for every paper kernel at a
+//! small fixed size (the figure binaries sweep the real workloads; these
+//! keep `cargo bench` fast and regression-friendly).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use systec_kernels::{defs, KernelDef, Prepared};
+use systec_tensor::generate::{random_dense, rng, sprand, symmetric_erdos_renyi};
+use systec_tensor::Tensor;
+
+fn bench_pair(
+    c: &mut Criterion,
+    name: &str,
+    def: &KernelDef,
+    inputs: &std::collections::HashMap<String, Tensor>,
+) {
+    let systec = Prepared::compile(def, inputs).expect("prepare systec");
+    let naive = Prepared::naive(def, inputs).expect("prepare naive");
+    let mut group = c.benchmark_group(name);
+    group.bench_function("systec", |b| b.iter(|| systec.run_timed().expect("run")));
+    group.bench_function("naive", |b| b.iter(|| naive.run_timed().expect("run")));
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    // SSYMV / Bellman-Ford / SYPRD share a 2500x2500 symmetric matrix.
+    let mut r = rng(1);
+    let a2 = symmetric_erdos_renyi(2500, 2, 3e-3, &mut r);
+    let x = random_dense(vec![2500], &mut r);
+
+    let def = defs::ssymv();
+    let inputs = def.inputs([("A", a2.clone().into()), ("x", x.clone().into())]).unwrap();
+    bench_pair(c, "ssymv", &def, &inputs);
+
+    let def = defs::bellman_ford();
+    let inputs = def.inputs([("A", a2.clone().into()), ("d", x.clone().into())]).unwrap();
+    bench_pair(c, "bellman_ford", &def, &inputs);
+
+    let def = defs::syprd();
+    let inputs = def.inputs([("A", a2.into()), ("x", x.into())]).unwrap();
+    bench_pair(c, "syprd", &def, &inputs);
+
+    let def = defs::ssyrk();
+    let a = sprand(200, 200, 2_000, &mut r);
+    let inputs = def.inputs([("A", a.into())]).unwrap();
+    bench_pair(c, "ssyrk", &def, &inputs);
+
+    let def = defs::ttm();
+    let a3 = symmetric_erdos_renyi(40, 3, 1e-2, &mut r);
+    let b = random_dense(vec![40, 16], &mut r);
+    let inputs = def.inputs([("A", a3.clone().into()), ("B", b.clone().into())]).unwrap();
+    bench_pair(c, "ttm", &def, &inputs);
+
+    let def = defs::mttkrp(3);
+    let inputs = def.inputs([("A", a3.into()), ("B", b.into())]).unwrap();
+    bench_pair(c, "mttkrp3", &def, &inputs);
+
+    let def = defs::mttkrp(4);
+    let a4 = symmetric_erdos_renyi(14, 4, 3e-4, &mut r);
+    let b = random_dense(vec![14, 16], &mut r);
+    let inputs = def.inputs([("A", a4.into()), ("B", b.into())]).unwrap();
+    bench_pair(c, "mttkrp4", &def, &inputs);
+
+    let def = defs::mttkrp(5);
+    let a5 = symmetric_erdos_renyi(10, 5, 2e-5, &mut r);
+    let b = random_dense(vec![10, 16], &mut r);
+    let inputs = def.inputs([("A", a5.into()), ("B", b.into())]).unwrap();
+    bench_pair(c, "mttkrp5", &def, &inputs);
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = benches
+}
+criterion_main!(kernels);

@@ -1,0 +1,72 @@
+//! Figure 6: SSYMV performance over the Table 2 matrix suite.
+//!
+//! Methods: `systec` (the compiled symmetric kernel), `naive` (naive
+//! Finch baseline, same executor), and two *native* comparators on a
+//! separate performance tier — `native_taco` (plain CSR SpMV, what TACO
+//! emits) and `native_mkl` (symmetric CSR SpMV, the `mkl_dcsrsymv`
+//! slot). Paper result: SySTeC 1.45x over naive Finch on average,
+//! bounded by 2x (bandwidth).
+
+use systec_bench::{suite_cases, time_min, Case, Figure, HarnessArgs};
+use systec_kernels::{defs, native, Prepared};
+use systec_tensor::generate::{random_dense, rng};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let def = defs::ssymv();
+    let mut cases = Vec::new();
+    for (spec, sym) in suite_cases(args.scale) {
+        let mut r = rng(0xF166);
+        let x = random_dense(vec![spec.dim], &mut r);
+        let nnz = sym.nnz();
+        let inputs = def
+            .inputs([("A", sym.into()), ("x", x.clone().into())])
+            .expect("inputs pack");
+        let systec = Prepared::compile(&def, &inputs).expect("prepare systec");
+        let naive = Prepared::naive(&def, &inputs).expect("prepare naive");
+        let a_sparse = inputs["A"].as_sparse().expect("A is compressed");
+
+        // The paper's SSYMV-class speedup is pure memory bandwidth; on
+        // this executor the bandwidth proxy is the element-read ratio,
+        // reported alongside the times.
+        let (_, c_sym) = systec.run_timed().expect("counters");
+        let (_, c_naive) = naive.run_timed().expect("counters");
+        let read_ratio =
+            c_naive.reads_of_family("A") as f64 / c_sym.reads_of_family("A") as f64;
+        let budget = args.budget();
+        let t_systec = time_min(budget, 3, || {
+            let _ = systec.run_timed().expect("run");
+        });
+        let t_naive = time_min(budget, 3, || {
+            let _ = naive.run_timed().expect("run");
+        });
+        let t_taco = time_min(budget, 3, || {
+            let _ = native::csr_spmv(a_sparse, &x);
+        });
+        let t_mkl = time_min(budget, 3, || {
+            let _ = native::symmetric_csr_spmv(a_sparse, &x);
+        });
+        eprintln!(
+            "{:<12} systec {:>10.3?}  naive {:>10.3?}",
+            spec.name, t_systec, t_naive
+        );
+        cases.push(Case {
+            label: spec.name.to_string(),
+            meta: format!("dim={} nnz={} readsx={:.2}", spec.dim, nnz, read_ratio),
+            series: vec![
+                ("naive".into(), t_naive.as_secs_f64()),
+                ("systec".into(), t_systec.as_secs_f64()),
+                ("native_taco".into(), t_taco.as_secs_f64()),
+                ("native_mkl".into(), t_mkl.as_secs_f64()),
+            ],
+        });
+    }
+    let fig = Figure {
+        id: "fig6_ssymv",
+        title: "Figure 6: SSYMV over the Table 2 suite",
+        expected_speedup: 1.45,
+        cases,
+    };
+    fig.print();
+    fig.write(&args);
+}

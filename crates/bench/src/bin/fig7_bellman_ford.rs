@@ -1,0 +1,67 @@
+//! Figure 7: Bellman-Ford update performance over the Table 2 suite.
+//!
+//! Identical to SSYMV from a performance perspective (§5.2.2) but over
+//! the tropical `(min, +)` semiring — included, as in the paper, to show
+//! the compiler symmetrizes operations beyond `+` and `*`.
+
+use systec_bench::{suite_cases, time_min, Case, Figure, HarnessArgs};
+use systec_kernels::{defs, native, Prepared};
+use systec_tensor::generate::{random_dense, rng};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let def = defs::bellman_ford();
+    let mut cases = Vec::new();
+    for (spec, sym) in suite_cases(args.scale) {
+        let mut r = rng(0xF177);
+        let d = random_dense(vec![spec.dim], &mut r);
+        let nnz = sym.nnz();
+        let inputs = def
+            .inputs([("A", sym.into()), ("d", d.clone().into())])
+            .expect("inputs pack");
+        let mut systec = Prepared::compile(&def, &inputs).expect("prepare systec");
+        let mut naive = Prepared::naive(&def, &inputs).expect("prepare naive");
+        systec.init_output("y", d.clone());
+        naive.init_output("y", d.clone());
+        let a_sparse = inputs["A"].as_sparse().expect("A is compressed");
+
+        // The paper's SSYMV-class speedup is pure memory bandwidth; on
+        // this executor the bandwidth proxy is the element-read ratio,
+        // reported alongside the times.
+        let (_, c_sym) = systec.run_timed().expect("counters");
+        let (_, c_naive) = naive.run_timed().expect("counters");
+        let read_ratio =
+            c_naive.reads_of_family("A") as f64 / c_sym.reads_of_family("A") as f64;
+        let budget = args.budget();
+        let t_systec = time_min(budget, 3, || {
+            let _ = systec.run_timed().expect("run");
+        });
+        let t_naive = time_min(budget, 3, || {
+            let _ = naive.run_timed().expect("run");
+        });
+        let t_native = time_min(budget, 3, || {
+            let _ = native::csr_bellman_ford(a_sparse, &d, &d);
+        });
+        eprintln!(
+            "{:<12} systec {:>10.3?}  naive {:>10.3?}",
+            spec.name, t_systec, t_naive
+        );
+        cases.push(Case {
+            label: spec.name.to_string(),
+            meta: format!("dim={} nnz={} readsx={:.2}", spec.dim, nnz, read_ratio),
+            series: vec![
+                ("naive".into(), t_naive.as_secs_f64()),
+                ("systec".into(), t_systec.as_secs_f64()),
+                ("native_direct".into(), t_native.as_secs_f64()),
+            ],
+        });
+    }
+    let fig = Figure {
+        id: "fig7_bellman_ford",
+        title: "Figure 7: Bellman-Ford step over the Table 2 suite",
+        expected_speedup: 1.45,
+        cases,
+    };
+    fig.print();
+    fig.write(&args);
+}

@@ -1,0 +1,58 @@
+//! Figure 8: SYPRD (symmetric triple product) over the Table 2 suite.
+//!
+//! Invisible `{{i, j}}` output symmetry halves both reads *and*
+//! computations (§5.2.3); paper result: 1.79x over naive Finch on
+//! average, approaching 2x.
+
+use systec_bench::{suite_cases, time_min, Case, Figure, HarnessArgs};
+use systec_kernels::{defs, native, Prepared};
+use systec_tensor::generate::{random_dense, rng};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let def = defs::syprd();
+    let mut cases = Vec::new();
+    for (spec, sym) in suite_cases(args.scale) {
+        let mut r = rng(0xF188);
+        let x = random_dense(vec![spec.dim], &mut r);
+        let nnz = sym.nnz();
+        let inputs = def
+            .inputs([("A", sym.into()), ("x", x.clone().into())])
+            .expect("inputs pack");
+        let systec = Prepared::compile(&def, &inputs).expect("prepare systec");
+        let naive = Prepared::naive(&def, &inputs).expect("prepare naive");
+        let a_sparse = inputs["A"].as_sparse().expect("A is compressed");
+
+        let budget = args.budget();
+        let t_systec = time_min(budget, 3, || {
+            let _ = systec.run_timed().expect("run");
+        });
+        let t_naive = time_min(budget, 3, || {
+            let _ = naive.run_timed().expect("run");
+        });
+        let t_native = time_min(budget, 3, || {
+            let _ = native::csr_syprd(a_sparse, &x);
+        });
+        eprintln!(
+            "{:<12} systec {:>10.3?}  naive {:>10.3?}",
+            spec.name, t_systec, t_naive
+        );
+        cases.push(Case {
+            label: spec.name.to_string(),
+            meta: format!("dim={} nnz={}", spec.dim, nnz),
+            series: vec![
+                ("naive".into(), t_naive.as_secs_f64()),
+                ("systec".into(), t_systec.as_secs_f64()),
+                ("native_direct".into(), t_native.as_secs_f64()),
+            ],
+        });
+    }
+    let fig = Figure {
+        id: "fig8_syprd",
+        title: "Figure 8: SYPRD over the Table 2 suite",
+        expected_speedup: 1.79,
+        cases,
+    };
+    fig.print();
+    fig.write(&args);
+}

@@ -1,0 +1,67 @@
+//! Figure 9: SSYRK (sparse symmetric rank-k update) performance.
+//!
+//! `C[i,j] += A[i,k] * A[j,k]` — A is not symmetric; C is symmetric by
+//! construction, so visible output symmetry halves compute and writes.
+//! Paper result: 2.20x over naive Finch (compute-bound, so the full 2x
+//! materializes, plus reuse at the triangle's point).
+//!
+//! SSYRK is quadratic in the dimension, so (like the paper's artifact,
+//! which drops it entirely for time) this binary uses the smaller suite
+//! members only.
+
+use systec_bench::{time_min, Case, Figure, HarnessArgs};
+use systec_kernels::{defs, native, Prepared};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let def = defs::ssyrk();
+    let mut cases = Vec::new();
+    let members: Vec<_> = systec_tensor::suite::table2()
+        .into_iter()
+        .filter(|s| s.dim <= 6_000)
+        .collect();
+    for spec in members {
+        let scaled = if args.scale > 1 { spec.scaled_down(args.scale) } else { spec };
+        eprintln!("generating {} (dim={}, nnz={})", scaled.name, scaled.dim, scaled.nnz);
+        // SSYRK uses the raw (asymmetric) matrix — C supplies the
+        // symmetry.
+        let a = scaled.generate();
+        let nnz = a.nnz();
+        let inputs = def.inputs([("A", a.into())]).expect("inputs pack");
+        let systec = Prepared::compile(&def, &inputs).expect("prepare systec");
+        let naive = Prepared::naive(&def, &inputs).expect("prepare naive");
+        let a_sparse = inputs["A"].as_sparse().expect("A is compressed");
+
+        let budget = args.budget();
+        let t_systec = time_min(budget, 2, || {
+            let _ = systec.run_timed().expect("run");
+        });
+        let t_naive = time_min(budget, 2, || {
+            let _ = naive.run_timed().expect("run");
+        });
+        let t_native = time_min(budget, 2, || {
+            let _ = native::csr_ssyrk(a_sparse);
+        });
+        eprintln!(
+            "{:<12} systec {:>10.3?}  naive {:>10.3?}",
+            scaled.name, t_systec, t_naive
+        );
+        cases.push(Case {
+            label: scaled.name.to_string(),
+            meta: format!("dim={} nnz={}", scaled.dim, nnz),
+            series: vec![
+                ("naive".into(), t_naive.as_secs_f64()),
+                ("systec".into(), t_systec.as_secs_f64()),
+                ("native_direct".into(), t_native.as_secs_f64()),
+            ],
+        });
+    }
+    let fig = Figure {
+        id: "fig9_ssyrk",
+        title: "Figure 9: SSYRK over the small Table 2 members",
+        expected_speedup: 2.20,
+        cases,
+    };
+    fig.print();
+    fig.write(&args);
+}

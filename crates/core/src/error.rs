@@ -1,0 +1,82 @@
+//! Error type for compilation.
+
+use std::error::Error;
+use std::fmt;
+
+use systec_ir::Index;
+
+/// An error raised while compiling an einsum.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// A symmetry declaration names a tensor the einsum does not read.
+    UnknownSymmetricTensor {
+        /// The declared tensor name.
+        name: String,
+    },
+    /// A symmetry partition's rank differs from the access arity.
+    SymmetryRankMismatch {
+        /// The tensor name.
+        name: String,
+        /// The partition's rank.
+        partition_rank: usize,
+        /// The access's arity.
+        access_rank: usize,
+    },
+    /// A symmetric tensor is read through two differently-indexed
+    /// accesses; the symmetrizer requires a single access per symmetric
+    /// tensor.
+    MultipleSymmetricAccesses {
+        /// The tensor name.
+        name: String,
+    },
+    /// A symmetric access repeats an index (e.g. `A[i, i]`), which the
+    /// canonical-triangle restriction cannot express.
+    RepeatedIndexInSymmetricAccess {
+        /// The tensor name.
+        name: String,
+        /// The repeated index.
+        index: Index,
+    },
+    /// The canonical ordering of permutable indices is cyclic (two
+    /// symmetric tensors impose contradictory orders).
+    CyclicCanonicalOrder,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownSymmetricTensor { name } => {
+                write!(f, "symmetry declared for `{name}`, which the einsum does not read")
+            }
+            CompileError::SymmetryRankMismatch { name, partition_rank, access_rank } => write!(
+                f,
+                "symmetry partition for `{name}` covers {partition_rank} modes but the access has {access_rank}"
+            ),
+            CompileError::MultipleSymmetricAccesses { name } => write!(
+                f,
+                "symmetric tensor `{name}` is read through multiple differently-indexed accesses"
+            ),
+            CompileError::RepeatedIndexInSymmetricAccess { name, index } => {
+                write!(f, "symmetric tensor `{name}` repeats index `{index}` in one access")
+            }
+            CompileError::CyclicCanonicalOrder => {
+                write!(f, "no canonical index ordering satisfies all symmetric tensors")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CompileError::UnknownSymmetricTensor { name: "Q".into() };
+        assert!(e.to_string().contains('Q'));
+        let e = CompileError::CyclicCanonicalOrder;
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! # systec-core
+//!
+//! The SySTeC compiler: automatic generation of symmetry-exploiting code
+//! for sparse and structured tensor kernels, reproducing *SySTeC: A
+//! Symmetric Sparse Tensor Compiler* (CGO 2025).
+//!
+//! Given a pointwise einsum ([`systec_ir::Einsum`]) and a map declaring
+//! which input tensors are (partially) symmetric ([`SymmetrySpec`]), the
+//! compiler produces a kernel that
+//!
+//! * reads only the **canonical triangle** of each symmetric input
+//!   (saving up to `n!` of the memory traffic),
+//! * performs each read's worth of updates to *all* transpositions of the
+//!   output in one pass (reusing canonical reads, §3.1), and
+//! * filters redundant computation via **visible** and **invisible**
+//!   output symmetry (§3.2).
+//!
+//! The work happens in two phases (§4):
+//!
+//! 1. **Symmetrization** ([`symmetrize`]) — restrict iteration to the
+//!    canonical triangle, enumerate equivalence groups (the
+//!    generalization of diagonals, Definition 4.1), and emit one
+//!    assignment per unique symmetry-group permutation (Definition 4.2).
+//! 2. **Optimization** ([`passes`]) — the nine transforms of §4.2, each a
+//!    term-rewriting rule: common tensor-access elimination, restriction
+//!    of the output to its canonical triangle (plus a replication loop),
+//!    concordization, conditional-block consolidation, simplicial lookup
+//!    tables, cross-branch assignment grouping, distributive assignment
+//!    grouping, the workspace transformation, and diagonal splitting.
+//!
+//! ## Example
+//!
+//! Compile the SSYMV kernel `y[i] += A[i, j] * x[j]` with symmetric `A`:
+//!
+//! ```
+//! use systec_core::{Compiler, SymmetrySpec};
+//! use systec_ir::build::*;
+//! use systec_ir::{AssignOp, Einsum};
+//!
+//! let ssymv = Einsum::new(
+//!     access("y", ["i"]),
+//!     AssignOp::Add,
+//!     mul([access("A", ["i", "j"]), access("x", ["j"])]),
+//!     [idx("i"), idx("j")],
+//! );
+//! let symmetry = SymmetrySpec::new().with_full("A", 2);
+//! let kernel = Compiler::new().compile(&ssymv, &symmetry).unwrap();
+//! let printed = kernel.program.to_string();
+//! assert!(printed.contains("i <= j") || printed.contains("i < j"), "{printed}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod passes;
+mod perms;
+mod pipeline;
+mod symmetrize;
+mod symmetry;
+
+pub use error::CompileError;
+pub use perms::{equivalence_groups, unique_symmetry_group, EquivalenceGroup};
+pub use pipeline::{CompileOptions, CompiledKernel, Compiler};
+pub use symmetrize::{symmetrize, SymmetrizedKernel};
+pub use symmetry::{SymmetryPartition, SymmetrySpec};

@@ -1,0 +1,256 @@
+//! Loop-invariant read motion: hoist tensor reads out of loops that do
+//! not bind any of their subscripts.
+//!
+//! Finch performs this as part of lowering; since our executor interprets
+//! the IR directly, the motion must happen at this level or invariant
+//! reads are re-evaluated every iteration. The symmetric kernels benefit
+//! in particular: SSYMV's second update `y[j] += A[i,j] * x[i]` reads
+//! `x[i]`, which is invariant in the inner `j` loop.
+
+use std::collections::BTreeSet;
+
+use systec_ir::{Access, Expr, Index, Stmt};
+
+/// Hoists reads whose subscripts are all bound by outer loops into
+/// `let`s just inside the loop binding their deepest subscript.
+///
+/// # Examples
+///
+/// ```
+/// use systec_core::passes::licm;
+/// use systec_ir::build::*;
+/// use systec_ir::Stmt;
+///
+/// let p = Stmt::loops(
+///     [idx("i"), idx("j")],
+///     assign(access("y", ["j"]), mul([access("A", ["i", "j"]), access("x", ["i"])])),
+/// );
+/// let out = licm(p);
+/// let printed = out.to_string();
+/// // x[i] is bound once per i, outside the j loop.
+/// assert!(printed.contains("let h_x = x[i]:\n    for j:"), "{printed}");
+/// ```
+pub fn licm(program: Stmt) -> Stmt {
+    let mut counter = 0usize;
+    walk(program, &mut BTreeSet::new(), &mut counter)
+}
+
+fn walk(stmt: Stmt, bound: &mut BTreeSet<Index>, counter: &mut usize) -> Stmt {
+    match stmt {
+        Stmt::Loop { index, body } => {
+            bound.insert(index.clone());
+            let body = walk(*body, bound, counter);
+            // Hoist reads that are fully bound here but sit under deeper
+            // loops — excluding tensors the body writes (reading those is
+            // order-sensitive).
+            let mut written: Vec<String> = Vec::new();
+            collect_written(&body, &mut written);
+            let mut candidates: Vec<Access> = Vec::new();
+            collect_hoistable(&body, bound, false, &mut candidates);
+            candidates.retain(|a| !written.contains(&a.tensor.name));
+            let mut body = body;
+            let mut lets: Vec<(String, Access)> = Vec::new();
+            for access in candidates {
+                let name = if *counter == 0 {
+                    format!("h_{}", access.tensor.display_name())
+                } else {
+                    format!("h_{}{}", access.tensor.display_name(), counter)
+                };
+                *counter += 1;
+                body = substitute_access(body, &access, &name);
+                lets.push((name, access));
+            }
+            for (name, access) in lets.into_iter().rev() {
+                body = Stmt::Let {
+                    name,
+                    value: Expr::Access(access),
+                    body: Box::new(body),
+                };
+            }
+            bound.remove(&index);
+            Stmt::Loop { index, body: Box::new(body) }
+        }
+        other => other.map_children(&mut |s| walk(s, bound, counter)),
+    }
+}
+
+fn collect_written(stmt: &Stmt, out: &mut Vec<String>) {
+    match stmt {
+        Stmt::Block(ss) => {
+            for s in ss {
+                collect_written(s, out);
+            }
+        }
+        Stmt::Loop { body, .. }
+        | Stmt::If { body, .. }
+        | Stmt::Let { body, .. }
+        | Stmt::Workspace { body, .. } => collect_written(body, out),
+        Stmt::Assign { lhs, .. } => {
+            if let systec_ir::Lhs::Tensor(a) = lhs {
+                out.push(a.tensor.name.clone());
+            }
+        }
+    }
+}
+
+/// Collects accesses under at least one inner loop whose subscripts are
+/// all bound (and which therefore re-read the same element every inner
+/// iteration).
+fn collect_hoistable(
+    stmt: &Stmt,
+    bound: &BTreeSet<Index>,
+    under_loop: bool,
+    out: &mut Vec<Access>,
+) {
+    match stmt {
+        Stmt::Block(ss) => {
+            for s in ss {
+                collect_hoistable(s, bound, under_loop, out);
+            }
+        }
+        Stmt::Loop { body, .. } => collect_hoistable(body, bound, true, out),
+        Stmt::If { body, .. } | Stmt::Workspace { body, .. } => {
+            collect_hoistable(body, bound, under_loop, out)
+        }
+        Stmt::Let { value, body, .. } => {
+            if under_loop {
+                collect_exprs(value, bound, out);
+            }
+            collect_hoistable(body, bound, under_loop, out);
+        }
+        Stmt::Assign { rhs, .. } => {
+            if under_loop {
+                collect_exprs(rhs, bound, out);
+            }
+        }
+    }
+}
+
+fn collect_exprs(expr: &Expr, bound: &BTreeSet<Index>, out: &mut Vec<Access>) {
+    for access in expr.accesses() {
+        let all_bound = access.indices.iter().all(|i| bound.contains(i));
+        if all_bound && !out.contains(access) {
+            out.push(access.clone());
+        }
+    }
+}
+
+/// Replaces reads of `access` under inner loops with the scalar `name`.
+fn substitute_access(stmt: Stmt, access: &Access, name: &str) -> Stmt {
+    fn subst_expr(expr: Expr, access: &Access, name: &str) -> Expr {
+        match expr {
+            Expr::Access(a) if a == *access => Expr::Scalar(name.to_string()),
+            Expr::Call { op, args } => Expr::Call {
+                op,
+                args: args.into_iter().map(|e| subst_expr(e, access, name)).collect(),
+            },
+            Expr::Lookup { table, index } => {
+                Expr::Lookup { table, index: Box::new(subst_expr(*index, access, name)) }
+            }
+            other => other,
+        }
+    }
+    fn subst(stmt: Stmt, access: &Access, name: &str, under_loop: bool) -> Stmt {
+        match stmt {
+            Stmt::Block(ss) => {
+                Stmt::Block(ss.into_iter().map(|s| subst(s, access, name, under_loop)).collect())
+            }
+            Stmt::Loop { index, body } => {
+                Stmt::Loop { index, body: Box::new(subst(*body, access, name, true)) }
+            }
+            Stmt::If { cond, body } => {
+                Stmt::If { cond, body: Box::new(subst(*body, access, name, under_loop)) }
+            }
+            Stmt::Workspace { name: w, init, body } => Stmt::Workspace {
+                name: w,
+                init,
+                body: Box::new(subst(*body, access, name, under_loop)),
+            },
+            Stmt::Let { name: l, value, body } => Stmt::Let {
+                name: l,
+                value: if under_loop { subst_expr(value, access, name) } else { value },
+                body: Box::new(subst(*body, access, name, under_loop)),
+            },
+            Stmt::Assign { lhs, op, rhs } => Stmt::Assign {
+                lhs,
+                op,
+                rhs: if under_loop { subst_expr(rhs, access, name) } else { rhs },
+            },
+        }
+    }
+    subst(stmt, access, name, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systec_ir::build::*;
+
+    #[test]
+    fn hoists_invariant_read_out_of_inner_loop() {
+        let p = Stmt::loops(
+            [idx("i"), idx("j")],
+            assign(access("y", ["j"]), mul([access("A", ["i", "j"]), access("x", ["i"])])),
+        );
+        let printed = licm(p).to_string();
+        assert!(printed.contains("let h_x = x[i]"), "{printed}");
+        assert!(printed.contains("A[i, j] * h_x"), "{printed}");
+    }
+
+    #[test]
+    fn does_not_hoist_varying_read() {
+        let p = Stmt::loops(
+            [idx("i"), idx("j")],
+            assign(access("y", ["i"]), mul([access("A", ["i", "j"]), access("x", ["j"])])),
+        );
+        assert_eq!(licm(p.clone()), p);
+    }
+
+    #[test]
+    fn innermost_reads_stay_put() {
+        // Access is not under any loop deeper than its binding loop.
+        let p = Stmt::loops([idx("i")], assign(access("y", ["i"]), access("x", ["i"]).into()));
+        assert_eq!(licm(p.clone()), p);
+    }
+
+    #[test]
+    fn hoists_from_let_values_too() {
+        let p = Stmt::loops(
+            [idx("i"), idx("j")],
+            Stmt::Let {
+                name: "t".into(),
+                value: mul([access("x", ["i"]), access("A", ["i", "j"])]),
+                body: Box::new(assign(access("y", ["j"]), scalar("t"))),
+            },
+        );
+        let printed = licm(p).to_string();
+        assert!(printed.contains("let h_x = x[i]"), "{printed}");
+        assert!(printed.contains("h_x * A[i, j]"), "{printed}");
+    }
+
+    #[test]
+    fn multiple_invariants_get_distinct_names() {
+        let p = Stmt::loops(
+            [idx("i"), idx("j")],
+            assign(
+                access("y", ["j"]),
+                mul([access("x", ["i"]), access("z", ["i"]), access("A", ["i", "j"])]),
+            ),
+        );
+        let printed = licm(p).to_string();
+        assert!(printed.contains("let h_x = x[i]"), "{printed}");
+        assert!(printed.contains("let h_z"), "{printed}");
+    }
+
+    #[test]
+    fn scalar_zero_index_reads_hoist_to_outermost_loop() {
+        // x[] (rank 0) is invariant everywhere; it hoists to the
+        // outermost loop.
+        let p = Stmt::loops(
+            [idx("i"), idx("j")],
+            assign(access("y", ["j"]), mul([access("c", [] as [&str; 0]), access("A", ["i", "j"])])),
+        );
+        let printed = licm(p).to_string();
+        assert!(printed.contains("let h_c = c[]"), "{printed}");
+    }
+}

@@ -1,0 +1,228 @@
+//! §4.2.8 Workspace transformation: accumulate into a scalar inside the
+//! innermost loop that produces an output coordinate, and write back
+//! once when that loop finishes.
+//!
+//! Worthwhile when the assignment sits under reduction loops *inside*
+//! the loop that fixes the output coordinate: `y[j] += A[i, j] * x[i]`
+//! under `for j { for i { … } }` touches `y[j]` once per `i`; with a
+//! workspace it touches `y[j]` once per `j`.
+
+use systec_ir::{Expr, Lhs, Stmt};
+
+/// Applies the workspace transformation to every profitable assignment.
+///
+/// # Examples
+///
+/// ```
+/// use systec_core::passes::workspace;
+/// use systec_ir::build::*;
+/// use systec_ir::Stmt;
+///
+/// let p = Stmt::loops(
+///     [idx("j"), idx("i")],
+///     assign(access("y", ["j"]), mul([access("A", ["i", "j"]), access("x", ["i"])])),
+/// );
+/// let out = workspace(p);
+/// let printed = out.to_string();
+/// assert!(printed.contains("workspace w_y = 0"), "{printed}");
+/// assert!(printed.contains("y[j] += w_y"), "{printed}");
+/// ```
+pub fn workspace(program: Stmt) -> Stmt {
+    let mut counter = 0usize;
+    transform(program, &mut Vec::new(), &mut counter)
+}
+
+fn transform(stmt: Stmt, bound: &mut Vec<systec_ir::Index>, counter: &mut usize) -> Stmt {
+    match stmt {
+        Stmt::Loop { index, body } => {
+            bound.push(index.clone());
+            let body = transform(*body, bound, counter);
+            bound.pop();
+            // If the whole body sits under one guard, accumulate inside it
+            // (no contribution when the guard is false, and enclosing
+            // loops can still lift the guard into bounds).
+            let (guard, inner) = match body {
+                Stmt::If { cond, body: inner } => (Some(cond), *inner),
+                other => (None, other),
+            };
+            // Look for assignments nested under at least one inner loop
+            // whose output coordinates are all bound at this level.
+            let (hoisted, mut wrapped) = hoist_assignments(inner, &index, bound, counter);
+            for (temp, init, target, op) in hoisted.into_iter().rev() {
+                wrapped = Stmt::Workspace {
+                    name: temp.clone(),
+                    init,
+                    body: Box::new(Stmt::block([
+                        wrapped,
+                        Stmt::Assign { lhs: Lhs::Tensor(target), op, rhs: Expr::Scalar(temp) },
+                    ])),
+                };
+            }
+            if let Some(cond) = guard {
+                wrapped = Stmt::If { cond, body: Box::new(wrapped) };
+            }
+            Stmt::Loop { index, body: Box::new(wrapped) }
+        }
+        other => other.map_children(&mut |s| transform(s, bound, counter)),
+    }
+}
+
+type Hoist = (String, f64, systec_ir::Access, systec_ir::AssignOp);
+
+/// Finds assignments (inside inner loops of `body`) whose output
+/// coordinates are fully determined by `loop_index` and outer indices;
+/// replaces them with scalar accumulations and returns the write-backs.
+fn hoist_assignments(
+    body: Stmt,
+    loop_index: &systec_ir::Index,
+    outer: &[systec_ir::Index],
+    counter: &mut usize,
+) -> (Vec<Hoist>, Stmt) {
+    let mut hoisted = Vec::new();
+    let body = rewrite(body, loop_index, outer, counter, &mut hoisted, false);
+    (hoisted, body)
+}
+
+fn rewrite(
+    stmt: Stmt,
+    loop_index: &systec_ir::Index,
+    outer: &[systec_ir::Index],
+    counter: &mut usize,
+    hoisted: &mut Vec<Hoist>,
+    inside_inner_loop: bool,
+) -> Stmt {
+    match stmt {
+        Stmt::Loop { index, body } => {
+            let body = rewrite(*body, loop_index, outer, counter, hoisted, true);
+            Stmt::Loop { index, body: Box::new(body) }
+        }
+        Stmt::Assign { lhs: Lhs::Tensor(target), op, rhs }
+            if inside_inner_loop
+                && op != systec_ir::AssignOp::Overwrite
+                && target
+                    .indices
+                    .iter()
+                    .all(|i| i == loop_index || outer.contains(i)) =>
+        {
+            // Reuse a workspace for repeated writes to the same target.
+            let existing = hoisted.iter().find(|(_, _, t, o)| *t == target && *o == op);
+            let temp = match existing {
+                Some((name, ..)) => name.clone(),
+                None => {
+                    let name = if *counter == 0 {
+                        format!("w_{}", target.tensor.display_name())
+                    } else {
+                        format!("w_{}{}", target.tensor.display_name(), counter)
+                    };
+                    *counter += 1;
+                    hoisted.push((
+                        name.clone(),
+                        op.identity().unwrap_or(0.0),
+                        target.clone(),
+                        op,
+                    ));
+                    name
+                }
+            };
+            Stmt::Assign { lhs: Lhs::Scalar(temp), op, rhs }
+        }
+        other => {
+            other.map_children(&mut |s| rewrite(s, loop_index, outer, counter, hoisted, inside_inner_loop))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systec_ir::build::*;
+
+    #[test]
+    fn hoists_reduction_out_of_inner_loop() {
+        let p = Stmt::loops(
+            [idx("j"), idx("i")],
+            assign(access("y", ["j"]), mul([access("A", ["i", "j"]), access("x", ["i"])])),
+        );
+        let out = workspace(p);
+        let printed = out.to_string();
+        let expected = "\
+for j:
+  workspace w_y = 0:
+    for i:
+      w_y += A[i, j] * x[i]
+    y[j] += w_y";
+        assert_eq!(printed, expected);
+    }
+
+    #[test]
+    fn paper_figure_shape_both_outputs() {
+        // for j, i: y[i] += A*x[j]; y[j] += A*x[i] — only y[j] hoists
+        // (y[i] depends on the inner index).
+        let p = Stmt::loops(
+            [idx("j"), idx("i")],
+            Stmt::block([
+                assign(access("y", ["i"]), mul([access("A", ["i", "j"]), access("x", ["j"])])),
+                assign(access("y", ["j"]), mul([access("A", ["i", "j"]), access("x", ["i"])])),
+            ]),
+        );
+        let printed = workspace(p).to_string();
+        assert!(printed.contains("w_y += A[i, j] * x[i]"), "{printed}");
+        assert!(printed.contains("y[i] += A[i, j] * x[j]"), "{printed}");
+        assert!(printed.contains("y[j] += w_y"), "{printed}");
+    }
+
+    #[test]
+    fn innermost_assignment_is_left_alone() {
+        // No loop inside the one fixing the output: nothing to gain.
+        let p = Stmt::loops(
+            [idx("i"), idx("j")],
+            assign(access("y", ["i", "j"]), access("A", ["i", "j"]).into()),
+        );
+        assert_eq!(workspace(p.clone()), p);
+    }
+
+    #[test]
+    fn scalar_output_hoists_at_outermost_loop() {
+        // s[] += x[i] * A[i, j] * x[j]: the write-back lands after the
+        // outermost loop's body.
+        let p = Stmt::loops(
+            [idx("i"), idx("j")],
+            assign(
+                access("s", [] as [&str; 0]),
+                mul([access("x", ["i"]), access("A", ["i", "j"]), access("x", ["j"])]),
+            ),
+        );
+        let printed = workspace(p).to_string();
+        assert!(printed.contains("workspace w_s = 0"), "{printed}");
+        assert!(printed.contains("s[] += w_s"), "{printed}");
+    }
+
+    #[test]
+    fn min_reduction_workspace_initializes_to_infinity() {
+        let p = Stmt::loops(
+            [idx("j"), idx("i")],
+            assign_op(
+                access("y", ["j"]),
+                systec_ir::AssignOp::Min,
+                add([access("A", ["i", "j"]), access("x", ["i"])]),
+            ),
+        );
+        let printed = workspace(p).to_string();
+        assert!(printed.contains("workspace w_y = inf"), "{printed}");
+        assert!(printed.contains("y[j] min= w_y"), "{printed}");
+    }
+
+    #[test]
+    fn repeated_writes_share_one_workspace() {
+        let p = Stmt::loops(
+            [idx("j"), idx("i")],
+            Stmt::block([
+                assign(access("y", ["j"]), mul([access("A", ["i", "j"]), access("x", ["i"])])),
+                assign(access("y", ["j"]), mul([access("B", ["i", "j"]), access("x", ["i"])])),
+            ]),
+        );
+        let printed = workspace(p).to_string();
+        assert_eq!(printed.matches("workspace").count(), 1, "{printed}");
+        assert_eq!(printed.matches("y[j] += w_y").count(), 1, "{printed}");
+    }
+}

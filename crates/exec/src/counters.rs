@@ -1,0 +1,113 @@
+//! Instrumentation counters collected during execution.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Work counters collected by one [`crate::run`] call.
+///
+/// These are the quantities the paper's analysis reasons about: SSYMV's
+/// optimized kernel *"accesses only 1/2 of the values of A"* (§5.2.1), the
+/// 5-d MTTKRP touches *"1/120 of the values of A"* and performs *"1/24 of
+/// the computations"* (§5.2.6). The integration tests assert those ratios
+/// exactly, and the benchmark harness reports them alongside times.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Counters {
+    /// Tensor element loads, per tensor display name.
+    pub reads: HashMap<String, u64>,
+    /// Semiring operations (one per binary application, plus one per
+    /// reducing assignment).
+    pub flops: u64,
+    /// Output element stores.
+    pub writes: u64,
+    /// Innermost loop-body executions.
+    pub iterations: u64,
+}
+
+impl Counters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Element loads of one tensor (0 if never read).
+    pub fn reads_of(&self, name: &str) -> u64 {
+        self.reads.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total element loads over tensors whose display name starts with
+    /// `prefix` — aggregates a base tensor with its derived variants
+    /// (`A`, `A_T`, `A_diag`, `A_nondiag`, …).
+    pub fn reads_of_family(&self, prefix: &str) -> u64 {
+        self.reads
+            .iter()
+            .filter(|(name, _)| {
+                name.as_str() == prefix || name.strip_prefix(prefix).is_some_and(|rest| rest.starts_with('_'))
+            })
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (name, v) in &other.reads {
+            *self.reads.entry(name.clone()).or_insert(0) += v;
+        }
+        self.flops += other.flops;
+        self.writes += other.writes;
+        self.iterations += other.iterations;
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&String> = self.reads.keys().collect();
+        names.sort();
+        write!(f, "flops={} writes={} iterations={} reads={{", self.flops, self.writes, self.iterations)?;
+        for (k, name) in names.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}: {}", self.reads[*name])?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_of_family_aggregates_variants() {
+        let mut c = Counters::new();
+        c.reads.insert("A".into(), 10);
+        c.reads.insert("A_diag".into(), 3);
+        c.reads.insert("A_nondiag".into(), 5);
+        c.reads.insert("AB".into(), 100); // different base name, not a variant
+        assert_eq!(c.reads_of_family("A"), 18);
+        assert_eq!(c.reads_of("A"), 10);
+        assert_eq!(c.reads_of("missing"), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Counters::new();
+        a.reads.insert("A".into(), 1);
+        a.flops = 2;
+        let mut b = Counters::new();
+        b.reads.insert("A".into(), 3);
+        b.reads.insert("B".into(), 4);
+        b.writes = 5;
+        a.merge(&b);
+        assert_eq!(a.reads_of("A"), 4);
+        assert_eq!(a.reads_of("B"), 4);
+        assert_eq!(a.flops, 2);
+        assert_eq!(a.writes, 5);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let c = Counters::new();
+        assert!(c.to_string().contains("flops=0"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type for lowering and execution.
+
+use std::error::Error;
+use std::fmt;
+
+use systec_ir::Index;
+
+/// An error raised while lowering or executing a program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// An accessed tensor was not supplied in the input bindings.
+    UnknownTensor {
+        /// The missing tensor's display name.
+        name: String,
+    },
+    /// An access arity did not match the bound tensor's rank.
+    AccessRankMismatch {
+        /// The tensor's display name.
+        name: String,
+        /// The tensor's rank.
+        rank: usize,
+        /// The access's subscript count.
+        subscripts: usize,
+    },
+    /// Two uses of the same index implied different extents.
+    ExtentMismatch {
+        /// The index in question.
+        index: Index,
+        /// First implied extent.
+        a: usize,
+        /// Second implied extent.
+        b: usize,
+    },
+    /// A loop index's extent could not be inferred from any access.
+    UnknownExtent {
+        /// The index in question.
+        index: Index,
+    },
+    /// An index was used in an access or condition without an enclosing
+    /// loop binding it.
+    UnboundIndex {
+        /// The index in question.
+        index: Index,
+    },
+    /// A scalar variable was referenced outside any `let`/workspace scope
+    /// binding it.
+    UnboundScalar {
+        /// The scalar's name.
+        name: String,
+    },
+    /// A supplied output tensor's shape did not match the program.
+    OutputShapeMismatch {
+        /// The output's display name.
+        name: String,
+        /// Expected shape.
+        expected: Vec<usize>,
+        /// Supplied shape.
+        got: Vec<usize>,
+    },
+    /// A tensor appears both as an input and as a write target.
+    InputOutputClash {
+        /// The display name used both ways.
+        name: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTensor { name } => write!(f, "tensor `{name}` is not bound"),
+            ExecError::AccessRankMismatch { name, rank, subscripts } => write!(
+                f,
+                "access to `{name}` has {subscripts} subscripts but the tensor has rank {rank}"
+            ),
+            ExecError::ExtentMismatch { index, a, b } => {
+                write!(f, "index `{index}` is used with conflicting extents {a} and {b}")
+            }
+            ExecError::UnknownExtent { index } => {
+                write!(f, "extent of loop index `{index}` cannot be inferred from any access")
+            }
+            ExecError::UnboundIndex { index } => {
+                write!(f, "index `{index}` is used without an enclosing loop")
+            }
+            ExecError::UnboundScalar { name } => {
+                write!(f, "scalar `{name}` is referenced outside its binding scope")
+            }
+            ExecError::OutputShapeMismatch { name, expected, got } => {
+                write!(f, "output `{name}` has shape {got:?}, expected {expected:?}")
+            }
+            ExecError::InputOutputClash { name } => {
+                write!(f, "tensor `{name}` is bound as an input but written as an output")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ExecError::UnknownTensor { name: "A_T".into() };
+        assert_eq!(e.to_string(), "tensor `A_T` is not bound");
+        let e = ExecError::ExtentMismatch { index: Index::new("i"), a: 3, b: 4 };
+        assert!(e.to_string().contains("conflicting extents"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ExecError>();
+    }
+}

@@ -1,0 +1,179 @@
+//! Loop-invariant condition hoisting.
+//!
+//! The symmetrizer guards loop bodies with conditions like
+//! `i <= k && k <= l` placed just inside the *innermost* loop. Before
+//! comparisons can be lifted into loop bounds, each conjunct must float
+//! up to the shallowest loop whose index it mentions. This pass performs
+//! that motion; it is semantics-preserving because a hoisted conjunct is
+//! invariant in every loop it crosses and guards the entire loop body.
+
+use systec_ir::{Cond, Index, Stmt};
+
+/// Floats loop-invariant conjuncts of `if` guards upward, out of loops
+/// whose index they do not mention, and merges directly nested `if`s.
+///
+/// # Examples
+///
+/// ```
+/// use systec_ir::build::*;
+/// use systec_ir::Stmt;
+/// use systec_exec::hoist_conditions;
+///
+/// // for l, k, j:  if j <= k && k <= l: ...  — the `k <= l` conjunct
+/// // does not mention j, so it floats above the j loop.
+/// let s = Stmt::loops(
+///     [idx("l"), idx("k"), idx("j")],
+///     Stmt::guarded(
+///         and([le("j", "k"), le("k", "l")]),
+///         assign(access("y", ["j"]), access("A", ["j", "k", "l"]).into()),
+///     ),
+/// );
+/// let hoisted = hoist_conditions(s);
+/// let printed = hoisted.to_string();
+/// let k_line = printed.lines().position(|l| l.contains("if k <= l")).unwrap();
+/// let j_line = printed.lines().position(|l| l.contains("for j")).unwrap();
+/// assert!(k_line < j_line, "k <= l must sit above the j loop:\n{printed}");
+/// ```
+pub fn hoist_conditions(stmt: Stmt) -> Stmt {
+    match stmt {
+        Stmt::Loop { index, body } => {
+            let body = hoist_conditions(*body);
+            match body {
+                Stmt::If { cond, body: inner } => {
+                    let (outer, keep) = split_conjuncts(cond, &index);
+                    let looped = Stmt::Loop {
+                        index,
+                        body: Box::new(Stmt::guarded(keep, *inner)),
+                    };
+                    Stmt::guarded(outer, looped)
+                }
+                other => Stmt::Loop { index, body: Box::new(other) },
+            }
+        }
+        Stmt::If { cond, body } => {
+            let body = hoist_conditions(*body);
+            match body {
+                Stmt::If { cond: inner_cond, body: inner } => Stmt::If {
+                    cond: Cond::and([cond, inner_cond]),
+                    body: inner,
+                },
+                other => Stmt::If { cond, body: Box::new(other) },
+            }
+        }
+        // A `let` binds a pure value, so a guard that is its sole child
+        // commutes with it — bubbling the guard up lets enclosing loops
+        // lift it into bounds (and skips the bound value's evaluation
+        // when the guard is false).
+        Stmt::Let { name, value, body } => {
+            let body = hoist_conditions(*body);
+            match body {
+                Stmt::If { cond, body: inner } => Stmt::If {
+                    cond,
+                    body: Box::new(Stmt::Let { name, value, body: inner }),
+                },
+                other => Stmt::Let { name, value, body: Box::new(other) },
+            }
+        }
+        other => other.map_children(&mut hoist_conditions),
+    }
+}
+
+/// Splits a condition's conjuncts into those that do not mention `index`
+/// (hoistable above its loop) and those that do (stay inside).
+fn split_conjuncts(cond: Cond, index: &Index) -> (Cond, Cond) {
+    let mut outer = Vec::new();
+    let mut keep = Vec::new();
+    for c in cond.conjuncts() {
+        if c.indices().contains(index) {
+            keep.push(c);
+        } else {
+            outer.push(c);
+        }
+    }
+    (Cond::and(outer), Cond::and(keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systec_ir::build::*;
+
+    #[test]
+    fn hoists_through_multiple_loops() {
+        // for l, k, i, j: if i <= k && k <= l: body   (MTTKRP shape)
+        let s = Stmt::loops(
+            [idx("l"), idx("k"), idx("i"), idx("j")],
+            Stmt::guarded(
+                and([le("i", "k"), le("k", "l")]),
+                assign(access("C", ["i", "j"]), access("A", ["i", "k", "l"]).into()),
+            ),
+        );
+        let h = hoist_conditions(s);
+        let printed = h.to_string();
+        // k <= l must appear between the k loop and the i loop; i <= k
+        // between the i loop and the j loop.
+        let lines: Vec<&str> = printed.lines().map(str::trim).collect();
+        let pos =
+            |needle: &str| lines.iter().position(|l| l.starts_with(needle)).unwrap_or_else(|| panic!("missing {needle} in:\n{printed}"));
+        assert!(pos("for k") < pos("if k <= l"));
+        assert!(pos("if k <= l") < pos("for i"));
+        assert!(pos("for i") < pos("if i <= k"));
+        assert!(pos("if i <= k") < pos("for j"));
+    }
+
+    #[test]
+    fn merges_nested_ifs() {
+        let s = Stmt::guarded(
+            le("i", "j"),
+            Stmt::guarded(ne("i", "j"), assign(access("y", ["i"]), lit(1.0))),
+        );
+        let h = hoist_conditions(s);
+        assert_eq!(h.to_string(), "if i <= j && i != j:\n  y[i] += 1");
+    }
+
+    #[test]
+    fn keeps_condition_mentioning_loop_index() {
+        let s = Stmt::loops(
+            [idx("j"), idx("i")],
+            Stmt::guarded(le("i", "j"), assign(access("y", ["i"]), lit(1.0))),
+        );
+        let h = hoist_conditions(s.clone());
+        // i <= j mentions i, so it stays just inside the i loop.
+        assert_eq!(h, s);
+    }
+
+    #[test]
+    fn or_condition_hoists_as_a_unit() {
+        // (i == k || k == l) does not mention j — must float above loop j
+        // in one piece.
+        let s = Stmt::loops(
+            [idx("l"), idx("k"), idx("i"), idx("j")],
+            Stmt::guarded(
+                or([eq("i", "k"), eq("k", "l")]),
+                assign(access("C", ["i", "j"]), access("A", ["i", "k", "l"]).into()),
+            ),
+        );
+        let printed = hoist_conditions(s).to_string();
+        let lines: Vec<&str> = printed.lines().map(str::trim).collect();
+        let if_pos = lines.iter().position(|l| l.starts_with("if i == k || k == l")).unwrap();
+        let forj_pos = lines.iter().position(|l| l.starts_with("for j")).unwrap();
+        assert!(if_pos < forj_pos, "got:\n{printed}");
+    }
+
+    #[test]
+    fn blocks_hoist_children_independently() {
+        let block = Stmt::block([
+            Stmt::loops(
+                [idx("i")],
+                Stmt::guarded(le("i", "j"), assign(access("y", ["i"]), lit(1.0))),
+            ),
+            Stmt::loops(
+                [idx("i")],
+                Stmt::guarded(eq("j", "k"), assign(access("z", ["i"]), lit(2.0))),
+            ),
+        ]);
+        let printed = hoist_conditions(block).to_string();
+        // Second child's guard (j == k, invariant in i) floats above its loop.
+        assert!(printed.contains("if j == k:\n  for i:"), "got:\n{printed}");
+    }
+}

@@ -1,0 +1,68 @@
+//! # systec-exec
+//!
+//! The executing backend of the SySTeC reproduction: it gives the
+//! dense-looking IR of `systec-ir` the Finch-like sparse semantics the
+//! paper relies on (§2.2), standing in for Finch's lowering to Julia and
+//! LLVM.
+//!
+//! The pipeline is:
+//!
+//! 1. **Hoisting** ([`hoist_conditions`]) — loop-invariant index
+//!    comparisons float out of inner loops so they can become bounds.
+//! 2. **Lowering** ([`lower`]) — names become slots; comparisons between
+//!    a loop index and outer indices become loop *bounds* (the paper's
+//!    `i < 7` example compiling to an early-exiting sparse walk);
+//!    concordant sparse accesses become position-tracked paths; one
+//!    sparse access per loop is chosen as the *driver* when every
+//!    assignment in the loop annihilates on its fill value.
+//! 3. **Execution** ([`run`]) — an interpreter walks the lowered tree,
+//!    iterating sparse levels through their compressed coordinates
+//!    (binary-searched to the lifted bounds) and counting element reads,
+//!    semiring flops and output writes as it goes.
+//!
+//! Both the naive and the SySTeC-optimized kernels execute on this same
+//! backend, so measured speedups isolate exactly what the paper measures:
+//! saved reads, saved iterations and saved flops.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::collections::HashMap;
+//! use systec_ir::build::*;
+//! use systec_ir::Stmt;
+//! use systec_tensor::{CooTensor, SparseTensor, Tensor, CSR};
+//! use systec_exec::{alloc_outputs, run};
+//!
+//! // y[i] += A[i, j] * x[j]  over CSR A (concordant loop order i, j).
+//! let prog = Stmt::loops(
+//!     [idx("i"), idx("j")],
+//!     assign(access("y", ["i"]), mul([access("A", ["i", "j"]), access("x", ["j"])])),
+//! );
+//! let mut coo = CooTensor::new(vec![2, 2]);
+//! coo.push(&[0, 1], 3.0);
+//! let mut inputs = HashMap::new();
+//! inputs.insert("A".to_string(), Tensor::Sparse(SparseTensor::from_coo(&coo, &CSR).unwrap()));
+//! inputs.insert("x".to_string(), Tensor::Dense(systec_tensor::DenseTensor::from_vec(vec![2], vec![1.0, 2.0]).unwrap()));
+//! let mut outputs = alloc_outputs(&prog, &inputs).unwrap();
+//! let counters = run(&prog, &inputs, &mut outputs).unwrap();
+//! assert_eq!(outputs["y"].get(&[0]), 6.0);
+//! assert_eq!(counters.reads_of("A"), 1); // only the stored entry was touched
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod error;
+mod hoist;
+mod lower;
+mod prepare;
+pub mod reference;
+mod run;
+
+pub use counters::Counters;
+pub use error::ExecError;
+pub use hoist::hoist_conditions;
+pub use lower::{lower, LoweredProgram};
+pub use prepare::{alloc_outputs, prepare_variants};
+pub use run::{run, run_lowered};

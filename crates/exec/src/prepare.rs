@@ -1,0 +1,285 @@
+//! Data preparation: output allocation and input-variant materialization.
+//!
+//! The paper's timing methodology excludes *"the time to rearrange data
+//! before or after each kernel … including transposition or replicating
+//! the output"* (§5.2). These helpers are that rearrangement step: the
+//! benchmark harness calls them once, outside the timed region.
+
+use std::collections::HashMap;
+
+use systec_ir::{Access, AssignOp, Lhs, Stmt, TensorPart, TensorRef};
+use systec_tensor::{DenseTensor, SparseTensor, Tensor, TensorError};
+
+use crate::ExecError;
+
+/// Allocates the output tensors a program writes: shapes are inferred
+/// from the program's accesses against `inputs`, and each output is
+/// initialized to its reduction's identity (`0` for `+=`, `+∞` for
+/// `min=`, `-∞` for `max=`).
+///
+/// Callers that need a different initialization (e.g. Bellman-Ford's
+/// `y = d` warm start) can overwrite the returned tensors before
+/// [`crate::run`].
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] if shapes conflict or an output index's
+/// extent cannot be inferred from any input access.
+pub fn alloc_outputs(
+    stmt: &Stmt,
+    inputs: &HashMap<String, Tensor>,
+) -> Result<HashMap<String, DenseTensor>, ExecError> {
+    let mut extents: HashMap<systec_ir::Index, usize> = HashMap::new();
+    let mut targets: Vec<(Access, AssignOp)> = Vec::new();
+    collect(stmt, &mut |access, write_op| {
+        let name = access.tensor.display_name();
+        if let Some(t) = inputs.get(&name) {
+            for (mode, index) in access.indices.iter().enumerate() {
+                extents.entry(index.clone()).or_insert(t.dims()[mode]);
+            }
+        }
+        if let Some(op) = write_op {
+            targets.push((access.clone(), op));
+        }
+    });
+    // Validate input extents for conflicts.
+    let mut checked: HashMap<systec_ir::Index, usize> = HashMap::new();
+    let mut conflict: Option<ExecError> = None;
+    collect(stmt, &mut |access, _| {
+        let name = access.tensor.display_name();
+        if let Some(t) = inputs.get(&name) {
+            for (mode, index) in access.indices.iter().enumerate() {
+                let extent = t.dims()[mode];
+                match checked.get(index) {
+                    Some(&prev) if prev != extent && conflict.is_none() => {
+                        conflict = Some(ExecError::ExtentMismatch {
+                            index: index.clone(),
+                            a: prev,
+                            b: extent,
+                        });
+                    }
+                    _ => {
+                        checked.insert(index.clone(), extent);
+                    }
+                }
+            }
+        }
+    });
+    if let Some(e) = conflict {
+        return Err(e);
+    }
+
+    let mut outputs = HashMap::new();
+    for (access, op) in targets {
+        let name = access.tensor.display_name();
+        if inputs.contains_key(&name) {
+            return Err(ExecError::InputOutputClash { name });
+        }
+        let dims: Result<Vec<usize>, ExecError> = access
+            .indices
+            .iter()
+            .map(|i| {
+                extents
+                    .get(i)
+                    .copied()
+                    .ok_or_else(|| ExecError::UnknownExtent { index: i.clone() })
+            })
+            .collect();
+        let init = op.identity().unwrap_or(0.0);
+        let tensor = DenseTensor::filled(dims?, init);
+        match outputs.get(&name) {
+            None => {
+                outputs.insert(name, tensor);
+            }
+            Some(existing) => {
+                if existing.dims() != tensor.dims() {
+                    return Err(ExecError::OutputShapeMismatch {
+                        name,
+                        expected: existing.dims().to_vec(),
+                        got: tensor.dims().to_vec(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(outputs)
+}
+
+fn collect(stmt: &Stmt, f: &mut impl FnMut(&Access, Option<AssignOp>)) {
+    match stmt {
+        Stmt::Block(ss) => {
+            for s in ss {
+                collect(s, f);
+            }
+        }
+        Stmt::Loop { body, .. } | Stmt::If { body, .. } | Stmt::Workspace { body, .. } => {
+            collect(body, f)
+        }
+        Stmt::Let { value, body, .. } => {
+            for a in value.accesses() {
+                f(a, None);
+            }
+            collect(body, f);
+        }
+        Stmt::Assign { lhs, op, rhs } => {
+            if let Lhs::Tensor(a) = lhs {
+                f(a, Some(*op));
+            }
+            for a in rhs.accesses() {
+                f(a, None);
+            }
+        }
+    }
+}
+
+/// Materializes every derived input variant a program mentions —
+/// transposes (`B_T`, from the concordize pass) and diagonal splits
+/// (`A_diag` / `A_nondiag`, from the diagonal-splitting pass) — from the
+/// base tensors in `base`. Returns only the derived variants; merge them
+/// with the base map before calling [`crate::run`].
+///
+/// # Errors
+///
+/// Returns [`ExecError::UnknownTensor`] if a variant's base tensor is
+/// missing, and propagates tensor-library failures for invalid
+/// permutations.
+pub fn prepare_variants(
+    stmt: &Stmt,
+    base: &HashMap<String, Tensor>,
+) -> Result<HashMap<String, Tensor>, ExecError> {
+    let mut variants: HashMap<String, Tensor> = HashMap::new();
+    let mut refs: Vec<TensorRef> = Vec::new();
+    collect(stmt, &mut |access, _| {
+        if !access.tensor.is_base() && !refs.contains(&access.tensor) {
+            refs.push(access.tensor.clone());
+        }
+    });
+    for tref in refs {
+        let display = tref.display_name();
+        if variants.contains_key(&display) {
+            continue;
+        }
+        // Write-target variants (e.g. a transposed output C_T) are
+        // allocated by `alloc_outputs`, not materialized from inputs.
+        let Some(base_tensor) = base.get(&tref.name) else {
+            continue;
+        };
+        let tensor = materialize(base_tensor, &tref)
+            .map_err(|_| ExecError::UnknownTensor { name: display.clone() })?;
+        variants.insert(display, tensor);
+    }
+    Ok(variants)
+}
+
+fn materialize(base: &Tensor, tref: &TensorRef) -> Result<Tensor, TensorError> {
+    let permuted = if tref.perm.is_empty() { base.clone() } else { base.permuted(&tref.perm)? };
+    match tref.part {
+        TensorPart::All => Ok(permuted),
+        TensorPart::Diagonal | TensorPart::OffDiagonal => {
+            let coo = permuted.to_coo();
+            let modes: Vec<usize> = (0..coo.rank()).collect();
+            let (off, diag) = coo.split_diagonal(&modes);
+            let chosen = if tref.part == TensorPart::Diagonal { diag } else { off };
+            Ok(match &permuted {
+                Tensor::Sparse(s) => Tensor::Sparse(SparseTensor::from_coo(&chosen, s.formats())?),
+                Tensor::Dense(_) => Tensor::Dense(chosen.to_dense()),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systec_ir::build::*;
+    use systec_ir::AssignOp;
+    use systec_tensor::{CooTensor, SparseTensor, CSR};
+
+    fn inputs() -> HashMap<String, Tensor> {
+        let mut coo = CooTensor::new(vec![3, 4]);
+        coo.push(&[0, 1], 1.0);
+        let mut m = HashMap::new();
+        m.insert("A".to_string(), Tensor::Sparse(SparseTensor::from_coo(&coo, &CSR).unwrap()));
+        m.insert("x".to_string(), Tensor::Dense(DenseTensor::zeros(vec![4])));
+        m
+    }
+
+    #[test]
+    fn alloc_infers_shape_and_identity() {
+        let prog = Stmt::loops(
+            [idx("i"), idx("j")],
+            assign(access("y", ["i"]), mul([access("A", ["i", "j"]), access("x", ["j"])])),
+        );
+        let outs = alloc_outputs(&prog, &inputs()).unwrap();
+        assert_eq!(outs["y"].dims(), &[3]);
+        assert_eq!(outs["y"].get(&[0]), 0.0);
+    }
+
+    #[test]
+    fn alloc_min_identity_is_infinity() {
+        let prog = Stmt::loops(
+            [idx("i"), idx("j")],
+            assign_op(
+                access("y", ["i"]),
+                AssignOp::Min,
+                add([access("A", ["i", "j"]), access("x", ["j"])]),
+            ),
+        );
+        let outs = alloc_outputs(&prog, &inputs()).unwrap();
+        assert_eq!(outs["y"].get(&[1]), f64::INFINITY);
+    }
+
+    #[test]
+    fn alloc_scalar_output() {
+        let prog = Stmt::loops(
+            [idx("i"), idx("j")],
+            assign(access("s", [] as [&str; 0]), access("A", ["i", "j"]).into()),
+        );
+        let outs = alloc_outputs(&prog, &inputs()).unwrap();
+        assert_eq!(outs["s"].dims(), &[] as &[usize]);
+    }
+
+    #[test]
+    fn alloc_unknown_extent_is_reported() {
+        let prog = Stmt::loops([idx("k")], assign(access("z", ["k"]), lit(1.0)));
+        assert!(matches!(alloc_outputs(&prog, &inputs()), Err(ExecError::UnknownExtent { .. })));
+    }
+
+    #[test]
+    fn prepare_materializes_transpose() {
+        let a_t = Access {
+            tensor: systec_ir::TensorRef::transposed("A", vec![1, 0]),
+            indices: vec![idx("j"), idx("i")],
+        };
+        let prog = Stmt::loops(
+            [idx("j"), idx("i")],
+            assign(access("y", ["i"]), mul([systec_ir::Expr::Access(a_t), access("x", ["j"]).into()])),
+        );
+        let variants = prepare_variants(&prog, &inputs()).unwrap();
+        let at = variants.get("A_T").expect("A_T materialized");
+        assert_eq!(at.dims(), &[4, 3]);
+        assert_eq!(at.get(&[1, 0]), 1.0);
+    }
+
+    #[test]
+    fn prepare_materializes_diag_split() {
+        let mut coo = CooTensor::new(vec![3, 3]);
+        coo.push(&[0, 0], 1.0);
+        coo.push(&[0, 1], 2.0);
+        let mut base = HashMap::new();
+        base.insert("A".to_string(), Tensor::Sparse(SparseTensor::from_coo(&coo, &CSR).unwrap()));
+        base.insert("x".to_string(), Tensor::Dense(DenseTensor::zeros(vec![3])));
+
+        let mut diag_ref = systec_ir::TensorRef::base("A");
+        diag_ref.part = TensorPart::Diagonal;
+        let a_diag = Access { tensor: diag_ref, indices: vec![idx("i"), idx("j")] };
+        let prog = Stmt::loops(
+            [idx("i"), idx("j")],
+            assign(access("y", ["i"]), mul([systec_ir::Expr::Access(a_diag), access("x", ["j"]).into()])),
+        );
+        let variants = prepare_variants(&prog, &base).unwrap();
+        let d = variants.get("A_diag").expect("A_diag materialized");
+        assert_eq!(d.get(&[0, 0]), 1.0);
+        assert_eq!(d.get(&[0, 1]), 0.0);
+    }
+}

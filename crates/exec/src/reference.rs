@@ -1,0 +1,240 @@
+//! Brute-force reference evaluation of einsums, for validation.
+//!
+//! Every kernel in the test suite — naive, symmetrized, optimized,
+//! baseline — is checked against this evaluator on random inputs. It
+//! iterates the *full* cartesian index space with no sparsity or symmetry
+//! tricks, so it is slow and trustworthy.
+
+use std::collections::HashMap;
+
+use systec_ir::{AssignOp, Einsum, Expr, Index};
+use systec_tensor::{DenseTensor, Tensor};
+
+use crate::ExecError;
+
+/// Evaluates an einsum by brute force over the full index space,
+/// returning the dense output.
+///
+/// For `min=`/`max=` reductions, unstored coordinates of *sparse* inputs
+/// are treated as the reduction identity (the tropical fill convention,
+/// matching Finch's `Element(Inf)` and our executor's driver semantics);
+/// for `+=`, unstored reads are `0.0` and annihilate products naturally.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] for unbound tensors, rank mismatches, or
+/// conflicting extents.
+///
+/// # Panics
+///
+/// Panics if the einsum's right-hand side references `let`-bound scalars
+/// (einsum inputs never do).
+pub fn reference_einsum(
+    einsum: &Einsum,
+    inputs: &HashMap<String, Tensor>,
+) -> Result<DenseTensor, ExecError> {
+    // Infer extents.
+    let mut extents: HashMap<Index, usize> = HashMap::new();
+    let mut rhs_accesses = einsum.rhs.accesses();
+    rhs_accesses.sort_by_key(|a| a.tensor.display_name());
+    for access in &rhs_accesses {
+        let name = access.tensor.display_name();
+        let tensor = inputs.get(&name).ok_or(ExecError::UnknownTensor { name: name.clone() })?;
+        if tensor.rank() != access.indices.len() {
+            return Err(ExecError::AccessRankMismatch {
+                name,
+                rank: tensor.rank(),
+                subscripts: access.indices.len(),
+            });
+        }
+        for (mode, index) in access.indices.iter().enumerate() {
+            let extent = tensor.dims()[mode];
+            match extents.get(index) {
+                Some(&prev) if prev != extent => {
+                    return Err(ExecError::ExtentMismatch { index: index.clone(), a: prev, b: extent })
+                }
+                _ => {
+                    extents.insert(index.clone(), extent);
+                }
+            }
+        }
+    }
+    let out_dims: Result<Vec<usize>, ExecError> = einsum
+        .output
+        .indices
+        .iter()
+        .map(|i| extents.get(i).copied().ok_or_else(|| ExecError::UnknownExtent { index: i.clone() }))
+        .collect();
+    let init = einsum.op.identity().unwrap_or(0.0);
+    let mut out = DenseTensor::filled(out_dims?, init);
+
+    let order = &einsum.loop_order;
+    let sizes: Result<Vec<usize>, ExecError> = order
+        .iter()
+        .map(|i| extents.get(i).copied().ok_or_else(|| ExecError::UnknownExtent { index: i.clone() }))
+        .collect();
+    let sizes = sizes?;
+    if sizes.contains(&0) {
+        return Ok(out);
+    }
+
+    let tropical = matches!(einsum.op, AssignOp::Min | AssignOp::Max);
+    let mut env: HashMap<Index, usize> = order.iter().map(|i| (i.clone(), 0)).collect();
+    let mut coords = vec![0usize; order.len()];
+    'space: loop {
+        for (k, i) in order.iter().enumerate() {
+            env.insert(i.clone(), coords[k]);
+        }
+        // Tropical fill: skip when a sparse access is unstored.
+        let skip = tropical
+            && einsum.rhs.accesses().iter().any(|a| {
+                let name = a.tensor.display_name();
+                match &inputs[&name] {
+                    Tensor::Sparse(s) => {
+                        let c: Vec<usize> = a.indices.iter().map(|i| env[i]).collect();
+                        !is_stored(s, &c)
+                    }
+                    Tensor::Dense(_) => false,
+                }
+            });
+        if !skip {
+            let v = eval(&einsum.rhs, inputs, &env);
+            let out_coords: Vec<usize> =
+                einsum.output.indices.iter().map(|i| env[i]).collect();
+            let cell = out.get_mut(&out_coords);
+            *cell = einsum.op.apply(*cell, v);
+        }
+        // Odometer.
+        let mut k = order.len();
+        loop {
+            if k == 0 {
+                break 'space;
+            }
+            k -= 1;
+            coords[k] += 1;
+            if coords[k] < sizes[k] {
+                break;
+            }
+            coords[k] = 0;
+        }
+    }
+    Ok(out)
+}
+
+fn is_stored(s: &systec_tensor::SparseTensor, coords: &[usize]) -> bool {
+    let mut pos = 0usize;
+    for (level, &c) in coords.iter().enumerate() {
+        match s.level_find(level, pos, c) {
+            Some(next) => pos = next,
+            None => return false,
+        }
+    }
+    true
+}
+
+fn eval(expr: &Expr, inputs: &HashMap<String, Tensor>, env: &HashMap<Index, usize>) -> f64 {
+    match expr {
+        Expr::Literal(v) => *v,
+        Expr::Scalar(name) => panic!("reference evaluation does not support scalars ({name})"),
+        Expr::Access(a) => {
+            let name = a.tensor.display_name();
+            let coords: Vec<usize> = a.indices.iter().map(|i| env[i]).collect();
+            inputs[&name].get(&coords)
+        }
+        Expr::Call { op, args } => {
+            let mut it = args.iter();
+            let mut acc = eval(it.next().expect("nonempty call"), inputs, env);
+            for arg in it {
+                acc = op.apply(acc, eval(arg, inputs, env));
+            }
+            acc
+        }
+        Expr::CmpVal { op, lhs, rhs } => {
+            if op.eval(env[lhs], env[rhs]) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Expr::Lookup { table, index } => {
+            let i = eval(index, inputs, env) as usize;
+            table.get(i).copied().unwrap_or(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systec_ir::build::*;
+    use systec_tensor::{CooTensor, SparseTensor, CSR};
+
+    fn setup() -> HashMap<String, Tensor> {
+        let mut coo = CooTensor::new(vec![3, 3]);
+        coo.push(&[0, 1], 2.0);
+        coo.push(&[1, 2], 3.0);
+        coo.push(&[2, 2], 4.0);
+        let mut m = HashMap::new();
+        m.insert("A".to_string(), Tensor::Sparse(SparseTensor::from_coo(&coo, &CSR).unwrap()));
+        m.insert(
+            "x".to_string(),
+            Tensor::Dense(DenseTensor::from_vec(vec![3], vec![1.0, 10.0, 100.0]).unwrap()),
+        );
+        m
+    }
+
+    #[test]
+    fn reference_spmv() {
+        let e = Einsum::new(
+            access("y", ["i"]),
+            AssignOp::Add,
+            mul([access("A", ["i", "j"]), access("x", ["j"])]),
+            [idx("j"), idx("i")],
+        );
+        let y = reference_einsum(&e, &setup()).unwrap();
+        assert_eq!(y.get(&[0]), 20.0);
+        assert_eq!(y.get(&[1]), 300.0);
+        assert_eq!(y.get(&[2]), 400.0);
+    }
+
+    #[test]
+    fn reference_scalar_output() {
+        // s[] += A[i, j] — sums all entries.
+        let e = Einsum::new(
+            access("s", [] as [&str; 0]),
+            AssignOp::Add,
+            access("A", ["i", "j"]).into(),
+            [idx("j"), idx("i")],
+        );
+        let s = reference_einsum(&e, &setup()).unwrap();
+        assert_eq!(s.get(&[]), 9.0);
+    }
+
+    #[test]
+    fn reference_min_plus_uses_tropical_fill() {
+        let e = Einsum::new(
+            access("y", ["i"]),
+            AssignOp::Min,
+            add([access("A", ["i", "j"]), access("x", ["j"])]),
+            [idx("j"), idx("i")],
+        );
+        let y = reference_einsum(&e, &setup()).unwrap();
+        assert_eq!(y.get(&[0]), 12.0); // A[0,1] + x[1]
+        assert_eq!(y.get(&[1]), 103.0); // A[1,2] + x[2]
+        assert_eq!(y.get(&[2]), 104.0);
+    }
+
+    #[test]
+    fn reference_rejects_unknown_tensor() {
+        let e = Einsum::new(
+            access("y", ["i"]),
+            AssignOp::Add,
+            access("missing", ["i"]).into(),
+            [idx("i")],
+        );
+        assert!(matches!(
+            reference_einsum(&e, &setup()),
+            Err(ExecError::UnknownTensor { .. })
+        ));
+    }
+}

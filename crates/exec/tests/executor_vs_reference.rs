@@ -1,0 +1,147 @@
+//! The executor must agree with brute-force reference evaluation on the
+//! naive lowering of random einsums over random sparse/dense inputs.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use systec_exec::{alloc_outputs, reference::reference_einsum, run};
+use systec_ir::build::*;
+use systec_ir::{AssignOp, Einsum};
+use systec_tensor::{CooTensor, DenseTensor, LevelFormat, SparseTensor, Tensor};
+
+fn sparse_matrix(n: usize, entries: &[(usize, usize, f64)], fmts: &[LevelFormat]) -> Tensor {
+    let mut coo = CooTensor::new(vec![n, n]);
+    for &(i, j, v) in entries {
+        if i < n && j < n {
+            coo.set(&[i, j], v);
+        }
+    }
+    Tensor::Sparse(SparseTensor::from_coo(&coo, fmts).unwrap())
+}
+
+fn entries_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec((0..n, 0..n, 0.25f64..4.0), 0..=(n * n).min(14))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spmv_matches_reference(n in 2usize..6, entries in entries_strategy(5), xs in prop::collection::vec(0.0f64..3.0, 6)) {
+        let einsum = Einsum::new(
+            access("y", ["i"]),
+            AssignOp::Add,
+            mul([access("A", ["i", "j"]), access("x", ["j"])]),
+            [idx("i"), idx("j")],
+        );
+        let mut inputs = HashMap::new();
+        inputs.insert("A".to_string(), sparse_matrix(n, &entries, &[LevelFormat::Dense, LevelFormat::Sparse]));
+        inputs.insert("x".to_string(), Tensor::Dense(DenseTensor::from_vec(vec![n], xs[..n].to_vec()).unwrap()));
+        let expected = reference_einsum(&einsum, &inputs).unwrap();
+        let prog = einsum.naive_program();
+        let mut outputs = alloc_outputs(&prog, &inputs).unwrap();
+        run(&prog, &inputs, &mut outputs).unwrap();
+        prop_assert!(outputs["y"].max_abs_diff(&expected).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn spmv_all_sparse_format_matches_reference(n in 2usize..6, entries in entries_strategy(5)) {
+        let einsum = Einsum::new(
+            access("y", ["i"]),
+            AssignOp::Add,
+            mul([access("A", ["i", "j"]), access("x", ["j"])]),
+            [idx("i"), idx("j")],
+        );
+        let mut inputs = HashMap::new();
+        inputs.insert("A".to_string(), sparse_matrix(n, &entries, &[LevelFormat::Sparse, LevelFormat::Sparse]));
+        inputs.insert("x".to_string(), Tensor::Dense(DenseTensor::filled(vec![n], 1.5)));
+        let expected = reference_einsum(&einsum, &inputs).unwrap();
+        let prog = einsum.naive_program();
+        let mut outputs = alloc_outputs(&prog, &inputs).unwrap();
+        run(&prog, &inputs, &mut outputs).unwrap();
+        prop_assert!(outputs["y"].max_abs_diff(&expected).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn discordant_order_matches_reference(n in 2usize..6, entries in entries_strategy(5)) {
+        // Loop order (j, i) over a row-major CSR A forces random access.
+        let einsum = Einsum::new(
+            access("y", ["i"]),
+            AssignOp::Add,
+            mul([access("A", ["i", "j"]), access("x", ["j"])]),
+            [idx("j"), idx("i")],
+        );
+        let mut inputs = HashMap::new();
+        inputs.insert("A".to_string(), sparse_matrix(n, &entries, &[LevelFormat::Dense, LevelFormat::Sparse]));
+        inputs.insert("x".to_string(), Tensor::Dense(DenseTensor::filled(vec![n], 2.0)));
+        let expected = reference_einsum(&einsum, &inputs).unwrap();
+        let prog = einsum.naive_program();
+        let mut outputs = alloc_outputs(&prog, &inputs).unwrap();
+        run(&prog, &inputs, &mut outputs).unwrap();
+        prop_assert!(outputs["y"].max_abs_diff(&expected).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn min_plus_matches_reference(n in 2usize..6, entries in entries_strategy(5), ds in prop::collection::vec(0.0f64..9.0, 6)) {
+        let einsum = Einsum::new(
+            access("y", ["i"]),
+            AssignOp::Min,
+            add([access("A", ["i", "j"]), access("d", ["j"])]),
+            [idx("i"), idx("j")],
+        );
+        let mut inputs = HashMap::new();
+        inputs.insert("A".to_string(), sparse_matrix(n, &entries, &[LevelFormat::Dense, LevelFormat::Sparse]));
+        inputs.insert("d".to_string(), Tensor::Dense(DenseTensor::from_vec(vec![n], ds[..n].to_vec()).unwrap()));
+        let expected = reference_einsum(&einsum, &inputs).unwrap();
+        let prog = einsum.naive_program();
+        let mut outputs = alloc_outputs(&prog, &inputs).unwrap();
+        run(&prog, &inputs, &mut outputs).unwrap();
+        prop_assert!(outputs["y"].max_abs_diff(&expected).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn three_tensor_product_matches_reference(n in 2usize..5, entries in entries_strategy(4), xs in prop::collection::vec(0.1f64..2.0, 5)) {
+        // SYPRD: s[] += x[i] * A[i, j] * x[j]
+        let einsum = Einsum::new(
+            access("s", [] as [&str; 0]),
+            AssignOp::Add,
+            mul([access("x", ["i"]), access("A", ["i", "j"]), access("x", ["j"])]),
+            [idx("i"), idx("j")],
+        );
+        let mut inputs = HashMap::new();
+        inputs.insert("A".to_string(), sparse_matrix(n, &entries, &[LevelFormat::Dense, LevelFormat::Sparse]));
+        inputs.insert("x".to_string(), Tensor::Dense(DenseTensor::from_vec(vec![n], xs[..n].to_vec()).unwrap()));
+        let expected = reference_einsum(&einsum, &inputs).unwrap();
+        let prog = einsum.naive_program();
+        let mut outputs = alloc_outputs(&prog, &inputs).unwrap();
+        run(&prog, &inputs, &mut outputs).unwrap();
+        prop_assert!((outputs["s"].get(&[]) - expected.get(&[])).abs() < 1e-10);
+    }
+
+    #[test]
+    fn csf3_contraction_matches_reference(n in 2usize..4, triples in prop::collection::vec((0usize..3, 0usize..3, 0usize..3, 0.25f64..2.0), 0..10)) {
+        // C[i, j] += A[i, k, l] * B[k, j] * B[l, j]  (3-d MTTKRP shape)
+        let mut coo = CooTensor::new(vec![n, n, n]);
+        for &(i, k, l, v) in &triples {
+            if i < n && k < n && l < n {
+                coo.set(&[i, k, l], v);
+            }
+        }
+        let a = Tensor::Sparse(SparseTensor::from_coo(&coo, &systec_tensor::csf(3)).unwrap());
+        let b = Tensor::Dense(DenseTensor::filled(vec![n, 2], 0.5));
+        let einsum = Einsum::new(
+            access("C", ["i", "j"]),
+            AssignOp::Add,
+            mul([access("A", ["i", "k", "l"]), access("B", ["k", "j"]), access("B", ["l", "j"])]),
+            [idx("i"), idx("k"), idx("l"), idx("j")],
+        );
+        let mut inputs = HashMap::new();
+        inputs.insert("A".to_string(), a);
+        inputs.insert("B".to_string(), b);
+        let expected = reference_einsum(&einsum, &inputs).unwrap();
+        let prog = einsum.naive_program();
+        let mut outputs = alloc_outputs(&prog, &inputs).unwrap();
+        run(&prog, &inputs, &mut outputs).unwrap();
+        prop_assert!(outputs["C"].max_abs_diff(&expected).unwrap() < 1e-10);
+    }
+}

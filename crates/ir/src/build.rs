@@ -1,0 +1,133 @@
+//! Convenience constructors for hand-writing programs and tests.
+//!
+//! These free functions keep test code and examples close to the paper's
+//! notation:
+//!
+//! ```
+//! use systec_ir::build::*;
+//! use systec_ir::Stmt;
+//!
+//! // for j, i: if i <= j: y[i] += A[i, j] * x[j]
+//! let s = Stmt::loops(
+//!     [idx("j"), idx("i")],
+//!     Stmt::guarded(le("i", "j"), assign(access("y", ["i"]), mul([access("A", ["i", "j"]), access("x", ["j"])]))),
+//! );
+//! assert!(s.to_string().contains("if i <= j"));
+//! ```
+
+use crate::{Access, AssignOp, BinOp, CmpOp, Cond, Expr, Index, Stmt};
+
+/// Creates an [`Index`] from a name.
+pub fn idx(name: &str) -> Index {
+    Index::new(name)
+}
+
+/// Creates a base-tensor [`Access`].
+pub fn access<'a>(tensor: &str, indices: impl IntoIterator<Item = &'a str>) -> Access {
+    Access::new(tensor, indices.into_iter().map(Index::new))
+}
+
+/// Creates a literal expression.
+pub fn lit(v: f64) -> Expr {
+    Expr::Literal(v)
+}
+
+/// Creates a scalar-variable reference.
+pub fn scalar(name: &str) -> Expr {
+    Expr::Scalar(name.to_string())
+}
+
+/// Creates a flattened n-ary product. Accepts anything convertible to
+/// [`Expr`] (accesses, literals, sub-expressions).
+pub fn mul<E: Into<Expr>>(args: impl IntoIterator<Item = E>) -> Expr {
+    Expr::call(BinOp::Mul, args.into_iter().map(Into::into))
+}
+
+/// Creates a flattened n-ary sum.
+pub fn add<E: Into<Expr>>(args: impl IntoIterator<Item = E>) -> Expr {
+    Expr::call(BinOp::Add, args.into_iter().map(Into::into))
+}
+
+/// Creates an n-ary minimum.
+pub fn min_expr<E: Into<Expr>>(args: impl IntoIterator<Item = E>) -> Expr {
+    Expr::call(BinOp::Min, args.into_iter().map(Into::into))
+}
+
+/// `a < b`
+pub fn lt(a: &str, b: &str) -> Cond {
+    Cond::Cmp(CmpOp::Lt, Index::new(a), Index::new(b))
+}
+
+/// `a <= b`
+pub fn le(a: &str, b: &str) -> Cond {
+    Cond::Cmp(CmpOp::Le, Index::new(a), Index::new(b))
+}
+
+/// `a == b`
+pub fn eq(a: &str, b: &str) -> Cond {
+    Cond::Cmp(CmpOp::Eq, Index::new(a), Index::new(b))
+}
+
+/// `a != b`
+pub fn ne(a: &str, b: &str) -> Cond {
+    Cond::Cmp(CmpOp::Ne, Index::new(a), Index::new(b))
+}
+
+/// `a > b`
+pub fn gt(a: &str, b: &str) -> Cond {
+    Cond::Cmp(CmpOp::Gt, Index::new(a), Index::new(b))
+}
+
+/// `a >= b`
+pub fn ge(a: &str, b: &str) -> Cond {
+    Cond::Cmp(CmpOp::Ge, Index::new(a), Index::new(b))
+}
+
+/// Conjunction of conditions (flattened).
+pub fn and(conds: impl IntoIterator<Item = Cond>) -> Cond {
+    Cond::and(conds)
+}
+
+/// Disjunction of conditions (flattened).
+pub fn or(conds: impl IntoIterator<Item = Cond>) -> Cond {
+    Cond::or(conds)
+}
+
+/// `lhs += rhs` (the default reduction in the paper's kernels).
+pub fn assign(lhs: Access, rhs: Expr) -> Stmt {
+    Stmt::Assign { lhs: lhs.into(), op: AssignOp::Add, rhs }
+}
+
+/// `lhs op= rhs` with an explicit reduction operator.
+pub fn assign_op(lhs: Access, op: AssignOp, rhs: Expr) -> Stmt {
+    Stmt::Assign { lhs: lhs.into(), op, rhs }
+}
+
+/// `lhs = rhs` (overwrite; used by replication loops).
+pub fn store(lhs: Access, rhs: Expr) -> Stmt {
+    Stmt::Assign { lhs: lhs.into(), op: AssignOp::Overwrite, rhs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let s = Stmt::loops(
+            [idx("j"), idx("i")],
+            Stmt::guarded(
+                or([lt("i", "j"), eq("i", "j")]),
+                assign(access("y", ["i"]), mul([access("A", ["i", "j"]), access("x", ["j"])])),
+            ),
+        );
+        let printed = s.to_string();
+        assert!(printed.contains("if i < j || i == j"), "got:\n{printed}");
+    }
+
+    #[test]
+    fn min_builder() {
+        let e = min_expr([lit(3.0), lit(1.0)]);
+        assert_eq!(e.to_string(), "min(3, 1)");
+    }
+}

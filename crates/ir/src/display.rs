@@ -1,0 +1,248 @@
+//! Pretty printing of programs in a Finch-like concrete syntax.
+//!
+//! The printed form matches the listings in the paper closely enough that
+//! the pass-by-pass unit tests can assert against transcriptions of the
+//! paper's before/after examples.
+
+use std::fmt;
+
+use crate::{Access, Cond, Expr, Lhs, Stmt};
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.tensor.display_name())?;
+        for (k, i) in self.indices.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{}", *v as i64)
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Expr::Scalar(s) => f.write_str(s),
+            Expr::Access(a) => write!(f, "{a}"),
+            Expr::Call { op, args } => {
+                if op.is_infix() {
+                    for (k, a) in args.iter().enumerate() {
+                        if k > 0 {
+                            write!(f, " {op} ")?;
+                        }
+                        let needs_parens = matches!(a, Expr::Call { op: inner, .. } if inner.is_infix() && inner != op);
+                        if needs_parens {
+                            write!(f, "({a})")?;
+                        } else {
+                            write!(f, "{a}")?;
+                        }
+                    }
+                    Ok(())
+                } else {
+                    write!(f, "{op}(")?;
+                    for (k, a) in args.iter().enumerate() {
+                        if k > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")
+                }
+            }
+            Expr::CmpVal { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Expr::Lookup { table, index } => {
+                write!(f, "[")?;
+                for (k, v) in table.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "][{index}]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::True => f.write_str("true"),
+            Cond::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            Cond::And(cs) => {
+                for (k, c) in cs.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, " && ")?;
+                    }
+                    if matches!(c, Cond::Or(_)) {
+                        write!(f, "({c})")?;
+                    } else {
+                        write!(f, "{c}")?;
+                    }
+                }
+                Ok(())
+            }
+            Cond::Or(cs) => {
+                for (k, c) in cs.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, " || ")?;
+                    }
+                    if matches!(c, Cond::And(_)) {
+                        write!(f, "({c})")?;
+                    } else {
+                        write!(f, "{c}")?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Lhs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lhs::Tensor(a) => write!(f, "{a}"),
+            Lhs::Scalar(s) => f.write_str(s),
+        }
+    }
+}
+
+impl Stmt {
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            Stmt::Block(ss) => {
+                for (k, s) in ss.iter().enumerate() {
+                    if k > 0 {
+                        writeln!(f)?;
+                    }
+                    s.fmt_indented(f, depth)?;
+                }
+                Ok(())
+            }
+            Stmt::Loop { index, body } => {
+                writeln!(f, "{pad}for {index}:")?;
+                body.fmt_indented(f, depth + 1)
+            }
+            Stmt::If { cond, body } => {
+                writeln!(f, "{pad}if {cond}:")?;
+                body.fmt_indented(f, depth + 1)
+            }
+            Stmt::Let { name, value, body } => {
+                writeln!(f, "{pad}let {name} = {value}:")?;
+                body.fmt_indented(f, depth + 1)
+            }
+            Stmt::Workspace { name, init, body } => {
+                writeln!(f, "{pad}workspace {name} = {init}:")?;
+                body.fmt_indented(f, depth + 1)
+            }
+            Stmt::Assign { lhs, op, rhs } => write!(f, "{pad}{lhs} {op} {rhs}"),
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::*;
+    use crate::{AssignOp, Cond, Expr, Stmt};
+
+    #[test]
+    fn access_display() {
+        assert_eq!(access("A", ["i", "j"]).to_string(), "A[i, j]");
+        assert_eq!(access("y", [] as [&str; 0]).to_string(), "y[]");
+    }
+
+    #[test]
+    fn expr_display_infix_and_parens() {
+        let e = mul([
+            Expr::call(crate::BinOp::Add, [lit(1.0), Expr::from(access("x", ["i"]))]),
+            access("y", ["i"]).into(),
+        ]);
+        assert_eq!(e.to_string(), "(1 + x[i]) * y[i]");
+    }
+
+    #[test]
+    fn expr_display_min() {
+        let e = Expr::call(crate::BinOp::Min, [lit(0.0), Expr::from(access("x", ["i"]))]);
+        assert_eq!(e.to_string(), "min(0, x[i])");
+    }
+
+    #[test]
+    fn cond_display_precedence() {
+        let c = Cond::or([
+            and([eq("i", "k"), ne("k", "l")]),
+            and([ne("i", "k"), eq("k", "l")]),
+        ]);
+        assert_eq!(c.to_string(), "(i == k && k != l) || (i != k && k == l)");
+    }
+
+    #[test]
+    fn stmt_display_full_kernel() {
+        // The optimized SSYMV of Figure 2 (right).
+        let body = Stmt::block([
+            Stmt::guarded(
+                lt("i", "j"),
+                Stmt::Let {
+                    name: "a".into(),
+                    value: access("A", ["i", "j"]).into(),
+                    body: Box::new(Stmt::block([
+                        Stmt::Assign {
+                            lhs: access("y", ["i"]).into(),
+                            op: AssignOp::Add,
+                            rhs: mul([Expr::Scalar("a".into()), access("x", ["j"]).into()]),
+                        },
+                        Stmt::Assign {
+                            lhs: access("y", ["j"]).into(),
+                            op: AssignOp::Add,
+                            rhs: mul([Expr::Scalar("a".into()), access("x", ["i"]).into()]),
+                        },
+                    ])),
+                },
+            ),
+            Stmt::guarded(
+                eq("i", "j"),
+                assign(access("y", ["i"]), mul([access("A", ["i", "j"]), access("x", ["j"])])),
+            ),
+        ]);
+        let s = Stmt::loops([idx("j"), idx("i")], body);
+        let expected = "\
+for j:
+  for i:
+    if i < j:
+      let a = A[i, j]:
+        y[i] += a * x[j]
+        y[j] += a * x[i]
+    if i == j:
+      y[i] += A[i, j] * x[j]";
+        assert_eq!(s.to_string(), expected);
+    }
+
+    #[test]
+    fn lookup_display() {
+        let e = Expr::Lookup {
+            table: vec![2.0, 0.0, 1.0],
+            index: Box::new(Expr::CmpVal {
+                op: crate::CmpOp::Eq,
+                lhs: idx("i"),
+                rhs: idx("k"),
+            }),
+        };
+        assert_eq!(e.to_string(), "[2, 0, 1][(i == k)]");
+    }
+}

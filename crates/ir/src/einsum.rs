@@ -1,0 +1,167 @@
+//! The pointwise-einsum input language of the SySTeC compiler.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{Access, AssignOp, Expr, Index, Stmt};
+
+/// A single pointwise tensor assignment with an explicit loop order —
+/// the input the SySTeC compiler accepts (paper §4.1):
+///
+/// ```text
+/// O[i1, …, in] ⊕= T1[…] ⊗ … ⊗ Tm[…]
+/// ```
+///
+/// together with the order in which the indices will be looped.
+///
+/// # Examples
+///
+/// ```
+/// use systec_ir::build::*;
+/// use systec_ir::{AssignOp, Einsum};
+///
+/// // SYPRD: y[] += x[i] * A[i, j] * x[j]
+/// let syprd = Einsum::new(
+///     access("y", [] as [&str; 0]),
+///     AssignOp::Add,
+///     mul([access("x", ["i"]), access("A", ["i", "j"]), access("x", ["j"])]),
+///     [idx("j"), idx("i")],
+/// );
+/// assert_eq!(syprd.to_string(), "for j, i: y[] += x[i] * A[i, j] * x[j]");
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Einsum {
+    /// The output access.
+    pub output: Access,
+    /// The reduction operator (`+=`, `min=`, …).
+    pub op: AssignOp,
+    /// The right-hand side.
+    pub rhs: Expr,
+    /// Loop order, outermost first. Must cover every index in the
+    /// assignment.
+    pub loop_order: Vec<Index>,
+}
+
+impl Einsum {
+    /// Creates an einsum and validates that the loop order covers every
+    /// index appearing in the assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index in the assignment is missing from `loop_order`,
+    /// or if `loop_order` mentions an index not in the assignment.
+    pub fn new(
+        output: Access,
+        op: AssignOp,
+        rhs: Expr,
+        loop_order: impl IntoIterator<Item = Index>,
+    ) -> Self {
+        let loop_order: Vec<Index> = loop_order.into_iter().collect();
+        let mut used: BTreeSet<Index> = rhs.indices();
+        used.extend(output.indices.iter().cloned());
+        let ordered: BTreeSet<Index> = loop_order.iter().cloned().collect();
+        assert_eq!(
+            used, ordered,
+            "loop order must mention exactly the indices of the assignment"
+        );
+        assert_eq!(
+            ordered.len(),
+            loop_order.len(),
+            "loop order must not repeat indices"
+        );
+        Einsum { output, op, rhs, loop_order }
+    }
+
+    /// The set of indices appearing in the assignment.
+    pub fn indices(&self) -> BTreeSet<Index> {
+        let mut s = self.rhs.indices();
+        s.extend(self.output.indices.iter().cloned());
+        s
+    }
+
+    /// The reduction indices: those not appearing in the output.
+    pub fn reduction_indices(&self) -> BTreeSet<Index> {
+        let out: BTreeSet<Index> = self.output.indices.iter().cloned().collect();
+        self.indices().difference(&out).cloned().collect()
+    }
+
+    /// Lowers the einsum to the *naive* loop-nest program: the full loop
+    /// nest around the single assignment, with no symmetry exploitation.
+    /// This is the "naive Finch" baseline of the paper's evaluation.
+    pub fn naive_program(&self) -> Stmt {
+        Stmt::loops(
+            self.loop_order.iter().cloned(),
+            Stmt::Assign {
+                lhs: self.output.clone().into(),
+                op: self.op,
+                rhs: self.rhs.clone(),
+            },
+        )
+    }
+}
+
+impl fmt::Display for Einsum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "for ")?;
+        for (k, i) in self.loop_order.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, ": {} {} {}", self.output, self.op, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    fn ssymv() -> Einsum {
+        Einsum::new(
+            access("y", ["i"]),
+            AssignOp::Add,
+            mul([access("A", ["i", "j"]), access("x", ["j"])]),
+            [idx("j"), idx("i")],
+        )
+    }
+
+    #[test]
+    fn indices_and_reduction_indices() {
+        let e = ssymv();
+        let all: Vec<_> = e.indices().iter().map(|i| i.name().to_string()).collect();
+        assert_eq!(all, ["i", "j"]);
+        let red: Vec<_> = e.reduction_indices().iter().map(|i| i.name().to_string()).collect();
+        assert_eq!(red, ["j"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loop order")]
+    fn missing_index_panics() {
+        Einsum::new(
+            access("y", ["i"]),
+            AssignOp::Add,
+            mul([access("A", ["i", "j"]), access("x", ["j"])]),
+            [idx("i")],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "loop order")]
+    fn extra_index_panics() {
+        Einsum::new(
+            access("y", ["i"]),
+            AssignOp::Add,
+            Expr::from(access("x", ["i"])),
+            [idx("i"), idx("j")],
+        );
+    }
+
+    #[test]
+    fn naive_program_shape() {
+        let p = ssymv().naive_program();
+        assert_eq!(p.assignments().len(), 1);
+        assert_eq!(p.to_string(), "for j:\n  for i:\n    y[i] += A[i, j] * x[j]");
+    }
+}

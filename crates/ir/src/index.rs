@@ -1,0 +1,104 @@
+//! Loop-index names.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A loop-index name such as `i`, `j` or `k`.
+///
+/// Indices are cheap to clone (reference-counted) and compare by name.
+/// The derived [`Ord`] is lexicographic on the name, which the compiler
+/// uses as the "predetermined sort order" of the paper's normalization
+/// stage (§4.1, stage 4).
+///
+/// # Examples
+///
+/// ```
+/// use systec_ir::Index;
+///
+/// let i = Index::new("i");
+/// assert_eq!(i.name(), "i");
+/// assert!(i < Index::new("j"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Index(Arc<str>);
+
+impl Index {
+    /// Creates an index with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Index(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the index's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Index {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Index {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Index({})", self.0)
+    }
+}
+
+impl From<&str> for Index {
+    fn from(s: &str) -> Self {
+        Index::new(s)
+    }
+}
+
+impl From<String> for Index {
+    fn from(s: String) -> Self {
+        Index::new(s)
+    }
+}
+
+impl Borrow<str> for Index {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Index {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_roundtrip() {
+        assert_eq!(Index::new("abc").name(), "abc");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = [Index::new("k"), Index::new("i"), Index::new("j")];
+        v.sort();
+        let names: Vec<_> = v.iter().map(Index::name).collect();
+        assert_eq!(names, ["i", "j", "k"]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let i = Index::new("i");
+        assert_eq!(i.to_string(), "i");
+        assert_eq!(format!("{i:?}"), "Index(i)");
+    }
+
+    #[test]
+    fn borrow_allows_str_keyed_lookup() {
+        use std::collections::HashSet;
+        let set: HashSet<Index> = [Index::new("i")].into_iter().collect();
+        assert!(set.contains("i"));
+    }
+}

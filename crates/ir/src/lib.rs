@@ -1,0 +1,68 @@
+//! # systec-ir
+//!
+//! The tensor-program intermediate representation used by the SySTeC
+//! reproduction.
+//!
+//! This crate plays the role that Finch's program syntax plays in the paper
+//! (*SySTeC: A Symmetric Sparse Tensor Compiler*, CGO 2025): it describes
+//! loop nests over (possibly sparse) multidimensional arrays, with the
+//! control flow that symmetric kernels need — conditionals over index
+//! comparisons, multiple outputs per iteration, scalar `let` bindings,
+//! lookup tables, and reduction assignments over arbitrary semirings.
+//!
+//! The IR is deliberately *dense-looking*: loops range over whole
+//! dimensions and accesses look like ordinary subscripts. The executor in
+//! `systec-exec` gives the IR Finch-like semantics, driving loops from
+//! sparse tensor levels and lifting index comparisons into loop bounds.
+//!
+//! ## Layout
+//!
+//! * [`Index`] — interned loop-index names (`i`, `j`, …).
+//! * [`ops`] — element operators ([`BinOp`]), comparison operators
+//!   ([`CmpOp`]) and reduction operators ([`AssignOp`]).
+//! * [`Expr`] / [`Access`] — right-hand-side expressions and tensor reads.
+//! * [`Cond`] — boolean conditions over indices.
+//! * [`Stmt`] — statements: loops, conditionals, lets, blocks, assignments.
+//! * [`Einsum`] — the pointwise-einsum *input language* accepted by the
+//!   SySTeC compiler front end.
+//! * [`build`] — convenience constructors for hand-writing programs.
+//!
+//! ## Example
+//!
+//! Build the naive SSYMV kernel `y[i] += A[i, j] * x[j]`:
+//!
+//! ```
+//! use systec_ir::build::*;
+//! use systec_ir::{AssignOp, Einsum};
+//!
+//! let ssymv = Einsum::new(
+//!     access("y", ["i"]),
+//!     AssignOp::Add,
+//!     mul([access("A", ["i", "j"]), access("x", ["j"])]),
+//!     [idx("j"), idx("i")],
+//! );
+//! assert_eq!(ssymv.to_string(), "for j, i: y[i] += A[i, j] * x[j]");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cond;
+mod display;
+mod einsum;
+mod expr;
+mod index;
+pub mod ops;
+mod parse;
+mod stmt;
+pub mod visit;
+
+pub mod build;
+
+pub use cond::Cond;
+pub use einsum::Einsum;
+pub use expr::{Access, Expr, TensorPart, TensorRef};
+pub use index::Index;
+pub use parse::{parse_einsum, ParseError};
+pub use ops::{AssignOp, BinOp, CmpOp};
+pub use stmt::{Lhs, Stmt};

@@ -1,0 +1,339 @@
+//! A text frontend for einsums, in the Finch-like concrete syntax the
+//! pretty printer emits.
+//!
+//! ```text
+//! for i, j: y[i] += A[i, j] * x[j]
+//! for i, j: y[] += x[i] * A[i, j] * x[j]
+//! for i, j: y[i] min= A[i, j] + d[j]
+//! ```
+//!
+//! The grammar is the pointwise-einsum input language of the compiler
+//! (§4.1): one assignment, a product/sum of tensor reads and literals,
+//! and an explicit loop order.
+//!
+//! ```
+//! use systec_ir::parse_einsum;
+//!
+//! let e = parse_einsum("for i, j: y[i] += A[i, j] * x[j]").unwrap();
+//! assert_eq!(e.to_string(), "for i, j: y[i] += A[i, j] * x[j]");
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Access, AssignOp, BinOp, Einsum, Expr, Index};
+
+/// An error raised while parsing an einsum string.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parses an einsum in the `for <order>: <out>[<idx>] <op> <expr>` form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending position for malformed
+/// input, and propagates the einsum validation rules (the loop order
+/// must cover exactly the assignment's indices).
+pub fn parse_einsum(input: &str) -> Result<Einsum, ParseError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    p.expect_keyword("for")?;
+    let mut order = vec![p.ident("loop index")?];
+    while p.eat(',') {
+        order.push(p.ident("loop index")?);
+    }
+    p.expect(':')?;
+    let output = p.parse_access()?;
+    let op = p.parse_assign_op()?;
+    let rhs = p.parse_expr()?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    // Validate via Einsum::new, converting its panic conditions into
+    // parse-level checks first.
+    let mut used = rhs.indices();
+    used.extend(output.indices.iter().cloned());
+    let order_idx: Vec<Index> = order.iter().map(|s| Index::new(s)).collect();
+    let ordered: std::collections::BTreeSet<Index> = order_idx.iter().cloned().collect();
+    if ordered.len() != order_idx.len() {
+        return Err(ParseError { at: 0, message: "loop order repeats an index".into() });
+    }
+    if used != ordered {
+        return Err(ParseError {
+            at: 0,
+            message: format!(
+                "loop order must mention exactly the assignment's indices (order {:?}, used {:?})",
+                order,
+                used.iter().map(|i| i.name().to_string()).collect::<Vec<_>>()
+            ),
+        });
+    }
+    Ok(Einsum::new(output, op, rhs, order_idx))
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { at: self.pos, message: message.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{c}`")))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.rest().starts_with(kw)
+            && !self.input[self.pos + kw.len()..]
+                .starts_with(|c: char| c.is_alphanumeric() || c == '_')
+        {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword `{kw}`")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.rest();
+        let mut len = 0;
+        for c in bytes.chars() {
+            if (len == 0 && (c.is_alphabetic() || c == '_'))
+                || (len > 0 && (c.is_alphanumeric() || c == '_'))
+            {
+                len += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if len == 0 {
+            return Err(self.err(format!("expected {what}")));
+        }
+        self.pos = start + len;
+        Ok(self.input[start..start + len].to_string())
+    }
+
+    fn parse_access(&mut self) -> Result<Access, ParseError> {
+        let name = self.ident("tensor name")?;
+        self.expect('[')?;
+        let mut indices = Vec::new();
+        self.skip_ws();
+        if !self.rest().starts_with(']') {
+            indices.push(Index::new(self.ident("subscript")?));
+            while self.eat(',') {
+                indices.push(Index::new(self.ident("subscript")?));
+            }
+        }
+        self.expect(']')?;
+        Ok(Access { tensor: crate::TensorRef::base(name), indices })
+    }
+
+    fn parse_assign_op(&mut self) -> Result<AssignOp, ParseError> {
+        self.skip_ws();
+        for (text, op) in [
+            ("+=", AssignOp::Add),
+            ("min=", AssignOp::Min),
+            ("max=", AssignOp::Max),
+            ("=", AssignOp::Overwrite),
+        ] {
+            if self.rest().starts_with(text) {
+                self.pos += text.len();
+                return Ok(op);
+            }
+        }
+        Err(self.err("expected an assignment operator (`+=`, `min=`, `max=`, `=`)"))
+    }
+
+    /// `expr := term ('+' term)*` — sums bind loosest.
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut terms = vec![self.parse_term()?];
+        while self.eat('+') {
+            terms.push(self.parse_term()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("nonempty")
+        } else {
+            Expr::call(BinOp::Add, terms)
+        })
+    }
+
+    /// `term := factor ('*' factor)*`
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut factors = vec![self.parse_factor()?];
+        while self.eat('*') {
+            factors.push(self.parse_factor()?);
+        }
+        Ok(if factors.len() == 1 {
+            factors.pop().expect("nonempty")
+        } else {
+            Expr::call(BinOp::Mul, factors)
+        })
+    }
+
+    /// `factor := number | tensor '[' … ']' | '(' expr ')'`
+    fn parse_factor(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        if self.eat('(') {
+            let inner = self.parse_expr()?;
+            self.expect(')')?;
+            return Ok(inner);
+        }
+        if self.rest().starts_with(|c: char| c.is_ascii_digit()) {
+            let start = self.pos;
+            let mut len = 0;
+            for c in self.rest().chars() {
+                if c.is_ascii_digit() || c == '.' {
+                    len += 1;
+                } else {
+                    break;
+                }
+            }
+            self.pos += len;
+            let text = &self.input[start..self.pos];
+            return text
+                .parse::<f64>()
+                .map(Expr::Literal)
+                .map_err(|_| ParseError { at: start, message: format!("bad number `{text}`") });
+        }
+        Ok(Expr::Access(self.parse_access()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ssymv() {
+        let e = parse_einsum("for i, j: y[i] += A[i, j] * x[j]").unwrap();
+        assert_eq!(e.to_string(), "for i, j: y[i] += A[i, j] * x[j]");
+        assert_eq!(e.op, AssignOp::Add);
+    }
+
+    #[test]
+    fn parses_scalar_output_and_three_factors() {
+        let e = parse_einsum("for i, j: y[] += x[i] * A[i, j] * x[j]").unwrap();
+        assert_eq!(e.output.indices.len(), 0);
+        assert_eq!(e.rhs.accesses().len(), 3);
+    }
+
+    #[test]
+    fn parses_min_plus() {
+        let e = parse_einsum("for i, j: y[i] min= A[i, j] + d[j]").unwrap();
+        assert_eq!(e.op, AssignOp::Min);
+        assert_eq!(e.to_string(), "for i, j: y[i] min= A[i, j] + d[j]");
+    }
+
+    #[test]
+    fn parses_literal_factor_and_parens() {
+        let e = parse_einsum("for i, j: y[i] += 2 * (A[i, j] + B[i, j]) * x[j]").unwrap();
+        assert!(e.to_string().contains("2 * (A[i, j] + B[i, j]) * x[j]"), "{e}");
+    }
+
+    #[test]
+    fn parses_mttkrp5() {
+        let e = parse_einsum(
+            "for i, k, l, m, n, j: C[i, j] += A[i, k, l, m, n] * B[k, j] * B[l, j] * B[m, j] * B[n, j]",
+        )
+        .unwrap();
+        assert_eq!(e.rhs.accesses().len(), 5);
+        assert_eq!(e.loop_order.len(), 6);
+    }
+
+    #[test]
+    fn whitespace_is_flexible() {
+        let e = parse_einsum("for i,j:y[i]+=A[i,j]*x[j]").unwrap();
+        assert_eq!(e.to_string(), "for i, j: y[i] += A[i, j] * x[j]");
+    }
+
+    #[test]
+    fn missing_for_is_reported() {
+        let err = parse_einsum("y[i] += A[i, j] * x[j]").unwrap_err();
+        assert!(err.message.contains("for"), "{err}");
+    }
+
+    #[test]
+    fn missing_bracket_is_reported() {
+        let err = parse_einsum("for i, j: y[i] += A[i, j * x[j]").unwrap_err();
+        assert!(err.to_string().contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn wrong_loop_order_is_reported() {
+        let err = parse_einsum("for i: y[i] += A[i, j] * x[j]").unwrap_err();
+        assert!(err.message.contains("loop order"), "{err}");
+    }
+
+    #[test]
+    fn repeated_loop_index_is_reported() {
+        let err = parse_einsum("for i, i: y[i] += A[i, i] * x[i]").unwrap_err();
+        assert!(err.message.contains("repeats"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_reported() {
+        let err = parse_einsum("for i, j: y[i] += A[i, j] * x[j] garbage").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        for text in [
+            "for i, j: y[i] += A[i, j] * x[j]",
+            "for i, j, k: C[i, j] += A[i, k] * A[j, k]",
+            "for j, k, l, i: C[i, j, l] += A[k, j, l] * B[k, i]",
+            "for i, j: y[i] min= A[i, j] + d[j]",
+            "for i, j: y[i] max= A[i, j] + d[j]",
+            "for i, j: y[i, j] = A[i, j]",
+        ] {
+            let e = parse_einsum(text).unwrap();
+            assert_eq!(e.to_string(), text);
+            let again = parse_einsum(&e.to_string()).unwrap();
+            assert_eq!(again, e, "display must re-parse to the same einsum");
+        }
+    }
+}

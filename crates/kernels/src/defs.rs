@@ -1,0 +1,295 @@
+//! Definitions of the paper's evaluation kernels.
+
+use std::collections::HashMap;
+
+use systec_core::{SymmetryPartition, SymmetrySpec};
+use systec_ir::build::*;
+use systec_ir::{AssignOp, Einsum};
+use systec_tensor::{csf, CooTensor, DenseTensor, LevelFormat, SparseTensor, Tensor, TensorError};
+
+/// How a kernel input is stored.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InputFormat {
+    /// Dense strided storage.
+    Dense,
+    /// Compressed storage with the given per-mode level formats.
+    Compressed(Vec<LevelFormat>),
+}
+
+/// Raw input data accepted by [`KernelDef::inputs`]: coordinates are
+/// packed into the kernel's declared format, dense tensors pass through.
+#[derive(Clone, PartialEq, Debug)]
+pub enum InputData {
+    /// Coordinate data (packed according to the kernel's format).
+    Coo(CooTensor),
+    /// Dense data.
+    Dense(DenseTensor),
+}
+
+impl From<CooTensor> for InputData {
+    fn from(c: CooTensor) -> Self {
+        InputData::Coo(c)
+    }
+}
+
+impl From<DenseTensor> for InputData {
+    fn from(d: DenseTensor) -> Self {
+        InputData::Dense(d)
+    }
+}
+
+/// One of the paper's kernels: the einsum, its symmetry declarations,
+/// and the storage format of each input.
+#[derive(Clone, PartialEq, Debug)]
+pub struct KernelDef {
+    /// Kernel name (`"ssymv"`, `"mttkrp3"`, …).
+    pub name: &'static str,
+    /// The pointwise einsum.
+    pub einsum: Einsum,
+    /// Declared input symmetries.
+    pub symmetry: SymmetrySpec,
+    /// Per-input storage formats.
+    pub formats: HashMap<String, InputFormat>,
+}
+
+impl KernelDef {
+    /// Packs raw input data into the kernel's declared formats.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if packing fails (format arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input name is not declared by the kernel.
+    pub fn inputs<const N: usize>(
+        &self,
+        data: [(&str, InputData); N],
+    ) -> Result<HashMap<String, Tensor>, TensorError> {
+        let mut out = HashMap::new();
+        for (name, value) in data {
+            let format = self
+                .formats
+                .get(name)
+                .unwrap_or_else(|| panic!("kernel {} has no input named {name}", self.name));
+            let tensor = match (format, value) {
+                (InputFormat::Dense, InputData::Dense(d)) => Tensor::Dense(d),
+                (InputFormat::Dense, InputData::Coo(c)) => Tensor::Dense(c.to_dense()),
+                (InputFormat::Compressed(fmts), InputData::Coo(c)) => {
+                    Tensor::Sparse(SparseTensor::from_coo(&c, fmts)?)
+                }
+                (InputFormat::Compressed(fmts), InputData::Dense(d)) => {
+                    Tensor::Sparse(SparseTensor::from_coo(&CooTensor::from_dense(&d), fmts)?)
+                }
+            };
+            out.insert(name.to_string(), tensor);
+        }
+        Ok(out)
+    }
+}
+
+fn compressed(rank: usize) -> InputFormat {
+    InputFormat::Compressed(csf(rank))
+}
+
+/// SSYMV (§5.2.1): `y[i] += A[i, j] * x[j]`, symmetric compressed `A`,
+/// dense `x` and `y`.
+pub fn ssymv() -> KernelDef {
+    KernelDef {
+        name: "ssymv",
+        einsum: Einsum::new(
+            access("y", ["i"]),
+            AssignOp::Add,
+            mul([access("A", ["i", "j"]), access("x", ["j"])]),
+            [idx("i"), idx("j")],
+        ),
+        symmetry: SymmetrySpec::new().with_full("A", 2),
+        formats: HashMap::from([
+            ("A".to_string(), compressed(2)),
+            ("x".to_string(), InputFormat::Dense),
+        ]),
+    }
+}
+
+/// Bellman-Ford update (§5.2.2): `y[i] min= A[i, j] + d[j]` over the
+/// tropical semiring; `A` holds symmetric edge distances.
+pub fn bellman_ford() -> KernelDef {
+    KernelDef {
+        name: "bellman_ford",
+        einsum: Einsum::new(
+            access("y", ["i"]),
+            AssignOp::Min,
+            add([access("A", ["i", "j"]), access("d", ["j"])]),
+            [idx("i"), idx("j")],
+        ),
+        symmetry: SymmetrySpec::new().with_full("A", 2),
+        formats: HashMap::from([
+            ("A".to_string(), compressed(2)),
+            ("d".to_string(), InputFormat::Dense),
+        ]),
+    }
+}
+
+/// SYPRD (§5.2.3): `y[] += x[i] * A[i, j] * x[j]` — the symmetric triple
+/// product, a scalar output with invisible `{{i, j}}` symmetry.
+pub fn syprd() -> KernelDef {
+    KernelDef {
+        name: "syprd",
+        einsum: Einsum::new(
+            access("y", [] as [&str; 0]),
+            AssignOp::Add,
+            mul([access("x", ["i"]), access("A", ["i", "j"]), access("x", ["j"])]),
+            [idx("i"), idx("j")],
+        ),
+        symmetry: SymmetrySpec::new().with_full("A", 2),
+        formats: HashMap::from([
+            ("A".to_string(), compressed(2)),
+            ("x".to_string(), InputFormat::Dense),
+        ]),
+    }
+}
+
+/// SSYRK (§5.2.4): `C[i, j] += A[i, k] * A[j, k]` — `A` is *not*
+/// symmetric, but `C` is by construction (visible output symmetry).
+pub fn ssyrk() -> KernelDef {
+    KernelDef {
+        name: "ssyrk",
+        einsum: Einsum::new(
+            access("C", ["i", "j"]),
+            AssignOp::Add,
+            mul([access("A", ["i", "k"]), access("A", ["j", "k"])]),
+            [idx("i"), idx("j"), idx("k")],
+        ),
+        symmetry: SymmetrySpec::new(),
+        formats: HashMap::from([("A".to_string(), compressed(2))]),
+    }
+}
+
+/// TTM (§5.2.5): `C[i, j, l] += A[k, j, l] * B[k, i]`, fully symmetric
+/// 3-d compressed `A`, dense `B` and `C`.
+pub fn ttm() -> KernelDef {
+    KernelDef {
+        name: "ttm",
+        einsum: Einsum::new(
+            access("C", ["i", "j", "l"]),
+            AssignOp::Add,
+            mul([access("A", ["k", "j", "l"]), access("B", ["k", "i"])]),
+            [idx("j"), idx("k"), idx("l"), idx("i")],
+        ),
+        symmetry: SymmetrySpec::new().with_full("A", 3),
+        formats: HashMap::from([
+            ("A".to_string(), compressed(3)),
+            ("B".to_string(), InputFormat::Dense),
+        ]),
+    }
+}
+
+/// MTTKRP (§5.2.6) of the given tensor order (3, 4 or 5):
+/// `C[i, j] += A[i, k, l, …] * B[k, j] * B[l, j] * …` with fully
+/// symmetric compressed `A` and a shared dense factor matrix `B`
+/// (symmetric CPD uses one factor matrix for all modes).
+///
+/// # Panics
+///
+/// Panics unless `order` is 3, 4 or 5.
+pub fn mttkrp(order: usize) -> KernelDef {
+    assert!((3..=5).contains(&order), "paper evaluates MTTKRP for orders 3-5");
+    let reduction: Vec<&str> = ["k", "l", "m", "n"][..order - 1].to_vec();
+    let mut a_modes = vec!["i"];
+    a_modes.extend(&reduction);
+    let mut factors = vec![access("A", a_modes.clone())];
+    for r in &reduction {
+        factors.push(access("B", [*r, "j"]));
+    }
+    let mut order_idx: Vec<_> = a_modes.iter().map(|s| idx(s)).collect();
+    order_idx.push(idx("j"));
+    let name: &'static str = match order {
+        3 => "mttkrp3",
+        4 => "mttkrp4",
+        _ => "mttkrp5",
+    };
+    KernelDef {
+        name,
+        einsum: Einsum::new(access("C", ["i", "j"]), AssignOp::Add, mul(factors), order_idx),
+        symmetry: SymmetrySpec::new().with_full("A", order),
+        formats: HashMap::from([
+            ("A".to_string(), compressed(order)),
+            ("B".to_string(), InputFormat::Dense),
+        ]),
+    }
+}
+
+/// A partially symmetric TTM variant used by tests and the extension
+/// benchmarks: `A` is `{{1, 2}}`-symmetric only.
+pub fn ttm_partial() -> KernelDef {
+    let mut def = ttm();
+    def.name = "ttm_partial";
+    def.symmetry = SymmetrySpec::new().with_partition(
+        "A",
+        SymmetryPartition::from_parts(vec![vec![0], vec![1, 2]])
+            .expect("static partition is valid"),
+    );
+    def
+}
+
+/// All kernels of the paper's evaluation, in figure order.
+pub fn all() -> Vec<KernelDef> {
+    vec![ssymv(), bellman_ford(), syprd(), ssyrk(), ttm(), mttkrp(3), mttkrp(4), mttkrp(5)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_construct() {
+        let ks = all();
+        assert_eq!(ks.len(), 8);
+        let names: Vec<&str> = ks.iter().map(|k| k.name).collect();
+        assert_eq!(
+            names,
+            ["ssymv", "bellman_ford", "syprd", "ssyrk", "ttm", "mttkrp3", "mttkrp4", "mttkrp5"]
+        );
+    }
+
+    #[test]
+    fn mttkrp_orders() {
+        assert_eq!(mttkrp(3).einsum.rhs.accesses().len(), 3);
+        assert_eq!(mttkrp(5).einsum.rhs.accesses().len(), 5);
+        let k5 = mttkrp(5);
+        assert_eq!(k5.einsum.rhs.accesses()[0].rank(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "orders 3-5")]
+    fn mttkrp_rejects_order_6() {
+        mttkrp(6);
+    }
+
+    #[test]
+    fn inputs_pack_to_declared_formats() {
+        let k = ssymv();
+        let mut coo = CooTensor::new(vec![4, 4]);
+        coo.push(&[0, 1], 1.0);
+        coo.push(&[1, 0], 1.0);
+        let inputs = k
+            .inputs([("A", coo.into()), ("x", DenseTensor::zeros(vec![4]).into())])
+            .unwrap();
+        assert!(inputs["A"].as_sparse().is_some());
+        assert!(inputs["x"].as_dense().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no input named")]
+    fn unknown_input_name_panics() {
+        let k = ssymv();
+        let _ = k.inputs([("Q", DenseTensor::zeros(vec![4]).into())]);
+    }
+
+    #[test]
+    fn ttm_partial_has_two_element_chain() {
+        let def = ttm_partial();
+        let kernel = systec_core::Compiler::new().compile(&def.einsum, &def.symmetry).unwrap();
+        assert_eq!(kernel.chain.len(), 2);
+    }
+}

@@ -1,0 +1,243 @@
+//! # systec-rewrite
+//!
+//! A small term-rewriting framework, playing the role RewriteTools.jl
+//! plays for the original SySTeC (paper §5.1: *"SySTeC uses RewriteTools,
+//! the same rewriting package used by Finch, to define a set of
+//! simplification rules"*).
+//!
+//! A [`Rule`] maps a node to `Some(replacement)` when it fires and `None`
+//! when it does not. Rules compose with *strategy combinators*:
+//!
+//! * [`postwalk`] — rewrite bottom-up (children first);
+//! * [`prewalk`] — rewrite top-down (node first, then recurse);
+//! * [`fixpoint`] — repeat a strategy until it stops changing the tree;
+//! * [`chain`] — try rules in order, applying the first that fires.
+//!
+//! The combinators are generic over any tree that implements
+//! [`Rewritable`]; implementations are provided for [`systec_ir::Stmt`]
+//! and [`systec_ir::Expr`].
+//!
+//! ## Example
+//!
+//! Constant-fold `1 * x` down to `x` everywhere in an expression:
+//!
+//! ```
+//! use systec_ir::build::*;
+//! use systec_ir::{BinOp, Expr};
+//! use systec_rewrite::postwalk;
+//!
+//! let drop_unit = |e: &Expr| match e {
+//!     Expr::Call { op: BinOp::Mul, args } => {
+//!         let kept: Vec<Expr> = args.iter().filter(|a| **a != lit(1.0)).cloned().collect();
+//!         (kept.len() < args.len()).then(|| Expr::call(BinOp::Mul, kept))
+//!     }
+//!     _ => None,
+//! };
+//! let e = mul([lit(1.0), access("x", ["i"]).into()]);
+//! assert_eq!(postwalk(e, &drop_unit).to_string(), "x[i]");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use systec_ir::{Expr, Stmt};
+
+/// A tree that the strategy combinators can traverse.
+pub trait Rewritable: Sized + Clone {
+    /// Rebuilds the node with every direct child replaced by `f(child)`.
+    fn rebuild(self, f: &mut dyn FnMut(Self) -> Self) -> Self;
+}
+
+impl Rewritable for Expr {
+    fn rebuild(self, f: &mut dyn FnMut(Self) -> Self) -> Self {
+        self.map_children(&mut |c| f(c))
+    }
+}
+
+impl Rewritable for Stmt {
+    fn rebuild(self, f: &mut dyn FnMut(Self) -> Self) -> Self {
+        self.map_children(&mut |c| f(c))
+    }
+}
+
+/// A rewrite rule: returns `Some(replacement)` if it fires on the node.
+///
+/// Any `Fn(&T) -> Option<T>` is a rule, so rules are usually written as
+/// closures or free functions.
+pub trait Rule<T> {
+    /// Attempts to rewrite `node`.
+    fn try_rewrite(&self, node: &T) -> Option<T>;
+}
+
+impl<T, F: Fn(&T) -> Option<T>> Rule<T> for F {
+    fn try_rewrite(&self, node: &T) -> Option<T> {
+        self(node)
+    }
+}
+
+/// Applies `rule` bottom-up: children are rewritten first, then the rule
+/// is tried (once) on the rebuilt node.
+pub fn postwalk<T: Rewritable>(node: T, rule: &impl Rule<T>) -> T {
+    let rebuilt = node.rebuild(&mut |c| postwalk(c, rule));
+    match rule.try_rewrite(&rebuilt) {
+        Some(next) => next,
+        None => rebuilt,
+    }
+}
+
+/// Applies `rule` top-down: the rule is tried (repeatedly, until it stops
+/// firing) on the node, then the strategy recurses into the children.
+pub fn prewalk<T: Rewritable>(node: T, rule: &impl Rule<T>) -> T {
+    let mut current = node;
+    while let Some(next) = rule.try_rewrite(&current) {
+        current = next;
+    }
+    current.rebuild(&mut |c| prewalk(c, rule))
+}
+
+/// Repeats `strategy` until the tree stops changing (compared with `==`),
+/// with a safety bound of `max_iters` iterations.
+///
+/// # Panics
+///
+/// Panics if the strategy is still making changes after `max_iters`
+/// iterations — a diverging rule set is a compiler bug we want loudly.
+pub fn fixpoint<T: Rewritable + PartialEq>(
+    mut node: T,
+    max_iters: usize,
+    strategy: impl Fn(T) -> T,
+) -> T {
+    for _ in 0..max_iters {
+        let next = strategy(node.clone());
+        if next == node {
+            return node;
+        }
+        node = next;
+    }
+    panic!("rewrite fixpoint did not converge within {max_iters} iterations");
+}
+
+/// Combines rules so the first that fires wins.
+///
+/// ```
+/// use systec_ir::{BinOp, Expr};
+/// use systec_ir::build::*;
+/// use systec_rewrite::{chain, postwalk, Rule};
+///
+/// let r1 = |e: &Expr| (*e == lit(1.0)).then(|| lit(10.0));
+/// let r2 = |e: &Expr| (*e == lit(2.0)).then(|| lit(20.0));
+/// let rule = chain(vec![Box::new(r1) as Box<dyn Rule<Expr>>, Box::new(r2)]);
+/// let e = Expr::call(BinOp::Add, [lit(1.0), lit(2.0)]);
+/// assert_eq!(postwalk(e, &rule).to_string(), "10 + 20");
+/// ```
+pub fn chain<T>(rules: Vec<Box<dyn Rule<T>>>) -> impl Rule<T> {
+    ChainRule { rules }
+}
+
+struct ChainRule<T> {
+    rules: Vec<Box<dyn Rule<T>>>,
+}
+
+impl<T> Rule<T> for ChainRule<T> {
+    fn try_rewrite(&self, node: &T) -> Option<T> {
+        self.rules.iter().find_map(|r| r.try_rewrite(node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systec_ir::build::*;
+    use systec_ir::{BinOp, Cond, Expr, Stmt};
+
+    fn fold_add(e: &Expr) -> Option<Expr> {
+        match e {
+            Expr::Call { op: BinOp::Add, args } => {
+                let vals: Option<Vec<f64>> = args
+                    .iter()
+                    .map(|a| match a {
+                        Expr::Literal(v) => Some(*v),
+                        _ => None,
+                    })
+                    .collect();
+                vals.map(|v| Expr::Literal(v.into_iter().sum()))
+            }
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn postwalk_folds_nested_constants() {
+        let e = Expr::Call {
+            op: BinOp::Add,
+            args: vec![
+                Expr::Call { op: BinOp::Add, args: vec![lit(1.0), lit(2.0)] },
+                lit(3.0),
+            ],
+        };
+        assert_eq!(postwalk(e, &fold_add), lit(6.0));
+    }
+
+    #[test]
+    fn prewalk_applies_at_root_first() {
+        // A rule that only fires at Or-nodes, rewriting them to their first
+        // disjunct — with prewalk only one application is needed at the root.
+        let first = |s: &Stmt| match s {
+            Stmt::If { cond: Cond::Or(cs), body } => Some(Stmt::If {
+                cond: cs[0].clone(),
+                body: body.clone(),
+            }),
+            _ => None,
+        };
+        let s = Stmt::guarded(
+            or([lt("i", "j"), eq("i", "j")]),
+            assign(access("y", ["i"]), lit(1.0)),
+        );
+        let out = prewalk(s, &first);
+        assert!(out.to_string().starts_with("if i < j:"), "got {out}");
+    }
+
+    #[test]
+    fn fixpoint_converges() {
+        // Rule: rewrite literal n (> 0) to n - 1; fixpoint reaches 0.
+        let dec = |e: &Expr| match e {
+            Expr::Literal(v) if *v > 0.0 => Some(Expr::Literal(v - 1.0)),
+            _ => None,
+        };
+        let out = fixpoint(lit(5.0), 100, |e| match dec.try_rewrite(&e) {
+            Some(x) => x,
+            None => e,
+        });
+        assert_eq!(out, lit(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "did not converge")]
+    fn fixpoint_detects_divergence() {
+        let flip = |e: Expr| match e {
+            Expr::Literal(v) => Expr::Literal(-v),
+            other => other,
+        };
+        fixpoint(lit(1.0), 10, flip);
+    }
+
+    #[test]
+    fn chain_first_rule_wins() {
+        let r1 = |e: &Expr| (*e == lit(1.0)).then(|| lit(100.0));
+        let r2 = |e: &Expr| (*e == lit(1.0)).then(|| lit(200.0));
+        let rule = chain(vec![Box::new(r1) as Box<dyn Rule<Expr>>, Box::new(r2)]);
+        assert_eq!(rule.try_rewrite(&lit(1.0)), Some(lit(100.0)));
+    }
+
+    #[test]
+    fn stmt_postwalk_rewrites_blocks() {
+        // Merge adjacent identical assignments inside blocks into one.
+        let dedup = |s: &Stmt| match s {
+            Stmt::Block(ss) if ss.len() == 2 && ss[0] == ss[1] => Some(ss[0].clone()),
+            _ => None,
+        };
+        let a = assign(access("y", ["i"]), lit(1.0));
+        let s = Stmt::Block(vec![a.clone(), a.clone()]);
+        assert_eq!(postwalk(s, &dedup), a);
+    }
+}

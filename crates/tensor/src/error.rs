@@ -1,0 +1,87 @@
+//! Error type for tensor construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while constructing or manipulating tensors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TensorError {
+    /// A coordinate's arity did not match the tensor's rank.
+    RankMismatch {
+        /// Expected rank.
+        expected: usize,
+        /// Supplied arity.
+        got: usize,
+    },
+    /// A coordinate was out of the dimension's range.
+    CoordOutOfBounds {
+        /// The offending mode.
+        mode: usize,
+        /// The coordinate value.
+        coord: usize,
+        /// The dimension extent.
+        dim: usize,
+    },
+    /// The format vector's length did not match the tensor's rank.
+    FormatRankMismatch {
+        /// The tensor's rank.
+        rank: usize,
+        /// The format vector's length.
+        formats: usize,
+    },
+    /// A mode permutation was not a permutation of `0..rank`.
+    InvalidPermutation {
+        /// The offending permutation.
+        perm: Vec<usize>,
+    },
+    /// Two tensors that must agree in shape did not.
+    ShapeMismatch {
+        /// First shape.
+        a: Vec<usize>,
+        /// Second shape.
+        b: Vec<usize>,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::RankMismatch { expected, got } => {
+                write!(f, "coordinate arity {got} does not match tensor rank {expected}")
+            }
+            TensorError::CoordOutOfBounds { mode, coord, dim } => {
+                write!(f, "coordinate {coord} out of bounds for mode {mode} with extent {dim}")
+            }
+            TensorError::FormatRankMismatch { rank, formats } => {
+                write!(f, "format vector of length {formats} does not match tensor rank {rank}")
+            }
+            TensorError::InvalidPermutation { perm } => {
+                write!(f, "invalid mode permutation {perm:?}")
+            }
+            TensorError::ShapeMismatch { a, b } => {
+                write!(f, "shape mismatch: {a:?} vs {b:?}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TensorError::RankMismatch { expected: 2, got: 3 };
+        assert_eq!(e.to_string(), "coordinate arity 3 does not match tensor rank 2");
+        let e = TensorError::CoordOutOfBounds { mode: 1, coord: 9, dim: 4 };
+        assert!(e.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TensorError>();
+    }
+}

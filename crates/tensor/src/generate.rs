@@ -1,0 +1,187 @@
+//! Random tensor generators used by the tests and the benchmark harness.
+//!
+//! The paper evaluates MTTKRP/TTM on *"uniformly distributed symmetric
+//! random sparse tensors of varying sizes and sparsities via an
+//! Erdős–Rényi distribution"* (§5.2), with randomly generated dense factor
+//! matrices. These generators reproduce that workload; [`crate::suite`]
+//! reproduces the matrix suite.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::permutations;
+use crate::{CooTensor, DenseTensor};
+
+/// A seeded RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Generates a fully symmetric sparse tensor of shape `[n; order]` by
+/// Erdős–Rényi sampling: roughly `p * n^order` uniform coordinates are
+/// drawn, each is replicated to **all** permutations with the same value,
+/// so the result satisfies Definition 2.1 exactly.
+///
+/// Values are uniform in `(0, 1]` (never zero, so nnz is deterministic
+/// given the sampled pattern).
+///
+/// # Examples
+///
+/// ```
+/// use systec_tensor::generate::{rng, symmetric_erdos_renyi};
+///
+/// let t = symmetric_erdos_renyi(10, 3, 0.05, &mut rng(42));
+/// assert!(t.is_fully_symmetric());
+/// assert_eq!(t.dims(), &[10, 10, 10]);
+/// ```
+pub fn symmetric_erdos_renyi(n: usize, order: usize, p: f64, rng: &mut impl Rng) -> CooTensor {
+    let total = (n as f64).powi(order as i32);
+    let draws = (p * total).round() as usize;
+    let mut canonical = std::collections::BTreeMap::new();
+    for _ in 0..draws {
+        let mut coords: Vec<usize> = (0..order).map(|_| rng.gen_range(0..n)).collect();
+        coords.sort_unstable();
+        canonical.entry(coords).or_insert_with(|| rng.gen_range(f64::EPSILON..=1.0));
+    }
+    let mut out = CooTensor::new(vec![n; order]);
+    let perms = permutations(order);
+    for (coords, value) in canonical {
+        for perm in &perms {
+            let permuted: Vec<usize> = perm.iter().map(|&k| coords[k]).collect();
+            out.set(&permuted, value);
+        }
+    }
+    out
+}
+
+/// Generates an asymmetric random sparse matrix with (approximately)
+/// `nnz` stored entries at uniform positions, values in `(0, 1]`.
+pub fn sprand(rows: usize, cols: usize, nnz: usize, rng: &mut impl Rng) -> CooTensor {
+    let mut out = CooTensor::new(vec![rows, cols]);
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    let budget = nnz.saturating_mul(20).max(1000);
+    while placed < nnz && attempts < budget {
+        attempts += 1;
+        let r = rng.gen_range(0..rows);
+        let c = rng.gen_range(0..cols);
+        if out.get(&[r, c]) == 0.0 {
+            out.set(&[r, c], rng.gen_range(f64::EPSILON..=1.0));
+            placed += 1;
+        }
+    }
+    out
+}
+
+/// Generates a banded-plus-random sparse square matrix: a fraction
+/// `band_frac` of the entries land within a band of half-width
+/// `bandwidth` around the diagonal, the rest are uniform. This mimics the
+/// mixed structure of the SuiteSparse matrices in Table 2 (FEM/circuit
+/// matrices are band-dominated with scattered off-band entries).
+pub fn banded_sprand(
+    n: usize,
+    nnz: usize,
+    bandwidth: usize,
+    band_frac: f64,
+    rng: &mut impl Rng,
+) -> CooTensor {
+    let mut out = CooTensor::new(vec![n, n]);
+    let bandwidth = bandwidth.max(1).min(n.saturating_sub(1).max(1));
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    let budget = nnz.saturating_mul(20).max(1000);
+    while placed < nnz && attempts < budget {
+        attempts += 1;
+        let (r, c) = if rng.gen_bool(band_frac) {
+            let r = rng.gen_range(0..n);
+            let lo = r.saturating_sub(bandwidth);
+            let hi = (r + bandwidth).min(n - 1);
+            (r, rng.gen_range(lo..=hi))
+        } else {
+            (rng.gen_range(0..n), rng.gen_range(0..n))
+        };
+        if out.get(&[r, c]) == 0.0 {
+            out.set(&[r, c], rng.gen_range(f64::EPSILON..=1.0));
+            placed += 1;
+        }
+    }
+    out
+}
+
+/// Generates a dense tensor with values uniform in `[0, 1)`.
+pub fn random_dense(dims: Vec<usize>, rng: &mut impl Rng) -> DenseTensor {
+    let len: usize = dims.iter().product();
+    let data: Vec<f64> = (0..len).map(|_| rng.gen::<f64>()).collect();
+    DenseTensor::from_vec(dims, data).expect("length is the product of dims by construction")
+}
+
+/// Generates a random *symmetric* dense matrix (for small-scale
+/// reference tests): `M + Mᵀ` over a uniform dense `M`.
+pub fn random_symmetric_dense(n: usize, rng: &mut impl Rng) -> DenseTensor {
+    let mut out = DenseTensor::zeros(vec![n, n]);
+    for i in 0..n {
+        for j in i..n {
+            let v = rng.gen::<f64>();
+            out.set(&[i, j], v);
+            out.set(&[j, i], v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_er_is_symmetric_and_seeded() {
+        let a = symmetric_erdos_renyi(8, 3, 0.1, &mut rng(7));
+        let b = symmetric_erdos_renyi(8, 3, 0.1, &mut rng(7));
+        assert_eq!(a, b, "same seed must reproduce the tensor");
+        assert!(a.is_fully_symmetric());
+        assert!(a.nnz() > 0);
+    }
+
+    #[test]
+    fn symmetric_er_higher_order() {
+        let t = symmetric_erdos_renyi(5, 4, 0.05, &mut rng(3));
+        assert!(t.is_fully_symmetric());
+        assert_eq!(t.dims(), &[5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn sprand_hits_target_nnz() {
+        let m = sprand(50, 50, 200, &mut rng(1));
+        assert_eq!(m.nnz(), 200);
+        assert_eq!(m.dims(), &[50, 50]);
+    }
+
+    #[test]
+    fn banded_sprand_within_dims() {
+        let m = banded_sprand(40, 150, 3, 0.7, &mut rng(2));
+        assert_eq!(m.nnz(), 150);
+        // Majority of entries near the diagonal.
+        let near = m
+            .entries()
+            .filter(|(c, _)| c[0].abs_diff(c[1]) <= 3)
+            .count();
+        assert!(near * 2 > m.nnz(), "expected band dominance, got {near}/{}", m.nnz());
+    }
+
+    #[test]
+    fn random_dense_shape_and_range() {
+        let d = random_dense(vec![4, 5], &mut rng(9));
+        assert_eq!(d.dims(), &[4, 5]);
+        assert!(d.as_slice().iter().all(|v| (0.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn random_symmetric_dense_is_symmetric() {
+        let m = random_symmetric_dense(6, &mut rng(4));
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(m.get(&[i, j]), m.get(&[j, i]));
+            }
+        }
+    }
+}

@@ -1,0 +1,631 @@
+//! Level-composed compressed tensors (the fibertree formats of Finch).
+
+use std::fmt;
+
+use crate::coo::CooTensor;
+use crate::dense::validate_perm;
+use crate::TensorError;
+
+/// The storage format of one level (mode) of a [`SparseTensor`].
+///
+/// Composing per-mode formats yields the classic compound formats
+/// (paper §2.2): CSR is `[Dense, Sparse]`, 3-d CSF is
+/// `[Dense, Sparse, Sparse]`, a fully-compressed hypersparse tensor is
+/// all-`Sparse`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LevelFormat {
+    /// Every coordinate `0..extent` is materialized (no compression).
+    Dense,
+    /// Only coordinates with stored children appear, in sorted order
+    /// (compressed, `pos`/`crd` arrays à la TACO/Finch).
+    Sparse,
+    /// Run-length encoding: consecutive coordinates sharing one value
+    /// collapse into a run (Finch's `RunList`/RLE structured level).
+    /// Only valid as the innermost (leaf) level, where children are
+    /// values.
+    RunLength,
+}
+
+impl fmt::Display for LevelFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LevelFormat::Dense => f.write_str("Dense"),
+            LevelFormat::Sparse => f.write_str("Sparse"),
+            LevelFormat::RunLength => f.write_str("RunLength"),
+        }
+    }
+}
+
+/// One packed level of the fibertree.
+#[derive(Clone, PartialEq, Debug)]
+enum Level {
+    /// Positions fan out by a fixed factor: child of parent `p` at
+    /// coordinate `c` is position `p * size + c`.
+    Dense { size: usize },
+    /// Compressed: `crd[pos[p] .. pos[p+1]]` are the coordinates stored
+    /// under parent position `p`; the child position is the `crd` index.
+    Sparse { pos: Vec<usize>, crd: Vec<usize>, size: usize },
+    /// Run-length encoded: `run_end[pos[p] .. pos[p+1]]` are the
+    /// *inclusive* end coordinates of the runs under parent `p`; each run
+    /// is one child position. Runs of the fill value (zero) are omitted:
+    /// `run_start` records each run's first coordinate.
+    RunLength {
+        pos: Vec<usize>,
+        run_start: Vec<usize>,
+        run_end: Vec<usize>,
+        size: usize,
+    },
+}
+
+/// A compressed multidimensional tensor packed from sorted coordinates.
+///
+/// The tensor is a chain of [`LevelFormat`]s, one per mode (outermost
+/// first), over an `Element(0.0)` leaf holding the values. Iteration is
+/// *concordant*: loops must visit modes outermost-first, which is exactly
+/// the constraint the concordize pass (§4.2.3) establishes for generated
+/// kernels.
+///
+/// # Examples
+///
+/// ```
+/// use systec_tensor::{CooTensor, SparseTensor, CSR};
+///
+/// let mut coo = CooTensor::new(vec![2, 3]);
+/// coo.push(&[0, 2], 1.5);
+/// coo.push(&[1, 0], 2.5);
+/// let m = SparseTensor::from_coo(&coo, &CSR).unwrap();
+/// assert_eq!(m.get(&[0, 2]), 1.5);
+/// assert_eq!(m.get(&[0, 0]), 0.0);
+/// assert_eq!(m.to_coo(), coo);
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct SparseTensor {
+    dims: Vec<usize>,
+    formats: Vec<LevelFormat>,
+    levels: Vec<Level>,
+    vals: Vec<f64>,
+}
+
+impl SparseTensor {
+    /// Packs a COO tensor into the given per-mode formats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::FormatRankMismatch`] if `formats.len()`
+    /// differs from the tensor's rank.
+    pub fn from_coo(coo: &CooTensor, formats: &[LevelFormat]) -> Result<Self, TensorError> {
+        let rank = coo.rank();
+        if formats.len() != rank {
+            return Err(TensorError::FormatRankMismatch { rank, formats: formats.len() });
+        }
+        if formats[..rank.saturating_sub(1)].contains(&LevelFormat::RunLength) {
+            return Err(TensorError::FormatRankMismatch { rank, formats: formats.len() });
+        }
+        let dims = coo.dims().to_vec();
+        let entries: Vec<(&[usize], f64)> = coo.entries().collect();
+
+        let mut levels = Vec::with_capacity(rank);
+        // Parent position of each entry at the current level; starts at the
+        // single root position 0.
+        let mut parents: Vec<usize> = vec![0; entries.len()];
+        let mut parent_count = 1usize;
+
+        for (k, &format) in formats.iter().enumerate() {
+            let size = dims[k];
+            match format {
+                LevelFormat::Dense => {
+                    for (e, (coords, _)) in entries.iter().enumerate() {
+                        parents[e] = parents[e] * size + coords[k];
+                    }
+                    parent_count *= size;
+                    levels.push(Level::Dense { size });
+                }
+                LevelFormat::Sparse => {
+                    let mut pos = vec![0usize; parent_count + 1];
+                    let mut crd = Vec::new();
+                    let mut last: Option<(usize, usize)> = None;
+                    for (e, (coords, _)) in entries.iter().enumerate() {
+                        let key = (parents[e], coords[k]);
+                        if last != Some(key) {
+                            // New child position under this parent.
+                            crd.push(coords[k]);
+                            pos[parents[e] + 1] += 1;
+                            last = Some(key);
+                        }
+                        parents[e] = crd.len() - 1;
+                    }
+                    // Prefix-sum the per-parent counts into offsets.
+                    for p in 0..parent_count {
+                        pos[p + 1] += pos[p];
+                    }
+                    parent_count = crd.len();
+                    levels.push(Level::Sparse { pos, crd, size });
+                }
+                LevelFormat::RunLength => {
+                    // Leaf only (validated above): consecutive coordinates
+                    // under one parent with equal values form a run.
+                    let mut pos = vec![0usize; parent_count + 1];
+                    let mut run_start = Vec::new();
+                    let mut run_end = Vec::new();
+                    let mut run_vals: Vec<f64> = Vec::new();
+                    let mut last: Option<(usize, usize, f64)> = None; // parent, end coord, value
+                    for (e, (coords, v)) in entries.iter().enumerate() {
+                        let c = coords[k];
+                        match last {
+                            Some((p, end, value))
+                                if p == parents[e] && c == end + 1 && value == *v =>
+                            {
+                                // Extend the current run.
+                                *run_end.last_mut().expect("run exists") = c;
+                                last = Some((p, c, value));
+                            }
+                            _ => {
+                                run_start.push(c);
+                                run_end.push(c);
+                                run_vals.push(*v);
+                                pos[parents[e] + 1] += 1;
+                                last = Some((parents[e], c, *v));
+                            }
+                        }
+                        parents[e] = run_start.len() - 1;
+                    }
+                    for p in 0..parent_count {
+                        pos[p + 1] += pos[p];
+                    }
+                    levels.push(Level::RunLength { pos, run_start, run_end, size });
+                    // Leaf values are per-run.
+                    let mut vals = run_vals;
+                    // Entries extending runs accumulate nothing extra: the
+                    // packed value is the run's value. (Duplicates were
+                    // already merged in COO.)
+                    return Ok(SparseTensor { dims, formats: formats.to_vec(), levels, vals: std::mem::take(&mut vals) });
+                }
+            }
+        }
+
+        let mut vals = vec![0.0; parent_count];
+        for (e, (_, v)) in entries.iter().enumerate() {
+            vals[parents[e]] += v;
+        }
+        Ok(SparseTensor { dims, formats: formats.to_vec(), levels, vals })
+    }
+
+    /// An empty tensor of the given shape and formats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::FormatRankMismatch`] on arity mismatch.
+    pub fn empty(dims: Vec<usize>, formats: &[LevelFormat]) -> Result<Self, TensorError> {
+        Self::from_coo(&CooTensor::new(dims), formats)
+    }
+
+    /// The shape, one extent per mode.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The number of modes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The per-mode level formats.
+    pub fn formats(&self) -> &[LevelFormat] {
+        &self.formats
+    }
+
+    /// The number of stored values (including structural zeros stored by
+    /// trailing dense levels).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The value stored at a *leaf position* (as produced by walking the
+    /// levels with [`SparseTensor::level_iter`] / [`SparseTensor::level_find`]).
+    #[inline]
+    pub fn value(&self, leaf_pos: usize) -> f64 {
+        self.vals[leaf_pos]
+    }
+
+    /// Iterates over `(coordinate, child_position)` pairs of the children
+    /// of `parent` at level `k`, restricted to coordinates in
+    /// `lo..=hi` (saturating to the level's extent).
+    ///
+    /// For `Sparse` levels only stored coordinates are visited, in
+    /// increasing order, with the bound restriction applied by binary
+    /// search — this is how lifted loop bounds (`i <= j`) become cheap
+    /// early exits over compressed data.
+    pub fn level_iter(&self, k: usize, parent: usize, lo: usize, hi: usize) -> LevelIter<'_> {
+        match &self.levels[k] {
+            Level::Dense { size } => {
+                if *size == 0 {
+                    return LevelIter::Dense { base: 0, coord: 0, end: 0 };
+                }
+                let hi = hi.min(size - 1);
+                LevelIter::Dense {
+                    base: parent * size,
+                    coord: lo,
+                    end: if lo > hi { lo } else { hi + 1 },
+                }
+            }
+            Level::Sparse { pos, crd, .. } => {
+                let begin = pos[parent];
+                let end = pos[parent + 1];
+                let slice = &crd[begin..end];
+                let start = begin + slice.partition_point(|&c| c < lo);
+                let stop = begin + slice.partition_point(|&c| c <= hi);
+                LevelIter::Sparse { crd, cursor: start, end: stop }
+            }
+            Level::RunLength { pos, run_start, run_end, .. } => {
+                let begin = pos[parent];
+                let end = pos[parent + 1];
+                // First run whose end reaches lo.
+                let slice_end = &run_end[begin..end];
+                let start = begin + slice_end.partition_point(|&c| c < lo);
+                LevelIter::RunLength {
+                    run_start,
+                    run_end,
+                    run: start,
+                    last_run: end,
+                    coord: if start < end { run_start[start].max(lo) } else { 0 },
+                    hi,
+                }
+            }
+        }
+    }
+
+    /// Number of children of `parent` at level `k` (stored coordinates
+    /// for sparse levels, the extent for dense levels).
+    pub fn level_len(&self, k: usize, parent: usize) -> usize {
+        match &self.levels[k] {
+            Level::Dense { size } => *size,
+            Level::Sparse { pos, .. } => pos[parent + 1] - pos[parent],
+            Level::RunLength { pos, run_start, run_end, .. } => (pos[parent]..pos[parent + 1])
+                .map(|r| run_end[r] - run_start[r] + 1)
+                .sum(),
+        }
+    }
+
+    /// Finds the child position of coordinate `coord` under `parent` at
+    /// level `k` (random access step), or `None` if not stored.
+    pub fn level_find(&self, k: usize, parent: usize, coord: usize) -> Option<usize> {
+        match &self.levels[k] {
+            Level::Dense { size } => (coord < *size).then(|| parent * size + coord),
+            Level::Sparse { pos, crd, .. } => {
+                let begin = pos[parent];
+                let end = pos[parent + 1];
+                let slice = &crd[begin..end];
+                let at = slice.partition_point(|&c| c < coord);
+                (at < slice.len() && slice[at] == coord).then(|| begin + at)
+            }
+            Level::RunLength { pos, run_start, run_end, .. } => {
+                let begin = pos[parent];
+                let end = pos[parent + 1];
+                let slice_end = &run_end[begin..end];
+                let at = begin + slice_end.partition_point(|&c| c < coord);
+                (at < end && run_start[at] <= coord).then_some(at)
+            }
+        }
+    }
+
+    /// Random access: the value at `coords` (zero if not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match the rank.
+    pub fn get(&self, coords: &[usize]) -> f64 {
+        assert_eq!(coords.len(), self.rank(), "coordinate arity mismatch");
+        let mut pos = 0usize;
+        for (k, &c) in coords.iter().enumerate() {
+            match self.level_find(k, pos, c) {
+                Some(next) => pos = next,
+                None => return 0.0,
+            }
+        }
+        self.vals[pos]
+    }
+
+    /// Unpacks back to COO (dropping stored zeros).
+    pub fn to_coo(&self) -> CooTensor {
+        let mut out = CooTensor::new(self.dims.clone());
+        let mut coords = vec![0usize; self.rank()];
+        self.walk(0, 0, &mut coords, &mut out);
+        out
+    }
+
+    fn walk(&self, k: usize, pos: usize, coords: &mut Vec<usize>, out: &mut CooTensor) {
+        if k == self.rank() {
+            if self.vals[pos] != 0.0 {
+                out.push(coords, self.vals[pos]);
+            }
+            return;
+        }
+        let iter = self.level_iter(k, pos, 0, usize::MAX);
+        for (c, child) in iter {
+            coords[k] = c;
+            self.walk(k + 1, child, coords, out);
+        }
+    }
+
+    /// Returns a permuted repack: mode `k` of the result is mode
+    /// `perm[k]` of `self`, in the same formats. This is the
+    /// transposition the concordize pass relies on; the paper excludes
+    /// its cost from kernel timings, as do our benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidPermutation`] for invalid `perm`.
+    pub fn permuted(&self, perm: &[usize]) -> Result<SparseTensor, TensorError> {
+        validate_perm(perm, self.rank())?;
+        let coo = self.to_coo().permuted(perm)?;
+        let formats: Vec<LevelFormat> = self.formats.clone();
+        SparseTensor::from_coo(&coo, &formats)
+    }
+}
+
+/// Iterator over `(coordinate, child_position)` pairs of one level fiber.
+///
+/// Produced by [`SparseTensor::level_iter`]. This is deliberately a
+/// lending-style concrete enum (not `impl Iterator`) so the executor can
+/// store it without boxing.
+#[derive(Debug)]
+pub enum LevelIter<'a> {
+    /// Fiber of a dense level: every coordinate in range.
+    Dense {
+        /// `parent * size` — the first child position of this fiber.
+        base: usize,
+        /// Next coordinate to yield.
+        coord: usize,
+        /// One past the last coordinate.
+        end: usize,
+    },
+    /// Fiber of a compressed level: stored coordinates only.
+    Sparse {
+        /// The level's coordinate array.
+        crd: &'a [usize],
+        /// Next `crd` index to yield.
+        cursor: usize,
+        /// One past the last `crd` index.
+        end: usize,
+    },
+    /// Fiber of a run-length level: every coordinate of every stored run
+    /// (the position repeats across a run).
+    RunLength {
+        /// Run start coordinates.
+        run_start: &'a [usize],
+        /// Run end coordinates (inclusive).
+        run_end: &'a [usize],
+        /// Current run index.
+        run: usize,
+        /// One past the last run index.
+        last_run: usize,
+        /// Next coordinate to yield.
+        coord: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    },
+}
+
+impl LevelIter<'_> {
+    /// Number of remaining `(coord, pos)` pairs.
+    pub fn remaining(&self) -> usize {
+        match self {
+            LevelIter::Dense { coord, end, .. } => end - coord,
+            LevelIter::Sparse { cursor, end, .. } => end - cursor,
+            LevelIter::RunLength { run_start, run_end, run, last_run, coord, hi } => (*run
+                ..*last_run)
+                .map(|r| {
+                    let lo = if r == *run { *coord } else { run_start[r] };
+                    let end = run_end[r].min(*hi);
+                    if end >= lo {
+                        end - lo + 1
+                    } else {
+                        0
+                    }
+                })
+                .sum(),
+        }
+    }
+}
+
+impl Iterator for LevelIter<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        match self {
+            LevelIter::Dense { base, coord, end } => {
+                if coord < end {
+                    let c = *coord;
+                    *coord += 1;
+                    Some((c, *base + c))
+                } else {
+                    None
+                }
+            }
+            LevelIter::Sparse { crd, cursor, end } => {
+                if cursor < end {
+                    let at = *cursor;
+                    *cursor += 1;
+                    Some((crd[at], at))
+                } else {
+                    None
+                }
+            }
+            LevelIter::RunLength { run_start, run_end, run, last_run, coord, hi } => {
+                if *run >= *last_run || *coord > *hi {
+                    return None;
+                }
+                let c = *coord;
+                let pos = *run;
+                if c >= run_end[pos] {
+                    *run += 1;
+                    if *run < *last_run {
+                        *coord = run_start[*run];
+                    }
+                } else {
+                    *coord = c + 1;
+                }
+                Some((c, pos))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for LevelIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{csf, CSF3, CSR};
+
+    fn sample_matrix() -> CooTensor {
+        let mut coo = CooTensor::new(vec![3, 4]);
+        coo.push(&[0, 1], 1.0);
+        coo.push(&[0, 3], 2.0);
+        coo.push(&[2, 0], 3.0);
+        coo.push(&[2, 3], 4.0);
+        coo
+    }
+
+    #[test]
+    fn csr_pack_and_get() {
+        let m = SparseTensor::from_coo(&sample_matrix(), &CSR).unwrap();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(&[0, 1]), 1.0);
+        assert_eq!(m.get(&[2, 3]), 4.0);
+        assert_eq!(m.get(&[1, 0]), 0.0);
+        assert_eq!(m.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn coo_roundtrip_csr() {
+        let coo = sample_matrix();
+        let m = SparseTensor::from_coo(&coo, &CSR).unwrap();
+        assert_eq!(m.to_coo(), coo);
+    }
+
+    #[test]
+    fn coo_roundtrip_all_sparse() {
+        let coo = sample_matrix();
+        let m = SparseTensor::from_coo(&coo, &[LevelFormat::Sparse, LevelFormat::Sparse]).unwrap();
+        assert_eq!(m.to_coo(), coo);
+        assert_eq!(m.nnz(), 4);
+    }
+
+    #[test]
+    fn coo_roundtrip_all_dense() {
+        let coo = sample_matrix();
+        let m = SparseTensor::from_coo(&coo, &[LevelFormat::Dense, LevelFormat::Dense]).unwrap();
+        assert_eq!(m.to_coo(), coo);
+        // Fully dense storage materializes every position.
+        assert_eq!(m.nnz(), 12);
+    }
+
+    #[test]
+    fn csf3_pack_and_get() {
+        let mut coo = CooTensor::new(vec![3, 3, 3]);
+        coo.push(&[0, 1, 2], 1.0);
+        coo.push(&[0, 2, 2], 2.0);
+        coo.push(&[2, 0, 0], 3.0);
+        let t = SparseTensor::from_coo(&coo, &CSF3).unwrap();
+        assert_eq!(t.get(&[0, 1, 2]), 1.0);
+        assert_eq!(t.get(&[0, 2, 2]), 2.0);
+        assert_eq!(t.get(&[2, 0, 0]), 3.0);
+        assert_eq!(t.get(&[1, 1, 1]), 0.0);
+        assert_eq!(t.to_coo(), coo);
+    }
+
+    #[test]
+    fn format_rank_mismatch_rejected() {
+        let coo = sample_matrix();
+        assert!(matches!(
+            SparseTensor::from_coo(&coo, &[LevelFormat::Dense]),
+            Err(TensorError::FormatRankMismatch { rank: 2, formats: 1 })
+        ));
+    }
+
+    #[test]
+    fn level_iter_bounds_sparse() {
+        // Row 2 holds coords {0, 3}; restrict to [1, 3] -> only coord 3.
+        let m = SparseTensor::from_coo(&sample_matrix(), &CSR).unwrap();
+        let row2 = m.level_find(0, 0, 2).unwrap();
+        let pairs: Vec<(usize, usize)> = m.level_iter(1, row2, 1, 3).collect();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, 3);
+        assert_eq!(m.value(pairs[0].1), 4.0);
+    }
+
+    #[test]
+    fn level_iter_bounds_dense() {
+        let m = SparseTensor::from_coo(&sample_matrix(), &[LevelFormat::Dense, LevelFormat::Dense])
+            .unwrap();
+        let pairs: Vec<(usize, usize)> = m.level_iter(0, 0, 1, 2).collect();
+        assert_eq!(pairs.iter().map(|p| p.0).collect::<Vec<_>>(), vec![1, 2]);
+        // Bound past the extent saturates.
+        let all: Vec<_> = m.level_iter(0, 0, 0, 99).collect();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn level_iter_empty_range() {
+        let m = SparseTensor::from_coo(&sample_matrix(), &CSR).unwrap();
+        let row0 = m.level_find(0, 0, 0).unwrap();
+        assert_eq!(m.level_iter(1, row0, 2, 1).count(), 0);
+    }
+
+    #[test]
+    fn level_find_missing_row_in_sparse_root() {
+        let coo = sample_matrix();
+        let m = SparseTensor::from_coo(&coo, &[LevelFormat::Sparse, LevelFormat::Sparse]).unwrap();
+        // Row 1 holds nothing; the root sparse level stores rows {0, 2}.
+        assert_eq!(m.level_find(0, 0, 1), None);
+        assert!(m.level_find(0, 0, 2).is_some());
+    }
+
+    #[test]
+    fn empty_tensor_reads_zero() {
+        let m = SparseTensor::empty(vec![5, 5], &CSR).unwrap();
+        assert_eq!(m.get(&[3, 3]), 0.0);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.to_coo().nnz(), 0);
+    }
+
+    #[test]
+    fn permuted_transposes_and_preserves_values() {
+        let m = SparseTensor::from_coo(&sample_matrix(), &CSR).unwrap();
+        let t = m.permuted(&[1, 0]).unwrap();
+        assert_eq!(t.dims(), &[4, 3]);
+        assert_eq!(t.get(&[3, 2]), 4.0);
+        assert_eq!(t.get(&[1, 0]), 1.0);
+        let back = t.permuted(&[1, 0]).unwrap();
+        assert_eq!(back.to_coo(), m.to_coo());
+    }
+
+    #[test]
+    fn csf_helper_shapes() {
+        assert_eq!(csf(5).len(), 5);
+        assert!(matches!(csf(1)[0], LevelFormat::Dense));
+    }
+
+    #[test]
+    fn duplicate_coo_entries_accumulate_via_pack() {
+        let mut coo = CooTensor::new(vec![2, 2]);
+        coo.push(&[0, 0], 1.0);
+        coo.push(&[0, 0], 2.0);
+        let m = SparseTensor::from_coo(&coo, &CSR).unwrap();
+        assert_eq!(m.get(&[0, 0]), 3.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let m = SparseTensor::from_coo(&sample_matrix(), &CSR).unwrap();
+        let it = m.level_iter(0, 0, 0, usize::MAX);
+        assert_eq!(it.len(), 3); // dense root of extent 3
+    }
+}

@@ -1,0 +1,153 @@
+//! The matrix collection of the paper's Table 2, as synthetic stand-ins.
+//!
+//! The paper benchmarks SSYMV/SYPRD/SSYRK on the Vuduc et al. suite of 30
+//! SuiteSparse matrices, downloaded from <http://sparse.tamu.edu>. This
+//! reproduction is offline, so [`MatrixSpec::generate`] synthesizes a
+//! pseudo-random matrix with the *same name, dimension and nnz* as each
+//! suite member (banded + scattered pattern, seeded by the name), and the
+//! harness symmetrizes it as `A + Aᵀ` exactly as the paper does for the
+//! asymmetric members (§5.2). The figures' claims are relative speedups
+//! per matrix, which depend on size/sparsity — both preserved.
+
+use crate::generate::{banded_sprand, rng};
+use crate::CooTensor;
+
+/// Name, dimension and nonzero count of one Table 2 matrix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MatrixSpec {
+    /// The SuiteSparse name (e.g. `"bcsstk35"`).
+    pub name: &'static str,
+    /// The (square) dimension.
+    pub dim: usize,
+    /// The original matrix's stored-entry count.
+    pub nnz: usize,
+}
+
+impl MatrixSpec {
+    /// Synthesizes the stand-in pattern: `nnz` entries, band-dominated,
+    /// deterministically seeded by the matrix name.
+    pub fn generate(&self) -> CooTensor {
+        let seed = self
+            .name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3));
+        let mut r = rng(seed);
+        // Bandwidth scaled so band density stays plausible for the size.
+        let avg_row = (self.nnz / self.dim).max(1);
+        let bandwidth = (avg_row * 2).clamp(2, self.dim.saturating_sub(1).max(2));
+        banded_sprand(self.dim, self.nnz, bandwidth, 0.7, &mut r)
+    }
+
+    /// The symmetrized stand-in `A + Aᵀ` (what the SSYMV/SYPRD/SSYRK
+    /// benchmarks consume).
+    pub fn generate_symmetric(&self) -> CooTensor {
+        self.generate().symmetrized().expect("suite matrices are square")
+    }
+
+    /// A proportionally scaled-down spec (for fast CI runs): dimension and
+    /// nnz divided by `factor`, minimum 16 rows / 32 entries.
+    pub fn scaled_down(&self, factor: usize) -> MatrixSpec {
+        MatrixSpec {
+            name: self.name,
+            dim: (self.dim / factor).max(16),
+            nnz: (self.nnz / factor).max(32),
+        }
+    }
+}
+
+/// The 30 matrices of Table 2 (name, dimension, nonzeros).
+pub fn table2() -> Vec<MatrixSpec> {
+    const T: &[(&str, usize, usize)] = &[
+        ("bayer02", 13935, 63679),
+        ("bayer10", 13436, 94926),
+        ("bcsstk35", 30237, 1450163),
+        ("coater2", 9540, 207308),
+        ("crystk02", 13965, 968583),
+        ("crystk03", 24696, 1751178),
+        ("ct20stif", 52329, 2698463),
+        ("ex11", 16614, 1096948),
+        ("finan512", 74752, 596992),
+        ("gemat11", 4929, 33185),
+        ("goodwin", 7320, 324784),
+        ("lhr10", 10672, 232633),
+        ("lnsp3937", 3937, 25407),
+        ("memplus", 17758, 126150),
+        ("nasasrb", 54870, 2677324),
+        ("olafu", 16146, 1015156),
+        ("onetone2", 36057, 227628),
+        ("orani678", 2529, 90185),
+        ("raefsky3", 21200, 1488768),
+        ("raefsky4", 19779, 1328611),
+        ("rdist1", 4134, 94408),
+        ("rim", 22560, 1014951),
+        ("saylr4", 3564, 22316),
+        ("sherman3", 5005, 20033),
+        ("sherman5", 3312, 20793),
+        ("shyy161", 76480, 329762),
+        ("venkat01", 62424, 1717792),
+        ("vibrobox", 12328, 342828),
+        ("wang3", 26064, 177168),
+        ("wang4", 26068, 177196),
+    ];
+    T.iter().map(|&(name, dim, nnz)| MatrixSpec { name, dim, nnz }).collect()
+}
+
+/// A handful of small suite members, scaled down — used by integration
+/// tests where generating multi-million-nnz matrices would be too slow.
+pub fn small_suite() -> Vec<MatrixSpec> {
+    table2()
+        .into_iter()
+        .filter(|s| s.nnz < 100_000)
+        .map(|s| s.scaled_down(8))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_row_count() {
+        let t = table2();
+        assert_eq!(t.len(), 30);
+        let bcsstk35 = t.iter().find(|s| s.name == "bcsstk35").unwrap();
+        assert_eq!(bcsstk35.dim, 30237);
+        assert_eq!(bcsstk35.nnz, 1450163);
+    }
+
+    #[test]
+    fn generate_is_deterministic_per_name() {
+        let spec = MatrixSpec { name: "saylr4", dim: 356, nnz: 2231 };
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn generate_hits_spec() {
+        let spec = MatrixSpec { name: "test", dim: 500, nnz: 2000 };
+        let m = spec.generate();
+        assert_eq!(m.dims(), &[500, 500]);
+        assert_eq!(m.nnz(), 2000);
+    }
+
+    #[test]
+    fn generate_symmetric_is_symmetric() {
+        let spec = MatrixSpec { name: "sherman3", dim: 500, nnz: 2000 };
+        let s = spec.generate_symmetric();
+        assert!(s.is_fully_symmetric());
+    }
+
+    #[test]
+    fn scaled_down_respects_minimums() {
+        let spec = MatrixSpec { name: "tiny", dim: 20, nnz: 40 };
+        let s = spec.scaled_down(100);
+        assert_eq!(s.dim, 16);
+        assert_eq!(s.nnz, 32);
+    }
+
+    #[test]
+    fn small_suite_nonempty_and_small() {
+        let s = small_suite();
+        assert!(!s.is_empty());
+        assert!(s.iter().all(|m| m.nnz <= 100_000 / 8 + 32));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the fibertree format invariants.
+
+use proptest::prelude::*;
+use systec_tensor::{CooTensor, DenseTensor, LevelFormat, SparseTensor};
+
+/// Strategy: a random COO tensor with rank in 1..=3 and small dims.
+fn coo_strategy() -> impl Strategy<Value = CooTensor> {
+    (1usize..=3)
+        .prop_flat_map(|rank| {
+            let dims = prop::collection::vec(1usize..=6, rank..=rank);
+            dims.prop_flat_map(move |dims| {
+                let max_nnz = dims.iter().product::<usize>().min(12);
+                let coords = prop::collection::vec(
+                    dims.iter().map(|&d| 0..d).collect::<Vec<_>>(),
+                    0..=max_nnz,
+                );
+                let dims2 = dims.clone();
+                (Just(dims2), coords, prop::collection::vec(0.1f64..10.0, max_nnz))
+            })
+        })
+        .prop_map(|(dims, coords, vals)| {
+            let mut coo = CooTensor::new(dims);
+            for (c, v) in coords.iter().zip(vals.iter().cycle()) {
+                coo.set(c, *v);
+            }
+            coo
+        })
+}
+
+/// Strategy: a format vector for a given rank.
+fn formats(rank: usize) -> impl Strategy<Value = Vec<LevelFormat>> {
+    prop::collection::vec(
+        prop_oneof![Just(LevelFormat::Dense), Just(LevelFormat::Sparse)],
+        rank..=rank,
+    )
+}
+
+proptest! {
+    #[test]
+    fn pack_roundtrips_through_any_format(coo in coo_strategy()) {
+        let rank = coo.rank();
+        proptest!(|(fmts in formats(rank))| {
+            let packed = SparseTensor::from_coo(&coo, &fmts).unwrap();
+            prop_assert_eq!(packed.to_coo(), coo.clone());
+        });
+    }
+
+    #[test]
+    fn random_access_matches_dense(coo in coo_strategy()) {
+        let dense = coo.to_dense();
+        let all_sparse = vec![LevelFormat::Sparse; coo.rank()];
+        let packed = SparseTensor::from_coo(&coo, &all_sparse).unwrap();
+        // Probe every coordinate.
+        for (coords, v) in dense.iter() {
+            prop_assert_eq!(packed.get(&coords), v);
+        }
+    }
+
+    #[test]
+    fn permutation_roundtrip_is_identity(coo in coo_strategy()) {
+        let rank = coo.rank();
+        // Rotate modes left, then right: the composition is the identity.
+        let left: Vec<usize> = (0..rank).map(|k| (k + 1) % rank).collect();
+        let right: Vec<usize> = (0..rank).map(|k| (k + rank - 1) % rank).collect();
+        let rotated = coo.permuted(&left).unwrap().permuted(&right).unwrap();
+        prop_assert_eq!(rotated, coo);
+    }
+
+    #[test]
+    fn symmetrization_is_symmetric(n in 1usize..6, pairs in prop::collection::vec((0usize..6, 0usize..6, 0.1f64..5.0), 0..10)) {
+        let mut coo = CooTensor::new(vec![n, n]);
+        for (r, c, v) in pairs {
+            if r < n && c < n {
+                coo.set(&[r, c], v);
+            }
+        }
+        let s = coo.symmetrized().unwrap();
+        prop_assert!(s.is_fully_symmetric());
+        // Diagonal entries double, off-diagonal sum with their mirror.
+        for i in 0..n {
+            let expected = 2.0 * coo.get(&[i, i]);
+            prop_assert!((s.get(&[i, i]) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dense_permute_matches_coo_permute(coo in coo_strategy()) {
+        let rank = coo.rank();
+        let rev: Vec<usize> = (0..rank).rev().collect();
+        let via_dense: DenseTensor = coo.to_dense().permuted(&rev).unwrap();
+        let via_coo = coo.permuted(&rev).unwrap().to_dense();
+        prop_assert_eq!(via_dense, via_coo);
+    }
+
+    #[test]
+    fn split_diagonal_is_a_partition(coo in coo_strategy()) {
+        let rank = coo.rank();
+        let modes: Vec<usize> = (0..rank).collect();
+        let (off, diag) = coo.split_diagonal(&modes);
+        prop_assert_eq!(off.nnz() + diag.nnz(), coo.nnz());
+        // Recombining restores the original.
+        let mut merged = off.clone();
+        for (c, v) in diag.entries() {
+            merged.push(c, v);
+        }
+        prop_assert_eq!(merged, coo);
+    }
+}

@@ -1,0 +1,94 @@
+//! Tests of the run-length-encoded leaf level (the "structured tensor"
+//! support of the paper's Table 1: Triangular / Banded / RLE).
+
+use systec_tensor::{CooTensor, LevelFormat, SparseTensor};
+
+fn rle_matrix(rows: usize, cols: usize, entries: &[(usize, usize, f64)]) -> SparseTensor {
+    let mut coo = CooTensor::new(vec![rows, cols]);
+    for &(i, j, v) in entries {
+        coo.set(&[i, j], v);
+    }
+    SparseTensor::from_coo(&coo, &[LevelFormat::Dense, LevelFormat::RunLength]).unwrap()
+}
+
+#[test]
+fn runs_collapse_equal_adjacent_values() {
+    // Row 0: [5, 5, 5, 0, 2]: two runs.
+    let m = rle_matrix(2, 5, &[(0, 0, 5.0), (0, 1, 5.0), (0, 2, 5.0), (0, 4, 2.0)]);
+    assert_eq!(m.nnz(), 2, "two runs stored, not four entries");
+    assert_eq!(m.get(&[0, 0]), 5.0);
+    assert_eq!(m.get(&[0, 1]), 5.0);
+    assert_eq!(m.get(&[0, 2]), 5.0);
+    assert_eq!(m.get(&[0, 3]), 0.0);
+    assert_eq!(m.get(&[0, 4]), 2.0);
+    assert_eq!(m.get(&[1, 0]), 0.0);
+}
+
+#[test]
+fn roundtrip_preserves_entries() {
+    let mut coo = CooTensor::new(vec![3, 6]);
+    for j in 1..5 {
+        coo.set(&[0, j], 7.0);
+    }
+    coo.set(&[2, 0], 1.0);
+    coo.set(&[2, 1], 2.0);
+    coo.set(&[2, 2], 2.0);
+    let m = SparseTensor::from_coo(&coo, &[LevelFormat::Dense, LevelFormat::RunLength]).unwrap();
+    assert_eq!(m.to_coo(), coo);
+    assert_eq!(m.nnz(), 3, "runs: [1..4]=7, [0]=1, [1..2]=2");
+}
+
+#[test]
+fn level_iter_expands_runs_with_bounds() {
+    let m = rle_matrix(1, 8, &[(0, 1, 3.0), (0, 2, 3.0), (0, 3, 3.0), (0, 6, 4.0)]);
+    let row = m.level_find(0, 0, 0).unwrap();
+    // Full range: coordinates 1,2,3,6.
+    let coords: Vec<usize> = m.level_iter(1, row, 0, usize::MAX).map(|(c, _)| c).collect();
+    assert_eq!(coords, vec![1, 2, 3, 6]);
+    // Bounded [2, 5]: coordinates 2,3.
+    let bounded: Vec<(usize, usize)> = m.level_iter(1, row, 2, 5).collect();
+    assert_eq!(bounded.iter().map(|&(c, _)| c).collect::<Vec<_>>(), vec![2, 3]);
+    // Both bounded coords share the first run's position.
+    assert_eq!(bounded[0].1, bounded[1].1);
+    assert_eq!(m.value(bounded[0].1), 3.0);
+}
+
+#[test]
+fn level_find_locates_runs() {
+    let m = rle_matrix(1, 8, &[(0, 1, 3.0), (0, 2, 3.0), (0, 6, 4.0)]);
+    let row = m.level_find(0, 0, 0).unwrap();
+    let p1 = m.level_find(1, row, 1).unwrap();
+    let p2 = m.level_find(1, row, 2).unwrap();
+    assert_eq!(p1, p2, "coordinates of one run share a position");
+    assert_eq!(m.value(p1), 3.0);
+    assert_eq!(m.level_find(1, row, 0), None);
+    assert_eq!(m.level_find(1, row, 3), None);
+    assert_eq!(m.value(m.level_find(1, row, 6).unwrap()), 4.0);
+}
+
+#[test]
+fn interior_runlength_level_is_rejected() {
+    let coo = CooTensor::new(vec![2, 2]);
+    assert!(
+        SparseTensor::from_coo(&coo, &[LevelFormat::RunLength, LevelFormat::Sparse]).is_err(),
+        "RunLength is a leaf-level format"
+    );
+}
+
+#[test]
+fn banded_matrix_compresses_well_in_rle() {
+    // A banded matrix with constant band value: RLE stores one run per
+    // row instead of `bandwidth` entries.
+    let n = 50;
+    let mut coo = CooTensor::new(vec![n, n]);
+    for i in 0..n {
+        for j in i.saturating_sub(2)..(i + 3).min(n) {
+            coo.set(&[i, j], 1.0);
+        }
+    }
+    let rle = SparseTensor::from_coo(&coo, &[LevelFormat::Dense, LevelFormat::RunLength]).unwrap();
+    let csr = SparseTensor::from_coo(&coo, &systec_tensor::CSR).unwrap();
+    assert_eq!(rle.nnz(), n, "one run per row");
+    assert!(csr.nnz() > 4 * n, "CSR stores every band entry");
+    assert_eq!(rle.to_coo(), csr.to_coo());
+}

@@ -1,0 +1,103 @@
+//! Symmetric CP decomposition (CPD) of a 3-d symmetric sparse tensor via
+//! alternating least-squares built on the SySTeC-compiled MTTKRP —
+//! the paper's flagship application (§5.2.6): *"When the tensor is
+//! symmetric … the symmetric CPD problem uses the same factor matrix for
+//! all dimensions"*, so one symmetry-exploiting MTTKRP per sweep replaces
+//! the usual N transposed kernels.
+//!
+//! ```sh
+//! cargo run --release --example symmetric_cpd
+//! ```
+
+use systec::kernels::{defs, Prepared};
+use systec::tensor::generate::{random_dense, rng, symmetric_erdos_renyi};
+use systec::tensor::{DenseTensor, Tensor};
+
+/// One ALS-style multiplicative sweep: B ← normalize(MTTKRP(A, B)).
+/// (A full ALS solve would also invert the Gram matrix; the power-style
+/// update keeps the example focused on the MTTKRP itself.)
+fn sweep(prepared: &Prepared) -> (DenseTensor, u64) {
+    let (out, counters) = prepared.run_full().expect("mttkrp");
+    (out["C"].clone(), counters.reads_of_family("A"))
+}
+
+fn normalize_columns(m: &mut DenseTensor) {
+    let (n, rank) = (m.dims()[0], m.dims()[1]);
+    for r in 0..rank {
+        let norm: f64 = (0..n).map(|i| m.get(&[i, r]).powi(2)).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for i in 0..n {
+                let v = m.get(&[i, r]) / norm;
+                m.set(&[i, r], v);
+            }
+        }
+    }
+}
+
+/// Rank-`r` reconstruction error ‖T − Σ_r λ_r b_r⊗b_r⊗b_r‖ restricted to
+/// the stored entries (cheap proxy for fit).
+fn residual_on_support(
+    t: &systec::tensor::CooTensor,
+    b: &DenseTensor,
+    lambda: &[f64],
+) -> f64 {
+    let mut err = 0.0;
+    for (coords, v) in t.entries() {
+        let mut approx = 0.0;
+        for (r, &l) in lambda.iter().enumerate() {
+            approx += l * b.get(&[coords[0], r]) * b.get(&[coords[1], r]) * b.get(&[coords[2], r]);
+        }
+        err += (v - approx).powi(2);
+    }
+    err.sqrt()
+}
+
+fn main() {
+    let n = 120;
+    let rank = 6;
+    let mut r = rng(2024);
+    let tensor = symmetric_erdos_renyi(n, 3, 5e-4, &mut r);
+    println!("symmetric 3-d tensor: {n}^3, {} stored entries", tensor.nnz());
+
+    let def = defs::mttkrp(3);
+    let mut b = random_dense(vec![n, rank], &mut r);
+    normalize_columns(&mut b);
+
+    let mut reads_total = 0u64;
+    let mut lambda = vec![0.0; rank];
+    for it in 0..12 {
+        let inputs = def
+            .inputs([("A", tensor.clone().into()), ("B", b.clone().into())])
+            .expect("inputs pack");
+        let prepared = Prepared::compile(&def, &inputs).expect("prepare");
+        let (mut next, reads) = sweep(&prepared);
+        reads_total += reads;
+        // Column norms become the component weights λ_r.
+        for (c, l) in lambda.iter_mut().enumerate() {
+            *l = (0..n).map(|i| next.get(&[i, c]).powi(2)).sum::<f64>().sqrt();
+        }
+        normalize_columns(&mut next);
+        b = next;
+        let res = residual_on_support(&tensor, &b, &lambda);
+        println!("sweep {it:2}: residual on support = {res:.4}");
+    }
+    println!("total reads of A across sweeps: {reads_total}");
+
+    // Sanity: the compiled MTTKRP agrees with the naive one on the final
+    // factors.
+    let inputs = def
+        .inputs([("A", tensor.clone().into()), ("B", b.clone().into())])
+        .expect("inputs pack");
+    let sym = Prepared::compile(&def, &inputs).expect("prepare");
+    let naive = Prepared::naive(&def, &inputs).expect("prepare naive");
+    let (cs, counters_sym) = sym.run_full().expect("run");
+    let (cn, counters_naive) = naive.run_full().expect("run");
+    let diff = cs["C"].max_abs_diff(&cn["C"]).expect("same shape");
+    println!(
+        "symmetric vs naive MTTKRP: max diff {diff:.3e}; reads of A {} vs {}",
+        counters_sym.reads_of_family("A"),
+        counters_naive.reads_of_family("A"),
+    );
+    assert!(diff < 1e-9);
+    let _unused: Vec<Tensor> = Vec::new();
+}

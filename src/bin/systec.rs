@@ -1,0 +1,265 @@
+//! The `systec` command-line driver — the analogue of the artifact's
+//! `run_SySTeC.jl`: feed it an einsum and symmetry declarations, inspect
+//! the generated kernel, and optionally run it on random data against the
+//! naive baseline.
+//!
+//! ```sh
+//! systec "for i, j: y[i] += A[i, j] * x[j]" --sym A
+//! systec "for i, k, l, j: C[i, j] += A[i, k, l] * B[k, j] * B[l, j]" \
+//!        --sym A --run --n 30 --density 1e-2 --rank 8
+//! systec "for i, j, k: C[i, j] += A[i, k] * A[j, k]" --run   # SSYRK, output symmetry
+//! systec "for i, j: y[i] += A[i, j] * x[j]" --sym A:0-1      # explicit partition
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use systec::compiler::{Compiler, SymmetryPartition, SymmetrySpec};
+use systec::exec::reference::reference_einsum;
+use systec::ir::{parse_einsum, Einsum};
+use systec::kernels::Prepared;
+use systec::tensor::generate::{random_dense, rng};
+use systec::tensor::{csf, CooTensor, SparseTensor, Tensor};
+
+struct Options {
+    einsum: String,
+    symmetric: Vec<(String, Option<Vec<Vec<usize>>>)>,
+    run: bool,
+    n: usize,
+    density: f64,
+    rank: usize,
+    seed: u64,
+}
+
+fn usage() -> &'static str {
+    "usage: systec \"for <order>: <out>[..] <op> <expr>\" [options]\n\
+     \n\
+     options:\n\
+       --sym NAME            declare NAME fully symmetric\n\
+       --sym NAME:0-1,2      declare a partial symmetry partition (parts of mode\n\
+                             positions, `-` within a part, `,` between parts)\n\
+       --run                 execute on random data and compare with the naive kernel\n\
+       --n N                 dimension extent for --run (default 30)\n\
+       --density P           sparse fill probability for --run (default 0.01)\n\
+       --rank R              extent of indices that only appear densely (default 8)\n\
+       --seed S              RNG seed (default 42)\n"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let einsum = args.next().ok_or_else(|| usage().to_string())?;
+    let mut opts = Options {
+        einsum,
+        symmetric: Vec::new(),
+        run: false,
+        n: 30,
+        density: 0.01,
+        rank: 8,
+        seed: 42,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--sym" => {
+                let spec = args.next().ok_or("--sym needs a tensor name")?;
+                match spec.split_once(':') {
+                    None => opts.symmetric.push((spec, None)),
+                    Some((name, parts)) => {
+                        let parsed: Result<Vec<Vec<usize>>, String> = parts
+                            .split(',')
+                            .map(|part| {
+                                part.split('-')
+                                    .map(|m| {
+                                        m.parse::<usize>()
+                                            .map_err(|_| format!("bad mode `{m}` in --sym"))
+                                    })
+                                    .collect()
+                            })
+                            .collect();
+                        opts.symmetric.push((name.to_string(), Some(parsed?)));
+                    }
+                }
+            }
+            "--run" => opts.run = true,
+            "--n" => opts.n = next_num(&mut args, "--n")? as usize,
+            "--rank" => opts.rank = next_num(&mut args, "--rank")? as usize,
+            "--density" => opts.density = next_num(&mut args, "--density")?,
+            "--seed" => opts.seed = next_num(&mut args, "--seed")? as u64,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown option `{other}`\n\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn next_num(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<f64, String> {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("{flag} needs a number"))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let einsum = match parse_einsum(&opts.einsum) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot parse einsum: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec = SymmetrySpec::new();
+    for (name, partition) in &opts.symmetric {
+        let rank = match einsum.rhs.accesses().iter().find(|a| a.tensor.name == *name) {
+            Some(a) => a.rank(),
+            None => {
+                eprintln!("--sym {name}: the einsum does not read `{name}`");
+                return ExitCode::FAILURE;
+            }
+        };
+        spec = match partition {
+            None => spec.with_full(name, rank),
+            Some(parts) => match SymmetryPartition::from_parts(parts.clone()) {
+                Some(p) => spec.with_partition(name, p),
+                None => {
+                    eprintln!("--sym {name}: parts must cover modes 0..{rank} disjointly");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+    }
+
+    let kernel = match Compiler::new().compile(&einsum, &spec) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("compilation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("== input ==\n{einsum}\n");
+    println!("== generated kernel ==\n{}", kernel.program);
+    if !kernel.chain.is_empty() {
+        let chain: Vec<&str> = kernel.chain.iter().map(|i| i.name()).collect();
+        println!("\ncanonical chain: {}", chain.join(" <= "));
+    }
+    if let Some(partition) = &kernel.output_partition {
+        println!("output symmetry: {partition:?}");
+    }
+
+    if opts.run {
+        if let Err(msg) = run_kernel(&einsum, &spec, &kernel, &opts) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Generates random inputs shaped by the einsum, runs the compiled kernel
+/// against the naive baseline and the brute-force reference, and prints
+/// times and counters.
+fn run_kernel(
+    einsum: &Einsum,
+    spec: &SymmetrySpec,
+    kernel: &systec::compiler::CompiledKernel,
+    opts: &Options,
+) -> Result<(), String> {
+    let mut r = rng(opts.seed);
+    let mut inputs: HashMap<String, Tensor> = HashMap::new();
+    // Sparse-index extents get n; indices appearing only outside the
+    // symmetric tensors (e.g. MTTKRP's j) get `rank`.
+    let chain_or_sym: std::collections::BTreeSet<&str> = einsum
+        .rhs
+        .accesses()
+        .iter()
+        .filter(|a| spec.partition(&a.tensor.name).is_some())
+        .flat_map(|a| a.indices.iter().map(|i| i.name()))
+        .collect();
+    let extent = |index: &systec::ir::Index| {
+        if chain_or_sym.is_empty() || chain_or_sym.contains(index.name()) {
+            opts.n
+        } else {
+            opts.rank
+        }
+    };
+    for access in einsum.rhs.accesses() {
+        let name = access.tensor.name.clone();
+        if inputs.contains_key(&name) {
+            continue;
+        }
+        let dims: Vec<usize> = access.indices.iter().map(extent).collect();
+        let tensor = if spec.partition(&name).is_some() {
+            // Symmetric: sample then symmetrize over the partition.
+            let partition = spec.partition(&name).expect("checked");
+            let mut coo = CooTensor::new(dims.clone());
+            let total: f64 = dims.iter().map(|&d| d as f64).product();
+            let draws = (opts.density * total).ceil() as usize;
+            use rand::Rng;
+            for _ in 0..draws.max(1) {
+                let coords: Vec<usize> =
+                    dims.iter().map(|&d| r.gen_range(0..d)).collect();
+                let v = r.gen_range(0.1..1.0);
+                for perm in partition.permutations() {
+                    let permuted: Vec<usize> = perm.iter().map(|&p| coords[p]).collect();
+                    coo.set(&permuted, v);
+                }
+            }
+            Tensor::Sparse(
+                SparseTensor::from_coo(&coo, &csf(dims.len()))
+                    .map_err(|e| format!("packing {name}: {e}"))?,
+            )
+        } else if access.rank() >= 2 && access.indices.iter().all(|i| extent(i) == opts.n) {
+            // Square non-symmetric operands stay sparse (e.g. SSYRK's A).
+            let mut coo = CooTensor::new(dims.clone());
+            let total: f64 = dims.iter().map(|&d| d as f64).product();
+            use rand::Rng;
+            for _ in 0..((opts.density * total).ceil() as usize).max(1) {
+                let coords: Vec<usize> =
+                    dims.iter().map(|&d| r.gen_range(0..d)).collect();
+                coo.set(&coords, r.gen_range(0.1..1.0));
+            }
+            Tensor::Sparse(
+                SparseTensor::from_coo(&coo, &csf(dims.len()))
+                    .map_err(|e| format!("packing {name}: {e}"))?,
+            )
+        } else {
+            Tensor::Dense(random_dense(dims, &mut r))
+        };
+        inputs.insert(name, tensor);
+    }
+
+    let sym = Prepared::from_programs(kernel.main.clone(), kernel.replication.clone(), &inputs)
+        .map_err(|e| format!("preparing compiled kernel: {e}"))?;
+    let naive_prog = Compiler::new().naive(einsum);
+    let naive = Prepared::from_programs(naive_prog, None, &inputs)
+        .map_err(|e| format!("preparing naive kernel: {e}"))?;
+
+    let t0 = std::time::Instant::now();
+    let (out_sym, c_sym) = sym.run_full().map_err(|e| e.to_string())?;
+    let t_sym = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let (out_naive, c_naive) = naive.run_full().map_err(|e| e.to_string())?;
+    let t_naive = t0.elapsed();
+
+    println!("\n== run (n={}, density={}, seed={}) ==", opts.n, opts.density, opts.seed);
+    let out_name = einsum.output.tensor.display_name();
+    let diff = out_sym[&out_name]
+        .max_abs_diff(&out_naive[&out_name])
+        .map_err(|e| e.to_string())?;
+    println!("max |systec - naive| = {diff:.3e}");
+    let reference = reference_einsum(einsum, &inputs).map_err(|e| e.to_string())?;
+    let ref_diff =
+        out_sym[&out_name].max_abs_diff(&reference).map_err(|e| e.to_string())?;
+    println!("max |systec - reference| = {ref_diff:.3e}");
+    println!("systec: {t_sym:?}   naive: {t_naive:?}");
+    println!("systec counters: {c_sym}");
+    println!("naive  counters: {c_naive}");
+    if diff > 1e-9 || ref_diff > 1e-9 {
+        return Err("MISMATCH: compiled kernel disagrees with the baseline".to_string());
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! # systec
+//!
+//! Umbrella crate for the Rust reproduction of *SySTeC: A Symmetric
+//! Sparse Tensor Compiler* (CGO 2025): re-exports every component crate
+//! under one roof.
+//!
+//! * [`ir`] — the loop-nest tensor IR and einsum frontend
+//!   ([`ir::parse_einsum`]).
+//! * [`rewrite`] — term-rewriting combinators.
+//! * [`tensor`] — fibertree sparse/structured tensor formats and
+//!   generators.
+//! * [`compiler`] — the SySTeC compiler (symmetrization + §4.2 passes).
+//! * [`exec`] — the executing backend with sparse iteration semantics
+//!   and instrumentation.
+//! * [`kernels`] — the paper's evaluation kernels, native baselines, and
+//!   the prepare/run harness.
+//!
+//! ## Example
+//!
+//! ```
+//! use systec::compiler::{Compiler, SymmetrySpec};
+//! use systec::ir::parse_einsum;
+//!
+//! let einsum = parse_einsum("for i, j: y[i] += A[i, j] * x[j]")?;
+//! let kernel = Compiler::new()
+//!     .compile(&einsum, &SymmetrySpec::new().with_full("A", 2))
+//!     .expect("ssymv compiles");
+//! assert!(kernel.program.to_string().contains("if i <= j"));
+//! # Ok::<(), systec::ir::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use systec_core as compiler;
+pub use systec_exec as exec;
+pub use systec_ir as ir;
+pub use systec_kernels as kernels;
+pub use systec_rewrite as rewrite;
+pub use systec_tensor as tensor;

@@ -1,0 +1,202 @@
+//! Property-based tests of the compiler itself: on randomly generated
+//! symmetric einsums with random partitions, the compiled kernel must
+//! match the naive kernel and the brute-force reference.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use systec::compiler::{Compiler, SymmetryPartition, SymmetrySpec};
+use systec::exec::reference::reference_einsum;
+use systec::ir::build::*;
+use systec::ir::{AssignOp, Einsum, Index};
+use systec::kernels::Prepared;
+use systec::tensor::generate::rng as seeded_rng;
+use systec::tensor::{csf, CooTensor, DenseTensor, SparseTensor, Tensor};
+
+/// Builds a random symmetric tensor respecting `partition` by symmetrizing
+/// over the partition's permutations.
+fn partially_symmetric(
+    n: usize,
+    partition: &SymmetryPartition,
+    nnz: usize,
+    seed: u64,
+) -> CooTensor {
+    use rand::Rng;
+    let mut r = seeded_rng(seed);
+    let rank = partition.rank();
+    let mut coo = CooTensor::new(vec![n; rank]);
+    for _ in 0..nnz {
+        let coords: Vec<usize> = (0..rank).map(|_| r.gen_range(0..n)).collect();
+        let v = r.gen_range(0.1..1.0);
+        for perm in partition.permutations() {
+            let permuted: Vec<usize> = perm.iter().map(|&p| coords[p]).collect();
+            coo.set(&permuted, v);
+        }
+    }
+    coo
+}
+
+/// The family of einsums we fuzz: `Out[out_idx…] += A[a_idx…] * Π dense`.
+#[derive(Debug, Clone)]
+struct RandomKernel {
+    order: usize,
+    partition_choice: usize,
+    with_vector: bool,
+    scalar_output: bool,
+    n: usize,
+    nnz: usize,
+    seed: u64,
+}
+
+fn kernel_strategy() -> impl Strategy<Value = RandomKernel> {
+    (2usize..=4, 0usize..3, any::<bool>(), any::<bool>(), 4usize..9, 2usize..12, 0u64..1000)
+        .prop_map(|(order, partition_choice, with_vector, scalar_output, n, nnz, seed)| {
+            RandomKernel { order, partition_choice, with_vector, scalar_output, n, nnz, seed }
+        })
+}
+
+fn partition_for(order: usize, choice: usize) -> SymmetryPartition {
+    match (order, choice % 3) {
+        (_, 0) => SymmetryPartition::full(order),
+        (2, _) => SymmetryPartition::full(2),
+        (o, 1) => SymmetryPartition::from_parts(
+            std::iter::once((0..o - 1).collect::<Vec<_>>())
+                .chain(std::iter::once(vec![o - 1]))
+                .collect(),
+        )
+        .expect("valid partition"),
+        (o, _) => SymmetryPartition::from_parts(
+            std::iter::once(vec![0])
+                .chain(std::iter::once((1..o).collect::<Vec<_>>()))
+                .collect(),
+        )
+        .expect("valid partition"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_matches_naive_and_reference(k in kernel_strategy()) {
+        let partition = partition_for(k.order, k.partition_choice);
+        let idx_names = ["i0", "i1", "i2", "i3"];
+        let a_indices: Vec<Index> = (0..k.order).map(|m| idx(idx_names[m])).collect();
+
+        // Output uses the first index (or none for a scalar output).
+        let output = if k.scalar_output {
+            access("Out", [] as [&str; 0])
+        } else {
+            access("Out", [idx_names[0]])
+        };
+        let mut factors = vec![systec::ir::Expr::Access(systec::ir::Access {
+            tensor: systec::ir::TensorRef::base("A"),
+            indices: a_indices.clone(),
+        })];
+        if k.with_vector {
+            factors.push(access("v", [idx_names[k.order - 1]]).into());
+        }
+        let einsum = Einsum::new(
+            output,
+            AssignOp::Add,
+            systec::ir::Expr::call(systec::ir::BinOp::Mul, factors),
+            a_indices.clone(),
+        );
+        let spec = SymmetrySpec::new().with_partition("A", partition.clone());
+
+        // Data.
+        let coo = partially_symmetric(k.n, &partition, k.nnz, k.seed);
+        let mut inputs: HashMap<String, Tensor> = HashMap::new();
+        inputs.insert(
+            "A".to_string(),
+            Tensor::Sparse(SparseTensor::from_coo(&coo, &csf(k.order)).unwrap()),
+        );
+        if k.with_vector {
+            let mut r = seeded_rng(k.seed + 1);
+            inputs.insert(
+                "v".to_string(),
+                Tensor::Dense(systec::tensor::generate::random_dense(vec![k.n], &mut r)),
+            );
+        }
+
+        // Compile + run all three.
+        let compiled = Compiler::new().compile(&einsum, &spec).expect("compiles");
+        let sym = Prepared::from_programs(compiled.main, compiled.replication, &inputs).unwrap();
+        let naive_prog = Compiler::new().naive(&einsum);
+        let naive = Prepared::from_programs(naive_prog, None, &inputs).unwrap();
+        let (out_sym, _) = sym.run_full().unwrap();
+        let (out_naive, _) = naive.run_full().unwrap();
+        let reference = reference_einsum(&einsum, &inputs).unwrap();
+
+        let diff_naive = out_sym["Out"].max_abs_diff(&out_naive["Out"]).unwrap();
+        prop_assert!(diff_naive < 1e-9, "symmetric vs naive differs by {diff_naive}");
+        let diff_ref: f64 = out_sym["Out"].max_abs_diff(&reference).unwrap();
+        prop_assert!(diff_ref < 1e-9, "symmetric vs reference differs by {diff_ref}");
+    }
+
+    #[test]
+    fn compiled_reads_at_most_naive(k in kernel_strategy()) {
+        // Whatever the kernel, the symmetric version must never read more
+        // of A than the naive one.
+        let partition = partition_for(k.order, k.partition_choice);
+        if !partition.is_nontrivial() {
+            return Ok(());
+        }
+        let idx_names = ["i0", "i1", "i2", "i3"];
+        let a_indices: Vec<Index> = (0..k.order).map(|m| idx(idx_names[m])).collect();
+        let einsum = Einsum::new(
+            access("Out", [idx_names[0]]),
+            AssignOp::Add,
+            systec::ir::Expr::Access(systec::ir::Access {
+                tensor: systec::ir::TensorRef::base("A"),
+                indices: a_indices.clone(),
+            }),
+            a_indices,
+        );
+        let spec = SymmetrySpec::new().with_partition("A", partition.clone());
+        let coo = partially_symmetric(k.n, &partition, k.nnz, k.seed);
+        let mut inputs: HashMap<String, Tensor> = HashMap::new();
+        inputs.insert(
+            "A".to_string(),
+            Tensor::Sparse(SparseTensor::from_coo(&coo, &csf(k.order)).unwrap()),
+        );
+        let compiled = Compiler::new().compile(&einsum, &spec).expect("compiles");
+        let sym = Prepared::from_programs(compiled.main, compiled.replication, &inputs).unwrap();
+        let naive = Prepared::from_programs(Compiler::new().naive(&einsum), None, &inputs).unwrap();
+        let (_, cs) = sym.run_timed().unwrap();
+        let (_, cn) = naive.run_timed().unwrap();
+        prop_assert!(
+            cs.reads_of_family("A") <= cn.reads_of_family("A"),
+            "symmetric reads {} > naive reads {}",
+            cs.reads_of_family("A"),
+            cn.reads_of_family("A")
+        );
+    }
+}
+
+#[test]
+fn dense_reference_sanity() {
+    // Guard against the proptest harness silently testing nothing: one
+    // deterministic instance checked against hand math.
+    let einsum = Einsum::new(
+        access("Out", ["i0"]),
+        AssignOp::Add,
+        access("A", ["i0", "i1"]).into(),
+        [idx("i0"), idx("i1")],
+    );
+    let mut coo = CooTensor::new(vec![3, 3]);
+    coo.set(&[0, 1], 2.0);
+    coo.set(&[1, 0], 2.0);
+    coo.set(&[1, 1], 5.0);
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "A".to_string(),
+        Tensor::Sparse(SparseTensor::from_coo(&coo, &csf(2)).unwrap()),
+    );
+    let spec = SymmetrySpec::new().with_full("A", 2);
+    let compiled = Compiler::new().compile(&einsum, &spec).unwrap();
+    let sym = Prepared::from_programs(compiled.main, compiled.replication, &inputs).unwrap();
+    let (out, _) = sym.run_full().unwrap();
+    let expected = DenseTensor::from_vec(vec![3], vec![2.0, 7.0, 0.0]).unwrap();
+    assert!(out["Out"].max_abs_diff(&expected).unwrap() < 1e-12);
+}

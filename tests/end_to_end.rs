@@ -1,0 +1,208 @@
+//! End-to-end correctness: for every kernel in the paper's evaluation,
+//! the SySTeC-compiled program, the naive program, and the brute-force
+//! reference must agree on random inputs; the native baselines must
+//! agree as well.
+
+use std::collections::HashMap;
+
+use systec::exec::reference::reference_einsum;
+use systec::kernels::{defs, native, KernelDef, Prepared};
+use systec::tensor::generate::{random_dense, rng, sprand, symmetric_erdos_renyi};
+use systec::tensor::{DenseTensor, Tensor};
+
+const TOL: f64 = 1e-9;
+
+fn check_all_outputs(
+    a: &HashMap<String, DenseTensor>,
+    b: &HashMap<String, DenseTensor>,
+) {
+    assert_eq!(a.len(), b.len(), "output sets differ");
+    for (name, t) in a {
+        let diff = t.max_abs_diff(&b[name]).unwrap();
+        assert!(diff < TOL, "output {name} differs by {diff}");
+    }
+}
+
+fn check_kernel(def: &KernelDef, inputs: &HashMap<String, Tensor>) {
+    let sym = Prepared::compile(def, inputs).unwrap();
+    let naive = Prepared::naive(def, inputs).unwrap();
+    let (out_sym, _) = sym.run_full().unwrap();
+    let (out_naive, _) = naive.run_full().unwrap();
+    check_all_outputs(&out_sym, &out_naive);
+    let reference = reference_einsum(&def.einsum, inputs).unwrap();
+    let out_name = def.einsum.output.tensor.display_name();
+    let diff = out_sym[&out_name].max_abs_diff(&reference).unwrap();
+    assert!(diff < TOL, "kernel {} differs from reference by {diff}", def.name);
+}
+
+#[test]
+fn ssymv_end_to_end() {
+    for seed in 0..5 {
+        let def = defs::ssymv();
+        let mut r = rng(seed);
+        let n = 16 + 7 * seed as usize;
+        let a = symmetric_erdos_renyi(n, 2, 0.15, &mut r);
+        let x = random_dense(vec![n], &mut r);
+        let inputs = def.inputs([("A", a.into()), ("x", x.into())]).unwrap();
+        check_kernel(&def, &inputs);
+        // Native baselines agree too.
+        let a_sp = inputs["A"].as_sparse().unwrap();
+        let x_d = inputs["x"].as_dense().unwrap();
+        let mkl_like = native::symmetric_csr_spmv(a_sp, x_d);
+        let taco_like = native::csr_spmv(a_sp, x_d);
+        let reference = reference_einsum(&def.einsum, &inputs).unwrap();
+        assert!(mkl_like.max_abs_diff(&reference).unwrap() < TOL);
+        assert!(taco_like.max_abs_diff(&reference).unwrap() < TOL);
+    }
+}
+
+#[test]
+fn bellman_ford_end_to_end() {
+    for seed in 0..5 {
+        let def = defs::bellman_ford();
+        let mut r = rng(100 + seed);
+        let n = 14 + 5 * seed as usize;
+        let a = symmetric_erdos_renyi(n, 2, 0.2, &mut r);
+        let d = random_dense(vec![n], &mut r);
+        let inputs = def.inputs([("A", a.into()), ("d", d.clone().into())]).unwrap();
+        let mut sym = Prepared::compile(&def, &inputs).unwrap();
+        let mut naive = Prepared::naive(&def, &inputs).unwrap();
+        sym.init_output("y", d.clone());
+        naive.init_output("y", d.clone());
+        let (out_sym, _) = sym.run_full().unwrap();
+        let (out_naive, _) = naive.run_full().unwrap();
+        check_all_outputs(&out_sym, &out_naive);
+        let native_y =
+            native::csr_bellman_ford(inputs["A"].as_sparse().unwrap(), &d, &d);
+        assert!(out_sym["y"].max_abs_diff(&native_y).unwrap() < TOL);
+    }
+}
+
+#[test]
+fn syprd_end_to_end() {
+    for seed in 0..5 {
+        let def = defs::syprd();
+        let mut r = rng(200 + seed);
+        let n = 12 + 6 * seed as usize;
+        let a = symmetric_erdos_renyi(n, 2, 0.25, &mut r);
+        let x = random_dense(vec![n], &mut r);
+        let inputs = def.inputs([("A", a.into()), ("x", x.into())]).unwrap();
+        check_kernel(&def, &inputs);
+        let native_s =
+            native::csr_syprd(inputs["A"].as_sparse().unwrap(), inputs["x"].as_dense().unwrap());
+        let (out, _) = Prepared::compile(&def, &inputs).unwrap().run_full().unwrap();
+        assert!((out["y"].get(&[]) - native_s).abs() < TOL);
+    }
+}
+
+#[test]
+fn ssyrk_end_to_end() {
+    for seed in 0..5 {
+        let def = defs::ssyrk();
+        let mut r = rng(300 + seed);
+        let n = 10 + 4 * seed as usize;
+        let a = sprand(n, n, n * 3, &mut r);
+        let inputs = def.inputs([("A", a.into())]).unwrap();
+        check_kernel(&def, &inputs);
+        let native_c = native::csr_ssyrk(inputs["A"].as_sparse().unwrap());
+        let (out, _) = Prepared::compile(&def, &inputs).unwrap().run_full().unwrap();
+        assert!(out["C"].max_abs_diff(&native_c).unwrap() < TOL);
+    }
+}
+
+#[test]
+fn ttm_end_to_end() {
+    for seed in 0..4 {
+        let def = defs::ttm();
+        let mut r = rng(400 + seed);
+        let n = 7 + 2 * seed as usize;
+        let a = symmetric_erdos_renyi(n, 3, 0.08, &mut r);
+        let b = random_dense(vec![n, 4], &mut r);
+        let inputs = def.inputs([("A", a.into()), ("B", b.into())]).unwrap();
+        check_kernel(&def, &inputs);
+    }
+}
+
+#[test]
+fn ttm_partial_symmetry_end_to_end() {
+    for seed in 0..3 {
+        let def = defs::ttm_partial();
+        let mut r = rng(450 + seed);
+        let n = 7 + 2 * seed as usize;
+        // Only {{1,2}} symmetry is declared, but a fully symmetric tensor
+        // satisfies it, and we also build a genuinely partially symmetric
+        // one: T[k][j][l] = T[k][l][j].
+        let mut coo = systec::tensor::CooTensor::new(vec![n, n, n]);
+        use rand::Rng;
+        for _ in 0..(n * n) {
+            let (k, j, l) =
+                (r.gen_range(0..n), r.gen_range(0..n), r.gen_range(0..n));
+            let v = r.gen_range(0.1..1.0);
+            coo.set(&[k, j, l], v);
+            coo.set(&[k, l, j], v);
+        }
+        let b = random_dense(vec![n, 3], &mut r);
+        let inputs = def.inputs([("A", coo.into()), ("B", b.into())]).unwrap();
+        check_kernel(&def, &inputs);
+    }
+}
+
+#[test]
+fn mttkrp3_end_to_end() {
+    for seed in 0..4 {
+        let def = defs::mttkrp(3);
+        let mut r = rng(500 + seed);
+        let n = 8 + 2 * seed as usize;
+        let a = symmetric_erdos_renyi(n, 3, 0.05, &mut r);
+        let b = random_dense(vec![n, 4], &mut r);
+        let inputs = def.inputs([("A", a.into()), ("B", b.into())]).unwrap();
+        check_kernel(&def, &inputs);
+        let native_c =
+            native::csf_mttkrp3(inputs["A"].as_sparse().unwrap(), inputs["B"].as_dense().unwrap());
+        let (out, _) = Prepared::compile(&def, &inputs).unwrap().run_full().unwrap();
+        assert!(out["C"].max_abs_diff(&native_c).unwrap() < TOL);
+    }
+}
+
+#[test]
+fn mttkrp4_end_to_end() {
+    for seed in 0..3 {
+        let def = defs::mttkrp(4);
+        let mut r = rng(600 + seed);
+        let n = 6 + seed as usize;
+        let a = symmetric_erdos_renyi(n, 4, 0.02, &mut r);
+        let b = random_dense(vec![n, 3], &mut r);
+        let inputs = def.inputs([("A", a.into()), ("B", b.into())]).unwrap();
+        check_kernel(&def, &inputs);
+    }
+}
+
+#[test]
+fn mttkrp5_end_to_end() {
+    for seed in 0..2 {
+        let def = defs::mttkrp(5);
+        let mut r = rng(700 + seed);
+        let n = 5 + seed as usize;
+        let a = symmetric_erdos_renyi(n, 5, 0.008, &mut r);
+        let b = random_dense(vec![n, 3], &mut r);
+        let inputs = def.inputs([("A", a.into()), ("B", b.into())]).unwrap();
+        check_kernel(&def, &inputs);
+    }
+}
+
+#[test]
+fn dense_inputs_also_work() {
+    // The compiler is format-agnostic: the same kernels run with dense A.
+    let def = KernelDef {
+        formats: HashMap::from([
+            ("A".to_string(), defs::InputFormat::Dense),
+            ("x".to_string(), defs::InputFormat::Dense),
+        ]),
+        ..defs::ssymv()
+    };
+    let mut r = rng(800);
+    let a = systec::tensor::generate::random_symmetric_dense(12, &mut r);
+    let x = random_dense(vec![12], &mut r);
+    let inputs = def.inputs([("A", a.into()), ("x", x.into())]).unwrap();
+    check_kernel(&def, &inputs);
+}

@@ -1,0 +1,115 @@
+//! Every optimization pass, toggled individually, must preserve kernel
+//! semantics — the ablation-correctness guarantee behind the ablation
+//! benchmarks.
+
+use std::collections::HashMap;
+
+use systec::compiler::CompileOptions;
+use systec::kernels::{defs, KernelDef, Prepared};
+use systec::tensor::generate::{random_dense, rng, sprand, symmetric_erdos_renyi};
+use systec::tensor::Tensor;
+
+fn variants() -> Vec<(&'static str, CompileOptions)> {
+    let all = CompileOptions::default();
+    vec![
+        ("full", all),
+        ("no_visible_output", CompileOptions { visible_output: false, ..all }),
+        ("no_distribute", CompileOptions { distribute: false, ..all }),
+        ("with_lookup_tables", CompileOptions { lookup_tables: true, ..all }),
+        ("no_consolidate", CompileOptions { consolidate: false, ..all }),
+        ("no_cse", CompileOptions { cse: false, ..all }),
+        ("no_diag_split", CompileOptions { diagonal_split: false, ..all }),
+        ("no_group_branches", CompileOptions { group_branches: false, ..all }),
+        ("no_workspace", CompileOptions { workspace: false, ..all }),
+        ("no_licm", CompileOptions { licm: false, ..all }),
+        ("no_concordize", CompileOptions { concordize: false, ..all }),
+        ("no_output_detection", CompileOptions { output_symmetry_detection: false, ..all }),
+        ("symmetrize_only", CompileOptions::none()),
+    ]
+}
+
+fn check_variants(def: &KernelDef, inputs: &HashMap<String, Tensor>) {
+    let naive = Prepared::naive(def, inputs).unwrap();
+    let (expected, _) = naive.run_full().unwrap();
+    for (name, options) in variants() {
+        let prepared = Prepared::compile_with(def, inputs, options).unwrap();
+        let (got, _) = prepared.run_full().unwrap();
+        for (out_name, tensor) in &expected {
+            let diff = tensor.max_abs_diff(&got[out_name]).unwrap();
+            assert!(
+                diff < 1e-9,
+                "kernel {} variant {name}: output {out_name} differs by {diff}",
+                def.name
+            );
+        }
+    }
+}
+
+#[test]
+fn ssymv_all_variants_agree() {
+    let def = defs::ssymv();
+    let mut r = rng(31);
+    let a = symmetric_erdos_renyi(22, 2, 0.2, &mut r);
+    let x = random_dense(vec![22], &mut r);
+    let inputs = def.inputs([("A", a.into()), ("x", x.into())]).unwrap();
+    check_variants(&def, &inputs);
+}
+
+#[test]
+fn bellman_ford_all_variants_agree() {
+    let def = defs::bellman_ford();
+    let mut r = rng(32);
+    let a = symmetric_erdos_renyi(18, 2, 0.25, &mut r);
+    let d = random_dense(vec![18], &mut r);
+    let inputs = def.inputs([("A", a.into()), ("d", d.into())]).unwrap();
+    check_variants(&def, &inputs);
+}
+
+#[test]
+fn syprd_all_variants_agree() {
+    let def = defs::syprd();
+    let mut r = rng(33);
+    let a = symmetric_erdos_renyi(20, 2, 0.2, &mut r);
+    let x = random_dense(vec![20], &mut r);
+    let inputs = def.inputs([("A", a.into()), ("x", x.into())]).unwrap();
+    check_variants(&def, &inputs);
+}
+
+#[test]
+fn ssyrk_all_variants_agree() {
+    let def = defs::ssyrk();
+    let mut r = rng(34);
+    let a = sprand(14, 14, 50, &mut r);
+    let inputs = def.inputs([("A", a.into())]).unwrap();
+    check_variants(&def, &inputs);
+}
+
+#[test]
+fn ttm_all_variants_agree() {
+    let def = defs::ttm();
+    let mut r = rng(35);
+    let a = symmetric_erdos_renyi(9, 3, 0.06, &mut r);
+    let b = random_dense(vec![9, 3], &mut r);
+    let inputs = def.inputs([("A", a.into()), ("B", b.into())]).unwrap();
+    check_variants(&def, &inputs);
+}
+
+#[test]
+fn mttkrp3_all_variants_agree() {
+    let def = defs::mttkrp(3);
+    let mut r = rng(36);
+    let a = symmetric_erdos_renyi(10, 3, 0.05, &mut r);
+    let b = random_dense(vec![10, 3], &mut r);
+    let inputs = def.inputs([("A", a.into()), ("B", b.into())]).unwrap();
+    check_variants(&def, &inputs);
+}
+
+#[test]
+fn mttkrp4_all_variants_agree() {
+    let def = defs::mttkrp(4);
+    let mut r = rng(37);
+    let a = symmetric_erdos_renyi(7, 4, 0.01, &mut r);
+    let b = random_dense(vec![7, 3], &mut r);
+    let inputs = def.inputs([("A", a.into()), ("B", b.into())]).unwrap();
+    check_variants(&def, &inputs);
+}
