@@ -1,23 +1,36 @@
-//! Criterion benches: symmetric vs naive for every paper kernel at a
-//! small fixed size (the figure binaries sweep the real workloads; these
-//! keep `cargo bench` fast and regression-friendly).
+//! Criterion benches: every paper kernel across two axes — symmetric vs
+//! naive (the paper's comparison) and compiled VM vs tree-walking
+//! interpreter (this reproduction's backend ablation) — at a small fixed
+//! size (the figure binaries sweep the real workloads; these keep
+//! `cargo bench` fast and regression-friendly).
+//!
+//! Series names are `<kernel>/<variant>-<backend>`, e.g.
+//! `ssymv/systec-compiled`. All four cells run over reused output
+//! buffers (`run_timed_into`) so the numbers measure kernel work, not
+//! allocator traffic.
+
+use std::collections::HashMap;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use systec_kernels::{defs, KernelDef, Prepared};
+use systec_kernels::{defs, Backend, KernelDef, Prepared};
 use systec_tensor::generate::{random_dense, rng, sprand, symmetric_erdos_renyi};
 use systec_tensor::Tensor;
 
-fn bench_pair(
-    c: &mut Criterion,
-    name: &str,
-    def: &KernelDef,
-    inputs: &std::collections::HashMap<String, Tensor>,
-) {
+fn bench_grid(c: &mut Criterion, name: &str, def: &KernelDef, inputs: &HashMap<String, Tensor>) {
     let systec = Prepared::compile(def, inputs).expect("prepare systec");
     let naive = Prepared::naive(def, inputs).expect("prepare naive");
     let mut group = c.benchmark_group(name);
-    group.bench_function("systec", |b| b.iter(|| systec.run_timed().expect("run")));
-    group.bench_function("naive", |b| b.iter(|| naive.run_timed().expect("run")));
+    for (variant, prepared) in [("systec", &systec), ("naive", &naive)] {
+        for (backend_name, backend) in
+            [("compiled", Backend::Compiled), ("interp", Backend::Interpreter)]
+        {
+            let runner = prepared.clone().with_backend(backend);
+            let mut outputs = HashMap::new();
+            group.bench_function(&format!("{variant}-{backend_name}"), |b| {
+                b.iter(|| runner.run_timed_into(&mut outputs).expect("run"))
+            });
+        }
+    }
     group.finish();
 }
 
@@ -29,42 +42,45 @@ fn benches(c: &mut Criterion) {
 
     let def = defs::ssymv();
     let inputs = def.inputs([("A", a2.clone().into()), ("x", x.clone().into())]).unwrap();
-    bench_pair(c, "ssymv", &def, &inputs);
+    bench_grid(c, "ssymv", &def, &inputs);
 
     let def = defs::bellman_ford();
     let inputs = def.inputs([("A", a2.clone().into()), ("d", x.clone().into())]).unwrap();
-    bench_pair(c, "bellman_ford", &def, &inputs);
+    bench_grid(c, "bellman_ford", &def, &inputs);
 
     let def = defs::syprd();
     let inputs = def.inputs([("A", a2.into()), ("x", x.into())]).unwrap();
-    bench_pair(c, "syprd", &def, &inputs);
+    bench_grid(c, "syprd", &def, &inputs);
 
     let def = defs::ssyrk();
     let a = sprand(200, 200, 2_000, &mut r);
     let inputs = def.inputs([("A", a.into())]).unwrap();
-    bench_pair(c, "ssyrk", &def, &inputs);
+    bench_grid(c, "ssyrk", &def, &inputs);
 
     let def = defs::ttm();
     let a3 = symmetric_erdos_renyi(40, 3, 1e-2, &mut r);
     let b = random_dense(vec![40, 16], &mut r);
     let inputs = def.inputs([("A", a3.clone().into()), ("B", b.clone().into())]).unwrap();
-    bench_pair(c, "ttm", &def, &inputs);
+    bench_grid(c, "ttm", &def, &inputs);
 
     let def = defs::mttkrp(3);
     let inputs = def.inputs([("A", a3.into()), ("B", b.into())]).unwrap();
-    bench_pair(c, "mttkrp3", &def, &inputs);
+    bench_grid(c, "mttkrp3", &def, &inputs);
 
+    // The higher-order MTTKRPs use enough nonzeros that the measurement
+    // is dominated by kernel loops rather than per-run bookkeeping
+    // (binding, output reset), which is identical on both backends.
     let def = defs::mttkrp(4);
-    let a4 = symmetric_erdos_renyi(14, 4, 3e-4, &mut r);
-    let b = random_dense(vec![14, 16], &mut r);
+    let a4 = symmetric_erdos_renyi(18, 4, 2e-3, &mut r);
+    let b = random_dense(vec![18, 16], &mut r);
     let inputs = def.inputs([("A", a4.into()), ("B", b.into())]).unwrap();
-    bench_pair(c, "mttkrp4", &def, &inputs);
+    bench_grid(c, "mttkrp4", &def, &inputs);
 
     let def = defs::mttkrp(5);
-    let a5 = symmetric_erdos_renyi(10, 5, 2e-5, &mut r);
-    let b = random_dense(vec![10, 16], &mut r);
+    let a5 = symmetric_erdos_renyi(12, 5, 2e-4, &mut r);
+    let b = random_dense(vec![12, 16], &mut r);
     let inputs = def.inputs([("A", a5.into()), ("B", b.into())]).unwrap();
-    bench_pair(c, "mttkrp5", &def, &inputs);
+    bench_grid(c, "mttkrp5", &def, &inputs);
 }
 
 criterion_group! {

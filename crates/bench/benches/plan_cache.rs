@@ -1,0 +1,52 @@
+//! Plan-cache microbenchmark: what one kernel *preparation* costs on a
+//! cache miss (full pipeline: symmetrization + §4.2 passes + hoisting +
+//! lowering + bytecode compilation + data binding) versus a cache hit
+//! (data binding only), and a raw hit-rate measurement of the cache
+//! itself.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use systec_kernels::{clear_plan_cache, defs, plan_cache_stats, Prepared};
+use systec_tensor::generate::{random_dense, rng, symmetric_erdos_renyi};
+
+fn benches(c: &mut Criterion) {
+    let def = defs::ssymv();
+    let mut r = rng(7);
+    let a = symmetric_erdos_renyi(300, 2, 1e-2, &mut r);
+    let x = random_dense(vec![300], &mut r);
+    let inputs = def.inputs([("A", a.into()), ("x", x.into())]).unwrap();
+
+    let mut group = c.benchmark_group("plan_cache");
+    // Miss: clear the cache every time, so every preparation compiles.
+    group.bench_function("prepare-miss", |b| {
+        b.iter(|| {
+            clear_plan_cache();
+            black_box(Prepared::compile(&def, &inputs).expect("prepare"))
+        })
+    });
+    // Hit: the plan stays cached; preparation only re-binds the data.
+    clear_plan_cache();
+    let warm = Prepared::compile(&def, &inputs).expect("warm the cache");
+    group.bench_function("prepare-hit", |b| {
+        b.iter(|| black_box(Prepared::compile(&def, &inputs).expect("prepare")))
+    });
+    drop(warm);
+    group.finish();
+
+    // Report the hit rate the loop above produced, as a sanity check
+    // that the hit path really never compiled.
+    let stats = plan_cache_stats();
+    println!(
+        "plan cache: {} hits / {} misses ({} entries, {} evictions)",
+        stats.hits, stats.misses, stats.entries, stats.evictions
+    );
+    assert!(stats.hits > stats.misses, "hit path must dominate misses in this benchmark");
+}
+
+criterion_group! {
+    name = plan_cache;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    targets = benches
+}
+criterion_main!(plan_cache);

@@ -26,9 +26,8 @@ fn main() {
         eprintln!("tensor n={n} p={p}: nnz={nnz}");
         for &rank in &ranks {
             let b = random_dense(vec![n, rank], &mut r);
-            let inputs = def
-                .inputs([("A", a.clone().into()), ("B", b.into())])
-                .expect("inputs pack");
+            let inputs =
+                def.inputs([("A", a.clone().into()), ("B", b.into())]).expect("inputs pack");
             let systec = Prepared::compile(&def, &inputs).expect("prepare systec");
             let naive = Prepared::naive(&def, &inputs).expect("prepare naive");
             let budget = args.budget();

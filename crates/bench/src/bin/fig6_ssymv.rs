@@ -19,9 +19,7 @@ fn main() {
         let mut r = rng(0xF166);
         let x = random_dense(vec![spec.dim], &mut r);
         let nnz = sym.nnz();
-        let inputs = def
-            .inputs([("A", sym.into()), ("x", x.clone().into())])
-            .expect("inputs pack");
+        let inputs = def.inputs([("A", sym.into()), ("x", x.clone().into())]).expect("inputs pack");
         let systec = Prepared::compile(&def, &inputs).expect("prepare systec");
         let naive = Prepared::naive(&def, &inputs).expect("prepare naive");
         let a_sparse = inputs["A"].as_sparse().expect("A is compressed");
@@ -31,8 +29,7 @@ fn main() {
         // reported alongside the times.
         let (_, c_sym) = systec.run_timed().expect("counters");
         let (_, c_naive) = naive.run_timed().expect("counters");
-        let read_ratio =
-            c_naive.reads_of_family("A") as f64 / c_sym.reads_of_family("A") as f64;
+        let read_ratio = c_naive.reads_of_family("A") as f64 / c_sym.reads_of_family("A") as f64;
         let budget = args.budget();
         let t_systec = time_min(budget, 3, || {
             let _ = systec.run_timed().expect("run");
@@ -46,10 +43,7 @@ fn main() {
         let t_mkl = time_min(budget, 3, || {
             let _ = native::symmetric_csr_spmv(a_sparse, &x);
         });
-        eprintln!(
-            "{:<12} systec {:>10.3?}  naive {:>10.3?}",
-            spec.name, t_systec, t_naive
-        );
+        eprintln!("{:<12} systec {:>10.3?}  naive {:>10.3?}", spec.name, t_systec, t_naive);
         cases.push(Case {
             label: spec.name.to_string(),
             meta: format!("dim={} nnz={} readsx={:.2}", spec.dim, nnz, read_ratio),

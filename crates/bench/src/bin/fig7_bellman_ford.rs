@@ -16,9 +16,7 @@ fn main() {
         let mut r = rng(0xF177);
         let d = random_dense(vec![spec.dim], &mut r);
         let nnz = sym.nnz();
-        let inputs = def
-            .inputs([("A", sym.into()), ("d", d.clone().into())])
-            .expect("inputs pack");
+        let inputs = def.inputs([("A", sym.into()), ("d", d.clone().into())]).expect("inputs pack");
         let mut systec = Prepared::compile(&def, &inputs).expect("prepare systec");
         let mut naive = Prepared::naive(&def, &inputs).expect("prepare naive");
         systec.init_output("y", d.clone());
@@ -30,8 +28,7 @@ fn main() {
         // reported alongside the times.
         let (_, c_sym) = systec.run_timed().expect("counters");
         let (_, c_naive) = naive.run_timed().expect("counters");
-        let read_ratio =
-            c_naive.reads_of_family("A") as f64 / c_sym.reads_of_family("A") as f64;
+        let read_ratio = c_naive.reads_of_family("A") as f64 / c_sym.reads_of_family("A") as f64;
         let budget = args.budget();
         let t_systec = time_min(budget, 3, || {
             let _ = systec.run_timed().expect("run");
@@ -42,10 +39,7 @@ fn main() {
         let t_native = time_min(budget, 3, || {
             let _ = native::csr_bellman_ford(a_sparse, &d, &d);
         });
-        eprintln!(
-            "{:<12} systec {:>10.3?}  naive {:>10.3?}",
-            spec.name, t_systec, t_naive
-        );
+        eprintln!("{:<12} systec {:>10.3?}  naive {:>10.3?}", spec.name, t_systec, t_naive);
         cases.push(Case {
             label: spec.name.to_string(),
             meta: format!("dim={} nnz={} readsx={:.2}", spec.dim, nnz, read_ratio),

@@ -16,9 +16,7 @@ fn main() {
         let mut r = rng(0xF188);
         let x = random_dense(vec![spec.dim], &mut r);
         let nnz = sym.nnz();
-        let inputs = def
-            .inputs([("A", sym.into()), ("x", x.clone().into())])
-            .expect("inputs pack");
+        let inputs = def.inputs([("A", sym.into()), ("x", x.clone().into())]).expect("inputs pack");
         let systec = Prepared::compile(&def, &inputs).expect("prepare systec");
         let naive = Prepared::naive(&def, &inputs).expect("prepare naive");
         let a_sparse = inputs["A"].as_sparse().expect("A is compressed");
@@ -33,10 +31,7 @@ fn main() {
         let t_native = time_min(budget, 3, || {
             let _ = native::csr_syprd(a_sparse, &x);
         });
-        eprintln!(
-            "{:<12} systec {:>10.3?}  naive {:>10.3?}",
-            spec.name, t_systec, t_naive
-        );
+        eprintln!("{:<12} systec {:>10.3?}  naive {:>10.3?}", spec.name, t_systec, t_naive);
         cases.push(Case {
             label: spec.name.to_string(),
             meta: format!("dim={} nnz={}", spec.dim, nnz),

@@ -16,10 +16,8 @@ fn main() {
     let args = HarnessArgs::parse();
     let def = defs::ssyrk();
     let mut cases = Vec::new();
-    let members: Vec<_> = systec_tensor::suite::table2()
-        .into_iter()
-        .filter(|s| s.dim <= 6_000)
-        .collect();
+    let members: Vec<_> =
+        systec_tensor::suite::table2().into_iter().filter(|s| s.dim <= 6_000).collect();
     for spec in members {
         let scaled = if args.scale > 1 { spec.scaled_down(args.scale) } else { spec };
         eprintln!("generating {} (dim={}, nnz={})", scaled.name, scaled.dim, scaled.nnz);
@@ -42,10 +40,7 @@ fn main() {
         let t_native = time_min(budget, 2, || {
             let _ = native::csr_ssyrk(a_sparse);
         });
-        eprintln!(
-            "{:<12} systec {:>10.3?}  naive {:>10.3?}",
-            scaled.name, t_systec, t_naive
-        );
+        eprintln!("{:<12} systec {:>10.3?}  naive {:>10.3?}", scaled.name, t_systec, t_naive);
         cases.push(Case {
             label: scaled.name.to_string(),
             meta: format!("dim={} nnz={}", scaled.dim, nnz),

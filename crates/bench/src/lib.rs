@@ -62,7 +62,9 @@ impl HarnessArgs {
                         .expect("--budget-ms needs a positive integer");
                 }
                 "--out" => args.out = Some(it.next().expect("--out needs a path")),
-                other => panic!("unknown argument {other} (expected --full/--scale/--budget-ms/--out)"),
+                other => {
+                    panic!("unknown argument {other} (expected --full/--scale/--budget-ms/--out)")
+                }
             }
         }
         args
@@ -203,10 +205,7 @@ impl Figure {
     /// Writes the JSON next to the repo (`bench_results/<id>.json` by
     /// default, or the `--out` path).
     pub fn write(&self, args: &HarnessArgs) {
-        let path = args
-            .out
-            .clone()
-            .unwrap_or_else(|| format!("bench_results/{}.json", self.id));
+        let path = args.out.clone().unwrap_or_else(|| format!("bench_results/{}.json", self.id));
         if let Some(parent) = std::path::Path::new(&path).parent() {
             let _ = std::fs::create_dir_all(parent);
         }
@@ -219,7 +218,9 @@ impl Figure {
 /// (§5.2: "the asymmetric matrices in the suite were symmetrized by
 /// summing the transpose"). Prints progress, since full-scale
 /// generation of the multi-million-nnz members takes a while.
-pub fn suite_cases(scale: usize) -> Vec<(systec_tensor::suite::MatrixSpec, systec_tensor::CooTensor)> {
+pub fn suite_cases(
+    scale: usize,
+) -> Vec<(systec_tensor::suite::MatrixSpec, systec_tensor::CooTensor)> {
     systec_tensor::suite::table2()
         .into_iter()
         .map(|spec| {

@@ -1,0 +1,273 @@
+//! The flat, register-based instruction set the VM executes.
+//!
+//! Three register files, all resolved to flat indices at compile time:
+//!
+//! * `u` — `usize` registers: loop-index values, loop counters (cursor /
+//!   end / run / coordinate), and sparse-path positions. Position
+//!   registers use [`MISS`] as the "unstored" sentinel.
+//! * `f` — `f64` registers: lowered scalars (`let` / workspace slots)
+//!   followed by expression temporaries.
+//! * one `missing` flag, set by annihilator reads that miss and consumed
+//!   by [`Instr::JumpIfMiss`].
+//!
+//! Control flow is explicit: every loop is a `*LoopHead` (evaluate
+//! bounds, position the iterator, enter the first iteration or jump to
+//! the exit) followed by the body and a `*LoopNext` (advance; jump back
+//! or fall through). Loop heads are monomorphized per driver
+//! [`systec_tensor::LevelFormat`] — a dense counted loop, a compressed
+//! `pos`/`crd` walk, or a run-length walk — so the hot path never
+//! dispatches on storage format.
+
+use systec_exec::lowered::SlotKind;
+use systec_ir::{AssignOp, BinOp, CmpOp};
+
+/// Sentinel for "position unstored" in `u` position registers.
+pub(crate) const MISS: usize = usize::MAX;
+
+/// One `offset += u[reg] * stride` term of a strided address.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Term {
+    /// Index register.
+    pub reg: usize,
+    /// Row-major stride (baked in at compile time; the plan key pins the
+    /// operand shapes).
+    pub stride: usize,
+}
+
+/// One dynamic loop bound: `u[reg] + delta`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Bound {
+    pub reg: usize,
+    pub delta: i64,
+}
+
+/// A bytecode instruction. `to` / `exit` / `back` fields are absolute
+/// program counters after label resolution.
+#[derive(Clone, Debug)]
+pub(crate) enum Instr {
+    /// Unconditional jump.
+    Jump { to: usize },
+    /// Dense loop entry: clamp bounds, start at the lower bound.
+    DenseLoopHead {
+        idx: usize,
+        cur: usize,
+        end: usize,
+        extent: usize,
+        lo: Box<[Bound]>,
+        hi: Box<[Bound]>,
+        exit: usize,
+    },
+    /// Dense loop advance.
+    DenseLoopNext { idx: usize, cur: usize, end: usize, back: usize },
+    /// Compressed-driver loop entry: binary-search the bound window in
+    /// the level's `crd` slice, then walk stored coordinates. The head
+    /// publishes the fiber's `crd` slice under `cache` so the advance
+    /// never re-resolves the tensor binding.
+    SparseLoopHead {
+        tensor: usize,
+        level: usize,
+        cache: usize,
+        idx: usize,
+        parent: usize,
+        child: usize,
+        cur: usize,
+        end: usize,
+        lo: Box<[Bound]>,
+        hi: Box<[Bound]>,
+        exit: usize,
+    },
+    /// Compressed-driver loop advance.
+    SparseLoopNext { cache: usize, idx: usize, child: usize, cur: usize, end: usize, back: usize },
+    /// Run-length-driver loop entry (publishes `run_start`/`run_end`
+    /// slices under `cache`).
+    RleLoopHead {
+        tensor: usize,
+        level: usize,
+        cache: usize,
+        idx: usize,
+        parent: usize,
+        child: usize,
+        run: usize,
+        run_end: usize,
+        coord: usize,
+        hi_reg: usize,
+        lo: Box<[Bound]>,
+        hi: Box<[Bound]>,
+        exit: usize,
+    },
+    /// Run-length-driver loop advance.
+    RleLoopNext {
+        cache: usize,
+        idx: usize,
+        child: usize,
+        run: usize,
+        run_end: usize,
+        coord: usize,
+        hi_reg: usize,
+        back: usize,
+    },
+    /// Advance a non-driving tracked access one level at the current
+    /// coordinate (`u[child] = find(u[parent], u[idx])` or [`MISS`]).
+    Probe { tensor: usize, level: usize, parent: usize, child: usize, idx: usize },
+    /// Jump when the comparison over `u` registers holds.
+    JumpIfCmp { op: CmpOp, a: usize, b: usize, to: usize },
+    /// Jump when the comparison over `u` registers fails.
+    JumpIfNotCmp { op: CmpOp, a: usize, b: usize, to: usize },
+    /// `f[dst] = val`.
+    Const { dst: usize, val: f64 },
+    /// `f[dst] = f[src]`.
+    Copy { dst: usize, src: usize },
+    /// `f[dst] = op(f[a], f[b])` (one flop).
+    Bin { op: BinOp, dst: usize, a: usize, b: usize },
+    /// Strided dense-input element read (one counted read).
+    ReadDense { dst: usize, tensor: usize, terms: Box<[Term]> },
+    /// Strided output element read (one counted read).
+    ReadOutput { dst: usize, tensor: usize, terms: Box<[Term]> },
+    /// Tracked-path sparse read: `f[dst] = vals[u[leaf]]`, or fill (0)
+    /// when the leaf position is [`MISS`].
+    ReadSparsePath { dst: usize, tensor: usize, leaf: usize, annihilator: bool },
+    /// Tracked-path sparse read proven never to miss (every level of
+    /// the path is bound by a driver loop or a dense-level probe): no
+    /// sentinel check.
+    ReadSparseDirect { dst: usize, tensor: usize, leaf: usize },
+    /// Non-concordant sparse read: per-level search from the root.
+    ReadSparseRandom { dst: usize, tensor: usize, modes: Box<[usize]>, annihilator: bool },
+    /// `f[dst] = op(u[a], u[b]) as 0/1`.
+    CmpVal { dst: usize, op: CmpOp, a: usize, b: usize },
+    /// `f[dst] = tables[table][f[src] as usize]` (0 out of range).
+    LookupTable { dst: usize, table: usize, src: usize },
+    /// Clear the miss flag before a fallible right-hand side.
+    ClearMiss,
+    /// Jump when the miss flag is set (annihilated assignment).
+    JumpIfMiss { to: usize },
+    /// Jump when `u[reg]` is [`MISS`] (`let` over an absent driver value).
+    JumpIfUMiss { reg: usize, to: usize },
+    /// Reducing (or overwriting) store to an output element.
+    WriteOutput { tensor: usize, terms: Box<[Term]>, op: AssignOp, src: usize },
+    /// Reducing (or overwriting) store to a scalar slot.
+    WriteScalar { slot: usize, op: AssignOp, src: usize },
+    /// Fused compute-and-store: `out[terms] op= bin(f[a], f[b])` — the
+    /// dominant `w += t * x[j]` shape as one instruction. The binary op
+    /// always executes (and counts its flop, as in the interpreter);
+    /// with `check_miss` the *store* is skipped when the miss flag is
+    /// set.
+    FusedWriteOutput {
+        tensor: usize,
+        terms: Box<[Term]>,
+        bin: BinOp,
+        op: AssignOp,
+        a: usize,
+        b: usize,
+        check_miss: bool,
+    },
+    /// Fused compute-and-store to a scalar slot.
+    FusedWriteScalar { slot: usize, bin: BinOp, op: AssignOp, a: usize, b: usize, check_miss: bool },
+    /// N-ary fold-and-store: `out[terms] op= fold(bin, f[srcs])` — a
+    /// whole `C[i,j] += 2 * t * B[k,j] * B[l,j]` right-hand side in one
+    /// dispatch. Counts `srcs.len() - 1` fold flops plus the reduction,
+    /// exactly like the interpreter's n-ary evaluation.
+    FoldWriteOutput {
+        tensor: usize,
+        terms: Box<[Term]>,
+        bin: BinOp,
+        op: AssignOp,
+        srcs: Box<[usize]>,
+        check_miss: bool,
+    },
+    /// N-ary fold-and-store to a scalar slot.
+    FoldWriteScalar { slot: usize, bin: BinOp, op: AssignOp, srcs: Box<[usize]>, check_miss: bool },
+    /// Workspace initialization: `f[slot] = val` (uncounted).
+    InitScalar { slot: usize, val: f64 },
+    /// A whole innermost dense loop as one instruction: guards are
+    /// loop-invariant (evaluated once at entry), strided bases are
+    /// precomputed, and the body is a flat step list. Counter semantics
+    /// are identical to executing the equivalent instruction sequence.
+    VecDenseLoop {
+        idx: usize,
+        extent: usize,
+        lo: Box<[Bound]>,
+        hi: Box<[Bound]>,
+        items: Box<[VItem]>,
+    },
+    /// A whole innermost compressed-driver loop as one instruction.
+    VecSparseLoop {
+        tensor: usize,
+        level: usize,
+        idx: usize,
+        parent: usize,
+        lo: Box<[Bound]>,
+        hi: Box<[Bound]>,
+        items: Box<[VItem]>,
+    },
+    /// End of program.
+    Halt,
+}
+
+/// One (possibly guarded) group of straight-line work inside a vector
+/// loop. The guard is a conjunction over loop-invariant `u` registers.
+#[derive(Clone, Debug)]
+pub(crate) struct VItem {
+    /// Scratch index for the precomputed pass/fail of the guard.
+    pub id: usize,
+    /// Conjunction of comparisons over loop-invariant registers.
+    pub guard: Box<[(CmpOp, usize, usize)]>,
+    /// The body, executed in order for each coordinate.
+    pub steps: Box<[VStep]>,
+}
+
+/// One step of a vector-loop body. `base`-bearing steps carry a scratch
+/// index (`id`) where the loop entry caches `offset(u, base)`; the
+/// per-coordinate address is `bases[id] + coord * stride`.
+#[derive(Clone, Debug)]
+pub(crate) enum VStep {
+    /// `f[dst] = dense[tensor][bases[id] + coord * stride]` (counted).
+    Load { dst: usize, tensor: usize, id: usize, base: Box<[Term]>, stride: usize },
+    /// `f[dst] = vals[position]` of the driving level (counted).
+    LoadVal { dst: usize, tensor: usize },
+    /// `out[bases[id] + coord*stride] op= fold(bin, f[srcs])`.
+    FoldOut {
+        tensor: usize,
+        id: usize,
+        base: Box<[Term]>,
+        stride: usize,
+        bin: BinOp,
+        op: AssignOp,
+        srcs: Box<[usize]>,
+    },
+    /// `f[slot] op= fold(bin, f[srcs])`.
+    FoldScalar { slot: usize, bin: BinOp, op: AssignOp, srcs: Box<[usize]> },
+}
+
+/// Per-tensor-slot binding metadata, validated when the program binds
+/// concrete tensors.
+#[derive(Clone, Debug)]
+pub(crate) struct TensorInfo {
+    /// Display name (binding key in the input/output maps).
+    pub name: String,
+    /// Binding class.
+    pub kind: SlotKind,
+    /// Shape the plan was compiled against.
+    pub dims: Vec<usize>,
+}
+
+/// A compiled program: flat instructions plus register-file sizes and
+/// binding metadata.
+#[derive(Clone, Debug)]
+pub(crate) struct BytecodeProgram {
+    pub instrs: Vec<Instr>,
+    /// Initial contents of the `u` file (index slots 0, root positions 0,
+    /// deeper positions [`MISS`]).
+    pub u_init: Vec<usize>,
+    /// Size of the `f` file (scalars + temporaries).
+    pub n_f: usize,
+    /// Lookup tables referenced by [`Instr::LookupTable`].
+    pub tables: Vec<Box<[f64]>>,
+    /// Number of per-loop fiber caches (one per driven loop).
+    pub n_caches: usize,
+    /// Scratch sizes for vector loops (guard passes / cached bases).
+    pub n_vec_items: usize,
+    /// See [`BytecodeProgram::n_vec_items`].
+    pub n_vec_bases: usize,
+    /// Per-slot binding metadata, in slot order.
+    pub tensors: Vec<TensorInfo>,
+}

@@ -1,0 +1,256 @@
+//! The LRU plan cache.
+//!
+//! The paper's methodology (and the ROADMAP's heavy-traffic scenario) is
+//! prepare-once / run-many: the expensive work — symmetrization, the
+//! §4.2 passes, hoisting, lowering, and bytecode compilation — depends
+//! only on the *kernel specification* (einsum + symmetry declarations)
+//! and the *operand signature* (storage formats + shapes), never on the
+//! tensor values. [`PlanCache`] memoizes that work under a [`PlanKey`]
+//! so a repeated kernel spec skips straight to execution.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use systec_tensor::{LevelFormat, Tensor};
+
+/// The storage signature of one operand: family, per-mode formats, and
+/// shape.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BindingSig {
+    /// Dense strided storage of the given shape.
+    Dense {
+        /// The operand's shape.
+        dims: Vec<usize>,
+    },
+    /// Compressed storage with the given per-mode level formats.
+    Compressed {
+        /// Per-mode level formats.
+        formats: Vec<LevelFormat>,
+        /// The operand's shape.
+        dims: Vec<usize>,
+    },
+}
+
+impl BindingSig {
+    /// The signature of a concrete tensor.
+    pub fn of(tensor: &Tensor) -> BindingSig {
+        match tensor {
+            Tensor::Dense(t) => BindingSig::Dense { dims: t.dims().to_vec() },
+            Tensor::Sparse(t) => {
+                BindingSig::Compressed { formats: t.formats().to_vec(), dims: t.dims().to_vec() }
+            }
+        }
+    }
+}
+
+/// A plan identity: everything compilation depends on.
+///
+/// Two invocations with equal keys produce byte-identical plans, so the
+/// cached plan can be shared freely (plans are immutable).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PlanKey {
+    /// The kernel specification: canonical einsum text plus any variant
+    /// tag the caller distinguishes (e.g. `systec` vs `naive`).
+    pub spec: String,
+    /// Canonical rendering of the symmetry declarations.
+    pub symmetry: String,
+    /// Operand signatures, sorted by operand name.
+    pub bindings: Vec<(String, BindingSig)>,
+}
+
+impl PlanKey {
+    /// Builds a key from a spec string, a symmetry string, and concrete
+    /// input bindings (formats and dims are extracted; values ignored).
+    pub fn new(
+        spec: impl Into<String>,
+        symmetry: impl Into<String>,
+        inputs: &HashMap<String, Tensor>,
+    ) -> PlanKey {
+        let mut bindings: Vec<(String, BindingSig)> =
+            inputs.iter().map(|(name, t)| (name.clone(), BindingSig::of(t))).collect();
+        bindings.sort_by(|a, b| a.0.cmp(&b.0));
+        PlanKey { spec: spec.into(), symmetry: symmetry.into(), bindings }
+    }
+}
+
+/// Cache observability counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a plan.
+    pub misses: u64,
+    /// Plans evicted by the LRU policy.
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+/// An LRU cache from [`PlanKey`] to shared immutable plans.
+///
+/// Values are handed out as [`Arc`]s: evicting a plan never invalidates
+/// kernels still holding it. Eviction scans for the least-recently-used
+/// entry — O(capacity), which is fine at plan-cache sizes (tens of
+/// entries, hit on every repeated invocation).
+#[derive(Debug)]
+pub struct PlanCache<V> {
+    capacity: usize,
+    map: HashMap<PlanKey, (Arc<V>, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<V> PlanCache<V> {
+    /// A cache holding at most `capacity` plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "plan cache capacity must be positive");
+        PlanCache { capacity, map: HashMap::new(), tick: 0, hits: 0, misses: 0, evictions: 0 }
+    }
+
+    /// Looks up `key`, recording a hit (and refreshing recency) or a
+    /// miss. Callers that miss should build the plan *without* holding
+    /// any lock around the cache, then [`PlanCache::insert`] it.
+    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<V>> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some((plan, used)) => {
+                *used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(plan))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly built plan, evicting the least-recently-used
+    /// entry when full. Counts nothing (the miss was recorded by
+    /// [`PlanCache::get`]); if a concurrent builder won the race the
+    /// newer plan simply replaces it — equal keys produce equal plans.
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<V>) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (_, used))| *used).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, (plan, self.tick));
+    }
+
+    /// Current observability counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+        }
+    }
+
+    /// Drops every cached plan and resets the statistics.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(spec: &str) -> PlanKey {
+        PlanKey { spec: spec.into(), symmetry: String::new(), bindings: Vec::new() }
+    }
+
+    /// The miss-then-insert protocol the production caller follows.
+    fn get_or_build(
+        cache: &mut PlanCache<u32>,
+        k: PlanKey,
+        build: impl FnOnce() -> u32,
+    ) -> Arc<u32> {
+        match cache.get(&k) {
+            Some(plan) => plan,
+            None => {
+                let plan = Arc::new(build());
+                cache.insert(k, Arc::clone(&plan));
+                plan
+            }
+        }
+    }
+
+    #[test]
+    fn hit_returns_same_plan() {
+        let mut cache: PlanCache<u32> = PlanCache::new(4);
+        let a = get_or_build(&mut cache, key("a"), || 1);
+        let b = get_or_build(&mut cache, key("a"), || panic!("must not rebuild"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache: PlanCache<u32> = PlanCache::new(2);
+        get_or_build(&mut cache, key("a"), || 1);
+        get_or_build(&mut cache, key("b"), || 2);
+        // Touch a, then insert c: b is the LRU victim.
+        get_or_build(&mut cache, key("a"), || panic!());
+        get_or_build(&mut cache, key("c"), || 3);
+        assert_eq!(cache.stats().evictions, 1);
+        // a still cached, b rebuilt.
+        get_or_build(&mut cache, key("a"), || panic!());
+        let mut rebuilt = false;
+        get_or_build(&mut cache, key("b"), || {
+            rebuilt = true;
+            2
+        });
+        assert!(rebuilt);
+    }
+
+    #[test]
+    fn failed_builds_cache_nothing() {
+        let mut cache: PlanCache<u32> = PlanCache::new(2);
+        // A miss whose build fails simply never inserts.
+        assert!(cache.get(&key("a")).is_none());
+        assert_eq!(cache.stats().entries, 0);
+        let ok = get_or_build(&mut cache, key("a"), || 7);
+        assert_eq!(*ok, 7);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn key_is_value_insensitive() {
+        use systec_tensor::{CooTensor, SparseTensor, Tensor, CSR};
+        let mut coo1 = CooTensor::new(vec![3, 3]);
+        coo1.push(&[0, 1], 1.0);
+        let mut coo2 = CooTensor::new(vec![3, 3]);
+        coo2.push(&[2, 2], 9.0);
+        let mk = |coo: &CooTensor| {
+            let mut m = HashMap::new();
+            m.insert("A".to_string(), Tensor::Sparse(SparseTensor::from_coo(coo, &CSR).unwrap()));
+            m
+        };
+        let k1 = PlanKey::new("spec", "sym", &mk(&coo1));
+        let k2 = PlanKey::new("spec", "sym", &mk(&coo2));
+        assert_eq!(k1, k2, "same formats+dims must key identically");
+        let mut coo3 = CooTensor::new(vec![4, 4]);
+        coo3.push(&[0, 1], 1.0);
+        let k3 = PlanKey::new("spec", "sym", &mk(&coo3));
+        assert_ne!(k1, k3, "different dims must key differently");
+    }
+}

@@ -1,0 +1,1028 @@
+//! Compilation of a [`LoweredProgram`] into flat bytecode.
+//!
+//! Everything the interpreter resolves per visit — name lookups are
+//! already gone after lowering, but enum-dispatch on statement and
+//! expression nodes, per-step level-format dispatch, and `Option`-boxed
+//! path positions remain — is resolved here once:
+//!
+//! * loop heads are monomorphized per driver level format,
+//! * strided addresses carry their strides inline,
+//! * expressions become three-address code over a flat `f64` file,
+//! * path positions become plain `usize` registers with a sentinel.
+
+use std::collections::HashMap;
+
+use systec_exec::lowered::{LBound, LCond, LExpr, LStmt, LTarget, SlotKind};
+use systec_exec::{ExecError, LoweredProgram};
+use systec_tensor::{DenseTensor, LevelFormat, Tensor};
+
+use systec_ir::CmpOp;
+
+use crate::bytecode::{Bound, BytecodeProgram, Instr, TensorInfo, Term, VItem, VStep, MISS};
+
+/// Per-slot compile-time binding info.
+enum SlotLayout {
+    Dense { strides: Vec<usize> },
+    Sparse { formats: Vec<LevelFormat> },
+    Output { strides: Vec<usize> },
+}
+
+pub(crate) fn compile(
+    program: &LoweredProgram,
+    inputs: &HashMap<String, Tensor>,
+    outputs: &HashMap<String, DenseTensor>,
+) -> Result<BytecodeProgram, ExecError> {
+    // Resolve each tensor slot's layout from the concrete bindings (the
+    // plan key pins formats and shapes, so baking them in is sound).
+    let mut layouts = Vec::with_capacity(program.tensors.len());
+    let mut infos = Vec::with_capacity(program.tensors.len());
+    for slot in &program.tensors {
+        let (layout, dims) = match slot.kind {
+            SlotKind::DenseInput => match inputs.get(&slot.name) {
+                Some(Tensor::Dense(t)) => {
+                    (SlotLayout::Dense { strides: t.strides().to_vec() }, t.dims().to_vec())
+                }
+                _ => return Err(ExecError::UnknownTensor { name: slot.name.clone() }),
+            },
+            SlotKind::SparseInput => match inputs.get(&slot.name) {
+                Some(Tensor::Sparse(t)) => {
+                    (SlotLayout::Sparse { formats: t.formats().to_vec() }, t.dims().to_vec())
+                }
+                _ => return Err(ExecError::UnknownTensor { name: slot.name.clone() }),
+            },
+            SlotKind::Output => match outputs.get(&slot.name) {
+                Some(t) => {
+                    (SlotLayout::Output { strides: t.strides().to_vec() }, t.dims().to_vec())
+                }
+                None => return Err(ExecError::UnknownTensor { name: slot.name.clone() }),
+            },
+        };
+        layouts.push(layout);
+        infos.push(TensorInfo { name: slot.name.clone(), kind: slot.kind, dims });
+    }
+
+    // `u` register layout: index slots, then path positions, then loop
+    // counters (allocated on demand).
+    let n_idx = program.indices.len();
+    let mut pos_base = Vec::with_capacity(program.accesses.len());
+    let mut u_init = vec![0usize; n_idx];
+    for access in &program.accesses {
+        pos_base.push(u_init.len());
+        u_init.push(0); // root position
+        u_init.extend(std::iter::repeat_n(MISS, access.rank));
+    }
+
+    // Pre-scan: which scalar slots are assignment targets (those can
+    // never be alias-elided), and which literal constants appear (they
+    // load once into a pooled register in the prologue).
+    let mut written = vec![false; program.n_scalars];
+    let mut const_pool: Vec<f64> = Vec::new();
+    let mut const_ids: HashMap<u64, usize> = HashMap::new();
+    prescan(&program.root, &mut written, &mut |v: f64| {
+        const_ids.entry(v.to_bits()).or_insert_with(|| {
+            const_pool.push(v);
+            const_pool.len() - 1
+        });
+    });
+    let const_base = program.n_scalars;
+
+    let never_miss = program
+        .accesses
+        .iter()
+        .map(|a| {
+            let mut levels = vec![false; a.rank + 1];
+            levels[0] = true; // the root position is always stored
+            levels
+        })
+        .collect();
+    let mut c = Compiler {
+        program,
+        layouts: &layouts,
+        pos_base,
+        u_init,
+        instrs: Vec::new(),
+        labels: Vec::new(),
+        written,
+        alias: (0..program.n_scalars).collect(),
+        const_ids,
+        const_base,
+        temp_base: const_base + const_pool.len(),
+        temp_next: 0,
+        temp_max: 0,
+        tables: Vec::new(),
+        n_caches: 0,
+        n_vec_items: 0,
+        n_vec_bases: 0,
+        never_miss,
+    };
+    // Prologue: materialize the constant pool.
+    for (k, v) in const_pool.iter().enumerate() {
+        c.emit(Instr::Const { dst: const_base + k, val: *v });
+    }
+    c.stmt(&program.root);
+    c.emit(Instr::Halt);
+    c.resolve_labels();
+
+    Ok(BytecodeProgram {
+        instrs: c.instrs,
+        u_init: c.u_init,
+        n_f: c.temp_base + c.temp_max,
+        tables: c.tables,
+        tensors: infos,
+        n_caches: c.n_caches,
+        n_vec_items: c.n_vec_items,
+        n_vec_bases: c.n_vec_bases,
+    })
+}
+
+/// Walks the lowered tree recording scalar assignment targets and every
+/// literal operand.
+fn prescan(stmt: &LStmt, written: &mut [bool], on_lit: &mut impl FnMut(f64)) {
+    fn expr(e: &LExpr, on_lit: &mut impl FnMut(f64)) {
+        match e {
+            LExpr::Lit(v) => on_lit(*v),
+            LExpr::Call { args, .. } => {
+                for a in args {
+                    expr(a, on_lit);
+                }
+            }
+            LExpr::Lookup { index, .. } => expr(index, on_lit),
+            _ => {}
+        }
+    }
+    match stmt {
+        LStmt::Seq(ss) => {
+            for s in ss {
+                prescan(s, written, on_lit);
+            }
+        }
+        LStmt::Loop { body, .. } | LStmt::If { body, .. } | LStmt::Workspace { body, .. } => {
+            prescan(body, written, on_lit);
+        }
+        LStmt::Let { value, body, .. } => {
+            expr(value, on_lit);
+            prescan(body, written, on_lit);
+        }
+        LStmt::Assign { target, rhs, .. } => {
+            if let LTarget::Scalar(slot) = target {
+                written[*slot] = true;
+            }
+            expr(rhs, on_lit);
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Label(usize);
+
+/// Accumulates vector-loop items during [`Compiler::try_vectorize`]:
+/// steps gather under the current guard; a guard change seals the open
+/// steps into an item.
+struct VecBuilder {
+    items: Vec<VItem>,
+    open_guard: Vec<(CmpOp, usize, usize)>,
+    open_steps: Vec<VStep>,
+}
+
+impl VecBuilder {
+    fn flush(&mut self, c: &mut Compiler<'_>) {
+        if !self.open_steps.is_empty() {
+            self.items.push(VItem {
+                id: c.alloc_vec_item(),
+                guard: self.open_guard.clone().into(),
+                steps: std::mem::take(&mut self.open_steps).into(),
+            });
+        }
+    }
+
+    fn push_guard(&mut self, c: &mut Compiler<'_>, conjuncts: Vec<(CmpOp, usize, usize)>) {
+        self.flush(c);
+        self.open_guard.extend(conjuncts);
+    }
+
+    fn pop_guard(&mut self, c: &mut Compiler<'_>, depth: usize) {
+        self.flush(c);
+        self.open_guard.truncate(depth);
+    }
+}
+
+/// Flattens a guard into a conjunction of comparisons over registers
+/// other than the loop's own index. `false` = not flattenable.
+fn flatten_guard(cond: &LCond, idx: usize, out: &mut Vec<(CmpOp, usize, usize)>) -> bool {
+    match cond {
+        LCond::True => true,
+        LCond::Cmp(op, a, b) => {
+            if *a == idx || *b == idx {
+                return false;
+            }
+            out.push((*op, *a, *b));
+            true
+        }
+        LCond::And(cs) => cs.iter().all(|c| flatten_guard(c, idx, out)),
+        LCond::Or(_) => false,
+    }
+}
+
+struct Compiler<'a> {
+    program: &'a LoweredProgram,
+    layouts: &'a [SlotLayout],
+    /// `u` register of `paths[access][level]` is `pos_base[access] + level`.
+    pos_base: Vec<usize>,
+    u_init: Vec<usize>,
+    instrs: Vec<Instr>,
+    /// Label targets; jump fields hold label ids until
+    /// [`Compiler::resolve_labels`] rewrites them to program counters.
+    labels: Vec<Option<usize>>,
+    /// Scalar slots that are assignment targets (never alias-elided).
+    written: Vec<bool>,
+    /// Canonical register of each scalar slot: identity, except for
+    /// `let s2 = s1` bindings of never-reassigned scalars, which resolve
+    /// straight to `s1` with no copy instruction.
+    alias: Vec<usize>,
+    /// Literal value (bits) → index into the constant pool.
+    const_ids: HashMap<u64, usize>,
+    const_base: usize,
+    temp_base: usize,
+    temp_next: usize,
+    temp_max: usize,
+    tables: Vec<Box<[f64]>>,
+    n_caches: usize,
+    n_vec_items: usize,
+    n_vec_bases: usize,
+    /// Per (access, level): whether the position register is provably
+    /// never [`MISS`] in the current scope — levels bound by a driver
+    /// loop, or dense-level probes of a never-miss parent. Enables
+    /// eliding the sentinel checks on the hot path.
+    never_miss: Vec<Vec<bool>>,
+}
+
+impl Compiler<'_> {
+    fn emit(&mut self, i: Instr) {
+        self.instrs.push(i);
+    }
+
+    fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    fn bind(&mut self, l: Label) {
+        debug_assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.instrs.len());
+    }
+
+    fn alloc_u(&mut self) -> usize {
+        self.u_init.push(0);
+        self.u_init.len() - 1
+    }
+
+    fn alloc_temp(&mut self) -> usize {
+        let t = self.temp_base + self.temp_next;
+        self.temp_next += 1;
+        self.temp_max = self.temp_max.max(self.temp_next);
+        t
+    }
+
+    fn const_reg(&self, v: f64) -> usize {
+        self.const_base + self.const_ids[&v.to_bits()]
+    }
+
+    fn alloc_cache(&mut self) -> usize {
+        self.n_caches += 1;
+        self.n_caches - 1
+    }
+
+    fn strides_of(&self, tensor: usize) -> &[usize] {
+        match &self.layouts[tensor] {
+            SlotLayout::Dense { strides } | SlotLayout::Output { strides } => strides,
+            SlotLayout::Sparse { .. } => unreachable!("strided access to a sparse slot"),
+        }
+    }
+
+    fn terms(&self, tensor: usize, modes: &[usize]) -> Box<[Term]> {
+        let strides = self.strides_of(tensor);
+        modes.iter().zip(strides).map(|(&reg, &stride)| Term { reg, stride }).collect()
+    }
+
+    fn bounds(&self, bounds: &[LBound]) -> Box<[Bound]> {
+        bounds.iter().map(|b| Bound { reg: b.idx, delta: b.delta }).collect()
+    }
+
+    fn stmt(&mut self, stmt: &LStmt) {
+        match stmt {
+            LStmt::Seq(ss) => {
+                for s in ss {
+                    self.stmt(s);
+                }
+            }
+            LStmt::Loop { idx, extent, lo, hi, drivers, probes, body } => {
+                if *extent == 0 {
+                    return; // statically empty, as in the interpreter
+                }
+                if probes.is_empty()
+                    && drivers.len() <= 1
+                    && self.try_vectorize(*idx, *extent, lo, hi, drivers.first(), body)
+                {
+                    return;
+                }
+                let exit = self.new_label();
+                let lo = self.bounds(lo);
+                let hi = self.bounds(hi);
+                // The loop's advance instruction, emitted after the body.
+                enum Next {
+                    Dense {
+                        idx: usize,
+                        cur: usize,
+                        end: usize,
+                    },
+                    Sparse {
+                        cache: usize,
+                        idx: usize,
+                        child: usize,
+                        cur: usize,
+                        end: usize,
+                    },
+                    Rle {
+                        cache: usize,
+                        idx: usize,
+                        child: usize,
+                        run: usize,
+                        run_end: usize,
+                        coord: usize,
+                        hi_reg: usize,
+                    },
+                }
+                let next = if let Some(driver) = drivers.first() {
+                    let access = &self.program.accesses[driver.access];
+                    let tensor = access.tensor;
+                    let SlotLayout::Sparse { formats } = &self.layouts[tensor] else {
+                        unreachable!("drivers are sparse inputs");
+                    };
+                    let parent = self.pos_base[driver.access] + driver.level;
+                    let child = parent + 1;
+                    let cache = self.alloc_cache();
+                    match formats[driver.level] {
+                        LevelFormat::Sparse => {
+                            let (cur, end) = (self.alloc_u(), self.alloc_u());
+                            self.emit(Instr::SparseLoopHead {
+                                tensor,
+                                level: driver.level,
+                                cache,
+                                idx: *idx,
+                                parent,
+                                child,
+                                cur,
+                                end,
+                                lo,
+                                hi,
+                                exit: exit.0,
+                            });
+                            Next::Sparse { cache, idx: *idx, child, cur, end }
+                        }
+                        LevelFormat::RunLength => {
+                            let (run, run_end, coord, hi_reg) =
+                                (self.alloc_u(), self.alloc_u(), self.alloc_u(), self.alloc_u());
+                            self.emit(Instr::RleLoopHead {
+                                tensor,
+                                level: driver.level,
+                                cache,
+                                idx: *idx,
+                                parent,
+                                child,
+                                run,
+                                run_end,
+                                coord,
+                                hi_reg,
+                                lo,
+                                hi,
+                                exit: exit.0,
+                            });
+                            Next::Rle { cache, idx: *idx, child, run, run_end, coord, hi_reg }
+                        }
+                        LevelFormat::Dense => unreachable!("dense levels never drive"),
+                    }
+                } else {
+                    let (cur, end) = (self.alloc_u(), self.alloc_u());
+                    self.emit(Instr::DenseLoopHead {
+                        idx: *idx,
+                        cur,
+                        end,
+                        extent: *extent,
+                        lo,
+                        hi,
+                        exit: exit.0,
+                    });
+                    Next::Dense { idx: *idx, cur, end }
+                };
+
+                // Scope the never-miss facts this loop establishes.
+                let mut saved: Vec<(usize, usize, bool)> = Vec::new();
+                let mut set_flag = |c: &mut Self, access: usize, level: usize, value: bool| {
+                    saved.push((access, level + 1, c.never_miss[access][level + 1]));
+                    c.never_miss[access][level + 1] = value;
+                };
+                if let Some(driver) = drivers.first() {
+                    // The driver loop binds this level to stored
+                    // positions only.
+                    set_flag(self, driver.access, driver.level, true);
+                }
+
+                // Per-iteration entry point: advance the remaining
+                // tracked accesses at the just-bound coordinate.
+                let again = self.new_label();
+                self.bind(again);
+                for advance in drivers.iter().skip(1).chain(probes) {
+                    let tensor = self.program.accesses[advance.access].tensor;
+                    let parent = self.pos_base[advance.access] + advance.level;
+                    // A probe into a dense level of a never-miss parent
+                    // always lands on a stored position.
+                    let SlotLayout::Sparse { formats } = &self.layouts[tensor] else {
+                        unreachable!("probed tensors are sparse inputs");
+                    };
+                    let parent_safe = self.never_miss[advance.access][advance.level];
+                    let dense_level = formats[advance.level] == LevelFormat::Dense;
+                    set_flag(self, advance.access, advance.level, parent_safe && dense_level);
+                    self.emit(Instr::Probe {
+                        tensor,
+                        level: advance.level,
+                        parent,
+                        child: parent + 1,
+                        idx: *idx,
+                    });
+                }
+                self.stmt(body);
+                for (access, level, old) in saved {
+                    self.never_miss[access][level] = old;
+                }
+                match next {
+                    Next::Dense { idx, cur, end } => {
+                        self.emit(Instr::DenseLoopNext { idx, cur, end, back: again.0 });
+                    }
+                    Next::Sparse { cache, idx, child, cur, end } => {
+                        self.emit(Instr::SparseLoopNext {
+                            cache,
+                            idx,
+                            child,
+                            cur,
+                            end,
+                            back: again.0,
+                        });
+                    }
+                    Next::Rle { cache, idx, child, run, run_end, coord, hi_reg } => {
+                        self.emit(Instr::RleLoopNext {
+                            cache,
+                            idx,
+                            child,
+                            run,
+                            run_end,
+                            coord,
+                            hi_reg,
+                            back: again.0,
+                        });
+                    }
+                }
+                self.bind(exit);
+            }
+            LStmt::If { cond, body } => {
+                let done = self.new_label();
+                self.cond_false_jump(cond, done);
+                self.stmt(body);
+                self.bind(done);
+            }
+            LStmt::Let { slot, value, skip_if_missing, body } => {
+                // A `let` that merely renames a never-reassigned scalar
+                // (LICM alias chains) compiles to nothing: the body reads
+                // the source register directly.
+                if skip_if_missing.is_none() {
+                    if let LExpr::Scalar(src) = value {
+                        let canonical = self.alias[*src];
+                        if !self.written[*slot] && !self.written[canonical] {
+                            self.alias[*slot] = canonical;
+                            self.stmt(body);
+                            return;
+                        }
+                    }
+                }
+                let done = self.new_label();
+                if let Some(access) = skip_if_missing {
+                    // When every level of the access is driver-bound (or
+                    // a dense probe), the leaf cannot miss: the guard is
+                    // dead and the body always runs.
+                    let rank = self.program.accesses[*access].rank;
+                    if !self.never_miss[*access][rank] {
+                        let leaf = self.pos_base[*access] + rank;
+                        self.emit(Instr::JumpIfUMiss { reg: leaf, to: done.0 });
+                    }
+                }
+                let mark = self.temp_next;
+                self.expr(value, *slot);
+                self.temp_next = mark;
+                self.stmt(body);
+                self.bind(done);
+            }
+            LStmt::Workspace { slot, init, body } => {
+                self.emit(Instr::InitScalar { slot: *slot, val: *init });
+                self.stmt(body);
+            }
+            LStmt::Assign { target, op, rhs, can_miss } => {
+                let mark = self.temp_next;
+                let skip = self.new_label();
+                if *can_miss {
+                    self.emit(Instr::ClearMiss);
+                }
+                // A top-level application fuses with the store — the
+                // dominant `w += t * x[j]` shape becomes one binary
+                // fused write, and an n-ary product-and-accumulate
+                // becomes one fold-write. Flop accounting is unchanged:
+                // the fused forms count every fold op and the reduction,
+                // exactly as the interpreter evaluates the full
+                // right-hand side before its miss check.
+                let fused = match rhs {
+                    LExpr::Call { op: bin, args } if args.len() >= 2 => {
+                        let regs: Vec<usize> = args.iter().map(|a| self.expr_reg(a)).collect();
+                        Some((*bin, regs))
+                    }
+                    _ => None,
+                };
+                let src = if fused.is_none() { self.expr_reg(rhs) } else { 0 };
+                if *can_miss && fused.is_none() {
+                    // The fused forms check the flag themselves.
+                    self.emit(Instr::JumpIfMiss { to: skip.0 });
+                }
+                match (target, fused) {
+                    (LTarget::Output { tensor, modes }, Some((bin, regs))) => {
+                        let terms = self.terms(*tensor, modes);
+                        if let [a, b] = regs.as_slice() {
+                            self.emit(Instr::FusedWriteOutput {
+                                tensor: *tensor,
+                                terms,
+                                bin,
+                                op: *op,
+                                a: *a,
+                                b: *b,
+                                check_miss: *can_miss,
+                            });
+                        } else {
+                            self.emit(Instr::FoldWriteOutput {
+                                tensor: *tensor,
+                                terms,
+                                bin,
+                                op: *op,
+                                srcs: regs.into(),
+                                check_miss: *can_miss,
+                            });
+                        }
+                    }
+                    (LTarget::Output { tensor, modes }, None) => {
+                        let terms = self.terms(*tensor, modes);
+                        self.emit(Instr::WriteOutput { tensor: *tensor, terms, op: *op, src });
+                    }
+                    (LTarget::Scalar(slot), Some((bin, regs))) => {
+                        if let [a, b] = regs.as_slice() {
+                            self.emit(Instr::FusedWriteScalar {
+                                slot: *slot,
+                                bin,
+                                op: *op,
+                                a: *a,
+                                b: *b,
+                                check_miss: *can_miss,
+                            });
+                        } else {
+                            self.emit(Instr::FoldWriteScalar {
+                                slot: *slot,
+                                bin,
+                                op: *op,
+                                srcs: regs.into(),
+                                check_miss: *can_miss,
+                            });
+                        }
+                    }
+                    (LTarget::Scalar(slot), None) => {
+                        self.emit(Instr::WriteScalar { slot: *slot, op: *op, src });
+                    }
+                }
+                self.bind(skip);
+                self.temp_next = mark;
+            }
+        }
+    }
+
+    /// Attempts to compile an innermost loop as one vector-loop
+    /// instruction. Returns `false` (emitting nothing) when the body
+    /// does not conform; the caller then uses the general path.
+    ///
+    /// Conforming bodies contain only: guards that are conjunctions of
+    /// comparisons over *outer* indices (loop-invariant after
+    /// hoisting), `let`s binding dense reads or the driver's value, and
+    /// assignments folding scalars / literals / dense reads / the
+    /// driver's value. Miss bookkeeping is unnecessary by construction:
+    /// the only sparse read allowed is the driver's, which cannot miss.
+    fn try_vectorize(
+        &mut self,
+        idx: usize,
+        extent: usize,
+        lo: &[LBound],
+        hi: &[LBound],
+        driver: Option<&systec_exec::lowered::Advance>,
+        body: &LStmt,
+    ) -> bool {
+        // A driver must walk a plain compressed level (run-length walks
+        // keep the general path).
+        let driver_info = match driver {
+            Some(d) => {
+                let tensor = self.program.accesses[d.access].tensor;
+                let SlotLayout::Sparse { formats } = &self.layouts[tensor] else {
+                    return false;
+                };
+                if formats[d.level] != LevelFormat::Sparse {
+                    return false;
+                }
+                Some((d.access, d.level, tensor))
+            }
+            None => None,
+        };
+
+        let mut builder =
+            VecBuilder { items: Vec::new(), open_guard: Vec::new(), open_steps: Vec::new() };
+        let saved_temp = self.temp_next;
+        let ok = self.vec_stmt(body, idx, driver_info, &mut builder);
+        if !ok {
+            self.temp_next = saved_temp;
+            return false;
+        }
+        builder.flush(self);
+        if builder.items.is_empty() {
+            self.temp_next = saved_temp;
+            return false;
+        }
+        let items: Box<[crate::bytecode::VItem]> = builder.items.into();
+        let lo = self.bounds(lo);
+        let hi = self.bounds(hi);
+        match driver_info {
+            Some((access, level, tensor)) => {
+                let parent = self.pos_base[access] + level;
+                self.emit(Instr::VecSparseLoop { tensor, level, idx, parent, lo, hi, items });
+            }
+            None => {
+                self.emit(Instr::VecDenseLoop { idx, extent, lo, hi, items });
+            }
+        }
+        self.temp_next = saved_temp;
+        true
+    }
+
+    /// Walks a vector-loop body, appending steps; `false` = bail.
+    fn vec_stmt(
+        &mut self,
+        stmt: &LStmt,
+        idx: usize,
+        driver: Option<(usize, usize, usize)>,
+        b: &mut VecBuilder,
+    ) -> bool {
+        match stmt {
+            LStmt::Seq(ss) => ss.iter().all(|s| self.vec_stmt(s, idx, driver, b)),
+            LStmt::If { cond, body } => {
+                let mut conjuncts = Vec::new();
+                if !flatten_guard(cond, idx, &mut conjuncts) {
+                    return false;
+                }
+                let depth = b.open_guard.len();
+                b.push_guard(self, conjuncts);
+                let ok = self.vec_stmt(body, idx, driver, b);
+                b.pop_guard(self, depth);
+                ok
+            }
+            LStmt::Let { slot, value, skip_if_missing, body } => {
+                if let LExpr::Scalar(src) = value {
+                    // Alias-elidable let, as in the general path.
+                    if skip_if_missing.is_none() {
+                        let canonical = self.alias[*src];
+                        if !self.written[*slot] && !self.written[canonical] {
+                            self.alias[*slot] = canonical;
+                            return self.vec_stmt(body, idx, driver, b);
+                        }
+                    }
+                    return false;
+                }
+                if let Some(access) = skip_if_missing {
+                    // Only a driver binding (which cannot miss) may carry
+                    // a skip guard.
+                    let rank = self.program.accesses[*access].rank;
+                    if !(Some(*access) == driver.map(|(a, _, _)| a)
+                        && self.never_miss_leaf(*access, rank, driver))
+                    {
+                        return false;
+                    }
+                }
+                if !self.vec_load_into(value, *slot, idx, driver, b) {
+                    return false;
+                }
+                self.vec_stmt(body, idx, driver, b)
+            }
+            LStmt::Assign { target, op, rhs, can_miss: _ } => {
+                // Miss bookkeeping is vacuous here: every operand the
+                // vectorizer accepts is dense, scalar, literal, or the
+                // driver's (never-missing) value.
+                let (bin, args): (systec_ir::BinOp, Vec<&LExpr>) = match rhs {
+                    LExpr::Call { op: bin, args } if args.len() >= 2 => {
+                        (*bin, args.iter().collect())
+                    }
+                    simple => (systec_ir::BinOp::Add, vec![simple]),
+                };
+                let mut srcs = Vec::with_capacity(args.len());
+                for a in args {
+                    match self.vec_operand(a, idx, driver, b) {
+                        Some(r) => srcs.push(r),
+                        None => return false,
+                    }
+                }
+                match target {
+                    LTarget::Output { tensor, modes } => {
+                        let (base, stride) = self.split_terms(*tensor, modes, idx);
+                        let id = self.alloc_vec_base();
+                        b.open_steps.push(VStep::FoldOut {
+                            tensor: *tensor,
+                            id,
+                            base,
+                            stride,
+                            bin,
+                            op: *op,
+                            srcs: srcs.into(),
+                        });
+                        true
+                    }
+                    LTarget::Scalar(slot) => {
+                        b.open_steps.push(VStep::FoldScalar {
+                            slot: *slot,
+                            bin,
+                            op: *op,
+                            srcs: srcs.into(),
+                        });
+                        true
+                    }
+                }
+            }
+            LStmt::Loop { .. } | LStmt::Workspace { .. } => false,
+        }
+    }
+
+    fn never_miss_leaf(
+        &self,
+        access: usize,
+        rank: usize,
+        driver: Option<(usize, usize, usize)>,
+    ) -> bool {
+        // Within the vectorized loop, the driver's own level is bound to
+        // stored positions; outer levels carry the compile-time flags.
+        match driver {
+            Some((d_access, d_level, _)) if d_access == access && d_level + 1 == rank => {
+                self.never_miss[access][d_level]
+            }
+            _ => self.never_miss[access][rank],
+        }
+    }
+
+    /// Returns the register an operand can be read from, emitting a load
+    /// step for dense / driver reads. `None` = not vectorizable.
+    fn vec_operand(
+        &mut self,
+        e: &LExpr,
+        idx: usize,
+        driver: Option<(usize, usize, usize)>,
+        b: &mut VecBuilder,
+    ) -> Option<usize> {
+        match e {
+            LExpr::Scalar(slot) => Some(self.alias[*slot]),
+            LExpr::Lit(v) => Some(self.const_reg(*v)),
+            LExpr::ReadDense { .. } | LExpr::ReadSparsePath { .. } => {
+                let t = self.alloc_temp();
+                self.vec_load_into(e, t, idx, driver, b).then_some(t)
+            }
+            _ => None,
+        }
+    }
+
+    /// Emits a load step binding `e` into `dst`. `false` = bail.
+    fn vec_load_into(
+        &mut self,
+        e: &LExpr,
+        dst: usize,
+        idx: usize,
+        driver: Option<(usize, usize, usize)>,
+        b: &mut VecBuilder,
+    ) -> bool {
+        match e {
+            LExpr::ReadDense { tensor, modes } => {
+                let (base, stride) = self.split_terms(*tensor, modes, idx);
+                let id = self.alloc_vec_base();
+                b.open_steps.push(VStep::Load { dst, tensor: *tensor, id, base, stride });
+                true
+            }
+            LExpr::ReadSparsePath { access, tensor, rank, annihilator: _ } => {
+                // Only the driver's leaf value can be read positionally.
+                match driver {
+                    Some((d_access, d_level, d_tensor))
+                        if d_access == *access
+                            && d_level + 1 == *rank
+                            && d_tensor == *tensor
+                            && self.never_miss[*access][d_level] =>
+                    {
+                        b.open_steps.push(VStep::LoadVal { dst, tensor: *tensor });
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    fn split_terms(&self, tensor: usize, modes: &[usize], idx: usize) -> (Box<[Term]>, usize) {
+        let strides = self.strides_of(tensor);
+        let mut base = Vec::new();
+        let mut stride = 0usize;
+        for (&m, &s) in modes.iter().zip(strides) {
+            if m == idx {
+                stride += s;
+            } else {
+                base.push(Term { reg: m, stride: s });
+            }
+        }
+        (base.into(), stride)
+    }
+
+    fn alloc_vec_base(&mut self) -> usize {
+        self.n_vec_bases += 1;
+        self.n_vec_bases - 1
+    }
+
+    fn alloc_vec_item(&mut self) -> usize {
+        self.n_vec_items += 1;
+        self.n_vec_items - 1
+    }
+
+    /// Compiles `e` and returns the register holding its value. Plain
+    /// scalar reads return their (alias-resolved) slot and literals
+    /// return their pooled constant register — no instruction emitted.
+    fn expr_reg(&mut self, e: &LExpr) -> usize {
+        match e {
+            LExpr::Scalar(slot) => self.alias[*slot],
+            LExpr::Lit(v) => self.const_reg(*v),
+            _ => {
+                let t = self.alloc_temp();
+                self.expr(e, t);
+                t
+            }
+        }
+    }
+
+    /// Compiles `e`'s value into `f[dst]`.
+    fn expr(&mut self, e: &LExpr, dst: usize) {
+        match e {
+            LExpr::Lit(v) => self.emit(Instr::Const { dst, val: *v }),
+            LExpr::Scalar(slot) => {
+                let src = self.alias[*slot];
+                self.emit(Instr::Copy { dst, src });
+            }
+            LExpr::ReadDense { tensor, modes } => {
+                let terms = self.terms(*tensor, modes);
+                self.emit(Instr::ReadDense { dst, tensor: *tensor, terms });
+            }
+            LExpr::ReadOutput { tensor, modes } => {
+                let terms = self.terms(*tensor, modes);
+                self.emit(Instr::ReadOutput { dst, tensor: *tensor, terms });
+            }
+            LExpr::ReadSparsePath { access, tensor, rank, annihilator } => {
+                let leaf = self.pos_base[*access] + rank;
+                if self.never_miss[*access][*rank] {
+                    self.emit(Instr::ReadSparseDirect { dst, tensor: *tensor, leaf });
+                } else {
+                    self.emit(Instr::ReadSparsePath {
+                        dst,
+                        tensor: *tensor,
+                        leaf,
+                        annihilator: *annihilator,
+                    });
+                }
+            }
+            LExpr::ReadSparseRandom { tensor, modes, annihilator } => {
+                self.emit(Instr::ReadSparseRandom {
+                    dst,
+                    tensor: *tensor,
+                    modes: modes.iter().copied().collect(),
+                    annihilator: *annihilator,
+                });
+            }
+            LExpr::Call { op, args } => match args.as_slice() {
+                [single] => self.expr(single, dst),
+                [first, rest @ ..] => {
+                    // Left fold; the first Bin reads both operands from
+                    // registers, so scalar/constant operands cost nothing.
+                    let mark = self.temp_next;
+                    let a = self.expr_reg(first);
+                    let (second, tail) = rest.split_first().expect("binary or wider handled here");
+                    let b = self.expr_reg(second);
+                    self.emit(Instr::Bin { op: *op, dst, a, b });
+                    self.temp_next = mark;
+                    for arg in tail {
+                        let mark = self.temp_next;
+                        let t = self.expr_reg(arg);
+                        self.emit(Instr::Bin { op: *op, dst, a: dst, b: t });
+                        self.temp_next = mark;
+                    }
+                }
+                [] => unreachable!("calls have at least one argument"),
+            },
+            LExpr::CmpVal { op, a, b } => {
+                self.emit(Instr::CmpVal { dst, op: *op, a: *a, b: *b });
+            }
+            LExpr::Lookup { table, index } => {
+                self.expr(index, dst);
+                self.tables.push(table.clone().into_boxed_slice());
+                self.emit(Instr::LookupTable { dst, table: self.tables.len() - 1, src: dst });
+            }
+        }
+    }
+
+    /// Emits a branch to `target` when `cond` is false (fall through when
+    /// true).
+    fn cond_false_jump(&mut self, cond: &LCond, target: Label) {
+        match cond {
+            LCond::True => {}
+            LCond::Cmp(op, a, b) => {
+                self.emit(Instr::JumpIfNotCmp { op: *op, a: *a, b: *b, to: target.0 });
+            }
+            LCond::And(cs) => {
+                for c in cs {
+                    self.cond_false_jump(c, target);
+                }
+            }
+            LCond::Or(cs) => {
+                let ok = self.new_label();
+                if let Some((last, init)) = cs.split_last() {
+                    for c in init {
+                        self.cond_true_jump(c, ok);
+                    }
+                    self.cond_false_jump(last, target);
+                } else {
+                    // An empty disjunction is false, as in the interpreter.
+                    self.emit(Instr::Jump { to: target.0 });
+                }
+                self.bind(ok);
+            }
+        }
+    }
+
+    /// Emits a branch to `target` when `cond` is true (fall through when
+    /// false).
+    fn cond_true_jump(&mut self, cond: &LCond, target: Label) {
+        match cond {
+            LCond::True => self.emit(Instr::Jump { to: target.0 }),
+            LCond::Cmp(op, a, b) => {
+                self.emit(Instr::JumpIfCmp { op: *op, a: *a, b: *b, to: target.0 });
+            }
+            LCond::And(cs) => {
+                let fail = self.new_label();
+                if let Some((last, init)) = cs.split_last() {
+                    for c in init {
+                        self.cond_false_jump(c, fail);
+                    }
+                    self.cond_true_jump(last, target);
+                } else {
+                    self.emit(Instr::Jump { to: target.0 });
+                }
+                self.bind(fail);
+            }
+            LCond::Or(cs) => {
+                for c in cs {
+                    self.cond_true_jump(c, target);
+                }
+            }
+        }
+    }
+
+    /// Rewrites label ids in jump fields to absolute program counters.
+    fn resolve_labels(&mut self) {
+        let resolve = |labels: &[Option<usize>], id: usize| -> usize {
+            labels[id].expect("jump to unbound label")
+        };
+        // Split borrows: read labels, rewrite instructions.
+        let labels = std::mem::take(&mut self.labels);
+        for instr in &mut self.instrs {
+            match instr {
+                Instr::Jump { to }
+                | Instr::JumpIfCmp { to, .. }
+                | Instr::JumpIfNotCmp { to, .. }
+                | Instr::JumpIfMiss { to }
+                | Instr::JumpIfUMiss { to, .. } => *to = resolve(&labels, *to),
+                Instr::DenseLoopHead { exit, .. }
+                | Instr::SparseLoopHead { exit, .. }
+                | Instr::RleLoopHead { exit, .. } => *exit = resolve(&labels, *exit),
+                Instr::DenseLoopNext { back, .. }
+                | Instr::SparseLoopNext { back, .. }
+                | Instr::RleLoopNext { back, .. } => *back = resolve(&labels, *back),
+                _ => {}
+            }
+        }
+    }
+}

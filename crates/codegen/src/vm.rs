@@ -1,0 +1,681 @@
+//! The bytecode VM: executes a [`BytecodeProgram`] over concrete
+//! tensors, producing exactly the same results and [`Counters`] as the
+//! tree-walking interpreter in `systec-exec`.
+
+use std::collections::HashMap;
+
+use systec_exec::lowered::SlotKind;
+use systec_exec::{Counters, ExecError};
+use systec_ir::AssignOp;
+use systec_tensor::{DenseTensor, LevelView, Tensor};
+
+use crate::bytecode::{Bound, BytecodeProgram, Instr, Term, VItem, VStep, MISS};
+
+/// A sparse input resolved to per-level raw views.
+struct SparseBind<'a> {
+    levels: Vec<LevelView<'a>>,
+    vals: &'a [f64],
+}
+
+#[inline]
+fn offset(u: &[usize], terms: &[Term]) -> usize {
+    // Nearly every access is rank 1 or 2; keep those branch-free.
+    match terms {
+        [t] => u[t.reg] * t.stride,
+        [s, t] => u[s.reg] * s.stride + u[t.reg] * t.stride,
+        _ => terms.iter().map(|t| u[t.reg] * t.stride).sum(),
+    }
+}
+
+/// Evaluates vector-loop guards, caches the loop-invariant base
+/// offsets, and accounts the loop's counters in bulk: every step of a
+/// passing item executes exactly once per coordinate, so its counter
+/// contribution is a per-iteration constant times the iteration count —
+/// identical totals to bumping inside the loop, with no hot-loop
+/// counter traffic.
+#[allow(clippy::too_many_arguments)]
+fn vec_prepare(
+    items: &[VItem],
+    u: &[usize],
+    iters: u64,
+    pass: &mut [bool],
+    bases: &mut [usize],
+    reads: &mut [u64],
+    flops: &mut u64,
+    writes: &mut u64,
+) {
+    for item in items {
+        let ok = item.guard.iter().all(|(op, a, b)| op.eval(u[*a], u[*b]));
+        pass[item.id] = ok;
+        if !ok {
+            continue;
+        }
+        for step in item.steps.iter() {
+            match step {
+                VStep::Load { tensor, id, base, .. } => {
+                    bases[*id] = offset(u, base);
+                    reads[*tensor] += iters;
+                }
+                VStep::LoadVal { tensor, .. } => {
+                    reads[*tensor] += iters;
+                }
+                VStep::FoldOut { tensor: _, id, base, op, srcs, .. } => {
+                    bases[*id] = offset(u, base);
+                    let per_iter = (srcs.len() as u64 - 1) + u64::from(*op != AssignOp::Overwrite);
+                    *flops += per_iter * iters;
+                    *writes += iters;
+                }
+                VStep::FoldScalar { op, srcs, .. } => {
+                    let per_iter = (srcs.len() as u64 - 1) + u64::from(*op != AssignOp::Overwrite);
+                    *flops += per_iter * iters;
+                }
+            }
+        }
+    }
+}
+
+/// Folds registers through `bin`; the dominant binary shape is
+/// branch-free. Flops are accounted in bulk by [`vec_prepare`].
+#[inline]
+fn fold(bin: &systec_ir::BinOp, srcs: &[usize], f: &[f64]) -> f64 {
+    match srcs {
+        [a, b] => bin.apply(f[*a], f[*b]),
+        _ => {
+            let (first, rest) = srcs.split_first().expect("folds have operands");
+            let mut v = f[*first];
+            for s in rest {
+                v = bin.apply(v, f[*s]);
+            }
+            v
+        }
+    }
+}
+
+/// Executes the passing items of a vector loop for one coordinate.
+/// Counters were accounted in bulk by [`vec_prepare`].
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn vec_exec_items(
+    items: &[VItem],
+    coord: usize,
+    leaf: Option<(&[f64], usize)>,
+    pass: &[bool],
+    bases: &[usize],
+    f: &mut [f64],
+    dense: &[&[f64]],
+    taken: &mut [&mut DenseTensor],
+    slot_to_taken: &[usize],
+) {
+    for item in items {
+        if !pass[item.id] {
+            continue;
+        }
+        for step in item.steps.iter() {
+            match step {
+                VStep::Load { dst, tensor, id, stride, .. } => {
+                    f[*dst] = dense[*tensor][bases[*id] + coord * stride];
+                }
+                VStep::LoadVal { dst, .. } => {
+                    let (vals, pos) = leaf.expect("driver value in a driven vector loop");
+                    f[*dst] = vals[pos];
+                }
+                VStep::FoldOut { tensor, id, stride, bin, op, srcs, .. } => {
+                    let v = fold(bin, srcs, f);
+                    let off = bases[*id] + coord * stride;
+                    let cell = &mut taken[slot_to_taken[*tensor]].as_mut_slice()[off];
+                    *cell = op.apply(*cell, v);
+                }
+                VStep::FoldScalar { slot, bin, op, srcs } => {
+                    let v = fold(bin, srcs, f);
+                    f[*slot] = op.apply(f[*slot], v);
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn clamp_bounds(u: &[usize], lo: &[Bound], hi: &[Bound], hi_start: i64) -> (i64, i64) {
+    let mut lo_v = 0i64;
+    for b in lo {
+        lo_v = lo_v.max(u[b.reg] as i64 + b.delta);
+    }
+    let mut hi_v = hi_start;
+    for b in hi {
+        hi_v = hi_v.min(u[b.reg] as i64 + b.delta);
+    }
+    (lo_v, hi_v)
+}
+
+pub(crate) fn execute(
+    program: &BytecodeProgram,
+    inputs: &HashMap<String, Tensor>,
+    outputs: &mut HashMap<String, DenseTensor>,
+) -> Result<Counters, ExecError> {
+    // Bind tensor slots, validating that shapes still match the plan.
+    let n_slots = program.tensors.len();
+    let mut dense: Vec<&[f64]> = vec![&[]; n_slots];
+    let mut sparse: Vec<Option<SparseBind>> = Vec::with_capacity(n_slots);
+    sparse.resize_with(n_slots, || None);
+    for (slot, info) in program.tensors.iter().enumerate() {
+        match info.kind {
+            SlotKind::DenseInput => match inputs.get(&info.name) {
+                Some(Tensor::Dense(t)) => {
+                    check_dims(&info.name, &info.dims, t.dims())?;
+                    dense[slot] = t.as_slice();
+                }
+                _ => return Err(ExecError::UnknownTensor { name: info.name.clone() }),
+            },
+            SlotKind::SparseInput => match inputs.get(&info.name) {
+                Some(Tensor::Sparse(t)) => {
+                    check_dims(&info.name, &info.dims, t.dims())?;
+                    sparse[slot] = Some(SparseBind {
+                        levels: (0..t.rank()).map(|k| t.level_view(k)).collect(),
+                        vals: t.values(),
+                    });
+                }
+                _ => return Err(ExecError::UnknownTensor { name: info.name.clone() }),
+            },
+            SlotKind::Output => match outputs.get(&info.name) {
+                Some(t) => check_dims(&info.name, &info.dims, t.dims())?,
+                None => return Err(ExecError::UnknownTensor { name: info.name.clone() }),
+            },
+        }
+    }
+    // Borrow every output mutably in place (one pass over the map — the
+    // iterator hands out disjoint `&mut`s, so no tensors move).
+    let mut taken: Vec<&mut DenseTensor> = Vec::new();
+    let mut slot_to_taken: Vec<usize> = vec![usize::MAX; n_slots];
+    for (name, tensor) in outputs.iter_mut() {
+        if let Some(slot) = program
+            .tensors
+            .iter()
+            .position(|info| info.kind == SlotKind::Output && info.name == *name)
+        {
+            slot_to_taken[slot] = taken.len();
+            taken.push(tensor);
+        }
+    }
+
+    // Register files and counters.
+    let mut u: Vec<usize> = program.u_init.clone();
+    let mut f: Vec<f64> = vec![0.0; program.n_f];
+    let mut missing = false;
+    // Per-loop fiber caches: the loop head resolves the driver's packed
+    // arrays once; the advance instruction reads them straight back.
+    enum Fiber<'a> {
+        None,
+        Crd(&'a [usize]),
+        Runs(&'a [usize], &'a [usize]),
+    }
+    let mut fibers: Vec<Fiber> = Vec::with_capacity(program.n_caches);
+    fibers.resize_with(program.n_caches, || Fiber::None);
+    // Vector-loop scratch: guard passes and cached base offsets.
+    let mut vec_pass: Vec<bool> = vec![false; program.n_vec_items];
+    let mut vec_bases: Vec<usize> = vec![0; program.n_vec_bases];
+    let mut reads: Vec<u64> = vec![0; n_slots];
+    let mut flops = 0u64;
+    let mut writes = 0u64;
+    let mut iterations = 0u64;
+
+    let instrs = &program.instrs;
+    let mut pc = 0usize;
+    loop {
+        match &instrs[pc] {
+            Instr::Jump { to } => {
+                pc = *to;
+            }
+            Instr::DenseLoopHead { idx, cur, end, extent, lo, hi, exit } => {
+                let (lo_v, hi_v) = clamp_bounds(&u, lo, hi, *extent as i64 - 1);
+                if lo_v > hi_v {
+                    pc = *exit;
+                } else {
+                    u[*cur] = lo_v as usize;
+                    u[*end] = hi_v as usize;
+                    u[*idx] = lo_v as usize;
+                    iterations += 1;
+                    pc += 1;
+                }
+            }
+            Instr::DenseLoopNext { idx, cur, end, back } => {
+                let c = u[*cur] + 1;
+                if c <= u[*end] {
+                    u[*cur] = c;
+                    u[*idx] = c;
+                    iterations += 1;
+                    pc = *back;
+                } else {
+                    pc += 1;
+                }
+            }
+            Instr::SparseLoopHead {
+                tensor,
+                level,
+                cache,
+                idx,
+                parent,
+                child,
+                cur,
+                end,
+                lo,
+                hi,
+                exit,
+            } => {
+                let p = u[*parent];
+                if p == MISS {
+                    pc = *exit;
+                    continue;
+                }
+                let (lo_v, hi_v) = clamp_bounds(&u, lo, hi, i64::MAX);
+                let bind = sparse[*tensor].as_ref().expect("driver tensors are sparse inputs");
+                let LevelView::Sparse { pos, crd, .. } = bind.levels[*level] else {
+                    unreachable!("sparse loop over a non-sparse level");
+                };
+                let begin = pos[p];
+                let stop = pos[p + 1];
+                let slice = &crd[begin..stop];
+                let start = begin + slice.partition_point(|&c| (c as i64) < lo_v);
+                let stop = begin + slice.partition_point(|&c| (c as i64) <= hi_v);
+                if start >= stop {
+                    pc = *exit;
+                } else {
+                    fibers[*cache] = Fiber::Crd(crd);
+                    u[*cur] = start;
+                    u[*end] = stop;
+                    u[*idx] = crd[start];
+                    u[*child] = start;
+                    iterations += 1;
+                    pc += 1;
+                }
+            }
+            Instr::SparseLoopNext { cache, idx, child, cur, end, back } => {
+                let c = u[*cur] + 1;
+                if c < u[*end] {
+                    let Fiber::Crd(crd) = fibers[*cache] else {
+                        unreachable!("sparse advance before its head");
+                    };
+                    u[*cur] = c;
+                    u[*idx] = crd[c];
+                    u[*child] = c;
+                    iterations += 1;
+                    pc = *back;
+                } else {
+                    pc += 1;
+                }
+            }
+            Instr::RleLoopHead {
+                tensor,
+                level,
+                cache,
+                idx,
+                parent,
+                child,
+                run,
+                run_end: run_end_reg,
+                coord,
+                hi_reg,
+                lo,
+                hi,
+                exit,
+            } => {
+                let p = u[*parent];
+                if p == MISS {
+                    pc = *exit;
+                    continue;
+                }
+                let (lo_v, hi_v) = clamp_bounds(&u, lo, hi, i64::MAX);
+                if lo_v > hi_v {
+                    pc = *exit;
+                    continue;
+                }
+                let bind = sparse[*tensor].as_ref().expect("driver tensors are sparse inputs");
+                let LevelView::RunLength { pos, run_start, run_end, .. } = bind.levels[*level]
+                else {
+                    unreachable!("rle loop over a non-rle level");
+                };
+                let begin = pos[p];
+                let stop = pos[p + 1];
+                let start = begin + run_end[begin..stop].partition_point(|&c| (c as i64) < lo_v);
+                if start >= stop {
+                    pc = *exit;
+                    continue;
+                }
+                let c0 = run_start[start].max(lo_v as usize);
+                // 0 <= lo_v <= hi_v holds here, so the cast is exact.
+                let hi_u = hi_v as usize;
+                if c0 > hi_u {
+                    pc = *exit;
+                    continue;
+                }
+                fibers[*cache] = Fiber::Runs(run_start, run_end);
+                u[*run] = start;
+                u[*run_end_reg] = stop;
+                u[*coord] = c0;
+                u[*hi_reg] = hi_u;
+                u[*idx] = c0;
+                u[*child] = start;
+                iterations += 1;
+                pc += 1;
+            }
+            Instr::RleLoopNext {
+                cache,
+                idx,
+                child,
+                run,
+                run_end: run_end_reg,
+                coord,
+                hi_reg,
+                back,
+            } => {
+                let Fiber::Runs(run_start, run_end) = fibers[*cache] else {
+                    unreachable!("rle advance before its head");
+                };
+                let mut r = u[*run];
+                let mut c = u[*coord];
+                if c >= run_end[r] {
+                    r += 1;
+                    if r >= u[*run_end_reg] {
+                        pc += 1;
+                        continue;
+                    }
+                    c = run_start[r];
+                } else {
+                    c += 1;
+                }
+                if c > u[*hi_reg] {
+                    pc += 1;
+                } else {
+                    u[*run] = r;
+                    u[*coord] = c;
+                    u[*idx] = c;
+                    u[*child] = r;
+                    iterations += 1;
+                    pc = *back;
+                }
+            }
+            Instr::Probe { tensor, level, parent, child, idx } => {
+                let p = u[*parent];
+                u[*child] = if p == MISS {
+                    MISS
+                } else {
+                    let bind = sparse[*tensor].as_ref().expect("probed tensors are sparse inputs");
+                    bind.levels[*level].find(p, u[*idx]).unwrap_or(MISS)
+                };
+                pc += 1;
+            }
+            Instr::JumpIfCmp { op, a, b, to } => {
+                pc = if op.eval(u[*a], u[*b]) { *to } else { pc + 1 };
+            }
+            Instr::JumpIfNotCmp { op, a, b, to } => {
+                pc = if op.eval(u[*a], u[*b]) { pc + 1 } else { *to };
+            }
+            Instr::Const { dst, val } => {
+                f[*dst] = *val;
+                pc += 1;
+            }
+            Instr::Copy { dst, src } => {
+                f[*dst] = f[*src];
+                pc += 1;
+            }
+            Instr::Bin { op, dst, a, b } => {
+                f[*dst] = op.apply(f[*a], f[*b]);
+                flops += 1;
+                pc += 1;
+            }
+            Instr::ReadDense { dst, tensor, terms } => {
+                f[*dst] = dense[*tensor][offset(&u, terms)];
+                reads[*tensor] += 1;
+                pc += 1;
+            }
+            Instr::ReadOutput { dst, tensor, terms } => {
+                let t = &taken[slot_to_taken[*tensor]];
+                f[*dst] = t.as_slice()[offset(&u, terms)];
+                reads[*tensor] += 1;
+                pc += 1;
+            }
+            Instr::ReadSparsePath { dst, tensor, leaf, annihilator } => {
+                let leaf_pos = u[*leaf];
+                if leaf_pos == MISS {
+                    if *annihilator {
+                        missing = true;
+                    }
+                    f[*dst] = 0.0;
+                } else {
+                    let bind = sparse[*tensor].as_ref().expect("sparse input bound");
+                    f[*dst] = bind.vals[leaf_pos];
+                    reads[*tensor] += 1;
+                }
+                pc += 1;
+            }
+            Instr::ReadSparseDirect { dst, tensor, leaf } => {
+                let bind = sparse[*tensor].as_ref().expect("sparse input bound");
+                f[*dst] = bind.vals[u[*leaf]];
+                reads[*tensor] += 1;
+                pc += 1;
+            }
+            Instr::ReadSparseRandom { dst, tensor, modes, annihilator } => {
+                let bind = sparse[*tensor].as_ref().expect("sparse input bound");
+                let mut p = 0usize;
+                let mut found = true;
+                for (level, &m) in modes.iter().enumerate() {
+                    match bind.levels[level].find(p, u[m]) {
+                        Some(next) => p = next,
+                        None => {
+                            found = false;
+                            break;
+                        }
+                    }
+                }
+                if found {
+                    f[*dst] = bind.vals[p];
+                    reads[*tensor] += 1;
+                } else {
+                    if *annihilator {
+                        missing = true;
+                    }
+                    f[*dst] = 0.0;
+                }
+                pc += 1;
+            }
+            Instr::CmpVal { dst, op, a, b } => {
+                f[*dst] = if op.eval(u[*a], u[*b]) { 1.0 } else { 0.0 };
+                pc += 1;
+            }
+            Instr::LookupTable { dst, table, src } => {
+                let i = f[*src] as usize;
+                f[*dst] = program.tables[*table].get(i).copied().unwrap_or(0.0);
+                pc += 1;
+            }
+            Instr::ClearMiss => {
+                missing = false;
+                pc += 1;
+            }
+            Instr::JumpIfMiss { to } => {
+                pc = if missing { *to } else { pc + 1 };
+            }
+            Instr::JumpIfUMiss { reg, to } => {
+                pc = if u[*reg] == MISS { *to } else { pc + 1 };
+            }
+            Instr::WriteOutput { tensor, terms, op, src } => {
+                let off = offset(&u, terms);
+                let cell = &mut taken[slot_to_taken[*tensor]].as_mut_slice()[off];
+                *cell = op.apply(*cell, f[*src]);
+                writes += 1;
+                if *op != AssignOp::Overwrite {
+                    flops += 1;
+                }
+                pc += 1;
+            }
+            Instr::WriteScalar { slot, op, src } => {
+                f[*slot] = op.apply(f[*slot], f[*src]);
+                if *op != AssignOp::Overwrite {
+                    flops += 1;
+                }
+                pc += 1;
+            }
+            Instr::FusedWriteOutput { tensor, terms, bin, op, a, b, check_miss } => {
+                let v = bin.apply(f[*a], f[*b]);
+                flops += 1;
+                if !(*check_miss && missing) {
+                    let off = offset(&u, terms);
+                    let cell = &mut taken[slot_to_taken[*tensor]].as_mut_slice()[off];
+                    *cell = op.apply(*cell, v);
+                    writes += 1;
+                    if *op != AssignOp::Overwrite {
+                        flops += 1;
+                    }
+                }
+                pc += 1;
+            }
+            Instr::FusedWriteScalar { slot, bin, op, a, b, check_miss } => {
+                let v = bin.apply(f[*a], f[*b]);
+                flops += 1;
+                if !(*check_miss && missing) {
+                    f[*slot] = op.apply(f[*slot], v);
+                    if *op != AssignOp::Overwrite {
+                        flops += 1;
+                    }
+                }
+                pc += 1;
+            }
+            Instr::FoldWriteOutput { tensor, terms, bin, op, srcs, check_miss } => {
+                let (first, rest) = srcs.split_first().expect("folds have operands");
+                let mut v = f[*first];
+                for s in rest {
+                    v = bin.apply(v, f[*s]);
+                }
+                flops += rest.len() as u64;
+                if !(*check_miss && missing) {
+                    let off = offset(&u, terms);
+                    let cell = &mut taken[slot_to_taken[*tensor]].as_mut_slice()[off];
+                    *cell = op.apply(*cell, v);
+                    writes += 1;
+                    if *op != AssignOp::Overwrite {
+                        flops += 1;
+                    }
+                }
+                pc += 1;
+            }
+            Instr::FoldWriteScalar { slot, bin, op, srcs, check_miss } => {
+                let (first, rest) = srcs.split_first().expect("folds have operands");
+                let mut v = f[*first];
+                for s in rest {
+                    v = bin.apply(v, f[*s]);
+                }
+                flops += rest.len() as u64;
+                if !(*check_miss && missing) {
+                    f[*slot] = op.apply(f[*slot], v);
+                    if *op != AssignOp::Overwrite {
+                        flops += 1;
+                    }
+                }
+                pc += 1;
+            }
+            Instr::InitScalar { slot, val } => {
+                f[*slot] = *val;
+                pc += 1;
+            }
+            Instr::VecDenseLoop { idx, extent, lo, hi, items } => {
+                let (lo_v, hi_v) = clamp_bounds(&u, lo, hi, *extent as i64 - 1);
+                if lo_v <= hi_v {
+                    let iters = (hi_v - lo_v + 1) as u64;
+                    iterations += iters;
+                    vec_prepare(
+                        items,
+                        &u,
+                        iters,
+                        &mut vec_pass,
+                        &mut vec_bases,
+                        &mut reads,
+                        &mut flops,
+                        &mut writes,
+                    );
+                    for j in lo_v as usize..=hi_v as usize {
+                        u[*idx] = j;
+                        vec_exec_items(
+                            items,
+                            j,
+                            None,
+                            &vec_pass,
+                            &vec_bases,
+                            &mut f,
+                            &dense,
+                            &mut taken,
+                            &slot_to_taken,
+                        );
+                    }
+                }
+                pc += 1;
+            }
+            Instr::VecSparseLoop { tensor, level, idx, parent, lo, hi, items } => {
+                let p = u[*parent];
+                if p != MISS {
+                    let bind = sparse[*tensor].as_ref().expect("driver tensors are sparse inputs");
+                    let LevelView::Sparse { pos, crd, .. } = bind.levels[*level] else {
+                        unreachable!("vector sparse loop over a non-sparse level");
+                    };
+                    let (lo_v, hi_v) = clamp_bounds(&u, lo, hi, i64::MAX);
+                    let begin = pos[p];
+                    let fiber_end = pos[p + 1];
+                    let slice = &crd[begin..fiber_end];
+                    let start = begin + slice.partition_point(|&c| (c as i64) < lo_v);
+                    let stop = begin + slice.partition_point(|&c| (c as i64) <= hi_v);
+                    if start < stop {
+                        let iters = (stop - start) as u64;
+                        iterations += iters;
+                        vec_prepare(
+                            items,
+                            &u,
+                            iters,
+                            &mut vec_pass,
+                            &mut vec_bases,
+                            &mut reads,
+                            &mut flops,
+                            &mut writes,
+                        );
+                        let vals = bind.vals;
+                        for (pos, &coord) in crd.iter().enumerate().take(stop).skip(start) {
+                            u[*idx] = coord;
+                            vec_exec_items(
+                                items,
+                                coord,
+                                Some((vals, pos)),
+                                &vec_pass,
+                                &vec_bases,
+                                &mut f,
+                                &dense,
+                                &mut taken,
+                                &slot_to_taken,
+                            );
+                        }
+                    }
+                }
+                pc += 1;
+            }
+            Instr::Halt => break,
+        }
+    }
+
+    let mut counters = Counters::new();
+    for (slot, count) in reads.iter().enumerate() {
+        if *count > 0 {
+            counters.reads.insert(program.tensors[slot].name.clone(), *count);
+        }
+    }
+    counters.flops = flops;
+    counters.writes = writes;
+    counters.iterations = iterations;
+    Ok(counters)
+}
+
+fn check_dims(name: &str, expected: &[usize], got: &[usize]) -> Result<(), ExecError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(ExecError::BindingShapeMismatch {
+            name: name.to_string(),
+            expected: expected.to_vec(),
+            got: got.to_vec(),
+        })
+    }
+}

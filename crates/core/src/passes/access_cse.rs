@@ -77,11 +77,7 @@ fn cse_block(stmts: &[Stmt]) -> Option<Stmt> {
         .iter()
         .map(|stmt| {
             let Stmt::Assign { lhs, op, rhs } = stmt else { unreachable!("checked above") };
-            Stmt::Assign {
-                lhs: lhs.clone(),
-                op: *op,
-                rhs: substitute_accesses(rhs, &names),
-            }
+            Stmt::Assign { lhs: lhs.clone(), op: *op, rhs: substitute_accesses(rhs, &names) }
         })
         .collect();
     let mut body = Stmt::block(rewritten);
@@ -142,8 +138,14 @@ mod tests {
     #[test]
     fn multiple_repeated_accesses_get_distinct_names() {
         let block = Stmt::Block(vec![
-            assign(access("C", ["i", "j"]), mul([access("A", ["i", "k"]), access("B", ["k", "j"])])),
-            assign(access("C", ["j", "i"]), mul([access("A", ["i", "k"]), access("B", ["k", "j"])])),
+            assign(
+                access("C", ["i", "j"]),
+                mul([access("A", ["i", "k"]), access("B", ["k", "j"])]),
+            ),
+            assign(
+                access("C", ["j", "i"]),
+                mul([access("A", ["i", "k"]), access("B", ["k", "j"])]),
+            ),
         ]);
         let printed = access_cse(block).to_string();
         assert!(printed.contains("let t_A = A[i, k]"), "{printed}");

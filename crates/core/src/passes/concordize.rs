@@ -73,10 +73,9 @@ fn walk(stmt: Stmt, depths: &mut HashMap<Index, usize>, depth: usize, spec: &Sym
 fn fix_expr(expr: Expr, depths: &HashMap<Index, usize>, spec: &SymmetrySpec) -> Expr {
     match expr {
         Expr::Access(a) => Expr::Access(fix_access(a, depths, spec)),
-        Expr::Call { op, args } => Expr::Call {
-            op,
-            args: args.into_iter().map(|e| fix_expr(e, depths, spec)).collect(),
-        },
+        Expr::Call { op, args } => {
+            Expr::Call { op, args: args.into_iter().map(|e| fix_expr(e, depths, spec)).collect() }
+        }
         Expr::Lookup { table, index } => {
             Expr::Lookup { table, index: Box::new(fix_expr(*index, depths, spec)) }
         }
@@ -85,8 +84,7 @@ fn fix_expr(expr: Expr, depths: &HashMap<Index, usize>, spec: &SymmetrySpec) -> 
 }
 
 fn fix_access(access: Access, depths: &HashMap<Index, usize>, spec: &SymmetrySpec) -> Access {
-    let ds: Option<Vec<usize>> =
-        access.indices.iter().map(|i| depths.get(i).copied()).collect();
+    let ds: Option<Vec<usize>> = access.indices.iter().map(|i| depths.get(i).copied()).collect();
     let Some(ds) = ds else {
         return access; // unbound index: leave for the executor to report
     };
@@ -111,11 +109,7 @@ fn fix_access(access: Access, depths: &HashMap<Index, usize>, spec: &SymmetrySpe
     }
     let combined = compose(&access.tensor.perm, &perm);
     Access {
-        tensor: TensorRef {
-            name: access.tensor.name,
-            perm: combined,
-            part: access.tensor.part,
-        },
+        tensor: TensorRef { name: access.tensor.name, perm: combined, part: access.tensor.part },
         indices,
     }
 }
@@ -175,7 +169,10 @@ mod tests {
         );
         let out = concordize(p, &SymmetrySpec::new());
         let printed = out.to_string();
-        assert!(printed.contains("A_T210[l, k, i]") || printed.contains("A_T[l, k, i]"), "{printed}");
+        assert!(
+            printed.contains("A_T210[l, k, i]") || printed.contains("A_T[l, k, i]"),
+            "{printed}"
+        );
     }
 
     #[test]

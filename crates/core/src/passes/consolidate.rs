@@ -112,8 +112,22 @@ mod tests {
         // The two single-equality MTTKRP blocks share the same body after
         // distribution; Listing 7 lines 12 show the merged condition.
         let b = Stmt::block([
-            assign(access("C", ["i", "j"]), mul([access("A", ["i", "k", "l"]), access("B", ["k", "j"]), access("B", ["l", "j"])])),
-            assign(access("C", ["l", "j"]), mul([access("A", ["i", "k", "l"]), access("B", ["i", "j"]), access("B", ["k", "j"])])),
+            assign(
+                access("C", ["i", "j"]),
+                mul([
+                    access("A", ["i", "k", "l"]),
+                    access("B", ["k", "j"]),
+                    access("B", ["l", "j"]),
+                ]),
+            ),
+            assign(
+                access("C", ["l", "j"]),
+                mul([
+                    access("A", ["i", "k", "l"]),
+                    access("B", ["i", "j"]),
+                    access("B", ["k", "j"]),
+                ]),
+            ),
         ]);
         let program = Stmt::Block(vec![
             Stmt::guarded(and([eq("i", "k"), ne("k", "l")]), b.clone()),

@@ -81,12 +81,20 @@ fn filter_tree(stmt: &Stmt, chain: &[Index], want: Class) -> Option<Option<Stmt>
             filter_tree(body, chain, want)?
                 .map(|b| Stmt::Loop { index: index.clone(), body: Box::new(b) }),
         ),
-        Stmt::Let { name, value, body } => Some(filter_tree(body, chain, want)?.map(|b| {
-            Stmt::Let { name: name.clone(), value: value.clone(), body: Box::new(b) }
-        })),
-        Stmt::Workspace { name, init, body } => Some(filter_tree(body, chain, want)?.map(|b| {
-            Stmt::Workspace { name: name.clone(), init: *init, body: Box::new(b) }
-        })),
+        Stmt::Let { name, value, body } => {
+            Some(filter_tree(body, chain, want)?.map(|b| Stmt::Let {
+                name: name.clone(),
+                value: value.clone(),
+                body: Box::new(b),
+            }))
+        }
+        Stmt::Workspace { name, init, body } => {
+            Some(filter_tree(body, chain, want)?.map(|b| Stmt::Workspace {
+                name: name.clone(),
+                init: *init,
+                body: Box::new(b),
+            }))
+        }
         Stmt::Assign { .. } => Some(Some(stmt.clone())),
     }
 }
@@ -164,10 +172,9 @@ fn retarget_expr(expr: Expr, symmetric: &[String], part: TensorPart) -> Expr {
             op,
             args: args.into_iter().map(|e| retarget_expr(e, symmetric, part)).collect(),
         },
-        Expr::Lookup { table, index } => Expr::Lookup {
-            table,
-            index: Box::new(retarget_expr(*index, symmetric, part)),
-        },
+        Expr::Lookup { table, index } => {
+            Expr::Lookup { table, index: Box::new(retarget_expr(*index, symmetric, part)) }
+        }
         other => other,
     }
 }
@@ -190,13 +197,22 @@ mod tests {
                     Stmt::guarded(
                         ne("i", "j"),
                         Stmt::block([
-                            assign(access("y", ["i"]), mul([access("A", ["i", "j"]), access("x", ["j"])])),
-                            assign(access("y", ["j"]), mul([access("A", ["i", "j"]), access("x", ["i"])])),
+                            assign(
+                                access("y", ["i"]),
+                                mul([access("A", ["i", "j"]), access("x", ["j"])]),
+                            ),
+                            assign(
+                                access("y", ["j"]),
+                                mul([access("A", ["i", "j"]), access("x", ["i"])]),
+                            ),
                         ]),
                     ),
                     Stmt::guarded(
                         eq("i", "j"),
-                        assign(access("y", ["i"]), mul([access("A", ["i", "j"]), access("x", ["j"])])),
+                        assign(
+                            access("y", ["i"]),
+                            mul([access("A", ["i", "j"]), access("x", ["j"])]),
+                        ),
                     ),
                 ]),
             ),

@@ -41,9 +41,8 @@ pub fn distribute(program: Stmt) -> Stmt {
 /// the block is immaterial), duplicates are grouped globally; otherwise
 /// only adjacent runs merge.
 fn group_block(stmts: &[Stmt]) -> Option<Vec<Stmt>> {
-    let reorderable = stmts.iter().all(|s| {
-        matches!(s, Stmt::Assign { op, .. } if *op != AssignOp::Overwrite)
-    });
+    let reorderable =
+        stmts.iter().all(|s| matches!(s, Stmt::Assign { op, .. } if *op != AssignOp::Overwrite));
     let mut out: Vec<Stmt> = Vec::with_capacity(stmts.len());
     let mut counts: Vec<f64> = Vec::new();
     let mut changed = false;
@@ -67,12 +66,7 @@ fn group_block(stmts: &[Stmt]) -> Option<Vec<Stmt>> {
     if !changed {
         return None;
     }
-    Some(
-        out.into_iter()
-            .zip(counts)
-            .map(|(s, n)| if n > 1.0 { scale(s, n) } else { s })
-            .collect(),
-    )
+    Some(out.into_iter().zip(counts).map(|(s, n)| if n > 1.0 { scale(s, n) } else { s }).collect())
 }
 
 /// `x += v, x += v` → `x += 2 * v`; `x min= v, x min= v` → `x min= v`.

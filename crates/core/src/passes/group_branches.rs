@@ -73,10 +73,8 @@ fn regroup(stmts: &[Stmt]) -> Option<Stmt> {
     if grouped.iter().all(|(_, conds)| conds.len() == 1) {
         return None;
     }
-    let rebuilt: Vec<Stmt> = grouped
-        .into_iter()
-        .map(|(assign, conds)| Stmt::guarded(Cond::or(conds), assign))
-        .collect();
+    let rebuilt: Vec<Stmt> =
+        grouped.into_iter().map(|(assign, conds)| Stmt::guarded(Cond::or(conds), assign)).collect();
     Some(Stmt::block(rebuilt))
 }
 

@@ -61,11 +61,7 @@ fn walk(stmt: Stmt, bound: &mut BTreeSet<Index>, counter: &mut usize) -> Stmt {
                 lets.push((name, access));
             }
             for (name, access) in lets.into_iter().rev() {
-                body = Stmt::Let {
-                    name,
-                    value: Expr::Access(access),
-                    body: Box::new(body),
-                };
+                body = Stmt::Let { name, value: Expr::Access(access), body: Box::new(body) };
             }
             bound.remove(&index);
             Stmt::Loop { index, body: Box::new(body) }
@@ -248,7 +244,10 @@ mod tests {
         // outermost loop.
         let p = Stmt::loops(
             [idx("i"), idx("j")],
-            assign(access("y", ["j"]), mul([access("c", [] as [&str; 0]), access("A", ["i", "j"])])),
+            assign(
+                access("y", ["j"]),
+                mul([access("c", [] as [&str; 0]), access("A", ["i", "j"])]),
+            ),
         );
         let printed = licm(p).to_string();
         assert!(printed.contains("let h_c = c[]"), "{printed}");

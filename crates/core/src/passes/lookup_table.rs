@@ -222,7 +222,10 @@ mod tests {
     #[test]
     fn two_index_chain() {
         let b = |f: f64| {
-            assign(access("y", ["i"]), mul([lit(f), access("A", ["i", "j"]).into(), access("x", ["j"]).into()]))
+            assign(
+                access("y", ["i"]),
+                mul([lit(f), access("A", ["i", "j"]).into(), access("x", ["j"]).into()]),
+            )
         };
         let p = Stmt::Block(vec![
             Stmt::guarded(ne("i", "j"), b(2.0)),
@@ -244,10 +247,8 @@ mod tests {
     #[test]
     fn equal_factors_left_for_consolidate() {
         let b = || assign(access("y", ["i"]), access("A", ["i", "j"]).into());
-        let p = Stmt::Block(vec![
-            Stmt::guarded(ne("i", "j"), b()),
-            Stmt::guarded(eq("i", "j"), b()),
-        ]);
+        let p =
+            Stmt::Block(vec![Stmt::guarded(ne("i", "j"), b()), Stmt::guarded(eq("i", "j"), b())]);
         assert_eq!(lookup_table(p.clone(), &[idx("i"), idx("j")]), p);
     }
 

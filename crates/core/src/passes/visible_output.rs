@@ -60,7 +60,8 @@ pub fn visible_output(program: Stmt, chain: &[Index], loop_order: &[Index]) -> V
         });
         parts.push(merged);
     }
-    let mut all_parts: Vec<Vec<usize>> = parts.iter().map(|p| p.iter().copied().collect()).collect();
+    let mut all_parts: Vec<Vec<usize>> =
+        parts.iter().map(|p| p.iter().copied().collect()).collect();
     for m in 0..access.indices.len() {
         if !parts.iter().any(|p| p.contains(&m)) {
             all_parts.push(vec![m]);
@@ -70,7 +71,11 @@ pub fn visible_output(program: Stmt, chain: &[Index], loop_order: &[Index]) -> V
         .expect("parts are disjoint and cover the output rank by construction");
 
     let replication = build_replication(&access, &partition, loop_order);
-    VisibleOutputResult { program: reduced, replication: Some(replication), partition: Some(partition) }
+    VisibleOutputResult {
+        program: reduced,
+        replication: Some(replication),
+        partition: Some(partition),
+    }
 }
 
 /// Walks the tree, reducing groups of permuted-output assignments inside
@@ -132,7 +137,10 @@ fn reduce_block(
 /// If the group's outputs are distinct permutations of one tuple with a
 /// common tensor, returns the canonical member and the varying mode
 /// positions.
-fn reduce_group(group: &[Stmt], rank: &impl Fn(&Index) -> usize) -> Option<(Stmt, BTreeSet<usize>)> {
+fn reduce_group(
+    group: &[Stmt],
+    rank: &impl Fn(&Index) -> usize,
+) -> Option<(Stmt, BTreeSet<usize>)> {
     if group.len() < 2 {
         return None;
     }
@@ -181,17 +189,17 @@ fn reduce_group(group: &[Stmt], rank: &impl Fn(&Index) -> usize) -> Option<(Stmt
 /// modes, copy from the canonical (ascending) source. Exposed for the
 /// pipeline's einsum-level output-symmetry detection (SSYRK-style
 /// kernels).
-pub fn replication_nest(access: &Access, partition: &SymmetryPartition, loop_order: &[Index]) -> Stmt {
+pub fn replication_nest(
+    access: &Access,
+    partition: &SymmetryPartition,
+    loop_order: &[Index],
+) -> Stmt {
     build_replication(access, partition, loop_order)
 }
 
 /// Builds the replication nest: for every non-identity permutation of the
 /// symmetric output modes, copy from the canonical (ascending) source.
-fn build_replication(
-    access: &Access,
-    partition: &SymmetryPartition,
-    loop_order: &[Index],
-) -> Stmt {
+fn build_replication(access: &Access, partition: &SymmetryPartition, loop_order: &[Index]) -> Stmt {
     let out_indices: BTreeSet<&Index> = access.indices.iter().collect();
     let nest_order: Vec<Index> =
         loop_order.iter().filter(|i| out_indices.contains(i)).cloned().collect();
@@ -297,8 +305,7 @@ mod tests {
             ]),
         );
         let chain = [idx("j"), idx("k"), idx("l")];
-        let result =
-            visible_output(program, &chain, &[idx("j"), idx("k"), idx("l"), idx("i")]);
+        let result = visible_output(program, &chain, &[idx("j"), idx("k"), idx("l"), idx("i")]);
         assert_eq!(result.program.assignments().len(), 3);
         let printed = result.program.to_string();
         assert!(printed.contains("C[i, j, l]"), "{printed}");
@@ -328,7 +335,10 @@ mod tests {
     fn duplicate_tuples_are_not_reduced() {
         // Two identical assignments are invisible symmetry (distribute's
         // job), not visible symmetry.
-        let a = assign(access("C", ["i", "j"]), mul([access("A", ["i", "k"]), access("A", ["j", "k"])]));
+        let a = assign(
+            access("C", ["i", "j"]),
+            mul([access("A", ["i", "k"]), access("A", ["j", "k"])]),
+        );
         let program = Stmt::Block(vec![a.clone(), a.clone()]);
         let result = visible_output(program.clone(), &[], &[idx("i"), idx("j"), idx("k")]);
         assert_eq!(result.program, program);

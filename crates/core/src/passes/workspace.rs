@@ -99,10 +99,7 @@ fn rewrite(
         Stmt::Assign { lhs: Lhs::Tensor(target), op, rhs }
             if inside_inner_loop
                 && op != systec_ir::AssignOp::Overwrite
-                && target
-                    .indices
-                    .iter()
-                    .all(|i| i == loop_index || outer.contains(i)) =>
+                && target.indices.iter().all(|i| i == loop_index || outer.contains(i)) =>
         {
             // Reuse a workspace for repeated writes to the same target.
             let existing = hoisted.iter().find(|(_, _, t, o)| *t == target && *o == op);
@@ -115,20 +112,15 @@ fn rewrite(
                         format!("w_{}{}", target.tensor.display_name(), counter)
                     };
                     *counter += 1;
-                    hoisted.push((
-                        name.clone(),
-                        op.identity().unwrap_or(0.0),
-                        target.clone(),
-                        op,
-                    ));
+                    hoisted.push((name.clone(), op.identity().unwrap_or(0.0), target.clone(), op));
                     name
                 }
             };
             Stmt::Assign { lhs: Lhs::Scalar(temp), op, rhs }
         }
-        other => {
-            other.map_children(&mut |s| rewrite(s, loop_index, outer, counter, hoisted, inside_inner_loop))
-        }
+        other => other.map_children(&mut |s| {
+            rewrite(s, loop_index, outer, counter, hoisted, inside_inner_loop)
+        }),
     }
 }
 

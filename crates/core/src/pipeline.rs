@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use systec_ir::{Access, AssignOp, BinOp, CmpOp, Cond, Einsum, Expr, Index, Stmt};
 
 use crate::passes::{
-    access_cse, concordize, consolidate, diagonal_split, distribute, group_branches,
-    lookup_table, visible_output,
+    access_cse, concordize, consolidate, diagonal_split, distribute, group_branches, lookup_table,
+    visible_output,
 };
 use crate::{symmetrize, CompileError, SymmetryPartition, SymmetrySpec};
 
@@ -149,8 +149,7 @@ impl Compiler {
         }
         // Einsum-level output symmetry (no symmetric input needed).
         if o.output_symmetry_detection && replication.is_none() {
-            if let Some((partition, guard)) =
-                einsum_visible_symmetry(&sym.einsum, spec, &sym.chain)
+            if let Some((partition, guard)) = einsum_visible_symmetry(&sym.einsum, spec, &sym.chain)
             {
                 program = add_guard(program, &guard, &einsum.loop_order);
                 replication = Some(crate::passes::replication_nest(
@@ -282,11 +281,8 @@ fn einsum_visible_symmetry(
     if parts.is_empty() {
         return None;
     }
-    let guard = Cond::and(
-        parts
-            .iter()
-            .map(|p| Cond::Cmp(CmpOp::Le, out[p[0]].clone(), out[p[1]].clone())),
-    );
+    let guard =
+        Cond::and(parts.iter().map(|p| Cond::Cmp(CmpOp::Le, out[p[0]].clone(), out[p[1]].clone())));
     for m in 0..out.len() {
         if !used.contains(&m) {
             parts.push(vec![m]);
@@ -319,12 +315,7 @@ fn einsum_invisible_symmetry(
     None
 }
 
-fn rhs_invariant_under_swap(
-    einsum: &Einsum,
-    spec: &SymmetrySpec,
-    a: &Index,
-    b: &Index,
-) -> bool {
+fn rhs_invariant_under_swap(einsum: &Einsum, spec: &SymmetrySpec, a: &Index, b: &Index) -> bool {
     let map: HashMap<Index, Index> =
         [(a.clone(), b.clone()), (b.clone(), a.clone())].into_iter().collect();
     let normalize = |e: &Expr| normalize_symmetric(e, spec).sort_commutative();
@@ -343,7 +334,8 @@ fn normalize_symmetric(expr: &Expr, spec: &SymmetrySpec) -> Expr {
                     for part in partition.nontrivial_parts() {
                         let mut modes: Vec<usize> = part.to_vec();
                         modes.sort_unstable();
-                        let mut vals: Vec<Index> = modes.iter().map(|&m| indices[m].clone()).collect();
+                        let mut vals: Vec<Index> =
+                            modes.iter().map(|&m| indices[m].clone()).collect();
                         vals.sort();
                         for (&m, v) in modes.iter().zip(vals) {
                             indices[m] = v;
@@ -358,10 +350,9 @@ fn normalize_symmetric(expr: &Expr, spec: &SymmetrySpec) -> Expr {
             op: *op,
             args: args.iter().map(|e| normalize_symmetric(e, spec)).collect(),
         },
-        Expr::Lookup { table, index } => Expr::Lookup {
-            table: table.clone(),
-            index: Box::new(normalize_symmetric(index, spec)),
-        },
+        Expr::Lookup { table, index } => {
+            Expr::Lookup { table: table.clone(), index: Box::new(normalize_symmetric(index, spec)) }
+        }
         other => other.clone(),
     }
 }
@@ -369,11 +360,7 @@ fn normalize_symmetric(expr: &Expr, spec: &SymmetrySpec) -> Expr {
 /// Inserts a guard just inside the loop binding the last (innermost) of
 /// the guard's indices.
 fn add_guard(program: Stmt, guard: &Cond, loop_order: &[Index]) -> Stmt {
-    let innermost = loop_order
-        .iter()
-        .rev()
-        .find(|i| guard.indices().contains(*i))
-        .cloned();
+    let innermost = loop_order.iter().rev().find(|i| guard.indices().contains(*i)).cloned();
     let Some(innermost) = innermost else {
         return Stmt::guarded(guard.clone(), program);
     };
@@ -533,7 +520,8 @@ mod tests {
     #[test]
     fn options_none_is_pure_symmetrization() {
         let spec = SymmetrySpec::new().with_full("A", 2);
-        let kernel = Compiler::with_options(CompileOptions::none()).compile(&ssymv(), &spec).unwrap();
+        let kernel =
+            Compiler::with_options(CompileOptions::none()).compile(&ssymv(), &spec).unwrap();
         let printed = kernel.program.to_string();
         assert!(!printed.contains("let "), "{printed}");
         assert!(!printed.contains("_nondiag"), "{printed}");

@@ -69,9 +69,7 @@ pub fn symmetrize(einsum: &Einsum, spec: &SymmetrySpec) -> Result<SymmetrizedKer
 
     // Stages 3 and 4: equivalence groups, unique permutations, normalize.
     let chain_guard = Cond::and(
-        chain
-            .windows(2)
-            .map(|w| Cond::Cmp(systec_ir::CmpOp::Le, w[0].clone(), w[1].clone())),
+        chain.windows(2).map(|w| Cond::Cmp(systec_ir::CmpOp::Le, w[0].clone(), w[1].clone())),
     );
     let mut blocks: Vec<Stmt> = Vec::new();
     for group in equivalence_groups(chain.len()) {

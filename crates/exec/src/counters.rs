@@ -41,7 +41,8 @@ impl Counters {
         self.reads
             .iter()
             .filter(|(name, _)| {
-                name.as_str() == prefix || name.strip_prefix(prefix).is_some_and(|rest| rest.starts_with('_'))
+                name.as_str() == prefix
+                    || name.strip_prefix(prefix).is_some_and(|rest| rest.starts_with('_'))
             })
             .map(|(_, v)| v)
             .sum()
@@ -62,7 +63,11 @@ impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<&String> = self.reads.keys().collect();
         names.sort();
-        write!(f, "flops={} writes={} iterations={} reads={{", self.flops, self.writes, self.iterations)?;
+        write!(
+            f,
+            "flops={} writes={} iterations={} reads={{",
+            self.flops, self.writes, self.iterations
+        )?;
         for (k, name) in names.iter().enumerate() {
             if k > 0 {
                 write!(f, ", ")?;

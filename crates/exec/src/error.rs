@@ -57,6 +57,16 @@ pub enum ExecError {
         /// Supplied shape.
         got: Vec<usize>,
     },
+    /// A bound tensor's shape did not match the shape a compiled plan
+    /// was built against (inputs and outputs alike).
+    BindingShapeMismatch {
+        /// The tensor's display name.
+        name: String,
+        /// The shape the plan was compiled for.
+        expected: Vec<usize>,
+        /// The supplied shape.
+        got: Vec<usize>,
+    },
     /// A tensor appears both as an input and as a write target.
     InputOutputClash {
         /// The display name used both ways.
@@ -86,6 +96,12 @@ impl fmt::Display for ExecError {
             }
             ExecError::OutputShapeMismatch { name, expected, got } => {
                 write!(f, "output `{name}` has shape {got:?}, expected {expected:?}")
+            }
+            ExecError::BindingShapeMismatch { name, expected, got } => {
+                write!(
+                    f,
+                    "tensor `{name}` has shape {got:?}, but the plan was compiled for {expected:?}"
+                )
             }
             ExecError::InputOutputClash { name } => {
                 write!(f, "tensor `{name}` is bound as an input but written as an output")

@@ -41,10 +41,7 @@ pub fn hoist_conditions(stmt: Stmt) -> Stmt {
             match body {
                 Stmt::If { cond, body: inner } => {
                     let (outer, keep) = split_conjuncts(cond, &index);
-                    let looped = Stmt::Loop {
-                        index,
-                        body: Box::new(Stmt::guarded(keep, *inner)),
-                    };
+                    let looped = Stmt::Loop { index, body: Box::new(Stmt::guarded(keep, *inner)) };
                     Stmt::guarded(outer, looped)
                 }
                 other => Stmt::Loop { index, body: Box::new(other) },
@@ -53,10 +50,9 @@ pub fn hoist_conditions(stmt: Stmt) -> Stmt {
         Stmt::If { cond, body } => {
             let body = hoist_conditions(*body);
             match body {
-                Stmt::If { cond: inner_cond, body: inner } => Stmt::If {
-                    cond: Cond::and([cond, inner_cond]),
-                    body: inner,
-                },
+                Stmt::If { cond: inner_cond, body: inner } => {
+                    Stmt::If { cond: Cond::and([cond, inner_cond]), body: inner }
+                }
                 other => Stmt::If { cond, body: Box::new(other) },
             }
         }
@@ -67,10 +63,9 @@ pub fn hoist_conditions(stmt: Stmt) -> Stmt {
         Stmt::Let { name, value, body } => {
             let body = hoist_conditions(*body);
             match body {
-                Stmt::If { cond, body: inner } => Stmt::If {
-                    cond,
-                    body: Box::new(Stmt::Let { name, value, body: inner }),
-                },
+                Stmt::If { cond, body: inner } => {
+                    Stmt::If { cond, body: Box::new(Stmt::Let { name, value, body: inner }) }
+                }
                 other => Stmt::Let { name, value, body: Box::new(other) },
             }
         }
@@ -113,8 +108,12 @@ mod tests {
         // k <= l must appear between the k loop and the i loop; i <= k
         // between the i loop and the j loop.
         let lines: Vec<&str> = printed.lines().map(str::trim).collect();
-        let pos =
-            |needle: &str| lines.iter().position(|l| l.starts_with(needle)).unwrap_or_else(|| panic!("missing {needle} in:\n{printed}"));
+        let pos = |needle: &str| {
+            lines
+                .iter()
+                .position(|l| l.starts_with(needle))
+                .unwrap_or_else(|| panic!("missing {needle} in:\n{printed}"))
+        };
         assert!(pos("for k") < pos("if k <= l"));
         assert!(pos("if k <= l") < pos("for i"));
         assert!(pos("for i") < pos("if i <= k"));

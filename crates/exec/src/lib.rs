@@ -66,3 +66,15 @@ pub use hoist::hoist_conditions;
 pub use lower::{lower, LoweredProgram};
 pub use prepare::{alloc_outputs, prepare_variants};
 pub use run::{run, run_lowered};
+
+/// The lowered-program data model, exposed for alternative backends.
+///
+/// The tree-walking interpreter ([`run_lowered`]) and the bytecode
+/// compiler in `systec-codegen` both consume these types; everything a
+/// backend needs to execute a [`LoweredProgram`] — slots, loop plans,
+/// drivers, expressions — is public here.
+pub mod lowered {
+    pub use crate::lower::{
+        AccessSlot, Advance, LBound, LCond, LExpr, LStmt, LTarget, SlotKind, TensorSlot,
+    };
+}

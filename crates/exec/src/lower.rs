@@ -21,78 +21,116 @@
 
 use std::collections::HashMap;
 
-use systec_ir::{
-    Access, AssignOp, BinOp, CmpOp, Cond, Expr, Index, Lhs, Stmt, TensorRef,
-};
+use systec_ir::{Access, AssignOp, BinOp, CmpOp, Cond, Expr, Index, Lhs, Stmt, TensorRef};
 use systec_tensor::{DenseTensor, LevelFormat, Tensor};
 
 use crate::ExecError;
 
-/// A fully lowered program, ready for [`crate::run_lowered`].
+/// A fully lowered program, ready for [`crate::run_lowered`] or for an
+/// alternative backend (see `systec-codegen`) that consumes the data
+/// model re-exported from [`crate::lowered`].
 #[derive(Debug)]
 pub struct LoweredProgram {
-    pub(crate) tensors: Vec<TensorSlot>,
-    pub(crate) accesses: Vec<AccessSlot>,
-    pub(crate) indices: Vec<Index>,
-    pub(crate) extents: Vec<usize>,
-    pub(crate) n_scalars: usize,
-    pub(crate) root: LStmt,
+    /// Every tensor the program touches, by slot index.
+    pub tensors: Vec<TensorSlot>,
+    /// Every path-tracked (concordant) sparse access, by slot index.
+    pub accesses: Vec<AccessSlot>,
+    /// Every loop index, by slot index.
+    pub indices: Vec<Index>,
+    /// The inferred extent of each index slot.
+    pub extents: Vec<usize>,
+    /// Number of scalar (`let`/workspace) slots.
+    pub n_scalars: usize,
+    /// The lowered statement tree.
+    pub root: LStmt,
 }
 
+/// One tensor the program touches.
 #[derive(Debug)]
-pub(crate) struct TensorSlot {
-    pub(crate) name: String,
-    pub(crate) kind: SlotKind,
+pub struct TensorSlot {
+    /// The tensor's display name (binding key in the input/output maps).
+    pub name: String,
+    /// How the slot is bound and accessed.
+    pub kind: SlotKind,
 }
 
+/// The binding class of a [`TensorSlot`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub(crate) enum SlotKind {
+pub enum SlotKind {
+    /// A dense input tensor.
     DenseInput,
+    /// A compressed input tensor.
     SparseInput,
+    /// A dense output tensor (read and written).
     Output,
 }
 
 /// A path-tracked (concordant) sparse access.
 #[derive(Debug)]
-pub(crate) struct AccessSlot {
-    pub(crate) tensor: usize,
-    pub(crate) rank: usize,
+pub struct AccessSlot {
+    /// The tensor slot this access reads.
+    pub tensor: usize,
+    /// The access's subscript count.
+    pub rank: usize,
 }
 
+/// A lowered statement.
 #[derive(Clone, Debug)]
-pub(crate) enum LStmt {
+pub enum LStmt {
+    /// Statements executed in order.
     Seq(Vec<LStmt>),
+    /// A loop over one index, possibly driven by a sparse level.
     Loop {
+        /// The index slot this loop binds.
         idx: usize,
+        /// The index's full extent (dense iteration space).
         extent: usize,
+        /// Dynamic lower bounds; the loop starts at their maximum.
         lo: Vec<LBound>,
+        /// Dynamic upper bounds; the loop stops at their minimum.
         hi: Vec<LBound>,
         /// Driver candidates, in priority order. Empty = dense loop.
         drivers: Vec<Advance>,
         /// Non-driving accesses advanced by this loop (position updates).
         probes: Vec<Advance>,
+        /// The loop body.
         body: Box<LStmt>,
     },
+    /// A residual conditional (not lifted into bounds).
     If {
+        /// The guard over bound index slots.
         cond: LCond,
+        /// The guarded body.
         body: Box<LStmt>,
     },
+    /// A scalar binding.
     Let {
+        /// The scalar slot written.
         slot: usize,
+        /// The bound value.
         value: LExpr,
         /// Sparse access whose absence makes the whole body a no-op
         /// (common-subexpression `let`s over a driver value).
         skip_if_missing: Option<usize>,
+        /// The statements the binding scopes over.
         body: Box<LStmt>,
     },
+    /// A scalar accumulator initialized per iteration.
     Workspace {
+        /// The scalar slot initialized.
         slot: usize,
+        /// The reduction identity it starts from.
         init: f64,
+        /// The statements the workspace scopes over.
         body: Box<LStmt>,
     },
+    /// A reducing (or overwriting) assignment.
     Assign {
+        /// The write target.
         target: LTarget,
+        /// The reduction operator.
         op: AssignOp,
+        /// The value expression.
         rhs: LExpr,
         /// Whether the right-hand side contains a sparse annihilator read
         /// that can miss at runtime (enables the skip bookkeeping).
@@ -102,70 +140,112 @@ pub(crate) enum LStmt {
 
 /// An access advanced one level by a loop.
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct Advance {
-    pub(crate) access: usize,
-    pub(crate) level: usize,
+pub struct Advance {
+    /// The access slot advanced.
+    pub access: usize,
+    /// The level (mode) the loop binds for this access.
+    pub level: usize,
 }
 
 /// A runtime loop bound: `value(idx) + delta`.
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct LBound {
-    pub(crate) idx: usize,
-    pub(crate) delta: i64,
+pub struct LBound {
+    /// The (outer) index slot the bound reads.
+    pub idx: usize,
+    /// Signed offset applied to the index value.
+    pub delta: i64,
 }
 
+/// A lowered condition over bound index slots.
 #[derive(Clone, Debug)]
-pub(crate) enum LCond {
+pub enum LCond {
+    /// Always true.
     True,
+    /// A comparison between two index slots.
     Cmp(CmpOp, usize, usize),
+    /// All conjuncts hold.
     And(Vec<LCond>),
+    /// Any disjunct holds.
     Or(Vec<LCond>),
 }
 
+/// A lowered value expression.
 #[derive(Clone, Debug)]
-pub(crate) enum LExpr {
+pub enum LExpr {
+    /// A literal constant.
     Lit(f64),
+    /// A scalar slot read.
     Scalar(usize),
+    /// A dense-input element read.
     ReadDense {
+        /// The tensor slot read.
         tensor: usize,
+        /// Index slots, one per mode.
         modes: Vec<usize>,
     },
+    /// An output element read.
     ReadOutput {
+        /// The tensor slot read.
         tensor: usize,
+        /// Index slots, one per mode.
         modes: Vec<usize>,
     },
     /// Concordant read through the tracked path (O(1)).
     ReadSparsePath {
+        /// The access slot whose path is read.
         access: usize,
+        /// The tensor slot read.
         tensor: usize,
         /// The access's rank (`paths[access][rank]` is the leaf position).
         rank: usize,
+        /// Whether a miss annihilates the enclosing assignment.
         annihilator: bool,
     },
     /// Non-concordant read: per-level binary search from the root.
     ReadSparseRandom {
+        /// The tensor slot read.
         tensor: usize,
+        /// Index slots, one per mode.
         modes: Vec<usize>,
+        /// Whether a miss annihilates the enclosing assignment.
         annihilator: bool,
     },
+    /// An n-ary application of a binary operator (left fold).
     Call {
+        /// The operator.
         op: BinOp,
+        /// The operands (at least one).
         args: Vec<LExpr>,
     },
+    /// An index comparison as a 0/1 value.
     CmpVal {
+        /// The comparison operator.
         op: CmpOp,
+        /// Left index slot.
         a: usize,
+        /// Right index slot.
         b: usize,
     },
+    /// A table lookup indexed by a computed value.
     Lookup {
+        /// The table values.
         table: Vec<f64>,
+        /// The index expression (truncated to `usize`).
         index: Box<LExpr>,
     },
 }
 
+/// A lowered assignment target.
 #[derive(Clone, Debug)]
-pub(crate) enum LTarget {
-    Output { tensor: usize, modes: Vec<usize> },
+pub enum LTarget {
+    /// An output tensor element.
+    Output {
+        /// The output tensor slot.
+        tensor: usize,
+        /// Index slots, one per mode.
+        modes: Vec<usize>,
+    },
+    /// A scalar slot.
     Scalar(usize),
 }
 
@@ -534,9 +614,9 @@ impl<'a> Ctx<'a> {
                     .get(i)
                     .is_some_and(|s| self.bound_at.get(s).is_some_and(|&d| d < self.depth - 1))
             });
-            let later_unbound = access.indices[m + 1..].iter().all(|i| {
-                self.index_ids.get(i).is_none_or(|s| !self.bound_at.contains_key(s))
-            });
+            let later_unbound = access.indices[m + 1..]
+                .iter()
+                .all(|i| self.index_ids.get(i).is_none_or(|s| !self.bound_at.contains_key(s)));
             if !earlier_bound || !later_unbound {
                 continue;
             }
@@ -552,10 +632,8 @@ impl<'a> Ctx<'a> {
             });
             self.advance_state.insert(key, m + 1);
             let advance = Advance { access: slot, level: m };
-            let is_compressed_level = matches!(
-                sparse.formats()[m],
-                LevelFormat::Sparse | LevelFormat::RunLength
-            );
+            let is_compressed_level =
+                matches!(sparse.formats()[m], LevelFormat::Sparse | LevelFormat::RunLength);
             if is_compressed_level && subtree_annihilates(subtree, access) {
                 drivers.push(advance);
             } else {
@@ -606,8 +684,7 @@ impl<'a> Ctx<'a> {
                     SlotKind::DenseInput => LExpr::ReadDense { tensor, modes },
                     SlotKind::Output => LExpr::ReadOutput { tensor, modes },
                     SlotKind::SparseInput => {
-                        let key: AccessKey =
-                            (access.tensor.display_name(), access.indices.clone());
+                        let key: AccessKey = (access.tensor.display_name(), access.indices.clone());
                         let fully_tracked = self
                             .advance_state
                             .get(&key)
@@ -651,7 +728,10 @@ fn expr_can_miss(expr: &LExpr) -> bool {
         }
         LExpr::Call { args, .. } => args.iter().any(expr_can_miss),
         LExpr::Lookup { index, .. } => expr_can_miss(index),
-        LExpr::Lit(_) | LExpr::Scalar(_) | LExpr::ReadDense { .. } | LExpr::ReadOutput { .. }
+        LExpr::Lit(_)
+        | LExpr::Scalar(_)
+        | LExpr::ReadDense { .. }
+        | LExpr::ReadOutput { .. }
         | LExpr::CmpVal { .. } => false,
     }
 }
@@ -762,11 +842,7 @@ fn subtree_annihilates(subtree: &Stmt, access: &Access) -> bool {
 }
 
 fn scalar_is_alias(name: &str, bound_scalars: &[(String, bool)]) -> bool {
-    bound_scalars
-        .iter()
-        .rev()
-        .find(|(n, _)| n == name)
-        .is_some_and(|(_, is_access)| *is_access)
+    bound_scalars.iter().rev().find(|(n, _)| n == name).is_some_and(|(_, is_access)| *is_access)
 }
 
 fn assignment_annihilates(
@@ -797,11 +873,7 @@ fn assignment_annihilates(
 fn all_assignments_annihilate_scalar(body: &Stmt, scalar: &str, access: &Access) -> bool {
     // Within the let's body, `scalar` is the access; aliases of it (lets
     // bound to the scalar or to the access) count too.
-    fn walk(
-        stmt: &Stmt,
-        access: &Access,
-        bound_scalars: &mut Vec<(String, bool)>,
-    ) -> bool {
+    fn walk(stmt: &Stmt, access: &Access, bound_scalars: &mut Vec<(String, bool)>) -> bool {
         match stmt {
             Stmt::Block(ss) => ss.iter().all(|s| walk(s, access, bound_scalars)),
             Stmt::Loop { body, .. } | Stmt::If { body, .. } | Stmt::Workspace { body, .. } => {
@@ -818,9 +890,7 @@ fn all_assignments_annihilate_scalar(body: &Stmt, scalar: &str, access: &Access)
                 bound_scalars.pop();
                 ok
             }
-            Stmt::Assign { op, rhs, .. } => {
-                assignment_annihilates(rhs, *op, access, bound_scalars)
-            }
+            Stmt::Assign { op, rhs, .. } => assignment_annihilates(rhs, *op, access, bound_scalars),
         }
     }
     let mut scalars = vec![(scalar.to_string(), true)];
@@ -938,10 +1008,7 @@ mod tests {
     fn rank_mismatch_is_reported() {
         let (inputs, outputs) = bindings();
         let s = Stmt::loops([idx("i")], assign(access("y", ["i"]), access("A", ["i"]).into()));
-        assert!(matches!(
-            lower(&s, &inputs, &outputs),
-            Err(ExecError::AccessRankMismatch { .. })
-        ));
+        assert!(matches!(lower(&s, &inputs, &outputs), Err(ExecError::AccessRankMismatch { .. })));
     }
 
     #[test]

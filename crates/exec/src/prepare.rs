@@ -79,10 +79,7 @@ pub fn alloc_outputs(
             .indices
             .iter()
             .map(|i| {
-                extents
-                    .get(i)
-                    .copied()
-                    .ok_or_else(|| ExecError::UnknownExtent { index: i.clone() })
+                extents.get(i).copied().ok_or_else(|| ExecError::UnknownExtent { index: i.clone() })
             })
             .collect();
         let init = op.identity().unwrap_or(0.0);
@@ -253,7 +250,10 @@ mod tests {
         };
         let prog = Stmt::loops(
             [idx("j"), idx("i")],
-            assign(access("y", ["i"]), mul([systec_ir::Expr::Access(a_t), access("x", ["j"]).into()])),
+            assign(
+                access("y", ["i"]),
+                mul([systec_ir::Expr::Access(a_t), access("x", ["j"]).into()]),
+            ),
         );
         let variants = prepare_variants(&prog, &inputs()).unwrap();
         let at = variants.get("A_T").expect("A_T materialized");
@@ -275,7 +275,10 @@ mod tests {
         let a_diag = Access { tensor: diag_ref, indices: vec![idx("i"), idx("j")] };
         let prog = Stmt::loops(
             [idx("i"), idx("j")],
-            assign(access("y", ["i"]), mul([systec_ir::Expr::Access(a_diag), access("x", ["j"]).into()])),
+            assign(
+                access("y", ["i"]),
+                mul([systec_ir::Expr::Access(a_diag), access("x", ["j"]).into()]),
+            ),
         );
         let variants = prepare_variants(&prog, &base).unwrap();
         let d = variants.get("A_diag").expect("A_diag materialized");

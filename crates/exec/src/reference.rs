@@ -51,7 +51,11 @@ pub fn reference_einsum(
             let extent = tensor.dims()[mode];
             match extents.get(index) {
                 Some(&prev) if prev != extent => {
-                    return Err(ExecError::ExtentMismatch { index: index.clone(), a: prev, b: extent })
+                    return Err(ExecError::ExtentMismatch {
+                        index: index.clone(),
+                        a: prev,
+                        b: extent,
+                    })
                 }
                 _ => {
                     extents.insert(index.clone(), extent);
@@ -63,7 +67,9 @@ pub fn reference_einsum(
         .output
         .indices
         .iter()
-        .map(|i| extents.get(i).copied().ok_or_else(|| ExecError::UnknownExtent { index: i.clone() }))
+        .map(|i| {
+            extents.get(i).copied().ok_or_else(|| ExecError::UnknownExtent { index: i.clone() })
+        })
         .collect();
     let init = einsum.op.identity().unwrap_or(0.0);
     let mut out = DenseTensor::filled(out_dims?, init);
@@ -71,7 +77,9 @@ pub fn reference_einsum(
     let order = &einsum.loop_order;
     let sizes: Result<Vec<usize>, ExecError> = order
         .iter()
-        .map(|i| extents.get(i).copied().ok_or_else(|| ExecError::UnknownExtent { index: i.clone() }))
+        .map(|i| {
+            extents.get(i).copied().ok_or_else(|| ExecError::UnknownExtent { index: i.clone() })
+        })
         .collect();
     let sizes = sizes?;
     if sizes.contains(&0) {
@@ -99,8 +107,7 @@ pub fn reference_einsum(
             });
         if !skip {
             let v = eval(&einsum.rhs, inputs, &env);
-            let out_coords: Vec<usize> =
-                einsum.output.indices.iter().map(|i| env[i]).collect();
+            let out_coords: Vec<usize> = einsum.output.indices.iter().map(|i| env[i]).collect();
             let cell = out.get_mut(&out_coords);
             *cell = einsum.op.apply(*cell, v);
         }
@@ -232,9 +239,6 @@ mod tests {
             access("missing", ["i"]).into(),
             [idx("i")],
         );
-        assert!(matches!(
-            reference_einsum(&e, &setup()),
-            Err(ExecError::UnknownTensor { .. })
-        ));
+        assert!(matches!(reference_einsum(&e, &setup()), Err(ExecError::UnknownTensor { .. })));
     }
 }

@@ -443,13 +443,14 @@ mod tests {
         // s[] += A[i, j] for j <= i  over lower-triangle-heavy A.
         let prog = Stmt::loops(
             [idx("i"), idx("j")],
-            Stmt::guarded(le("j", "i"), assign(access("s", [] as [&str; 0]), access("A", ["i", "j"]).into())),
+            Stmt::guarded(
+                le("j", "i"),
+                assign(access("s", [] as [&str; 0]), access("A", ["i", "j"]).into()),
+            ),
         );
         let mut inputs = HashMap::new();
-        inputs.insert(
-            "A".to_string(),
-            csr(&[(0, 0, 1.0), (0, 2, 5.0), (1, 0, 2.0), (2, 2, 3.0)], 3),
-        );
+        inputs
+            .insert("A".to_string(), csr(&[(0, 0, 1.0), (0, 2, 5.0), (1, 0, 2.0), (2, 2, 3.0)], 3));
         let mut outputs = alloc_outputs(&prog, &inputs).unwrap();
         let c = run(&prog, &inputs, &mut outputs).unwrap();
         assert_eq!(outputs["s"].get(&[]), 6.0);
@@ -463,10 +464,14 @@ mod tests {
         // trace: s[] += A[i, j] if i == j  (equality becomes point bounds).
         let prog = Stmt::loops(
             [idx("i"), idx("j")],
-            Stmt::guarded(eq("i", "j"), assign(access("s", [] as [&str; 0]), access("A", ["i", "j"]).into())),
+            Stmt::guarded(
+                eq("i", "j"),
+                assign(access("s", [] as [&str; 0]), access("A", ["i", "j"]).into()),
+            ),
         );
         let mut inputs = HashMap::new();
-        inputs.insert("A".to_string(), csr(&[(0, 0, 1.0), (0, 1, 9.0), (1, 1, 2.0), (2, 0, 7.0)], 3));
+        inputs
+            .insert("A".to_string(), csr(&[(0, 0, 1.0), (0, 1, 9.0), (1, 1, 2.0), (2, 0, 7.0)], 3));
         let mut outputs = alloc_outputs(&prog, &inputs).unwrap();
         let c = run(&prog, &inputs, &mut outputs).unwrap();
         assert_eq!(outputs["s"].get(&[]), 3.0);
@@ -554,7 +559,10 @@ mod tests {
         // for j, i: if i > j: y[i, j] = y[j, i]
         let prog = Stmt::loops(
             [idx("j"), idx("i")],
-            Stmt::guarded(gt("i", "j"), store(access("y", ["i", "j"]), access("y", ["j", "i"]).into())),
+            Stmt::guarded(
+                gt("i", "j"),
+                store(access("y", ["i", "j"]), access("y", ["j", "i"]).into()),
+            ),
         );
         let inputs = HashMap::new();
         let mut y = DenseTensor::zeros(vec![2, 2]);

@@ -185,10 +185,7 @@ mod tests {
 
     #[test]
     fn cond_display_precedence() {
-        let c = Cond::or([
-            and([eq("i", "k"), ne("k", "l")]),
-            and([ne("i", "k"), eq("k", "l")]),
-        ]);
+        let c = Cond::or([and([eq("i", "k"), ne("k", "l")]), and([ne("i", "k"), eq("k", "l")])]);
         assert_eq!(c.to_string(), "(i == k && k != l) || (i != k && k == l)");
     }
 
@@ -237,11 +234,7 @@ for j:
     fn lookup_display() {
         let e = Expr::Lookup {
             table: vec![2.0, 0.0, 1.0],
-            index: Box::new(Expr::CmpVal {
-                op: crate::CmpOp::Eq,
-                lhs: idx("i"),
-                rhs: idx("k"),
-            }),
+            index: Box::new(Expr::CmpVal { op: crate::CmpOp::Eq, lhs: idx("i"), rhs: idx("k") }),
         };
         assert_eq!(e.to_string(), "[2, 0, 1][(i == k)]");
     }

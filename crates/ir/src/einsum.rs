@@ -60,15 +60,8 @@ impl Einsum {
         let mut used: BTreeSet<Index> = rhs.indices();
         used.extend(output.indices.iter().cloned());
         let ordered: BTreeSet<Index> = loop_order.iter().cloned().collect();
-        assert_eq!(
-            used, ordered,
-            "loop order must mention exactly the indices of the assignment"
-        );
-        assert_eq!(
-            ordered.len(),
-            loop_order.len(),
-            "loop order must not repeat indices"
-        );
+        assert_eq!(used, ordered, "loop order must mention exactly the indices of the assignment");
+        assert_eq!(ordered.len(), loop_order.len(), "loop order must not repeat indices");
         Einsum { output, op, rhs, loop_order }
     }
 
@@ -91,11 +84,7 @@ impl Einsum {
     pub fn naive_program(&self) -> Stmt {
         Stmt::loops(
             self.loop_order.iter().cloned(),
-            Stmt::Assign {
-                lhs: self.output.clone().into(),
-                op: self.op,
-                rhs: self.rhs.clone(),
-            },
+            Stmt::Assign { lhs: self.output.clone().into(), op: self.op, rhs: self.rhs.clone() },
         )
     }
 }

@@ -113,7 +113,10 @@ pub struct Access {
 
 impl Access {
     /// Creates an access to the base tensor `name` at `indices`.
-    pub fn new<I: Into<Index>>(name: impl Into<String>, indices: impl IntoIterator<Item = I>) -> Self {
+    pub fn new<I: Into<Index>>(
+        name: impl Into<String>,
+        indices: impl IntoIterator<Item = I>,
+    ) -> Self {
         Access {
             tensor: TensorRef::base(name),
             indices: indices.into_iter().map(Into::into).collect(),
@@ -258,15 +261,13 @@ impl Expr {
             Expr::Literal(v) => Expr::Literal(*v),
             Expr::Scalar(s) => Expr::Scalar(s.clone()),
             Expr::Access(a) => Expr::Access(a.substitute(map)),
-            Expr::Call { op, args } => Expr::Call {
-                op: *op,
-                args: args.iter().map(|a| a.substitute(map)).collect(),
-            },
+            Expr::Call { op, args } => {
+                Expr::Call { op: *op, args: args.iter().map(|a| a.substitute(map)).collect() }
+            }
             Expr::CmpVal { op, lhs, rhs } => Expr::CmpVal { op: *op, lhs: sub(lhs), rhs: sub(rhs) },
-            Expr::Lookup { table, index } => Expr::Lookup {
-                table: table.clone(),
-                index: Box::new(index.substitute(map)),
-            },
+            Expr::Lookup { table, index } => {
+                Expr::Lookup { table: table.clone(), index: Box::new(index.substitute(map)) }
+            }
         }
     }
 
@@ -325,10 +326,9 @@ impl Expr {
                 }
                 Expr::Call { op: *op, args }
             }
-            Expr::Lookup { table, index } => Expr::Lookup {
-                table: table.clone(),
-                index: Box::new(index.sort_commutative()),
-            },
+            Expr::Lookup { table, index } => {
+                Expr::Lookup { table: table.clone(), index: Box::new(index.sort_commutative()) }
+            }
             other => other.clone(),
         }
     }
@@ -407,7 +407,10 @@ mod tests {
 
     #[test]
     fn sort_commutative_preserves_noncommutative_order() {
-        let e = Expr::call(BinOp::Sub, [Expr::from(access("b", ["i"])), Expr::from(access("a", ["i"]))]);
+        let e = Expr::call(
+            BinOp::Sub,
+            [Expr::from(access("b", ["i"])), Expr::from(access("a", ["i"]))],
+        );
         assert_eq!(e.sort_commutative(), e);
     }
 

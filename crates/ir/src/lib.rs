@@ -63,6 +63,6 @@ pub use cond::Cond;
 pub use einsum::Einsum;
 pub use expr::{Access, Expr, TensorPart, TensorRef};
 pub use index::Index;
-pub use parse::{parse_einsum, ParseError};
 pub use ops::{AssignOp, BinOp, CmpOp};
+pub use parse::{parse_einsum, ParseError};
 pub use stmt::{Lhs, Stmt};

@@ -67,7 +67,7 @@ pub fn parse_einsum(input: &str) -> Result<Einsum, ParseError> {
     // parse-level checks first.
     let mut used = rhs.indices();
     used.extend(output.indices.iter().cloned());
-    let order_idx: Vec<Index> = order.iter().map(|s| Index::new(s)).collect();
+    let order_idx: Vec<Index> = order.iter().map(Index::new).collect();
     let ordered: std::collections::BTreeSet<Index> = order_idx.iter().cloned().collect();
     if ordered.len() != order_idx.len() {
         return Err(ParseError { at: 0, message: "loop order repeats an index".into() });

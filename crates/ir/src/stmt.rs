@@ -94,10 +94,7 @@ impl Stmt {
     /// ```
     pub fn loops(order: impl IntoIterator<Item = Index>, body: Stmt) -> Stmt {
         let order: Vec<Index> = order.into_iter().collect();
-        order.into_iter().rev().fold(body, |acc, index| Stmt::Loop {
-            index,
-            body: Box::new(acc),
-        })
+        order.into_iter().rev().fold(body, |acc, index| Stmt::Loop { index, body: Box::new(acc) })
     }
 
     /// Wraps `body` in a conditional unless the condition is `True`.
@@ -154,10 +151,9 @@ impl Stmt {
                 index: map.get(index).cloned().unwrap_or_else(|| index.clone()),
                 body: Box::new(body.substitute(map)),
             },
-            Stmt::If { cond, body } => Stmt::If {
-                cond: cond.substitute(map),
-                body: Box::new(body.substitute(map)),
-            },
+            Stmt::If { cond, body } => {
+                Stmt::If { cond: cond.substitute(map), body: Box::new(body.substitute(map)) }
+            }
             Stmt::Let { name, value, body } => Stmt::Let {
                 name: name.clone(),
                 value: value.substitute(map),

@@ -7,9 +7,13 @@ impl Expr {
     /// `f(child)`. Leaves are returned unchanged.
     pub fn map_children(self, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
         match self {
-            Expr::Call { op, args } => Expr::Call { op, args: args.into_iter().map(&mut *f).collect() },
+            Expr::Call { op, args } => {
+                Expr::Call { op, args: args.into_iter().map(&mut *f).collect() }
+            }
             Expr::Lookup { table, index } => Expr::Lookup { table, index: Box::new(f(*index)) },
-            leaf @ (Expr::Literal(_) | Expr::Scalar(_) | Expr::Access(_) | Expr::CmpVal { .. }) => leaf,
+            leaf @ (Expr::Literal(_) | Expr::Scalar(_) | Expr::Access(_) | Expr::CmpVal { .. }) => {
+                leaf
+            }
         }
     }
 
@@ -18,7 +22,9 @@ impl Expr {
         match self {
             Expr::Call { args, .. } => args.iter().collect(),
             Expr::Lookup { index, .. } => vec![index],
-            Expr::Literal(_) | Expr::Scalar(_) | Expr::Access(_) | Expr::CmpVal { .. } => Vec::new(),
+            Expr::Literal(_) | Expr::Scalar(_) | Expr::Access(_) | Expr::CmpVal { .. } => {
+                Vec::new()
+            }
         }
     }
 }
@@ -55,11 +61,9 @@ impl Stmt {
     /// sides and `let` values) with `f`, leaving control flow intact.
     pub fn map_exprs(self, f: &mut impl FnMut(Expr) -> Expr) -> Stmt {
         match self {
-            Stmt::Let { name, value, body } => Stmt::Let {
-                name,
-                value: f(value),
-                body: Box::new(body.map_exprs(f)),
-            },
+            Stmt::Let { name, value, body } => {
+                Stmt::Let { name, value: f(value), body: Box::new(body.map_exprs(f)) }
+            }
             Stmt::Assign { lhs, op, rhs } => Stmt::Assign { lhs, op, rhs: f(rhs) },
             other => other.map_children(&mut |s| s.map_exprs(f)),
         }

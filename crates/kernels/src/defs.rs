@@ -272,9 +272,8 @@ mod tests {
         let mut coo = CooTensor::new(vec![4, 4]);
         coo.push(&[0, 1], 1.0);
         coo.push(&[1, 0], 1.0);
-        let inputs = k
-            .inputs([("A", coo.into()), ("x", DenseTensor::zeros(vec![4]).into())])
-            .unwrap();
+        let inputs =
+            k.inputs([("A", coo.into()), ("x", DenseTensor::zeros(vec![4]).into())]).unwrap();
         assert!(inputs["A"].as_sparse().is_some());
         assert!(inputs["x"].as_dense().is_some());
     }

@@ -46,4 +46,4 @@ pub mod native;
 mod prepare;
 
 pub use defs::{InputData, KernelDef};
-pub use prepare::Prepared;
+pub use prepare::{clear_plan_cache, plan_cache_stats, Backend, Prepared};

@@ -7,10 +7,28 @@
 //! what the paper measures (output initialization + main loops), while
 //! [`Prepared::run_full`] also applies replication, for correctness
 //! checks.
+//!
+//! ## Backends and the plan cache
+//!
+//! Execution goes through one of two [`Backend`]s: the tree-walking
+//! interpreter in `systec-exec`, or (the default) the bytecode VM in
+//! `systec-codegen`. Both produce identical results and identical
+//! [`Counters`].
+//!
+//! Kernel *plans* — the compiled program (symmetrization + §4.2 passes),
+//! its hoisted/lowered form, and its bytecode — depend only on the
+//! einsum, the symmetry declarations, and the input formats and shapes,
+//! never on tensor values. [`Prepared::compile`] and [`Prepared::naive`]
+//! therefore consult a process-wide LRU [`PlanCache`]: repeated
+//! invocations of an identical kernel spec skip symmetrization,
+//! hoisting, lowering and compilation entirely (observable through
+//! [`plan_cache_stats`]).
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
-use systec_core::{CompileOptions, CompiledKernel, Compiler};
+use systec_codegen::{CacheStats, PlanCache, PlanKey};
+use systec_core::{CompileOptions, Compiler, SymmetrySpec};
 use systec_exec::{alloc_outputs, hoist_conditions, lower, prepare_variants, run_lowered};
 use systec_exec::{Counters, ExecError, LoweredProgram};
 use systec_ir::Stmt;
@@ -18,17 +36,178 @@ use systec_tensor::{DenseTensor, Tensor};
 
 use crate::KernelDef;
 
-/// A kernel lowered against concrete inputs, ready to run repeatedly.
-pub struct Prepared {
+/// Which execution engine a [`Prepared`] kernel runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Backend {
+    /// The tree-walking interpreter (`systec_exec::run_lowered`).
+    Interpreter,
+    /// The bytecode VM (`systec_codegen`) — the default.
+    #[default]
+    Compiled,
+}
+
+/// Everything shape-dependent (but value-independent) about a kernel:
+/// the hoisted programs, their lowerings, and their bytecode.
+///
+/// Immutable and shared: the plan cache hands out [`Arc`]s of these.
+pub(crate) struct KernelPlan {
+    /// The hoisted main program (scanned for input variants and output
+    /// shapes when binding new data).
+    main_stmt: Stmt,
+    /// The hoisted replication nest, when present.
+    rep_stmt: Option<Stmt>,
     main: LoweredProgram,
     replication: Option<LoweredProgram>,
-    inputs: HashMap<String, Tensor>,
+    main_compiled: systec_codegen::CompiledKernel,
+    rep_compiled: Option<systec_codegen::CompiledKernel>,
+}
+
+impl KernelPlan {
+    /// Builds a plan from (unhoisted) programs against concrete
+    /// bindings. Only shapes and formats of `inputs` matter for the
+    /// plan itself; the materialized bindings (base + derived variants)
+    /// and initialized outputs are returned so the caller that just
+    /// built the plan does not prepare the same data twice.
+    #[allow(clippy::type_complexity)]
+    fn build(
+        main: Stmt,
+        replication: Option<Stmt>,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<(KernelPlan, HashMap<String, Tensor>, HashMap<String, DenseTensor>), ExecError>
+    {
+        let main = hoist_conditions(main);
+        let replication = replication.map(hoist_conditions);
+        let mut all_inputs = inputs.clone();
+        all_inputs.extend(prepare_variants(&main, inputs)?);
+        let outputs_init = alloc_outputs_for(&main, replication.as_ref(), &all_inputs)?;
+        let lowered_main = lower(&main, &all_inputs, &outputs_init)?;
+        let lowered_rep = match &replication {
+            Some(rep) => Some(lower(rep, &all_inputs, &outputs_init)?),
+            None => None,
+        };
+        let main_compiled =
+            systec_codegen::CompiledKernel::compile(&lowered_main, &all_inputs, &outputs_init)?;
+        let rep_compiled = match &lowered_rep {
+            Some(rep) => {
+                Some(systec_codegen::CompiledKernel::compile(rep, &all_inputs, &outputs_init)?)
+            }
+            None => None,
+        };
+        let plan = KernelPlan {
+            main_stmt: main,
+            rep_stmt: replication,
+            main: lowered_main,
+            replication: lowered_rep,
+            main_compiled,
+            rep_compiled,
+        };
+        Ok((plan, all_inputs, outputs_init))
+    }
+}
+
+/// Allocates the outputs the main program writes, extended with anything
+/// only the replication nest writes.
+fn alloc_outputs_for(
+    main: &Stmt,
+    replication: Option<&Stmt>,
+    all_inputs: &HashMap<String, Tensor>,
+) -> Result<HashMap<String, DenseTensor>, ExecError> {
+    let mut outputs_init = alloc_outputs(main, all_inputs)?;
+    if let Some(rep) = replication {
+        // Replication normally reads and writes outputs the main program
+        // already allocated; only infer shapes for anything new.
+        let mut written = Vec::new();
+        collect_written(rep, &mut written);
+        if written.iter().any(|name| !outputs_init.contains_key(name)) {
+            for (name, t) in alloc_outputs(rep, all_inputs)? {
+                outputs_init.entry(name).or_insert(t);
+            }
+        }
+    }
+    Ok(outputs_init)
+}
+
+fn plan_cache() -> std::sync::MutexGuard<'static, PlanCache<KernelPlan>> {
+    static CACHE: OnceLock<Mutex<PlanCache<KernelPlan>>> = OnceLock::new();
+    // Lock sections only touch cache bookkeeping (never user code), but
+    // recover from poisoning anyway: a panic elsewhere must not disable
+    // kernel preparation for the rest of the process.
+    CACHE
+        .get_or_init(|| Mutex::new(PlanCache::new(64)))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Materialized data bindings: base + derived inputs, and initialized
+/// outputs.
+type PlanBindings = (HashMap<String, Tensor>, HashMap<String, DenseTensor>);
+
+/// Looks the key up under a short lock; on a miss, builds the plan with
+/// no lock held (plan compilation takes milliseconds — concurrent
+/// preparations of different kernels must not serialize), then inserts.
+/// Two racing builders of the same key both compile; the plans are
+/// identical and the second insert wins harmlessly.
+///
+/// On a miss, the builder's already-materialized bindings ride along so
+/// the caller can construct the [`Prepared`] without preparing the data
+/// a second time.
+#[allow(clippy::type_complexity)]
+fn cached_plan(
+    key: PlanKey,
+    build: impl FnOnce() -> Result<
+        (KernelPlan, HashMap<String, Tensor>, HashMap<String, DenseTensor>),
+        ExecError,
+    >,
+) -> Result<(Arc<KernelPlan>, Option<PlanBindings>), ExecError> {
+    if let Some(plan) = plan_cache().get(&key) {
+        return Ok((plan, None));
+    }
+    let (plan, all_inputs, outputs_init) = build()?;
+    let plan = Arc::new(plan);
+    plan_cache().insert(key, Arc::clone(&plan));
+    Ok((plan, Some((all_inputs, outputs_init))))
+}
+
+/// Observability counters of the process-wide kernel plan cache.
+pub fn plan_cache_stats() -> CacheStats {
+    plan_cache().stats()
+}
+
+/// Drops every cached kernel plan and resets the statistics (tests and
+/// benchmarks).
+pub fn clear_plan_cache() {
+    plan_cache().clear();
+}
+
+/// Canonical rendering of symmetry declarations for plan keys.
+fn symmetry_fingerprint(spec: &SymmetrySpec) -> String {
+    let mut parts: Vec<String> = spec
+        .iter()
+        .map(|(name, p)| {
+            let parts: Vec<&[usize]> = p.parts().collect();
+            format!("{name}:{parts:?}")
+        })
+        .collect();
+    parts.sort();
+    parts.join(";")
+}
+
+/// A kernel prepared against concrete inputs, ready to run repeatedly.
+///
+/// Cloning is cheap: the plan and the prepared inputs are shared behind
+/// [`Arc`]s, so per-invocation runs never re-clone input tensors.
+#[derive(Clone)]
+pub struct Prepared {
+    plan: Arc<KernelPlan>,
+    inputs: Arc<HashMap<String, Tensor>>,
     outputs_init: HashMap<String, DenseTensor>,
+    backend: Backend,
 }
 
 impl Prepared {
     /// Compiles the kernel with SySTeC (default options) and prepares it
-    /// against `inputs`.
+    /// against `inputs`, reusing a cached plan when one exists for this
+    /// (einsum, symmetry, formats, dims) key.
     ///
     /// # Errors
     ///
@@ -41,7 +220,7 @@ impl Prepared {
     }
 
     /// Compiles with explicit pass toggles (used by the ablation
-    /// benchmarks).
+    /// benchmarks). The toggles are part of the plan-cache key.
     ///
     /// # Errors
     ///
@@ -56,24 +235,38 @@ impl Prepared {
         inputs: &HashMap<String, Tensor>,
         options: CompileOptions,
     ) -> Result<Self, ExecError> {
-        let kernel: CompiledKernel = Compiler::with_options(options)
-            .compile(&def.einsum, &def.symmetry)
-            .unwrap_or_else(|e| panic!("kernel {} failed to compile: {e}", def.name));
-        Self::from_programs(kernel.main, kernel.replication, inputs)
+        let key = PlanKey::new(
+            format!("systec::{}::{options:?}", def.einsum),
+            symmetry_fingerprint(&def.symmetry),
+            inputs,
+        );
+        let (plan, bindings) = cached_plan(key, || {
+            let kernel = Compiler::with_options(options)
+                .compile(&def.einsum, &def.symmetry)
+                .unwrap_or_else(|e| panic!("kernel {} failed to compile: {e}", def.name));
+            KernelPlan::build(kernel.main, kernel.replication, inputs)
+        })?;
+        Self::from_cache(plan, bindings, inputs)
     }
 
     /// Prepares the naive (symmetry-oblivious) kernel — the paper's
-    /// "naive Finch" baseline.
+    /// "naive Finch" baseline — through the same plan cache.
     ///
     /// # Errors
     ///
     /// See [`Prepared::compile`].
     pub fn naive(def: &KernelDef, inputs: &HashMap<String, Tensor>) -> Result<Self, ExecError> {
-        let program = Compiler::new().naive(&def.einsum);
-        Self::from_programs(program, None, inputs)
+        let key = PlanKey::new(format!("naive::{}", def.einsum), String::new(), inputs);
+        let (plan, bindings) = cached_plan(key, || {
+            let program = Compiler::new().naive(&def.einsum);
+            KernelPlan::build(program, None, inputs)
+        })?;
+        Self::from_cache(plan, bindings, inputs)
     }
 
     /// Prepares an arbitrary program (used by tests and ablations).
+    /// Bypasses the plan cache — arbitrary statements have no stable
+    /// kernel identity to key on.
     ///
     /// # Errors
     ///
@@ -83,37 +276,58 @@ impl Prepared {
         replication: Option<Stmt>,
         inputs: &HashMap<String, Tensor>,
     ) -> Result<Self, ExecError> {
-        let main = hoist_conditions(main);
-        let replication = replication.map(hoist_conditions);
-        // Materialize transposes / diagonal splits (untimed).
-        let mut all_inputs = inputs.clone();
-        all_inputs.extend(prepare_variants(&main, inputs)?);
-        // Allocate outputs (shape inference + reduction identities).
-        let mut outputs_init = alloc_outputs(&main, &all_inputs)?;
-        if let Some(rep) = &replication {
-            // Replication normally reads and writes outputs the main
-            // program already allocated; only infer shapes for anything
-            // new (a replication nest mentions no inputs, so extents can
-            // only come from the main allocation).
-            let mut written = Vec::new();
-            collect_written(rep, &mut written);
-            if written.iter().any(|name| !outputs_init.contains_key(name)) {
-                for (name, t) in alloc_outputs(rep, &all_inputs)? {
-                    outputs_init.entry(name).or_insert(t);
-                }
-            }
+        let (plan, all_inputs, outputs_init) = KernelPlan::build(main, replication, inputs)?;
+        Ok(Self::assemble(Arc::new(plan), all_inputs, outputs_init))
+    }
+
+    /// Assembles from a cache result: a miss carries the builder's
+    /// already-materialized bindings; a hit binds the new data.
+    fn from_cache(
+        plan: Arc<KernelPlan>,
+        bindings: Option<PlanBindings>,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<Self, ExecError> {
+        match bindings {
+            Some((all_inputs, outputs_init)) => Ok(Self::assemble(plan, all_inputs, outputs_init)),
+            None => Self::bind(plan, inputs),
         }
-        let lowered_main = lower(&main, &all_inputs, &outputs_init)?;
-        let lowered_rep = match &replication {
-            Some(rep) => Some(lower(rep, &all_inputs, &outputs_init)?),
-            None => None,
-        };
-        Ok(Prepared {
-            main: lowered_main,
-            replication: lowered_rep,
-            inputs: all_inputs,
-            outputs_init,
-        })
+    }
+
+    /// Binds a cached plan to new concrete data: materializes the
+    /// derived input variants (transposes, diagonal splits — the
+    /// paper's untimed rearrangement) and allocates initialized
+    /// outputs.
+    fn bind(plan: Arc<KernelPlan>, inputs: &HashMap<String, Tensor>) -> Result<Self, ExecError> {
+        let mut all_inputs = inputs.clone();
+        all_inputs.extend(prepare_variants(&plan.main_stmt, inputs)?);
+        let outputs_init = alloc_outputs_for(&plan.main_stmt, plan.rep_stmt.as_ref(), &all_inputs)?;
+        Ok(Self::assemble(plan, all_inputs, outputs_init))
+    }
+
+    fn assemble(
+        plan: Arc<KernelPlan>,
+        all_inputs: HashMap<String, Tensor>,
+        outputs_init: HashMap<String, DenseTensor>,
+    ) -> Self {
+        Prepared { plan, inputs: Arc::new(all_inputs), outputs_init, backend: Backend::default() }
+    }
+
+    /// Selects the execution backend (the default is
+    /// [`Backend::Compiled`]).
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Switches the execution backend in place.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// The active execution backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Overrides the initial value of an output tensor (e.g. seeding
@@ -136,6 +350,36 @@ impl Prepared {
         &self.inputs
     }
 
+    /// Whether two prepared kernels execute one shared cached plan —
+    /// i.e. the second preparation performed no symmetrization,
+    /// hoisting, lowering or bytecode compilation at all.
+    pub fn shares_plan_with(&self, other: &Prepared) -> bool {
+        Arc::ptr_eq(&self.plan, &other.plan)
+    }
+
+    fn exec_main(&self, outputs: &mut HashMap<String, DenseTensor>) -> Result<Counters, ExecError> {
+        match self.backend {
+            Backend::Interpreter => run_lowered(&self.plan.main, &self.inputs, outputs),
+            Backend::Compiled => self.plan.main_compiled.run(&self.inputs, outputs),
+        }
+    }
+
+    fn exec_replication(
+        &self,
+        outputs: &mut HashMap<String, DenseTensor>,
+    ) -> Result<Option<Counters>, ExecError> {
+        match self.backend {
+            Backend::Interpreter => match &self.plan.replication {
+                Some(rep) => Ok(Some(run_lowered(rep, &self.inputs, outputs)?)),
+                None => Ok(None),
+            },
+            Backend::Compiled => match &self.plan.rep_compiled {
+                Some(rep) => Ok(Some(rep.run(&self.inputs, outputs)?)),
+                None => Ok(None),
+            },
+        }
+    }
+
     /// Runs the timed region once — fresh outputs, main loops, no
     /// replication — matching the paper's measurement.
     ///
@@ -145,8 +389,34 @@ impl Prepared {
     /// preparation).
     pub fn run_timed(&self) -> Result<(HashMap<String, DenseTensor>, Counters), ExecError> {
         let mut outputs = self.outputs_init.clone();
-        let counters = run_lowered(&self.main, &self.inputs, &mut outputs)?;
+        let counters = self.exec_main(&mut outputs)?;
         Ok((outputs, counters))
+    }
+
+    /// Like [`Prepared::run_timed`], but reuses the caller's output
+    /// buffers: existing tensors of the right shape are re-initialized
+    /// in place instead of reallocated, so repeated invocations (the
+    /// benchmark loop) measure kernel work, not allocator traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor failures (none occur after successful
+    /// preparation).
+    pub fn run_timed_into(
+        &self,
+        outputs: &mut HashMap<String, DenseTensor>,
+    ) -> Result<Counters, ExecError> {
+        for (name, init) in &self.outputs_init {
+            match outputs.get_mut(name) {
+                Some(existing) if existing.dims() == init.dims() => {
+                    existing.as_mut_slice().copy_from_slice(init.as_slice());
+                }
+                _ => {
+                    outputs.insert(name.clone(), init.clone());
+                }
+            }
+        }
+        self.exec_main(outputs)
     }
 
     /// Runs everything — main loops *and* output replication — returning
@@ -158,9 +428,8 @@ impl Prepared {
     /// preparation).
     pub fn run_full(&self) -> Result<(HashMap<String, DenseTensor>, Counters), ExecError> {
         let mut outputs = self.outputs_init.clone();
-        let mut counters = run_lowered(&self.main, &self.inputs, &mut outputs)?;
-        if let Some(rep) = &self.replication {
-            let rep_counters = run_lowered(rep, &self.inputs, &mut outputs)?;
+        let mut counters = self.exec_main(&mut outputs)?;
+        if let Some(rep_counters) = self.exec_replication(&mut outputs)? {
             counters.merge(&rep_counters);
         }
         Ok((outputs, counters))
@@ -212,6 +481,18 @@ mod tests {
         let reference = reference_einsum(&def.einsum, &inputs).unwrap();
         assert!(ys["y"].max_abs_diff(&yn["y"]).unwrap() < 1e-10);
         assert!(ys["y"].max_abs_diff(&reference).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn backends_agree_on_results_and_counters() {
+        let (def, inputs) = ssymv_setup(32, 13);
+        let compiled = Prepared::compile(&def, &inputs).unwrap();
+        let interp = compiled.clone().with_backend(Backend::Interpreter);
+        assert_eq!(compiled.backend(), Backend::Compiled);
+        let (yc, cc) = compiled.run_full().unwrap();
+        let (yi, ci) = interp.run_full().unwrap();
+        assert_eq!(yc["y"], yi["y"], "backends must agree bit-for-bit");
+        assert_eq!(cc, ci, "counter parity across backends");
     }
 
     #[test]
@@ -275,5 +556,41 @@ mod tests {
                 assert_eq!(timed["C"].get(&[i, j]), full["C"].get(&[i, j]));
             }
         }
+    }
+
+    #[test]
+    fn run_timed_into_reuses_buffers_and_matches() {
+        let (def, inputs) = ssymv_setup(20, 21);
+        let sym = Prepared::compile(&def, &inputs).unwrap();
+        let (fresh, c_fresh) = sym.run_timed().unwrap();
+        let mut reused = HashMap::new();
+        let c1 = sym.run_timed_into(&mut reused).unwrap();
+        let c2 = sym.run_timed_into(&mut reused).unwrap();
+        assert_eq!(c1, c2, "re-running over reused buffers is idempotent");
+        assert_eq!(c1, c_fresh);
+        assert_eq!(reused["y"], fresh["y"]);
+    }
+
+    #[test]
+    fn plan_cache_hit_skips_compilation() {
+        // n = 18 is unique to this test, so the key below is not built
+        // by any concurrently running test.
+        let (def, inputs) = ssymv_setup(18, 33);
+        let before = plan_cache_stats();
+        let first = Prepared::compile(&def, &inputs).unwrap();
+        // Different values, same formats and dims: the plan is reused.
+        let (_, inputs2) = ssymv_setup(18, 99);
+        let second = Prepared::compile(&def, &inputs2).unwrap();
+        let after = plan_cache_stats();
+        assert!(
+            first.shares_plan_with(&second),
+            "second invocation must reuse the cached plan verbatim"
+        );
+        assert!(after.hits > before.hits, "the reuse is visible as a cache hit");
+        // And the shared plan still computes the right answer on the
+        // second data set.
+        let reference = reference_einsum(&def.einsum, &inputs2).unwrap();
+        let (out, _) = second.run_full().unwrap();
+        assert!(out["y"].max_abs_diff(&reference).unwrap() < 1e-10);
     }
 }

@@ -170,10 +170,7 @@ mod tests {
     fn postwalk_folds_nested_constants() {
         let e = Expr::Call {
             op: BinOp::Add,
-            args: vec![
-                Expr::Call { op: BinOp::Add, args: vec![lit(1.0), lit(2.0)] },
-                lit(3.0),
-            ],
+            args: vec![Expr::Call { op: BinOp::Add, args: vec![lit(1.0), lit(2.0)] }, lit(3.0)],
         };
         assert_eq!(postwalk(e, &fold_add), lit(6.0));
     }
@@ -183,16 +180,13 @@ mod tests {
         // A rule that only fires at Or-nodes, rewriting them to their first
         // disjunct — with prewalk only one application is needed at the root.
         let first = |s: &Stmt| match s {
-            Stmt::If { cond: Cond::Or(cs), body } => Some(Stmt::If {
-                cond: cs[0].clone(),
-                body: body.clone(),
-            }),
+            Stmt::If { cond: Cond::Or(cs), body } => {
+                Some(Stmt::If { cond: cs[0].clone(), body: body.clone() })
+            }
             _ => None,
         };
-        let s = Stmt::guarded(
-            or([lt("i", "j"), eq("i", "j")]),
-            assign(access("y", ["i"]), lit(1.0)),
-        );
+        let s =
+            Stmt::guarded(or([lt("i", "j"), eq("i", "j")]), assign(access("y", ["i"]), lit(1.0)));
         let out = prewalk(s, &first);
         assert!(out.to_string().starts_with("if i < j:"), "got {out}");
     }

@@ -160,12 +160,7 @@ impl DenseTensor {
         if self.dims != other.dims {
             return Err(TensorError::ShapeMismatch { a: self.dims.clone(), b: other.dims.clone() });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max))
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max))
     }
 
     /// Iterates over `(coords, value)` of every element (including zeros).

@@ -161,10 +161,7 @@ mod tests {
         let m = banded_sprand(40, 150, 3, 0.7, &mut rng(2));
         assert_eq!(m.nnz(), 150);
         // Majority of entries near the diagonal.
-        let near = m
-            .entries()
-            .filter(|(c, _)| c[0].abs_diff(c[1]) <= 3)
-            .count();
+        let near = m.entries().filter(|(c, _)| c[0].abs_diff(c[1]) <= 3).count();
         assert!(near * 2 > m.nnz(), "expected band dominance, got {near}/{}", m.nnz());
     }
 

@@ -53,7 +53,7 @@ mod tensor;
 pub use coo::CooTensor;
 pub use dense::DenseTensor;
 pub use error::TensorError;
-pub use sparse::{LevelFormat, SparseTensor};
+pub use sparse::{LevelFormat, LevelView, SparseTensor};
 pub use tensor::Tensor;
 
 /// Format shorthand: CSR for matrices (`Dense(Sparse(Element))`).

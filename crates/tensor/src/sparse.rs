@@ -49,12 +49,7 @@ enum Level {
     /// *inclusive* end coordinates of the runs under parent `p`; each run
     /// is one child position. Runs of the fill value (zero) are omitted:
     /// `run_start` records each run's first coordinate.
-    RunLength {
-        pos: Vec<usize>,
-        run_start: Vec<usize>,
-        run_end: Vec<usize>,
-        size: usize,
-    },
+    RunLength { pos: Vec<usize>, run_start: Vec<usize>, run_end: Vec<usize>, size: usize },
 }
 
 /// A compressed multidimensional tensor packed from sorted coordinates.
@@ -178,7 +173,12 @@ impl SparseTensor {
                     // Entries extending runs accumulate nothing extra: the
                     // packed value is the run's value. (Duplicates were
                     // already merged in COO.)
-                    return Ok(SparseTensor { dims, formats: formats.to_vec(), levels, vals: std::mem::take(&mut vals) });
+                    return Ok(SparseTensor {
+                        dims,
+                        formats: formats.to_vec(),
+                        levels,
+                        vals: std::mem::take(&mut vals),
+                    });
                 }
             }
         }
@@ -280,32 +280,16 @@ impl SparseTensor {
         match &self.levels[k] {
             Level::Dense { size } => *size,
             Level::Sparse { pos, .. } => pos[parent + 1] - pos[parent],
-            Level::RunLength { pos, run_start, run_end, .. } => (pos[parent]..pos[parent + 1])
-                .map(|r| run_end[r] - run_start[r] + 1)
-                .sum(),
+            Level::RunLength { pos, run_start, run_end, .. } => {
+                (pos[parent]..pos[parent + 1]).map(|r| run_end[r] - run_start[r] + 1).sum()
+            }
         }
     }
 
     /// Finds the child position of coordinate `coord` under `parent` at
     /// level `k` (random access step), or `None` if not stored.
     pub fn level_find(&self, k: usize, parent: usize, coord: usize) -> Option<usize> {
-        match &self.levels[k] {
-            Level::Dense { size } => (coord < *size).then(|| parent * size + coord),
-            Level::Sparse { pos, crd, .. } => {
-                let begin = pos[parent];
-                let end = pos[parent + 1];
-                let slice = &crd[begin..end];
-                let at = slice.partition_point(|&c| c < coord);
-                (at < slice.len() && slice[at] == coord).then(|| begin + at)
-            }
-            Level::RunLength { pos, run_start, run_end, .. } => {
-                let begin = pos[parent];
-                let end = pos[parent + 1];
-                let slice_end = &run_end[begin..end];
-                let at = begin + slice_end.partition_point(|&c| c < coord);
-                (at < end && run_start[at] <= coord).then_some(at)
-            }
-        }
+        self.level_view(k).find(parent, coord)
     }
 
     /// Random access: the value at `coords` (zero if not stored).
@@ -347,6 +331,26 @@ impl SparseTensor {
         }
     }
 
+    /// Raw, borrow-only view of one level's packed arrays.
+    ///
+    /// Execution backends that compile per-format code (the bytecode VM
+    /// in `systec-codegen`) use this to walk `pos`/`crd` directly,
+    /// without the per-step dispatch of [`SparseTensor::level_iter`].
+    pub fn level_view(&self, k: usize) -> LevelView<'_> {
+        match &self.levels[k] {
+            Level::Dense { size } => LevelView::Dense { size: *size },
+            Level::Sparse { pos, crd, size } => LevelView::Sparse { pos, crd, size: *size },
+            Level::RunLength { pos, run_start, run_end, size } => {
+                LevelView::RunLength { pos, run_start, run_end, size: *size }
+            }
+        }
+    }
+
+    /// The packed leaf values, indexed by leaf position.
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
     /// Returns a permuted repack: mode `k` of the result is mode
     /// `perm[k]` of `self`, in the same formats. This is the
     /// transposition the concordize pass relies on; the paper excludes
@@ -360,6 +364,68 @@ impl SparseTensor {
         let coo = self.to_coo().permuted(perm)?;
         let formats: Vec<LevelFormat> = self.formats.clone();
         SparseTensor::from_coo(&coo, &formats)
+    }
+}
+
+/// Borrowed view of one packed level of a [`SparseTensor`].
+///
+/// Mirrors the internal level representation: child positions are
+/// `parent * size + coord` for dense levels, absolute `crd` indices for
+/// sparse levels, and absolute run indices for run-length levels.
+#[derive(Clone, Copy, Debug)]
+pub enum LevelView<'a> {
+    /// Every coordinate `0..size` is materialized.
+    Dense {
+        /// The level's extent.
+        size: usize,
+    },
+    /// Compressed: `crd[pos[p] .. pos[p+1]]` are the stored coordinates
+    /// under parent position `p`.
+    Sparse {
+        /// Per-parent offsets into `crd` (length `parents + 1`).
+        pos: &'a [usize],
+        /// Stored coordinates, sorted within each parent.
+        crd: &'a [usize],
+        /// The level's extent.
+        size: usize,
+    },
+    /// Run-length encoded: runs `pos[p] .. pos[p+1]` belong to parent
+    /// `p`; run `r` covers coordinates `run_start[r] ..= run_end[r]`.
+    RunLength {
+        /// Per-parent offsets into the run arrays (length `parents + 1`).
+        pos: &'a [usize],
+        /// First coordinate of each run.
+        run_start: &'a [usize],
+        /// Last (inclusive) coordinate of each run.
+        run_end: &'a [usize],
+        /// The level's extent.
+        size: usize,
+    },
+}
+
+impl LevelView<'_> {
+    /// Finds the child position of `coord` under `parent`, or `None` if
+    /// not stored — the implementation behind
+    /// [`SparseTensor::level_find`].
+    #[inline]
+    pub fn find(&self, parent: usize, coord: usize) -> Option<usize> {
+        match self {
+            LevelView::Dense { size } => (coord < *size).then(|| parent * size + coord),
+            LevelView::Sparse { pos, crd, .. } => {
+                let begin = pos[parent];
+                let end = pos[parent + 1];
+                let slice = &crd[begin..end];
+                let at = slice.partition_point(|&c| c < coord);
+                (at < slice.len() && slice[at] == coord).then(|| begin + at)
+            }
+            LevelView::RunLength { pos, run_start, run_end, .. } => {
+                let begin = pos[parent];
+                let end = pos[parent + 1];
+                let slice_end = &run_end[begin..end];
+                let at = begin + slice_end.partition_point(|&c| c < coord);
+                (at < end && run_start[at] <= coord).then_some(at)
+            }
+        }
     }
 }
 

@@ -95,11 +95,7 @@ pub fn table2() -> Vec<MatrixSpec> {
 /// A handful of small suite members, scaled down — used by integration
 /// tests where generating multi-million-nnz matrices would be too slow.
 pub fn small_suite() -> Vec<MatrixSpec> {
-    table2()
-        .into_iter()
-        .filter(|s| s.nnz < 100_000)
-        .map(|s| s.scaled_down(8))
-        .collect()
+    table2().into_iter().filter(|s| s.nnz < 100_000).map(|s| s.scaled_down(8)).collect()
 }
 
 #[cfg(test)]

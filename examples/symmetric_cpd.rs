@@ -36,11 +36,7 @@ fn normalize_columns(m: &mut DenseTensor) {
 
 /// Rank-`r` reconstruction error ‖T − Σ_r λ_r b_r⊗b_r⊗b_r‖ restricted to
 /// the stored entries (cheap proxy for fit).
-fn residual_on_support(
-    t: &systec::tensor::CooTensor,
-    b: &DenseTensor,
-    lambda: &[f64],
-) -> f64 {
+fn residual_on_support(t: &systec::tensor::CooTensor, b: &DenseTensor, lambda: &[f64]) -> f64 {
     let mut err = 0.0;
     for (coords, v) in t.entries() {
         let mut approx = 0.0;
@@ -85,9 +81,8 @@ fn main() {
 
     // Sanity: the compiled MTTKRP agrees with the naive one on the final
     // factors.
-    let inputs = def
-        .inputs([("A", tensor.clone().into()), ("B", b.clone().into())])
-        .expect("inputs pack");
+    let inputs =
+        def.inputs([("A", tensor.clone().into()), ("B", b.clone().into())]).expect("inputs pack");
     let sym = Prepared::compile(&def, &inputs).expect("prepare");
     let naive = Prepared::naive(&def, &inputs).expect("prepare naive");
     let (cs, counters_sym) = sym.run_full().expect("run");

@@ -17,7 +17,7 @@ use std::process::ExitCode;
 use systec::compiler::{Compiler, SymmetryPartition, SymmetrySpec};
 use systec::exec::reference::reference_einsum;
 use systec::ir::{parse_einsum, Einsum};
-use systec::kernels::Prepared;
+use systec::kernels::{Backend, Prepared};
 use systec::tensor::generate::{random_dense, rng};
 use systec::tensor::{csf, CooTensor, SparseTensor, Tensor};
 
@@ -29,6 +29,7 @@ struct Options {
     density: f64,
     rank: usize,
     seed: u64,
+    backend: Backend,
 }
 
 fn usage() -> &'static str {
@@ -39,6 +40,8 @@ fn usage() -> &'static str {
        --sym NAME:0-1,2      declare a partial symmetry partition (parts of mode\n\
                              positions, `-` within a part, `,` between parts)\n\
        --run                 execute on random data and compare with the naive kernel\n\
+       --backend B           execution backend for --run: `compiled` (bytecode VM,\n\
+                             the default) or `interpreter` (tree walker)\n\
        --n N                 dimension extent for --run (default 30)\n\
        --density P           sparse fill probability for --run (default 0.01)\n\
        --rank R              extent of indices that only appear densely (default 8)\n\
@@ -56,6 +59,7 @@ fn parse_args() -> Result<Options, String> {
         density: 0.01,
         rank: 8,
         seed: 42,
+        backend: Backend::default(),
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -80,6 +84,18 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--run" => opts.run = true,
+            "--backend" => {
+                let b = args.next().ok_or("--backend needs `compiled` or `interpreter`")?;
+                opts.backend = match b.as_str() {
+                    "compiled" | "vm" => Backend::Compiled,
+                    "interpreter" | "interp" => Backend::Interpreter,
+                    other => {
+                        return Err(format!(
+                            "unknown backend `{other}` (expected `compiled` or `interpreter`)"
+                        ))
+                    }
+                };
+            }
             "--n" => opts.n = next_num(&mut args, "--n")? as usize,
             "--rank" => opts.rank = next_num(&mut args, "--rank")? as usize,
             "--density" => opts.density = next_num(&mut args, "--density")?,
@@ -92,9 +108,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn next_num(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<f64, String> {
-    args.next()
-        .and_then(|v| v.parse().ok())
-        .ok_or_else(|| format!("{flag} needs a number"))
+    args.next().and_then(|v| v.parse().ok()).ok_or_else(|| format!("{flag} needs a number"))
 }
 
 fn main() -> ExitCode {
@@ -200,8 +214,7 @@ fn run_kernel(
             let draws = (opts.density * total).ceil() as usize;
             use rand::Rng;
             for _ in 0..draws.max(1) {
-                let coords: Vec<usize> =
-                    dims.iter().map(|&d| r.gen_range(0..d)).collect();
+                let coords: Vec<usize> = dims.iter().map(|&d| r.gen_range(0..d)).collect();
                 let v = r.gen_range(0.1..1.0);
                 for perm in partition.permutations() {
                     let permuted: Vec<usize> = perm.iter().map(|&p| coords[p]).collect();
@@ -218,8 +231,7 @@ fn run_kernel(
             let total: f64 = dims.iter().map(|&d| d as f64).product();
             use rand::Rng;
             for _ in 0..((opts.density * total).ceil() as usize).max(1) {
-                let coords: Vec<usize> =
-                    dims.iter().map(|&d| r.gen_range(0..d)).collect();
+                let coords: Vec<usize> = dims.iter().map(|&d| r.gen_range(0..d)).collect();
                 coo.set(&coords, r.gen_range(0.1..1.0));
             }
             Tensor::Sparse(
@@ -233,10 +245,12 @@ fn run_kernel(
     }
 
     let sym = Prepared::from_programs(kernel.main.clone(), kernel.replication.clone(), &inputs)
-        .map_err(|e| format!("preparing compiled kernel: {e}"))?;
+        .map_err(|e| format!("preparing compiled kernel: {e}"))?
+        .with_backend(opts.backend);
     let naive_prog = Compiler::new().naive(einsum);
     let naive = Prepared::from_programs(naive_prog, None, &inputs)
-        .map_err(|e| format!("preparing naive kernel: {e}"))?;
+        .map_err(|e| format!("preparing naive kernel: {e}"))?
+        .with_backend(opts.backend);
 
     let t0 = std::time::Instant::now();
     let (out_sym, c_sym) = sym.run_full().map_err(|e| e.to_string())?;
@@ -245,15 +259,15 @@ fn run_kernel(
     let (out_naive, c_naive) = naive.run_full().map_err(|e| e.to_string())?;
     let t_naive = t0.elapsed();
 
-    println!("\n== run (n={}, density={}, seed={}) ==", opts.n, opts.density, opts.seed);
+    println!(
+        "\n== run (n={}, density={}, seed={}, backend={:?}) ==",
+        opts.n, opts.density, opts.seed, opts.backend
+    );
     let out_name = einsum.output.tensor.display_name();
-    let diff = out_sym[&out_name]
-        .max_abs_diff(&out_naive[&out_name])
-        .map_err(|e| e.to_string())?;
+    let diff = out_sym[&out_name].max_abs_diff(&out_naive[&out_name]).map_err(|e| e.to_string())?;
     println!("max |systec - naive| = {diff:.3e}");
     let reference = reference_einsum(einsum, &inputs).map_err(|e| e.to_string())?;
-    let ref_diff =
-        out_sym[&out_name].max_abs_diff(&reference).map_err(|e| e.to_string())?;
+    let ref_diff = out_sym[&out_name].max_abs_diff(&reference).map_err(|e| e.to_string())?;
     println!("max |systec - reference| = {ref_diff:.3e}");
     println!("systec: {t_sym:?}   naive: {t_naive:?}");
     println!("systec counters: {c_sym}");

@@ -12,6 +12,8 @@
 //! * [`compiler`] — the SySTeC compiler (symmetrization + §4.2 passes).
 //! * [`exec`] — the executing backend with sparse iteration semantics
 //!   and instrumentation.
+//! * [`codegen`] — the compiled backend: bytecode VM and the LRU plan
+//!   cache.
 //! * [`kernels`] — the paper's evaluation kernels, native baselines, and
 //!   the prepare/run harness.
 //!
@@ -32,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use systec_codegen as codegen;
 pub use systec_core as compiler;
 pub use systec_exec as exec;
 pub use systec_ir as ir;

@@ -66,9 +66,7 @@ fn partition_for(order: usize, choice: usize) -> SymmetryPartition {
         )
         .expect("valid partition"),
         (o, _) => SymmetryPartition::from_parts(
-            std::iter::once(vec![0])
-                .chain(std::iter::once((1..o).collect::<Vec<_>>()))
-                .collect(),
+            std::iter::once(vec![0]).chain(std::iter::once((1..o).collect::<Vec<_>>())).collect(),
         )
         .expect("valid partition"),
     }
@@ -189,10 +187,7 @@ fn dense_reference_sanity() {
     coo.set(&[1, 0], 2.0);
     coo.set(&[1, 1], 5.0);
     let mut inputs = HashMap::new();
-    inputs.insert(
-        "A".to_string(),
-        Tensor::Sparse(SparseTensor::from_coo(&coo, &csf(2)).unwrap()),
-    );
+    inputs.insert("A".to_string(), Tensor::Sparse(SparseTensor::from_coo(&coo, &csf(2)).unwrap()));
     let spec = SymmetrySpec::new().with_full("A", 2);
     let compiled = Compiler::new().compile(&einsum, &spec).unwrap();
     let sym = Prepared::from_programs(compiled.main, compiled.replication, &inputs).unwrap();

@@ -12,10 +12,7 @@ use systec::tensor::{DenseTensor, Tensor};
 
 const TOL: f64 = 1e-9;
 
-fn check_all_outputs(
-    a: &HashMap<String, DenseTensor>,
-    b: &HashMap<String, DenseTensor>,
-) {
+fn check_all_outputs(a: &HashMap<String, DenseTensor>, b: &HashMap<String, DenseTensor>) {
     assert_eq!(a.len(), b.len(), "output sets differ");
     for (name, t) in a {
         let diff = t.max_abs_diff(&b[name]).unwrap();
@@ -72,8 +69,7 @@ fn bellman_ford_end_to_end() {
         let (out_sym, _) = sym.run_full().unwrap();
         let (out_naive, _) = naive.run_full().unwrap();
         check_all_outputs(&out_sym, &out_naive);
-        let native_y =
-            native::csr_bellman_ford(inputs["A"].as_sparse().unwrap(), &d, &d);
+        let native_y = native::csr_bellman_ford(inputs["A"].as_sparse().unwrap(), &d, &d);
         assert!(out_sym["y"].max_abs_diff(&native_y).unwrap() < TOL);
     }
 }
@@ -135,8 +131,7 @@ fn ttm_partial_symmetry_end_to_end() {
         let mut coo = systec::tensor::CooTensor::new(vec![n, n, n]);
         use rand::Rng;
         for _ in 0..(n * n) {
-            let (k, j, l) =
-                (r.gen_range(0..n), r.gen_range(0..n), r.gen_range(0..n));
+            let (k, j, l) = (r.gen_range(0..n), r.gen_range(0..n), r.gen_range(0..n));
             let v = r.gen_range(0.1..1.0);
             coo.set(&[k, j, l], v);
             coo.set(&[k, l, j], v);

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this crate provides
+//! the subset of criterion's API the systec benches use: `Criterion`
+//! with `benchmark_group`/`bench_function`, the `Bencher::iter` timing
+//! loop, and the `criterion_group!`/`criterion_main!` macros (used with
+//! `harness = false` benches).
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, then
+//! collects `sample_size` samples, where each sample runs the closure as
+//! many times as fit in `measurement_time / sample_size` (at least once)
+//! and records the mean time per iteration. The report prints the
+//! minimum, median, and mean of the samples — the median is the headline
+//! number, as in criterion.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver and configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget spread over the samples.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let config = self.clone();
+        run_one(&config, name, f);
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks one function within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        let config = self.criterion.clone();
+        run_one(&config, &full, f);
+        self
+    }
+
+    /// Ends the group (report lines are already printed).
+    pub fn finish(&mut self) {}
+}
+
+/// The per-benchmark timing handle.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it `self.iters` times.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(config: &Criterion, name: &str, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up: run once to measure, then spin until the budget is spent.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let mut per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < config.warm_up_time {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter = per_iter.min(b.elapsed.max(Duration::from_nanos(1)));
+    }
+
+    let per_sample = config.measurement_time / config.sample_size as u32;
+    let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+    let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<40} time: [min {} median {} mean {}]  ({} samples x {iters} iters)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean),
+        samples.len(),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a benchmark group, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the `main` that runs the groups (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        let mut count = 0u64;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn bench_function_without_group() {
+        quick().bench_function("solo", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,515 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this crate provides
+//! the subset of proptest's API that the systec workspace uses: the
+//! [`proptest!`] macro (both the test-function and inline-closure forms),
+//! [`Strategy`] with `prop_map`/`prop_flat_map`, range/tuple/`Vec`
+//! strategies, [`collection::vec`], [`Just`], [`prop_oneof!`], [`any`],
+//! and the `prop_assert*` macros.
+//!
+//! Semantics: each test samples `ProptestConfig::cases` random inputs
+//! from the strategies and fails (with the offending case printed) if the
+//! body returns an error or panics. There is **no shrinking** — failures
+//! report the raw sampled case. Sampling is deterministically seeded per
+//! test, so failures are reproducible.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed test case.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Constructs a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The sampling state handed to strategies.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        TestRunner { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Generates a value, then samples from the strategy `f` builds from
+    /// it (dependent generation).
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { strategy: self, f }
+    }
+}
+
+/// Object-safe strategy view, used by [`strategy::Union`].
+pub trait DynStrategy<T> {
+    /// Draws one value.
+    fn sample_dyn(&self, runner: &mut TestRunner) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, runner: &mut TestRunner) -> S::Value {
+        self.sample(runner)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.strategy.sample(runner))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, runner: &mut TestRunner) -> S2::Value {
+        (self.f)(self.strategy.sample(runner)).sample(runner)
+    }
+}
+
+/// The strategy producing exactly one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, i64, i32, f64);
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        self.iter().map(|s| s.sample(runner)).collect()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(runner),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type for [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Samples any value of `T` (e.g. `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy for [`Arbitrary`] scalars.
+pub struct AnyScalar<T>(std::marker::PhantomData<T>);
+
+impl Strategy for AnyScalar<bool> {
+    type Value = bool;
+
+    fn sample(&self, runner: &mut TestRunner) -> bool {
+        runner.rng().gen::<bool>()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyScalar<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyScalar(std::marker::PhantomData)
+    }
+}
+
+/// Strategy combinators that need a named home.
+pub mod strategy {
+    use super::{DynStrategy, Strategy, TestRunner};
+    use rand::Rng;
+
+    /// Uniform choice among boxed strategies ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<Box<dyn DynStrategy<T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given options.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<Box<dyn DynStrategy<T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, runner: &mut TestRunner) -> T {
+            let k = runner.rng().gen_range(0..self.options.len());
+            self.options[k].sample_dyn(runner)
+        }
+    }
+
+    /// Boxes a strategy for use in a [`Union`].
+    pub fn boxed_dyn<S: Strategy + 'static>(s: S) -> Box<dyn DynStrategy<S::Value>> {
+        Box::new(s)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// A length specification: a fixed size or a range of sizes.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec`s of values from `element`, with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = runner.rng().gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample(runner)).collect()
+        }
+    }
+}
+
+/// Test-loop plumbing used by the [`proptest!`] macro.
+pub mod test_runner {
+    use super::{ProptestConfig, TestCaseError, TestRunner};
+
+    /// Runs `case` for every sampled input set, panicking on the first
+    /// failure with the case number (re-runs are deterministic).
+    pub fn run_cases(
+        config: &ProptestConfig,
+        mut case: impl FnMut(&mut TestRunner) -> Result<(), TestCaseError>,
+    ) {
+        for k in 0..config.cases {
+            // Seed per case so a failure names a reproducible case.
+            let mut runner = TestRunner::new(0x5157_E400_0000_0000 | u64::from(k));
+            if let Err(e) = case(&mut runner) {
+                panic!("proptest case {k}/{} failed: {e}", config.cases);
+            }
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+
+    /// The `prop::` alias used by idiomatic proptest code
+    /// (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: a block of `#[test] fn name(arg in strategy)`
+/// items (optionally preceded by `#![proptest_config(..)]`), or the
+/// inline form `proptest!(|(arg in strategy)| { .. })`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    (|($($arg:ident in $strat:expr),+ $(,)?)| $body:block) => {{
+        let __config = $crate::ProptestConfig::default();
+        $crate::test_runner::run_cases(&__config, |__runner| {
+            $(let $arg = $crate::Strategy::sample(&($strat), __runner);)+
+            let mut __case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                $body
+                #[allow(unreachable_code)]
+                ::std::result::Result::Ok(())
+            };
+            __case()
+        });
+    }};
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(&__config, |__runner| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __runner);)+
+                    let mut __case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `a == b`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+}
+
+/// Uniform choice among strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed_dyn($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sample_in_bounds(n in 2usize..6, x in 0.5f64..2.0) {
+            prop_assert!((2..6).contains(&n));
+            prop_assert!((0.5..2.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0usize..10, 3..=5)) {
+            prop_assert!((3..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuple_and_map(k in (0usize..3, 1usize..4).prop_map(|(a, b)| a * 10 + b)) {
+            prop_assert!(k % 10 >= 1 && k % 10 < 4 && k / 10 < 3);
+        }
+
+        #[test]
+        fn flat_map_dependent(v in (1usize..4).prop_flat_map(|n| prop::collection::vec(0usize..2, n..=n))) {
+            prop_assert!((1..4).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(1usize), Just(2usize)]) {
+            prop_assert!(x == 1 || x == 2);
+        }
+
+        #[test]
+        fn early_ok_return(n in 0usize..10) {
+            if n > 100 {
+                prop_assert!(false, "unreachable");
+            }
+            return Ok(());
+        }
+    }
+
+    #[test]
+    fn inline_closure_form() {
+        let limit = 6usize;
+        proptest!(|(v in prop::collection::vec(0usize..limit, 0..=4))| {
+            prop_assert!(v.len() <= 4);
+            prop_assert!(v.iter().all(|&x| x < limit));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_number() {
+        proptest!(|(n in 0usize..10)| {
+            prop_assert!(n < 5, "n was {n}");
+        });
+    }
+
+    #[test]
+    fn vec_of_ranges_is_a_strategy() {
+        let dims = [3usize, 4, 5];
+        proptest!(|(coords in dims.iter().map(|&d| 0..d).collect::<Vec<_>>())| {
+            prop_assert_eq!(coords.len(), 3);
+            prop_assert!(coords.iter().zip(dims.iter()).all(|(&c, &d)| c < d));
+        });
+    }
+}
