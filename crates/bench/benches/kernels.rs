@@ -1,34 +1,58 @@
-//! Criterion benches: every paper kernel across two axes — symmetric vs
-//! naive (the paper's comparison) and compiled VM vs tree-walking
-//! interpreter (this reproduction's backend ablation) — at a small fixed
-//! size (the figure binaries sweep the real workloads; these keep
+//! Criterion benches: every paper kernel across three axes — symmetric
+//! vs naive (the paper's comparison), compiled VM vs tree-walking
+//! interpreter (this reproduction's backend ablation), and a threads
+//! axis on the compiled backend (row-parallel dispatch) — at a small
+//! fixed size (the figure binaries sweep the real workloads; these keep
 //! `cargo bench` fast and regression-friendly).
 //!
-//! Series names are `<kernel>/<variant>-<backend>`, e.g.
-//! `ssymv/systec-compiled`. All four cells run over reused output
-//! buffers (`run_timed_into`) so the numbers measure kernel work, not
-//! allocator traffic.
+//! Series names are `<kernel>/<variant>-<backend>[-tN]`, e.g.
+//! `ssymv/systec-compiled` (serial) or `ssymv/systec-compiled-t4`
+//! (four workers). All cells run over reused output buffers and a
+//! reused execution context (`run_timed_into`) so the numbers measure
+//! kernel work, not allocator traffic.
 
 use std::collections::HashMap;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use systec_kernels::{defs, Backend, KernelDef, Prepared};
+use systec_kernels::{defs, Backend, Counters, ExecContext, KernelDef, Parallelism, Prepared};
 use systec_tensor::generate::{random_dense, rng, sprand, symmetric_erdos_renyi};
 use systec_tensor::Tensor;
 
 fn bench_grid(c: &mut Criterion, name: &str, def: &KernelDef, inputs: &HashMap<String, Tensor>) {
     let systec = Prepared::compile(def, inputs).expect("prepare systec");
     let naive = Prepared::naive(def, inputs).expect("prepare naive");
+    let serial_only = [("", Parallelism::Serial)];
+    let threaded = [
+        ("", Parallelism::Serial),
+        ("-t2", Parallelism::threads(2)),
+        ("-t4", Parallelism::threads(4)),
+    ];
     let mut group = c.benchmark_group(name);
     for (variant, prepared) in [("systec", &systec), ("naive", &naive)] {
         for (backend_name, backend) in
             [("compiled", Backend::Compiled), ("interp", Backend::Interpreter)]
         {
-            let runner = prepared.clone().with_backend(backend);
-            let mut outputs = HashMap::new();
-            group.bench_function(&format!("{variant}-{backend_name}"), |b| {
-                b.iter(|| runner.run_timed_into(&mut outputs).expect("run"))
-            });
+            // The threads axis applies to the compiled backend only (the
+            // interpreter has no parallel dispatch), and only when the
+            // plan actually splits — otherwise the -tN cells would be
+            // relabeled serial runs.
+            let par_axis: &[(&str, Parallelism)] =
+                if backend == Backend::Compiled && prepared.splittable() {
+                    &threaded
+                } else {
+                    &serial_only
+                };
+            for (suffix, par) in par_axis {
+                let runner = prepared.clone().with_backend(backend).with_parallelism(*par);
+                let mut outputs = HashMap::new();
+                let mut ctx = ExecContext::new();
+                let mut counters = Counters::new();
+                group.bench_function(&format!("{variant}-{backend_name}{suffix}"), |b| {
+                    b.iter(|| {
+                        runner.run_timed_into(&mut outputs, &mut ctx, &mut counters).expect("run")
+                    })
+                });
+            }
         }
     }
     group.finish();

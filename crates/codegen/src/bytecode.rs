@@ -250,6 +250,38 @@ pub(crate) struct TensorInfo {
     pub dims: Vec<usize>,
 }
 
+/// How one output tensor is bound under row-parallel execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ParOut {
+    /// Every access's leading subscript is the enclosing split loop's
+    /// index: chunks touch disjoint row ranges, so workers write
+    /// disjoint sub-slices of the shared buffer in place.
+    Owned,
+    /// Written through a single mergeable reduction operator (and never
+    /// read): each worker reduces into a private buffer initialized to
+    /// the operator's identity, merged into the shared buffer in fixed
+    /// worker order after the join.
+    Reduced(AssignOp),
+}
+
+/// The compiler's proof that a program may execute row-parallel: which
+/// top-level loop heads can be clamped to a coordinate chunk, and how
+/// each output must be bound so chunks never conflict.
+#[derive(Clone, Debug)]
+pub(crate) struct SplitInfo {
+    /// Top-level loop heads as `(pc, index extent)`, in program order.
+    /// Workers run the whole program with each of these heads clamped to
+    /// the worker's coordinate chunk `[k*extent/chunks, (k+1)*extent/chunks)`.
+    pub heads: Vec<(usize, usize)>,
+    /// When [`ParOut::Owned`] outputs exist, the common extent all split
+    /// loops share — chunk boundaries in this domain double as the row
+    /// boundaries the owned buffers are split at.
+    pub owned_extent: Option<usize>,
+    /// Parallel binding mode per output slot (`(slot, mode)` pairs for
+    /// every output the split loops touch).
+    pub outputs: Vec<(usize, ParOut)>,
+}
+
 /// A compiled program: flat instructions plus register-file sizes and
 /// binding metadata.
 #[derive(Clone, Debug)]
@@ -270,4 +302,16 @@ pub(crate) struct BytecodeProgram {
     pub n_vec_bases: usize,
     /// Per-slot binding metadata, in slot order.
     pub tensors: Vec<TensorInfo>,
+    /// Start of each slot's run of entries in the flattened level-view
+    /// binding table (meaningful for sparse slots only).
+    pub level_base: Vec<usize>,
+    /// Total level-view entries across all sparse slots.
+    pub n_levels: usize,
+    /// Output ordinal per slot (`usize::MAX` for inputs): outputs bind
+    /// into a dense table of `n_outputs` mutable slices.
+    pub out_ordinal: Vec<usize>,
+    /// Number of output slots.
+    pub n_outputs: usize,
+    /// Present when the program proved row-parallelizable.
+    pub split: Option<SplitInfo>,
 }

@@ -10,9 +10,18 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use systec_tensor::{LevelFormat, Tensor};
+
+/// Recovers a lock even when a panic elsewhere poisoned it: the guarded
+/// state is simple bookkeeping that stays consistent across panics (the
+/// user-supplied build closure never runs under a lock), so poisoning
+/// must not disable the cache for the rest of the process.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The storage signature of one operand: family, per-mode formats, and
 /// shape.
@@ -79,12 +88,16 @@ impl PlanKey {
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: u64,
-    /// Lookups that had to build a plan.
+    /// Lookups that had to build a plan (waiting on a concurrent
+    /// builder counts as a miss).
     pub misses: u64,
     /// Plans evicted by the LRU policy.
     pub evictions: u64,
     /// Plans currently cached.
     pub entries: usize,
+    /// Build closures actually executed ([`SharedPlanCache`] only):
+    /// concurrent requests for one key perform exactly one build.
+    pub builds: u64,
 }
 
 /// An LRU cache from [`PlanKey`] to shared immutable plans.
@@ -156,6 +169,7 @@ impl<V> PlanCache<V> {
             misses: self.misses,
             evictions: self.evictions,
             entries: self.map.len(),
+            builds: 0,
         }
     }
 
@@ -166,6 +180,171 @@ impl<V> PlanCache<V> {
         self.hits = 0;
         self.misses = 0;
         self.evictions = 0;
+    }
+}
+
+/// Outcome slot of an in-flight build, shared between the builder and
+/// its waiters.
+struct BuildState<V> {
+    /// `None` while building; `Some(Some(plan))` on success;
+    /// `Some(None)` when the builder failed or panicked (waiters retry).
+    done: Mutex<Option<Option<Arc<V>>>>,
+    cv: Condvar,
+}
+
+impl<V> BuildState<V> {
+    fn new() -> Self {
+        BuildState { done: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    fn publish(&self, outcome: Option<Arc<V>>) {
+        let mut done = relock(&self.done);
+        if done.is_none() {
+            *done = Some(outcome);
+        }
+        drop(done);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Option<Arc<V>> {
+        let mut done = relock(&self.done);
+        while done.is_none() {
+            done = self.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+        }
+        done.clone().expect("loop exits only when set")
+    }
+}
+
+/// Removes the in-flight entry and wakes waiters no matter how the
+/// build ends — including by panic, so an induced build panic neither
+/// wedges waiters nor poisons the cache for later preparations.
+struct BuildCleanup<'a, V> {
+    cache: &'a SharedPlanCache<V>,
+    key: &'a PlanKey,
+    state: &'a Arc<BuildState<V>>,
+}
+
+impl<V> Drop for BuildCleanup<'_, V> {
+    fn drop(&mut self) {
+        // Publish the failure sentinel unless a result already landed.
+        self.state.publish(None);
+        relock(&self.cache.building).remove(self.key);
+    }
+}
+
+/// A concurrency-safe [`PlanCache`]: many threads may prepare kernels at
+/// once, and concurrent requests for the *same* key perform **exactly
+/// one** build — the first requester builds (with no lock held, so
+/// different keys compile in parallel), everyone else blocks until the
+/// plan lands and receives the same [`Arc`]. A build that fails or
+/// panics wakes its waiters, which retry (one becomes the new builder);
+/// all locks recover from poisoning, so a panicking build never
+/// disables preparation for the rest of the process.
+#[derive(Debug)]
+pub struct SharedPlanCache<V> {
+    lru: Mutex<PlanCache<V>>,
+    building: Mutex<HashMap<PlanKey, Arc<BuildState<V>>>>,
+    builds: AtomicU64,
+}
+
+impl<V> std::fmt::Debug for BuildState<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BuildState")
+    }
+}
+
+impl<V> SharedPlanCache<V> {
+    /// A shared cache holding at most `capacity` plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        SharedPlanCache {
+            lru: Mutex::new(PlanCache::new(capacity)),
+            building: Mutex::new(HashMap::new()),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `key` up, building it with `build` on a miss. Exactly one
+    /// concurrent caller builds per key; the rest wait and share the
+    /// result. `build` returns the plan plus a rider of side products
+    /// (`T`); the rider is returned only to the caller whose closure
+    /// actually ran (`None` on hits and waits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error to the builder. Waiters on a
+    /// failed build retry — with the same key and a deterministic
+    /// builder they reproduce the same error themselves.
+    pub fn get_or_build<T, E>(
+        &self,
+        key: &PlanKey,
+        build: impl FnOnce() -> Result<(V, T), E>,
+    ) -> Result<(Arc<V>, Option<T>), E> {
+        let mut build = Some(build);
+        loop {
+            if let Some(plan) = relock(&self.lru).get(key) {
+                return Ok((plan, None));
+            }
+            let (state, is_builder) = {
+                let mut building = relock(&self.building);
+                match building.get(key) {
+                    Some(state) => (Arc::clone(state), false),
+                    None => {
+                        // Re-check the LRU under the in-flight lock: a
+                        // build that completed between the first lookup
+                        // and here inserted its plan *before* removing
+                        // its in-flight entry, so finding neither entry
+                        // nor plan proves nobody built this key — the
+                        // single-flight guarantee needs that proof.
+                        if let Some(plan) = relock(&self.lru).get(key) {
+                            return Ok((plan, None));
+                        }
+                        let state = Arc::new(BuildState::new());
+                        building.insert(key.clone(), Arc::clone(&state));
+                        (state, true)
+                    }
+                }
+            };
+            if !is_builder {
+                match state.wait() {
+                    Some(plan) => return Ok((plan, None)),
+                    None => continue, // builder failed; retry (maybe build)
+                }
+            }
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            let cleanup = BuildCleanup { cache: self, key, state: &state };
+            // The build runs with no lock held; a panic here unwinds
+            // through `cleanup`, which wakes waiters and clears the
+            // in-flight entry.
+            let built = (build.take().expect("the builder role is taken at most once"))();
+            return match built {
+                Ok((plan, rider)) => {
+                    let plan = Arc::new(plan);
+                    relock(&self.lru).insert(key.clone(), Arc::clone(&plan));
+                    state.publish(Some(Arc::clone(&plan)));
+                    drop(cleanup);
+                    Ok((plan, Some(rider)))
+                }
+                Err(e) => {
+                    drop(cleanup); // publishes the failure sentinel
+                    Err(e)
+                }
+            };
+        }
+    }
+
+    /// Current observability counters (LRU stats plus executed builds).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats { builds: self.builds.load(Ordering::Relaxed), ..relock(&self.lru).stats() }
+    }
+
+    /// Drops every cached plan and resets the statistics.
+    pub fn clear(&self) {
+        relock(&self.lru).clear();
+        self.builds.store(0, Ordering::Relaxed);
     }
 }
 
@@ -231,6 +410,89 @@ mod tests {
         let ok = get_or_build(&mut cache, key("a"), || 7);
         assert_eq!(*ok, 7);
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn shared_cache_builds_once_under_contention() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+        let cache: SharedPlanCache<u32> = SharedPlanCache::new(8);
+        let built = AtomicUsize::new(0);
+        let barrier = Barrier::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    barrier.wait();
+                    let (plan, _) = cache
+                        .get_or_build::<(), ()>(&key("contended"), || {
+                            built.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so waiters really wait.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok((7, ()))
+                        })
+                        .unwrap();
+                    assert_eq!(*plan, 7);
+                });
+            }
+        });
+        assert_eq!(built.load(Ordering::SeqCst), 1, "exactly one build per key");
+        assert_eq!(cache.stats().builds, 1);
+    }
+
+    #[test]
+    fn shared_cache_recovers_from_build_panic() {
+        let cache: SharedPlanCache<u32> = SharedPlanCache::new(8);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cache.get_or_build::<(), ()>(&key("k"), || panic!("induced build panic"));
+        }));
+        assert!(panicked.is_err());
+        // The cache is not poisoned: the same key builds fine now.
+        let (plan, rider) = cache.get_or_build::<(), ()>(&key("k"), || Ok((3, ()))).unwrap();
+        assert_eq!(*plan, 3);
+        assert!(rider.is_some(), "the retry actually built");
+        // And a concurrent waiter during a panicking build retries
+        // rather than hanging.
+        let cache2: SharedPlanCache<u32> = SharedPlanCache::new(8);
+        std::thread::scope(|s| {
+            let panicker = s.spawn(|| {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ =
+                        cache2.get_or_build::<(), ()>(&key("k"), || -> Result<(u32, ()), ()> {
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            panic!("induced");
+                        });
+                }));
+            });
+            let waiter = s.spawn(|| {
+                // Give the panicker a head start at claiming the build.
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                let (plan, _) = cache2.get_or_build::<(), ()>(&key("k"), || Ok((9, ()))).unwrap();
+                assert_eq!(*plan, 9);
+            });
+            panicker.join().unwrap();
+            waiter.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn shared_cache_build_errors_propagate_and_cache_nothing() {
+        let cache: SharedPlanCache<u32> = SharedPlanCache::new(8);
+        let r = cache.get_or_build(&key("e"), || Err::<(u32, ()), &str>("nope"));
+        assert_eq!(r.unwrap_err(), "nope");
+        assert_eq!(cache.stats().entries, 0);
+        let (plan, _) = cache.get_or_build::<(), ()>(&key("e"), || Ok((5, ()))).unwrap();
+        assert_eq!(*plan, 5);
+    }
+
+    #[test]
+    fn shared_cache_waiters_share_the_builders_arc() {
+        let cache: SharedPlanCache<u32> = SharedPlanCache::new(8);
+        let (first, rider) = cache.get_or_build::<(), ()>(&key("a"), || Ok((1, ()))).unwrap();
+        assert!(rider.is_some());
+        let (second, rider) =
+            cache.get_or_build::<(), ()>(&key("a"), || panic!("must not rebuild")).unwrap();
+        assert!(rider.is_none());
+        assert!(Arc::ptr_eq(&first, &second));
     }
 
     #[test]

@@ -16,9 +16,11 @@ use systec_exec::lowered::{LBound, LCond, LExpr, LStmt, LTarget, SlotKind};
 use systec_exec::{ExecError, LoweredProgram};
 use systec_tensor::{DenseTensor, LevelFormat, Tensor};
 
-use systec_ir::CmpOp;
+use systec_ir::{AssignOp, CmpOp};
 
-use crate::bytecode::{Bound, BytecodeProgram, Instr, TensorInfo, Term, VItem, VStep, MISS};
+use crate::bytecode::{
+    Bound, BytecodeProgram, Instr, ParOut, SplitInfo, TensorInfo, Term, VItem, VStep, MISS,
+};
 
 /// Per-slot compile-time binding info.
 enum SlotLayout {
@@ -60,6 +62,29 @@ pub(crate) fn compile(
         layouts.push(layout);
         infos.push(TensorInfo { name: slot.name.clone(), kind: slot.kind, dims });
     }
+
+    // Flattened binding-table layout: one run of level views per sparse
+    // slot, one output ordinal per output slot.
+    let n_slots = program.tensors.len();
+    let mut level_base = vec![0usize; n_slots];
+    let mut n_levels = 0usize;
+    let mut out_ordinal = vec![usize::MAX; n_slots];
+    let mut n_outputs = 0usize;
+    for (slot, layout) in layouts.iter().enumerate() {
+        match layout {
+            SlotLayout::Sparse { formats } => {
+                level_base[slot] = n_levels;
+                n_levels += formats.len();
+            }
+            SlotLayout::Output { .. } => {
+                out_ordinal[slot] = n_outputs;
+                n_outputs += 1;
+            }
+            SlotLayout::Dense { .. } => {}
+        }
+    }
+
+    let split_pending = analyze_split(program);
 
     // `u` register layout: index slots, then path positions, then loop
     // counters (allocated on demand).
@@ -114,6 +139,9 @@ pub(crate) fn compile(
         n_vec_items: 0,
         n_vec_bases: 0,
         never_miss,
+        split_pending,
+        split_heads: Vec::new(),
+        loop_depth: 0,
     };
     // Prologue: materialize the constant pool.
     for (k, v) in const_pool.iter().enumerate() {
@@ -122,6 +150,15 @@ pub(crate) fn compile(
     c.stmt(&program.root);
     c.emit(Instr::Halt);
     c.resolve_labels();
+
+    let split = match c.split_pending {
+        Some(p) if c.split_heads.len() == p.n_heads => Some(SplitInfo {
+            heads: c.split_heads,
+            owned_extent: p.owned_extent,
+            outputs: p.outputs,
+        }),
+        _ => None,
+    };
 
     Ok(BytecodeProgram {
         instrs: c.instrs,
@@ -132,7 +169,181 @@ pub(crate) fn compile(
         n_caches: c.n_caches,
         n_vec_items: c.n_vec_items,
         n_vec_bases: c.n_vec_bases,
+        level_base,
+        n_levels,
+        out_ordinal,
+        n_outputs,
+        split,
     })
+}
+
+/// Accumulated access pattern of one output slot across the top-level
+/// loops, relative to each loop's own index.
+#[derive(Clone, Copy, Default)]
+struct OutAcc {
+    row_write: bool,
+    nonrow_write: bool,
+    row_read: bool,
+    nonrow_read: bool,
+    /// First write operator seen, and whether all writes used it.
+    op: Option<AssignOp>,
+    mixed_ops: bool,
+}
+
+impl OutAcc {
+    fn record_op(&mut self, op: AssignOp) {
+        match self.op {
+            None => self.op = Some(op),
+            Some(prev) if prev == op => {}
+            Some(_) => self.mixed_ops = true,
+        }
+    }
+}
+
+/// What the analysis proved before compilation assigns head pcs.
+struct PendingSplit {
+    /// Number of non-empty top-level loops (compilation must emit
+    /// exactly this many heads or the split is dropped).
+    n_heads: usize,
+    owned_extent: Option<usize>,
+    outputs: Vec<(usize, ParOut)>,
+}
+
+/// Decides whether the program may execute row-parallel: the root must
+/// be a sequence of loops, and every output the loops touch must either
+/// be addressed with the enclosing loop's index as its leading
+/// subscript (disjoint row slices per chunk) or be written exclusively
+/// through one mergeable reduction operator and never read (private
+/// per-worker buffers merged after the join). Anything else — overwrite
+/// stores to shared rows, reads of reduced outputs, non-loop statements
+/// at the root — keeps the program serial.
+fn analyze_split(program: &LoweredProgram) -> Option<PendingSplit> {
+    let mut loops = Vec::new();
+    if !collect_top_loops(&program.root, &mut loops) {
+        return None;
+    }
+    // Statically empty loops compile to nothing; they neither get a head
+    // nor touch an output.
+    let active: Vec<&LStmt> = loops
+        .into_iter()
+        .filter(|l| matches!(l, LStmt::Loop { extent, .. } if *extent > 0))
+        .collect();
+    if active.is_empty() {
+        return None;
+    }
+
+    let mut accs: Vec<OutAcc> = vec![OutAcc::default(); program.tensors.len()];
+    let mut extents = Vec::with_capacity(active.len());
+    for l in &active {
+        let LStmt::Loop { idx, extent, body, .. } = l else { unreachable!() };
+        extents.push(*extent);
+        classify_stmt(body, *idx, &mut accs);
+    }
+
+    let mut outputs = Vec::new();
+    let mut owned_any = false;
+    for (slot, acc) in accs.iter().enumerate() {
+        let touched = acc.row_write || acc.nonrow_write || acc.row_read || acc.nonrow_read;
+        if !touched {
+            continue;
+        }
+        if acc.nonrow_read {
+            // Reads of rows other chunks may be writing.
+            return None;
+        }
+        let mode = if acc.nonrow_write {
+            // Reductions scattered across rows: need one mergeable
+            // operator for every store, and no reads at all (workers
+            // reduce into identity-initialized private buffers, so a
+            // read would not see the accumulated value).
+            if acc.row_read || acc.mixed_ops {
+                return None;
+            }
+            let op = acc.op.expect("a write was recorded");
+            op.identity()?; // Overwrite has none: order-dependent, not mergeable
+            ParOut::Reduced(op)
+        } else {
+            owned_any = true;
+            ParOut::Owned
+        };
+        outputs.push((slot, mode));
+    }
+
+    let owned_extent = if owned_any {
+        // Owned row boundaries must coincide across every split loop.
+        let e = extents[0];
+        if extents.iter().any(|&x| x != e) {
+            return None;
+        }
+        Some(e)
+    } else {
+        None
+    };
+    Some(PendingSplit { n_heads: active.len(), owned_extent, outputs })
+}
+
+/// Collects the top-level loops of (possibly nested) sequences; `false`
+/// when anything other than loops appears at the root.
+fn collect_top_loops<'a>(stmt: &'a LStmt, out: &mut Vec<&'a LStmt>) -> bool {
+    match stmt {
+        LStmt::Seq(ss) => ss.iter().all(|s| collect_top_loops(s, out)),
+        LStmt::Loop { .. } => {
+            out.push(stmt);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Records how outputs are accessed under one top-level loop, keyed to
+/// whether each access's leading subscript is that loop's index.
+fn classify_stmt(stmt: &LStmt, idx: usize, accs: &mut [OutAcc]) {
+    match stmt {
+        LStmt::Seq(ss) => {
+            for s in ss {
+                classify_stmt(s, idx, accs);
+            }
+        }
+        LStmt::Loop { body, .. } | LStmt::If { body, .. } | LStmt::Workspace { body, .. } => {
+            classify_stmt(body, idx, accs)
+        }
+        LStmt::Let { value, body, .. } => {
+            classify_expr(value, idx, accs);
+            classify_stmt(body, idx, accs);
+        }
+        LStmt::Assign { target, op, rhs, .. } => {
+            classify_expr(rhs, idx, accs);
+            if let LTarget::Output { tensor, modes } = target {
+                let acc = &mut accs[*tensor];
+                if modes.first() == Some(&idx) {
+                    acc.row_write = true;
+                } else {
+                    acc.nonrow_write = true;
+                }
+                acc.record_op(*op);
+            }
+        }
+    }
+}
+
+fn classify_expr(e: &LExpr, idx: usize, accs: &mut [OutAcc]) {
+    match e {
+        LExpr::ReadOutput { tensor, modes } => {
+            let acc = &mut accs[*tensor];
+            if modes.first() == Some(&idx) {
+                acc.row_read = true;
+            } else {
+                acc.nonrow_read = true;
+            }
+        }
+        LExpr::Call { args, .. } => {
+            for a in args {
+                classify_expr(a, idx, accs);
+            }
+        }
+        LExpr::Lookup { index, .. } => classify_expr(index, idx, accs),
+        _ => {}
+    }
 }
 
 /// Walks the lowered tree recording scalar assignment targets and every
@@ -254,6 +465,13 @@ struct Compiler<'a> {
     /// loop, or dense-level probes of a never-miss parent. Enables
     /// eliding the sentinel checks on the hot path.
     never_miss: Vec<Vec<bool>>,
+    /// The row-parallel proof from [`analyze_split`], if any.
+    split_pending: Option<PendingSplit>,
+    /// Emitted top-level head `(pc, extent)` pairs (only collected when
+    /// a split is pending).
+    split_heads: Vec<(usize, usize)>,
+    /// Loop nesting depth of the statement being compiled.
+    loop_depth: usize,
 }
 
 impl Compiler<'_> {
@@ -319,11 +537,23 @@ impl Compiler<'_> {
                 if *extent == 0 {
                     return; // statically empty, as in the interpreter
                 }
+                // A splittable top-level loop records its head's pc —
+                // every head kind (counted, compressed, run-length, or a
+                // whole vectorized loop) accepts the chunk coordinate
+                // window at run time.
+                let top_split = self.loop_depth == 0 && self.split_pending.is_some();
+                let head_pc = self.instrs.len();
                 if probes.is_empty()
                     && drivers.len() <= 1
                     && self.try_vectorize(*idx, *extent, lo, hi, drivers.first(), body)
                 {
+                    if top_split {
+                        self.split_heads.push((head_pc, *extent));
+                    }
                     return;
+                }
+                if top_split {
+                    self.split_heads.push((head_pc, *extent));
                 }
                 let exit = self.new_label();
                 let lo = self.bounds(lo);
@@ -450,7 +680,9 @@ impl Compiler<'_> {
                         idx: *idx,
                     });
                 }
+                self.loop_depth += 1;
                 self.stmt(body);
+                self.loop_depth -= 1;
                 for (access, level, old) in saved {
                     self.never_miss[access][level] = old;
                 }

@@ -25,10 +25,28 @@
 //! the paper's memory-traffic and FLOP-ratio figures can be reproduced
 //! on either backend.
 //!
+//! ## Execution contexts & parallelism
+//!
+//! All per-run mutable state lives in a caller-owned [`ExecContext`]:
+//! threading one context (plus a reused [`Counters`]) through
+//! [`CompiledKernel::run_with`] makes the steady-state serial path
+//! allocation-free. Compilation additionally proves plans
+//! *row-splittable* when every output is either addressed with the
+//! top-level loop index as its leading subscript (chunks write disjoint
+//! row slices) or reduced through one mergeable operator (workers
+//! reduce into private buffers). Splittable plans dispatch coordinate
+//! chunks across scoped worker threads under
+//! [`Parallelism::Threads`], each worker over its own register files
+//! and counter bank, merged deterministically in fixed worker order —
+//! merged counters equal the serial interpreter's exactly, and outputs
+//! are bit-identical run to run for a fixed thread count.
+//!
 //! The [`PlanCache`] memoizes compiled plans under a [`PlanKey`] of
 //! (kernel spec, symmetry declarations, input formats, dims), making
 //! repeated invocations — the paper's prepare-once/run-many methodology
-//! — skip hoisting, lowering and compilation entirely.
+//! — skip hoisting, lowering and compilation entirely; the
+//! [`SharedPlanCache`] wrapper adds single-flight concurrency (one
+//! build per key under contention, panic-safe).
 //!
 //! ## Example
 //!
@@ -71,6 +89,7 @@
 mod bytecode;
 mod cache;
 mod compile;
+mod context;
 mod vm;
 
 use std::collections::HashMap;
@@ -78,7 +97,47 @@ use std::collections::HashMap;
 use systec_exec::{Counters, ExecError, LoweredProgram};
 use systec_tensor::{DenseTensor, Tensor};
 
-pub use cache::{BindingSig, CacheStats, PlanCache, PlanKey};
+pub use cache::{BindingSig, CacheStats, PlanCache, PlanKey, SharedPlanCache};
+pub use context::ExecContext;
+
+/// How many workers execute a kernel invocation.
+///
+/// Parallel execution requires the compiler to have proved the plan
+/// row-splittable (see [`CompiledKernel::splittable`]); otherwise
+/// [`Parallelism::Threads`] silently degrades to serial execution.
+/// Whatever the mode, the work counters are **exactly** the serial
+/// interpreter's (per-worker banks merge by integer sums), and outputs
+/// are deterministic: a fixed (plan, data, thread count) triple produces
+/// bit-identical results on every run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Parallelism {
+    /// One worker on the calling thread — the default.
+    #[default]
+    Serial,
+    /// Split the outermost loops' coordinate ranges across this many
+    /// scoped worker threads.
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Normalizes a thread-count request: `0` means "all cores", `1`
+    /// means [`Parallelism::Serial`].
+    pub fn threads(n: usize) -> Parallelism {
+        match n {
+            0 => Parallelism::Threads(rayon::current_num_threads()),
+            1 => Parallelism::Serial,
+            n => Parallelism::Threads(n),
+        }
+    }
+
+    /// The number of workers this mode asks for.
+    pub fn worker_count(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+}
 
 /// A lowered program compiled to bytecode, ready to run repeatedly.
 ///
@@ -118,7 +177,43 @@ impl CompiledKernel {
         inputs: &HashMap<String, Tensor>,
         outputs: &mut HashMap<String, DenseTensor>,
     ) -> Result<Counters, ExecError> {
-        vm::execute(&self.program, inputs, outputs)
+        let mut ctx = ExecContext::new();
+        let mut counters = Counters::new();
+        self.run_with(inputs, outputs, &mut ctx, Parallelism::Serial, &mut counters)?;
+        Ok(counters)
+    }
+
+    /// Executes the kernel over caller-owned state: `ctx` holds every
+    /// per-run buffer (register files, scratch, counter banks), so the
+    /// steady-state serial path performs **zero** allocations, and
+    /// `counters` is updated in place (entries are inserted only the
+    /// first time a tensor name appears). With
+    /// [`Parallelism::Threads`] and a [splittable](CompiledKernel::splittable)
+    /// plan, chunks of the outermost loops run on scoped worker threads
+    /// and merge deterministically; counters still match the serial
+    /// interpreter exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] if a binding is missing or its shape
+    /// differs from the shapes the kernel was compiled against.
+    pub fn run_with(
+        &self,
+        inputs: &HashMap<String, Tensor>,
+        outputs: &mut HashMap<String, DenseTensor>,
+        ctx: &mut ExecContext,
+        parallelism: Parallelism,
+        counters: &mut Counters,
+    ) -> Result<(), ExecError> {
+        vm::execute(&self.program, inputs, outputs, ctx, parallelism, counters)
+    }
+
+    /// Whether the compiler proved this plan row-parallelizable (the
+    /// outermost loops write disjoint output slices or reduce through a
+    /// mergeable operator). Non-splittable plans execute serially
+    /// regardless of the requested [`Parallelism`].
+    pub fn splittable(&self) -> bool {
+        self.program.split.is_some()
     }
 
     /// Number of bytecode instructions (observability / tests).

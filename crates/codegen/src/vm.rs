@@ -1,20 +1,167 @@
 //! The bytecode VM: executes a [`BytecodeProgram`] over concrete
-//! tensors, producing exactly the same results and [`Counters`] as the
-//! tree-walking interpreter in `systec-exec`.
+//! tensors, producing exactly the same results and
+//! [`systec_exec::Counters`] as the tree-walking interpreter in
+//! `systec-exec`.
+//!
+//! ## Execution state
+//!
+//! All mutable per-run state (register files, vector-loop scratch,
+//! counter banks, private reduction buffers) lives in the caller's
+//! [`ExecContext`] and is reset — never reallocated — per run. The
+//! binding tables that borrow from the operands (dense value slices,
+//! sparse level views, per-loop fiber caches) are carried on the stack
+//! via [`Scratch`] so the steady-state path performs no allocations at
+//! all.
+//!
+//! ## Row-parallel execution
+//!
+//! When the compiler proved the program splittable
+//! ([`BytecodeProgram::split`]) and the caller asked for
+//! [`Parallelism::Threads`], the coordinate domain of each top-level
+//! loop is cut into contiguous chunks (over-decomposed ~8× per worker
+//! and dealt round-robin, which load-balances triangular kernels without
+//! any synchronization). Every worker runs the whole program per chunk
+//! over its own register files and [`CounterBank`], with the top-level
+//! loop heads clamped to the chunk's coordinate window:
+//!
+//! * [`ParOut::Owned`] outputs are split at the chunk row boundaries —
+//!   workers write disjoint sub-slices of the shared buffer in place;
+//! * [`ParOut::Reduced`] outputs reduce into per-worker private buffers
+//!   initialized to the reduction identity.
+//!
+//! Workers join, then counters and private buffers merge **in fixed
+//! worker order**: counter totals are integer sums, hence exactly equal
+//! to the serial execution's, and outputs are bit-identical from run to
+//! run for a fixed thread count.
 
 use std::collections::HashMap;
 
 use systec_exec::lowered::SlotKind;
-use systec_exec::{Counters, ExecError};
+use systec_exec::{CounterBank, Counters, ExecError};
 use systec_ir::AssignOp;
 use systec_tensor::{DenseTensor, LevelView, Tensor};
 
-use crate::bytecode::{Bound, BytecodeProgram, Instr, Term, VItem, VStep, MISS};
+use crate::bytecode::{Bound, BytecodeProgram, Instr, ParOut, SplitInfo, Term, VItem, VStep, MISS};
+use crate::context::{Bank, ExecContext};
+use crate::Parallelism;
 
-/// A sparse input resolved to per-level raw views.
-struct SparseBind<'a> {
-    levels: Vec<LevelView<'a>>,
-    vals: &'a [f64],
+/// Inline capacity for per-slot binding tables.
+const MAX_SLOTS: usize = 24;
+/// Inline capacity for the flattened sparse level-view table.
+const MAX_LEVELS: usize = 64;
+/// Inline capacity for per-loop fiber caches.
+const MAX_CACHES: usize = 16;
+/// Inline capacity for the output binding table.
+const MAX_OUTS: usize = 8;
+/// Coordinate chunks dealt per worker (over-decomposition for static
+/// load balance; round-robin assignment keeps the merge deterministic).
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// A scratch table backed by inline storage for typical plan sizes,
+/// falling back to the heap for outsized plans (correct either way; the
+/// fallback merely allocates).
+enum Scratch<T, const N: usize> {
+    Inline { buf: [T; N], len: usize },
+    Heap(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> Scratch<T, N> {
+    fn new(len: usize) -> Self {
+        if len <= N {
+            Scratch::Inline { buf: [T::default(); N], len }
+        } else {
+            Scratch::Heap(vec![T::default(); len])
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        match self {
+            Scratch::Inline { buf, len } => &mut buf[..*len],
+            Scratch::Heap(v) => v,
+        }
+    }
+}
+
+/// One bound output: a mutable value slice plus the element offset of
+/// its first cell within the full tensor (nonzero only for owned
+/// row-splits under parallel execution).
+struct OutBind<'a> {
+    data: &'a mut [f64],
+    base: usize,
+}
+
+/// Inline-or-heap table of output bindings (`OutBind` is not `Copy`, so
+/// [`Scratch`] does not apply).
+enum OutTable<'a, const N: usize> {
+    Inline([Option<OutBind<'a>>; N], usize),
+    Heap(Vec<Option<OutBind<'a>>>),
+}
+
+impl<'a, const N: usize> OutTable<'a, N> {
+    fn new(len: usize) -> Self {
+        if len <= N {
+            OutTable::Inline(std::array::from_fn(|_| None), len)
+        } else {
+            OutTable::Heap((0..len).map(|_| None).collect())
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [Option<OutBind<'a>>] {
+        match self {
+            OutTable::Inline(buf, len) => &mut buf[..*len],
+            OutTable::Heap(v) => v,
+        }
+    }
+}
+
+/// One worker's coordinate chunk: top-level head `pc`s with their index
+/// extents, plus this chunk's ordinal out of the total chunk count.
+#[derive(Clone, Copy)]
+struct Chunk<'a> {
+    heads: &'a [(usize, usize)],
+    k: usize,
+    n: usize,
+}
+
+impl Chunk<'_> {
+    /// The inclusive coordinate window this chunk clamps head `pc` to,
+    /// or `None` when `pc` is not a split head (inner loops).
+    #[inline]
+    fn window(&self, pc: usize) -> Option<(i64, i64)> {
+        for &(head_pc, extent) in self.heads {
+            if head_pc == pc {
+                let lo = (self.k * extent / self.n) as i64;
+                let hi = ((self.k + 1) * extent / self.n) as i64 - 1;
+                return Some((lo, hi));
+            }
+        }
+        None
+    }
+}
+
+/// Intersects a loop head's clamped bounds with the chunk's coordinate
+/// window when `pc` is a split head — the one place chunking touches
+/// loop iteration, shared by every head kind.
+#[inline]
+fn clamp_to_chunk(chunk: Option<Chunk<'_>>, pc: usize, lo_v: &mut i64, hi_v: &mut i64) {
+    if let Some(c) = chunk {
+        if let Some((clo, chi)) = c.window(pc) {
+            *lo_v = (*lo_v).max(clo);
+            *hi_v = (*hi_v).min(chi);
+        }
+    }
+}
+
+/// A sparse input resolved to raw views: per-level views live in one
+/// flattened table indexed through `BytecodeProgram::level_base`.
+#[inline]
+fn level<'a>(
+    levels: &[Option<LevelView<'a>>],
+    base: &[usize],
+    tensor: usize,
+    k: usize,
+) -> LevelView<'a> {
+    levels[base[tensor] + k].expect("sparse level bound")
 }
 
 #[inline]
@@ -103,8 +250,8 @@ fn vec_exec_items(
     bases: &[usize],
     f: &mut [f64],
     dense: &[&[f64]],
-    taken: &mut [&mut DenseTensor],
-    slot_to_taken: &[usize],
+    outs: &mut [Option<OutBind<'_>>],
+    out_ordinal: &[usize],
 ) {
     for item in items {
         if !pass[item.id] {
@@ -122,7 +269,8 @@ fn vec_exec_items(
                 VStep::FoldOut { tensor, id, stride, bin, op, srcs, .. } => {
                     let v = fold(bin, srcs, f);
                     let off = bases[*id] + coord * stride;
-                    let cell = &mut taken[slot_to_taken[*tensor]].as_mut_slice()[off];
+                    let ob = outs[out_ordinal[*tensor]].as_mut().expect("output bound");
+                    let cell = &mut ob.data[off - ob.base];
                     *cell = op.apply(*cell, v);
                 }
                 VStep::FoldScalar { slot, bin, op, srcs } => {
@@ -147,73 +295,54 @@ fn clamp_bounds(u: &[usize], lo: &[Bound], hi: &[Bound], hi_start: i64) -> (i64,
     (lo_v, hi_v)
 }
 
-pub(crate) fn execute(
-    program: &BytecodeProgram,
-    inputs: &HashMap<String, Tensor>,
-    outputs: &mut HashMap<String, DenseTensor>,
-) -> Result<Counters, ExecError> {
-    // Bind tensor slots, validating that shapes still match the plan.
-    let n_slots = program.tensors.len();
-    let mut dense: Vec<&[f64]> = vec![&[]; n_slots];
-    let mut sparse: Vec<Option<SparseBind>> = Vec::with_capacity(n_slots);
-    sparse.resize_with(n_slots, || None);
-    for (slot, info) in program.tensors.iter().enumerate() {
-        match info.kind {
-            SlotKind::DenseInput => match inputs.get(&info.name) {
-                Some(Tensor::Dense(t)) => {
-                    check_dims(&info.name, &info.dims, t.dims())?;
-                    dense[slot] = t.as_slice();
-                }
-                _ => return Err(ExecError::UnknownTensor { name: info.name.clone() }),
-            },
-            SlotKind::SparseInput => match inputs.get(&info.name) {
-                Some(Tensor::Sparse(t)) => {
-                    check_dims(&info.name, &info.dims, t.dims())?;
-                    sparse[slot] = Some(SparseBind {
-                        levels: (0..t.rank()).map(|k| t.level_view(k)).collect(),
-                        vals: t.values(),
-                    });
-                }
-                _ => return Err(ExecError::UnknownTensor { name: info.name.clone() }),
-            },
-            SlotKind::Output => match outputs.get(&info.name) {
-                Some(t) => check_dims(&info.name, &info.dims, t.dims())?,
-                None => return Err(ExecError::UnknownTensor { name: info.name.clone() }),
-            },
-        }
-    }
-    // Borrow every output mutably in place (one pass over the map — the
-    // iterator hands out disjoint `&mut`s, so no tensors move).
-    let mut taken: Vec<&mut DenseTensor> = Vec::new();
-    let mut slot_to_taken: Vec<usize> = vec![usize::MAX; n_slots];
-    for (name, tensor) in outputs.iter_mut() {
-        if let Some(slot) = program
-            .tensors
-            .iter()
-            .position(|info| info.kind == SlotKind::Output && info.name == *name)
-        {
-            slot_to_taken[slot] = taken.len();
-            taken.push(tensor);
-        }
-    }
+/// Per-loop fiber cache: the loop head resolves the driver's packed
+/// arrays once; the advance instruction reads them straight back.
+#[derive(Clone, Copy, Default)]
+enum Fiber<'a> {
+    #[default]
+    None,
+    Crd(&'a [usize]),
+    Runs(&'a [usize], &'a [usize]),
+}
 
-    // Register files and counters.
-    let mut u: Vec<usize> = program.u_init.clone();
-    let mut f: Vec<f64> = vec![0.0; program.n_f];
+/// Runs the whole program once over the given state, with the top-level
+/// split heads (if `chunk` is set) clamped to the chunk's coordinate
+/// window. Counters accumulate into `counters` (not reset here, so one
+/// worker can fold multiple chunks into one bank).
+#[allow(clippy::too_many_arguments)]
+fn run_range<'a>(
+    program: &BytecodeProgram,
+    dense: &[&'a [f64]],
+    vals: &[&'a [f64]],
+    levels: &[Option<LevelView<'a>>],
+    outs: &mut [Option<OutBind<'_>>],
+    u: &mut Vec<usize>,
+    f: &mut Vec<f64>,
+    vec_pass: &mut Vec<bool>,
+    vec_bases: &mut Vec<usize>,
+    counters: &mut CounterBank,
+    chunk: Option<Chunk<'_>>,
+) {
+    // Reset register files and vector-loop scratch (reusing capacity).
+    u.clear();
+    u.extend_from_slice(&program.u_init);
+    f.clear();
+    f.resize(program.n_f, 0.0);
+    vec_pass.clear();
+    vec_pass.resize(program.n_vec_items, false);
+    vec_bases.clear();
+    vec_bases.resize(program.n_vec_bases, 0);
+    let u = u.as_mut_slice();
+    let f = f.as_mut_slice();
+    let vec_pass = vec_pass.as_mut_slice();
+    let vec_bases = vec_bases.as_mut_slice();
+    let mut fibers_t: Scratch<Fiber<'a>, MAX_CACHES> = Scratch::new(program.n_caches);
+    let fibers = fibers_t.as_mut_slice();
+    let lvl_base = program.level_base.as_slice();
+    let oo = program.out_ordinal.as_slice();
+
     let mut missing = false;
-    // Per-loop fiber caches: the loop head resolves the driver's packed
-    // arrays once; the advance instruction reads them straight back.
-    enum Fiber<'a> {
-        None,
-        Crd(&'a [usize]),
-        Runs(&'a [usize], &'a [usize]),
-    }
-    let mut fibers: Vec<Fiber> = Vec::with_capacity(program.n_caches);
-    fibers.resize_with(program.n_caches, || Fiber::None);
-    // Vector-loop scratch: guard passes and cached base offsets.
-    let mut vec_pass: Vec<bool> = vec![false; program.n_vec_items];
-    let mut vec_bases: Vec<usize> = vec![0; program.n_vec_bases];
-    let mut reads: Vec<u64> = vec![0; n_slots];
+    let reads = &mut counters.reads;
     let mut flops = 0u64;
     let mut writes = 0u64;
     let mut iterations = 0u64;
@@ -226,7 +355,8 @@ pub(crate) fn execute(
                 pc = *to;
             }
             Instr::DenseLoopHead { idx, cur, end, extent, lo, hi, exit } => {
-                let (lo_v, hi_v) = clamp_bounds(&u, lo, hi, *extent as i64 - 1);
+                let (mut lo_v, mut hi_v) = clamp_bounds(u, lo, hi, *extent as i64 - 1);
+                clamp_to_chunk(chunk, pc, &mut lo_v, &mut hi_v);
                 if lo_v > hi_v {
                     pc = *exit;
                 } else {
@@ -250,7 +380,7 @@ pub(crate) fn execute(
             }
             Instr::SparseLoopHead {
                 tensor,
-                level,
+                level: lv,
                 cache,
                 idx,
                 parent,
@@ -266,9 +396,10 @@ pub(crate) fn execute(
                     pc = *exit;
                     continue;
                 }
-                let (lo_v, hi_v) = clamp_bounds(&u, lo, hi, i64::MAX);
-                let bind = sparse[*tensor].as_ref().expect("driver tensors are sparse inputs");
-                let LevelView::Sparse { pos, crd, .. } = bind.levels[*level] else {
+                let (mut lo_v, mut hi_v) = clamp_bounds(u, lo, hi, i64::MAX);
+                clamp_to_chunk(chunk, pc, &mut lo_v, &mut hi_v);
+                let LevelView::Sparse { pos, crd, .. } = level(levels, lvl_base, *tensor, *lv)
+                else {
                     unreachable!("sparse loop over a non-sparse level");
                 };
                 let begin = pos[p];
@@ -305,7 +436,7 @@ pub(crate) fn execute(
             }
             Instr::RleLoopHead {
                 tensor,
-                level,
+                level: lv,
                 cache,
                 idx,
                 parent,
@@ -323,13 +454,14 @@ pub(crate) fn execute(
                     pc = *exit;
                     continue;
                 }
-                let (lo_v, hi_v) = clamp_bounds(&u, lo, hi, i64::MAX);
+                let (mut lo_v, mut hi_v) = clamp_bounds(u, lo, hi, i64::MAX);
+                clamp_to_chunk(chunk, pc, &mut lo_v, &mut hi_v);
                 if lo_v > hi_v {
                     pc = *exit;
                     continue;
                 }
-                let bind = sparse[*tensor].as_ref().expect("driver tensors are sparse inputs");
-                let LevelView::RunLength { pos, run_start, run_end, .. } = bind.levels[*level]
+                let LevelView::RunLength { pos, run_start, run_end, .. } =
+                    level(levels, lvl_base, *tensor, *lv)
                 else {
                     unreachable!("rle loop over a non-rle level");
                 };
@@ -393,13 +525,12 @@ pub(crate) fn execute(
                     pc = *back;
                 }
             }
-            Instr::Probe { tensor, level, parent, child, idx } => {
+            Instr::Probe { tensor, level: lv, parent, child, idx } => {
                 let p = u[*parent];
                 u[*child] = if p == MISS {
                     MISS
                 } else {
-                    let bind = sparse[*tensor].as_ref().expect("probed tensors are sparse inputs");
-                    bind.levels[*level].find(p, u[*idx]).unwrap_or(MISS)
+                    level(levels, lvl_base, *tensor, *lv).find(p, u[*idx]).unwrap_or(MISS)
                 };
                 pc += 1;
             }
@@ -423,13 +554,13 @@ pub(crate) fn execute(
                 pc += 1;
             }
             Instr::ReadDense { dst, tensor, terms } => {
-                f[*dst] = dense[*tensor][offset(&u, terms)];
+                f[*dst] = dense[*tensor][offset(u, terms)];
                 reads[*tensor] += 1;
                 pc += 1;
             }
             Instr::ReadOutput { dst, tensor, terms } => {
-                let t = &taken[slot_to_taken[*tensor]];
-                f[*dst] = t.as_slice()[offset(&u, terms)];
+                let ob = outs[oo[*tensor]].as_ref().expect("output bound");
+                f[*dst] = ob.data[offset(u, terms) - ob.base];
                 reads[*tensor] += 1;
                 pc += 1;
             }
@@ -441,24 +572,21 @@ pub(crate) fn execute(
                     }
                     f[*dst] = 0.0;
                 } else {
-                    let bind = sparse[*tensor].as_ref().expect("sparse input bound");
-                    f[*dst] = bind.vals[leaf_pos];
+                    f[*dst] = vals[*tensor][leaf_pos];
                     reads[*tensor] += 1;
                 }
                 pc += 1;
             }
             Instr::ReadSparseDirect { dst, tensor, leaf } => {
-                let bind = sparse[*tensor].as_ref().expect("sparse input bound");
-                f[*dst] = bind.vals[u[*leaf]];
+                f[*dst] = vals[*tensor][u[*leaf]];
                 reads[*tensor] += 1;
                 pc += 1;
             }
             Instr::ReadSparseRandom { dst, tensor, modes, annihilator } => {
-                let bind = sparse[*tensor].as_ref().expect("sparse input bound");
                 let mut p = 0usize;
                 let mut found = true;
-                for (level, &m) in modes.iter().enumerate() {
-                    match bind.levels[level].find(p, u[m]) {
+                for (lv, &m) in modes.iter().enumerate() {
+                    match level(levels, lvl_base, *tensor, lv).find(p, u[m]) {
                         Some(next) => p = next,
                         None => {
                             found = false;
@@ -467,7 +595,7 @@ pub(crate) fn execute(
                     }
                 }
                 if found {
-                    f[*dst] = bind.vals[p];
+                    f[*dst] = vals[*tensor][p];
                     reads[*tensor] += 1;
                 } else {
                     if *annihilator {
@@ -497,8 +625,9 @@ pub(crate) fn execute(
                 pc = if u[*reg] == MISS { *to } else { pc + 1 };
             }
             Instr::WriteOutput { tensor, terms, op, src } => {
-                let off = offset(&u, terms);
-                let cell = &mut taken[slot_to_taken[*tensor]].as_mut_slice()[off];
+                let off = offset(u, terms);
+                let ob = outs[oo[*tensor]].as_mut().expect("output bound");
+                let cell = &mut ob.data[off - ob.base];
                 *cell = op.apply(*cell, f[*src]);
                 writes += 1;
                 if *op != AssignOp::Overwrite {
@@ -517,8 +646,9 @@ pub(crate) fn execute(
                 let v = bin.apply(f[*a], f[*b]);
                 flops += 1;
                 if !(*check_miss && missing) {
-                    let off = offset(&u, terms);
-                    let cell = &mut taken[slot_to_taken[*tensor]].as_mut_slice()[off];
+                    let off = offset(u, terms);
+                    let ob = outs[oo[*tensor]].as_mut().expect("output bound");
+                    let cell = &mut ob.data[off - ob.base];
                     *cell = op.apply(*cell, v);
                     writes += 1;
                     if *op != AssignOp::Overwrite {
@@ -546,8 +676,9 @@ pub(crate) fn execute(
                 }
                 flops += rest.len() as u64;
                 if !(*check_miss && missing) {
-                    let off = offset(&u, terms);
-                    let cell = &mut taken[slot_to_taken[*tensor]].as_mut_slice()[off];
+                    let off = offset(u, terms);
+                    let ob = outs[oo[*tensor]].as_mut().expect("output bound");
+                    let cell = &mut ob.data[off - ob.base];
                     *cell = op.apply(*cell, v);
                     writes += 1;
                     if *op != AssignOp::Overwrite {
@@ -576,45 +707,37 @@ pub(crate) fn execute(
                 pc += 1;
             }
             Instr::VecDenseLoop { idx, extent, lo, hi, items } => {
-                let (lo_v, hi_v) = clamp_bounds(&u, lo, hi, *extent as i64 - 1);
+                let (mut lo_v, mut hi_v) = clamp_bounds(u, lo, hi, *extent as i64 - 1);
+                clamp_to_chunk(chunk, pc, &mut lo_v, &mut hi_v);
                 if lo_v <= hi_v {
                     let iters = (hi_v - lo_v + 1) as u64;
                     iterations += iters;
                     vec_prepare(
                         items,
-                        &u,
+                        u,
                         iters,
-                        &mut vec_pass,
-                        &mut vec_bases,
-                        &mut reads,
+                        vec_pass,
+                        vec_bases,
+                        reads,
                         &mut flops,
                         &mut writes,
                     );
                     for j in lo_v as usize..=hi_v as usize {
                         u[*idx] = j;
-                        vec_exec_items(
-                            items,
-                            j,
-                            None,
-                            &vec_pass,
-                            &vec_bases,
-                            &mut f,
-                            &dense,
-                            &mut taken,
-                            &slot_to_taken,
-                        );
+                        vec_exec_items(items, j, None, vec_pass, vec_bases, f, dense, outs, oo);
                     }
                 }
                 pc += 1;
             }
-            Instr::VecSparseLoop { tensor, level, idx, parent, lo, hi, items } => {
+            Instr::VecSparseLoop { tensor, level: lv, idx, parent, lo, hi, items } => {
                 let p = u[*parent];
                 if p != MISS {
-                    let bind = sparse[*tensor].as_ref().expect("driver tensors are sparse inputs");
-                    let LevelView::Sparse { pos, crd, .. } = bind.levels[*level] else {
+                    let LevelView::Sparse { pos, crd, .. } = level(levels, lvl_base, *tensor, *lv)
+                    else {
                         unreachable!("vector sparse loop over a non-sparse level");
                     };
-                    let (lo_v, hi_v) = clamp_bounds(&u, lo, hi, i64::MAX);
+                    let (mut lo_v, mut hi_v) = clamp_bounds(u, lo, hi, i64::MAX);
+                    clamp_to_chunk(chunk, pc, &mut lo_v, &mut hi_v);
                     let begin = pos[p];
                     let fiber_end = pos[p + 1];
                     let slice = &crd[begin..fiber_end];
@@ -625,27 +748,27 @@ pub(crate) fn execute(
                         iterations += iters;
                         vec_prepare(
                             items,
-                            &u,
+                            u,
                             iters,
-                            &mut vec_pass,
-                            &mut vec_bases,
-                            &mut reads,
+                            vec_pass,
+                            vec_bases,
+                            reads,
                             &mut flops,
                             &mut writes,
                         );
-                        let vals = bind.vals;
+                        let tvals = vals[*tensor];
                         for (pos, &coord) in crd.iter().enumerate().take(stop).skip(start) {
                             u[*idx] = coord;
                             vec_exec_items(
                                 items,
                                 coord,
-                                Some((vals, pos)),
-                                &vec_pass,
-                                &vec_bases,
-                                &mut f,
-                                &dense,
-                                &mut taken,
-                                &slot_to_taken,
+                                Some((tvals, pos)),
+                                vec_pass,
+                                vec_bases,
+                                f,
+                                dense,
+                                outs,
+                                oo,
                             );
                         }
                     }
@@ -656,16 +779,228 @@ pub(crate) fn execute(
         }
     }
 
-    let mut counters = Counters::new();
-    for (slot, count) in reads.iter().enumerate() {
-        if *count > 0 {
-            counters.reads.insert(program.tensors[slot].name.clone(), *count);
+    counters.flops += flops;
+    counters.writes += writes;
+    counters.iterations += iterations;
+}
+
+pub(crate) fn execute(
+    program: &BytecodeProgram,
+    inputs: &HashMap<String, Tensor>,
+    outputs: &mut HashMap<String, DenseTensor>,
+    ctx: &mut ExecContext,
+    parallelism: Parallelism,
+    out_counters: &mut Counters,
+) -> Result<(), ExecError> {
+    // Bind tensor slots, validating that shapes still match the plan.
+    // The tables live on the stack (inline for typical plan sizes) so
+    // the steady-state path never allocates.
+    let n_slots = program.tensors.len();
+    let mut dense_t: Scratch<&[f64], MAX_SLOTS> = Scratch::new(n_slots);
+    let dense = dense_t.as_mut_slice();
+    let mut vals_t: Scratch<&[f64], MAX_SLOTS> = Scratch::new(n_slots);
+    let vals = vals_t.as_mut_slice();
+    let mut levels_t: Scratch<Option<LevelView>, MAX_LEVELS> = Scratch::new(program.n_levels);
+    let levels = levels_t.as_mut_slice();
+    for (slot, info) in program.tensors.iter().enumerate() {
+        match info.kind {
+            SlotKind::DenseInput => match inputs.get(&info.name) {
+                Some(Tensor::Dense(t)) => {
+                    check_dims(&info.name, &info.dims, t.dims())?;
+                    dense[slot] = t.as_slice();
+                }
+                _ => return Err(ExecError::UnknownTensor { name: info.name.clone() }),
+            },
+            SlotKind::SparseInput => match inputs.get(&info.name) {
+                Some(Tensor::Sparse(t)) => {
+                    check_dims(&info.name, &info.dims, t.dims())?;
+                    for k in 0..t.rank() {
+                        levels[program.level_base[slot] + k] = Some(t.level_view(k));
+                    }
+                    vals[slot] = t.values();
+                }
+                _ => return Err(ExecError::UnknownTensor { name: info.name.clone() }),
+            },
+            SlotKind::Output => match outputs.get(&info.name) {
+                Some(t) => check_dims(&info.name, &info.dims, t.dims())?,
+                None => return Err(ExecError::UnknownTensor { name: info.name.clone() }),
+            },
         }
     }
-    counters.flops = flops;
-    counters.writes = writes;
-    counters.iterations = iterations;
-    Ok(counters)
+    // Borrow every output mutably in place (one pass over the map — the
+    // iterator hands out disjoint `&mut`s, so no tensors move).
+    let mut outs_t: OutTable<'_, MAX_OUTS> = OutTable::new(program.n_outputs);
+    let outs = outs_t.as_mut_slice();
+    for (name, tensor) in outputs.iter_mut() {
+        if let Some(slot) = program
+            .tensors
+            .iter()
+            .position(|info| info.kind == SlotKind::Output && info.name == *name)
+        {
+            outs[program.out_ordinal[slot]] =
+                Some(OutBind { data: tensor.as_mut_slice(), base: 0 });
+        }
+    }
+
+    // Decide the execution shape: chunked workers when the plan is
+    // splittable and more than one thread was requested, serial
+    // otherwise (including degenerate domains).
+    let plan = match (parallelism, &program.split) {
+        (Parallelism::Threads(n), Some(split)) if n >= 2 => {
+            let max_extent = split.heads.iter().map(|&(_, e)| e).max().unwrap_or(0);
+            let n_chunks = max_extent.min(n * CHUNKS_PER_WORKER);
+            let threads = n.min(n_chunks);
+            (threads >= 2).then_some((split, n_chunks, threads))
+        }
+        _ => None,
+    };
+
+    match plan {
+        None => {
+            let bank = &mut ctx.banks(1)[0];
+            bank.counters.reset(n_slots);
+            let Bank { u, f, vec_pass, vec_bases, counters, .. } = bank;
+            run_range(
+                program, dense, vals, levels, outs, u, f, vec_pass, vec_bases, counters, None,
+            );
+            bank.counters.write_to(program.tensors.iter().map(|t| t.name.as_str()), out_counters);
+        }
+        Some((split, n_chunks, threads)) => {
+            run_parallel(
+                program,
+                dense,
+                vals,
+                levels,
+                outs,
+                ctx,
+                split,
+                n_chunks,
+                threads,
+                out_counters,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Row-stride of an output slot (product of its trailing dims).
+fn row_stride(dims: &[usize]) -> usize {
+    dims[1..].iter().product()
+}
+
+/// Chunked execution over a worker pool of scoped threads. Chunks are
+/// dealt round-robin (`chunk k → worker k % threads`); every worker
+/// processes its chunks in increasing order, so the merge order — and
+/// therefore every output bit and counter — is a deterministic function
+/// of (plan, data, thread count).
+#[allow(clippy::too_many_arguments)]
+fn run_parallel<'a>(
+    program: &BytecodeProgram,
+    dense: &[&'a [f64]],
+    vals: &[&'a [f64]],
+    levels: &[Option<LevelView<'a>>],
+    outs: &mut [Option<OutBind<'_>>],
+    ctx: &mut ExecContext,
+    split: &SplitInfo,
+    n_chunks: usize,
+    threads: usize,
+    out_counters: &mut Counters,
+) {
+    let n_slots = program.tensors.len();
+    let oo = program.out_ordinal.as_slice();
+
+    // Distribute the outputs: owned outputs split at chunk row
+    // boundaries; reduced outputs keep their main slice here and hand
+    // each worker a private buffer instead.
+    let mut chunk_owned: Vec<Vec<(usize, OutBind<'_>)>> =
+        (0..n_chunks).map(|_| Vec::new()).collect();
+    let mut reduced_meta: Vec<(usize, AssignOp, usize)> = Vec::new();
+    let mut reduced_mains: Vec<&mut [f64]> = Vec::new();
+    for &(slot, mode) in &split.outputs {
+        let bind = outs[oo[slot]].take().expect("output bound");
+        match mode {
+            ParOut::Owned => {
+                let extent = split.owned_extent.expect("owned outputs pin a common extent");
+                let stride = row_stride(&program.tensors[slot].dims);
+                let mut rest = bind.data;
+                let mut consumed = 0usize;
+                for (k, owned) in chunk_owned.iter_mut().enumerate() {
+                    let end = ((k + 1) * extent / n_chunks) * stride;
+                    let (piece, tail) = rest.split_at_mut(end - consumed);
+                    owned.push((slot, OutBind { data: piece, base: consumed }));
+                    consumed = end;
+                    rest = tail;
+                }
+            }
+            ParOut::Reduced(op) => {
+                reduced_meta.push((slot, op, bind.data.len()));
+                reduced_mains.push(bind.data);
+            }
+        }
+    }
+
+    // Deal chunks to workers round-robin.
+    type WorkerChunks<'o> = Vec<(usize, Vec<(usize, OutBind<'o>)>)>;
+    let mut worker_chunks: Vec<WorkerChunks<'_>> = (0..threads).map(|_| Vec::new()).collect();
+    for (k, owned) in chunk_owned.into_iter().enumerate() {
+        worker_chunks[k % threads].push((k, owned));
+    }
+
+    let banks = ctx.banks(threads);
+    let heads = split.heads.as_slice();
+    let reduced_meta_ref = &reduced_meta;
+    rayon::scope(|s| {
+        for (bank, chunks) in banks.iter_mut().zip(worker_chunks) {
+            s.spawn(move |_| {
+                bank.counters.reset(n_slots);
+                for (r, &(_, op, len)) in reduced_meta_ref.iter().enumerate() {
+                    let identity = op.identity().expect("reduced outputs use reducing ops");
+                    bank.reset_reduce(r, len, identity);
+                }
+                let Bank { u, f, vec_pass, vec_bases, counters, reduce } = bank;
+                for (k, owned) in chunks {
+                    let mut outs_t: OutTable<'_, MAX_OUTS> = OutTable::new(program.n_outputs);
+                    let w_outs = outs_t.as_mut_slice();
+                    for (slot, ob) in owned {
+                        w_outs[oo[slot]] = Some(ob);
+                    }
+                    for (buf, &(slot, _, _)) in reduce.iter_mut().zip(reduced_meta_ref) {
+                        w_outs[oo[slot]] = Some(OutBind { data: buf, base: 0 });
+                    }
+                    let chunk = Chunk { heads, k, n: n_chunks };
+                    run_range(
+                        program,
+                        dense,
+                        vals,
+                        levels,
+                        w_outs,
+                        u,
+                        f,
+                        vec_pass,
+                        vec_bases,
+                        counters,
+                        Some(chunk),
+                    );
+                }
+            });
+        }
+    });
+
+    // Merge in fixed worker order: integer counter sums match the
+    // serial totals exactly; reduction buffers fold with their operator.
+    let mut total = CounterBank::with_slots(n_slots);
+    for bank in banks.iter() {
+        total.merge(&bank.counters);
+    }
+    total.write_to(program.tensors.iter().map(|t| t.name.as_str()), out_counters);
+    for (r, main) in reduced_mains.into_iter().enumerate() {
+        let op = reduced_meta[r].1;
+        for bank in banks.iter() {
+            for (cell, v) in main.iter_mut().zip(&bank.reduce[r]) {
+                *cell = op.apply(*cell, *v);
+            }
+        }
+    }
 }
 
 fn check_dims(name: &str, expected: &[usize], got: &[usize]) -> Result<(), ExecError> {

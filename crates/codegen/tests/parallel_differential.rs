@@ -1,0 +1,419 @@
+//! Differential tests of row-parallel execution: on randomized einsums
+//! over randomized storage formats and thread counts (1, 2, 4, 7 — plus
+//! `SYSTEC_TEST_THREADS`, which CI sets to exercise the parallel paths
+//! on every push), the parallel VM must agree with the serial-compiled
+//! VM, the tree-walking interpreter, and brute-force reference
+//! evaluation within 1e-9, with **exact** merged-counter parity. A
+//! separate determinism test pins bit-identical outputs and counters
+//! across repeated parallel runs.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use systec_codegen::{CompiledKernel, ExecContext, Parallelism};
+use systec_core::{Compiler, SymmetrySpec};
+use systec_exec::reference::reference_einsum;
+use systec_exec::{
+    alloc_outputs, hoist_conditions, lower, prepare_variants, run_lowered, Counters,
+};
+use systec_ir::build::*;
+use systec_ir::{AssignOp, Einsum, Stmt};
+use systec_tensor::{CooTensor, DenseTensor, LevelFormat, SparseTensor, Tensor};
+
+const TOL: f64 = 1e-9;
+
+/// The thread counts every case runs under: a fixed ladder (serial,
+/// even splits, an odd count that leaves ragged chunks) plus whatever
+/// the CI job pins via `SYSTEC_TEST_THREADS`.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4, 7];
+    if let Some(n) = std::env::var("SYSTEC_TEST_THREADS").ok().and_then(|v| v.parse().ok()) {
+        if !counts.contains(&n) {
+            counts.push(n);
+        }
+    }
+    counts
+}
+
+/// Compiles `prog` once and runs it on every backend × thread-count
+/// cell: the interpreter anchors the expectation, the serial VM must
+/// match it bit-for-bit (the PR 1 guarantee), and every parallel run
+/// must match within [`TOL`] with exactly equal counters. Returns the
+/// serial outputs and counters.
+fn run_matrix(
+    prog: &Stmt,
+    inputs: &HashMap<String, Tensor>,
+    label: &str,
+) -> (HashMap<String, DenseTensor>, Counters) {
+    let hoisted = hoist_conditions(prog.clone());
+    let outputs_init = alloc_outputs(&hoisted, inputs).expect(label);
+    let lowered = lower(&hoisted, inputs, &outputs_init).expect(label);
+    let kernel = CompiledKernel::compile(&lowered, inputs, &outputs_init).expect(label);
+
+    let mut out_interp = outputs_init.clone();
+    let c_interp = run_lowered(&lowered, inputs, &mut out_interp).expect(label);
+
+    let mut out_serial = outputs_init.clone();
+    let c_serial = kernel.run(inputs, &mut out_serial).expect(label);
+    assert_eq!(c_serial, c_interp, "{label}: serial VM counter parity");
+    for (name, t) in &out_interp {
+        assert_eq!(&out_serial[name], t, "{label}: serial VM output {name}");
+    }
+
+    let mut ctx = ExecContext::new();
+    for threads in thread_counts() {
+        let mut out_par = outputs_init.clone();
+        let mut c_par = Counters::new();
+        kernel
+            .run_with(inputs, &mut out_par, &mut ctx, Parallelism::threads(threads), &mut c_par)
+            .expect(label);
+        assert_eq!(c_par, c_interp, "{label}: t={threads} merged-counter parity");
+        for (name, t) in &out_interp {
+            let diff = out_par[name].max_abs_diff(t).expect(label);
+            assert!(diff < TOL, "{label}: t={threads} output {name} off by {diff:e}");
+        }
+    }
+    (out_serial, c_serial)
+}
+
+/// Random sparse square matrix in the given format; values are drawn
+/// from a small set so run-length levels actually form runs.
+fn random_matrix(n: usize, nnz: usize, formats: &[LevelFormat], r: &mut StdRng) -> Tensor {
+    let rank = formats.len();
+    let mut coo = CooTensor::new(vec![n; rank]);
+    for _ in 0..nnz {
+        let coords: Vec<usize> = (0..rank).map(|_| r.gen_range(0..n)).collect();
+        let v = [0.5, 1.0, 2.0][r.gen_range(0usize..3)];
+        coo.set(&coords, v);
+        if r.gen_bool(0.5) {
+            let mut next = coords.clone();
+            if next[rank - 1] + 1 < n {
+                next[rank - 1] += 1;
+                coo.set(&next, v);
+            }
+        }
+    }
+    Tensor::Sparse(SparseTensor::from_coo(&coo, formats).unwrap())
+}
+
+fn random_dense_vec(n: usize, r: &mut StdRng) -> Tensor {
+    Tensor::Dense(
+        DenseTensor::from_vec(vec![n], (0..n).map(|_| r.gen_range(0.1..2.0)).collect()).unwrap(),
+    )
+}
+
+const MATRIX_FORMATS: &[&[LevelFormat]] = &[
+    &[LevelFormat::Dense, LevelFormat::Sparse],
+    &[LevelFormat::Sparse, LevelFormat::Sparse],
+    &[LevelFormat::Dense, LevelFormat::RunLength],
+    &[LevelFormat::Sparse, LevelFormat::RunLength],
+    &[LevelFormat::Dense, LevelFormat::Dense],
+];
+
+#[test]
+fn spmv_parallel_matches_reference_across_formats() {
+    for (k, formats) in MATRIX_FORMATS.iter().enumerate() {
+        for seed in 0..4u64 {
+            let mut r = StdRng::seed_from_u64(9000 + 100 * k as u64 + seed);
+            let n = r.gen_range(3usize..16);
+            let einsum = Einsum::new(
+                access("y", ["i"]),
+                AssignOp::Add,
+                mul([access("A", ["i", "j"]), access("x", ["j"])]),
+                [idx("i"), idx("j")],
+            );
+            let mut inputs = HashMap::new();
+            inputs.insert("A".to_string(), random_matrix(n, 2 * n, formats, &mut r));
+            inputs.insert("x".to_string(), random_dense_vec(n, &mut r));
+            let label = format!("spmv formats={formats:?} seed={seed}");
+            let (out, _) = run_matrix(&einsum.naive_program(), &inputs, &label);
+            let expected = reference_einsum(&einsum, &inputs).unwrap();
+            assert!(out["y"].max_abs_diff(&expected).unwrap() < TOL, "{label}");
+        }
+    }
+}
+
+#[test]
+fn scalar_reduction_and_min_plus_parallel_match() {
+    // Rank-0 outputs (reduced through a length-1 private buffer) and
+    // the tropical semiring (Min-merged buffers).
+    for (k, formats) in MATRIX_FORMATS.iter().enumerate() {
+        let mut r = StdRng::seed_from_u64(9500 + k as u64);
+        let n = 9;
+        let mut inputs = HashMap::new();
+        inputs.insert("A".to_string(), random_matrix(n, 14, formats, &mut r));
+        inputs.insert("d".to_string(), random_dense_vec(n, &mut r));
+
+        let total = Stmt::loops(
+            [idx("i"), idx("j")],
+            assign(access("s", [] as [&str; 0]), access("A", ["i", "j"]).into()),
+        );
+        run_matrix(&total, &inputs, &format!("scalar-sum formats={formats:?}"));
+
+        let bf = Einsum::new(
+            access("y", ["i"]),
+            AssignOp::Min,
+            add([access("A", ["i", "j"]), access("d", ["j"])]),
+            [idx("i"), idx("j")],
+        );
+        let label = format!("min-plus formats={formats:?}");
+        let (out, _) = run_matrix(&bf.naive_program(), &inputs, &label);
+        let expected = reference_einsum(&bf, &inputs).unwrap();
+        assert!(out["y"].max_abs_diff(&expected).unwrap() < TOL, "{label}");
+    }
+}
+
+#[test]
+fn triangular_guards_parallel_match() {
+    // Bounds and residual guards interact with the chunk windows at the
+    // clamped heads; ragged thread counts (7) leave uneven chunks.
+    let guards: Vec<(&str, Stmt)> = vec![
+        (
+            "le-bound",
+            Stmt::loops(
+                [idx("i"), idx("j")],
+                Stmt::guarded(
+                    le("j", "i"),
+                    assign(access("s", [] as [&str; 0]), access("A", ["i", "j"]).into()),
+                ),
+            ),
+        ),
+        (
+            "ne-residual",
+            Stmt::loops(
+                [idx("i"), idx("j")],
+                Stmt::guarded(
+                    ne("i", "j"),
+                    assign(access("y", ["i"]), access("A", ["i", "j"]).into()),
+                ),
+            ),
+        ),
+        (
+            "or-guard",
+            Stmt::loops(
+                [idx("i"), idx("j")],
+                Stmt::guarded(
+                    or([eq("i", "j"), gt("i", "j")]),
+                    assign(access("s", [] as [&str; 0]), access("A", ["i", "j"]).into()),
+                ),
+            ),
+        ),
+    ];
+    for (name, prog) in &guards {
+        for (k, formats) in MATRIX_FORMATS.iter().enumerate() {
+            let mut r = StdRng::seed_from_u64(9700 + k as u64);
+            let mut inputs = HashMap::new();
+            inputs.insert("A".to_string(), random_matrix(11, 20, formats, &mut r));
+            run_matrix(prog, &inputs, &format!("guard {name} formats={formats:?}"));
+        }
+    }
+}
+
+#[test]
+fn symmetric_pipeline_kernels_parallel_match() {
+    // Full SySTeC pipeline output (diagonal splits — multiple top-level
+    // loops — lets, workspaces) across owned and reduced output
+    // classes, against the reference.
+    let cases: Vec<(&str, Einsum, SymmetrySpec)> = vec![
+        (
+            "ssymv",
+            Einsum::new(
+                access("y", ["i"]),
+                AssignOp::Add,
+                mul([access("A", ["i", "j"]), access("x", ["j"])]),
+                [idx("i"), idx("j")],
+            ),
+            SymmetrySpec::new().with_full("A", 2),
+        ),
+        (
+            "syprd",
+            Einsum::new(
+                access("s", [] as [&str; 0]),
+                AssignOp::Add,
+                mul([access("x", ["i"]), access("A", ["i", "j"]), access("x", ["j"])]),
+                [idx("i"), idx("j")],
+            ),
+            SymmetrySpec::new().with_full("A", 2),
+        ),
+        (
+            "ssyrk",
+            Einsum::new(
+                access("C", ["i", "j"]),
+                AssignOp::Add,
+                mul([access("A", ["i", "k"]), access("A", ["j", "k"])]),
+                [idx("i"), idx("j"), idx("k")],
+            ),
+            SymmetrySpec::new(),
+        ),
+    ];
+    for (name, einsum, spec) in &cases {
+        for seed in 0..3u64 {
+            let mut r = StdRng::seed_from_u64(9800 + seed);
+            let n = 10 + 3 * seed as usize;
+            let mut coo = CooTensor::new(vec![n, n]);
+            for _ in 0..(3 * n) {
+                let (i, j) = (r.gen_range(0..n), r.gen_range(0..n));
+                let v = r.gen_range(0.1..1.0);
+                coo.set(&[i, j], v);
+                if !spec.is_empty() {
+                    coo.set(&[j, i], v);
+                }
+            }
+            let mut inputs = HashMap::new();
+            inputs.insert(
+                "A".to_string(),
+                Tensor::Sparse(
+                    SparseTensor::from_coo(&coo, &[LevelFormat::Dense, LevelFormat::Sparse])
+                        .unwrap(),
+                ),
+            );
+            if einsum.rhs.accesses().iter().any(|a| a.tensor.name == "x") {
+                inputs.insert("x".to_string(), random_dense_vec(n, &mut r));
+            }
+            let kernel = Compiler::new().compile(einsum, spec).expect("compiles");
+            let main = hoist_conditions(kernel.main.clone());
+            let mut all_inputs = inputs.clone();
+            all_inputs.extend(prepare_variants(&main, &inputs).unwrap());
+            let label = format!("systec {name} seed={seed}");
+            run_matrix(&main, &all_inputs, &label);
+        }
+    }
+}
+
+#[test]
+fn randomized_sweep_counter_parity() {
+    for seed in 0..30u64 {
+        let mut r = StdRng::seed_from_u64(10_000 + seed);
+        let n = r.gen_range(2usize..13);
+        let formats = MATRIX_FORMATS[r.gen_range(0..MATRIX_FORMATS.len())];
+        let concordant = r.gen_bool(0.5);
+        let order = if concordant { [idx("i"), idx("j")] } else { [idx("j"), idx("i")] };
+        let op = if r.gen_bool(0.5) { AssignOp::Add } else { AssignOp::Min };
+        let rhs = if op == AssignOp::Add {
+            mul([access("A", ["i", "j"]), access("x", ["j"])])
+        } else {
+            add([access("A", ["i", "j"]), access("x", ["j"])])
+        };
+        let einsum = Einsum::new(access("y", ["i"]), op, rhs, order);
+        let mut inputs = HashMap::new();
+        inputs.insert("A".to_string(), random_matrix(n, n + 4, formats, &mut r));
+        inputs.insert("x".to_string(), random_dense_vec(n, &mut r));
+        run_matrix(
+            &einsum.naive_program(),
+            &inputs,
+            &format!("sweep seed={seed} formats={formats:?} op={op:?} concordant={concordant}"),
+        );
+    }
+}
+
+#[test]
+fn plain_row_kernels_are_splittable() {
+    // Guard against the analysis silently rejecting everything (which
+    // would make every parallel assertion above vacuously serial).
+    let einsum = Einsum::new(
+        access("y", ["i"]),
+        AssignOp::Add,
+        mul([access("A", ["i", "j"]), access("x", ["j"])]),
+        [idx("i"), idx("j")],
+    );
+    let mut r = StdRng::seed_from_u64(1);
+    let mut inputs = HashMap::new();
+    inputs.insert("A".to_string(), random_matrix(8, 12, MATRIX_FORMATS[0], &mut r));
+    inputs.insert("x".to_string(), random_dense_vec(8, &mut r));
+    let prog = hoist_conditions(einsum.naive_program());
+    let outputs_init = alloc_outputs(&prog, &inputs).unwrap();
+    let lowered = lower(&prog, &inputs, &outputs_init).unwrap();
+    let kernel = CompiledKernel::compile(&lowered, &inputs, &outputs_init).unwrap();
+    assert!(kernel.splittable(), "row-addressed spmv must split");
+
+    // An overwrite scattered across rows is order-dependent: not
+    // splittable, and Threads must silently run serial (same bits).
+    let transpose = Stmt::loops(
+        [idx("i"), idx("j")],
+        store(access("C", ["j", "i"]), access("A", ["i", "j"]).into()),
+    );
+    let hoisted = hoist_conditions(transpose);
+    let outputs_init = alloc_outputs(&hoisted, &inputs).unwrap();
+    let lowered = lower(&hoisted, &inputs, &outputs_init).unwrap();
+    let kernel = CompiledKernel::compile(&lowered, &inputs, &outputs_init).unwrap();
+    assert!(!kernel.splittable(), "scattered overwrites must stay serial");
+    run_matrix(
+        &Stmt::loops(
+            [idx("i"), idx("j")],
+            store(access("C", ["j", "i"]), access("A", ["i", "j"]).into()),
+        ),
+        &inputs,
+        "transpose stays serial",
+    );
+}
+
+#[test]
+fn parallel_runs_are_bit_deterministic() {
+    // 20 repeated runs of each parallel kernel with identical inputs
+    // must produce bit-identical outputs and identical counters: chunk
+    // boundaries and merge order are fixed, never first-come.
+    let einsum = Einsum::new(
+        access("y", ["i"]),
+        AssignOp::Add,
+        mul([access("A", ["i", "j"]), access("x", ["j"])]),
+        [idx("i"), idx("j")],
+    );
+    let spec = SymmetrySpec::new().with_full("A", 2);
+    let mut r = StdRng::seed_from_u64(77);
+    let n = 64;
+    let mut coo = CooTensor::new(vec![n, n]);
+    for _ in 0..(6 * n) {
+        let (i, j) = (r.gen_range(0..n), r.gen_range(0..n));
+        let v = r.gen_range(0.1..1.0);
+        coo.set(&[i, j], v);
+        coo.set(&[j, i], v);
+    }
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "A".to_string(),
+        Tensor::Sparse(
+            SparseTensor::from_coo(&coo, &[LevelFormat::Dense, LevelFormat::Sparse]).unwrap(),
+        ),
+    );
+    inputs.insert("x".to_string(), random_dense_vec(n, &mut r));
+    let kernel = Compiler::new().compile(&einsum, &spec).expect("compiles");
+    let main = hoist_conditions(kernel.main.clone());
+    let mut all_inputs = inputs.clone();
+    all_inputs.extend(prepare_variants(&main, &inputs).unwrap());
+    let outputs_init = alloc_outputs(&main, &all_inputs).unwrap();
+    let lowered = lower(&main, &all_inputs, &outputs_init).unwrap();
+    let compiled = CompiledKernel::compile(&lowered, &all_inputs, &outputs_init).unwrap();
+    assert!(compiled.splittable());
+
+    for threads in [3usize, 4] {
+        let mut ctx = ExecContext::new();
+        let mut reference_bits: Option<Vec<u64>> = None;
+        let mut reference_counters: Option<Counters> = None;
+        for rep in 0..20 {
+            let mut outputs = outputs_init.clone();
+            let mut counters = Counters::new();
+            compiled
+                .run_with(
+                    &all_inputs,
+                    &mut outputs,
+                    &mut ctx,
+                    Parallelism::threads(threads),
+                    &mut counters,
+                )
+                .unwrap();
+            let bits: Vec<u64> = outputs["y"].as_slice().iter().map(|v| v.to_bits()).collect();
+            match (&reference_bits, &reference_counters) {
+                (None, _) => {
+                    reference_bits = Some(bits);
+                    reference_counters = Some(counters);
+                }
+                (Some(expect), Some(c_expect)) => {
+                    assert_eq!(&bits, expect, "t={threads} rep={rep}: output bits drifted");
+                    assert_eq!(&counters, c_expect, "t={threads} rep={rep}: counters drifted");
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}

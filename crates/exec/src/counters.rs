@@ -59,6 +59,92 @@ impl Counters {
     }
 }
 
+/// A slot-indexed counter accumulator for one execution worker.
+///
+/// Backends that know their tensors by flat slot index (the bytecode VM)
+/// accumulate into a bank — no name hashing on the hot path — and
+/// materialize a [`Counters`] at the end. Parallel backends give every
+/// worker its own bank and [`CounterBank::merge`] them **in a fixed
+/// worker order** when the workers join: counts are integers, so the
+/// merged totals equal the serial execution's counters exactly, which is
+/// what keeps the paper's read/FLOP parity claims checkable under
+/// row-parallel execution.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CounterBank {
+    /// Element loads, indexed by tensor slot.
+    pub reads: Vec<u64>,
+    /// Semiring operations.
+    pub flops: u64,
+    /// Output element stores.
+    pub writes: u64,
+    /// Innermost loop-body executions.
+    pub iterations: u64,
+}
+
+impl CounterBank {
+    /// A zeroed bank with one read counter per tensor slot.
+    pub fn with_slots(n_slots: usize) -> Self {
+        CounterBank { reads: vec![0; n_slots], flops: 0, writes: 0, iterations: 0 }
+    }
+
+    /// Rezeroes the bank for `n_slots` tensor slots, reusing the
+    /// allocation (no allocation once capacity has been reached).
+    pub fn reset(&mut self, n_slots: usize) {
+        self.reads.clear();
+        self.reads.resize(n_slots, 0);
+        self.flops = 0;
+        self.writes = 0;
+        self.iterations = 0;
+    }
+
+    /// Accumulates another bank into this one. Call in a fixed worker
+    /// order so merged results are deterministic run to run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the banks track a different number of slots.
+    pub fn merge(&mut self, other: &CounterBank) {
+        assert_eq!(self.reads.len(), other.reads.len(), "banks must cover the same slots");
+        for (a, b) in self.reads.iter_mut().zip(&other.reads) {
+            *a += b;
+        }
+        self.flops += other.flops;
+        self.writes += other.writes;
+        self.iterations += other.iterations;
+    }
+
+    /// Writes the bank's totals into `out` **in place**, given the
+    /// display name of each slot. Steady-state reuse of one `Counters`
+    /// value is allocation-free: existing entries are overwritten,
+    /// entries are only inserted the first time a slot's name appears,
+    /// and zero-count leftovers (from a previous program run through the
+    /// same `Counters`) are dropped without reallocating.
+    pub fn write_to<'a>(&self, names: impl IntoIterator<Item = &'a str>, out: &mut Counters) {
+        for v in out.reads.values_mut() {
+            *v = 0;
+        }
+        for (slot, name) in names.into_iter().enumerate() {
+            let count = self.reads.get(slot).copied().unwrap_or(0);
+            if let Some(v) = out.reads.get_mut(name) {
+                *v = count;
+            } else if count > 0 {
+                out.reads.insert(name.to_string(), count);
+            }
+        }
+        out.reads.retain(|_, v| *v > 0);
+        out.flops = self.flops;
+        out.writes = self.writes;
+        out.iterations = self.iterations;
+    }
+
+    /// Materializes a fresh [`Counters`] from the bank.
+    pub fn to_counters<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> Counters {
+        let mut out = Counters::new();
+        self.write_to(names, &mut out);
+        out
+    }
+}
+
 impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<&String> = self.reads.keys().collect();
@@ -114,5 +200,59 @@ mod tests {
     fn display_is_nonempty() {
         let c = Counters::new();
         assert!(c.to_string().contains("flops=0"));
+    }
+
+    #[test]
+    fn bank_merge_equals_serial_totals() {
+        let mut serial = CounterBank::with_slots(2);
+        serial.reads = vec![7, 3];
+        serial.flops = 10;
+        serial.writes = 4;
+        serial.iterations = 9;
+        // Split the same work across two workers; merging recovers it.
+        let mut w0 = CounterBank::with_slots(2);
+        w0.reads = vec![5, 1];
+        w0.flops = 6;
+        w0.writes = 3;
+        w0.iterations = 4;
+        let mut w1 = CounterBank::with_slots(2);
+        w1.reads = vec![2, 2];
+        w1.flops = 4;
+        w1.writes = 1;
+        w1.iterations = 5;
+        let mut merged = CounterBank::with_slots(2);
+        merged.merge(&w0);
+        merged.merge(&w1);
+        assert_eq!(merged, serial);
+    }
+
+    #[test]
+    fn bank_write_to_is_idempotent_and_drops_stale_keys() {
+        let mut bank = CounterBank::with_slots(2);
+        bank.reads = vec![4, 0];
+        bank.flops = 2;
+        let mut out = Counters::new();
+        // A stale entry from a previous program through the same value.
+        out.reads.insert("old".into(), 11);
+        bank.write_to(["A", "x"], &mut out);
+        assert_eq!(out.reads_of("A"), 4);
+        assert_eq!(out.reads_of("old"), 0);
+        assert!(!out.reads.contains_key("old"), "stale keys must be dropped");
+        assert!(!out.reads.contains_key("x"), "zero-count slots are not materialized");
+        let first = out.clone();
+        bank.write_to(["A", "x"], &mut out);
+        assert_eq!(out, first);
+        assert_eq!(out, bank.to_counters(["A", "x"]));
+    }
+
+    #[test]
+    fn bank_reset_reuses_allocation() {
+        let mut bank = CounterBank::with_slots(3);
+        bank.reads[1] = 5;
+        bank.flops = 1;
+        let ptr = bank.reads.as_ptr();
+        bank.reset(3);
+        assert_eq!(bank, CounterBank::with_slots(3));
+        assert_eq!(bank.reads.as_ptr(), ptr, "reset must not reallocate");
     }
 }

@@ -60,7 +60,7 @@ mod prepare;
 pub mod reference;
 mod run;
 
-pub use counters::Counters;
+pub use counters::{CounterBank, Counters};
 pub use error::ExecError;
 pub use hoist::hoist_conditions;
 pub use lower::{lower, LoweredProgram};

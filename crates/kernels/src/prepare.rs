@@ -25,9 +25,9 @@
 //! [`plan_cache_stats`]).
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
-use systec_codegen::{CacheStats, PlanCache, PlanKey};
+use systec_codegen::{CacheStats, ExecContext, Parallelism, PlanKey, SharedPlanCache};
 use systec_core::{CompileOptions, Compiler, SymmetrySpec};
 use systec_exec::{alloc_outputs, hoist_conditions, lower, prepare_variants, run_lowered};
 use systec_exec::{Counters, ExecError, LoweredProgram};
@@ -127,26 +127,21 @@ fn alloc_outputs_for(
     Ok(outputs_init)
 }
 
-fn plan_cache() -> std::sync::MutexGuard<'static, PlanCache<KernelPlan>> {
-    static CACHE: OnceLock<Mutex<PlanCache<KernelPlan>>> = OnceLock::new();
-    // Lock sections only touch cache bookkeeping (never user code), but
-    // recover from poisoning anyway: a panic elsewhere must not disable
-    // kernel preparation for the rest of the process.
-    CACHE
-        .get_or_init(|| Mutex::new(PlanCache::new(64)))
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+fn plan_cache() -> &'static SharedPlanCache<KernelPlan> {
+    static CACHE: OnceLock<SharedPlanCache<KernelPlan>> = OnceLock::new();
+    CACHE.get_or_init(|| SharedPlanCache::new(64))
 }
 
 /// Materialized data bindings: base + derived inputs, and initialized
 /// outputs.
 type PlanBindings = (HashMap<String, Tensor>, HashMap<String, DenseTensor>);
 
-/// Looks the key up under a short lock; on a miss, builds the plan with
-/// no lock held (plan compilation takes milliseconds — concurrent
-/// preparations of different kernels must not serialize), then inserts.
-/// Two racing builders of the same key both compile; the plans are
-/// identical and the second insert wins harmlessly.
+/// Looks the key up, building on a miss with no lock held (plan
+/// compilation takes milliseconds — concurrent preparations of
+/// different kernels must not serialize). Concurrent requests for the
+/// *same* key perform exactly one build and share the resulting plan
+/// `Arc` ([`SharedPlanCache`]); a build that panics wakes its waiters
+/// and leaves the cache usable.
 ///
 /// On a miss, the builder's already-materialized bindings ride along so
 /// the caller can construct the [`Prepared`] without preparing the data
@@ -159,13 +154,8 @@ fn cached_plan(
         ExecError,
     >,
 ) -> Result<(Arc<KernelPlan>, Option<PlanBindings>), ExecError> {
-    if let Some(plan) = plan_cache().get(&key) {
-        return Ok((plan, None));
-    }
-    let (plan, all_inputs, outputs_init) = build()?;
-    let plan = Arc::new(plan);
-    plan_cache().insert(key, Arc::clone(&plan));
-    Ok((plan, Some((all_inputs, outputs_init))))
+    plan_cache()
+        .get_or_build(&key, || build().map(|(plan, inputs, outputs)| (plan, (inputs, outputs))))
 }
 
 /// Observability counters of the process-wide kernel plan cache.
@@ -202,6 +192,7 @@ pub struct Prepared {
     inputs: Arc<HashMap<String, Tensor>>,
     outputs_init: HashMap<String, DenseTensor>,
     backend: Backend,
+    parallelism: Parallelism,
 }
 
 impl Prepared {
@@ -309,7 +300,13 @@ impl Prepared {
         all_inputs: HashMap<String, Tensor>,
         outputs_init: HashMap<String, DenseTensor>,
     ) -> Self {
-        Prepared { plan, inputs: Arc::new(all_inputs), outputs_init, backend: Backend::default() }
+        Prepared {
+            plan,
+            inputs: Arc::new(all_inputs),
+            outputs_init,
+            backend: Backend::default(),
+            parallelism: Parallelism::default(),
+        }
     }
 
     /// Selects the execution backend (the default is
@@ -328,6 +325,34 @@ impl Prepared {
     /// The active execution backend.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// Selects the execution parallelism for the timed main loops (the
+    /// default is [`Parallelism::Serial`]). Only the compiled backend
+    /// dispatches workers, and only for plans the compiler proved
+    /// splittable (see [`Prepared::splittable`]); everything else runs
+    /// serially with identical results. Counters are exact (merged by
+    /// integer sums) in every mode.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Switches the execution parallelism in place.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The active execution parallelism.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Whether the compiled main program can actually dispatch workers
+    /// under [`Parallelism::Threads`].
+    pub fn splittable(&self) -> bool {
+        self.plan.main_compiled.splittable()
     }
 
     /// Overrides the initial value of an output tensor (e.g. seeding
@@ -357,10 +382,24 @@ impl Prepared {
         Arc::ptr_eq(&self.plan, &other.plan)
     }
 
-    fn exec_main(&self, outputs: &mut HashMap<String, DenseTensor>) -> Result<Counters, ExecError> {
+    fn exec_main(
+        &self,
+        outputs: &mut HashMap<String, DenseTensor>,
+        ctx: &mut ExecContext,
+        counters: &mut Counters,
+    ) -> Result<(), ExecError> {
         match self.backend {
-            Backend::Interpreter => run_lowered(&self.plan.main, &self.inputs, outputs),
-            Backend::Compiled => self.plan.main_compiled.run(&self.inputs, outputs),
+            Backend::Interpreter => {
+                *counters = run_lowered(&self.plan.main, &self.inputs, outputs)?;
+                Ok(())
+            }
+            Backend::Compiled => self.plan.main_compiled.run_with(
+                &self.inputs,
+                outputs,
+                ctx,
+                self.parallelism,
+                counters,
+            ),
         }
     }
 
@@ -389,14 +428,19 @@ impl Prepared {
     /// preparation).
     pub fn run_timed(&self) -> Result<(HashMap<String, DenseTensor>, Counters), ExecError> {
         let mut outputs = self.outputs_init.clone();
-        let counters = self.exec_main(&mut outputs)?;
+        let mut ctx = ExecContext::new();
+        let mut counters = Counters::new();
+        self.exec_main(&mut outputs, &mut ctx, &mut counters)?;
         Ok((outputs, counters))
     }
 
-    /// Like [`Prepared::run_timed`], but reuses the caller's output
-    /// buffers: existing tensors of the right shape are re-initialized
-    /// in place instead of reallocated, so repeated invocations (the
-    /// benchmark loop) measure kernel work, not allocator traffic.
+    /// Like [`Prepared::run_timed`], but over caller-owned state:
+    /// existing output tensors of the right shape are re-initialized in
+    /// place, the [`ExecContext`] supplies every per-run buffer, and
+    /// `counters` is updated in place. On the compiled backend the
+    /// steady-state path is therefore **allocation-free**, so repeated
+    /// invocations (the benchmark loop, a serving loop) measure kernel
+    /// work, not allocator traffic.
     ///
     /// # Errors
     ///
@@ -405,7 +449,9 @@ impl Prepared {
     pub fn run_timed_into(
         &self,
         outputs: &mut HashMap<String, DenseTensor>,
-    ) -> Result<Counters, ExecError> {
+        ctx: &mut ExecContext,
+        counters: &mut Counters,
+    ) -> Result<(), ExecError> {
         for (name, init) in &self.outputs_init {
             match outputs.get_mut(name) {
                 Some(existing) if existing.dims() == init.dims() => {
@@ -416,7 +462,7 @@ impl Prepared {
                 }
             }
         }
-        self.exec_main(outputs)
+        self.exec_main(outputs, ctx, counters)
     }
 
     /// Runs everything — main loops *and* output replication — returning
@@ -428,7 +474,9 @@ impl Prepared {
     /// preparation).
     pub fn run_full(&self) -> Result<(HashMap<String, DenseTensor>, Counters), ExecError> {
         let mut outputs = self.outputs_init.clone();
-        let mut counters = self.exec_main(&mut outputs)?;
+        let mut ctx = ExecContext::new();
+        let mut counters = Counters::new();
+        self.exec_main(&mut outputs, &mut ctx, &mut counters)?;
         if let Some(rep_counters) = self.exec_replication(&mut outputs)? {
             counters.merge(&rep_counters);
         }
@@ -564,11 +612,26 @@ mod tests {
         let sym = Prepared::compile(&def, &inputs).unwrap();
         let (fresh, c_fresh) = sym.run_timed().unwrap();
         let mut reused = HashMap::new();
-        let c1 = sym.run_timed_into(&mut reused).unwrap();
-        let c2 = sym.run_timed_into(&mut reused).unwrap();
+        let mut ctx = ExecContext::new();
+        let mut c1 = Counters::new();
+        let mut c2 = Counters::new();
+        sym.run_timed_into(&mut reused, &mut ctx, &mut c1).unwrap();
+        sym.run_timed_into(&mut reused, &mut ctx, &mut c2).unwrap();
         assert_eq!(c1, c2, "re-running over reused buffers is idempotent");
         assert_eq!(c1, c_fresh);
         assert_eq!(reused["y"], fresh["y"]);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_with_exact_counters() {
+        let (def, inputs) = ssymv_setup(48, 5);
+        let serial = Prepared::compile(&def, &inputs).unwrap();
+        assert!(serial.splittable(), "ssymv's main program splits");
+        let parallel = serial.clone().with_parallelism(Parallelism::threads(4));
+        let (ys, cs) = serial.run_full().unwrap();
+        let (yp, cp) = parallel.run_full().unwrap();
+        assert_eq!(cs, cp, "merged counters must equal the serial counters exactly");
+        assert!(ys["y"].max_abs_diff(&yp["y"]).unwrap() < 1e-9);
     }
 
     #[test]

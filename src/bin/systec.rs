@@ -17,7 +17,7 @@ use std::process::ExitCode;
 use systec::compiler::{Compiler, SymmetryPartition, SymmetrySpec};
 use systec::exec::reference::reference_einsum;
 use systec::ir::{parse_einsum, Einsum};
-use systec::kernels::{Backend, Prepared};
+use systec::kernels::{Backend, Parallelism, Prepared};
 use systec::tensor::generate::{random_dense, rng};
 use systec::tensor::{csf, CooTensor, SparseTensor, Tensor};
 
@@ -30,6 +30,7 @@ struct Options {
     rank: usize,
     seed: u64,
     backend: Backend,
+    threads: usize,
 }
 
 fn usage() -> &'static str {
@@ -42,6 +43,9 @@ fn usage() -> &'static str {
        --run                 execute on random data and compare with the naive kernel\n\
        --backend B           execution backend for --run: `compiled` (bytecode VM,\n\
                              the default) or `interpreter` (tree walker)\n\
+       --threads T           worker threads for --run on the compiled backend\n\
+                             (default 1 = serial; 0 = all cores; plans the\n\
+                             compiler cannot split run serially either way)\n\
        --n N                 dimension extent for --run (default 30)\n\
        --density P           sparse fill probability for --run (default 0.01)\n\
        --rank R              extent of indices that only appear densely (default 8)\n\
@@ -60,6 +64,7 @@ fn parse_args() -> Result<Options, String> {
         rank: 8,
         seed: 42,
         backend: Backend::default(),
+        threads: 1,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -96,6 +101,7 @@ fn parse_args() -> Result<Options, String> {
                     }
                 };
             }
+            "--threads" => opts.threads = next_num(&mut args, "--threads")? as usize,
             "--n" => opts.n = next_num(&mut args, "--n")? as usize,
             "--rank" => opts.rank = next_num(&mut args, "--rank")? as usize,
             "--density" => opts.density = next_num(&mut args, "--density")?,
@@ -244,13 +250,16 @@ fn run_kernel(
         inputs.insert(name, tensor);
     }
 
+    let parallelism = Parallelism::threads(opts.threads);
     let sym = Prepared::from_programs(kernel.main.clone(), kernel.replication.clone(), &inputs)
         .map_err(|e| format!("preparing compiled kernel: {e}"))?
-        .with_backend(opts.backend);
+        .with_backend(opts.backend)
+        .with_parallelism(parallelism);
     let naive_prog = Compiler::new().naive(einsum);
     let naive = Prepared::from_programs(naive_prog, None, &inputs)
         .map_err(|e| format!("preparing naive kernel: {e}"))?
-        .with_backend(opts.backend);
+        .with_backend(opts.backend)
+        .with_parallelism(parallelism);
 
     let t0 = std::time::Instant::now();
     let (out_sym, c_sym) = sym.run_full().map_err(|e| e.to_string())?;
@@ -260,8 +269,8 @@ fn run_kernel(
     let t_naive = t0.elapsed();
 
     println!(
-        "\n== run (n={}, density={}, seed={}, backend={:?}) ==",
-        opts.n, opts.density, opts.seed, opts.backend
+        "\n== run (n={}, density={}, seed={}, backend={:?}, parallelism={:?}) ==",
+        opts.n, opts.density, opts.seed, opts.backend, parallelism
     );
     let out_name = einsum.output.tensor.display_name();
     let diff = out_sym[&out_name].max_abs_diff(&out_naive[&out_name]).map_err(|e| e.to_string())?;

@@ -1,0 +1,118 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this crate provides
+//! the subset of rayon's API that the systec workspace uses: [`scope`]
+//! with [`Scope::spawn`], and [`current_num_threads`]. Spawned closures
+//! may borrow from the enclosing stack frame (the `'scope` lifetime),
+//! exactly like rayon's scoped tasks.
+//!
+//! Semantics: [`scope`] blocks until every spawned task finishes, then
+//! returns the closure's value. There is no work-stealing pool behind
+//! it — each `spawn` is an OS thread via [`std::thread::scope`] — so
+//! callers should spawn roughly one task per core and do their own
+//! chunking, which is what `systec-codegen`'s row-parallel dispatcher
+//! does. If a task panics, the panic is propagated to the caller after
+//! all tasks have been joined, matching rayon.
+//!
+//! If the environment ever gains network access, swapping back to the
+//! real crate is a one-line change in the workspace `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A scope in which borrowed tasks can be spawned (rayon-style).
+///
+/// Obtained from [`scope`]; hand it to [`Scope::spawn`] closures so
+/// tasks can spawn further tasks.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from the enclosing frame. The task
+    /// runs on its own thread and is joined when the scope ends.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let this = *self;
+        self.inner.spawn(move || f(&this));
+    }
+}
+
+/// Creates a scope for spawning borrowed tasks, blocking until all of
+/// them (and the closure itself) have finished.
+///
+/// # Panics
+///
+/// If a spawned task panics, the panic is resumed on the calling thread
+/// once every task has been joined.
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| op(&Scope { inner: s }))
+}
+
+/// The number of threads a caller should assume are available — the
+/// machine's parallelism, or 1 when it cannot be queried.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let part: u64 = chunk.iter().sum();
+                    sum.fetch_add(part as usize, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn scope_returns_value() {
+        let v = scope(|_| 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn panic_propagates_after_join() {
+        let result = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("induced"));
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
