@@ -199,6 +199,63 @@ pub(crate) enum Instr {
         hi: Box<[Bound]>,
         items: Box<[VItem]>,
     },
+    /// A whole innermost run-length-driver loop as one instruction: runs
+    /// expand into strided body applications, one per covered
+    /// coordinate, with the run's value position held constant across
+    /// the run. Counter semantics are identical to the equivalent
+    /// `RleLoopHead`/`RleLoopNext` walk.
+    VecRleLoop {
+        tensor: usize,
+        level: usize,
+        idx: usize,
+        parent: usize,
+        lo: Box<[Bound]>,
+        hi: Box<[Bound]>,
+        items: Box<[VItem]>,
+    },
+    /// A whole innermost two-way sparse–sparse intersection loop as one
+    /// instruction: iteration walks the driver's compressed coordinates
+    /// (exactly as [`Instr::VecSparseLoop`]) while a galloping merge
+    /// cursor tracks the probed fiber, replacing the per-step
+    /// `Probe` binary search of the general path. The body observes the
+    /// probe through [`VStep::LoadProbe`] (value on a hit, fill + miss
+    /// flag on a miss), so per-step counters — iterations and driver
+    /// reads per driver coordinate, probe reads and guarded stores per
+    /// hit — match the interpreter exactly.
+    VecIsectLoop {
+        tensor: usize,
+        level: usize,
+        idx: usize,
+        parent: usize,
+        probe_tensor: usize,
+        probe_level: usize,
+        probe_parent: usize,
+        lo: Box<[Bound]>,
+        hi: Box<[Bound]>,
+        items: Box<[VItem]>,
+    },
+    /// The dominant intersection body — an unguarded
+    /// `acc op= bin(driver, probe)` scalar accumulation (SSYRK's
+    /// `w += A[i,k] * A[j,k]`) — fused into a register-free merge loop:
+    /// no per-coordinate step dispatch, no temporary traffic. Counter
+    /// semantics are exactly [`Instr::VecIsectLoop`]'s over the
+    /// equivalent three-step body: per driver coordinate one iteration,
+    /// one driver read and one fold flop; per hit one probe read and
+    /// (for reducing ops) one reduce flop.
+    VecIsectDot {
+        tensor: usize,
+        level: usize,
+        idx: usize,
+        parent: usize,
+        probe_tensor: usize,
+        probe_level: usize,
+        probe_parent: usize,
+        lo: Box<[Bound]>,
+        hi: Box<[Bound]>,
+        slot: usize,
+        bin: BinOp,
+        op: AssignOp,
+    },
     /// End of program.
     Halt,
 }
@@ -218,13 +275,46 @@ pub(crate) struct VItem {
 /// One step of a vector-loop body. `base`-bearing steps carry a scratch
 /// index (`id`) where the loop entry caches `offset(u, base)`; the
 /// per-coordinate address is `bases[id] + coord * stride`.
+///
+/// ## Per-coordinate miss flag
+///
+/// Steps that can miss ([`VStep::LoadProbe`], [`VStep::LoadGather`])
+/// raise a transient miss flag when `set_miss` is set; fold steps with
+/// `check_miss` skip their store while the flag is up, and every fold
+/// step lowers the flag — mirroring the interpreter's per-assignment
+/// `ClearMiss` scoping (an assignment's operand loads directly precede
+/// its fold in the step list).
 #[derive(Clone, Debug)]
 pub(crate) enum VStep {
     /// `f[dst] = dense[tensor][bases[id] + coord * stride]` (counted).
     Load { dst: usize, tensor: usize, id: usize, base: Box<[Term]>, stride: usize },
     /// `f[dst] = vals[position]` of the driving level (counted).
     LoadVal { dst: usize, tensor: usize },
-    /// `out[bases[id] + coord*stride] op= fold(bin, f[srcs])`.
+    /// Probed read in a [`Instr::VecIsectLoop`]: the probed fiber's
+    /// value at the current coordinate when the intersection hit
+    /// (counted), fill (0) otherwise (raising the miss flag when
+    /// `set_miss`).
+    LoadProbe { dst: usize, tensor: usize, set_miss: bool },
+    /// Non-concordant (`ReadSparseRandom`) read inside a vector loop:
+    /// a per-level search from the tensor's root at the current index
+    /// values. When the innermost-varying subscript is the tensor's
+    /// leaf mode (`leaf_only`), the invariant prefix path resolves once
+    /// at loop entry and the leaf search advances a monotone gallop
+    /// cursor in the scratch slot `id`; otherwise every coordinate
+    /// searches the full path. Counted on a hit; fill + miss flag
+    /// (when `set_miss`) otherwise.
+    LoadGather {
+        dst: usize,
+        tensor: usize,
+        id: usize,
+        modes: Box<[usize]>,
+        leaf_only: bool,
+        set_miss: bool,
+    },
+    /// `out[bases[id] + coord*stride] op= fold(bin, f[srcs])`; with
+    /// `check_miss` the store (and its reduce flop / write count) is
+    /// skipped while the miss flag is up — the fold itself always
+    /// evaluates and counts, as in the interpreter.
     FoldOut {
         tensor: usize,
         id: usize,
@@ -233,9 +323,10 @@ pub(crate) enum VStep {
         bin: BinOp,
         op: AssignOp,
         srcs: Box<[usize]>,
+        check_miss: bool,
     },
-    /// `f[slot] op= fold(bin, f[srcs])`.
-    FoldScalar { slot: usize, bin: BinOp, op: AssignOp, srcs: Box<[usize]> },
+    /// `f[slot] op= fold(bin, f[srcs])` (same `check_miss` contract).
+    FoldScalar { slot: usize, bin: BinOp, op: AssignOp, srcs: Box<[usize]>, check_miss: bool },
 }
 
 /// Per-tensor-slot binding metadata, validated when the program binds
@@ -300,6 +391,8 @@ pub(crate) struct BytecodeProgram {
     pub n_vec_items: usize,
     /// See [`BytecodeProgram::n_vec_items`].
     pub n_vec_bases: usize,
+    /// Number of gather-cursor scratch slots ([`VStep::LoadGather`]).
+    pub n_vec_gathers: usize,
     /// Per-slot binding metadata, in slot order.
     pub tensors: Vec<TensorInfo>,
     /// Start of each slot's run of entries in the flattened level-view

@@ -138,6 +138,7 @@ pub(crate) fn compile(
         n_caches: 0,
         n_vec_items: 0,
         n_vec_bases: 0,
+        n_vec_gathers: 0,
         never_miss,
         split_pending,
         split_heads: Vec::new(),
@@ -169,6 +170,7 @@ pub(crate) fn compile(
         n_caches: c.n_caches,
         n_vec_items: c.n_vec_items,
         n_vec_bases: c.n_vec_bases,
+        n_vec_gathers: c.n_vec_gathers,
         level_base,
         n_levels,
         out_ordinal,
@@ -417,6 +419,25 @@ impl VecBuilder {
     }
 }
 
+/// One tracked access a vector loop binds per coordinate.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct VecAccess {
+    access: usize,
+    level: usize,
+    tensor: usize,
+}
+
+/// The sparse accesses a candidate vector loop iterates: an optional
+/// driver (compressed or run-length) and, for two-way intersections,
+/// the probed access merged against the driver's coordinates.
+#[derive(Clone, Copy)]
+struct VecShape {
+    driver: Option<VecAccess>,
+    /// The driver walks a run-length level (else compressed).
+    rle: bool,
+    probe: Option<VecAccess>,
+}
+
 /// Flattens a guard into a conjunction of comparisons over registers
 /// other than the loop's own index. `false` = not flattenable.
 fn flatten_guard(cond: &LCond, idx: usize, out: &mut Vec<(CmpOp, usize, usize)>) -> bool {
@@ -460,6 +481,7 @@ struct Compiler<'a> {
     n_caches: usize,
     n_vec_items: usize,
     n_vec_bases: usize,
+    n_vec_gathers: usize,
     /// Per (access, level): whether the position register is provably
     /// never [`MISS`] in the current scope — levels bound by a driver
     /// loop, or dense-level probes of a never-miss parent. Enables
@@ -543,14 +565,21 @@ impl Compiler<'_> {
                 // window at run time.
                 let top_split = self.loop_depth == 0 && self.split_pending.is_some();
                 let head_pc = self.instrs.len();
-                if probes.is_empty()
-                    && drivers.len() <= 1
-                    && self.try_vectorize(*idx, *extent, lo, hi, drivers.first(), body)
-                {
-                    if top_split {
-                        self.split_heads.push((head_pc, *extent));
+                // At most one extra tracked access (a second driver or a
+                // probe) can vectorize, as the probed side of a two-way
+                // intersection; more take the general path.
+                let vec_extra = match (drivers.as_slice(), probes.as_slice()) {
+                    ([] | [_], []) => Some(None),
+                    ([_, p], []) | ([_], [p]) => Some(Some(p)),
+                    _ => None,
+                };
+                if let Some(probe) = vec_extra {
+                    if self.try_vectorize(*idx, *extent, lo, hi, drivers.first(), probe, body) {
+                        if top_split {
+                            self.split_heads.push((head_pc, *extent));
+                        }
+                        return;
                     }
-                    return;
                 }
                 if top_split {
                     self.split_heads.push((head_pc, *extent));
@@ -845,10 +874,14 @@ impl Compiler<'_> {
     ///
     /// Conforming bodies contain only: guards that are conjunctions of
     /// comparisons over *outer* indices (loop-invariant after
-    /// hoisting), `let`s binding dense reads or the driver's value, and
-    /// assignments folding scalars / literals / dense reads / the
-    /// driver's value. Miss bookkeeping is unnecessary by construction:
-    /// the only sparse read allowed is the driver's, which cannot miss.
+    /// hoisting), `let`s binding dense reads, the driver's value, the
+    /// probed value, or random-access gathers, and assignments folding
+    /// scalars / literals / any of those loads. Drivers may walk a
+    /// compressed or run-length level; one extra tracked access at a
+    /// compressed level becomes the probed side of a two-way
+    /// intersection. Miss bookkeeping for probes and gathers uses the
+    /// per-coordinate flag described on [`VStep`].
+    #[allow(clippy::too_many_arguments)]
     fn try_vectorize(
         &mut self,
         idx: usize,
@@ -856,63 +889,135 @@ impl Compiler<'_> {
         lo: &[LBound],
         hi: &[LBound],
         driver: Option<&systec_exec::lowered::Advance>,
+        probe: Option<&systec_exec::lowered::Advance>,
         body: &LStmt,
     ) -> bool {
-        // A driver must walk a plain compressed level (run-length walks
-        // keep the general path).
         let driver_info = match driver {
             Some(d) => {
                 let tensor = self.program.accesses[d.access].tensor;
                 let SlotLayout::Sparse { formats } = &self.layouts[tensor] else {
                     return false;
                 };
-                if formats[d.level] != LevelFormat::Sparse {
+                let acc = VecAccess { access: d.access, level: d.level, tensor };
+                match formats[d.level] {
+                    LevelFormat::Sparse => Some((acc, false)),
+                    // Runs expand coordinate by coordinate; the probed
+                    // merge is only defined against a compressed driver.
+                    LevelFormat::RunLength if probe.is_none() => Some((acc, true)),
+                    _ => return false,
+                }
+            }
+            None if probe.is_some() => return false,
+            None => None,
+        };
+        // The probed side of an intersection must walk a compressed
+        // level (run-length and dense probes keep the general path).
+        let probe_info = match probe {
+            Some(p) => {
+                let tensor = self.program.accesses[p.access].tensor;
+                let SlotLayout::Sparse { formats } = &self.layouts[tensor] else {
+                    return false;
+                };
+                if formats[p.level] != LevelFormat::Sparse {
                     return false;
                 }
-                Some((d.access, d.level, tensor))
+                Some(VecAccess { access: p.access, level: p.level, tensor })
             }
             None => None,
+        };
+        let shape = VecShape {
+            driver: driver_info.map(|(a, _)| a),
+            rle: driver_info.is_some_and(|(_, rle)| rle),
+            probe: probe_info,
         };
 
         let mut builder =
             VecBuilder { items: Vec::new(), open_guard: Vec::new(), open_steps: Vec::new() };
-        let saved_temp = self.temp_next;
-        let ok = self.vec_stmt(body, idx, driver_info, &mut builder);
+        let saved = (self.temp_next, self.n_vec_items, self.n_vec_bases, self.n_vec_gathers);
+        let ok = self.vec_stmt(body, idx, shape, &mut builder);
+        let restore = |c: &mut Self| {
+            (c.temp_next, c.n_vec_items, c.n_vec_bases, c.n_vec_gathers) = saved;
+        };
         if !ok {
-            self.temp_next = saved_temp;
+            restore(self);
             return false;
         }
         builder.flush(self);
         if builder.items.is_empty() {
-            self.temp_next = saved_temp;
+            restore(self);
             return false;
         }
         let items: Box<[crate::bytecode::VItem]> = builder.items.into();
         let lo = self.bounds(lo);
         let hi = self.bounds(hi);
-        match driver_info {
-            Some((access, level, tensor)) => {
-                let parent = self.pos_base[access] + level;
-                self.emit(Instr::VecSparseLoop { tensor, level, idx, parent, lo, hi, items });
+        match (shape.driver, shape.probe) {
+            (Some(d), Some(p)) => {
+                let parent = self.pos_base[d.access] + d.level;
+                let probe_parent = self.pos_base[p.access] + p.level;
+                // The dominant body — one unguarded scalar accumulation
+                // of driver × probe — drops the step machinery entirely.
+                if let [item] = items.as_ref() {
+                    if item.guard.is_empty() {
+                        if let [VStep::LoadVal { dst: a, .. }, VStep::LoadProbe { dst: pb, set_miss: true, .. }, VStep::FoldScalar { slot, bin, op, srcs, check_miss: true }] =
+                            item.steps.as_ref()
+                        {
+                            if srcs.as_ref() == [*a, *pb] {
+                                self.emit(Instr::VecIsectDot {
+                                    tensor: d.tensor,
+                                    level: d.level,
+                                    idx,
+                                    parent,
+                                    probe_tensor: p.tensor,
+                                    probe_level: p.level,
+                                    probe_parent,
+                                    lo,
+                                    hi,
+                                    slot: *slot,
+                                    bin: *bin,
+                                    op: *op,
+                                });
+                                // The built items (and their scratch
+                                // ids) are dropped, not emitted.
+                                restore(self);
+                                return true;
+                            }
+                        }
+                    }
+                }
+                self.emit(Instr::VecIsectLoop {
+                    tensor: d.tensor,
+                    level: d.level,
+                    idx,
+                    parent,
+                    probe_tensor: p.tensor,
+                    probe_level: p.level,
+                    probe_parent,
+                    lo,
+                    hi,
+                    items,
+                });
             }
-            None => {
+            (Some(d), None) => {
+                let parent = self.pos_base[d.access] + d.level;
+                let (tensor, level) = (d.tensor, d.level);
+                if shape.rle {
+                    self.emit(Instr::VecRleLoop { tensor, level, idx, parent, lo, hi, items });
+                } else {
+                    self.emit(Instr::VecSparseLoop { tensor, level, idx, parent, lo, hi, items });
+                }
+            }
+            (None, _) => {
                 self.emit(Instr::VecDenseLoop { idx, extent, lo, hi, items });
             }
         }
-        self.temp_next = saved_temp;
+        self.temp_next = saved.0;
         true
     }
 
     /// Walks a vector-loop body, appending steps; `false` = bail.
-    fn vec_stmt(
-        &mut self,
-        stmt: &LStmt,
-        idx: usize,
-        driver: Option<(usize, usize, usize)>,
-        b: &mut VecBuilder,
-    ) -> bool {
+    fn vec_stmt(&mut self, stmt: &LStmt, idx: usize, shape: VecShape, b: &mut VecBuilder) -> bool {
         match stmt {
-            LStmt::Seq(ss) => ss.iter().all(|s| self.vec_stmt(s, idx, driver, b)),
+            LStmt::Seq(ss) => ss.iter().all(|s| self.vec_stmt(s, idx, shape, b)),
             LStmt::If { cond, body } => {
                 let mut conjuncts = Vec::new();
                 if !flatten_guard(cond, idx, &mut conjuncts) {
@@ -920,7 +1025,7 @@ impl Compiler<'_> {
                 }
                 let depth = b.open_guard.len();
                 b.push_guard(self, conjuncts);
-                let ok = self.vec_stmt(body, idx, driver, b);
+                let ok = self.vec_stmt(body, idx, shape, b);
                 b.pop_guard(self, depth);
                 ok
             }
@@ -931,30 +1036,33 @@ impl Compiler<'_> {
                         let canonical = self.alias[*src];
                         if !self.written[*slot] && !self.written[canonical] {
                             self.alias[*slot] = canonical;
-                            return self.vec_stmt(body, idx, driver, b);
+                            return self.vec_stmt(body, idx, shape, b);
                         }
                     }
                     return false;
                 }
                 if let Some(access) = skip_if_missing {
                     // Only a driver binding (which cannot miss) may carry
-                    // a skip guard.
+                    // a skip guard; a skip on the probed access would
+                    // need per-coordinate predication of the whole body.
                     let rank = self.program.accesses[*access].rank;
-                    if !(Some(*access) == driver.map(|(a, _, _)| a)
-                        && self.never_miss_leaf(*access, rank, driver))
+                    if !(Some(*access) == shape.driver.map(|d| d.access)
+                        && self.never_miss_leaf(*access, rank, shape.driver))
                     {
                         return false;
                     }
                 }
-                if !self.vec_load_into(value, *slot, idx, driver, b) {
+                if !self.vec_load_into(value, *slot, idx, shape, b, false, &mut false) {
                     return false;
                 }
-                self.vec_stmt(body, idx, driver, b)
+                self.vec_stmt(body, idx, shape, b)
             }
-            LStmt::Assign { target, op, rhs, can_miss: _ } => {
-                // Miss bookkeeping is vacuous here: every operand the
-                // vectorizer accepts is dense, scalar, literal, or the
-                // driver's (never-missing) value.
+            LStmt::Assign { target, op, rhs, can_miss } => {
+                // Operand loads that can actually miss (probes, gathers)
+                // raise the per-coordinate flag; the fold step then
+                // guards its store exactly like the interpreter's
+                // miss-checked assignment. Bodies without such operands
+                // keep the unguarded form (and its bulk counters).
                 let (bin, args): (systec_ir::BinOp, Vec<&LExpr>) = match rhs {
                     LExpr::Call { op: bin, args } if args.len() >= 2 => {
                         (*bin, args.iter().collect())
@@ -962,12 +1070,14 @@ impl Compiler<'_> {
                     simple => (systec_ir::BinOp::Add, vec![simple]),
                 };
                 let mut srcs = Vec::with_capacity(args.len());
+                let mut missable = false;
                 for a in args {
-                    match self.vec_operand(a, idx, driver, b) {
+                    match self.vec_operand(a, idx, shape, b, &mut missable) {
                         Some(r) => srcs.push(r),
                         None => return false,
                     }
                 }
+                let check_miss = *can_miss && missable;
                 match target {
                     LTarget::Output { tensor, modes } => {
                         let (base, stride) = self.split_terms(*tensor, modes, idx);
@@ -980,6 +1090,7 @@ impl Compiler<'_> {
                             bin,
                             op: *op,
                             srcs: srcs.into(),
+                            check_miss,
                         });
                         true
                     }
@@ -989,6 +1100,7 @@ impl Compiler<'_> {
                             bin,
                             op: *op,
                             srcs: srcs.into(),
+                            check_miss,
                         });
                         true
                     }
@@ -998,50 +1110,58 @@ impl Compiler<'_> {
         }
     }
 
-    fn never_miss_leaf(
-        &self,
-        access: usize,
-        rank: usize,
-        driver: Option<(usize, usize, usize)>,
-    ) -> bool {
+    fn never_miss_leaf(&self, access: usize, rank: usize, driver: Option<VecAccess>) -> bool {
         // Within the vectorized loop, the driver's own level is bound to
         // stored positions; outer levels carry the compile-time flags.
         match driver {
-            Some((d_access, d_level, _)) if d_access == access && d_level + 1 == rank => {
-                self.never_miss[access][d_level]
+            Some(d) if d.access == access && d.level + 1 == rank => {
+                self.never_miss[access][d.level]
             }
             _ => self.never_miss[access][rank],
         }
     }
 
     /// Returns the register an operand can be read from, emitting a load
-    /// step for dense / driver reads. `None` = not vectorizable.
+    /// step for dense / driver / probe / gather reads. `None` = not
+    /// vectorizable. Sets `missable` when the emitted load can raise
+    /// the per-coordinate miss flag.
     fn vec_operand(
         &mut self,
         e: &LExpr,
         idx: usize,
-        driver: Option<(usize, usize, usize)>,
+        shape: VecShape,
         b: &mut VecBuilder,
+        missable: &mut bool,
     ) -> Option<usize> {
         match e {
             LExpr::Scalar(slot) => Some(self.alias[*slot]),
             LExpr::Lit(v) => Some(self.const_reg(*v)),
-            LExpr::ReadDense { .. } | LExpr::ReadSparsePath { .. } => {
+            LExpr::ReadDense { .. }
+            | LExpr::ReadSparsePath { .. }
+            | LExpr::ReadSparseRandom { .. } => {
                 let t = self.alloc_temp();
-                self.vec_load_into(e, t, idx, driver, b).then_some(t)
+                self.vec_load_into(e, t, idx, shape, b, true, missable).then_some(t)
             }
             _ => None,
         }
     }
 
     /// Emits a load step binding `e` into `dst`. `false` = bail.
+    ///
+    /// `in_assign` distinguishes assignment operands (whose annihilator
+    /// misses must raise the per-coordinate flag) from `let` bindings
+    /// (whose misses are cleared before any assignment evaluates, as in
+    /// the interpreter).
+    #[allow(clippy::too_many_arguments)]
     fn vec_load_into(
         &mut self,
         e: &LExpr,
         dst: usize,
         idx: usize,
-        driver: Option<(usize, usize, usize)>,
+        shape: VecShape,
         b: &mut VecBuilder,
+        in_assign: bool,
+        missable: &mut bool,
     ) -> bool {
         match e {
             LExpr::ReadDense { tensor, modes } => {
@@ -1050,20 +1170,47 @@ impl Compiler<'_> {
                 b.open_steps.push(VStep::Load { dst, tensor: *tensor, id, base, stride });
                 true
             }
-            LExpr::ReadSparsePath { access, tensor, rank, annihilator: _ } => {
-                // Only the driver's leaf value can be read positionally.
-                match driver {
-                    Some((d_access, d_level, d_tensor))
-                        if d_access == *access
-                            && d_level + 1 == *rank
-                            && d_tensor == *tensor
-                            && self.never_miss[*access][d_level] =>
+            LExpr::ReadSparsePath { access, tensor, rank, annihilator } => {
+                // The driver's leaf value reads positionally; the probed
+                // access's leaf value reads through the intersection.
+                if let Some(d) = shape.driver {
+                    if d.access == *access
+                        && d.level + 1 == *rank
+                        && d.tensor == *tensor
+                        && self.never_miss[*access][d.level]
                     {
                         b.open_steps.push(VStep::LoadVal { dst, tensor: *tensor });
-                        true
+                        return true;
                     }
-                    _ => false,
                 }
+                if let Some(p) = shape.probe {
+                    if p.access == *access && p.level + 1 == *rank && p.tensor == *tensor {
+                        let set_miss = in_assign && *annihilator;
+                        *missable |= set_miss;
+                        b.open_steps.push(VStep::LoadProbe { dst, tensor: *tensor, set_miss });
+                        return true;
+                    }
+                }
+                false
+            }
+            LExpr::ReadSparseRandom { tensor, modes, annihilator } => {
+                // The gather's prefix path is loop-invariant exactly when
+                // the loop index appears only as the leaf subscript.
+                let leaf_only = modes
+                    .split_last()
+                    .is_some_and(|(last, prefix)| *last == idx && prefix.iter().all(|&m| m != idx));
+                let set_miss = in_assign && *annihilator;
+                *missable |= set_miss;
+                let id = self.alloc_vec_gather();
+                b.open_steps.push(VStep::LoadGather {
+                    dst,
+                    tensor: *tensor,
+                    id,
+                    modes: modes.iter().copied().collect(),
+                    leaf_only,
+                    set_miss,
+                });
+                true
             }
             _ => false,
         }
@@ -1091,6 +1238,11 @@ impl Compiler<'_> {
     fn alloc_vec_item(&mut self) -> usize {
         self.n_vec_items += 1;
         self.n_vec_items - 1
+    }
+
+    fn alloc_vec_gather(&mut self) -> usize {
+        self.n_vec_gathers += 1;
+        self.n_vec_gathers - 1
     }
 
     /// Compiles `e` and returns the register holding its value. Plain

@@ -21,6 +21,17 @@
 
 use systec_exec::CounterBank;
 
+/// Per-vector-loop gather state: the invariant prefix position a
+/// leaf-varying `LoadGather` resolved at loop entry (or the miss
+/// sentinel), and the monotone merge cursor into the leaf fiber.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Gather {
+    /// Position after descending the invariant prefix levels.
+    pub prefix: usize,
+    /// Absolute position of the leaf-level gallop cursor.
+    pub cursor: usize,
+}
+
 /// Per-worker execution state: register files, vector-loop scratch, a
 /// counter bank, and private reduction buffers.
 #[derive(Clone, Debug, Default)]
@@ -33,6 +44,8 @@ pub(crate) struct Bank {
     pub vec_pass: Vec<bool>,
     /// Vector-loop cached base offsets.
     pub vec_bases: Vec<usize>,
+    /// Vector-loop gather cursors (probe state for `LoadGather` steps).
+    pub gathers: Vec<Gather>,
     /// This worker's work counters.
     pub counters: CounterBank,
     /// Private buffers for reduction-merged outputs, by reduced-output

@@ -14,6 +14,15 @@
 //!   specialized for its driver's [`systec_tensor::LevelFormat`]: a
 //!   counted dense loop, a compressed `pos`/`crd` walk with the lifted
 //!   bounds applied by one binary search at entry, or a run-length walk.
+//! * **Vectorized innermost loops** — conforming innermost loops
+//!   collapse into single vector-loop instructions with bulk counter
+//!   accounting: counted loops, compressed and run-length drivers,
+//!   two-way sparse–sparse intersections (a galloping merge replaces
+//!   the per-step probe binary search; the dominant
+//!   `acc op= bin(driver, probe)` body fuses further into a
+//!   register-free dot loop — SSYRK's hot path), and random-access
+//!   gather operands (leaf-varying gathers cache their invariant prefix
+//!   path and advance a monotone cursor).
 //! * **Hoisted branches** — residual conditionals become explicit
 //!   compare-and-jump chains between basic blocks; loop bounds are
 //!   evaluated once at loop entry.
@@ -416,6 +425,147 @@ mod tests {
         );
         let (out, _) = both(&prog, &inputs);
         assert_eq!(out["s"].get(&[]), 1101.0);
+    }
+
+    /// Compiles a program and returns its disassembly (selection tests).
+    fn disassembly(prog: &Stmt, inputs: &HashMap<String, Tensor>) -> String {
+        let hoisted = hoist_conditions(prog.clone());
+        let outputs_init = alloc_outputs(&hoisted, inputs).unwrap();
+        let lowered = lower(&hoisted, inputs, &outputs_init).unwrap();
+        CompiledKernel::compile(&lowered, inputs, &outputs_init).unwrap().disassemble()
+    }
+
+    fn rle_matrix(n: usize) -> Tensor {
+        let mut coo = CooTensor::new(vec![n, n]);
+        for i in 0..n {
+            for j in 1..4 {
+                coo.push(&[i, j], 2.0);
+            }
+        }
+        Tensor::Sparse(
+            SparseTensor::from_coo(&coo, &[LevelFormat::Dense, LevelFormat::RunLength]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn intersection_loops_vectorize() {
+        // Two compressed fibers co-iterating: the general item form for
+        // an output-addressed body, the fused dot form for the scalar
+        // accumulation (and correctness of both via `both`).
+        let isect = Stmt::loops(
+            [idx("i"), idx("j"), idx("k")],
+            assign(
+                access("C", ["i", "j"]),
+                mul([access("A", ["i", "k"]), access("B", ["j", "k"])]),
+            ),
+        );
+        let mut inputs = HashMap::new();
+        inputs.insert("A".to_string(), csr(&[(0, 1, 2.0), (1, 0, 3.0), (1, 1, 5.0)], 3));
+        inputs.insert("B".to_string(), csr(&[(0, 1, 7.0), (2, 0, 1.0), (2, 1, 2.0)], 3));
+        let dis = disassembly(&isect, &inputs);
+        assert!(dis.contains("VecIsectLoop"), "output-addressed intersection:\n{dis}");
+        let (out, c) = both(&isect, &inputs);
+        // Row 1 of A ∩ row 2 of B share columns {0, 1}.
+        assert_eq!(out["C"].get(&[1, 2]), 3.0 * 1.0 + 5.0 * 2.0);
+        // Hits per (i, j) pair: (0,0)→{1}, (0,2)→{1}, (1,0)→{1},
+        // (1,2)→{0,1}; B's empty row 1 and A's empty row 2 contribute
+        // none.
+        assert_eq!(c.reads_of("B"), 5, "probe reads count only on hits");
+
+        let dot = Stmt::loops(
+            [idx("i"), idx("j")],
+            Stmt::Workspace {
+                name: "w".into(),
+                init: 0.0,
+                body: Box::new(Stmt::block([
+                    Stmt::loops(
+                        [idx("k")],
+                        Stmt::Assign {
+                            lhs: systec_ir::Lhs::Scalar("w".into()),
+                            op: AssignOp::Add,
+                            rhs: mul([access("A", ["i", "k"]), access("B", ["j", "k"])]),
+                        },
+                    ),
+                    assign(access("C", ["i", "j"]), scalar("w")),
+                ])),
+            },
+        );
+        let dis = disassembly(&dot, &inputs);
+        assert!(dis.contains("VecIsectDot"), "scalar accumulation fuses to the dot loop:\n{dis}");
+        let (out, _) = both(&dot, &inputs);
+        assert_eq!(out["C"].get(&[1, 2]), 3.0 * 1.0 + 5.0 * 2.0);
+    }
+
+    #[test]
+    fn rle_driver_vectorizes() {
+        let prog = Stmt::loops(
+            [idx("i"), idx("j")],
+            assign(access("y", ["i"]), mul([access("A", ["i", "j"]), access("x", ["j"])])),
+        );
+        let mut inputs = HashMap::new();
+        inputs.insert("A".to_string(), rle_matrix(5));
+        inputs.insert("x".to_string(), dense_vec(&[1.0, 10.0, 100.0, 1000.0, 0.5]));
+        let dis = disassembly(&prog, &inputs);
+        assert!(dis.contains("VecRleLoop"), "run-length driver loop vectorizes:\n{dis}");
+        let (out, c) = both(&prog, &inputs);
+        assert_eq!(out["y"].get(&[0]), 2.0 * (10.0 + 100.0 + 1000.0));
+        assert_eq!(c.reads_of("A"), 15, "one driver read per covered coordinate");
+    }
+
+    #[test]
+    fn random_access_gather_vectorizes() {
+        // B[j, i] binds j (mode 0) at the inner loop: a discordant read
+        // that previously forced the whole loop onto general dispatch.
+        let prog = Stmt::loops(
+            [idx("i"), idx("j")],
+            assign(access("y", ["i"]), mul([access("A", ["i", "j"]), access("B", ["j", "i"])])),
+        );
+        let mut inputs = HashMap::new();
+        inputs.insert("A".to_string(), csr(&[(0, 1, 2.0), (2, 2, 4.0)], 3));
+        inputs.insert("B".to_string(), csr(&[(1, 0, 10.0), (2, 1, 7.0)], 3));
+        let dis = disassembly(&prog, &inputs);
+        assert!(dis.contains("LoadGather"), "random reads gather inside the vector loop:\n{dis}");
+        let (out, c) = both(&prog, &inputs);
+        assert_eq!(out["y"].get(&[0]), 2.0 * 10.0);
+        assert_eq!(out["y"].get(&[2]), 0.0, "B[2, 2] is unstored: the store annihilates");
+        assert_eq!(c.reads_of("B"), 1, "gather reads count only on hits");
+    }
+
+    #[test]
+    fn leaf_varying_gather_uses_invariant_prefix() {
+        // s[] += A[k, i, j] * x[j] under loops (i, k, j): mode 0 binds
+        // second (discordant), and only the leaf subscript varies in the
+        // innermost loop — the gallop-cursor fast path.
+        let prog = Stmt::loops(
+            [idx("i"), idx("k"), idx("j")],
+            assign(
+                access("s", [] as [&str; 0]),
+                mul([access("A", ["k", "i", "j"]), access("x", ["j"])]),
+            ),
+        );
+        let mut coo = CooTensor::new(vec![3, 3, 3]);
+        coo.push(&[0, 1, 0], 2.0);
+        coo.push(&[0, 1, 2], 3.0);
+        coo.push(&[2, 0, 1], 5.0);
+        let mut inputs = HashMap::new();
+        inputs.insert(
+            "A".to_string(),
+            Tensor::Sparse(
+                SparseTensor::from_coo(
+                    &coo,
+                    &[LevelFormat::Dense, LevelFormat::Sparse, LevelFormat::Sparse],
+                )
+                .unwrap(),
+            ),
+        );
+        inputs.insert("x".to_string(), dense_vec(&[1.0, 10.0, 100.0]));
+        let dis = disassembly(&prog, &inputs);
+        assert!(
+            dis.contains("leaf_only: true"),
+            "leaf-varying gathers must take the cached-prefix path:\n{dis}"
+        );
+        let (out, _) = both(&prog, &inputs);
+        assert_eq!(out["s"].get(&[]), 2.0 * 1.0 + 3.0 * 100.0 + 5.0 * 10.0);
     }
 
     #[test]

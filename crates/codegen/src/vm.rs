@@ -42,7 +42,7 @@ use systec_ir::AssignOp;
 use systec_tensor::{DenseTensor, LevelView, Tensor};
 
 use crate::bytecode::{Bound, BytecodeProgram, Instr, ParOut, SplitInfo, Term, VItem, VStep, MISS};
-use crate::context::{Bank, ExecContext};
+use crate::context::{Bank, ExecContext, Gather};
 use crate::Parallelism;
 
 /// Inline capacity for per-slot binding tables.
@@ -175,11 +175,13 @@ fn offset(u: &[usize], terms: &[Term]) -> usize {
 }
 
 /// Evaluates vector-loop guards, caches the loop-invariant base
-/// offsets, and accounts the loop's counters in bulk: every step of a
-/// passing item executes exactly once per coordinate, so its counter
-/// contribution is a per-iteration constant times the iteration count —
-/// identical totals to bumping inside the loop, with no hot-loop
-/// counter traffic.
+/// offsets, and accounts the loop's *invariant* counters in bulk: every
+/// step of a passing item executes exactly once per coordinate, so its
+/// invariant counter contribution is a per-iteration constant times the
+/// iteration count — identical totals to bumping inside the loop, with
+/// no hot-loop counter traffic. Hit-dependent contributions (probe and
+/// gather reads, the store side of miss-checked folds) are counted by
+/// [`VecRun::exec_coord`] instead.
 #[allow(clippy::too_many_arguments)]
 fn vec_prepare(
     items: &[VItem],
@@ -206,14 +208,24 @@ fn vec_prepare(
                 VStep::LoadVal { tensor, .. } => {
                     reads[*tensor] += iters;
                 }
-                VStep::FoldOut { tensor: _, id, base, op, srcs, .. } => {
+                // Probe / gather reads count only on a hit.
+                VStep::LoadProbe { .. } | VStep::LoadGather { .. } => {}
+                VStep::FoldOut { tensor: _, id, base, op, srcs, check_miss, .. } => {
                     bases[*id] = offset(u, base);
-                    let per_iter = (srcs.len() as u64 - 1) + u64::from(*op != AssignOp::Overwrite);
+                    // The fold always evaluates; with check_miss the
+                    // store (write + reduce flop) is hit-dependent.
+                    let mut per_iter = srcs.len() as u64 - 1;
+                    if !*check_miss {
+                        per_iter += u64::from(*op != AssignOp::Overwrite);
+                        *writes += iters;
+                    }
                     *flops += per_iter * iters;
-                    *writes += iters;
                 }
-                VStep::FoldScalar { op, srcs, .. } => {
-                    let per_iter = (srcs.len() as u64 - 1) + u64::from(*op != AssignOp::Overwrite);
+                VStep::FoldScalar { op, srcs, check_miss, .. } => {
+                    let mut per_iter = srcs.len() as u64 - 1;
+                    if !*check_miss {
+                        per_iter += u64::from(*op != AssignOp::Overwrite);
+                    }
                     *flops += per_iter * iters;
                 }
             }
@@ -238,46 +250,195 @@ fn fold(bin: &systec_ir::BinOp, srcs: &[usize], f: &[f64]) -> f64 {
     }
 }
 
-/// Executes the passing items of a vector loop for one coordinate.
-/// Counters were accounted in bulk by [`vec_prepare`].
-#[allow(clippy::too_many_arguments)]
-#[inline]
-fn vec_exec_items(
-    items: &[VItem],
-    coord: usize,
-    leaf: Option<(&[f64], usize)>,
-    pass: &[bool],
-    bases: &[usize],
-    f: &mut [f64],
-    dense: &[&[f64]],
-    outs: &mut [Option<OutBind<'_>>],
-    out_ordinal: &[usize],
-) {
-    for item in items {
-        if !pass[item.id] {
-            continue;
+/// Per-vector-loop execution state: the body items with their
+/// precomputed guard outcomes and bases, every binding table the steps
+/// touch, and the hit-dependent counter accumulators ([`vec_prepare`]
+/// bulk-counts only the invariant contributions).
+struct VecRun<'r, 'a, 'o> {
+    items: &'r [VItem],
+    idx: usize,
+    pass: &'r [bool],
+    bases: &'r [usize],
+    gathers: &'r mut [Gather],
+    u: &'r mut [usize],
+    f: &'r mut [f64],
+    dense: &'r [&'a [f64]],
+    vals: &'r [&'a [f64]],
+    levels: &'r [Option<LevelView<'a>>],
+    lvl_base: &'r [usize],
+    outs: &'r mut [Option<OutBind<'o>>],
+    oo: &'r [usize],
+    reads: &'r mut [u64],
+    /// Hit-dependent flop / write counts, folded into the program
+    /// totals when the loop instruction finishes.
+    flops: u64,
+    writes: u64,
+    /// The per-coordinate miss flag (see [`VStep`]).
+    miss: bool,
+}
+
+impl<'a> VecRun<'_, 'a, '_> {
+    /// Resolves the invariant prefix position (and leaf gallop cursor)
+    /// of every leaf-varying gather once per loop entry.
+    fn init_gathers(&mut self) {
+        if self.gathers.is_empty() {
+            // No gathers anywhere in the plan (all eight paper
+            // kernels): skip the step scan on every loop entry.
+            return;
         }
-        for step in item.steps.iter() {
-            match step {
-                VStep::Load { dst, tensor, id, stride, .. } => {
-                    f[*dst] = dense[*tensor][bases[*id] + coord * stride];
+        let items = self.items;
+        for item in items {
+            if !self.pass[item.id] {
+                continue;
+            }
+            for step in item.steps.iter() {
+                let VStep::LoadGather { tensor, id, modes, leaf_only: true, .. } = step else {
+                    continue;
+                };
+                let (_, prefix_modes) = modes.split_last().expect("leaf gathers have modes");
+                let mut p = 0usize;
+                for (lv, &m) in prefix_modes.iter().enumerate() {
+                    match level(self.levels, self.lvl_base, *tensor, lv).find(p, self.u[m]) {
+                        Some(next) => p = next,
+                        None => {
+                            p = MISS;
+                            break;
+                        }
+                    }
                 }
-                VStep::LoadVal { dst, .. } => {
-                    let (vals, pos) = leaf.expect("driver value in a driven vector loop");
-                    f[*dst] = vals[pos];
-                }
-                VStep::FoldOut { tensor, id, stride, bin, op, srcs, .. } => {
-                    let v = fold(bin, srcs, f);
-                    let off = bases[*id] + coord * stride;
-                    let ob = outs[out_ordinal[*tensor]].as_mut().expect("output bound");
-                    let cell = &mut ob.data[off - ob.base];
-                    *cell = op.apply(*cell, v);
-                }
-                VStep::FoldScalar { slot, bin, op, srcs } => {
-                    let v = fold(bin, srcs, f);
-                    f[*slot] = op.apply(f[*slot], v);
+                let cursor = if p == MISS {
+                    0
+                } else {
+                    match level(self.levels, self.lvl_base, *tensor, modes.len() - 1) {
+                        LevelView::Sparse { pos, .. } => pos[p],
+                        _ => 0,
+                    }
+                };
+                self.gathers[*id] = Gather { prefix: p, cursor };
+            }
+        }
+    }
+
+    /// Executes the passing items for one coordinate. `leaf` carries the
+    /// driver's value position, `probe` the probed fiber's match (if the
+    /// loop intersects two fibers).
+    #[inline]
+    fn exec_coord(
+        &mut self,
+        coord: usize,
+        leaf: Option<(&'a [f64], usize)>,
+        probe: Option<(&'a [f64], Option<usize>)>,
+    ) {
+        self.u[self.idx] = coord;
+        self.miss = false;
+        let items = self.items;
+        for item in items {
+            if !self.pass[item.id] {
+                continue;
+            }
+            for step in item.steps.iter() {
+                match step {
+                    VStep::Load { dst, tensor, id, stride, .. } => {
+                        self.f[*dst] = self.dense[*tensor][self.bases[*id] + coord * stride];
+                    }
+                    VStep::LoadVal { dst, .. } => {
+                        let (vals, pos) = leaf.expect("driver value in a driven vector loop");
+                        self.f[*dst] = vals[pos];
+                    }
+                    VStep::LoadProbe { dst, tensor, set_miss } => {
+                        let (pvals, pmatch) = probe.expect("probe value in an intersection loop");
+                        match pmatch {
+                            Some(pos) => {
+                                self.f[*dst] = pvals[pos];
+                                self.reads[*tensor] += 1;
+                            }
+                            None => {
+                                self.f[*dst] = 0.0;
+                                self.miss |= *set_miss;
+                            }
+                        }
+                    }
+                    VStep::LoadGather { dst, tensor, id, modes, leaf_only, set_miss } => {
+                        match self.gather(*tensor, *id, modes, *leaf_only, coord) {
+                            Some(pos) => {
+                                self.f[*dst] = self.vals[*tensor][pos];
+                                self.reads[*tensor] += 1;
+                            }
+                            None => {
+                                self.f[*dst] = 0.0;
+                                self.miss |= *set_miss;
+                            }
+                        }
+                    }
+                    VStep::FoldOut { tensor, id, stride, bin, op, srcs, check_miss, .. } => {
+                        let v = fold(bin, srcs, self.f);
+                        if !(*check_miss && self.miss) {
+                            let off = self.bases[*id] + coord * stride;
+                            let ob = self.outs[self.oo[*tensor]].as_mut().expect("output bound");
+                            let cell = &mut ob.data[off - ob.base];
+                            *cell = op.apply(*cell, v);
+                            if *check_miss {
+                                self.writes += 1;
+                                if *op != AssignOp::Overwrite {
+                                    self.flops += 1;
+                                }
+                            }
+                        }
+                        self.miss = false;
+                    }
+                    VStep::FoldScalar { slot, bin, op, srcs, check_miss } => {
+                        let v = fold(bin, srcs, self.f);
+                        if !(*check_miss && self.miss) {
+                            self.f[*slot] = op.apply(self.f[*slot], v);
+                            if *check_miss && *op != AssignOp::Overwrite {
+                                self.flops += 1;
+                            }
+                        }
+                        self.miss = false;
+                    }
                 }
             }
+        }
+    }
+
+    /// Resolves a gather at `coord`: the cached-prefix gallop for
+    /// leaf-varying gathers, a full per-level search otherwise.
+    #[inline]
+    fn gather(
+        &mut self,
+        tensor: usize,
+        id: usize,
+        modes: &[usize],
+        leaf_only: bool,
+        coord: usize,
+    ) -> Option<usize> {
+        if leaf_only {
+            let g = &mut self.gathers[id];
+            if g.prefix == MISS {
+                return None;
+            }
+            match level(self.levels, self.lvl_base, tensor, modes.len() - 1) {
+                LevelView::Sparse { pos, crd, .. } => {
+                    // Coordinates are monotone within the loop, so the
+                    // cursor only moves forward; the remainder search
+                    // gallops past gaps in one partition_point.
+                    let end = pos[g.prefix + 1];
+                    if g.cursor < end && crd[g.cursor] < coord {
+                        g.cursor += crd[g.cursor..end].partition_point(|&c| c < coord);
+                    }
+                    (g.cursor < end && crd[g.cursor] == coord).then_some(g.cursor)
+                }
+                view => view.find(g.prefix, coord),
+            }
+        } else {
+            let mut p = 0usize;
+            for (lv, &m) in modes.iter().enumerate() {
+                match level(self.levels, self.lvl_base, tensor, lv).find(p, self.u[m]) {
+                    Some(next) => p = next,
+                    None => return None,
+                }
+            }
+            Some(p)
         }
     }
 }
@@ -320,6 +481,7 @@ fn run_range<'a>(
     f: &mut Vec<f64>,
     vec_pass: &mut Vec<bool>,
     vec_bases: &mut Vec<usize>,
+    gathers: &mut Vec<Gather>,
     counters: &mut CounterBank,
     chunk: Option<Chunk<'_>>,
 ) {
@@ -332,10 +494,13 @@ fn run_range<'a>(
     vec_pass.resize(program.n_vec_items, false);
     vec_bases.clear();
     vec_bases.resize(program.n_vec_bases, 0);
+    gathers.clear();
+    gathers.resize(program.n_vec_gathers, Gather::default());
     let u = u.as_mut_slice();
     let f = f.as_mut_slice();
     let vec_pass = vec_pass.as_mut_slice();
     let vec_bases = vec_bases.as_mut_slice();
+    let gathers = gathers.as_mut_slice();
     let mut fibers_t: Scratch<Fiber<'a>, MAX_CACHES> = Scratch::new(program.n_caches);
     let fibers = fibers_t.as_mut_slice();
     let lvl_base = program.level_base.as_slice();
@@ -346,6 +511,33 @@ fn run_range<'a>(
     let mut flops = 0u64;
     let mut writes = 0u64;
     let mut iterations = 0u64;
+
+    /// Builds the per-loop [`VecRun`] over this function's binding
+    /// tables and scratch (one point of truth for the field set; the
+    /// free identifiers resolve to the locals above).
+    macro_rules! vec_run {
+        ($items:expr, $idx:expr) => {
+            VecRun {
+                items: $items,
+                idx: $idx,
+                pass: vec_pass,
+                bases: vec_bases,
+                gathers: &mut *gathers,
+                u: &mut *u,
+                f: &mut *f,
+                dense,
+                vals,
+                levels,
+                lvl_base,
+                outs: &mut *outs,
+                oo,
+                reads: &mut reads[..],
+                flops: 0,
+                writes: 0,
+                miss: false,
+            }
+        };
+    }
 
     let instrs = &program.instrs;
     let mut pc = 0usize;
@@ -722,10 +914,13 @@ fn run_range<'a>(
                         &mut flops,
                         &mut writes,
                     );
+                    let mut vr = vec_run!(items, *idx);
+                    vr.init_gathers();
                     for j in lo_v as usize..=hi_v as usize {
-                        u[*idx] = j;
-                        vec_exec_items(items, j, None, vec_pass, vec_bases, f, dense, outs, oo);
+                        vr.exec_coord(j, None, None);
                     }
+                    flops += vr.flops;
+                    writes += vr.writes;
                 }
                 pc += 1;
             }
@@ -757,19 +952,219 @@ fn run_range<'a>(
                             &mut writes,
                         );
                         let tvals = vals[*tensor];
-                        for (pos, &coord) in crd.iter().enumerate().take(stop).skip(start) {
-                            u[*idx] = coord;
-                            vec_exec_items(
+                        let mut vr = vec_run!(items, *idx);
+                        vr.init_gathers();
+                        for (posn, &coord) in crd.iter().enumerate().take(stop).skip(start) {
+                            vr.exec_coord(coord, Some((tvals, posn)), None);
+                        }
+                        flops += vr.flops;
+                        writes += vr.writes;
+                    }
+                }
+                pc += 1;
+            }
+            Instr::VecRleLoop { tensor, level: lv, idx, parent, lo, hi, items } => {
+                let p = u[*parent];
+                if p != MISS {
+                    let (mut lo_v, mut hi_v) = clamp_bounds(u, lo, hi, i64::MAX);
+                    clamp_to_chunk(chunk, pc, &mut lo_v, &mut hi_v);
+                    if lo_v <= hi_v {
+                        let LevelView::RunLength { pos, run_start, run_end, .. } =
+                            level(levels, lvl_base, *tensor, *lv)
+                        else {
+                            unreachable!("vector rle loop over a non-rle level");
+                        };
+                        let begin = pos[p];
+                        let stop = pos[p + 1];
+                        let start =
+                            begin + run_end[begin..stop].partition_point(|&c| (c as i64) < lo_v);
+                        let (lo_u, hi_u) = (lo_v as usize, hi_v as usize);
+                        // Pass 1: the covered coordinate count, so the
+                        // bulk accounting matches the general walk.
+                        let mut iters = 0u64;
+                        for r in start..stop {
+                            let c_lo = run_start[r].max(lo_u);
+                            if c_lo > hi_u {
+                                break;
+                            }
+                            iters += (run_end[r].min(hi_u) - c_lo + 1) as u64;
+                        }
+                        if iters > 0 {
+                            iterations += iters;
+                            vec_prepare(
                                 items,
-                                coord,
-                                Some((tvals, pos)),
+                                u,
+                                iters,
                                 vec_pass,
                                 vec_bases,
-                                f,
-                                dense,
-                                outs,
-                                oo,
+                                reads,
+                                &mut flops,
+                                &mut writes,
                             );
+                            let tvals = vals[*tensor];
+                            let mut vr = vec_run!(items, *idx);
+                            vr.init_gathers();
+                            // Pass 2: expand each run into strided body
+                            // applications at its constant value slot.
+                            for r in start..stop {
+                                let c_lo = run_start[r].max(lo_u);
+                                if c_lo > hi_u {
+                                    break;
+                                }
+                                let c_hi = run_end[r].min(hi_u);
+                                for c in c_lo..=c_hi {
+                                    vr.exec_coord(c, Some((tvals, r)), None);
+                                }
+                            }
+                            flops += vr.flops;
+                            writes += vr.writes;
+                        }
+                    }
+                }
+                pc += 1;
+            }
+            Instr::VecIsectLoop {
+                tensor,
+                level: lv,
+                idx,
+                parent,
+                probe_tensor,
+                probe_level,
+                probe_parent,
+                lo,
+                hi,
+                items,
+            } => {
+                let p = u[*parent];
+                if p != MISS {
+                    let LevelView::Sparse { pos, crd, .. } = level(levels, lvl_base, *tensor, *lv)
+                    else {
+                        unreachable!("vector intersection loop over a non-sparse level");
+                    };
+                    let (mut lo_v, mut hi_v) = clamp_bounds(u, lo, hi, i64::MAX);
+                    clamp_to_chunk(chunk, pc, &mut lo_v, &mut hi_v);
+                    let begin = pos[p];
+                    let fiber_end = pos[p + 1];
+                    let slice = &crd[begin..fiber_end];
+                    let start = begin + slice.partition_point(|&c| (c as i64) < lo_v);
+                    let stop = begin + slice.partition_point(|&c| (c as i64) <= hi_v);
+                    if start < stop {
+                        let iters = (stop - start) as u64;
+                        iterations += iters;
+                        vec_prepare(
+                            items,
+                            u,
+                            iters,
+                            vec_pass,
+                            vec_bases,
+                            reads,
+                            &mut flops,
+                            &mut writes,
+                        );
+                        // The probed fiber: empty when its own path
+                        // prefix is unstored (every probe misses, but
+                        // the driver still iterates, as in the
+                        // interpreter).
+                        let pb = u[*probe_parent];
+                        let (bvals, bcrd, mut bcur, bend) = if pb == MISS {
+                            (&[][..], &[][..], 0usize, 0usize)
+                        } else {
+                            let LevelView::Sparse { pos: bpos, crd: bcrd, .. } =
+                                level(levels, lvl_base, *probe_tensor, *probe_level)
+                            else {
+                                unreachable!("probed side of an intersection is compressed");
+                            };
+                            (vals[*probe_tensor], bcrd, bpos[pb], bpos[pb + 1])
+                        };
+                        let tvals = vals[*tensor];
+                        let mut vr = vec_run!(items, *idx);
+                        vr.init_gathers();
+                        // Galloping merge: both coordinate lists are
+                        // sorted, so the probe cursor only moves
+                        // forward; the remainder search skips gaps in
+                        // one partition_point instead of the general
+                        // path's full-fiber binary search per step.
+                        for (posa, &c) in crd.iter().enumerate().take(stop).skip(start) {
+                            if bcur < bend && bcrd[bcur] < c {
+                                bcur += bcrd[bcur..bend].partition_point(|&x| x < c);
+                            }
+                            let pmatch = (bcur < bend && bcrd[bcur] == c).then_some(bcur);
+                            vr.exec_coord(c, Some((tvals, posa)), Some((bvals, pmatch)));
+                        }
+                        flops += vr.flops;
+                        writes += vr.writes;
+                    }
+                }
+                pc += 1;
+            }
+            Instr::VecIsectDot {
+                tensor,
+                level: lv,
+                idx,
+                parent,
+                probe_tensor,
+                probe_level,
+                probe_parent,
+                lo,
+                hi,
+                slot,
+                bin,
+                op,
+            } => {
+                let p = u[*parent];
+                if p != MISS {
+                    let LevelView::Sparse { pos, crd, .. } = level(levels, lvl_base, *tensor, *lv)
+                    else {
+                        unreachable!("vector intersection loop over a non-sparse level");
+                    };
+                    let (mut lo_v, mut hi_v) = clamp_bounds(u, lo, hi, i64::MAX);
+                    clamp_to_chunk(chunk, pc, &mut lo_v, &mut hi_v);
+                    let begin = pos[p];
+                    let fiber_end = pos[p + 1];
+                    let slice = &crd[begin..fiber_end];
+                    let start = begin + slice.partition_point(|&c| (c as i64) < lo_v);
+                    let stop = begin + slice.partition_point(|&c| (c as i64) <= hi_v);
+                    if start < stop {
+                        // Per driver coordinate: one iteration, one
+                        // driver read, one fold flop (the bin applies
+                        // even on a miss in the general path — its
+                        // result is simply unused, so the merge skips
+                        // computing it without changing any state).
+                        let iters = (stop - start) as u64;
+                        iterations += iters;
+                        reads[*tensor] += iters;
+                        flops += iters;
+                        let pb = u[*probe_parent];
+                        let mut acc = f[*slot];
+                        let mut hits = 0u64;
+                        if pb != MISS {
+                            let LevelView::Sparse { pos: bpos, crd: bcrd, .. } =
+                                level(levels, lvl_base, *probe_tensor, *probe_level)
+                            else {
+                                unreachable!("probed side of an intersection is compressed");
+                            };
+                            let tvals = vals[*tensor];
+                            let bvals = vals[*probe_tensor];
+                            let bend = bpos[pb + 1];
+                            let mut bcur = bpos[pb];
+                            for posa in start..stop {
+                                let c = crd[posa];
+                                if bcur < bend && bcrd[bcur] < c {
+                                    bcur += bcrd[bcur..bend].partition_point(|&x| x < c);
+                                }
+                                if bcur < bend && bcrd[bcur] == c {
+                                    acc = op.apply(acc, bin.apply(tvals[posa], bvals[bcur]));
+                                    hits += 1;
+                                }
+                            }
+                        }
+                        f[*slot] = acc;
+                        u[*idx] = crd[stop - 1];
+                        // Per hit: one probe read and (for reducing
+                        // ops) the reduce flop of the guarded store.
+                        reads[*probe_tensor] += hits;
+                        if *op != AssignOp::Overwrite {
+                            flops += hits;
                         }
                     }
                 }
@@ -859,9 +1254,10 @@ pub(crate) fn execute(
         None => {
             let bank = &mut ctx.banks(1)[0];
             bank.counters.reset(n_slots);
-            let Bank { u, f, vec_pass, vec_bases, counters, .. } = bank;
+            let Bank { u, f, vec_pass, vec_bases, gathers, counters, .. } = bank;
             run_range(
-                program, dense, vals, levels, outs, u, f, vec_pass, vec_bases, counters, None,
+                program, dense, vals, levels, outs, u, f, vec_pass, vec_bases, gathers, counters,
+                None,
             );
             bank.counters.write_to(program.tensors.iter().map(|t| t.name.as_str()), out_counters);
         }
@@ -957,7 +1353,7 @@ fn run_parallel<'a>(
                     let identity = op.identity().expect("reduced outputs use reducing ops");
                     bank.reset_reduce(r, len, identity);
                 }
-                let Bank { u, f, vec_pass, vec_bases, counters, reduce } = bank;
+                let Bank { u, f, vec_pass, vec_bases, gathers, counters, reduce } = bank;
                 for (k, owned) in chunks {
                     let mut outs_t: OutTable<'_, MAX_OUTS> = OutTable::new(program.n_outputs);
                     let w_outs = outs_t.as_mut_slice();
@@ -978,6 +1374,7 @@ fn run_parallel<'a>(
                         f,
                         vec_pass,
                         vec_bases,
+                        gathers,
                         counters,
                         Some(chunk),
                     );

@@ -342,6 +342,138 @@ fn symmetric_compiled_kernels_agree_on_both_backends() {
 }
 
 #[test]
+fn sparse_sparse_intersection_matches_reference() {
+    // `C[i, j] += A[i, k] * B[j, k]` — the SSYRK probe shape over two
+    // distinct tensors. Compressed×compressed leaf pairs compile to the
+    // two-way intersection vector loop; every other ladder pair keeps
+    // the general probed walk. Both must match the interpreter with
+    // exact counters.
+    for (ka, fa) in MATRIX_FORMATS.iter().enumerate() {
+        for (kb, fb) in MATRIX_FORMATS.iter().enumerate() {
+            for seed in 0..2u64 {
+                let mut r = StdRng::seed_from_u64(8000 + 100 * ka as u64 + 10 * kb as u64 + seed);
+                let n = r.gen_range(3usize..9);
+                let einsum = Einsum::new(
+                    access("C", ["i", "j"]),
+                    AssignOp::Add,
+                    mul([access("A", ["i", "k"]), access("B", ["j", "k"])]),
+                    [idx("i"), idx("j"), idx("k")],
+                );
+                let mut inputs = HashMap::new();
+                inputs.insert("A".to_string(), random_matrix(n, n + 3, fa, &mut r));
+                inputs.insert("B".to_string(), random_matrix(n, n + 3, fb, &mut r));
+                let label = format!("isect a={fa:?} b={fb:?} seed={seed}");
+                let (out, _) = run_both(&einsum.naive_program(), &inputs, &label);
+                let expected = reference_einsum(&einsum, &inputs).unwrap();
+                assert!(out["C"].max_abs_diff(&expected).unwrap() < TOL, "{label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn self_intersection_with_bounds_matches_reference() {
+    // The literal SSYRK shape — both sides of the intersection walk the
+    // same tensor, under a triangular bound on the middle loop.
+    for (k, formats) in MATRIX_FORMATS.iter().enumerate() {
+        for seed in 0..3u64 {
+            let mut r = StdRng::seed_from_u64(8300 + 10 * k as u64 + seed);
+            let n = r.gen_range(4usize..10);
+            let prog = Stmt::loops(
+                [idx("i"), idx("j"), idx("k")],
+                Stmt::guarded(
+                    le("i", "j"),
+                    assign(
+                        access("C", ["i", "j"]),
+                        mul([access("A", ["i", "k"]), access("A", ["j", "k"])]),
+                    ),
+                ),
+            );
+            let mut inputs = HashMap::new();
+            inputs.insert("A".to_string(), random_matrix(n, 2 * n, formats, &mut r));
+            run_both(&prog, &inputs, &format!("ssyrk-tri formats={formats:?} seed={seed}"));
+        }
+    }
+}
+
+#[test]
+fn random_access_gathers_match_reference() {
+    // Forces `ReadSparseRandom` operands through vector loops: (a) a
+    // leaf-varying gather in a dense innermost loop (invariant prefix +
+    // gallop cursor), (b) a root-varying gather riding a compressed
+    // driver (full per-coordinate search, miss-checked store).
+    for (k, formats) in CSF_FORMATS.iter().enumerate() {
+        for seed in 0..3u64 {
+            let mut r = StdRng::seed_from_u64(8600 + 10 * k as u64 + seed);
+            let n = r.gen_range(3usize..7);
+            // (a) s[] += A[k, i, j] * x[j], loops i, k, j: mode 0 binds
+            // after mode 1 (discordant), the innermost j is A's leaf.
+            let leaf_gather = Einsum::new(
+                access("s", [] as [&str; 0]),
+                AssignOp::Add,
+                mul([access("A", ["k", "i", "j"]), access("x", ["j"])]),
+                [idx("i"), idx("k"), idx("j")],
+            );
+            let mut inputs = HashMap::new();
+            inputs.insert("A".to_string(), random_matrix(n, 2 * n, formats, &mut r));
+            inputs.insert("x".to_string(), random_dense_vec(n, &mut r));
+            let label = format!("leaf-gather formats={formats:?} seed={seed}");
+            let (out, _) = run_both(&leaf_gather.naive_program(), &inputs, &label);
+            let expected = reference_einsum(&leaf_gather, &inputs).unwrap();
+            assert!(out["s"].max_abs_diff(&expected).unwrap() < TOL, "{label}");
+        }
+    }
+    for (k, formats) in MATRIX_FORMATS.iter().enumerate() {
+        for seed in 0..3u64 {
+            let mut r = StdRng::seed_from_u64(8700 + 10 * k as u64 + seed);
+            let n = r.gen_range(3usize..8);
+            // (b) y[i] += A[i, j] * B[j, i]: A drives the inner loop, B
+            // is a discordant random read whose misses annihilate.
+            let driven_gather = Einsum::new(
+                access("y", ["i"]),
+                AssignOp::Add,
+                mul([access("A", ["i", "j"]), access("B", ["j", "i"])]),
+                [idx("i"), idx("j")],
+            );
+            let mut inputs = HashMap::new();
+            inputs.insert("A".to_string(), random_matrix(n, n + 3, formats, &mut r));
+            inputs.insert("B".to_string(), random_matrix(n, n + 3, MATRIX_FORMATS[0], &mut r));
+            let label = format!("driven-gather formats={formats:?} seed={seed}");
+            let (out, _) = run_both(&driven_gather.naive_program(), &inputs, &label);
+            let expected = reference_einsum(&driven_gather, &inputs).unwrap();
+            assert!(out["y"].max_abs_diff(&expected).unwrap() < TOL, "{label}");
+        }
+    }
+}
+
+#[test]
+fn windowed_rle_drivers_match_reference() {
+    // Run-length drivers at the innermost level under triangular
+    // bounds: runs must clamp to the loop window coordinate-exactly.
+    let rle_formats: &[&[LevelFormat]] = &[
+        &[LevelFormat::Dense, LevelFormat::RunLength],
+        &[LevelFormat::Sparse, LevelFormat::RunLength],
+    ];
+    for (k, formats) in rle_formats.iter().enumerate() {
+        for seed in 0..4u64 {
+            let mut r = StdRng::seed_from_u64(8900 + 10 * k as u64 + seed);
+            let n = r.gen_range(4usize..10);
+            let prog = Stmt::loops(
+                [idx("i"), idx("j")],
+                Stmt::guarded(
+                    le("j", "i"),
+                    assign(access("y", ["i"]), mul([access("A", ["i", "j"]), access("x", ["j"])])),
+                ),
+            );
+            let mut inputs = HashMap::new();
+            inputs.insert("A".to_string(), random_matrix(n, 2 * n, formats, &mut r));
+            inputs.insert("x".to_string(), random_dense_vec(n, &mut r));
+            run_both(&prog, &inputs, &format!("rle-window formats={formats:?} seed={seed}"));
+        }
+    }
+}
+
+#[test]
 fn counters_match_across_many_random_cases() {
     // A broad, purely randomized sweep focused on counter parity.
     for seed in 0..40u64 {

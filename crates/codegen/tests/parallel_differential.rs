@@ -308,6 +308,126 @@ fn randomized_sweep_counter_parity() {
 }
 
 #[test]
+fn new_vector_paths_parallel_match() {
+    // Every loop shape this backend vectorizes beyond conforming
+    // driver-only bodies — two-way sparse–sparse intersections (both
+    // the fused dot form and the general item form), windowed
+    // run-length drivers, and random-access gathers — must agree with
+    // the interpreter with exact merged counters at every thread count.
+    for (k, formats) in MATRIX_FORMATS.iter().enumerate() {
+        for seed in 0..2u64 {
+            let mut r = StdRng::seed_from_u64(11_000 + 100 * k as u64 + seed);
+            let n = r.gen_range(4usize..14);
+            let mut inputs = HashMap::new();
+            inputs.insert("A".to_string(), random_matrix(n, 2 * n, formats, &mut r));
+            inputs.insert("B".to_string(), random_matrix(n, 2 * n, MATRIX_FORMATS[1], &mut r));
+            inputs.insert("x".to_string(), random_dense_vec(n, &mut r));
+
+            // Two-way intersection over two tensors (row-owned output):
+            // the general VecIsectLoop form (FoldOut body).
+            let isect = Einsum::new(
+                access("C", ["i", "j"]),
+                AssignOp::Add,
+                mul([access("A", ["i", "k"]), access("B", ["j", "k"])]),
+                [idx("i"), idx("j"), idx("k")],
+            );
+            let label = format!("par-isect formats={formats:?} seed={seed}");
+            let (out, _) = run_matrix(&isect.naive_program(), &inputs, &label);
+            let expected = reference_einsum(&isect, &inputs).unwrap();
+            assert!(out["C"].max_abs_diff(&expected).unwrap() < TOL, "{label}");
+
+            // The fused dot form: a workspace accumulation under a
+            // triangular bound, the literal SSYRK shape.
+            let dot = Stmt::loops(
+                [idx("i"), idx("j")],
+                Stmt::guarded(
+                    le("i", "j"),
+                    Stmt::Workspace {
+                        name: "w".into(),
+                        init: 0.0,
+                        body: Box::new(Stmt::block([
+                            Stmt::loops(
+                                [idx("k")],
+                                Stmt::Assign {
+                                    lhs: systec_ir::Lhs::Scalar("w".into()),
+                                    op: AssignOp::Add,
+                                    rhs: mul([access("A", ["i", "k"]), access("B", ["j", "k"])]),
+                                },
+                            ),
+                            assign(access("C", ["i", "j"]), scalar("w")),
+                        ])),
+                    },
+                ),
+            );
+            run_matrix(&dot, &inputs, &format!("par-dot formats={formats:?} seed={seed}"));
+
+            // Windowed run-length driver at the innermost level.
+            let rle = Stmt::loops(
+                [idx("i"), idx("j")],
+                Stmt::guarded(
+                    le("j", "i"),
+                    assign(access("y", ["i"]), mul([access("A", ["i", "j"]), access("x", ["j"])])),
+                ),
+            );
+            run_matrix(&rle, &inputs, &format!("par-rle formats={formats:?} seed={seed}"));
+
+            // Random-access gather riding the compressed driver.
+            let gather = Einsum::new(
+                access("y", ["i"]),
+                AssignOp::Add,
+                mul([access("A", ["i", "j"]), access("B", ["j", "i"])]),
+                [idx("i"), idx("j")],
+            );
+            let label = format!("par-gather formats={formats:?} seed={seed}");
+            let (out, _) = run_matrix(&gather.naive_program(), &inputs, &label);
+            let expected = reference_einsum(&gather, &inputs).unwrap();
+            assert!(out["y"].max_abs_diff(&expected).unwrap() < TOL, "{label}");
+        }
+    }
+}
+
+#[test]
+fn top_level_vector_heads_accept_chunk_windows() {
+    // When the vectorized loop IS the split head — rank-1 co-iteration
+    // at the root — workers clamp its coordinate window directly on the
+    // vector instruction. Scalar outputs merge through per-worker
+    // reduction buffers, so the chunk boundaries land inside the merge
+    // and any windowing slip shows up as a value or counter mismatch.
+    let pack1 = |coords: &[usize], n: usize, fmt: LevelFormat, r: &mut StdRng| {
+        let mut coo = CooTensor::new(vec![n]);
+        for &c in coords {
+            coo.set(&[c], [0.5, 1.0, 2.0][r.gen_range(0usize..3)]);
+        }
+        Tensor::Sparse(SparseTensor::from_coo(&coo, &[fmt]).unwrap())
+    };
+    for seed in 0..6u64 {
+        let mut r = StdRng::seed_from_u64(12_000 + seed);
+        let n = r.gen_range(5usize..40);
+        let coords_a: Vec<usize> = (0..r.gen_range(0..n)).map(|_| r.gen_range(0..n)).collect();
+        let coords_b: Vec<usize> = (0..r.gen_range(0..n)).map(|_| r.gen_range(0..n)).collect();
+
+        // Intersection dot at the root.
+        let dot = Stmt::loops(
+            [idx("k")],
+            assign(access("s", [] as [&str; 0]), mul([access("a", ["k"]), access("b", ["k"])])),
+        );
+        let mut inputs = HashMap::new();
+        inputs.insert("a".to_string(), pack1(&coords_a, n, LevelFormat::Sparse, &mut r));
+        inputs.insert("b".to_string(), pack1(&coords_b, n, LevelFormat::Sparse, &mut r));
+        run_matrix(&dot, &inputs, &format!("top-isect seed={seed}"));
+
+        // Run-length expansion at the root.
+        let rle = Stmt::loops(
+            [idx("k")],
+            assign(access("s", [] as [&str; 0]), mul([access("a", ["k"]), access("x", ["k"])])),
+        );
+        inputs.insert("a".to_string(), pack1(&coords_a, n, LevelFormat::RunLength, &mut r));
+        inputs.insert("x".to_string(), random_dense_vec(n, &mut r));
+        run_matrix(&rle, &inputs, &format!("top-rle seed={seed}"));
+    }
+}
+
+#[test]
 fn plain_row_kernels_are_splittable() {
     // Guard against the analysis silently rejecting everything (which
     // would make every parallel assertion above vacuously serial).

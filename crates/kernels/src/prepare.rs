@@ -351,6 +351,13 @@ impl Prepared {
 
     /// Whether the compiled main program can actually dispatch workers
     /// under [`Parallelism::Threads`].
+    ///
+    /// **A `false` here means thread requests are silently ignored**:
+    /// [`Parallelism::Threads`] on a non-splittable plan runs serially
+    /// with identical results and counters, and nothing else reports
+    /// the degradation. Callers that surface a thread count to users
+    /// (e.g. the `systec` CLI's `--threads`) should check this and say
+    /// so — [`serial_fallback_note`] renders the standard one-liner.
     pub fn splittable(&self) -> bool {
         self.plan.main_compiled.splittable()
     }
@@ -481,6 +488,21 @@ impl Prepared {
             counters.merge(&rep_counters);
         }
         Ok((outputs, counters))
+    }
+}
+
+/// The one-line note a front end should print when the user asked for
+/// `threads > 1` but the plan cannot split (so the run silently
+/// degrades to serial execution). `None` when the request and the plan
+/// agree — serial requests never warn, and splittable plans dispatch as
+/// asked.
+pub fn serial_fallback_note(requested: Parallelism, splittable: bool) -> Option<String> {
+    match requested {
+        Parallelism::Threads(n) if n >= 2 && !splittable => Some(format!(
+            "note: --threads {n} requested, but this plan is not row-splittable \
+             (scattered overwrites or cross-row reads); running serially"
+        )),
+        _ => None,
     }
 }
 
@@ -632,6 +654,38 @@ mod tests {
         let (yp, cp) = parallel.run_full().unwrap();
         assert_eq!(cs, cp, "merged counters must equal the serial counters exactly");
         assert!(ys["y"].max_abs_diff(&yp["y"]).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn serial_fallback_note_fires_only_for_degraded_requests() {
+        // Threads on a non-splittable plan: the silent degradation must
+        // be called out.
+        let note = serial_fallback_note(Parallelism::Threads(4), false);
+        assert!(note.as_deref().is_some_and(|n| n.contains("--threads 4")), "{note:?}");
+        assert!(note.as_deref().is_some_and(|n| n.contains("running serially")), "{note:?}");
+        // Everything that runs as requested stays quiet.
+        assert_eq!(serial_fallback_note(Parallelism::Threads(4), true), None);
+        assert_eq!(serial_fallback_note(Parallelism::Serial, false), None);
+        assert_eq!(serial_fallback_note(Parallelism::Serial, true), None);
+        // `threads(1)` normalizes to Serial; a literal Threads(1) is a
+        // serial run either way and must not warn.
+        assert_eq!(serial_fallback_note(Parallelism::threads(1), false), None);
+        assert_eq!(serial_fallback_note(Parallelism::Threads(1), false), None);
+        // The note matches what a real non-splittable preparation says.
+        let transpose = systec_ir::Einsum::new(
+            systec_ir::build::access("C", ["j", "i"]),
+            systec_ir::AssignOp::Overwrite,
+            systec_ir::build::access("A", ["i", "j"]).into(),
+            [systec_ir::build::idx("i"), systec_ir::build::idx("j")],
+        );
+        let mut r = rng(2);
+        let coo = symmetric_erdos_renyi(10, 2, 0.2, &mut r);
+        let a = systec_tensor::SparseTensor::from_coo(&coo, &systec_tensor::csf(2)).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert("A".to_string(), Tensor::Sparse(a));
+        let prepared = Prepared::from_programs(transpose.naive_program(), None, &inputs).unwrap();
+        assert!(!prepared.splittable(), "scattered overwrites stay serial");
+        assert!(serial_fallback_note(Parallelism::Threads(2), prepared.splittable()).is_some());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::process::ExitCode;
 use systec::compiler::{Compiler, SymmetryPartition, SymmetrySpec};
 use systec::exec::reference::reference_einsum;
 use systec::ir::{parse_einsum, Einsum};
-use systec::kernels::{Backend, Parallelism, Prepared};
+use systec::kernels::{serial_fallback_note, Backend, Parallelism, Prepared};
 use systec::tensor::generate::{random_dense, rng};
 use systec::tensor::{csf, CooTensor, SparseTensor, Tensor};
 
@@ -44,8 +44,10 @@ fn usage() -> &'static str {
        --backend B           execution backend for --run: `compiled` (bytecode VM,\n\
                              the default) or `interpreter` (tree walker)\n\
        --threads T           worker threads for --run on the compiled backend\n\
-                             (default 1 = serial; 0 = all cores; plans the\n\
-                             compiler cannot split run serially either way)\n\
+                             (default 1 = serial; 0 = all cores). Plans the\n\
+                             compiler cannot prove row-splittable SILENTLY run\n\
+                             serially regardless of T; the run prints a one-line\n\
+                             note when that happens\n\
        --n N                 dimension extent for --run (default 30)\n\
        --density P           sparse fill probability for --run (default 0.01)\n\
        --rank R              extent of indices that only appear densely (default 8)\n\
@@ -255,6 +257,11 @@ fn run_kernel(
         .map_err(|e| format!("preparing compiled kernel: {e}"))?
         .with_backend(opts.backend)
         .with_parallelism(parallelism);
+    if opts.backend == Backend::Compiled {
+        if let Some(note) = serial_fallback_note(parallelism, sym.splittable()) {
+            println!("{note}");
+        }
+    }
     let naive_prog = Compiler::new().naive(einsum);
     let naive = Prepared::from_programs(naive_prog, None, &inputs)
         .map_err(|e| format!("preparing naive kernel: {e}"))?
