@@ -1,20 +1,28 @@
-//! Criterion benches: every paper kernel across three axes — symmetric
+//! Criterion benches: every paper kernel across four axes — symmetric
 //! vs naive (the paper's comparison), compiled VM vs tree-walking
-//! interpreter (this reproduction's backend ablation), and a threads
-//! axis on the compiled backend (row-parallel dispatch) — at a small
-//! fixed size (the figure binaries sweep the real workloads; these keep
-//! `cargo bench` fast and regression-friendly).
+//! interpreter (this reproduction's backend ablation), a threads axis
+//! on the compiled backend (row-parallel dispatch), and a counter-off
+//! cell (`CounterMode::Off`, skipping per-hit counter bumps in the
+//! fused-body runners) — at a small fixed size (the figure binaries
+//! sweep the real workloads; these keep `cargo bench` fast and
+//! regression-friendly).
 //!
-//! Series names are `<kernel>/<variant>-<backend>[-tN]`, e.g.
+//! Series names are `<kernel>/<variant>-<backend>[-tN|-nocount]`, e.g.
 //! `ssymv/systec-compiled` (serial) or `ssymv/systec-compiled-t4`
 //! (four workers). All cells run over reused output buffers and a
 //! reused execution context (`run_timed_into`) so the numbers measure
 //! kernel work, not allocator traffic.
+//!
+//! After the run, the per-series medians are written as JSON to
+//! `bench_results/kernels.json` (schema: kernel → series → ns) so the
+//! perf trajectory diffs across PRs.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use systec_kernels::{defs, Backend, Counters, ExecContext, KernelDef, Parallelism, Prepared};
+use criterion::{criterion_group, Criterion};
+use systec_kernels::{
+    defs, Backend, CounterMode, Counters, ExecContext, KernelDef, Parallelism, Prepared,
+};
 use systec_tensor::generate::{random_dense, rng, sprand, symmetric_erdos_renyi};
 use systec_tensor::Tensor;
 
@@ -53,6 +61,19 @@ fn bench_grid(c: &mut Criterion, name: &str, def: &KernelDef, inputs: &HashMap<S
                     })
                 });
             }
+        }
+        // Counter-off cell: the serial compiled path with per-hit
+        // counter maintenance compiled out of the fused-body runners.
+        if variant == "systec" {
+            let runner = prepared.clone().with_backend(Backend::Compiled);
+            let mut outputs = HashMap::new();
+            let mut ctx = ExecContext::new().with_counter_mode(CounterMode::Off);
+            let mut counters = Counters::new();
+            group.bench_function(&format!("{variant}-compiled-nocount"), |b| {
+                b.iter(|| {
+                    runner.run_timed_into(&mut outputs, &mut ctx, &mut counters).expect("run")
+                })
+            });
         }
     }
     group.finish();
@@ -112,4 +133,38 @@ criterion_group! {
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
     targets = benches
 }
-criterion_main!(kernels);
+
+/// Serializes the recorded medians as `{ kernel: { series: ns } }`
+/// (sorted keys, hand-rolled JSON — the workspace has no serde).
+fn report_json(records: &[criterion::BenchRecord]) -> String {
+    let mut by_kernel: BTreeMap<&str, BTreeMap<&str, f64>> = BTreeMap::new();
+    for r in records {
+        let (kernel, series) = r.name.split_once('/').unwrap_or(("", r.name.as_str()));
+        by_kernel.entry(kernel).or_default().insert(series, r.median * 1e9);
+    }
+    let mut out = String::from("{\n");
+    let mut kernels = by_kernel.iter().peekable();
+    while let Some((kernel, series)) = kernels.next() {
+        out.push_str(&format!("  {kernel:?}: {{\n"));
+        let mut cells = series.iter().peekable();
+        while let Some((name, ns)) = cells.next() {
+            let comma = if cells.peek().is_some() { "," } else { "" };
+            out.push_str(&format!("    {name:?}: {ns:.1}{comma}\n"));
+        }
+        let comma = if kernels.peek().is_some() { "," } else { "" };
+        out.push_str(&format!("  }}{comma}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    kernels();
+    // Machine-readable medians, diffable across PRs.
+    let records = criterion::take_report();
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench_results");
+    std::fs::create_dir_all(dir).expect("bench_results dir");
+    let path = format!("{dir}/kernels.json");
+    std::fs::write(&path, report_json(&records)).expect("write kernels.json");
+    println!("wrote {}", path);
+}

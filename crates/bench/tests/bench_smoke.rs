@@ -1,0 +1,112 @@
+//! CI smoke for the perf path: drives every bench kernel once at tiny
+//! sizes across the same axes as `benches/kernels.rs` — both variants
+//! (symmetric / naive), both backends, a threads cell, and the
+//! counter-off mode — so a panic on a hot path fails the build instead
+//! of the next bench run. Output agreement between backends rides
+//! along (byte-identical, as in the differential tiers).
+
+use std::collections::HashMap;
+
+use systec_kernels::{
+    defs, Backend, CounterMode, Counters, ExecContext, KernelDef, Parallelism, Prepared,
+};
+use systec_tensor::generate::{random_dense, rng, sprand, symmetric_erdos_renyi};
+use systec_tensor::Tensor;
+
+fn drive(name: &str, def: &KernelDef, inputs: &HashMap<String, Tensor>) {
+    for prepared in [
+        Prepared::compile(def, inputs).expect("prepare systec"),
+        Prepared::naive(def, inputs).expect("prepare naive"),
+    ] {
+        let mut reference: Option<HashMap<String, systec_tensor::DenseTensor>> = None;
+        for backend in [Backend::Compiled, Backend::Interpreter] {
+            let runner = prepared.clone().with_backend(backend);
+            let mut outputs = HashMap::new();
+            let mut ctx = ExecContext::new();
+            let mut counters = Counters::new();
+            runner.run_timed_into(&mut outputs, &mut ctx, &mut counters).expect("run");
+            match &reference {
+                None => reference = Some(outputs),
+                Some(expected) => {
+                    for (out_name, t) in expected {
+                        assert_eq!(
+                            &outputs[out_name], t,
+                            "{name}: backend outputs diverge on {out_name}"
+                        );
+                    }
+                }
+            }
+        }
+        // Compiled extras: a threads cell (degrades to serial when the
+        // plan is not splittable — still must not panic) and the
+        // counter-off fused-runner mode.
+        let threaded = prepared
+            .clone()
+            .with_backend(Backend::Compiled)
+            .with_parallelism(Parallelism::threads(2));
+        let mut outputs = HashMap::new();
+        let mut ctx = ExecContext::new();
+        let mut counters = Counters::new();
+        threaded.run_timed_into(&mut outputs, &mut ctx, &mut counters).expect("threads run");
+
+        let nocount = prepared.clone().with_backend(Backend::Compiled);
+        let mut outputs = HashMap::new();
+        let mut ctx = ExecContext::new().with_counter_mode(CounterMode::Off);
+        let mut counters = Counters::new();
+        nocount.run_timed_into(&mut outputs, &mut ctx, &mut counters).expect("nocount run");
+        if let Some(expected) = &reference {
+            for (out_name, t) in expected {
+                assert_eq!(
+                    &outputs[out_name], t,
+                    "{name}: counter-off outputs diverge on {out_name}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_bench_kernel_runs_at_tiny_size() {
+    let mut r = rng(7);
+    let a2 = symmetric_erdos_renyi(24, 2, 0.08, &mut r);
+    let x = random_dense(vec![24], &mut r);
+
+    let def = defs::ssymv();
+    let inputs = def.inputs([("A", a2.clone().into()), ("x", x.clone().into())]).unwrap();
+    drive("ssymv", &def, &inputs);
+
+    let def = defs::bellman_ford();
+    let inputs = def.inputs([("A", a2.clone().into()), ("d", x.clone().into())]).unwrap();
+    drive("bellman_ford", &def, &inputs);
+
+    let def = defs::syprd();
+    let inputs = def.inputs([("A", a2.into()), ("x", x.into())]).unwrap();
+    drive("syprd", &def, &inputs);
+
+    let def = defs::ssyrk();
+    let a = sprand(12, 12, 30, &mut r);
+    let inputs = def.inputs([("A", a.into())]).unwrap();
+    drive("ssyrk", &def, &inputs);
+
+    let def = defs::ttm();
+    let a3 = symmetric_erdos_renyi(8, 3, 0.08, &mut r);
+    let b = random_dense(vec![8, 4], &mut r);
+    let inputs = def.inputs([("A", a3.clone().into()), ("B", b.clone().into())]).unwrap();
+    drive("ttm", &def, &inputs);
+
+    let def = defs::mttkrp(3);
+    let inputs = def.inputs([("A", a3.into()), ("B", b.into())]).unwrap();
+    drive("mttkrp3", &def, &inputs);
+
+    let def = defs::mttkrp(4);
+    let a4 = symmetric_erdos_renyi(7, 4, 0.05, &mut r);
+    let b = random_dense(vec![7, 4], &mut r);
+    let inputs = def.inputs([("A", a4.into()), ("B", b.clone().into())]).unwrap();
+    drive("mttkrp4", &def, &inputs);
+
+    let def = defs::mttkrp(5);
+    let a5 = symmetric_erdos_renyi(6, 5, 0.02, &mut r);
+    let b = random_dense(vec![6, 4], &mut r);
+    let inputs = def.inputs([("A", a5.into()), ("B", b.into())]).unwrap();
+    drive("mttkrp5", &def, &inputs);
+}

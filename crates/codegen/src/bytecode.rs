@@ -234,28 +234,6 @@ pub(crate) enum Instr {
         hi: Box<[Bound]>,
         items: Box<[VItem]>,
     },
-    /// The dominant intersection body — an unguarded
-    /// `acc op= bin(driver, probe)` scalar accumulation (SSYRK's
-    /// `w += A[i,k] * A[j,k]`) — fused into a register-free merge loop:
-    /// no per-coordinate step dispatch, no temporary traffic. Counter
-    /// semantics are exactly [`Instr::VecIsectLoop`]'s over the
-    /// equivalent three-step body: per driver coordinate one iteration,
-    /// one driver read and one fold flop; per hit one probe read and
-    /// (for reducing ops) one reduce flop.
-    VecIsectDot {
-        tensor: usize,
-        level: usize,
-        idx: usize,
-        parent: usize,
-        probe_tensor: usize,
-        probe_level: usize,
-        probe_parent: usize,
-        lo: Box<[Bound]>,
-        hi: Box<[Bound]>,
-        slot: usize,
-        bin: BinOp,
-        op: AssignOp,
-    },
     /// End of program.
     Halt,
 }
@@ -270,11 +248,145 @@ pub(crate) struct VItem {
     pub guard: Box<[(CmpOp, usize, usize)]>,
     /// The body, executed in order for each coordinate.
     pub steps: Box<[VStep]>,
+    /// Compile-time specialization of `steps` (see `crate::fuse`): when
+    /// exactly one item of the loop passes its guard and carries a
+    /// fused body, the VM runs the monomorphized fused loop instead of
+    /// dispatching the step list per coordinate. `None` = the body did
+    /// not match any fused pattern (the step list always remains the
+    /// semantic reference, and runs whenever several guarded items pass
+    /// at once).
+    pub fused: Option<Fused>,
+}
+
+/// Classification of a fused loop body — the pattern the selector
+/// recognized. Purely descriptive (disassembly, golden snapshots, and
+/// runner dispatch); the executable form is the [`Fused`] load/fold
+/// lists.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum FusedBody {
+    /// `acc op= fold(bin, …)` into a register-held accumulator (a
+    /// scalar slot or a loop-invariant output cell): SpMV row dots,
+    /// SSYRK's intersection dot.
+    Dot,
+    /// `out[base + coord·stride] op= fold(bin, …)` — a strided
+    /// reducing store per coordinate (`y[j] += a·x_i`).
+    Axpy,
+    /// The [`FusedBody::Axpy`] shape with an overwriting store
+    /// (`out[j] = c·x[j]`).
+    ScaleStore,
+    /// SSYMV's symmetric pair: a scalar dot and a strided axpy sharing
+    /// the driver value in one body.
+    DotAxpy,
+    /// A dot whose second operand gathers through
+    /// [`VStep::LoadGather`].
+    GatherDot,
+    /// An axpy whose operand gathers.
+    GatherAxpy,
+    /// Any other conforming load/fold body (MTTKRP's three-way factor
+    /// updates, TTM's slice axpys): still monomorphized — loads resolve
+    /// to slices once per loop, folds skip the step machinery — but
+    /// with more than one store per coordinate.
+    Jam,
+}
+
+/// One per-coordinate load of a fused body. Loads evaluate **once** per
+/// coordinate, in order, into local value slots (their position in the
+/// load list) — never through the `f` register file.
+#[derive(Clone, Debug)]
+pub(crate) enum FLoad {
+    /// The driver's value at the current position (counted per
+    /// iteration, in bulk, against the driving tensor).
+    Val,
+    /// The probed fiber's value: fill (0) + miss on an intersection
+    /// miss, counted per hit.
+    Probe { tensor: usize, set_miss: bool },
+    /// Strided dense element `dense[tensor][offset(u, base) + coord·stride]`
+    /// (counted per iteration, in bulk).
+    Dense { tensor: usize, base: Box<[Term]>, stride: usize },
+    /// Random-access gather — same contract (and cursor scratch slot)
+    /// as [`VStep::LoadGather`]; counted per hit.
+    Gather { tensor: usize, id: usize, modes: Box<[usize]>, leaf_only: bool, set_miss: bool },
+}
+
+/// One operand of a fused fold.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum FOp {
+    /// A per-coordinate load, by position in the body's load list.
+    Local(usize),
+    /// A loop-invariant `f` register, snapshot once at loop entry (the
+    /// selector proves no step of the body writes it).
+    Reg(usize),
+}
+
+/// Where a fused fold accumulates.
+#[derive(Clone, Debug)]
+pub(crate) enum FAcc {
+    /// `f[slot]` — held in a machine register across the whole loop
+    /// (the selector proves no operand reads it).
+    Scalar { slot: usize },
+    /// `out[offset(u, base) + coord·stride]`.
+    Out { tensor: usize, base: Box<[Term]>, stride: usize },
+}
+
+/// One fold of a fused body: `acc op= fold(bin, srcs)`, with the same
+/// evaluate-fully-then-miss-check store semantics as
+/// [`VStep::FoldOut`] / [`VStep::FoldScalar`].
+#[derive(Clone, Debug)]
+pub(crate) struct FFold {
+    pub acc: FAcc,
+    pub bin: BinOp,
+    pub op: AssignOp,
+    pub srcs: Box<[FOp]>,
+    pub check_miss: bool,
+    /// Load locals whose miss state gates this fold's store — exactly
+    /// the `set_miss` loads between the previous fold and this one in
+    /// the original step order, so the positional miss-flag scoping of
+    /// the step list is preserved.
+    pub miss: Box<[usize]>,
+}
+
+/// Per-iteration loop-invariant counter contributions of a fused body,
+/// derived from the step list it replaces: the fused runners account
+/// these in bulk (`recipe × iterations`) and count only hit-dependent
+/// work (probe/gather reads, miss-checked store sides) per element.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BulkCounts {
+    /// Element reads per iteration, per tensor slot.
+    pub reads: Box<[(usize, u64)]>,
+    /// Fold flops (plus unguarded reduce flops) per iteration.
+    pub flops: u64,
+    /// Unguarded output stores per iteration.
+    pub writes: u64,
+}
+
+/// A fused loop body: the closed-form, monomorphized alternative to a
+/// [`VItem`] step list (see `crate::fuse` for the selection rules).
+#[derive(Clone, Debug)]
+pub(crate) struct Fused {
+    /// The recognized pattern.
+    pub kind: FusedBody,
+    /// Per-coordinate loads, evaluated in order into local slots.
+    pub loads: Box<[FLoad]>,
+    /// Straight-line folds, executed in order per coordinate.
+    pub folds: Box<[FFold]>,
+    /// Bulk counter recipe (invariant contributions per iteration).
+    pub bulk: BulkCounts,
+    /// Pre-analyzed `(slot, bin, op, probe tensor)` of the plain
+    /// intersection dot (`f[slot] op= bin(driver, probe)`, SSYRK's
+    /// shape) — lets the VM skip every entry-time shape check on a loop
+    /// it may enter tens of thousands of times per run.
+    pub isect_dot: Option<(usize, BinOp, AssignOp, usize)>,
 }
 
 /// One step of a vector-loop body. `base`-bearing steps carry a scratch
 /// index (`id`) where the loop entry caches `offset(u, base)`; the
 /// per-coordinate address is `bases[id] + coord * stride`.
+///
+/// The step list is the *general* body form, dispatched per coordinate.
+/// Bodies matching a common pattern (axpy, dot, scale-store,
+/// gather-dot/-axpy, and their combinations — see [`FusedBody`]) are
+/// additionally lowered to a [`Fused`] form on their [`VItem`] and
+/// executed by dedicated monomorphized loops instead.
 ///
 /// ## Per-coordinate miss flag
 ///

@@ -400,10 +400,16 @@ struct VecBuilder {
 impl VecBuilder {
     fn flush(&mut self, c: &mut Compiler<'_>) {
         if !self.open_steps.is_empty() {
+            let steps: Box<[VStep]> = std::mem::take(&mut self.open_steps).into();
+            // Fused-body selection: recognize the common load/fold
+            // shapes and attach their monomorphized form alongside the
+            // step list (the VM picks at loop entry; see crate::fuse).
+            let fused = crate::fuse::fuse_item(&steps);
             self.items.push(VItem {
                 id: c.alloc_vec_item(),
                 guard: self.open_guard.clone().into(),
-                steps: std::mem::take(&mut self.open_steps).into(),
+                steps,
+                fused,
             });
         }
     }
@@ -954,36 +960,10 @@ impl Compiler<'_> {
             (Some(d), Some(p)) => {
                 let parent = self.pos_base[d.access] + d.level;
                 let probe_parent = self.pos_base[p.access] + p.level;
-                // The dominant body — one unguarded scalar accumulation
-                // of driver × probe — drops the step machinery entirely.
-                if let [item] = items.as_ref() {
-                    if item.guard.is_empty() {
-                        if let [VStep::LoadVal { dst: a, .. }, VStep::LoadProbe { dst: pb, set_miss: true, .. }, VStep::FoldScalar { slot, bin, op, srcs, check_miss: true }] =
-                            item.steps.as_ref()
-                        {
-                            if srcs.as_ref() == [*a, *pb] {
-                                self.emit(Instr::VecIsectDot {
-                                    tensor: d.tensor,
-                                    level: d.level,
-                                    idx,
-                                    parent,
-                                    probe_tensor: p.tensor,
-                                    probe_level: p.level,
-                                    probe_parent,
-                                    lo,
-                                    hi,
-                                    slot: *slot,
-                                    bin: *bin,
-                                    op: *op,
-                                });
-                                // The built items (and their scratch
-                                // ids) are dropped, not emitted.
-                                restore(self);
-                                return true;
-                            }
-                        }
-                    }
-                }
+                // The dominant `acc op= bin(driver, probe)` body is now
+                // covered by the general fused-body selection
+                // (`FusedBody::Dot` on the item), so intersection, RLE
+                // and plain drivers all share one body-selection path.
                 self.emit(Instr::VecIsectLoop {
                     tensor: d.tensor,
                     level: d.level,

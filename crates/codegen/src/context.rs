@@ -21,6 +21,26 @@
 
 use systec_exec::CounterBank;
 
+/// How much counter bookkeeping an execution performs.
+///
+/// [`CounterMode::Exact`] (the default) maintains full
+/// [`systec_exec::Counters`] parity with the tree-walking interpreter —
+/// bulk accounting outside the hot loops plus per-hit bumps where miss
+/// semantics require them. [`CounterMode::Off`] compiles the per-hit
+/// bumps (and the fused bulk recipes) out of the fused-body runners via
+/// a const-generic flag: the counters returned from such a run are **not
+/// meaningful** and must not be compared against the interpreter. Use it
+/// when only the outputs matter and every nanosecond counts; parity
+/// tests always run in `Exact`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CounterMode {
+    /// Exact interpreter-parity counters (the default).
+    #[default]
+    Exact,
+    /// Skip counter maintenance in the fused-body runners.
+    Off,
+}
+
 /// Per-vector-loop gather state: the invariant prefix position a
 /// leaf-varying `LoadGather` resolved at loop entry (or the miss
 /// sentinel), and the monotone merge cursor into the leaf fiber.
@@ -82,12 +102,30 @@ impl Bank {
 #[derive(Debug, Default)]
 pub struct ExecContext {
     banks: Vec<Bank>,
+    counter_mode: CounterMode,
 }
 
 impl ExecContext {
-    /// A fresh context with no warmed buffers.
+    /// A fresh context with no warmed buffers (and [`CounterMode::Exact`]).
     pub fn new() -> Self {
         ExecContext::default()
+    }
+
+    /// The counter mode runs through this context use.
+    pub fn counter_mode(&self) -> CounterMode {
+        self.counter_mode
+    }
+
+    /// Sets the counter mode for subsequent runs (see [`CounterMode`]).
+    pub fn set_counter_mode(&mut self, mode: CounterMode) {
+        self.counter_mode = mode;
+    }
+
+    /// Builder-style [`ExecContext::set_counter_mode`].
+    #[must_use]
+    pub fn with_counter_mode(mut self, mode: CounterMode) -> Self {
+        self.counter_mode = mode;
+        self
     }
 
     /// Mutable access to the first `n` worker banks, growing the set if

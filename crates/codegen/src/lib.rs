@@ -18,11 +18,19 @@
 //!   collapse into single vector-loop instructions with bulk counter
 //!   accounting: counted loops, compressed and run-length drivers,
 //!   two-way sparse–sparse intersections (a galloping merge replaces
-//!   the per-step probe binary search; the dominant
-//!   `acc op= bin(driver, probe)` body fuses further into a
-//!   register-free dot loop — SSYRK's hot path), and random-access
-//!   gather operands (leaf-varying gathers cache their invariant prefix
-//!   path and advance a monotone cursor).
+//!   the per-step probe binary search), and random-access gather
+//!   operands (leaf-varying gathers cache their invariant prefix path
+//!   and advance a monotone cursor).
+//! * **Fused loop bodies** — a compile-time pattern matcher (`fuse`)
+//!   lowers the common vector-loop bodies (dot, axpy, scale-store,
+//!   gathered variants, SSYMV's dot-axpy pair, and multi-store jams)
+//!   to closed-form monomorphized loops: accumulators in machine
+//!   registers, operands resolved to slices at loop entry, no
+//!   per-coordinate step dispatch, invariant counter contributions
+//!   accounted in bulk. Unmatched bodies keep the general step list —
+//!   selection never changes results or counters. A caller can
+//!   additionally trade counter exactness for speed with
+//!   [`CounterMode::Off`] on the [`ExecContext`].
 //! * **Hoisted branches** — residual conditionals become explicit
 //!   compare-and-jump chains between basic blocks; loop bounds are
 //!   evaluated once at loop entry.
@@ -99,6 +107,7 @@ mod bytecode;
 mod cache;
 mod compile;
 mod context;
+mod fuse;
 mod vm;
 
 use std::collections::HashMap;
@@ -107,7 +116,7 @@ use systec_exec::{Counters, ExecError, LoweredProgram};
 use systec_tensor::{DenseTensor, Tensor};
 
 pub use cache::{BindingSig, CacheStats, PlanCache, PlanKey, SharedPlanCache};
-pub use context::ExecContext;
+pub use context::{CounterMode, ExecContext};
 
 /// How many workers execute a kernel invocation.
 ///
@@ -491,7 +500,10 @@ mod tests {
             },
         );
         let dis = disassembly(&dot, &inputs);
-        assert!(dis.contains("VecIsectDot"), "scalar accumulation fuses to the dot loop:\n{dis}");
+        assert!(
+            dis.contains("VecIsectLoop") && dis.contains("kind: Dot"),
+            "scalar accumulation selects the fused dot body:\n{dis}"
+        );
         let (out, _) = both(&dot, &inputs);
         assert_eq!(out["C"].get(&[1, 2]), 3.0 * 1.0 + 5.0 * 2.0);
     }

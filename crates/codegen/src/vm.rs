@@ -41,8 +41,14 @@ use systec_exec::{CounterBank, Counters, ExecError};
 use systec_ir::AssignOp;
 use systec_tensor::{DenseTensor, LevelView, Tensor};
 
-use crate::bytecode::{Bound, BytecodeProgram, Instr, ParOut, SplitInfo, Term, VItem, VStep, MISS};
-use crate::context::{Bank, ExecContext, Gather};
+use systec_ir::BinOp;
+
+use crate::bytecode::{
+    Bound, BytecodeProgram, FAcc, FFold, FLoad, FOp, Fused, FusedBody, Instr, ParOut, SplitInfo,
+    Term, VItem, VStep, MISS,
+};
+use crate::context::{Bank, CounterMode, ExecContext, Gather};
+use crate::fuse::{MAX_FUSED_FOLDS, MAX_FUSED_LOADS, MAX_FUSED_SRCS};
 use crate::Parallelism;
 
 /// Inline capacity for per-slot binding tables.
@@ -174,29 +180,54 @@ fn offset(u: &[usize], terms: &[Term]) -> usize {
     }
 }
 
-/// Evaluates vector-loop guards, caches the loop-invariant base
-/// offsets, and accounts the loop's *invariant* counters in bulk: every
-/// step of a passing item executes exactly once per coordinate, so its
-/// invariant counter contribution is a per-iteration constant times the
-/// iteration count — identical totals to bumping inside the loop, with
-/// no hot-loop counter traffic. Hit-dependent contributions (probe and
-/// gather reads, the store side of miss-checked folds) are counted by
-/// [`VecRun::exec_coord`] instead.
+/// Evaluates vector-loop guards into the `pass` scratch, returning the
+/// number of passing items — the selector between the fused runners
+/// (exactly one passing item with a fused body) and the general
+/// per-coordinate step path.
+#[inline]
+fn eval_guards(items: &[VItem], u: &[usize], pass: &mut [bool]) -> usize {
+    let mut n = 0usize;
+    for item in items {
+        let ok = item.guard.iter().all(|(op, a, b)| op.eval(u[*a], u[*b]));
+        pass[item.id] = ok;
+        n += usize::from(ok);
+    }
+    n
+}
+
+/// The single passing item's fused body, if the loop can take the fused
+/// path this entry: with more than one item passing, coordinate-major
+/// step execution is the only order-preserving strategy.
+#[inline]
+fn fused_single<'p>(items: &'p [VItem], pass: &[bool], n_pass: usize) -> Option<&'p Fused> {
+    if n_pass != 1 {
+        return None;
+    }
+    items.iter().find(|item| pass[item.id]).and_then(|item| item.fused.as_ref())
+}
+
+/// Caches the loop-invariant base offsets of passing items and accounts
+/// the loop's *invariant* counters in bulk: every step of a passing
+/// item executes exactly once per coordinate, so its invariant counter
+/// contribution is a per-iteration constant times the iteration count —
+/// identical totals to bumping inside the loop, with no hot-loop
+/// counter traffic. Hit-dependent contributions (probe and gather
+/// reads, the store side of miss-checked folds) are counted by
+/// [`VecRun::exec_coord`] instead. Guards must already be evaluated
+/// ([`eval_guards`]).
 #[allow(clippy::too_many_arguments)]
 fn vec_prepare(
     items: &[VItem],
     u: &[usize],
     iters: u64,
-    pass: &mut [bool],
+    pass: &[bool],
     bases: &mut [usize],
     reads: &mut [u64],
     flops: &mut u64,
     writes: &mut u64,
 ) {
     for item in items {
-        let ok = item.guard.iter().all(|(op, a, b)| op.eval(u[*a], u[*b]));
-        pass[item.id] = ok;
-        if !ok {
+        if !pass[item.id] {
             continue;
         }
         for step in item.steps.iter() {
@@ -277,6 +308,84 @@ struct VecRun<'r, 'a, 'o> {
     miss: bool,
 }
 
+/// Resolves the invariant prefix position (and leaf gallop cursor) of
+/// one leaf-varying gather at loop entry.
+fn init_gather_cursor(
+    levels: &[Option<LevelView<'_>>],
+    lvl_base: &[usize],
+    u: &[usize],
+    gathers: &mut [Gather],
+    tensor: usize,
+    id: usize,
+    modes: &[usize],
+) {
+    let (_, prefix_modes) = modes.split_last().expect("leaf gathers have modes");
+    let mut p = 0usize;
+    for (lv, &m) in prefix_modes.iter().enumerate() {
+        match level(levels, lvl_base, tensor, lv).find(p, u[m]) {
+            Some(next) => p = next,
+            None => {
+                p = MISS;
+                break;
+            }
+        }
+    }
+    let cursor = if p == MISS {
+        0
+    } else {
+        match level(levels, lvl_base, tensor, modes.len() - 1) {
+            LevelView::Sparse { pos, .. } => pos[p],
+            _ => 0,
+        }
+    };
+    gathers[id] = Gather { prefix: p, cursor };
+}
+
+/// Resolves a gather at `coord`: the cached-prefix gallop for
+/// leaf-varying gathers, a full per-level search otherwise.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn gather_find(
+    levels: &[Option<LevelView<'_>>],
+    lvl_base: &[usize],
+    u: &[usize],
+    gathers: &mut [Gather],
+    tensor: usize,
+    id: usize,
+    modes: &[usize],
+    leaf_only: bool,
+    coord: usize,
+) -> Option<usize> {
+    if leaf_only {
+        let g = &mut gathers[id];
+        if g.prefix == MISS {
+            return None;
+        }
+        match level(levels, lvl_base, tensor, modes.len() - 1) {
+            LevelView::Sparse { pos, crd, .. } => {
+                // Coordinates are monotone within the loop, so the
+                // cursor only moves forward; the remainder search
+                // gallops past gaps in one partition_point.
+                let end = pos[g.prefix + 1];
+                if g.cursor < end && crd[g.cursor] < coord {
+                    g.cursor += crd[g.cursor..end].partition_point(|&c| c < coord);
+                }
+                (g.cursor < end && crd[g.cursor] == coord).then_some(g.cursor)
+            }
+            view => view.find(g.prefix, coord),
+        }
+    } else {
+        let mut p = 0usize;
+        for (lv, &m) in modes.iter().enumerate() {
+            match level(levels, lvl_base, tensor, lv).find(p, u[m]) {
+                Some(next) => p = next,
+                None => return None,
+            }
+        }
+        Some(p)
+    }
+}
+
 impl<'a> VecRun<'_, 'a, '_> {
     /// Resolves the invariant prefix position (and leaf gallop cursor)
     /// of every leaf-varying gather once per loop entry.
@@ -295,26 +404,15 @@ impl<'a> VecRun<'_, 'a, '_> {
                 let VStep::LoadGather { tensor, id, modes, leaf_only: true, .. } = step else {
                     continue;
                 };
-                let (_, prefix_modes) = modes.split_last().expect("leaf gathers have modes");
-                let mut p = 0usize;
-                for (lv, &m) in prefix_modes.iter().enumerate() {
-                    match level(self.levels, self.lvl_base, *tensor, lv).find(p, self.u[m]) {
-                        Some(next) => p = next,
-                        None => {
-                            p = MISS;
-                            break;
-                        }
-                    }
-                }
-                let cursor = if p == MISS {
-                    0
-                } else {
-                    match level(self.levels, self.lvl_base, *tensor, modes.len() - 1) {
-                        LevelView::Sparse { pos, .. } => pos[p],
-                        _ => 0,
-                    }
-                };
-                self.gathers[*id] = Gather { prefix: p, cursor };
+                init_gather_cursor(
+                    self.levels,
+                    self.lvl_base,
+                    self.u,
+                    self.gathers,
+                    *tensor,
+                    *id,
+                    modes,
+                );
             }
         }
     }
@@ -412,35 +510,947 @@ impl<'a> VecRun<'_, 'a, '_> {
         leaf_only: bool,
         coord: usize,
     ) -> Option<usize> {
-        if leaf_only {
-            let g = &mut self.gathers[id];
-            if g.prefix == MISS {
-                return None;
-            }
-            match level(self.levels, self.lvl_base, tensor, modes.len() - 1) {
-                LevelView::Sparse { pos, crd, .. } => {
-                    // Coordinates are monotone within the loop, so the
-                    // cursor only moves forward; the remainder search
-                    // gallops past gaps in one partition_point.
-                    let end = pos[g.prefix + 1];
-                    if g.cursor < end && crd[g.cursor] < coord {
-                        g.cursor += crd[g.cursor..end].partition_point(|&c| c < coord);
-                    }
-                    (g.cursor < end && crd[g.cursor] == coord).then_some(g.cursor)
-                }
-                view => view.find(g.prefix, coord),
-            }
-        } else {
-            let mut p = 0usize;
-            for (lv, &m) in modes.iter().enumerate() {
-                match level(self.levels, self.lvl_base, tensor, lv).find(p, self.u[m]) {
-                    Some(next) => p = next,
-                    None => return None,
-                }
-            }
-            Some(p)
+        gather_find(
+            self.levels,
+            self.lvl_base,
+            self.u,
+            self.gathers,
+            tensor,
+            id,
+            modes,
+            leaf_only,
+            coord,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused-body execution
+// ---------------------------------------------------------------------------
+
+/// Semiring monomorphization for the fused runners: the (bin, reduce)
+/// pairs the paper kernels use get dedicated instantiations so the hot
+/// loops carry no operator dispatch; everything else runs through
+/// [`DynSemi`] (still one match per application, but free of all other
+/// step machinery). The `op` arguments are the fold's own operators —
+/// the specialized impls ignore them (the dispatch site proved every
+/// fold of the body uses exactly this pair).
+trait Semi: Copy {
+    fn bin(self, op: BinOp, a: f64, b: f64) -> f64;
+    fn red(self, op: AssignOp, acc: f64, v: f64) -> f64;
+}
+
+/// `a * b` folds reduced by `+=` (every arithmetic paper kernel).
+#[derive(Clone, Copy)]
+struct MulAddSemi;
+impl Semi for MulAddSemi {
+    #[inline(always)]
+    fn bin(self, _: BinOp, a: f64, b: f64) -> f64 {
+        a * b
+    }
+    #[inline(always)]
+    fn red(self, _: AssignOp, acc: f64, v: f64) -> f64 {
+        acc + v
+    }
+}
+
+/// `a + b` folds reduced by `min=` (tropical kernels: Bellman–Ford).
+#[derive(Clone, Copy)]
+struct AddMinSemi;
+impl Semi for AddMinSemi {
+    #[inline(always)]
+    fn bin(self, _: BinOp, a: f64, b: f64) -> f64 {
+        a + b
+    }
+    #[inline(always)]
+    fn red(self, _: AssignOp, acc: f64, v: f64) -> f64 {
+        acc.min(v)
+    }
+}
+
+/// Fallback: apply the fold's own operators.
+#[derive(Clone, Copy)]
+struct DynSemi;
+impl Semi for DynSemi {
+    #[inline(always)]
+    fn bin(self, op: BinOp, a: f64, b: f64) -> f64 {
+        op.apply(a, b)
+    }
+    #[inline(always)]
+    fn red(self, op: AssignOp, acc: f64, v: f64) -> f64 {
+        op.apply(acc, v)
+    }
+}
+
+/// An entry-resolved per-coordinate load: dense operands are concrete
+/// slices with their invariant base offsets folded in.
+#[derive(Clone, Copy)]
+enum RLoad<'a, 'p> {
+    /// The driver's value at the current position.
+    Val,
+    /// The probed fiber's value (intersection drives).
+    Probe { tensor: usize, set_miss: bool },
+    /// `slice[base + coord * stride]`.
+    Dense { slice: &'a [f64], base: usize, stride: usize },
+    /// Random-access gather (shares [`gather_find`] with the step path).
+    Gather { tensor: usize, id: usize, modes: &'p [usize], leaf_only: bool, set_miss: bool },
+}
+
+/// An entry-resolved fold operand: loop-invariant registers become
+/// constants.
+#[derive(Clone, Copy)]
+enum RSrc {
+    Local(usize),
+    Const(f64),
+}
+
+/// An entry-resolved accumulator target.
+#[derive(Clone, Copy)]
+enum RAcc {
+    /// `f[slot]`, held in [`RFold::accv`] across the loop.
+    Slot { slot: usize },
+    /// A loop-invariant output cell (stride 0, single fold), register-
+    /// held likewise — the write *counts* stay per-iteration (bulk) /
+    /// per-hit exactly as if every store happened.
+    Cell { ord: usize, off: usize },
+    /// A strided output store per coordinate.
+    Out { ord: usize, off: usize, stride: usize },
+}
+
+/// One entry-resolved fold: leading invariant operands pre-folded into
+/// `lead` (exact — the fold chain is left-associative), the rest a
+/// fixed operand array over load locals and snapshot constants.
+#[derive(Clone, Copy)]
+struct RFold {
+    lead: f64,
+    has_lead: bool,
+    srcs: [RSrc; MAX_FUSED_SRCS],
+    n_srcs: usize,
+    acc: RAcc,
+    /// Register accumulator for `Slot` / `Cell` targets.
+    accv: f64,
+    bin: BinOp,
+    op: AssignOp,
+    check_miss: bool,
+    /// Per-hit store-side counter contributions (miss-checked folds).
+    hit_write: bool,
+    hit_flop: bool,
+    /// Bitmask over load locals gating this fold's store.
+    miss_mask: u32,
+}
+
+/// The entry-resolved executable form of a [`Fused`] body.
+struct RBody<'a, 'p> {
+    loads: [RLoad<'a, 'p>; MAX_FUSED_LOADS],
+    n_loads: usize,
+    folds: [RFold; MAX_FUSED_FOLDS],
+    n_folds: usize,
+    /// The loop's index register (set per coordinate only when a
+    /// full-search gather reads it; set once at exit otherwise).
+    idx: usize,
+    needs_u_idx: bool,
+}
+
+/// How a fused loop iterates its coordinates — one variant per
+/// vector-loop instruction kind.
+enum FDrive<'a> {
+    /// Counted dense loop over `lo..=hi`.
+    Range { lo: usize, hi: usize },
+    /// Compressed driver: positions `start..stop` of `crd`, values at
+    /// the same positions.
+    Crd { vals: &'a [f64], crd: &'a [usize], start: usize, stop: usize },
+    /// Run-length driver: runs `start..stop` clamped to `[lo, hi]`,
+    /// value constant per run.
+    Rle {
+        vals: &'a [f64],
+        run_start: &'a [usize],
+        run_end: &'a [usize],
+        start: usize,
+        stop: usize,
+        lo: usize,
+        hi: usize,
+    },
+    /// Two-way intersection: the driver window merged against the
+    /// probed fiber with a forward-only galloping cursor.
+    Isect {
+        vals: &'a [f64],
+        crd: &'a [usize],
+        start: usize,
+        stop: usize,
+        bvals: &'a [f64],
+        bcrd: &'a [usize],
+        bcur: usize,
+        bend: usize,
+    },
+}
+
+#[inline(always)]
+fn src_val(src: RSrc, locals: &[f64; MAX_FUSED_LOADS]) -> f64 {
+    match src {
+        RSrc::Local(i) => locals[i],
+        RSrc::Const(v) => v,
+    }
+}
+
+/// The fused analogue of [`VecRun`]: binding tables plus hit-dependent
+/// counter accumulators. Bulk (per-iteration) counters come from the
+/// body's compile-time recipe; with [`CounterMode::Off`] the `COUNT`
+/// flag compiles all counter maintenance out of the loops.
+struct FusedRun<'r, 'a, 'o> {
+    u: &'r mut [usize],
+    f: &'r mut [f64],
+    gathers: &'r mut [Gather],
+    dense: &'r [&'a [f64]],
+    vals: &'r [&'a [f64]],
+    levels: &'r [Option<LevelView<'a>>],
+    lvl_base: &'r [usize],
+    outs: &'r mut [Option<OutBind<'o>>],
+    oo: &'r [usize],
+    reads: &'r mut [u64],
+    flops: u64,
+    writes: u64,
+}
+
+impl<'a> FusedRun<'_, 'a, '_> {
+    /// Executes one fused loop under the context's counter mode.
+    #[inline]
+    fn run_mode(
+        &mut self,
+        mode: CounterMode,
+        fu: &Fused,
+        drive: FDrive<'a>,
+        idx: usize,
+        iters: u64,
+    ) {
+        match mode {
+            CounterMode::Exact => self.run::<true>(fu, drive, idx, iters),
+            CounterMode::Off => self.run::<false>(fu, drive, idx, iters),
         }
     }
+
+    #[inline]
+    fn run<const COUNT: bool>(&mut self, fu: &Fused, drive: FDrive<'a>, idx: usize, iters: u64) {
+        if COUNT {
+            // Invariant contributions in bulk, from the recipe derived
+            // off the step list this body replaces.
+            for &(t, n) in fu.bulk.reads.iter() {
+                self.reads[t] += n * iters;
+            }
+            self.flops += fu.bulk.flops * iters;
+            self.writes += fu.bulk.writes * iters;
+        }
+        // Closed-form loops for the canonical shapes run straight off
+        // the compile-time form — entry cost is a handful of scalar
+        // resolutions, which matters for short fibers entered many
+        // times (SSYRK's intersection).
+        if matches!(fu.kind, FusedBody::Dot | FusedBody::DotAxpy)
+            && self.run_special::<COUNT>(fu, &drive, idx)
+        {
+            return;
+        }
+        let mut body = self.resolve(fu, idx);
+        for ld in fu.loads.iter() {
+            if let FLoad::Gather { tensor, id, modes, leaf_only: true, .. } = ld {
+                init_gather_cursor(
+                    self.levels,
+                    self.lvl_base,
+                    self.u,
+                    self.gathers,
+                    *tensor,
+                    *id,
+                    modes,
+                );
+            }
+        }
+        // One semiring for the whole body → monomorphized loops.
+        let folds = &body.folds[..body.n_folds];
+        let (bin0, op0) = (folds[0].bin, folds[0].op);
+        let uniform = folds.iter().all(|fo| fo.bin == bin0 && fo.op == op0);
+        match (uniform, bin0, op0) {
+            (true, BinOp::Mul, AssignOp::Add) => {
+                self.drive::<MulAddSemi, COUNT>(&mut body, MulAddSemi, drive)
+            }
+            (true, BinOp::Add, AssignOp::Min) => {
+                self.drive::<AddMinSemi, COUNT>(&mut body, AddMinSemi, drive)
+            }
+            _ => self.drive::<DynSemi, COUNT>(&mut body, DynSemi, drive),
+        }
+        // Flush register-held accumulators.
+        for fold in &body.folds[..body.n_folds] {
+            match fold.acc {
+                RAcc::Slot { slot } => self.f[slot] = fold.accv,
+                RAcc::Cell { ord, off } => {
+                    let ob = self.outs[ord].as_mut().expect("output bound");
+                    let i = off - ob.base;
+                    ob.data[i] = fold.accv;
+                }
+                RAcc::Out { .. } => {}
+            }
+        }
+    }
+
+    /// Resolves a fused body against the current bindings: dense bases
+    /// and invariant registers are snapshot once, accumulators load
+    /// their starting values.
+    fn resolve<'p>(&mut self, fu: &'p Fused, idx: usize) -> RBody<'a, 'p> {
+        let mut body = RBody {
+            loads: [RLoad::Val; MAX_FUSED_LOADS],
+            n_loads: fu.loads.len(),
+            folds: [RFold {
+                lead: 0.0,
+                has_lead: false,
+                srcs: [RSrc::Const(0.0); MAX_FUSED_SRCS],
+                n_srcs: 0,
+                acc: RAcc::Slot { slot: 0 },
+                accv: 0.0,
+                bin: BinOp::Add,
+                op: AssignOp::Add,
+                check_miss: false,
+                hit_write: false,
+                hit_flop: false,
+                miss_mask: 0,
+            }; MAX_FUSED_FOLDS],
+            n_folds: fu.folds.len(),
+            idx,
+            needs_u_idx: false,
+        };
+        for (i, ld) in fu.loads.iter().enumerate() {
+            body.loads[i] = match ld {
+                FLoad::Val => RLoad::Val,
+                FLoad::Probe { tensor, set_miss } => {
+                    RLoad::Probe { tensor: *tensor, set_miss: *set_miss }
+                }
+                FLoad::Dense { tensor, base, stride } => RLoad::Dense {
+                    slice: self.dense[*tensor],
+                    base: offset(self.u, base),
+                    stride: *stride,
+                },
+                FLoad::Gather { tensor, id, modes, leaf_only, set_miss } => {
+                    body.needs_u_idx |= !*leaf_only;
+                    RLoad::Gather {
+                        tensor: *tensor,
+                        id: *id,
+                        modes,
+                        leaf_only: *leaf_only,
+                        set_miss: *set_miss,
+                    }
+                }
+            };
+        }
+        let single_fold = fu.folds.len() == 1;
+        for (j, fold) in fu.folds.iter().enumerate() {
+            let rf = &mut body.folds[j];
+            for op in fold.srcs.iter() {
+                match op {
+                    FOp::Reg(r) if rf.n_srcs == 0 => {
+                        // Still in the leading invariant run: pre-fold.
+                        let v = self.f[*r];
+                        rf.lead = if rf.has_lead { fold.bin.apply(rf.lead, v) } else { v };
+                        rf.has_lead = true;
+                    }
+                    FOp::Reg(r) => {
+                        rf.srcs[rf.n_srcs] = RSrc::Const(self.f[*r]);
+                        rf.n_srcs += 1;
+                    }
+                    FOp::Local(l) => {
+                        rf.srcs[rf.n_srcs] = RSrc::Local(*l);
+                        rf.n_srcs += 1;
+                    }
+                }
+            }
+            rf.acc = match &fold.acc {
+                FAcc::Scalar { slot } => RAcc::Slot { slot: *slot },
+                FAcc::Out { tensor, base, stride } => {
+                    let ord = self.oo[*tensor];
+                    let off = offset(self.u, base);
+                    if *stride == 0 && single_fold {
+                        RAcc::Cell { ord, off }
+                    } else {
+                        RAcc::Out { ord, off, stride: *stride }
+                    }
+                }
+            };
+            rf.accv = match rf.acc {
+                RAcc::Slot { slot } => self.f[slot],
+                RAcc::Cell { ord, off } => {
+                    let ob = self.outs[ord].as_ref().expect("output bound");
+                    ob.data[off - ob.base]
+                }
+                RAcc::Out { .. } => 0.0,
+            };
+            rf.bin = fold.bin;
+            rf.op = fold.op;
+            rf.check_miss = fold.check_miss;
+            rf.hit_write = fold.check_miss && matches!(fold.acc, FAcc::Out { .. });
+            rf.hit_flop = fold.check_miss && fold.op != AssignOp::Overwrite;
+            rf.miss_mask = fold.miss.iter().fold(0u32, |m, &l| m | (1 << l));
+        }
+        body
+    }
+
+    /// Drives the body over the loop's coordinates: closed-form
+    /// specializations for the canonical dot / dot-axpy / intersection
+    /// shapes, the lean generic loop otherwise.
+    fn drive<S: Semi, const COUNT: bool>(
+        &mut self,
+        body: &mut RBody<'a, '_>,
+        s: S,
+        drive: FDrive<'a>,
+    ) {
+        match drive {
+            FDrive::Range { lo, hi } => {
+                for c in lo..=hi {
+                    self.coord::<S, COUNT>(body, s, c, None, None);
+                }
+                self.u[body.idx] = hi;
+            }
+            FDrive::Crd { vals, crd, start, stop } => {
+                for (pos, &c) in crd.iter().enumerate().take(stop).skip(start) {
+                    self.coord::<S, COUNT>(body, s, c, Some((vals, pos)), None);
+                }
+                self.u[body.idx] = crd[stop - 1];
+            }
+            FDrive::Rle { vals, run_start, run_end, start, stop, lo, hi } => {
+                let mut last = lo;
+                for r in start..stop {
+                    let c_lo = run_start[r].max(lo);
+                    if c_lo > hi {
+                        break;
+                    }
+                    let c_hi = run_end[r].min(hi);
+                    for c in c_lo..=c_hi {
+                        self.coord::<S, COUNT>(body, s, c, Some((vals, r)), None);
+                    }
+                    last = c_hi;
+                }
+                self.u[body.idx] = last;
+            }
+            FDrive::Isect { vals, crd, start, stop, bvals, bcrd, mut bcur, bend } => {
+                for (pos, &c) in crd.iter().enumerate().take(stop).skip(start) {
+                    if bcur < bend && bcrd[bcur] < c {
+                        bcur += bcrd[bcur..bend].partition_point(|&x| x < c);
+                    }
+                    let pmatch = (bcur < bend && bcrd[bcur] == c).then_some(bcur);
+                    self.coord::<S, COUNT>(body, s, c, Some((vals, pos)), Some((bvals, pmatch)));
+                }
+                self.u[body.idx] = crd[stop - 1];
+            }
+        }
+    }
+
+    /// Executes the body for one coordinate (the generic fused path:
+    /// loads once into locals, then the straight-line folds).
+    #[inline(always)]
+    fn coord<S: Semi, const COUNT: bool>(
+        &mut self,
+        body: &mut RBody<'a, '_>,
+        s: S,
+        coord: usize,
+        leaf: Option<(&'a [f64], usize)>,
+        probe: Option<(&'a [f64], Option<usize>)>,
+    ) {
+        if body.needs_u_idx {
+            self.u[body.idx] = coord;
+        }
+        let mut locals = [0f64; MAX_FUSED_LOADS];
+        let mut miss: u32 = 0;
+        for (i, ld) in body.loads[..body.n_loads].iter().enumerate() {
+            match *ld {
+                RLoad::Val => {
+                    let (v, pos) = leaf.expect("driver value in a driven fused loop");
+                    locals[i] = v[pos];
+                }
+                RLoad::Dense { slice, base, stride } => {
+                    locals[i] = slice[base + coord * stride];
+                }
+                RLoad::Probe { tensor, set_miss } => {
+                    let (pv, pmatch) = probe.expect("probe value in an intersection loop");
+                    match pmatch {
+                        Some(p) => {
+                            locals[i] = pv[p];
+                            if COUNT {
+                                self.reads[tensor] += 1;
+                            }
+                        }
+                        None => {
+                            locals[i] = 0.0;
+                            miss |= u32::from(set_miss) << i;
+                        }
+                    }
+                }
+                RLoad::Gather { tensor, id, modes, leaf_only, set_miss } => {
+                    let found = gather_find(
+                        self.levels,
+                        self.lvl_base,
+                        self.u,
+                        self.gathers,
+                        tensor,
+                        id,
+                        modes,
+                        leaf_only,
+                        coord,
+                    );
+                    match found {
+                        Some(p) => {
+                            locals[i] = self.vals[tensor][p];
+                            if COUNT {
+                                self.reads[tensor] += 1;
+                            }
+                        }
+                        None => {
+                            locals[i] = 0.0;
+                            miss |= u32::from(set_miss) << i;
+                        }
+                    }
+                }
+            }
+        }
+        for fold in body.folds[..body.n_folds].iter_mut() {
+            let mut k = 0usize;
+            let mut v = if fold.has_lead {
+                fold.lead
+            } else {
+                k = 1;
+                src_val(fold.srcs[0], &locals)
+            };
+            while k < fold.n_srcs {
+                v = s.bin(fold.bin, v, src_val(fold.srcs[k], &locals));
+                k += 1;
+            }
+            if !(fold.check_miss && (miss & fold.miss_mask) != 0) {
+                match fold.acc {
+                    RAcc::Slot { .. } | RAcc::Cell { .. } => {
+                        fold.accv = s.red(fold.op, fold.accv, v);
+                    }
+                    RAcc::Out { ord, off, stride } => {
+                        let ob = self.outs[ord].as_mut().expect("output bound");
+                        let cell = &mut ob.data[off + coord * stride - ob.base];
+                        *cell = s.red(fold.op, *cell, v);
+                    }
+                }
+                if COUNT {
+                    self.writes += u64::from(fold.hit_write);
+                    self.flops += u64::from(fold.hit_flop);
+                }
+            }
+        }
+    }
+
+    /// Closed-form loops for the canonical dot / dot-axpy shapes,
+    /// running straight off the compile-time [`Fused`] form (no operand
+    /// arrays, accumulators and operands pinned in machine registers).
+    /// Returns `false` when the shape or drive doesn't match — the
+    /// generic fused path then runs.
+    #[inline]
+    fn run_special<const COUNT: bool>(
+        &mut self,
+        fu: &Fused,
+        drive: &FDrive<'a>,
+        idx: usize,
+    ) -> bool {
+        match (fu.kind, fu.folds.as_ref()) {
+            (FusedBody::Dot, [fold]) => self.special_dot::<COUNT>(fold, &fu.loads, drive, idx),
+            (FusedBody::DotAxpy, [dot, axpy]) => {
+                self.special_dot_axpy::<COUNT>(dot, axpy, &fu.loads, drive, idx)
+            }
+            _ => false,
+        }
+    }
+
+    /// `acc ∘= [lead ∘] a [∘ mid] ∘ b` where `a` is the driver value
+    /// and `b` a strided dense element (SpMV/SYPRD row dots) or the
+    /// probed value (SSYRK's intersection dot), with the accumulator in
+    /// a machine register for the whole loop.
+    #[inline]
+    fn special_dot<const COUNT: bool>(
+        &mut self,
+        fold: &FFold,
+        loads: &[FLoad],
+        drive: &FDrive<'a>,
+        idx: usize,
+    ) -> bool {
+        if loads.len() != 2 {
+            return false;
+        }
+        let Some((lead, a, mid, b)) = split_dot(self.f, fold) else {
+            return false;
+        };
+        if a == b || !matches!(loads[a], FLoad::Val) {
+            return false;
+        }
+        // Register-held accumulator: a scalar slot or an invariant cell.
+        let cell = match &fold.acc {
+            FAcc::Scalar { .. } => None,
+            FAcc::Out { tensor, base, stride: 0 } => Some((self.oo[*tensor], offset(self.u, base))),
+            FAcc::Out { .. } => return false,
+        };
+        let acc0 = match (&fold.acc, cell) {
+            (FAcc::Scalar { slot }, _) => self.f[*slot],
+            (_, Some((ord, off))) => {
+                let ob = self.outs[ord].as_ref().expect("output bound");
+                ob.data[off - ob.base]
+            }
+            _ => unreachable!(),
+        };
+        let (bin, op) = (fold.bin, fold.op);
+        let acc = match &loads[b] {
+            FLoad::Dense { tensor, base, stride } if !fold.check_miss => {
+                let xs = self.dense[*tensor];
+                let xb = offset(self.u, base);
+                let xst = *stride;
+                match *drive {
+                    FDrive::Crd { vals, crd, start, stop } => {
+                        let (crd, avals) = (&crd[start..stop], &vals[start..stop]);
+                        let acc = match (bin, op) {
+                            (BinOp::Mul, AssignOp::Add) => dot_crd(
+                                MulAddSemi, bin, op, lead, mid, acc0, crd, avals, xs, xb, xst,
+                            ),
+                            (BinOp::Add, AssignOp::Min) => dot_crd(
+                                AddMinSemi, bin, op, lead, mid, acc0, crd, avals, xs, xb, xst,
+                            ),
+                            _ => {
+                                dot_crd(DynSemi, bin, op, lead, mid, acc0, crd, avals, xs, xb, xst)
+                            }
+                        };
+                        self.u[idx] = crd[crd.len() - 1];
+                        acc
+                    }
+                    FDrive::Rle { vals, run_start, run_end, start, stop, lo, hi } => {
+                        let args = RleArgs { vals, run_start, run_end, start, stop, lo, hi };
+                        let (acc, last) = match (bin, op) {
+                            (BinOp::Mul, AssignOp::Add) => {
+                                dot_rle(MulAddSemi, bin, op, lead, mid, acc0, &args, xs, xb, xst)
+                            }
+                            (BinOp::Add, AssignOp::Min) => {
+                                dot_rle(AddMinSemi, bin, op, lead, mid, acc0, &args, xs, xb, xst)
+                            }
+                            _ => dot_rle(DynSemi, bin, op, lead, mid, acc0, &args, xs, xb, xst),
+                        };
+                        self.u[idx] = last;
+                        acc
+                    }
+                    _ => return false,
+                }
+            }
+            FLoad::Probe { tensor: pt, set_miss: true }
+                if fold.check_miss && fold.miss.as_ref() == [b] =>
+            {
+                let FDrive::Isect { vals, crd, start, stop, bvals, bcrd, bcur, bend } = *drive
+                else {
+                    return false;
+                };
+                let (crd, avals) = (&crd[start..stop], &vals[start..stop]);
+                let probe = IsectArgs { bvals, bcrd, bcur, bend };
+                let (acc, hits) = match (bin, op) {
+                    (BinOp::Mul, AssignOp::Add) => {
+                        isect_dot(MulAddSemi, bin, op, lead, mid, acc0, crd, avals, &probe)
+                    }
+                    (BinOp::Add, AssignOp::Min) => {
+                        isect_dot(AddMinSemi, bin, op, lead, mid, acc0, crd, avals, &probe)
+                    }
+                    _ => isect_dot(DynSemi, bin, op, lead, mid, acc0, crd, avals, &probe),
+                };
+                if COUNT {
+                    // Per hit: one probe read plus the store side of the
+                    // miss-checked fold.
+                    self.reads[*pt] += hits;
+                    if op != AssignOp::Overwrite {
+                        self.flops += hits;
+                    }
+                    if matches!(fold.acc, FAcc::Out { .. }) {
+                        self.writes += hits;
+                    }
+                }
+                self.u[idx] = crd[crd.len() - 1];
+                acc
+            }
+            _ => return false,
+        };
+        match (&fold.acc, cell) {
+            (FAcc::Scalar { slot }, _) => self.f[*slot] = acc,
+            (_, Some((ord, off))) => {
+                let ob = self.outs[ord].as_mut().expect("output bound");
+                let i = off - ob.base;
+                ob.data[i] = acc;
+            }
+            _ => unreachable!(),
+        }
+        true
+    }
+
+    /// SSYMV's symmetric pair over a compressed driver: a register-held
+    /// scalar dot plus a strided reducing store, sharing the driver
+    /// value (`w ∘= a ∘ x[c]; y[c] ∘= a ∘ k`).
+    fn special_dot_axpy<const COUNT: bool>(
+        &mut self,
+        dot: &FFold,
+        axpy: &FFold,
+        loads: &[FLoad],
+        drive: &FDrive<'a>,
+        idx: usize,
+    ) -> bool {
+        let FDrive::Crd { vals, crd, start, stop } = *drive else {
+            return false;
+        };
+        if loads.len() != 2 || dot.check_miss || axpy.check_miss {
+            return false;
+        }
+        let Some((None, a, None, b)) = split_dot(self.f, dot) else {
+            return false;
+        };
+        if a == b || !matches!(loads[a], FLoad::Val) {
+            return false;
+        }
+        let FLoad::Dense { tensor: xt, base: xbase, stride: xst } = &loads[b] else {
+            return false;
+        };
+        let FAcc::Scalar { slot } = dot.acc else {
+            return false;
+        };
+        // The axpy side: driver value times one invariant register.
+        let (k, k_first) = match axpy.srcs.as_ref() {
+            [FOp::Local(l), FOp::Reg(r)] if *l == a => (self.f[*r], false),
+            [FOp::Reg(r), FOp::Local(l)] if *l == a => (self.f[*r], true),
+            _ => return false,
+        };
+        let FAcc::Out { tensor: ot, base: obase, stride: ost } = &axpy.acc else {
+            return false;
+        };
+        let xs = self.dense[*xt];
+        let xb = offset(self.u, xbase);
+        let ooff = offset(self.u, obase);
+        let ord = self.oo[*ot];
+        let ob = self.outs[ord].as_mut().expect("output bound");
+        let args = DotAxpyArgs {
+            k,
+            k_first,
+            crd: &crd[start..stop],
+            avals: &vals[start..stop],
+            xs,
+            xb,
+            xst: *xst,
+            ooff,
+            ob_base: ob.base,
+            ost: *ost,
+        };
+        let acc0 = self.f[slot];
+        let uniform = dot.bin == axpy.bin && dot.op == axpy.op;
+        let acc = match (uniform, dot.bin, dot.op) {
+            (true, BinOp::Mul, AssignOp::Add) => {
+                dot_axpy_crd(MulAddSemi, dot, axpy, acc0, &args, ob.data)
+            }
+            (true, BinOp::Add, AssignOp::Min) => {
+                dot_axpy_crd(AddMinSemi, dot, axpy, acc0, &args, ob.data)
+            }
+            _ => dot_axpy_crd(DynSemi, dot, axpy, acc0, &args, ob.data),
+        };
+        self.f[slot] = acc;
+        self.u[idx] = crd[stop - 1];
+        true
+    }
+}
+
+/// Splits a fold's operand list into the canonical dot chain
+/// `[lead regs..., Local(a), (Reg mid)?, Local(b)]`, snapshotting (and
+/// pre-folding) the invariant registers. `None` = some other shape.
+#[inline]
+fn split_dot(f: &[f64], fold: &FFold) -> Option<(Option<f64>, usize, Option<f64>, usize)> {
+    let mut srcs = fold.srcs.iter();
+    let mut lead: Option<f64> = None;
+    let a = loop {
+        match srcs.next()? {
+            FOp::Reg(r) => {
+                let v = f[*r];
+                lead = Some(match lead {
+                    None => v,
+                    Some(l) => fold.bin.apply(l, v),
+                });
+            }
+            FOp::Local(l) => break *l,
+        }
+    };
+    let (mid, b) = match srcs.next()? {
+        FOp::Reg(r) => {
+            let FOp::Local(l) = srcs.next()? else {
+                return None;
+            };
+            (Some(f[*r]), *l)
+        }
+        FOp::Local(l) => (None, *l),
+    };
+    if srcs.next().is_some() {
+        return None;
+    }
+    Some((lead, a, mid, b))
+}
+
+/// One element of the dot chain: `red(acc, ([lead ∘] a [∘ mid]) ∘ b)`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn dot_chain<S: Semi>(
+    s: S,
+    bin: BinOp,
+    op: AssignOp,
+    acc: f64,
+    lead: Option<f64>,
+    a: f64,
+    mid: Option<f64>,
+    b: f64,
+) -> f64 {
+    let mut v = match lead {
+        Some(l) => s.bin(bin, l, a),
+        None => a,
+    };
+    if let Some(k) = mid {
+        v = s.bin(bin, v, k);
+    }
+    s.red(op, acc, s.bin(bin, v, b))
+}
+
+/// Dot over a compressed driver window.
+#[allow(clippy::too_many_arguments)]
+fn dot_crd<S: Semi>(
+    s: S,
+    bin: BinOp,
+    op: AssignOp,
+    lead: Option<f64>,
+    mid: Option<f64>,
+    acc0: f64,
+    crd: &[usize],
+    avals: &[f64],
+    xs: &[f64],
+    xb: usize,
+    xst: usize,
+) -> f64 {
+    let mut acc = acc0;
+    for (&c, &a) in crd.iter().zip(avals) {
+        acc = dot_chain(s, bin, op, acc, lead, a, mid, xs[xb + c * xst]);
+    }
+    acc
+}
+
+/// The run-length drive window (bundled to keep signatures readable).
+struct RleArgs<'a> {
+    vals: &'a [f64],
+    run_start: &'a [usize],
+    run_end: &'a [usize],
+    start: usize,
+    stop: usize,
+    lo: usize,
+    hi: usize,
+}
+
+/// Dot over a run-length driver window: the driver value is constant
+/// per run, so its chain prefix hoists out of the inner strided loop.
+#[allow(clippy::too_many_arguments)]
+fn dot_rle<S: Semi>(
+    s: S,
+    bin: BinOp,
+    op: AssignOp,
+    lead: Option<f64>,
+    mid: Option<f64>,
+    acc0: f64,
+    args: &RleArgs<'_>,
+    xs: &[f64],
+    xb: usize,
+    xst: usize,
+) -> (f64, usize) {
+    let mut acc = acc0;
+    let mut last = args.lo;
+    for r in args.start..args.stop {
+        let c_lo = args.run_start[r].max(args.lo);
+        if c_lo > args.hi {
+            break;
+        }
+        let c_hi = args.run_end[r].min(args.hi);
+        let a = args.vals[r];
+        let mut v = match lead {
+            Some(l) => s.bin(bin, l, a),
+            None => a,
+        };
+        if let Some(k) = mid {
+            v = s.bin(bin, v, k);
+        }
+        for c in c_lo..=c_hi {
+            acc = s.red(op, acc, s.bin(bin, v, xs[xb + c * xst]));
+        }
+        last = c_hi;
+    }
+    (acc, last)
+}
+
+/// The probed fiber of an intersection drive.
+struct IsectArgs<'a> {
+    bvals: &'a [f64],
+    bcrd: &'a [usize],
+    bcur: usize,
+    bend: usize,
+}
+
+/// Intersection dot: the driver window merged against the probed fiber
+/// with a forward-only galloping cursor; on a miss the fold's value is
+/// unused and the store skipped, so the merge skips computing it
+/// without changing any state. Returns the accumulator and the hit
+/// count (for per-hit probe-read / store-side accounting).
+#[allow(clippy::too_many_arguments)]
+fn isect_dot<S: Semi>(
+    s: S,
+    bin: BinOp,
+    op: AssignOp,
+    lead: Option<f64>,
+    mid: Option<f64>,
+    acc0: f64,
+    crd: &[usize],
+    avals: &[f64],
+    probe: &IsectArgs<'_>,
+) -> (f64, u64) {
+    let mut acc = acc0;
+    let mut hits = 0u64;
+    let (bvals, bcrd, bend) = (probe.bvals, probe.bcrd, probe.bend);
+    let mut bcur = probe.bcur;
+    for (&c, &a) in crd.iter().zip(avals) {
+        if bcur < bend && bcrd[bcur] < c {
+            bcur += bcrd[bcur..bend].partition_point(|&x| x < c);
+        }
+        if bcur < bend && bcrd[bcur] == c {
+            acc = dot_chain(s, bin, op, acc, lead, a, mid, bvals[bcur]);
+            hits += 1;
+        }
+    }
+    (acc, hits)
+}
+
+/// The dot-axpy drive window (bundled to keep signatures readable).
+struct DotAxpyArgs<'a> {
+    k: f64,
+    k_first: bool,
+    crd: &'a [usize],
+    avals: &'a [f64],
+    xs: &'a [f64],
+    xb: usize,
+    xst: usize,
+    ooff: usize,
+    ob_base: usize,
+    ost: usize,
+}
+
+/// The symmetric dot + axpy pair over a compressed driver window.
+fn dot_axpy_crd<S: Semi>(
+    s: S,
+    dot: &FFold,
+    axpy: &FFold,
+    acc0: f64,
+    args: &DotAxpyArgs<'_>,
+    data: &mut [f64],
+) -> f64 {
+    let mut acc = acc0;
+    for (&c, &a) in args.crd.iter().zip(args.avals) {
+        acc = s.red(dot.op, acc, s.bin(dot.bin, a, args.xs[args.xb + c * args.xst]));
+        let v = if args.k_first { s.bin(axpy.bin, args.k, a) } else { s.bin(axpy.bin, a, args.k) };
+        let cell = &mut data[args.ooff + c * args.ost - args.ob_base];
+        *cell = s.red(axpy.op, *cell, v);
+    }
+    acc
 }
 
 #[inline]
@@ -484,6 +1494,7 @@ fn run_range<'a>(
     gathers: &mut Vec<Gather>,
     counters: &mut CounterBank,
     chunk: Option<Chunk<'_>>,
+    mode: CounterMode,
 ) {
     // Reset register files and vector-loop scratch (reusing capacity).
     u.clear();
@@ -535,6 +1546,26 @@ fn run_range<'a>(
                 flops: 0,
                 writes: 0,
                 miss: false,
+            }
+        };
+    }
+
+    /// Builds the per-loop [`FusedRun`] over the same tables.
+    macro_rules! fused_run {
+        () => {
+            FusedRun {
+                u: &mut *u,
+                f: &mut *f,
+                gathers: &mut *gathers,
+                dense,
+                vals,
+                levels,
+                lvl_base,
+                outs: &mut *outs,
+                oo,
+                reads: &mut reads[..],
+                flops: 0,
+                writes: 0,
             }
         };
     }
@@ -904,23 +1935,34 @@ fn run_range<'a>(
                 if lo_v <= hi_v {
                     let iters = (hi_v - lo_v + 1) as u64;
                     iterations += iters;
-                    vec_prepare(
-                        items,
-                        u,
-                        iters,
-                        vec_pass,
-                        vec_bases,
-                        reads,
-                        &mut flops,
-                        &mut writes,
-                    );
-                    let mut vr = vec_run!(items, *idx);
-                    vr.init_gathers();
-                    for j in lo_v as usize..=hi_v as usize {
-                        vr.exec_coord(j, None, None);
+                    let n_pass = eval_guards(items, u, vec_pass);
+                    if let Some(fu) = fused_single(items, vec_pass, n_pass) {
+                        let mut fr = fused_run!();
+                        let drive = FDrive::Range { lo: lo_v as usize, hi: hi_v as usize };
+                        fr.run_mode(mode, fu, drive, *idx, iters);
+                        flops += fr.flops;
+                        writes += fr.writes;
+                    } else if n_pass > 0 {
+                        vec_prepare(
+                            items,
+                            u,
+                            iters,
+                            vec_pass,
+                            vec_bases,
+                            reads,
+                            &mut flops,
+                            &mut writes,
+                        );
+                        let mut vr = vec_run!(items, *idx);
+                        vr.init_gathers();
+                        for j in lo_v as usize..=hi_v as usize {
+                            vr.exec_coord(j, None, None);
+                        }
+                        flops += vr.flops;
+                        writes += vr.writes;
+                    } else {
+                        u[*idx] = hi_v as usize;
                     }
-                    flops += vr.flops;
-                    writes += vr.writes;
                 }
                 pc += 1;
             }
@@ -941,24 +1983,35 @@ fn run_range<'a>(
                     if start < stop {
                         let iters = (stop - start) as u64;
                         iterations += iters;
-                        vec_prepare(
-                            items,
-                            u,
-                            iters,
-                            vec_pass,
-                            vec_bases,
-                            reads,
-                            &mut flops,
-                            &mut writes,
-                        );
                         let tvals = vals[*tensor];
-                        let mut vr = vec_run!(items, *idx);
-                        vr.init_gathers();
-                        for (posn, &coord) in crd.iter().enumerate().take(stop).skip(start) {
-                            vr.exec_coord(coord, Some((tvals, posn)), None);
+                        let n_pass = eval_guards(items, u, vec_pass);
+                        if let Some(fu) = fused_single(items, vec_pass, n_pass) {
+                            let mut fr = fused_run!();
+                            let drive = FDrive::Crd { vals: tvals, crd, start, stop };
+                            fr.run_mode(mode, fu, drive, *idx, iters);
+                            flops += fr.flops;
+                            writes += fr.writes;
+                        } else if n_pass > 0 {
+                            vec_prepare(
+                                items,
+                                u,
+                                iters,
+                                vec_pass,
+                                vec_bases,
+                                reads,
+                                &mut flops,
+                                &mut writes,
+                            );
+                            let mut vr = vec_run!(items, *idx);
+                            vr.init_gathers();
+                            for (posn, &coord) in crd.iter().enumerate().take(stop).skip(start) {
+                                vr.exec_coord(coord, Some((tvals, posn)), None);
+                            }
+                            flops += vr.flops;
+                            writes += vr.writes;
+                        } else {
+                            u[*idx] = crd[stop - 1];
                         }
-                        flops += vr.flops;
-                        writes += vr.writes;
                     }
                 }
                 pc += 1;
@@ -991,33 +2044,60 @@ fn run_range<'a>(
                         }
                         if iters > 0 {
                             iterations += iters;
-                            vec_prepare(
-                                items,
-                                u,
-                                iters,
-                                vec_pass,
-                                vec_bases,
-                                reads,
-                                &mut flops,
-                                &mut writes,
-                            );
                             let tvals = vals[*tensor];
-                            let mut vr = vec_run!(items, *idx);
-                            vr.init_gathers();
-                            // Pass 2: expand each run into strided body
-                            // applications at its constant value slot.
-                            for r in start..stop {
-                                let c_lo = run_start[r].max(lo_u);
-                                if c_lo > hi_u {
-                                    break;
+                            let n_pass = eval_guards(items, u, vec_pass);
+                            if let Some(fu) = fused_single(items, vec_pass, n_pass) {
+                                let mut fr = fused_run!();
+                                let drive = FDrive::Rle {
+                                    vals: tvals,
+                                    run_start,
+                                    run_end,
+                                    start,
+                                    stop,
+                                    lo: lo_u,
+                                    hi: hi_u,
+                                };
+                                fr.run_mode(mode, fu, drive, *idx, iters);
+                                flops += fr.flops;
+                                writes += fr.writes;
+                            } else if n_pass > 0 {
+                                vec_prepare(
+                                    items,
+                                    u,
+                                    iters,
+                                    vec_pass,
+                                    vec_bases,
+                                    reads,
+                                    &mut flops,
+                                    &mut writes,
+                                );
+                                let mut vr = vec_run!(items, *idx);
+                                vr.init_gathers();
+                                // Pass 2: expand each run into strided
+                                // body applications at its constant
+                                // value slot.
+                                for r in start..stop {
+                                    let c_lo = run_start[r].max(lo_u);
+                                    if c_lo > hi_u {
+                                        break;
+                                    }
+                                    let c_hi = run_end[r].min(hi_u);
+                                    for c in c_lo..=c_hi {
+                                        vr.exec_coord(c, Some((tvals, r)), None);
+                                    }
                                 }
-                                let c_hi = run_end[r].min(hi_u);
-                                for c in c_lo..=c_hi {
-                                    vr.exec_coord(c, Some((tvals, r)), None);
+                                flops += vr.flops;
+                                writes += vr.writes;
+                            } else {
+                                let mut last = lo_u;
+                                for r in start..stop {
+                                    if run_start[r].max(lo_u) > hi_u {
+                                        break;
+                                    }
+                                    last = run_end[r].min(hi_u);
                                 }
+                                u[*idx] = last;
                             }
-                            flops += vr.flops;
-                            writes += vr.writes;
                         }
                     }
                 }
@@ -1051,16 +2131,20 @@ fn run_range<'a>(
                     if start < stop {
                         let iters = (stop - start) as u64;
                         iterations += iters;
-                        vec_prepare(
-                            items,
-                            u,
-                            iters,
-                            vec_pass,
-                            vec_bases,
-                            reads,
-                            &mut flops,
-                            &mut writes,
-                        );
+                        let n_pass = eval_guards(items, u, vec_pass);
+                        let fused = fused_single(items, vec_pass, n_pass);
+                        if n_pass > 0 && fused.is_none() {
+                            vec_prepare(
+                                items,
+                                u,
+                                iters,
+                                vec_pass,
+                                vec_bases,
+                                reads,
+                                &mut flops,
+                                &mut writes,
+                            );
+                        }
                         // The probed fiber: empty when its own path
                         // prefix is unstored (every probe misses, but
                         // the driver still iterates, as in the
@@ -1077,94 +2161,77 @@ fn run_range<'a>(
                             (vals[*probe_tensor], bcrd, bpos[pb], bpos[pb + 1])
                         };
                         let tvals = vals[*tensor];
-                        let mut vr = vec_run!(items, *idx);
-                        vr.init_gathers();
-                        // Galloping merge: both coordinate lists are
-                        // sorted, so the probe cursor only moves
-                        // forward; the remainder search skips gaps in
-                        // one partition_point instead of the general
-                        // path's full-fiber binary search per step.
-                        for (posa, &c) in crd.iter().enumerate().take(stop).skip(start) {
-                            if bcur < bend && bcrd[bcur] < c {
-                                bcur += bcrd[bcur..bend].partition_point(|&x| x < c);
+                        if let Some(fu) = fused {
+                            if let Some((slot, bin, op, pt)) = fu.isect_dot {
+                                // The dominant shape, pre-analyzed at
+                                // compile time: no entry-time shape
+                                // resolution at all (this loop is
+                                // entered per (i, j) pair).
+                                let count = mode == CounterMode::Exact;
+                                if count {
+                                    for &(t, n) in fu.bulk.reads.iter() {
+                                        reads[t] += n * iters;
+                                    }
+                                    flops += fu.bulk.flops * iters;
+                                }
+                                let probe = IsectArgs { bvals, bcrd, bcur, bend };
+                                let (cw, aw) = (&crd[start..stop], &tvals[start..stop]);
+                                let acc0 = f[slot];
+                                let (acc, hits) = match (bin, op) {
+                                    (BinOp::Mul, AssignOp::Add) => isect_dot(
+                                        MulAddSemi, bin, op, None, None, acc0, cw, aw, &probe,
+                                    ),
+                                    (BinOp::Add, AssignOp::Min) => isect_dot(
+                                        AddMinSemi, bin, op, None, None, acc0, cw, aw, &probe,
+                                    ),
+                                    _ => isect_dot(
+                                        DynSemi, bin, op, None, None, acc0, cw, aw, &probe,
+                                    ),
+                                };
+                                f[slot] = acc;
+                                u[*idx] = crd[stop - 1];
+                                if count {
+                                    reads[pt] += hits;
+                                    if op != AssignOp::Overwrite {
+                                        flops += hits;
+                                    }
+                                }
+                            } else {
+                                let mut fr = fused_run!();
+                                let drive = FDrive::Isect {
+                                    vals: tvals,
+                                    crd,
+                                    start,
+                                    stop,
+                                    bvals,
+                                    bcrd,
+                                    bcur,
+                                    bend,
+                                };
+                                fr.run_mode(mode, fu, drive, *idx, iters);
+                                flops += fr.flops;
+                                writes += fr.writes;
                             }
-                            let pmatch = (bcur < bend && bcrd[bcur] == c).then_some(bcur);
-                            vr.exec_coord(c, Some((tvals, posa)), Some((bvals, pmatch)));
-                        }
-                        flops += vr.flops;
-                        writes += vr.writes;
-                    }
-                }
-                pc += 1;
-            }
-            Instr::VecIsectDot {
-                tensor,
-                level: lv,
-                idx,
-                parent,
-                probe_tensor,
-                probe_level,
-                probe_parent,
-                lo,
-                hi,
-                slot,
-                bin,
-                op,
-            } => {
-                let p = u[*parent];
-                if p != MISS {
-                    let LevelView::Sparse { pos, crd, .. } = level(levels, lvl_base, *tensor, *lv)
-                    else {
-                        unreachable!("vector intersection loop over a non-sparse level");
-                    };
-                    let (mut lo_v, mut hi_v) = clamp_bounds(u, lo, hi, i64::MAX);
-                    clamp_to_chunk(chunk, pc, &mut lo_v, &mut hi_v);
-                    let begin = pos[p];
-                    let fiber_end = pos[p + 1];
-                    let slice = &crd[begin..fiber_end];
-                    let start = begin + slice.partition_point(|&c| (c as i64) < lo_v);
-                    let stop = begin + slice.partition_point(|&c| (c as i64) <= hi_v);
-                    if start < stop {
-                        // Per driver coordinate: one iteration, one
-                        // driver read, one fold flop (the bin applies
-                        // even on a miss in the general path — its
-                        // result is simply unused, so the merge skips
-                        // computing it without changing any state).
-                        let iters = (stop - start) as u64;
-                        iterations += iters;
-                        reads[*tensor] += iters;
-                        flops += iters;
-                        let pb = u[*probe_parent];
-                        let mut acc = f[*slot];
-                        let mut hits = 0u64;
-                        if pb != MISS {
-                            let LevelView::Sparse { pos: bpos, crd: bcrd, .. } =
-                                level(levels, lvl_base, *probe_tensor, *probe_level)
-                            else {
-                                unreachable!("probed side of an intersection is compressed");
-                            };
-                            let tvals = vals[*tensor];
-                            let bvals = vals[*probe_tensor];
-                            let bend = bpos[pb + 1];
-                            let mut bcur = bpos[pb];
-                            for posa in start..stop {
-                                let c = crd[posa];
+                        } else if n_pass > 0 {
+                            let mut vr = vec_run!(items, *idx);
+                            vr.init_gathers();
+                            // Galloping merge: both coordinate lists are
+                            // sorted, so the probe cursor only moves
+                            // forward; the remainder search skips gaps
+                            // in one partition_point instead of the
+                            // general path's full-fiber binary search
+                            // per step.
+                            for (posa, &c) in crd.iter().enumerate().take(stop).skip(start) {
                                 if bcur < bend && bcrd[bcur] < c {
                                     bcur += bcrd[bcur..bend].partition_point(|&x| x < c);
                                 }
-                                if bcur < bend && bcrd[bcur] == c {
-                                    acc = op.apply(acc, bin.apply(tvals[posa], bvals[bcur]));
-                                    hits += 1;
-                                }
+                                let pmatch = (bcur < bend && bcrd[bcur] == c).then_some(bcur);
+                                vr.exec_coord(c, Some((tvals, posa)), Some((bvals, pmatch)));
                             }
-                        }
-                        f[*slot] = acc;
-                        u[*idx] = crd[stop - 1];
-                        // Per hit: one probe read and (for reducing
-                        // ops) the reduce flop of the guarded store.
-                        reads[*probe_tensor] += hits;
-                        if *op != AssignOp::Overwrite {
-                            flops += hits;
+                            flops += vr.flops;
+                            writes += vr.writes;
+                        } else {
+                            u[*idx] = crd[stop - 1];
                         }
                     }
                 }
@@ -1250,6 +2317,7 @@ pub(crate) fn execute(
         _ => None,
     };
 
+    let mode = ctx.counter_mode();
     match plan {
         None => {
             let bank = &mut ctx.banks(1)[0];
@@ -1257,7 +2325,7 @@ pub(crate) fn execute(
             let Bank { u, f, vec_pass, vec_bases, gathers, counters, .. } = bank;
             run_range(
                 program, dense, vals, levels, outs, u, f, vec_pass, vec_bases, gathers, counters,
-                None,
+                None, mode,
             );
             bank.counters.write_to(program.tensors.iter().map(|t| t.name.as_str()), out_counters);
         }
@@ -1273,6 +2341,7 @@ pub(crate) fn execute(
                 n_chunks,
                 threads,
                 out_counters,
+                mode,
             );
         }
     }
@@ -1301,6 +2370,7 @@ fn run_parallel<'a>(
     n_chunks: usize,
     threads: usize,
     out_counters: &mut Counters,
+    mode: CounterMode,
 ) {
     let n_slots = program.tensors.len();
     let oo = program.out_ordinal.as_slice();
@@ -1377,6 +2447,7 @@ fn run_parallel<'a>(
                         gathers,
                         counters,
                         Some(chunk),
+                        mode,
                     );
                 }
             });

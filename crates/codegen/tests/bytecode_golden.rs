@@ -175,11 +175,31 @@ fn ssyrk_probe_loop_vectorizes_to_intersection() {
     let kernel = Compiler::new().compile(&def.einsum, &def.symmetry).unwrap();
     let text = snapshot(kernel.main, None, &inputs);
     assert!(
-        text.contains("VecIsectDot"),
-        "ssyrk's probed k-loop must compile to the fused intersection dot loop:\n{text}"
+        text.contains("VecIsectLoop") && text.contains("kind: Dot"),
+        "ssyrk's probed k-loop must select the intersection loop with a fused dot body:\n{text}"
     );
     assert!(
         !text.contains("SparseLoopHead"),
         "no general compressed walk should survive in ssyrk's main program:\n{text}"
+    );
+}
+
+/// Fused-body selection fires on the hot loops of the paper suite: the
+/// goldens carry the full `Fused` forms, and this pins the headline
+/// facts by name so a regression can't hide behind a bless.
+#[test]
+fn fused_bodies_selected_across_paper_kernels() {
+    let mut fused_kernels = 0usize;
+    for def in defs::all() {
+        let inputs = fixed_inputs(&def);
+        let kernel = Compiler::new().compile(&def.einsum, &def.symmetry).unwrap();
+        let text = snapshot(kernel.main, kernel.replication, &inputs);
+        if text.contains("fused: Some") {
+            fused_kernels += 1;
+        }
+    }
+    assert!(
+        fused_kernels >= 5,
+        "fused bodies must be selected on at least 5 of the paper kernels, got {fused_kernels}"
     );
 }

@@ -47,5 +47,5 @@ mod prepare;
 
 pub use defs::{InputData, KernelDef};
 pub use prepare::{clear_plan_cache, plan_cache_stats, serial_fallback_note, Backend, Prepared};
-pub use systec_codegen::{ExecContext, Parallelism};
+pub use systec_codegen::{CounterMode, ExecContext, Parallelism};
 pub use systec_exec::Counters;

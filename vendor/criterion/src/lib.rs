@@ -15,9 +15,35 @@
 
 #![forbid(unsafe_code)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One completed benchmark's summary statistics (seconds per
+/// iteration), recorded for machine-readable reports.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Full series name (`group/function`).
+    pub name: String,
+    /// Fastest sample.
+    pub min: f64,
+    /// Median sample — the headline number.
+    pub median: f64,
+    /// Mean of the samples.
+    pub mean: f64,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+/// Every benchmark completed so far in this process, in run order.
+static REPORT: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Drains the recorded benchmark results (bench mains call this after
+/// the groups run to emit machine-readable reports).
+pub fn take_report() -> Vec<BenchRecord> {
+    std::mem::take(&mut *REPORT.lock().expect("report lock"))
+}
 
 /// Benchmark driver and configuration.
 #[derive(Clone, Debug)]
@@ -138,6 +164,13 @@ fn run_one(config: &Criterion, name: &str, mut f: impl FnMut(&mut Bencher)) {
         fmt_time(mean),
         samples.len(),
     );
+    REPORT.lock().expect("report lock").push(BenchRecord {
+        name: name.to_string(),
+        min,
+        median,
+        mean,
+        iters,
+    });
 }
 
 fn fmt_time(secs: f64) -> String {

@@ -6,43 +6,201 @@
 //! may borrow from the enclosing stack frame (the `'scope` lifetime),
 //! exactly like rayon's scoped tasks.
 //!
+//! ## Persistent worker pool
+//!
+//! Tasks run on a **lazily spawned, process-wide worker pool** instead
+//! of a fresh OS thread per spawn. Thread creation costs ~30µs each —
+//! the dominant overhead for sub-200µs kernel invocations at high
+//! thread counts — so workers are created on demand (only when a task
+//! is submitted and no worker is idle, up to [`MAX_WORKERS`]) and then
+//! parked on a condition variable between runs: the steady state of a
+//! run-many workload spawns **zero** threads. While a scope waits for
+//! its tasks, the calling thread helps drain the queue, so a machine
+//! core is never left idle holding only the waiting caller (and nested
+//! scopes cannot deadlock the pool).
+//!
 //! Semantics: [`scope`] blocks until every spawned task finishes, then
-//! returns the closure's value. There is no work-stealing pool behind
-//! it — each `spawn` is an OS thread via [`std::thread::scope`] — so
-//! callers should spawn roughly one task per core and do their own
-//! chunking, which is what `systec-codegen`'s row-parallel dispatcher
-//! does. If a task panics, the panic is propagated to the caller after
-//! all tasks have been joined, matching rayon.
+//! returns the closure's value. Callers should spawn roughly one task
+//! per core and do their own chunking, which is what `systec-codegen`'s
+//! row-parallel dispatcher does. If a task panics, the panic is
+//! propagated to the caller after all tasks have been joined, matching
+//! rayon; workers survive task panics (they are reused across runs).
 //!
 //! If the environment ever gains network access, swapping back to the
 //! real crate is a one-line change in the workspace `Cargo.toml`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Upper bound on pool size — far above any sensible spawn count; a
+/// guard against runaway recursive spawning, not a tuning knob.
+const MAX_WORKERS: usize = 64;
+
+/// A queued, lifetime-erased task (see the safety notes in
+/// [`Scope::spawn`]).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The process-wide pool: a job queue plus worker bookkeeping.
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Signals parked workers that a job (or shutdown—never sent) is
+    /// available.
+    work_cv: Condvar,
+    /// Total workers ever spawned (observability / tests).
+    spawned: AtomicUsize,
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Live worker threads.
+    workers: usize,
+    /// Workers currently parked waiting for work.
+    idle: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState { queue: VecDeque::new(), workers: 0, idle: 0 }),
+        work_cv: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+impl Pool {
+    /// Enqueues a job, growing the pool by one worker when nobody is
+    /// idle to take it (and the cap allows).
+    fn submit(&'static self, job: Job) {
+        let grow = {
+            let mut st = self.state.lock().expect("pool lock");
+            st.queue.push_back(job);
+            let grow = st.idle == 0 && st.workers < MAX_WORKERS;
+            if grow {
+                st.workers += 1;
+                self.spawned.fetch_add(1, Ordering::Relaxed);
+            }
+            grow
+        };
+        self.work_cv.notify_one();
+        // Thread creation (~30µs) happens outside the lock so other
+        // submitters and workers are never serialized behind it.
+        if grow {
+            std::thread::Builder::new()
+                .name("systec-pool-worker".into())
+                .spawn(move || self.worker_loop())
+                .expect("spawn pool worker");
+        }
+    }
+
+    /// Pops one job if any is queued (used by waiting scopes to help).
+    fn try_pop(&self) -> Option<Job> {
+        self.state.lock().expect("pool lock").queue.pop_front()
+    }
+
+    /// A worker's life: pop a job or park; never exits (workers are
+    /// reused for the whole process lifetime).
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut st = self.state.lock().expect("pool lock");
+                loop {
+                    if let Some(job) = st.queue.pop_front() {
+                        break job;
+                    }
+                    st.idle += 1;
+                    st = self.work_cv.wait(st).expect("pool lock");
+                    st.idle -= 1;
+                }
+            };
+            // Task panics are caught inside the job wrapper
+            // (Scope::spawn), so `job()` only unwinds if the wrapper
+            // itself is broken — in which case crashing the worker is
+            // the right outcome.
+            job();
+        }
+    }
+}
+
+/// Per-[`scope`] completion state: the count of in-flight tasks and the
+/// first captured panic.
+struct ScopeState {
+    pending: Mutex<usize>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
 
 /// A scope in which borrowed tasks can be spawned (rayon-style).
 ///
 /// Obtained from [`scope`]; hand it to [`Scope::spawn`] closures so
 /// tasks can spawn further tasks.
-#[derive(Clone, Copy)]
 pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
+    state: &'scope ScopeState,
+    /// Invariance over `'scope` (mirrors `std::thread::Scope`): nothing
+    /// may shorten the lifetime tasks are allowed to borrow.
+    scope: PhantomData<&'scope mut &'scope ()>,
+    env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
 }
 
 impl<'scope, 'env> Scope<'scope, 'env> {
     /// Spawns a task that may borrow from the enclosing frame. The task
-    /// runs on its own thread and is joined when the scope ends.
+    /// runs on a pool worker (or on the scope's own thread while it
+    /// waits) and is joined when the scope ends.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
     {
+        *self.state.pending.lock().expect("scope lock") += 1;
         let this = *self;
-        self.inner.spawn(move || f(&this));
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| f(&this)));
+            if let Err(payload) = result {
+                let mut slot = this.state.panic.lock().expect("scope lock");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            let mut pending = this.state.pending.lock().expect("scope lock");
+            *pending -= 1;
+            if *pending == 0 {
+                this.state.done_cv.notify_all();
+            }
+        });
+        pool().submit(erase_lifetime(job));
     }
 }
 
+/// Erases a scoped job's borrow lifetime so it can sit in the
+/// process-wide queue.
+///
+/// SAFETY: [`scope`] does not return until `pending` — incremented
+/// before every submit, decremented by the job wrapper after the task
+/// body finishes — reaches zero, and submitted jobs are always executed
+/// (the pool never drops queued work). Every borrow captured by the job
+/// therefore strictly outlives its execution, exactly the guarantee
+/// `std::thread::scope` relies on internally.
+#[allow(unsafe_code)]
+fn erase_lifetime<'scope>(job: Box<dyn FnOnce() + Send + 'scope>) -> Job {
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) }
+}
+
 /// Creates a scope for spawning borrowed tasks, blocking until all of
-/// them (and the closure itself) have finished.
+/// them (and the closure itself) have finished. While blocked, the
+/// calling thread executes queued tasks itself.
 ///
 /// # Panics
 ///
@@ -52,13 +210,51 @@ pub fn scope<'env, F, R>(op: F) -> R
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    std::thread::scope(|s| op(&Scope { inner: s }))
+    let state =
+        ScopeState { pending: Mutex::new(0), done_cv: Condvar::new(), panic: Mutex::new(None) };
+    let result = {
+        let scope = Scope { state: &state, scope: PhantomData, env: PhantomData };
+        catch_unwind(AssertUnwindSafe(|| op(&scope)))
+    };
+    // Join: help drain the global queue while tasks are in flight (the
+    // caller's core does chunk work instead of sleeping, and a nested
+    // scope can never deadlock a fully busy pool).
+    loop {
+        if *state.pending.lock().expect("scope lock") == 0 {
+            break;
+        }
+        if let Some(job) = pool().try_pop() {
+            job();
+            continue;
+        }
+        let pending = state.pending.lock().expect("scope lock");
+        if *pending == 0 {
+            break;
+        }
+        // Re-check the queue periodically: a task spawned by a task may
+        // have been enqueued after our try_pop.
+        let _ =
+            state.done_cv.wait_timeout(pending, Duration::from_micros(200)).expect("scope lock");
+    }
+    if let Some(payload) = state.panic.lock().expect("scope lock").take() {
+        resume_unwind(payload);
+    }
+    match result {
+        Ok(value) => value,
+        Err(payload) => resume_unwind(payload),
+    }
 }
 
 /// The number of threads a caller should assume are available — the
 /// machine's parallelism, or 1 when it cannot be queried.
 pub fn current_num_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Total pool workers ever spawned (a monotone counter): lets tests
+/// assert that steady-state runs reuse workers instead of spawning.
+pub fn pool_workers_spawned() -> usize {
+    pool().spawned.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -109,6 +305,62 @@ mod tests {
             });
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_survives_a_task_panic() {
+        let _ = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("induced"));
+            });
+        });
+        // The pool still runs tasks after a panicking one.
+        let ran = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|_| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn steady_state_reuses_workers() {
+        // Warm the pool, let the workers park, then run many more
+        // scopes of the same shape: the spawn counter must not keep
+        // growing with the number of runs.
+        for _ in 0..3 {
+            scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        std::hint::black_box(0u64);
+                    });
+                }
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let before = pool_workers_spawned();
+        for _ in 0..20 {
+            scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        std::hint::black_box(0u64);
+                    });
+                }
+            });
+            // Let the workers re-park: a scope's join can return before
+            // its workers have looped back to `idle`, and a submit in
+            // that window legitimately spawns one more.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let after = pool_workers_spawned();
+        // 20 scopes × 4 spawns = 80 submissions; allow generous
+        // scheduler-jitter slack while still proving the overwhelming
+        // majority reuse parked workers rather than spawning.
+        assert!(
+            after <= before + 10,
+            "steady-state scopes must reuse parked workers (spawned {before} -> {after})"
+        );
     }
 
     #[test]
