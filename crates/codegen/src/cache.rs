@@ -475,6 +475,29 @@ mod tests {
     }
 
     #[test]
+    fn shared_cache_counts_evictions() {
+        // Eviction observability: a full shared cache reports every LRU
+        // eviction through its stats — the serving layer's `stats` verb
+        // surfaces this so operators can see a thrashing plan cache.
+        let cache: SharedPlanCache<u32> = SharedPlanCache::new(2);
+        for (k, v) in [("a", 1), ("b", 2), ("c", 3)] {
+            let _ = cache.get_or_build::<(), ()>(&key(k), || Ok((v, ()))).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1, "inserting 3 keys into capacity 2 evicts one");
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.builds, 3);
+        // Rebuilding the evicted key (LRU: `a`) evicts again.
+        let (plan, rider) = cache.get_or_build::<(), ()>(&key("a"), || Ok((1, ()))).unwrap();
+        assert_eq!(*plan, 1);
+        assert!(rider.is_some(), "the evicted key really rebuilt");
+        assert_eq!(cache.stats().evictions, 2);
+        // Clearing resets the counter with the rest of the stats.
+        cache.clear();
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
     fn shared_cache_build_errors_propagate_and_cache_nothing() {
         let cache: SharedPlanCache<u32> = SharedPlanCache::new(8);
         let r = cache.get_or_build(&key("e"), || Err::<(u32, ()), &str>("nope"));

@@ -116,7 +116,7 @@ use systec_exec::{Counters, ExecError, LoweredProgram};
 use systec_tensor::{DenseTensor, Tensor};
 
 pub use cache::{BindingSig, CacheStats, PlanCache, PlanKey, SharedPlanCache};
-pub use context::{CounterMode, ExecContext};
+pub use context::{ContextPool, CounterMode, ExecContext, PooledContext};
 
 /// How many workers execute a kernel invocation.
 ///

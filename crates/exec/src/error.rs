@@ -72,6 +72,14 @@ pub enum ExecError {
         /// The display name used both ways.
         name: String,
     },
+    /// The kernel specification itself (einsum + symmetry declarations)
+    /// was rejected by the compiler — raised by preparation paths that
+    /// accept specs from untrusted callers (the serving layer) instead
+    /// of statically known kernel definitions.
+    InvalidKernel {
+        /// The compiler's rejection message.
+        message: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -105,6 +113,9 @@ impl fmt::Display for ExecError {
             }
             ExecError::InputOutputClash { name } => {
                 write!(f, "tensor `{name}` is bound as an input but written as an output")
+            }
+            ExecError::InvalidKernel { message } => {
+                write!(f, "invalid kernel specification: {message}")
             }
         }
     }

@@ -215,26 +215,51 @@ impl Prepared {
     ///
     /// # Errors
     ///
-    /// See [`Prepared::compile`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the kernel definition itself is rejected by the
-    /// compiler — the shipped definitions never are.
+    /// See [`Prepared::compile`]; a kernel definition the compiler
+    /// rejects surfaces as [`ExecError::InvalidKernel`] (the shipped
+    /// definitions never are).
     pub fn compile_with(
         def: &KernelDef,
         inputs: &HashMap<String, Tensor>,
         options: CompileOptions,
     ) -> Result<Self, ExecError> {
+        Self::compile_spec(&def.einsum, &def.symmetry, inputs, options)
+    }
+
+    /// Compiles an einsum + symmetry spec directly — the entry point for
+    /// callers (the serving layer, scripts) whose kernel arrives as
+    /// protocol parameters rather than a shipped [`KernelDef`]. Shares
+    /// the process-wide plan cache with [`Prepared::compile`]: the key
+    /// is (einsum, symmetry, formats, dims), so N concurrent
+    /// preparations of one spec perform exactly one build.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidKernel`] when the compiler rejects
+    /// the spec, and validation errors as in [`Prepared::compile`].
+    pub fn compile_einsum(
+        einsum: &systec_ir::Einsum,
+        symmetry: &SymmetrySpec,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<Self, ExecError> {
+        Self::compile_spec(einsum, symmetry, inputs, CompileOptions::default())
+    }
+
+    fn compile_spec(
+        einsum: &systec_ir::Einsum,
+        symmetry: &SymmetrySpec,
+        inputs: &HashMap<String, Tensor>,
+        options: CompileOptions,
+    ) -> Result<Self, ExecError> {
         let key = PlanKey::new(
-            format!("systec::{}::{options:?}", def.einsum),
-            symmetry_fingerprint(&def.symmetry),
+            format!("systec::{einsum}::{options:?}"),
+            symmetry_fingerprint(symmetry),
             inputs,
         );
         let (plan, bindings) = cached_plan(key, || {
             let kernel = Compiler::with_options(options)
-                .compile(&def.einsum, &def.symmetry)
-                .unwrap_or_else(|e| panic!("kernel {} failed to compile: {e}", def.name));
+                .compile(einsum, symmetry)
+                .map_err(|e| ExecError::InvalidKernel { message: e.to_string() })?;
             KernelPlan::build(kernel.main, kernel.replication, inputs)
         })?;
         Self::from_cache(plan, bindings, inputs)
@@ -247,9 +272,24 @@ impl Prepared {
     ///
     /// See [`Prepared::compile`].
     pub fn naive(def: &KernelDef, inputs: &HashMap<String, Tensor>) -> Result<Self, ExecError> {
-        let key = PlanKey::new(format!("naive::{}", def.einsum), String::new(), inputs);
+        Self::naive_einsum(&def.einsum, inputs)
+    }
+
+    /// Prepares the naive kernel of a bare einsum (no symmetry exploited)
+    /// through the plan cache — the serving-layer analogue of
+    /// [`Prepared::naive`]. Keys identically to `naive`, so a served
+    /// naive kernel and a [`KernelDef`]-driven one share a plan.
+    ///
+    /// # Errors
+    ///
+    /// See [`Prepared::compile`].
+    pub fn naive_einsum(
+        einsum: &systec_ir::Einsum,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<Self, ExecError> {
+        let key = PlanKey::new(format!("naive::{einsum}"), String::new(), inputs);
         let (plan, bindings) = cached_plan(key, || {
-            let program = Compiler::new().naive(&def.einsum);
+            let program = Compiler::new().naive(einsum);
             KernelPlan::build(program, None, inputs)
         })?;
         Self::from_cache(plan, bindings, inputs)
@@ -686,6 +726,49 @@ mod tests {
         let prepared = Prepared::from_programs(transpose.naive_program(), None, &inputs).unwrap();
         assert!(!prepared.splittable(), "scattered overwrites stay serial");
         assert!(serial_fallback_note(Parallelism::Threads(2), prepared.splittable()).is_some());
+    }
+
+    #[test]
+    fn compile_einsum_shares_plans_with_kernel_defs() {
+        // n = 26 is unique to this test (keys must not collide with
+        // concurrently running tests).
+        let (def, inputs) = ssymv_setup(26, 17);
+        let via_def = Prepared::compile(&def, &inputs).unwrap();
+        let via_spec = Prepared::compile_einsum(&def.einsum, &def.symmetry, &inputs).unwrap();
+        assert!(
+            via_def.shares_plan_with(&via_spec),
+            "spec-driven preparation must key identically to the KernelDef path"
+        );
+        let naive_def = Prepared::naive(&def, &inputs).unwrap();
+        let naive_spec = Prepared::naive_einsum(&def.einsum, &inputs).unwrap();
+        assert!(naive_def.shares_plan_with(&naive_spec));
+        // And they compute the same thing.
+        let (a, ca) = via_def.run_full().unwrap();
+        let (b, cb) = via_spec.run_full().unwrap();
+        assert_eq!(a["y"], b["y"]);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn invalid_spec_errors_instead_of_panicking() {
+        let (def, inputs) = ssymv_setup(14, 3);
+        // Declare a rank-3 symmetry on the rank-2 tensor: the compiler
+        // rejects the spec, and preparation must surface that as an
+        // error (the serving layer feeds untrusted specs here).
+        let bad = SymmetrySpec::new().with_full("A", 3);
+        let err = match Prepared::compile_einsum(&def.einsum, &bad, &inputs) {
+            Ok(_) => panic!("rank-mismatched symmetry must be rejected"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, ExecError::InvalidKernel { .. }),
+            "expected InvalidKernel, got {err:?}"
+        );
+        // The failed build poisons nothing: the valid spec still works.
+        let ok = Prepared::compile_einsum(&def.einsum, &def.symmetry, &inputs).unwrap();
+        let (out, _) = ok.run_full().unwrap();
+        let reference = reference_einsum(&def.einsum, &inputs).unwrap();
+        assert!(out["y"].max_abs_diff(&reference).unwrap() < 1e-10);
     }
 
     #[test]

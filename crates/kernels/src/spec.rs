@@ -1,0 +1,112 @@
+//! Textual kernel-spec helpers shared by the front ends.
+//!
+//! The `systec` CLI and the serving layer both accept kernels as text: an
+//! einsum string (parsed by [`systec_ir::parse_einsum`]) plus symmetry
+//! declarations in the CLI's `--sym` syntax. [`parse_symmetry`] turns
+//! those declarations into a validated [`SymmetrySpec`] against the
+//! einsum, so every front end rejects the same malformed specs with the
+//! same messages.
+
+use systec_core::{SymmetryPartition, SymmetrySpec};
+use systec_ir::Einsum;
+
+/// Parses symmetry declarations against an einsum.
+///
+/// Each declaration is either a bare tensor name (`"A"` — fully
+/// symmetric) or `"A:0-1,2"` — a partition of the tensor's mode
+/// positions into symmetric parts (`-` joins modes within a part, `,`
+/// separates parts).
+///
+/// # Errors
+///
+/// Returns a human-readable message when a declared tensor is not read
+/// by the einsum, a mode is not a number, or a partition does not cover
+/// the tensor's modes disjointly.
+pub fn parse_symmetry<S: AsRef<str>>(
+    einsum: &Einsum,
+    decls: impl IntoIterator<Item = S>,
+) -> Result<SymmetrySpec, String> {
+    let mut spec = SymmetrySpec::new();
+    for decl in decls {
+        let decl = decl.as_ref();
+        let (name, parts) = match decl.split_once(':') {
+            None => (decl, None),
+            Some((name, parts)) => (name, Some(parts)),
+        };
+        let rank = match einsum.rhs.accesses().iter().find(|a| a.tensor.name == name) {
+            Some(a) => a.rank(),
+            None => return Err(format!("symmetry `{name}`: the einsum does not read `{name}`")),
+        };
+        spec = match parts {
+            None => spec.with_full(name, rank),
+            Some(parts) => {
+                let parsed: Result<Vec<Vec<usize>>, String> = parts
+                    .split(',')
+                    .map(|part| {
+                        part.split('-')
+                            .map(|m| {
+                                m.parse::<usize>().map_err(|_| {
+                                    format!("symmetry `{name}`: bad mode `{m}` in `{decl}`")
+                                })
+                            })
+                            .collect()
+                    })
+                    .collect();
+                match SymmetryPartition::from_parts(parsed?) {
+                    Some(p) => spec.with_partition(name, p),
+                    None => {
+                        return Err(format!(
+                            "symmetry `{name}`: parts must cover modes 0..{rank} disjointly"
+                        ))
+                    }
+                }
+            }
+        };
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systec_ir::parse_einsum;
+
+    fn ssymv() -> Einsum {
+        parse_einsum("for i, j: y[i] += A[i, j] * x[j]").unwrap()
+    }
+
+    #[test]
+    fn bare_name_declares_full_symmetry() {
+        let spec = parse_symmetry(&ssymv(), ["A"]).unwrap();
+        let p = spec.partition("A").expect("A is declared");
+        assert_eq!(p.parts().collect::<Vec<_>>(), vec![&[0usize, 1][..]]);
+    }
+
+    #[test]
+    fn partition_syntax_parses() {
+        let e = parse_einsum("for j, k, l, i: C[i, j, l] += A[k, j, l] * B[k, i]").unwrap();
+        let spec = parse_symmetry(&e, ["A:0,1-2"]).unwrap();
+        let p = spec.partition("A").expect("A is declared");
+        assert_eq!(p.parts().collect::<Vec<_>>(), vec![&[0usize][..], &[1, 2][..]]);
+    }
+
+    #[test]
+    fn unknown_tensor_is_rejected() {
+        let err = parse_symmetry(&ssymv(), ["Q"]).unwrap_err();
+        assert!(err.contains("does not read `Q`"), "{err}");
+    }
+
+    #[test]
+    fn bad_mode_and_bad_partition_are_rejected() {
+        let err = parse_symmetry(&ssymv(), ["A:0-one"]).unwrap_err();
+        assert!(err.contains("bad mode `one`"), "{err}");
+        let err = parse_symmetry(&ssymv(), ["A:0-0"]).unwrap_err();
+        assert!(err.contains("disjointly"), "{err}");
+    }
+
+    #[test]
+    fn empty_declaration_list_is_the_empty_spec() {
+        let spec = parse_symmetry(&ssymv(), [] as [&str; 0]).unwrap();
+        assert!(spec.partition("A").is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! A small blocking client for the line protocol — used by the `systec
+//! client` subcommand and the test tiers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{ProtoError, Request, Response};
+
+/// A connected client. Requests are answered in order on the same
+/// connection.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A client-side failure: transport or protocol.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket trouble (including the server closing the connection).
+    Io(std::io::Error),
+    /// The server's response line did not decode.
+    Protocol(ProtoError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Sends one raw line and returns the raw response line (without the
+    /// trailing newline). The building block for scripted exchanges —
+    /// the line is sent verbatim, malformed or not.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a closed connection surfaces as
+    /// [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with(['\n', '\r']) {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// Sends a typed request and decodes the typed response.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors and undecodable response lines.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let line = self.send_raw(&request.encode())?;
+        Response::decode(&line).map_err(ClientError::Protocol)
+    }
+}

@@ -1,0 +1,757 @@
+//! The serving engine: everything behind the protocol, independent of
+//! the transport.
+//!
+//! An [`Engine`] owns the tensor registry, the kernel table, a shared
+//! [`ContextPool`], and the request/latency metrics. The TCP layer
+//! ([`crate::server`]) decodes request lines and calls
+//! [`Engine::handle`]; tests drive the engine directly (the
+//! counting-allocator tier calls [`Engine::execute`] to isolate the
+//! execution path from response serialization).
+//!
+//! ## The zero-allocation run path
+//!
+//! Plans are compiled once (process-wide single-flight plan cache, see
+//! `systec_kernels::Prepared`), and every kernel handle keeps a pool of
+//! warmed [`RunSlot`]s — output tensors plus a `Counters` value sized on
+//! first use. A `run` request checks out one slot and one pooled
+//! [`ExecContext`], calls `run_timed_into`, and returns both on drop:
+//! once as many slots/contexts exist as there are concurrent runners,
+//! the steady-state execution path performs **zero** heap allocations
+//! (`tests/serve_alloc_regression.rs`). Response serialization happens
+//! after the lease is taken and is allowed to allocate.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::Instant;
+
+use crate::relock;
+
+use systec_codegen::{ContextPool, Parallelism, PooledContext};
+use systec_exec::{Counters, ExecError};
+use systec_ir::parse_einsum;
+use systec_kernels::{parse_symmetry, plan_cache_stats, serial_fallback_note, Prepared};
+use systec_tensor::{csf, CooTensor, DenseTensor, SparseTensor, Tensor};
+
+use crate::protocol::{
+    CachePayload, CounterPayload, ErrorCode, KernelStatPayload, OutputPayload, Request,
+    RequestCountsPayload, Response, StorageFormat, TensorPayload, Variant,
+};
+
+/// Latency samples over a fixed-size ring (preallocated, so recording
+/// is allocation-free on the run path).
+#[derive(Debug)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+    recorded: u64,
+}
+
+const LATENCY_WINDOW: usize = 512;
+
+impl LatencyRing {
+    fn new() -> LatencyRing {
+        LatencyRing { samples: vec![0; LATENCY_WINDOW], next: 0, recorded: 0 }
+    }
+
+    fn record(&mut self, nanos: u64) {
+        self.samples[self.next] = nanos;
+        self.next = (self.next + 1) % self.samples.len();
+        self.recorded += 1;
+    }
+
+    fn median_us(&self) -> Option<f64> {
+        let filled = usize::try_from(self.recorded).unwrap_or(usize::MAX).min(self.samples.len());
+        if filled == 0 {
+            return None;
+        }
+        // Off the hot path: stats requests may allocate.
+        let mut window: Vec<u64> = if self.recorded as usize <= self.samples.len() {
+            self.samples[..filled].to_vec()
+        } else {
+            self.samples.clone()
+        };
+        window.sort_unstable();
+        let mid = window.len() / 2;
+        let median = if window.len() % 2 == 1 {
+            window[mid] as f64
+        } else {
+            (window[mid - 1] as f64 + window[mid] as f64) / 2.0
+        };
+        Some(median / 1_000.0)
+    }
+}
+
+/// Reusable per-run state for one kernel: initialized outputs and a
+/// counters value, both retaining capacity between runs.
+#[derive(Debug, Default)]
+struct RunSlot {
+    outputs: HashMap<String, DenseTensor>,
+    counters: Counters,
+}
+
+/// One prepared kernel handle.
+struct KernelEntry {
+    /// Human-readable spec (variant + einsum + symmetry + bindings).
+    spec: String,
+    /// Dedup identity: two `prepare` requests with this exact key share
+    /// a handle.
+    dedup: String,
+    prepared: Prepared,
+    slots: Mutex<Vec<RunSlot>>,
+    latencies: Mutex<LatencyRing>,
+    runs: AtomicU64,
+}
+
+/// A completed execution, borrowing nothing: holds the kernel entry, the
+/// checked-out slot and context, and returns the slot to its pools on
+/// drop. Accessors expose the results for serialization.
+pub struct RunLease {
+    entry: Arc<KernelEntry>,
+    slot: Option<RunSlot>,
+    _ctx: PooledContext,
+}
+
+impl RunLease {
+    /// The executed kernel's outputs (main program only, the paper's
+    /// timed region).
+    pub fn outputs(&self) -> &HashMap<String, DenseTensor> {
+        &self.slot.as_ref().expect("present until drop").outputs
+    }
+
+    /// Exact work counters of this run.
+    pub fn counters(&self) -> &Counters {
+        &self.slot.as_ref().expect("present until drop").counters
+    }
+}
+
+impl Drop for RunLease {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            relock(&self.entry.slots).push(slot);
+        }
+    }
+}
+
+/// Request counters (atomics; incremented per handled request).
+#[derive(Debug, Default)]
+struct RequestCounts {
+    register_tensor: AtomicU64,
+    prepare: AtomicU64,
+    run: AtomicU64,
+    stats: AtomicU64,
+    ping: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// An engine-level failure, mapped onto a protocol error response.
+#[derive(Debug)]
+pub struct EngineError {
+    /// Protocol error code.
+    pub code: ErrorCode,
+    /// Description.
+    pub message: String,
+}
+
+impl EngineError {
+    fn new(code: ErrorCode, message: impl Into<String>) -> EngineError {
+        EngineError { code, message: message.into() }
+    }
+}
+
+/// The protocol-independent serving core. Shared across connections
+/// behind an `Arc`; all methods take `&self`.
+pub struct Engine {
+    registry: RwLock<HashMap<String, Tensor>>,
+    kernels: RwLock<Vec<Arc<KernelEntry>>>,
+    contexts: ContextPool,
+    counts: RequestCounts,
+    default_parallelism: Parallelism,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An empty engine; executions default to serial.
+    pub fn new() -> Engine {
+        Engine::with_parallelism(Parallelism::Serial)
+    }
+
+    /// An engine whose executions use `default_parallelism` unless a
+    /// `prepare` request carries an explicit `threads` — `Some(1)`
+    /// really does force serial execution (plans the compiler cannot
+    /// split run serially either way).
+    pub fn with_parallelism(default_parallelism: Parallelism) -> Engine {
+        Engine {
+            registry: RwLock::new(HashMap::new()),
+            kernels: RwLock::new(Vec::new()),
+            contexts: ContextPool::new(),
+            counts: RequestCounts::default(),
+            default_parallelism,
+        }
+    }
+
+    /// Handles one request, returning the response to write back.
+    /// `shutdown` is acknowledged here but acted on by the transport.
+    pub fn handle(&self, request: &Request) -> Response {
+        let result = match request {
+            Request::RegisterTensor { name, dims, payload, format } => {
+                self.counts.register_tensor.fetch_add(1, Ordering::Relaxed);
+                self.register(name, dims, payload, *format)
+            }
+            Request::Prepare { einsum, sym, inputs, variant, threads } => {
+                self.counts.prepare.fetch_add(1, Ordering::Relaxed);
+                self.prepare(einsum, sym, inputs, *variant, *threads)
+            }
+            Request::Run { kernel, full } => {
+                self.counts.run.fetch_add(1, Ordering::Relaxed);
+                self.run(*kernel, *full)
+            }
+            Request::Stats => {
+                self.counts.stats.fetch_add(1, Ordering::Relaxed);
+                Ok(self.stats())
+            }
+            Request::Ping => {
+                self.counts.ping.fetch_add(1, Ordering::Relaxed);
+                Ok(Response::Pong)
+            }
+            Request::Shutdown => Ok(Response::ShuttingDown),
+        };
+        result.unwrap_or_else(|e| {
+            self.count_error();
+            Response::error(e.code, e.message)
+        })
+    }
+
+    /// Counts an error answered outside [`Engine::handle`] (the
+    /// transport's parse failures), so `stats.requests.errors` covers
+    /// every error response the server ever wrote.
+    pub fn count_error(&self) {
+        self.counts.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        dims: &[usize],
+        payload: &TensorPayload,
+        format: StorageFormat,
+    ) -> Result<Response, EngineError> {
+        if name.is_empty() {
+            return Err(EngineError::new(ErrorCode::BadTensor, "tensor name must be non-empty"));
+        }
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(EngineError::new(
+                ErrorCode::BadTensor,
+                format!("dims must be non-empty and positive, got {dims:?}"),
+            ));
+        }
+        let bad = |message: String| EngineError::new(ErrorCode::BadTensor, message);
+        let coo = match payload {
+            TensorPayload::Dense(values) => {
+                let expect: usize = dims.iter().product();
+                if values.len() != expect {
+                    return Err(bad(format!(
+                        "dense payload has {} values but dims {dims:?} need {expect}",
+                        values.len()
+                    )));
+                }
+                if !values.iter().all(|v| v.is_finite()) {
+                    return Err(bad("tensor values must be finite".into()));
+                }
+                if format == StorageFormat::Dense || format == StorageFormat::Auto {
+                    let dense = DenseTensor::from_vec(dims.to_vec(), values.clone())
+                        .map_err(|e| bad(e.to_string()))?;
+                    let nnz = values.len() as u64;
+                    self.registry
+                        .write()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .insert(name.to_string(), Tensor::Dense(dense));
+                    return Ok(Response::Registered { name: name.to_string(), nnz });
+                }
+                let dense = DenseTensor::from_vec(dims.to_vec(), values.clone())
+                    .map_err(|e| bad(e.to_string()))?;
+                CooTensor::from_dense(&dense)
+            }
+            TensorPayload::Coo(entries) => {
+                let mut coo = CooTensor::new(dims.to_vec());
+                for (coords, v) in entries {
+                    if !v.is_finite() {
+                        return Err(bad("tensor values must be finite".into()));
+                    }
+                    coo.try_push(coords, *v).map_err(|e| bad(e.to_string()))?;
+                }
+                if format == StorageFormat::Dense {
+                    let dense = coo.to_dense();
+                    let nnz = dense.as_slice().len() as u64;
+                    self.registry
+                        .write()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .insert(name.to_string(), Tensor::Dense(dense));
+                    return Ok(Response::Registered { name: name.to_string(), nnz });
+                }
+                coo
+            }
+        };
+        let sparse = SparseTensor::from_coo(&coo, &csf(dims.len()))
+            .map_err(|e| bad(format!("packing to CSF: {e}")))?;
+        let nnz = sparse.nnz() as u64;
+        self.registry
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_string(), Tensor::Sparse(sparse));
+        Ok(Response::Registered { name: name.to_string(), nnz })
+    }
+
+    fn prepare(
+        &self,
+        einsum_text: &str,
+        sym: &[String],
+        input_map: &[(String, String)],
+        variant: Variant,
+        threads: Option<usize>,
+    ) -> Result<Response, EngineError> {
+        let einsum = parse_einsum(einsum_text)
+            .map_err(|e| EngineError::new(ErrorCode::InvalidKernel, e.to_string()))?;
+        let symmetry = parse_symmetry(&einsum, sym)
+            .map_err(|message| EngineError::new(ErrorCode::InvalidKernel, message))?;
+
+        // Resolve einsum tensor names to registered data. Unmapped names
+        // default to themselves.
+        let mut bindings: Vec<(String, String)> = Vec::new();
+        for access in einsum.rhs.accesses() {
+            let tensor = access.tensor.name.clone();
+            if bindings.iter().any(|(t, _)| *t == tensor) {
+                continue;
+            }
+            let registered = input_map
+                .iter()
+                .find(|(t, _)| *t == tensor)
+                .map_or_else(|| tensor.clone(), |(_, r)| r.clone());
+            bindings.push((tensor, registered));
+        }
+        bindings.sort();
+        let inputs = {
+            let registry = self.registry.read().unwrap_or_else(PoisonError::into_inner);
+            let mut inputs: HashMap<String, Tensor> = HashMap::new();
+            for (tensor, registered) in &bindings {
+                let data = registry.get(registered).ok_or_else(|| {
+                    EngineError::new(
+                        ErrorCode::UnknownTensor,
+                        format!("tensor `{registered}` (for `{tensor}`) is not registered"),
+                    )
+                })?;
+                inputs.insert(tensor.clone(), data.clone());
+            }
+            inputs
+        };
+
+        // Canonical identity for handle dedup: the einsum re-rendered,
+        // the declarations as sent, the bindings, the variant, threads.
+        let variant_tag = match variant {
+            Variant::Systec => "systec",
+            Variant::Naive => "naive",
+        };
+        let dedup = format!(
+            "{variant_tag}::{einsum}::sym={sym:?}::inputs={bindings:?}::threads={threads:?}"
+        );
+        if let Some(found) = self.find_kernel(&dedup) {
+            return Ok(found);
+        }
+
+        // Compile outside any engine lock: concurrent prepares of
+        // different kernels must not serialize, and concurrent prepares
+        // of the same kernel single-flight inside the plan cache.
+        let prepared = match variant {
+            Variant::Systec => Prepared::compile_einsum(&einsum, &symmetry, &inputs),
+            Variant::Naive => Prepared::naive_einsum(&einsum, &inputs),
+        }
+        .map_err(|e| match e {
+            ExecError::InvalidKernel { message } => {
+                EngineError::new(ErrorCode::InvalidKernel, message)
+            }
+            other => EngineError::new(ErrorCode::InvalidKernel, other.to_string()),
+        })?;
+        let parallelism = threads.map_or(self.default_parallelism, Parallelism::threads);
+        let prepared = prepared.with_parallelism(parallelism);
+        let splittable = prepared.splittable();
+        let note = serial_fallback_note(parallelism, splittable);
+        let entry = Arc::new(KernelEntry {
+            spec: format!("{variant_tag}::{einsum}"),
+            dedup,
+            prepared,
+            slots: Mutex::new(Vec::new()),
+            latencies: Mutex::new(LatencyRing::new()),
+            runs: AtomicU64::new(0),
+        });
+
+        let mut kernels = self.kernels.write().unwrap_or_else(PoisonError::into_inner);
+        // Re-check under the write lock: a racing prepare of the same
+        // spec may have inserted between our check and here.
+        if let Some(k) = kernels.iter().position(|k| k.dedup == entry.dedup) {
+            let existing = &kernels[k];
+            return Ok(Response::Prepared {
+                kernel: k as u64,
+                splittable: existing.prepared.splittable(),
+                note: note.clone(),
+            });
+        }
+        kernels.push(entry);
+        Ok(Response::Prepared { kernel: (kernels.len() - 1) as u64, splittable, note })
+    }
+
+    fn find_kernel(&self, dedup: &str) -> Option<Response> {
+        let kernels = self.kernels.read().unwrap_or_else(PoisonError::into_inner);
+        kernels.iter().position(|k| k.dedup == dedup).map(|k| Response::Prepared {
+            kernel: k as u64,
+            splittable: kernels[k].prepared.splittable(),
+            note: serial_fallback_note(
+                kernels[k].prepared.parallelism(),
+                kernels[k].prepared.splittable(),
+            ),
+        })
+    }
+
+    fn entry(&self, kernel: u64) -> Result<Arc<KernelEntry>, EngineError> {
+        let kernels = self.kernels.read().unwrap_or_else(PoisonError::into_inner);
+        usize::try_from(kernel).ok().and_then(|k| kernels.get(k)).cloned().ok_or_else(|| {
+            EngineError::new(
+                ErrorCode::UnknownKernel,
+                format!("no kernel with handle {kernel} (have {})", kernels.len()),
+            )
+        })
+    }
+
+    /// Executes a prepared kernel on the pooled path (main program only)
+    /// and returns a lease over the results. **Steady state performs
+    /// zero heap allocations** — the lease returns the warmed slot and
+    /// context to their pools on drop.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnknownKernel`] for a bad handle; executor failures
+    /// surface as [`ErrorCode::Internal`] (not expected after successful
+    /// preparation).
+    pub fn execute(&self, kernel: u64) -> Result<RunLease, EngineError> {
+        let entry = self.entry(kernel)?;
+        let mut slot = relock(&entry.slots).pop().unwrap_or_default();
+        let mut ctx = self.contexts.checkout();
+        let started = Instant::now();
+        let result = entry.prepared.run_timed_into(&mut slot.outputs, &mut ctx, &mut slot.counters);
+        let elapsed = started.elapsed();
+        if let Err(e) = result {
+            // Return the slot before surfacing the failure.
+            relock(&entry.slots).push(slot);
+            return Err(EngineError::new(ErrorCode::Internal, e.to_string()));
+        }
+        entry.runs.fetch_add(1, Ordering::Relaxed);
+        relock(&entry.latencies).record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        Ok(RunLease { entry, slot: Some(slot), _ctx: ctx })
+    }
+
+    fn run(&self, kernel: u64, full: bool) -> Result<Response, EngineError> {
+        if full {
+            // The complete result (main + output replication): a fresh
+            // allocation per request, documented as off the hot path.
+            let entry = self.entry(kernel)?;
+            let (outputs, counters) = entry
+                .prepared
+                .run_full()
+                .map_err(|e| EngineError::new(ErrorCode::Internal, e.to_string()))?;
+            entry.runs.fetch_add(1, Ordering::Relaxed);
+            // Deliberately NOT recorded in the latency ring: `median_us`
+            // reports the paper's timed region (pooled main-program
+            // runs), and replication + fresh allocation would skew it.
+            return Ok(ran_response(&outputs, &counters));
+        }
+        let lease = self.execute(kernel)?;
+        Ok(ran_response(lease.outputs(), lease.counters()))
+    }
+
+    fn stats(&self) -> Response {
+        let cache = plan_cache_stats();
+        let kernels = self.kernels.read().unwrap_or_else(PoisonError::into_inner);
+        let kernel_stats = kernels
+            .iter()
+            .enumerate()
+            .map(|(k, entry)| KernelStatPayload {
+                kernel: k as u64,
+                spec: entry.spec.clone(),
+                runs: entry.runs.load(Ordering::Relaxed),
+                median_us: relock(&entry.latencies).median_us(),
+            })
+            .collect();
+        Response::Stats {
+            cache: CachePayload {
+                hits: cache.hits,
+                misses: cache.misses,
+                builds: cache.builds,
+                evictions: cache.evictions,
+                entries: cache.entries as u64,
+            },
+            requests: RequestCountsPayload {
+                register_tensor: self.counts.register_tensor.load(Ordering::Relaxed),
+                prepare: self.counts.prepare.load(Ordering::Relaxed),
+                run: self.counts.run.load(Ordering::Relaxed),
+                stats: self.counts.stats.load(Ordering::Relaxed),
+                ping: self.counts.ping.load(Ordering::Relaxed),
+                errors: self.counts.errors.load(Ordering::Relaxed),
+            },
+            kernels: kernel_stats,
+        }
+    }
+
+    /// The execution-context pool (observability for tests).
+    pub fn context_pool(&self) -> &ContextPool {
+        &self.contexts
+    }
+}
+
+/// Builds the deterministic run response: outputs and read counters in
+/// sorted name order.
+fn ran_response(outputs: &HashMap<String, DenseTensor>, counters: &Counters) -> Response {
+    let mut out: Vec<OutputPayload> = outputs
+        .iter()
+        .map(|(name, t)| OutputPayload {
+            name: name.clone(),
+            dims: t.dims().to_vec(),
+            values: t.as_slice().to_vec(),
+        })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut reads: Vec<(String, u64)> =
+        counters.reads.iter().map(|(name, n)| (name.clone(), *n)).collect();
+    reads.sort();
+    Response::Ran {
+        outputs: out,
+        counters: CounterPayload {
+            flops: counters.flops,
+            writes: counters.writes,
+            iterations: counters.iterations,
+            reads,
+        },
+    }
+}
+
+/// Serializes a direct `Prepared` execution exactly like the server
+/// serializes a `run` response — the e2e oracle: a byte-identical
+/// response line proves the served execution equals the direct one.
+pub fn oracle_response(outputs: &HashMap<String, DenseTensor>, counters: &Counters) -> Response {
+    ran_response(outputs, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn register(engine: &Engine, name: &str, dims: &[usize], entries: &[(Vec<usize>, f64)]) {
+        let resp = engine.handle(&Request::RegisterTensor {
+            name: name.into(),
+            dims: dims.to_vec(),
+            payload: TensorPayload::Coo(entries.to_vec()),
+            format: StorageFormat::Auto,
+        });
+        assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+    }
+
+    fn register_dense(engine: &Engine, name: &str, dims: &[usize], values: &[f64]) {
+        let resp = engine.handle(&Request::RegisterTensor {
+            name: name.into(),
+            dims: dims.to_vec(),
+            payload: TensorPayload::Dense(values.to_vec()),
+            format: StorageFormat::Auto,
+        });
+        assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+    }
+
+    fn ssymv_engine() -> Engine {
+        let engine = Engine::new();
+        register(
+            &engine,
+            "A",
+            &[4, 4],
+            &[
+                (vec![0, 1], 2.0),
+                (vec![1, 0], 2.0),
+                (vec![2, 3], 1.5),
+                (vec![3, 2], 1.5),
+                (vec![1, 1], 0.5),
+            ],
+        );
+        register_dense(&engine, "x", &[4], &[1.0, 2.0, 3.0, 4.0]);
+        engine
+    }
+
+    fn prepare(engine: &Engine) -> u64 {
+        let resp = engine.handle(&Request::Prepare {
+            einsum: "for i, j: y[i] += A[i, j] * x[j]".into(),
+            sym: vec!["A".into()],
+            inputs: vec![],
+            variant: Variant::Systec,
+            threads: Some(1),
+        });
+        match resp {
+            Response::Prepared { kernel, .. } => kernel,
+            other => panic!("prepare failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_prepare_run_produces_the_reference_result() {
+        let engine = ssymv_engine();
+        let kernel = prepare(&engine);
+        let resp = engine.handle(&Request::Run { kernel, full: false });
+        let Response::Ran { outputs, counters } = resp else {
+            panic!("run failed");
+        };
+        assert_eq!(outputs.len(), 1);
+        assert_eq!(outputs[0].name, "y");
+        // y = A x with the symmetric A above.
+        let expect = [2.0 * 2.0, 2.0 * 1.0 + 0.5 * 2.0, 1.5 * 4.0, 1.5 * 3.0];
+        for (got, want) in outputs[0].values.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-12, "{:?}", outputs[0].values);
+        }
+        assert!(counters.flops > 0);
+    }
+
+    #[test]
+    fn repeated_prepares_share_a_handle_and_runs_are_byte_deterministic() {
+        let engine = ssymv_engine();
+        let k1 = prepare(&engine);
+        let k2 = prepare(&engine);
+        assert_eq!(k1, k2, "identical prepares dedupe to one handle");
+        let r1 = engine.handle(&Request::Run { kernel: k1, full: false }).encode();
+        let r2 = engine.handle(&Request::Run { kernel: k1, full: false }).encode();
+        assert_eq!(r1, r2, "repeated runs must serialize byte-identically");
+    }
+
+    #[test]
+    fn unknown_names_and_handles_error() {
+        let engine = ssymv_engine();
+        let resp = engine.handle(&Request::Prepare {
+            einsum: "for i, j: y[i] += A[i, j] * x[j]".into(),
+            sym: vec![],
+            inputs: vec![("A".into(), "missing".into())],
+            variant: Variant::Systec,
+            threads: Some(1),
+        });
+        assert!(matches!(resp, Response::Error { code: ErrorCode::UnknownTensor, .. }), "{resp:?}");
+        let resp = engine.handle(&Request::Run { kernel: 99, full: false });
+        assert!(matches!(resp, Response::Error { code: ErrorCode::UnknownKernel, .. }), "{resp:?}");
+        let resp = engine.handle(&Request::Prepare {
+            einsum: "for i j y += nonsense".into(),
+            sym: vec![],
+            inputs: vec![],
+            variant: Variant::Systec,
+            threads: Some(1),
+        });
+        assert!(matches!(resp, Response::Error { code: ErrorCode::InvalidKernel, .. }), "{resp:?}");
+        // Errors are visible in stats.
+        let Response::Stats { requests, .. } = engine.handle(&Request::Stats) else {
+            panic!("stats failed");
+        };
+        assert_eq!(requests.errors, 3);
+        assert_eq!(requests.prepare, 2);
+    }
+
+    #[test]
+    fn explicit_threads_one_forces_serial_on_a_parallel_engine() {
+        // A server started with --threads N must still honor a client
+        // that pins threads=1 for serial execution (the wire encodes an
+        // explicit 1; absence inherits the default).
+        let engine = Engine::with_parallelism(Parallelism::threads(4));
+        register(&engine, "A", &[4, 4], &[(vec![0, 1], 2.0), (vec![1, 0], 2.0), (vec![2, 2], 1.0)]);
+        register_dense(&engine, "x", &[4], &[1.0, 2.0, 3.0, 4.0]);
+        let prep = |threads: Option<usize>| {
+            let resp = engine.handle(&Request::Prepare {
+                einsum: "for i, j: y[i] += A[i, j] * x[j]".into(),
+                sym: vec!["A".into()],
+                inputs: vec![],
+                variant: Variant::Systec,
+                threads,
+            });
+            match resp {
+                Response::Prepared { kernel, splittable, .. } => {
+                    assert!(splittable);
+                    kernel
+                }
+                other => panic!("prepare failed: {other:?}"),
+            }
+        };
+        let serial = prep(Some(1));
+        let inherit = prep(None);
+        assert_ne!(serial, inherit, "distinct parallelism → distinct handles");
+        // The pinned-serial kernel never touches the worker pool...
+        let spawned_before = rayon::pool_workers_spawned();
+        for _ in 0..3 {
+            drop(engine.execute(serial).unwrap());
+        }
+        assert_eq!(
+            rayon::pool_workers_spawned(),
+            spawned_before,
+            "threads=1 must not dispatch pool workers"
+        );
+        // ...while the default-inheriting one dispatches Threads(4).
+        drop(engine.execute(inherit).unwrap());
+        assert!(
+            rayon::pool_workers_spawned() > spawned_before,
+            "the engine default (threads 4) dispatches the pool"
+        );
+        // Results agree bit-for-bit either way (PR 2's determinism).
+        let a = engine.execute(serial).unwrap().outputs()["y"].clone();
+        let b = engine.execute(inherit).unwrap().outputs()["y"].clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_tensor_payloads_are_rejected() {
+        let engine = Engine::new();
+        for (dims, payload) in [
+            (vec![2], TensorPayload::Dense(vec![1.0, 2.0, 3.0])),
+            (vec![2], TensorPayload::Dense(vec![f64::NAN, 0.0])),
+            (vec![2, 2], TensorPayload::Coo(vec![(vec![5, 0], 1.0)])),
+            (vec![0], TensorPayload::Dense(vec![])),
+        ] {
+            let resp = engine.handle(&Request::RegisterTensor {
+                name: "T".into(),
+                dims,
+                payload,
+                format: StorageFormat::Auto,
+            });
+            assert!(matches!(resp, Response::Error { code: ErrorCode::BadTensor, .. }), "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn full_runs_apply_replication() {
+        let engine = Engine::new();
+        register(&engine, "A", &[3, 3], &[(vec![0, 1], 1.0), (vec![1, 2], 2.0), (vec![0, 0], 3.0)]);
+        let resp = engine.handle(&Request::Prepare {
+            einsum: "for i, j, k: C[i, j] += A[i, k] * A[j, k]".into(),
+            sym: vec![],
+            inputs: vec![],
+            variant: Variant::Systec,
+            threads: Some(1),
+        });
+        let Response::Prepared { kernel, .. } = resp else { panic!("{resp:?}") };
+        let Response::Ran { outputs: timed, .. } =
+            engine.handle(&Request::Run { kernel, full: false })
+        else {
+            panic!("run failed")
+        };
+        let Response::Ran { outputs: full, .. } =
+            engine.handle(&Request::Run { kernel, full: true })
+        else {
+            panic!("full run failed")
+        };
+        // SSYRK's timed region computes the upper triangle; `full`
+        // replicates it below the diagonal.
+        let c = |o: &[OutputPayload], i: usize, j: usize| o[0].values[i * 3 + j];
+        assert_eq!(c(&full, 1, 0), c(&full, 0, 1));
+        assert!(c(&timed, 1, 0) != c(&full, 1, 0) || c(&full, 0, 1) == 0.0);
+    }
+}

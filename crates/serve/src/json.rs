@@ -1,0 +1,532 @@
+//! A minimal JSON value: parse and serialize, no external dependencies
+//! (offline-shim policy — the container cannot fetch `serde`).
+//!
+//! Scope is exactly what the wire protocol needs:
+//!
+//! * Objects keep **insertion order** (a `Vec` of pairs), so a response
+//!   built in a fixed field order serializes byte-identically run after
+//!   run — the e2e tier asserts byte-determinism on whole response
+//!   lines.
+//! * Numbers are `f64`. Serialization uses Rust's shortest round-trip
+//!   `Display`, which never produces exponents and re-parses to the
+//!   identical bits, so tensor values survive a response/request cycle
+//!   bit-for-bit. Non-finite numbers serialize as `null` (JSON has no
+//!   representation for them; the protocol layer rejects them earlier).
+//! * Parsing is hardened against adversarial input: truncated or
+//!   malformed text returns [`JsonError`] (never panics), trailing
+//!   garbage after the top-level value is an error, and nesting deeper
+//!   than [`MAX_DEPTH`] is rejected instead of overflowing the stack.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts. Deep enough for any real
+/// request; shallow enough that a hostile `[[[[…` line cannot blow the
+/// parse stack.
+pub const MAX_DEPTH: usize = 64;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish integers).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; pairs keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: byte offset and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses one JSON value spanning the whole input (surrounding
+    /// whitespace allowed, trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for malformed, truncated, or
+    /// too-deeply-nested input.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the value"));
+        }
+        Ok(v)
+    }
+
+    /// Field lookup on an object (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact non-negative integer (rejects
+    /// fractions, negatives, and magnitudes above 2^53 where `f64`
+    /// stops being exact).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (0.0..=9_007_199_254_740_992.0).contains(&n) {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// [`Json::as_u64`] narrowed to `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The pair list, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) if n.is_finite() => write!(f, "{n}"),
+            Json::Num(_) => f.write_str("null"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (k, (key, value)) in pairs.iter().enumerate() {
+                    if k > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    write!(f, ":{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{8}' => f.write_str("\\b")?,
+            '\u{c}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError { at: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{kw}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.value(depth + 1)?;
+                    pairs.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(pairs));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-UTF-8 number"))?;
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => Err(self.err(format!("invalid number `{text}`"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: expect \uDC00-\uDFFF.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xdc00..0xe000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy a whole UTF-8 character (the input is a &str,
+                    // so boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("unescaped control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads 4 hex digits (after `\u`), leaving `pos` past them.
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v: u32 = 0;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                _ => return Err(self.err("expected 4 hex digits after \\u")),
+            };
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+}
+
+/// Convenience constructors used by the protocol layer.
+impl Json {
+    /// A number from a `u64` (exact up to 2^53; the protocol's counters
+    /// and handles stay far below that).
+    pub fn num_u64(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// A number from a `usize`.
+    pub fn num_usize(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// An object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Json) -> Json {
+        Json::parse(&v.to_string()).expect("serialized JSON reparses")
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Num(0.0),
+            Json::Num(-0.0),
+            Json::Num(1.5),
+            Json::Num(-2.25e-3),
+            Json::Num(9_007_199_254_740_992.0),
+            Json::Str(String::new()),
+            Json::Str("hello \"world\"\n\t\\ \u{1f600} \u{8}\u{c}\u{1}".into()),
+        ] {
+            assert_eq!(roundtrip(&v), v, "{v}");
+        }
+        // -0.0 keeps its sign bit through the round trip.
+        let z = roundtrip(&Json::Num(-0.0)).as_f64().unwrap();
+        assert!(z == 0.0 && z.is_sign_negative());
+    }
+
+    #[test]
+    fn f64_display_is_bit_exact() {
+        // The serving e2e tier depends on shortest-round-trip printing.
+        for bits in
+            [0x3ff0000000000001u64, 0x0000000000000001, 0x7fefffffffffffff, 0x4330000000000000]
+        {
+            let v = f64::from_bits(bits);
+            let reparsed = roundtrip(&Json::Num(v)).as_f64().unwrap();
+            assert_eq!(reparsed.to_bits(), bits, "{v}");
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip_preserving_order() {
+        let v = Json::obj([
+            ("z", Json::Arr(vec![Json::Num(1.0), Json::Null, Json::Str("x".into())])),
+            ("a", Json::obj([("nested", Json::Bool(false))])),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+        assert_eq!(v.to_string(), r#"{"z":[1,null,"x"],"a":{"nested":false}}"#);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::parse(r#"{"n": 3, "s": "hi", "b": true, "a": [1,2]}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Json::as_usize), Some(3));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None, "fractions are not integers");
+        assert_eq!(Json::Num(-1.0).as_u64(), None, "negatives are not u64");
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[",
+            "nul",
+            "tru",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1,]",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"\\u12",
+            "\"\\ud800\"",
+            "\"\\ud800\\u0041\"",
+            "1e999",
+            "-",
+            "1 2",
+            "{} extra",
+            "\u{1}",
+            "\"\u{1}\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn every_proper_prefix_of_an_object_is_invalid() {
+        let line = r#"{"op":"run","kernel":3,"xs":[1.5,-2,true,"s\n"]}"#;
+        assert!(Json::parse(line).is_ok());
+        for cut in 0..line.len() {
+            if line.is_char_boundary(cut) {
+                assert!(Json::parse(&line[..cut]).is_err(), "prefix of length {cut} parsed");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{err}");
+        // Depth at the limit still parses.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1f600}"));
+    }
+}

@@ -1,0 +1,1040 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request, in order. Every
+//! request is a JSON object with an `"op"` field; every response is an
+//! object with an `"ok"` boolean — `true` plus a `"reply"` tag naming
+//! the payload shape, or `false` plus `"code"`/`"error"`. A malformed
+//! line produces an [`Response::Error`] with code [`ErrorCode::Parse`];
+//! the connection stays open (fault isolation is a test tier).
+//!
+//! | verb | request fields | response fields |
+//! |---|---|---|
+//! | `register_tensor` | `name`, `dims`, `dense` *or* `coo` \[, `format`\] | `reply:"registered"`, `name`, `nnz` |
+//! | `prepare` | `einsum` \[, `sym`, `inputs`, `variant`, `threads`\] | `reply:"prepared"`, `kernel`, `splittable` \[, `note`\] |
+//! | `run` | `kernel` \[, `full`\] | `reply:"run"`, `outputs`, `counters` |
+//! | `stats` | — | `reply:"stats"`, `cache`, `requests`, `kernels` |
+//! | `ping` | — | `reply:"pong"` |
+//! | `shutdown` | — | `reply:"shutting_down"` |
+//!
+//! Determinism: run responses contain **no timing** (latency lives in
+//! `stats` medians), output/counter maps are serialized in sorted name
+//! order, and values use shortest-round-trip `f64` printing — so equal
+//! executions produce byte-identical response lines, which the e2e tier
+//! asserts against a direct-execution oracle.
+
+use std::fmt;
+
+use crate::json::Json;
+
+/// Kind of a protocol failure, echoed in error responses as a stable
+/// machine-readable string.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorCode {
+    /// The request line was not valid JSON or not a valid request shape.
+    Parse,
+    /// A named tensor is not in the registry.
+    UnknownTensor,
+    /// A kernel handle does not exist.
+    UnknownKernel,
+    /// The einsum or symmetry spec was rejected by the compiler.
+    InvalidKernel,
+    /// Registered tensor data failed validation (dims, bounds, finiteness).
+    BadTensor,
+    /// Anything else (executor failures after successful preparation —
+    /// not expected in practice).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::UnknownTensor => "unknown_tensor",
+            ErrorCode::UnknownKernel => "unknown_kernel",
+            ErrorCode::InvalidKernel => "invalid_kernel",
+            ErrorCode::BadTensor => "bad_tensor",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "parse" => ErrorCode::Parse,
+            "unknown_tensor" => ErrorCode::UnknownTensor,
+            "unknown_kernel" => ErrorCode::UnknownKernel,
+            "invalid_kernel" => ErrorCode::InvalidKernel,
+            "bad_tensor" => ErrorCode::BadTensor,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A malformed request or response line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ProtoError {
+    fn new(message: impl Into<String>) -> ProtoError {
+        ProtoError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Tensor data carried by `register_tensor`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TensorPayload {
+    /// Row-major dense values (`dense` field).
+    Dense(Vec<f64>),
+    /// Coordinate entries `[c0, …, ck, value]` (`coo` field).
+    Coo(Vec<(Vec<usize>, f64)>),
+}
+
+/// Requested storage for a registered tensor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StorageFormat {
+    /// Pick from the payload: dense values stay dense, coordinates pack
+    /// to CSF.
+    #[default]
+    Auto,
+    /// Force dense storage.
+    Dense,
+    /// Force compressed (CSF) storage.
+    Csf,
+}
+
+/// Which compilation the `prepare` verb performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Variant {
+    /// The symmetry-exploiting SySTeC compilation (default).
+    #[default]
+    Systec,
+    /// The symmetry-oblivious naive kernel.
+    Naive,
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Put a named tensor in the server's registry.
+    RegisterTensor {
+        /// Registry name.
+        name: String,
+        /// Tensor shape.
+        dims: Vec<usize>,
+        /// The data.
+        payload: TensorPayload,
+        /// Storage selection.
+        format: StorageFormat,
+    },
+    /// Compile (or fetch from the plan cache) a kernel and bind it to
+    /// registered tensors; yields a kernel handle.
+    Prepare {
+        /// The einsum, in the CLI's `for …: out[…] op expr` syntax.
+        einsum: String,
+        /// Symmetry declarations (`"A"` or `"A:0-1,2"`).
+        sym: Vec<String>,
+        /// Einsum tensor name → registry name. Unmapped tensors default
+        /// to their own name.
+        inputs: Vec<(String, String)>,
+        /// Which compilation to run.
+        variant: Variant,
+        /// Worker threads per execution: `None` inherits the server's
+        /// default parallelism; `Some(1)` forces serial, `Some(0)` all
+        /// cores, `Some(n)` n workers.
+        threads: Option<usize>,
+    },
+    /// Execute a prepared kernel.
+    Run {
+        /// The handle from `prepare`.
+        kernel: u64,
+        /// Also apply output replication (`run_full` semantics). Off the
+        /// pooled zero-allocation path.
+        full: bool,
+    },
+    /// Server statistics.
+    Stats,
+    /// Liveness check.
+    Ping,
+    /// Stop the server.
+    Shutdown,
+}
+
+/// One output tensor in a run response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutputPayload {
+    /// Output name.
+    pub name: String,
+    /// Shape.
+    pub dims: Vec<usize>,
+    /// Row-major values.
+    pub values: Vec<f64>,
+}
+
+/// Work counters in a run response (sorted by tensor name).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CounterPayload {
+    /// Semiring operations.
+    pub flops: u64,
+    /// Output element stores.
+    pub writes: u64,
+    /// Innermost loop-body executions.
+    pub iterations: u64,
+    /// Element loads per tensor, sorted by name.
+    pub reads: Vec<(String, u64)>,
+}
+
+/// Plan-cache statistics in a stats response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct CachePayload {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+    /// Build closures actually executed (single-flight: one per
+    /// concurrently requested key).
+    pub builds: u64,
+    /// Plans evicted by the LRU policy.
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub entries: u64,
+}
+
+/// Request counts in a stats response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct RequestCountsPayload {
+    /// `register_tensor` requests handled.
+    pub register_tensor: u64,
+    /// `prepare` requests handled.
+    pub prepare: u64,
+    /// `run` requests handled.
+    pub run: u64,
+    /// `stats` requests handled.
+    pub stats: u64,
+    /// `ping` requests handled.
+    pub ping: u64,
+    /// Requests answered with an error (including parse failures).
+    pub errors: u64,
+}
+
+/// Per-kernel statistics in a stats response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelStatPayload {
+    /// The kernel handle.
+    pub kernel: u64,
+    /// The kernel's spec string (einsum + variant + symmetry).
+    pub spec: String,
+    /// Completed runs.
+    pub runs: u64,
+    /// Median run latency over a sliding window, in microseconds
+    /// (`None` before the first run).
+    pub median_us: Option<f64>,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// `register_tensor` succeeded.
+    Registered {
+        /// The registered name.
+        name: String,
+        /// Stored nonzeros (dense: the element count).
+        nnz: u64,
+    },
+    /// `prepare` succeeded.
+    Prepared {
+        /// The kernel handle for `run`.
+        kernel: u64,
+        /// Whether executions can dispatch worker threads.
+        splittable: bool,
+        /// The serial-fallback note, when threads were requested on a
+        /// non-splittable plan.
+        note: Option<String>,
+    },
+    /// `run` succeeded.
+    Ran {
+        /// Output tensors, sorted by name.
+        outputs: Vec<OutputPayload>,
+        /// Exact work counters.
+        counters: CounterPayload,
+    },
+    /// `stats` payload.
+    Stats {
+        /// Plan-cache statistics.
+        cache: CachePayload,
+        /// Request counts.
+        requests: RequestCountsPayload,
+        /// Per-kernel statistics, sorted by handle.
+        kernels: Vec<KernelStatPayload>,
+    },
+    /// `ping` reply.
+    Pong,
+    /// `shutdown` acknowledged; the server stops after this line.
+    ShuttingDown,
+    /// Any failure.
+    Error {
+        /// Machine-readable failure kind.
+        code: ErrorCode,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Shorthand for an error response.
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+        Response::Error { code, message: message.into() }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn dims_json(dims: &[usize]) -> Json {
+    Json::Arr(dims.iter().map(|&d| Json::num_usize(d)).collect())
+}
+
+/// Encodes one tensor value. JSON has no non-finite numbers, but served
+/// outputs legitimately contain them (`min=` kernels report the
+/// never-updated identity `inf`), so those encode as the strings
+/// `"inf"`, `"-inf"`, `"nan"` and decode back exactly (all NaNs decode
+/// to the canonical `f64::NAN`).
+fn value_json(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Num(v)
+    } else if v.is_nan() {
+        Json::Str("nan".into())
+    } else if v > 0.0 {
+        Json::Str("inf".into())
+    } else {
+        Json::Str("-inf".into())
+    }
+}
+
+fn value_from_json(v: &Json) -> Option<f64> {
+    match v {
+        Json::Num(n) => Some(*n),
+        Json::Str(s) => match s.as_str() {
+            "inf" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            "nan" => Some(f64::NAN),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn values_json(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&v| value_json(v)).collect())
+}
+
+impl Request {
+    /// Serializes to one line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let json = match self {
+            Request::RegisterTensor { name, dims, payload, format } => {
+                let mut pairs = vec![
+                    ("op", Json::Str("register_tensor".into())),
+                    ("name", Json::Str(name.clone())),
+                    ("dims", dims_json(dims)),
+                ];
+                match payload {
+                    TensorPayload::Dense(values) => pairs.push(("dense", values_json(values))),
+                    TensorPayload::Coo(entries) => pairs.push((
+                        "coo",
+                        Json::Arr(
+                            entries
+                                .iter()
+                                .map(|(coords, v)| {
+                                    let mut item: Vec<Json> =
+                                        coords.iter().map(|&c| Json::num_usize(c)).collect();
+                                    item.push(value_json(*v));
+                                    Json::Arr(item)
+                                })
+                                .collect(),
+                        ),
+                    )),
+                }
+                match format {
+                    StorageFormat::Auto => {}
+                    StorageFormat::Dense => pairs.push(("format", Json::Str("dense".into()))),
+                    StorageFormat::Csf => pairs.push(("format", Json::Str("csf".into()))),
+                }
+                Json::obj(pairs)
+            }
+            Request::Prepare { einsum, sym, inputs, variant, threads } => {
+                let mut pairs = vec![
+                    ("op", Json::Str("prepare".into())),
+                    ("einsum", Json::Str(einsum.clone())),
+                ];
+                if !sym.is_empty() {
+                    pairs.push((
+                        "sym",
+                        Json::Arr(sym.iter().map(|s| Json::Str(s.clone())).collect()),
+                    ));
+                }
+                if !inputs.is_empty() {
+                    pairs.push((
+                        "inputs",
+                        Json::Obj(
+                            inputs.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect(),
+                        ),
+                    ));
+                }
+                if *variant == Variant::Naive {
+                    pairs.push(("variant", Json::Str("naive".into())));
+                }
+                if let Some(threads) = threads {
+                    pairs.push(("threads", Json::num_usize(*threads)));
+                }
+                Json::obj(pairs)
+            }
+            Request::Run { kernel, full } => {
+                let mut pairs =
+                    vec![("op", Json::Str("run".into())), ("kernel", Json::num_u64(*kernel))];
+                if *full {
+                    pairs.push(("full", Json::Bool(true)));
+                }
+                Json::obj(pairs)
+            }
+            Request::Stats => Json::obj([("op", Json::Str("stats".into()))]),
+            Request::Ping => Json::obj([("op", Json::Str("ping".into()))]),
+            Request::Shutdown => Json::obj([("op", Json::Str("shutdown".into()))]),
+        };
+        json.to_string()
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtoError`] describing the malformation; never
+    /// panics, whatever the input.
+    pub fn decode(line: &str) -> Result<Request, ProtoError> {
+        let json = Json::parse(line).map_err(|e| ProtoError::new(e.to_string()))?;
+        let op = json
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtoError::new("request object needs a string `op` field"))?;
+        match op {
+            "register_tensor" => {
+                let name = require_str(&json, "name")?;
+                let dims = usize_array(&json, "dims")?;
+                let payload = match (json.get("dense"), json.get("coo")) {
+                    (Some(d), None) => TensorPayload::Dense(f64_array(d, "dense")?),
+                    (None, Some(c)) => {
+                        let rank = dims.len();
+                        let rows =
+                            c.as_arr().ok_or_else(|| ProtoError::new("`coo` must be an array"))?;
+                        let mut entries = Vec::with_capacity(rows.len());
+                        for row in rows {
+                            let cells = row.as_arr().filter(|cells| cells.len() == rank + 1);
+                            let cells = cells.ok_or_else(|| {
+                                ProtoError::new(format!(
+                                    "each `coo` entry must be an array of {rank} coordinates + a value"
+                                ))
+                            })?;
+                            let coords = cells[..rank]
+                                .iter()
+                                .map(|c| {
+                                    c.as_usize().ok_or_else(|| {
+                                        ProtoError::new(
+                                            "`coo` coordinates must be non-negative integers",
+                                        )
+                                    })
+                                })
+                                .collect::<Result<Vec<usize>, ProtoError>>()?;
+                            let v = value_from_json(&cells[rank])
+                                .ok_or_else(|| ProtoError::new("`coo` values must be numbers"))?;
+                            entries.push((coords, v));
+                        }
+                        TensorPayload::Coo(entries)
+                    }
+                    _ => {
+                        return Err(ProtoError::new(
+                            "register_tensor needs exactly one of `dense` or `coo`",
+                        ))
+                    }
+                };
+                let format = match json.get("format").map(|f| f.as_str()) {
+                    None => StorageFormat::Auto,
+                    Some(Some("dense")) => StorageFormat::Dense,
+                    Some(Some("csf")) => StorageFormat::Csf,
+                    Some(other) => {
+                        return Err(ProtoError::new(format!(
+                            "unknown `format` {other:?} (expected \"dense\" or \"csf\")"
+                        )))
+                    }
+                };
+                Ok(Request::RegisterTensor { name, dims, payload, format })
+            }
+            "prepare" => {
+                let einsum = require_str(&json, "einsum")?;
+                let sym = match json.get("sym") {
+                    None => Vec::new(),
+                    Some(s) => s
+                        .as_arr()
+                        .ok_or_else(|| ProtoError::new("`sym` must be an array of strings"))?
+                        .iter()
+                        .map(|d| {
+                            d.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| ProtoError::new("`sym` must be an array of strings"))
+                        })
+                        .collect::<Result<Vec<String>, ProtoError>>()?,
+                };
+                let inputs = match json.get("inputs") {
+                    None => Vec::new(),
+                    Some(m) => m
+                        .as_obj()
+                        .ok_or_else(|| ProtoError::new("`inputs` must be an object"))?
+                        .iter()
+                        .map(|(k, v)| {
+                            v.as_str().map(|v| (k.clone(), v.to_string())).ok_or_else(|| {
+                                ProtoError::new("`inputs` values must be registry names")
+                            })
+                        })
+                        .collect::<Result<Vec<(String, String)>, ProtoError>>()?,
+                };
+                let variant = match json.get("variant").map(|v| v.as_str()) {
+                    None | Some(Some("systec")) => Variant::Systec,
+                    Some(Some("naive")) => Variant::Naive,
+                    Some(other) => {
+                        return Err(ProtoError::new(format!(
+                            "unknown `variant` {other:?} (expected \"systec\" or \"naive\")"
+                        )))
+                    }
+                };
+                let threads = match json.get("threads") {
+                    None => None,
+                    Some(t) => Some(t.as_usize().ok_or_else(|| {
+                        ProtoError::new("`threads` must be a non-negative integer")
+                    })?),
+                };
+                Ok(Request::Prepare { einsum, sym, inputs, variant, threads })
+            }
+            "run" => {
+                let kernel = json
+                    .get("kernel")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ProtoError::new("run needs an integer `kernel` handle"))?;
+                let full = match json.get("full") {
+                    None => false,
+                    Some(f) => {
+                        f.as_bool().ok_or_else(|| ProtoError::new("`full` must be a boolean"))?
+                    }
+                };
+                Ok(Request::Run { kernel, full })
+            }
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtoError::new(format!("unknown op `{other}`"))),
+        }
+    }
+}
+
+fn require_str(json: &Json, field: &str) -> Result<String, ProtoError> {
+    json.get(field)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ProtoError::new(format!("missing string field `{field}`")))
+}
+
+fn usize_array(json: &Json, field: &str) -> Result<Vec<usize>, ProtoError> {
+    json.get(field)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProtoError::new(format!("missing array field `{field}`")))?
+        .iter()
+        .map(|d| {
+            d.as_usize().ok_or_else(|| {
+                ProtoError::new(format!("`{field}` must hold non-negative integers"))
+            })
+        })
+        .collect()
+}
+
+fn f64_array(v: &Json, field: &str) -> Result<Vec<f64>, ProtoError> {
+    v.as_arr()
+        .ok_or_else(|| ProtoError::new(format!("`{field}` must be an array of numbers")))?
+        .iter()
+        .map(|x| {
+            value_from_json(x)
+                .ok_or_else(|| ProtoError::new(format!("`{field}` must hold numeric values")))
+        })
+        .collect()
+}
+
+impl Response {
+    /// Serializes to one line (no trailing newline). Field order is
+    /// fixed and maps are pre-sorted by the engine, so equal payloads
+    /// encode byte-identically.
+    pub fn encode(&self) -> String {
+        let json = match self {
+            Response::Registered { name, nnz } => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("reply", Json::Str("registered".into())),
+                ("name", Json::Str(name.clone())),
+                ("nnz", Json::num_u64(*nnz)),
+            ]),
+            Response::Prepared { kernel, splittable, note } => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("reply", Json::Str("prepared".into())),
+                    ("kernel", Json::num_u64(*kernel)),
+                    ("splittable", Json::Bool(*splittable)),
+                ];
+                if let Some(note) = note {
+                    pairs.push(("note", Json::Str(note.clone())));
+                }
+                Json::obj(pairs)
+            }
+            Response::Ran { outputs, counters } => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("reply", Json::Str("run".into())),
+                (
+                    "outputs",
+                    Json::Obj(
+                        outputs
+                            .iter()
+                            .map(|o| {
+                                (
+                                    o.name.clone(),
+                                    Json::obj([
+                                        ("dims", dims_json(&o.dims)),
+                                        ("values", values_json(&o.values)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "counters",
+                    Json::obj([
+                        ("flops", Json::num_u64(counters.flops)),
+                        ("writes", Json::num_u64(counters.writes)),
+                        ("iterations", Json::num_u64(counters.iterations)),
+                        (
+                            "reads",
+                            Json::Obj(
+                                counters
+                                    .reads
+                                    .iter()
+                                    .map(|(name, n)| (name.clone(), Json::num_u64(*n)))
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                ),
+            ]),
+            Response::Stats { cache, requests, kernels } => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("reply", Json::Str("stats".into())),
+                (
+                    "cache",
+                    Json::obj([
+                        ("hits", Json::num_u64(cache.hits)),
+                        ("misses", Json::num_u64(cache.misses)),
+                        ("builds", Json::num_u64(cache.builds)),
+                        ("evictions", Json::num_u64(cache.evictions)),
+                        ("entries", Json::num_u64(cache.entries)),
+                    ]),
+                ),
+                (
+                    "requests",
+                    Json::obj([
+                        ("register_tensor", Json::num_u64(requests.register_tensor)),
+                        ("prepare", Json::num_u64(requests.prepare)),
+                        ("run", Json::num_u64(requests.run)),
+                        ("stats", Json::num_u64(requests.stats)),
+                        ("ping", Json::num_u64(requests.ping)),
+                        ("errors", Json::num_u64(requests.errors)),
+                    ]),
+                ),
+                (
+                    "kernels",
+                    Json::Arr(
+                        kernels
+                            .iter()
+                            .map(|k| {
+                                let mut pairs = vec![
+                                    ("kernel", Json::num_u64(k.kernel)),
+                                    ("spec", Json::Str(k.spec.clone())),
+                                    ("runs", Json::num_u64(k.runs)),
+                                ];
+                                if let Some(m) = k.median_us {
+                                    pairs.push(("median_us", Json::Num(m)));
+                                }
+                                Json::obj(pairs)
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Pong => {
+                Json::obj([("ok", Json::Bool(true)), ("reply", Json::Str("pong".into()))])
+            }
+            Response::ShuttingDown => {
+                Json::obj([("ok", Json::Bool(true)), ("reply", Json::Str("shutting_down".into()))])
+            }
+            Response::Error { code, message } => Json::obj([
+                ("ok", Json::Bool(false)),
+                ("code", Json::Str(code.as_str().into())),
+                ("error", Json::Str(message.clone())),
+            ]),
+        };
+        json.to_string()
+    }
+
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtoError`] describing the malformation; never
+    /// panics, whatever the input.
+    pub fn decode(line: &str) -> Result<Response, ProtoError> {
+        let json = Json::parse(line).map_err(|e| ProtoError::new(e.to_string()))?;
+        let ok = json
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ProtoError::new("response object needs a boolean `ok` field"))?;
+        if !ok {
+            let code = json
+                .get("code")
+                .and_then(Json::as_str)
+                .and_then(ErrorCode::from_str)
+                .ok_or_else(|| ProtoError::new("error response needs a known `code`"))?;
+            let message = require_str(&json, "error")?;
+            return Ok(Response::Error { code, message });
+        }
+        let reply = json
+            .get("reply")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtoError::new("ok response needs a `reply` tag"))?;
+        match reply {
+            "registered" => Ok(Response::Registered {
+                name: require_str(&json, "name")?,
+                nnz: json
+                    .get("nnz")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ProtoError::new("registered reply needs integer `nnz`"))?,
+            }),
+            "prepared" => Ok(Response::Prepared {
+                kernel: json
+                    .get("kernel")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ProtoError::new("prepared reply needs integer `kernel`"))?,
+                splittable: json
+                    .get("splittable")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| ProtoError::new("prepared reply needs boolean `splittable`"))?,
+                note: match json.get("note") {
+                    None => None,
+                    Some(n) => Some(
+                        n.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| ProtoError::new("`note` must be a string"))?,
+                    ),
+                },
+            }),
+            "run" => {
+                let outputs = json
+                    .get("outputs")
+                    .and_then(Json::as_obj)
+                    .ok_or_else(|| ProtoError::new("run reply needs an `outputs` object"))?
+                    .iter()
+                    .map(|(name, o)| {
+                        Ok(OutputPayload {
+                            name: name.clone(),
+                            dims: usize_array(o, "dims")?,
+                            values: o
+                                .get("values")
+                                .map(|v| f64_array(v, "values"))
+                                .transpose()?
+                                .ok_or_else(|| ProtoError::new("output needs `values`"))?,
+                        })
+                    })
+                    .collect::<Result<Vec<OutputPayload>, ProtoError>>()?;
+                let c = json
+                    .get("counters")
+                    .ok_or_else(|| ProtoError::new("run reply needs `counters`"))?;
+                let counter_u64 = |field: &str| {
+                    c.get(field)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ProtoError::new(format!("counters need integer `{field}`")))
+                };
+                let counters = CounterPayload {
+                    flops: counter_u64("flops")?,
+                    writes: counter_u64("writes")?,
+                    iterations: counter_u64("iterations")?,
+                    reads: c
+                        .get("reads")
+                        .and_then(Json::as_obj)
+                        .ok_or_else(|| ProtoError::new("counters need a `reads` object"))?
+                        .iter()
+                        .map(|(name, n)| {
+                            n.as_u64()
+                                .map(|n| (name.clone(), n))
+                                .ok_or_else(|| ProtoError::new("`reads` values must be integers"))
+                        })
+                        .collect::<Result<Vec<(String, u64)>, ProtoError>>()?,
+                };
+                Ok(Response::Ran { outputs, counters })
+            }
+            "stats" => {
+                let cache_json = json
+                    .get("cache")
+                    .ok_or_else(|| ProtoError::new("stats reply needs `cache`"))?;
+                let g = |field: &str| {
+                    cache_json
+                        .get(field)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ProtoError::new(format!("cache needs integer `{field}`")))
+                };
+                let cache = CachePayload {
+                    hits: g("hits")?,
+                    misses: g("misses")?,
+                    builds: g("builds")?,
+                    evictions: g("evictions")?,
+                    entries: g("entries")?,
+                };
+                let req_json = json
+                    .get("requests")
+                    .ok_or_else(|| ProtoError::new("stats reply needs `requests`"))?;
+                let r = |field: &str| {
+                    req_json
+                        .get(field)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ProtoError::new(format!("requests need integer `{field}`")))
+                };
+                let requests = RequestCountsPayload {
+                    register_tensor: r("register_tensor")?,
+                    prepare: r("prepare")?,
+                    run: r("run")?,
+                    stats: r("stats")?,
+                    ping: r("ping")?,
+                    errors: r("errors")?,
+                };
+                let kernels = json
+                    .get("kernels")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ProtoError::new("stats reply needs a `kernels` array"))?
+                    .iter()
+                    .map(|k| {
+                        Ok(KernelStatPayload {
+                            kernel: k
+                                .get("kernel")
+                                .and_then(Json::as_u64)
+                                .ok_or_else(|| ProtoError::new("kernel stat needs `kernel`"))?,
+                            spec: require_str(k, "spec")?,
+                            runs: k
+                                .get("runs")
+                                .and_then(Json::as_u64)
+                                .ok_or_else(|| ProtoError::new("kernel stat needs `runs`"))?,
+                            median_us: match k.get("median_us") {
+                                None => None,
+                                Some(m) => Some(m.as_f64().ok_or_else(|| {
+                                    ProtoError::new("`median_us` must be a number")
+                                })?),
+                            },
+                        })
+                    })
+                    .collect::<Result<Vec<KernelStatPayload>, ProtoError>>()?;
+                Ok(Response::Stats { cache, requests, kernels })
+            }
+            "pong" => Ok(Response::Pong),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            other => Err(ProtoError::new(format!("unknown reply tag `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_encodings_roundtrip() {
+        let reqs = [
+            Request::RegisterTensor {
+                name: "A".into(),
+                dims: vec![4, 4],
+                payload: TensorPayload::Coo(vec![(vec![0, 1], 2.5), (vec![1, 0], 2.5)]),
+                format: StorageFormat::Auto,
+            },
+            Request::RegisterTensor {
+                name: "weird \"name\"\n".into(),
+                dims: vec![3],
+                payload: TensorPayload::Dense(vec![1.0, -0.5, 3.25]),
+                format: StorageFormat::Csf,
+            },
+            Request::Prepare {
+                einsum: "for i, j: y[i] += A[i, j] * x[j]".into(),
+                sym: vec!["A".into()],
+                inputs: vec![("A".into(), "big".into()), ("x".into(), "vec".into())],
+                variant: Variant::Naive,
+                threads: Some(4),
+            },
+            Request::Prepare {
+                einsum: "for i: y[i] = x[i]".into(),
+                sym: vec![],
+                inputs: vec![],
+                variant: Variant::Systec,
+                threads: None,
+            },
+            Request::Prepare {
+                einsum: "for i: y[i] = x[i]".into(),
+                sym: vec![],
+                inputs: vec![],
+                variant: Variant::Systec,
+                // An explicit 1 is encoded (it FORCES serial; absence
+                // inherits the server default).
+                threads: Some(1),
+            },
+            Request::Run { kernel: 3, full: true },
+            Request::Run { kernel: 0, full: false },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.encode();
+            assert!(!line.contains('\n'), "one request per line: {line}");
+            assert_eq!(Request::decode(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn response_encodings_roundtrip() {
+        let resps = [
+            Response::Registered { name: "A".into(), nnz: 12 },
+            Response::Prepared { kernel: 7, splittable: true, note: None },
+            Response::Prepared { kernel: 0, splittable: false, note: Some("note".into()) },
+            Response::Ran {
+                outputs: vec![OutputPayload {
+                    name: "y".into(),
+                    dims: vec![2],
+                    values: vec![1.5, -0.25],
+                }],
+                counters: CounterPayload {
+                    flops: 10,
+                    writes: 2,
+                    iterations: 5,
+                    reads: vec![("A".into(), 4), ("x".into(), 4)],
+                },
+            },
+            Response::Stats {
+                cache: CachePayload { hits: 1, misses: 2, builds: 2, evictions: 0, entries: 2 },
+                requests: RequestCountsPayload {
+                    register_tensor: 1,
+                    prepare: 2,
+                    run: 30,
+                    stats: 1,
+                    ping: 0,
+                    errors: 3,
+                },
+                kernels: vec![KernelStatPayload {
+                    kernel: 0,
+                    spec: "systec::for i: y[i] = x[i]".into(),
+                    runs: 30,
+                    median_us: Some(12.5),
+                }],
+            },
+            Response::Pong,
+            Response::ShuttingDown,
+            Response::error(ErrorCode::Parse, "broken"),
+        ];
+        for resp in resps {
+            let line = resp.encode();
+            assert!(!line.contains('\n'), "one response per line: {line}");
+            assert_eq!(Response::decode(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn non_finite_output_values_roundtrip() {
+        // min= kernels legitimately report the identity `inf` for rows
+        // the data never touches.
+        let resp = Response::Ran {
+            outputs: vec![OutputPayload {
+                name: "y".into(),
+                dims: vec![3],
+                values: vec![f64::INFINITY, -1.5, f64::NEG_INFINITY],
+            }],
+            counters: CounterPayload::default(),
+        };
+        let line = resp.encode();
+        assert!(line.contains(r#""inf""#), "{line}");
+        assert_eq!(Response::decode(&line).unwrap(), resp);
+        // NaN decodes to the canonical NaN (NaN != NaN, so compare bits).
+        let resp = Response::Ran {
+            outputs: vec![OutputPayload {
+                name: "y".into(),
+                dims: vec![1],
+                values: vec![f64::NAN],
+            }],
+            counters: CounterPayload::default(),
+        };
+        let Response::Ran { outputs, .. } = Response::decode(&resp.encode()).unwrap() else {
+            panic!("run reply expected")
+        };
+        assert_eq!(outputs[0].values[0].to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn malformed_requests_error_without_panicking() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"op":"warp"}"#,
+            r#"{"op":"run"}"#,
+            r#"{"op":"run","kernel":-1}"#,
+            r#"{"op":"run","kernel":1.5}"#,
+            r#"{"op":"register_tensor","name":"A","dims":[2]}"#,
+            r#"{"op":"register_tensor","name":"A","dims":[2],"dense":[1],"coo":[]}"#,
+            r#"{"op":"register_tensor","name":"A","dims":[2,2],"coo":[[0,1]]}"#,
+            r#"{"op":"register_tensor","name":"A","dims":[2],"dense":["x"]}"#,
+            r#"{"op":"prepare"}"#,
+            r#"{"op":"prepare","einsum":"e","sym":"A"}"#,
+            r#"{"op":"prepare","einsum":"e","variant":"fast"}"#,
+            r#"{"op":"prepare","einsum":"e","threads":-2}"#,
+        ] {
+            assert!(Request::decode(bad).is_err(), "`{bad}` must not decode");
+        }
+    }
+
+    #[test]
+    fn error_codes_are_stable_strings() {
+        for code in [
+            ErrorCode::Parse,
+            ErrorCode::UnknownTensor,
+            ErrorCode::UnknownKernel,
+            ErrorCode::InvalidKernel,
+            ErrorCode::BadTensor,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_str(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_str("nope"), None);
+    }
+}

@@ -1,0 +1,321 @@
+//! The TCP transport: a long-lived listener speaking the line protocol.
+//!
+//! One handler thread per connection (requests on a connection are
+//! processed in order; connections are independent), all sharing one
+//! [`Engine`]. A request that fails to parse gets an error response and
+//! the connection **stays open** — fault isolation between connections
+//! is a test tier (`tests/fault_isolation.rs`).
+//!
+//! ## Shutdown
+//!
+//! A `shutdown` request (or [`RunningServer::shutdown`]) flips the flag,
+//! wakes the accept loop with a loopback connection, and shuts down
+//! every live client socket, which unblocks the handler threads;
+//! [`RunningServer::wait`]/[`RunningServer::join`] then join every
+//! thread — no worker leaks (asserted by the fault tier via
+//! [`RunningServer::active_connections`]).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::engine::Engine;
+use crate::protocol::{ErrorCode, Request, Response};
+use crate::relock;
+
+/// Upper bound on one request line. Large enough for a multi-megabyte
+/// tensor registration, small enough that a client streaming bytes
+/// without a newline cannot grow server memory without bound — past
+/// the cap the connection gets an error response and is closed (its
+/// request framing is lost, so resynchronization is impossible).
+pub const MAX_REQUEST_LINE: usize = 64 * 1024 * 1024;
+
+struct Shared {
+    engine: Arc<Engine>,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    /// Live client sockets by connection id, shut down to unblock their
+    /// handlers when the server stops.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    active: AtomicUsize,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn trigger_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already shutting down
+        }
+        // Wake the accept loop; it re-checks the flag per connection.
+        let _ = TcpStream::connect(self.addr);
+        // Unblock every handler parked in a read. Connections racing
+        // with this sweep re-check the flag after registering
+        // themselves (see `accept_loop`), so none slips through.
+        let conns = relock(&self.conns);
+        for stream in conns.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A serving instance bound to an address, accepting in a background
+/// thread. Dropping without [`RunningServer::join`] leaves the threads
+/// running (they exit on shutdown); tests should `join`.
+pub struct RunningServer {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+/// accepting connections against `engine`.
+///
+/// # Errors
+///
+/// Propagates socket errors from binding.
+pub fn serve(addr: impl ToSocketAddrs, engine: Engine) -> std::io::Result<RunningServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        engine: Arc::new(engine),
+        addr,
+        shutdown: AtomicBool::new(false),
+        conns: Mutex::new(HashMap::new()),
+        next_conn: AtomicU64::new(0),
+        active: AtomicUsize::new(0),
+        handlers: Mutex::new(Vec::new()),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("systec-serve-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_shared))?;
+    Ok(RunningServer { shared, accept: Some(accept) })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept errors (fd exhaustion) must not
+                // busy-spin a core; back off briefly and retry.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // the wake-up connection, or a late client
+        }
+        // A tracked clone is mandatory: it is what trigger_shutdown
+        // severs to unblock the handler, so an untrackable connection
+        // is dropped rather than served unstoppably.
+        let Ok(tracked) = stream.try_clone() else {
+            continue;
+        };
+        let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        relock(&shared.conns).insert(id, tracked);
+        // Re-check AFTER registering: a shutdown between the flag check
+        // above and the insert has already swept `conns` without seeing
+        // this connection, so sever it ourselves instead of leaving a
+        // handler parked in a read forever (wait() would never join it).
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+            relock(&shared.conns).remove(&id);
+            return;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let conn_shared = Arc::clone(shared);
+        let spawned =
+            std::thread::Builder::new().name(format!("systec-serve-conn-{id}")).spawn(move || {
+                handle_connection(stream, id, &conn_shared);
+                relock(&conn_shared.conns).remove(&id);
+                conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+            });
+        match spawned {
+            Ok(handle) => {
+                let mut handlers = relock(&shared.handlers);
+                // Reap finished handlers so a long-lived server does not
+                // accumulate joinable thread handles forever.
+                let mut k = 0;
+                while k < handlers.len() {
+                    if handlers[k].is_finished() {
+                        let _ = handlers.swap_remove(k).join();
+                    } else {
+                        k += 1;
+                    }
+                }
+                handlers.push(handle);
+            }
+            Err(_) => {
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                relock(&shared.conns).remove(&id);
+            }
+        }
+    }
+}
+
+/// Outcome of reading one request line with a size cap.
+enum LineRead {
+    /// A complete line (terminator stripped is up to the caller).
+    Line,
+    /// EOF / disconnect / severed socket.
+    Closed,
+    /// The line exceeded [`MAX_REQUEST_LINE`] before a newline arrived.
+    TooLong,
+}
+
+/// Like `read_line`, but gives up once the line exceeds the cap —
+/// otherwise one client streaming newline-free bytes would grow server
+/// memory without bound.
+fn read_bounded_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> LineRead {
+    line.clear();
+    let mut buf = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok([]) => {
+                return if buf.is_empty() { LineRead::Closed } else { finish(buf, line) };
+            }
+            Ok(chunk) => chunk,
+            Err(_) => return LineRead::Closed,
+        };
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                let take = nl + 1;
+                if buf.len() + take > MAX_REQUEST_LINE {
+                    reader.consume(take);
+                    return LineRead::TooLong;
+                }
+                buf.extend_from_slice(&chunk[..take]);
+                reader.consume(take);
+                return finish(buf, line);
+            }
+            None => {
+                let take = chunk.len();
+                if buf.len() + take > MAX_REQUEST_LINE {
+                    reader.consume(take);
+                    return LineRead::TooLong;
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(take);
+            }
+        }
+    }
+}
+
+fn finish(buf: Vec<u8>, line: &mut String) -> LineRead {
+    match String::from_utf8(buf) {
+        Ok(s) => {
+            *line = s;
+            LineRead::Line
+        }
+        // Non-UTF-8 bytes become a line that fails request parsing (a
+        // structured error, not a dropped connection).
+        Err(e) => {
+            *line = String::from_utf8_lossy(e.as_bytes()).into_owned();
+            LineRead::Line
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, _id: u64, shared: &Arc<Shared>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match read_bounded_line(&mut reader, &mut line) {
+            LineRead::Closed => return, // EOF, disconnect, or shutdown
+            LineRead::TooLong => {
+                // The connection's framing is unrecoverable mid-line;
+                // answer once and hang up.
+                shared.engine.count_error();
+                let _ = write_response(
+                    &mut writer,
+                    &Response::error(
+                        ErrorCode::Parse,
+                        format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+                    ),
+                );
+                return;
+            }
+            LineRead::Line => {}
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue; // blank keep-alive lines are not requests
+        }
+        let response = match Request::decode(trimmed) {
+            Ok(Request::Shutdown) => {
+                // Acknowledge, then stop the whole server.
+                let _ = write_response(&mut writer, &Response::ShuttingDown);
+                shared.trigger_shutdown();
+                return;
+            }
+            Ok(request) => shared.engine.handle(&request),
+            Err(e) => {
+                shared.engine.count_error();
+                Response::error(ErrorCode::Parse, e.message)
+            }
+        };
+        if write_response(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut encoded = response.encode();
+    encoded.push('\n');
+    writer.write_all(encoded.as_bytes())?;
+    writer.flush()
+}
+
+impl RunningServer {
+    /// The bound address (with the actual port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The shared engine (tests inspect pools and drive it directly).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Initiates shutdown (idempotent): stops accepting, unblocks every
+    /// handler. Does not wait — see [`RunningServer::wait`].
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Blocks until the server has shut down (a client sent `shutdown`,
+    /// or [`RunningServer::shutdown`] was called) and every thread has
+    /// been joined.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handlers: Vec<JoinHandle<()>> = std::mem::take(&mut *relock(&self.shared.handlers));
+        for handle in handlers {
+            let _ = handle.join();
+        }
+    }
+
+    /// [`RunningServer::shutdown`] + [`RunningServer::wait`].
+    pub fn join(self) {
+        self.shutdown();
+        self.wait();
+    }
+}

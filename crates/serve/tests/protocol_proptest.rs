@@ -1,0 +1,298 @@
+//! Protocol round-trip property tier (vendored `proptest`):
+//!
+//! * arbitrary requests and responses encode → decode **bit-identically**
+//!   (tensor values compared by `f64` bits, not tolerance);
+//! * arbitrary malformed and truncated lines produce a structured
+//!   error, never a panic — and the error response itself round-trips,
+//!   which is what keeps a connection alive after garbage.
+
+use proptest::prelude::*;
+use systec_serve::protocol::{
+    CachePayload, CounterPayload, ErrorCode, KernelStatPayload, OutputPayload, Request,
+    RequestCountsPayload, Response, StorageFormat, TensorPayload, Variant,
+};
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// Names exercising escaping: quotes, backslashes, newlines, non-ASCII.
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("A".to_string()),
+        Just("big_matrix".to_string()),
+        Just("weird \"name\"".to_string()),
+        Just("tab\the\\re".to_string()),
+        Just("uni\u{00e9}\u{1f600}".to_string()),
+        Just("nl\nin name".to_string()),
+    ]
+}
+
+fn value_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-1.0e6f64..1.0e6).prop_map(|v| v),
+        Just(0.0),
+        Just(-0.0),
+        Just(1.5e-300),
+        Just(f64::MIN_POSITIVE),
+        Just(f64::MAX),
+    ]
+}
+
+fn dims_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..=3)
+}
+
+fn payload_strategy() -> impl Strategy<Value = (Vec<usize>, TensorPayload)> {
+    (dims_strategy(), any::<bool>(), prop::collection::vec(value_strategy(), 0..6)).prop_map(
+        |(dims, dense, values)| {
+            if dense {
+                (dims.clone(), TensorPayload::Dense(values))
+            } else {
+                let rank = dims.len();
+                let entries = values
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &v)| ((0..rank).map(|m| (k + m) % 7).collect(), v))
+                    .collect();
+                (dims, TensorPayload::Coo(entries))
+            }
+        },
+    )
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    let register = (name_strategy(), payload_strategy(), 0usize..3).prop_map(
+        |(name, (dims, payload), fmt)| Request::RegisterTensor {
+            name,
+            dims,
+            payload,
+            format: [StorageFormat::Auto, StorageFormat::Dense, StorageFormat::Csf][fmt],
+        },
+    );
+    let prepare = (
+        name_strategy(),
+        prop::collection::vec(name_strategy(), 0..3),
+        prop::collection::vec((name_strategy(), name_strategy()), 0..3),
+        any::<bool>(),
+        any::<bool>(),
+        0usize..5,
+    )
+        .prop_map(|(einsum, sym, mut inputs, naive, with_threads, threads)| {
+            // Duplicate mapping keys decode ambiguously by design; make
+            // keys unique for the round-trip property.
+            inputs.sort();
+            inputs.dedup_by(|a, b| a.0 == b.0);
+            Request::Prepare {
+                einsum,
+                sym,
+                inputs,
+                variant: if naive { Variant::Naive } else { Variant::Systec },
+                threads: with_threads.then_some(threads),
+            }
+        });
+    let run = (0u64..1000, any::<bool>()).prop_map(|(kernel, full)| Request::Run { kernel, full });
+    prop_oneof![
+        register,
+        prepare,
+        run,
+        Just(Request::Stats),
+        Just(Request::Ping),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn output_value_strategy() -> impl Strategy<Value = f64> {
+    // Served outputs may be non-finite (min= identities).
+    prop_oneof![value_strategy(), Just(f64::INFINITY), Just(f64::NEG_INFINITY), Just(f64::NAN),]
+}
+
+fn outputs_strategy() -> impl Strategy<Value = Vec<OutputPayload>> {
+    prop::collection::vec(
+        (name_strategy(), dims_strategy(), prop::collection::vec(output_value_strategy(), 0..6)),
+        0..3,
+    )
+    .prop_map(|outs| {
+        let mut outs: Vec<OutputPayload> = outs
+            .into_iter()
+            .map(|(name, dims, values)| OutputPayload { name, dims, values })
+            .collect();
+        outs.sort_by(|a, b| a.name.cmp(&b.name));
+        outs.dedup_by(|a, b| a.name == b.name);
+        outs
+    })
+}
+
+fn counters_strategy() -> impl Strategy<Value = CounterPayload> {
+    (
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        prop::collection::vec((name_strategy(), 0u64..1_000_000), 0..4),
+    )
+        .prop_map(|(flops, writes, iterations, mut reads)| {
+            reads.sort();
+            reads.dedup_by(|a, b| a.0 == b.0);
+            CounterPayload { flops, writes, iterations, reads }
+        })
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    let registered =
+        (name_strategy(), 0u64..100_000).prop_map(|(name, nnz)| Response::Registered { name, nnz });
+    let prepared = (0u64..1000, any::<bool>(), any::<bool>(), name_strategy()).prop_map(
+        |(kernel, splittable, with_note, note)| Response::Prepared {
+            kernel,
+            splittable,
+            note: with_note.then_some(note),
+        },
+    );
+    let ran = (outputs_strategy(), counters_strategy())
+        .prop_map(|(outputs, counters)| Response::Ran { outputs, counters });
+    let stats = (
+        (0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000),
+        (0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000),
+        prop::collection::vec(
+            (0u64..100, name_strategy(), 0u64..9000, any::<bool>(), 0.0f64..5000.0),
+            0..3,
+        ),
+    )
+        .prop_map(|(c, r, ks)| Response::Stats {
+            cache: CachePayload {
+                hits: c.0,
+                misses: c.1,
+                builds: c.2,
+                evictions: c.3,
+                entries: c.4,
+            },
+            requests: RequestCountsPayload {
+                register_tensor: r.0,
+                prepare: r.1,
+                run: r.2,
+                stats: r.3,
+                ping: r.4,
+                errors: r.5,
+            },
+            kernels: ks
+                .into_iter()
+                .map(|(kernel, spec, runs, with_median, median)| KernelStatPayload {
+                    kernel,
+                    spec,
+                    runs,
+                    median_us: with_median.then_some(median),
+                })
+                .collect(),
+        });
+    let error = (0usize..6, name_strategy()).prop_map(|(code, message)| Response::Error {
+        code: [
+            ErrorCode::Parse,
+            ErrorCode::UnknownTensor,
+            ErrorCode::UnknownKernel,
+            ErrorCode::InvalidKernel,
+            ErrorCode::BadTensor,
+            ErrorCode::Internal,
+        ][code],
+        message,
+    });
+    prop_oneof![
+        registered,
+        prepared,
+        ran,
+        stats,
+        Just(Response::Pong),
+        Just(Response::ShuttingDown),
+        error,
+    ]
+}
+
+/// Structural equality with NaN-tolerant, bit-exact value comparison.
+fn responses_equal(a: &Response, b: &Response) -> bool {
+    match (a, b) {
+        (
+            Response::Ran { outputs: oa, counters: ca },
+            Response::Ran { outputs: ob, counters: cb },
+        ) => {
+            ca == cb
+                && oa.len() == ob.len()
+                && oa.iter().zip(ob).all(|(x, y)| {
+                    x.name == y.name
+                        && x.dims == y.dims
+                        && x.values.len() == y.values.len()
+                        && x.values.iter().zip(&y.values).all(|(u, v)| u.to_bits() == v.to_bits())
+                })
+        }
+        _ => a == b,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_roundtrip_bit_identically(req in request_strategy()) {
+        let line = req.encode();
+        prop_assert!(!line.contains('\n'), "one request per line: {line}");
+        let decoded = Request::decode(&line)
+            .map_err(|e| TestCaseError::fail(format!("{line}: {e}")))?;
+        prop_assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn responses_roundtrip_bit_identically(resp in response_strategy()) {
+        let line = resp.encode();
+        prop_assert!(!line.contains('\n'), "one response per line: {line}");
+        let decoded = Response::decode(&line)
+            .map_err(|e| TestCaseError::fail(format!("{line}: {e}")))?;
+        prop_assert!(responses_equal(&decoded, &resp), "{:?} != {:?}", decoded, resp);
+    }
+
+    #[test]
+    fn truncated_requests_error_not_panic(req in request_strategy(), frac in 0.0f64..1.0) {
+        let line = req.encode();
+        let cut = ((line.len() as f64) * frac) as usize;
+        let cut = (0..=cut).rev().find(|&c| line.is_char_boundary(c)).unwrap_or(0);
+        if cut < line.len() {
+            let err = Request::decode(&line[..cut]);
+            prop_assert!(err.is_err(), "proper prefix `{}` must not decode", &line[..cut]);
+            // The structured error response built from it survives its
+            // own round trip (so the connection can keep talking).
+            let e = err.unwrap_err();
+            let resp = Response::error(ErrorCode::Parse, e.message);
+            let reline = resp.encode();
+            prop_assert_eq!(Response::decode(&reline).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn garbage_lines_never_panic(bytes in prop::collection::vec(0u32..0x110000, 0..40)) {
+        // Arbitrary unicode soup: decode may fail (almost always) but
+        // must never panic; if it somehow parses, it must re-encode.
+        let line: String = bytes.iter().filter_map(|&b| char::from_u32(b)).collect();
+        if let Ok(req) = Request::decode(&line) {
+            let re = req.encode();
+            prop_assert_eq!(Request::decode(&re).unwrap(), req);
+        }
+        let _ = Response::decode(&line);
+    }
+
+    #[test]
+    fn mutated_json_never_panics(resp in response_strategy(), pos in 0usize..200, byte in 0u32..128) {
+        let byte = byte as u8;
+        // Flip one byte of a valid encoding to a printable/control char:
+        // decode must fail cleanly or produce a decodable value.
+        let mut line = resp.encode().into_bytes();
+        if line.is_empty() {
+            return Ok(());
+        }
+        let pos = pos % line.len();
+        line[pos] = byte;
+        if let Ok(s) = String::from_utf8(line) {
+            let _ = Response::decode(&s);
+            let _ = Request::decode(&s);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Extends the PR 2 counting-allocator regression harness to a warmed
+//! server worker: once an engine's pooled state is warm (run slots +
+//! execution contexts sized by the first few requests), the
+//! steady-state **execution path** of a `run` request —
+//! [`systec_serve::Engine::execute`]: kernel lookup, slot + context
+//! checkout, `run_timed_into`, latency recording, lease return —
+//! performs **zero** heap allocations. Response serialization is
+//! deliberately outside the measured region (it builds a fresh line per
+//! request by design).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use systec_serve::protocol::{Request, Response, StorageFormat, TensorPayload, Variant};
+use systec_serve::Engine;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+/// The two tests below each measure a delta of the process-global
+/// counter; serialize them so one test's warmup never lands inside the
+/// other's measured region.
+fn measurement_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Registers a small symmetric SSYMV workload and returns its handle.
+fn warmed_engine() -> (Engine, u64) {
+    let engine = Engine::new();
+    let n = 12;
+    // Tridiagonal-ish symmetric matrix, deterministic without an RNG.
+    let mut entries = Vec::new();
+    for i in 0..n {
+        entries.push((vec![i, i], 1.0 + i as f64));
+        if i + 1 < n {
+            entries.push((vec![i, i + 1], 0.5 + i as f64 / 10.0));
+            entries.push((vec![i + 1, i], 0.5 + i as f64 / 10.0));
+        }
+    }
+    let resp = engine.handle(&Request::RegisterTensor {
+        name: "A".into(),
+        dims: vec![n, n],
+        payload: TensorPayload::Coo(entries),
+        format: StorageFormat::Auto,
+    });
+    assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+    let resp = engine.handle(&Request::RegisterTensor {
+        name: "x".into(),
+        dims: vec![n],
+        payload: TensorPayload::Dense((0..n).map(|k| 1.0 + k as f64 / 7.0).collect()),
+        format: StorageFormat::Auto,
+    });
+    assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+    let resp = engine.handle(&Request::Prepare {
+        einsum: "for i, j: y[i] += A[i, j] * x[j]".into(),
+        sym: vec!["A".into()],
+        inputs: vec![],
+        variant: Variant::Systec,
+        threads: Some(1),
+    });
+    let Response::Prepared { kernel, .. } = resp else { panic!("prepare failed: {resp:?}") };
+    (engine, kernel)
+}
+
+#[test]
+fn warmed_server_worker_executes_allocation_free() {
+    let _serialized = measurement_lock();
+    let (engine, kernel) = warmed_engine();
+    // Warm the pooled state: the first runs size the run slot, the
+    // execution context, and the counters map.
+    for _ in 0..3 {
+        let lease = engine.execute(kernel).expect("run succeeds");
+        assert!(!lease.outputs().is_empty());
+    }
+    assert_eq!(engine.context_pool().created(), 1, "one serial worker, one context");
+
+    let before = allocations();
+    for _ in 0..10 {
+        let lease = engine.execute(kernel).expect("run succeeds");
+        // Touch the results the way serialization would read them.
+        std::hint::black_box(lease.outputs().len());
+        std::hint::black_box(lease.counters().flops);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state serving must not allocate on the execution path \
+         (saw {} allocations over 10 runs)",
+        after - before
+    );
+    // Still the same single pooled context — the leases recycled it.
+    assert_eq!(engine.context_pool().created(), 1);
+}
+
+#[test]
+fn interleaving_kernels_stays_allocation_free_once_both_are_warm() {
+    let _serialized = measurement_lock();
+    let (engine, ssymv) = warmed_engine();
+    let resp = engine.handle(&Request::Prepare {
+        einsum: "for i, j: y[] += x[i] * A[i, j] * x[j]".into(),
+        sym: vec!["A".into()],
+        inputs: vec![],
+        variant: Variant::Systec,
+        threads: Some(1),
+    });
+    let Response::Prepared { kernel: syprd, .. } = resp else { panic!("{resp:?}") };
+    for _ in 0..3 {
+        drop(engine.execute(ssymv).unwrap());
+        drop(engine.execute(syprd).unwrap());
+    }
+    let before = allocations();
+    for _ in 0..10 {
+        drop(engine.execute(ssymv).unwrap());
+        drop(engine.execute(syprd).unwrap());
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "per-kernel slots keep interleaved serving allocation-free (saw {})",
+        after - before
+    );
+}

@@ -1,7 +1,8 @@
 //! The `systec` command-line driver — the analogue of the artifact's
 //! `run_SySTeC.jl`: feed it an einsum and symmetry declarations, inspect
 //! the generated kernel, and optionally run it on random data against the
-//! naive baseline.
+//! naive baseline. The `serve` and `client` subcommands expose the
+//! long-lived einsum server (`systec-serve`).
 //!
 //! ```sh
 //! systec "for i, j: y[i] += A[i, j] * x[j]" --sym A
@@ -9,21 +10,25 @@
 //!        --sym A --run --n 30 --density 1e-2 --rank 8
 //! systec "for i, j, k: C[i, j] += A[i, k] * A[j, k]" --run   # SSYRK, output symmetry
 //! systec "for i, j: y[i] += A[i, j] * x[j]" --sym A:0-1      # explicit partition
+//! systec serve --addr 127.0.0.1:7171 --threads 2             # einsum server
+//! systec client --addr 127.0.0.1:7171 '{"op":"ping"}'        # scripted exchange
 //! ```
 
 use std::collections::HashMap;
+use std::io::BufRead;
 use std::process::ExitCode;
 
-use systec::compiler::{Compiler, SymmetryPartition, SymmetrySpec};
+use systec::compiler::{Compiler, SymmetrySpec};
 use systec::exec::reference::reference_einsum;
 use systec::ir::{parse_einsum, Einsum};
-use systec::kernels::{serial_fallback_note, Backend, Parallelism, Prepared};
+use systec::kernels::{parse_symmetry, serial_fallback_note, Backend, Parallelism, Prepared};
+use systec::serve::{serve, Client, Engine};
 use systec::tensor::generate::{random_dense, rng};
 use systec::tensor::{csf, CooTensor, SparseTensor, Tensor};
 
 struct Options {
     einsum: String,
-    symmetric: Vec<(String, Option<Vec<Vec<usize>>>)>,
+    symmetric: Vec<String>,
     run: bool,
     n: usize,
     density: f64,
@@ -51,11 +56,112 @@ fn usage() -> &'static str {
        --n N                 dimension extent for --run (default 30)\n\
        --density P           sparse fill probability for --run (default 0.01)\n\
        --rank R              extent of indices that only appear densely (default 8)\n\
-       --seed S              RNG seed (default 42)\n"
+       --seed S              RNG seed (default 42)\n\
+     \n\
+     subcommands:\n\
+       systec serve --addr HOST:PORT [--threads T]\n\
+                             run the long-lived einsum server (line-delimited JSON\n\
+                             over TCP; see the README's Serving section). --threads\n\
+                             sets the default per-run parallelism for splittable\n\
+                             plans. Runs until a client sends {\"op\":\"shutdown\"}\n\
+       systec client --addr HOST:PORT [REQUEST...]\n\
+                             send request lines (or stdin, one request per line)\n\
+                             and print each response; exits non-zero if any\n\
+                             response reports ok:false\n"
 }
 
-fn parse_args() -> Result<Options, String> {
-    let mut args = std::env::args().skip(1);
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut threads = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => return fail("--addr needs HOST:PORT"),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threads = v,
+                None => return fail("--threads needs a number"),
+            },
+            other => return fail(&format!("unknown serve option `{other}`\n\n{}", usage())),
+        }
+    }
+    let engine = Engine::with_parallelism(Parallelism::threads(threads));
+    let running = match serve(addr.as_str(), engine) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("cannot bind {addr}: {e}")),
+    };
+    println!("systec-serve listening on {}", running.addr());
+    running.wait();
+    println!("systec-serve stopped");
+    ExitCode::SUCCESS
+}
+
+fn client_main(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut requests: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => return fail("--addr needs HOST:PORT"),
+            },
+            other => requests.push(other.to_string()),
+        }
+    }
+    let Some(addr) = addr else {
+        return fail("systec client needs --addr HOST:PORT");
+    };
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
+    };
+    let mut all_ok = true;
+    let exchange = |client: &mut Client, line: &str| -> Result<bool, String> {
+        let response = client.send_raw(line).map_err(|e| e.to_string())?;
+        println!("{response}");
+        // `ok:false` responses flip the exit code (scripted smoke tests
+        // assert on it), but the exchange continues.
+        Ok(!response.starts_with("{\"ok\":false"))
+    };
+    if requests.is_empty() {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => return fail(&format!("reading stdin: {e}")),
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match exchange(&mut client, &line) {
+                Ok(ok) => all_ok &= ok,
+                Err(e) => return fail(&e),
+            }
+        }
+    } else {
+        for line in &requests {
+            match exchange(&mut client, line) {
+                Ok(ok) => all_ok &= ok,
+                Err(e) => return fail(&e),
+            }
+        }
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::FAILURE
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
     let einsum = args.next().ok_or_else(|| usage().to_string())?;
     let mut opts = Options {
         einsum,
@@ -71,24 +177,9 @@ fn parse_args() -> Result<Options, String> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--sym" => {
-                let spec = args.next().ok_or("--sym needs a tensor name")?;
-                match spec.split_once(':') {
-                    None => opts.symmetric.push((spec, None)),
-                    Some((name, parts)) => {
-                        let parsed: Result<Vec<Vec<usize>>, String> = parts
-                            .split(',')
-                            .map(|part| {
-                                part.split('-')
-                                    .map(|m| {
-                                        m.parse::<usize>()
-                                            .map_err(|_| format!("bad mode `{m}` in --sym"))
-                                    })
-                                    .collect()
-                            })
-                            .collect();
-                        opts.symmetric.push((name.to_string(), Some(parsed?)));
-                    }
-                }
+                // Declarations are validated against the einsum later,
+                // by the shared `systec::kernels::parse_symmetry`.
+                opts.symmetric.push(args.next().ok_or("--sym needs a tensor name")?);
             }
             "--run" => opts.run = true,
             "--backend" => {
@@ -120,7 +211,13 @@ fn next_num(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<f64, 
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return serve_main(&argv[1..]),
+        Some("client") => return client_main(&argv[1..]),
+        _ => {}
+    }
+    let opts = match parse_args(argv.into_iter()) {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("{msg}");
@@ -134,26 +231,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut spec = SymmetrySpec::new();
-    for (name, partition) in &opts.symmetric {
-        let rank = match einsum.rhs.accesses().iter().find(|a| a.tensor.name == *name) {
-            Some(a) => a.rank(),
-            None => {
-                eprintln!("--sym {name}: the einsum does not read `{name}`");
-                return ExitCode::FAILURE;
-            }
-        };
-        spec = match partition {
-            None => spec.with_full(name, rank),
-            Some(parts) => match SymmetryPartition::from_parts(parts.clone()) {
-                Some(p) => spec.with_partition(name, p),
-                None => {
-                    eprintln!("--sym {name}: parts must cover modes 0..{rank} disjointly");
-                    return ExitCode::FAILURE;
-                }
-            },
-        };
-    }
+    let spec = match parse_symmetry(&einsum, &opts.symmetric) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("--sym: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let kernel = match Compiler::new().compile(&einsum, &spec) {
         Ok(k) => k,

@@ -16,6 +16,8 @@
 //!   cache.
 //! * [`kernels`] — the paper's evaluation kernels, native baselines, and
 //!   the prepare/run harness.
+//! * [`serve`] — the long-lived einsum server: line-delimited JSON over
+//!   TCP, pooled execution state, single-flight plan builds.
 //!
 //! ## Example
 //!
@@ -40,4 +42,5 @@ pub use systec_exec as exec;
 pub use systec_ir as ir;
 pub use systec_kernels as kernels;
 pub use systec_rewrite as rewrite;
+pub use systec_serve as serve;
 pub use systec_tensor as tensor;
