@@ -14,8 +14,11 @@
 //! kernel work, not allocator traffic.
 //!
 //! After the run, the per-series medians are written as JSON to
-//! `bench_results/kernels.json` (schema: kernel → series → ns) so the
-//! perf trajectory diffs across PRs.
+//! `bench_results/kernels.json` (schema: `{meta, kernels}` where
+//! `kernels` maps kernel → series → ns and `meta` stamps the run with
+//! the git SHA, host parallelism, UTC timestamp, and counter mode) so
+//! the perf trajectory diffs across PRs *and* stays interpretable
+//! across machines.
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -134,27 +137,72 @@ criterion_group! {
     targets = benches
 }
 
-/// Serializes the recorded medians as `{ kernel: { series: ns } }`
-/// (sorted keys, hand-rolled JSON — the workspace has no serde).
+/// Best-effort `git rev-parse HEAD`; benches may run from an export.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// UTC wall time as `YYYY-MM-DDTHH:MM:SSZ` (the workspace has no
+/// chrono; date math is Hinnant's civil-from-days).
+fn utc_timestamp() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (h, m, s) = ((secs / 3600) % 24, (secs / 60) % 60, secs % 60);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!("{year:04}-{month:02}-{day:02}T{h:02}:{m:02}:{s:02}Z")
+}
+
+/// Serializes the run as `{ "meta": {...}, "kernels": { kernel: {
+/// series: ns } } }` (sorted keys, hand-rolled JSON — the workspace
+/// has no serde). The meta stamp is what makes a checked-in trajectory
+/// point comparable: a 1-CPU container's `-t4` cells are relabeled
+/// serial runs, and only `nproc` in the stamp says so.
 fn report_json(records: &[criterion::BenchRecord]) -> String {
     let mut by_kernel: BTreeMap<&str, BTreeMap<&str, f64>> = BTreeMap::new();
     for r in records {
         let (kernel, series) = r.name.split_once('/').unwrap_or(("", r.name.as_str()));
         by_kernel.entry(kernel).or_default().insert(series, r.median * 1e9);
     }
+    let nproc = std::thread::available_parallelism().map_or(0, |n| n.get());
     let mut out = String::from("{\n");
+    out.push_str("  \"meta\": {\n");
+    out.push_str(&format!("    \"git_sha\": {:?},\n", git_sha()));
+    out.push_str(&format!("    \"nproc\": {nproc},\n"));
+    out.push_str(&format!("    \"timestamp\": {:?},\n", utc_timestamp()));
+    out.push_str(
+        "    \"counter_mode\": \"exact (series suffixed -nocount run with counters off)\"\n",
+    );
+    out.push_str("  },\n");
+    out.push_str("  \"kernels\": {\n");
     let mut kernels = by_kernel.iter().peekable();
     while let Some((kernel, series)) = kernels.next() {
-        out.push_str(&format!("  {kernel:?}: {{\n"));
+        out.push_str(&format!("    {kernel:?}: {{\n"));
         let mut cells = series.iter().peekable();
         while let Some((name, ns)) = cells.next() {
             let comma = if cells.peek().is_some() { "," } else { "" };
-            out.push_str(&format!("    {name:?}: {ns:.1}{comma}\n"));
+            out.push_str(&format!("      {name:?}: {ns:.1}{comma}\n"));
         }
         let comma = if kernels.peek().is_some() { "," } else { "" };
-        out.push_str(&format!("  }}{comma}\n"));
+        out.push_str(&format!("    }}{comma}\n"));
     }
-    out.push_str("}\n");
+    out.push_str("  }\n}\n");
     out
 }
 

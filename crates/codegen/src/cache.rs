@@ -13,6 +13,7 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
+use systec_telemetry as telemetry;
 use systec_tensor::{LevelFormat, Tensor};
 
 /// Recovers a lock even when a panic elsewhere poisoned it: the guarded
@@ -98,6 +99,10 @@ pub struct CacheStats {
     /// Build closures actually executed ([`SharedPlanCache`] only):
     /// concurrent requests for one key perform exactly one build.
     pub builds: u64,
+    /// Lookups that blocked on another thread's in-flight build of the
+    /// same key ([`SharedPlanCache`] only): the single-flight protocol
+    /// turned a would-be duplicate build into a wait.
+    pub waits: u64,
 }
 
 /// An LRU cache from [`PlanKey`] to shared immutable plans.
@@ -136,13 +141,28 @@ impl<V> PlanCache<V> {
             Some((plan, used)) => {
                 *used = self.tick;
                 self.hits += 1;
+                telemetry::global().plan_cache_hits.inc();
                 Some(Arc::clone(plan))
             }
             None => {
                 self.misses += 1;
+                telemetry::global().plan_cache_misses.inc();
                 None
             }
         }
+    }
+
+    /// The single-flight re-check under the in-flight lock: a find is
+    /// a genuine hit (counted, recency refreshed), but a second miss
+    /// of the same logical lookup is not re-counted — `misses` stays
+    /// one per cold lookup.
+    fn recheck(&mut self, key: &PlanKey) -> Option<Arc<V>> {
+        self.tick += 1;
+        let (plan, used) = self.map.get_mut(key)?;
+        *used = self.tick;
+        self.hits += 1;
+        telemetry::global().plan_cache_hits.inc();
+        Some(Arc::clone(plan))
     }
 
     /// Inserts a freshly built plan, evicting the least-recently-used
@@ -157,6 +177,7 @@ impl<V> PlanCache<V> {
             {
                 self.map.remove(&oldest);
                 self.evictions += 1;
+                telemetry::global().plan_cache_evictions.inc();
             }
         }
         self.map.insert(key, (plan, self.tick));
@@ -170,6 +191,7 @@ impl<V> PlanCache<V> {
             evictions: self.evictions,
             entries: self.map.len(),
             builds: 0,
+            waits: 0,
         }
     }
 
@@ -245,6 +267,7 @@ pub struct SharedPlanCache<V> {
     lru: Mutex<PlanCache<V>>,
     building: Mutex<HashMap<PlanKey, Arc<BuildState<V>>>>,
     builds: AtomicU64,
+    waits: AtomicU64,
 }
 
 impl<V> std::fmt::Debug for BuildState<V> {
@@ -264,6 +287,7 @@ impl<V> SharedPlanCache<V> {
             lru: Mutex::new(PlanCache::new(capacity)),
             building: Mutex::new(HashMap::new()),
             builds: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
         }
     }
 
@@ -299,7 +323,7 @@ impl<V> SharedPlanCache<V> {
                         // its in-flight entry, so finding neither entry
                         // nor plan proves nobody built this key — the
                         // single-flight guarantee needs that proof.
-                        if let Some(plan) = relock(&self.lru).get(key) {
+                        if let Some(plan) = relock(&self.lru).recheck(key) {
                             return Ok((plan, None));
                         }
                         let state = Arc::new(BuildState::new());
@@ -309,12 +333,15 @@ impl<V> SharedPlanCache<V> {
                 }
             };
             if !is_builder {
+                self.waits.fetch_add(1, Ordering::Relaxed);
+                telemetry::global().plan_cache_waits.inc();
                 match state.wait() {
                     Some(plan) => return Ok((plan, None)),
                     None => continue, // builder failed; retry (maybe build)
                 }
             }
             self.builds.fetch_add(1, Ordering::Relaxed);
+            telemetry::global().plan_cache_builds.inc();
             let cleanup = BuildCleanup { cache: self, key, state: &state };
             // The build runs with no lock held; a panic here unwinds
             // through `cleanup`, which wakes waiters and clears the
@@ -336,15 +363,21 @@ impl<V> SharedPlanCache<V> {
         }
     }
 
-    /// Current observability counters (LRU stats plus executed builds).
+    /// Current observability counters (LRU stats plus executed builds
+    /// and single-flight waits).
     pub fn stats(&self) -> CacheStats {
-        CacheStats { builds: self.builds.load(Ordering::Relaxed), ..relock(&self.lru).stats() }
+        CacheStats {
+            builds: self.builds.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            ..relock(&self.lru).stats()
+        }
     }
 
     /// Drops every cached plan and resets the statistics.
     pub fn clear(&self) {
         relock(&self.lru).clear();
         self.builds.store(0, Ordering::Relaxed);
+        self.waits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -436,7 +469,12 @@ mod tests {
             }
         });
         assert_eq!(built.load(Ordering::SeqCst), 1, "exactly one build per key");
-        assert_eq!(cache.stats().builds, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 1);
+        // Every thread got the plan exactly one way: by building it, by
+        // waiting on the in-flight build, or by hitting the LRU after
+        // the build published.
+        assert_eq!(stats.builds + stats.waits + stats.hits, 8);
     }
 
     #[test]

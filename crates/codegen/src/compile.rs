@@ -404,7 +404,9 @@ impl VecBuilder {
             // Fused-body selection: recognize the common load/fold
             // shapes and attach their monomorphized form alongside the
             // step list (the VM picks at loop entry; see crate::fuse).
+            let fuse_span = systec_telemetry::span(systec_telemetry::Phase::Fuse);
             let fused = crate::fuse::fuse_item(&steps);
+            drop(fuse_span);
             self.items.push(VItem {
                 id: c.alloc_vec_item(),
                 guard: self.open_guard.clone().into(),

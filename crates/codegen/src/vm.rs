@@ -39,6 +39,7 @@ use std::collections::HashMap;
 use systec_exec::lowered::SlotKind;
 use systec_exec::{CounterBank, Counters, ExecError};
 use systec_ir::AssignOp;
+use systec_telemetry as telemetry;
 use systec_tensor::{DenseTensor, LevelView, Tensor};
 
 use systec_ir::BinOp;
@@ -193,6 +194,20 @@ fn eval_guards(items: &[VItem], u: &[usize], pass: &mut [bool]) -> usize {
         n += usize::from(ok);
     }
     n
+}
+
+/// Telemetry label for a fused-body kind (`Steps` is counted at the
+/// general-path sites instead).
+fn body_kind(kind: FusedBody) -> telemetry::BodyKind {
+    match kind {
+        FusedBody::Dot => telemetry::BodyKind::Dot,
+        FusedBody::Axpy => telemetry::BodyKind::Axpy,
+        FusedBody::ScaleStore => telemetry::BodyKind::ScaleStore,
+        FusedBody::DotAxpy => telemetry::BodyKind::DotAxpy,
+        FusedBody::GatherDot => telemetry::BodyKind::GatherDot,
+        FusedBody::GatherAxpy => telemetry::BodyKind::GatherAxpy,
+        FusedBody::Jam => telemetry::BodyKind::Jam,
+    }
 }
 
 /// The single passing item's fused body, if the loop can take the fused
@@ -1522,6 +1537,11 @@ fn run_range<'a>(
     let mut flops = 0u64;
     let mut writes = 0u64;
     let mut iterations = 0u64;
+    // Per-kind vector-loop dispatch tally, indexed by
+    // `telemetry::BodyKind::index`. Kept as plain locals on the hot
+    // path and flushed to the global registry once per chunk, so
+    // parallel workers never contend on a shared counter cache line.
+    let mut dispatch = [0u64; telemetry::BODY_KINDS.len()];
 
     /// Builds the per-loop [`VecRun`] over this function's binding
     /// tables and scratch (one point of truth for the field set; the
@@ -1937,12 +1957,14 @@ fn run_range<'a>(
                     iterations += iters;
                     let n_pass = eval_guards(items, u, vec_pass);
                     if let Some(fu) = fused_single(items, vec_pass, n_pass) {
+                        dispatch[body_kind(fu.kind).index()] += 1;
                         let mut fr = fused_run!();
                         let drive = FDrive::Range { lo: lo_v as usize, hi: hi_v as usize };
                         fr.run_mode(mode, fu, drive, *idx, iters);
                         flops += fr.flops;
                         writes += fr.writes;
                     } else if n_pass > 0 {
+                        dispatch[telemetry::BodyKind::Steps.index()] += 1;
                         vec_prepare(
                             items,
                             u,
@@ -1986,12 +2008,14 @@ fn run_range<'a>(
                         let tvals = vals[*tensor];
                         let n_pass = eval_guards(items, u, vec_pass);
                         if let Some(fu) = fused_single(items, vec_pass, n_pass) {
+                            dispatch[body_kind(fu.kind).index()] += 1;
                             let mut fr = fused_run!();
                             let drive = FDrive::Crd { vals: tvals, crd, start, stop };
                             fr.run_mode(mode, fu, drive, *idx, iters);
                             flops += fr.flops;
                             writes += fr.writes;
                         } else if n_pass > 0 {
+                            dispatch[telemetry::BodyKind::Steps.index()] += 1;
                             vec_prepare(
                                 items,
                                 u,
@@ -2047,6 +2071,7 @@ fn run_range<'a>(
                             let tvals = vals[*tensor];
                             let n_pass = eval_guards(items, u, vec_pass);
                             if let Some(fu) = fused_single(items, vec_pass, n_pass) {
+                                dispatch[body_kind(fu.kind).index()] += 1;
                                 let mut fr = fused_run!();
                                 let drive = FDrive::Rle {
                                     vals: tvals,
@@ -2061,6 +2086,7 @@ fn run_range<'a>(
                                 flops += fr.flops;
                                 writes += fr.writes;
                             } else if n_pass > 0 {
+                                dispatch[telemetry::BodyKind::Steps.index()] += 1;
                                 vec_prepare(
                                     items,
                                     u,
@@ -2133,6 +2159,11 @@ fn run_range<'a>(
                         iterations += iters;
                         let n_pass = eval_guards(items, u, vec_pass);
                         let fused = fused_single(items, vec_pass, n_pass);
+                        if let Some(fu) = fused {
+                            dispatch[body_kind(fu.kind).index()] += 1;
+                        } else if n_pass > 0 {
+                            dispatch[telemetry::BodyKind::Steps.index()] += 1;
+                        }
                         if n_pass > 0 && fused.is_none() {
                             vec_prepare(
                                 items,
@@ -2244,6 +2275,15 @@ fn run_range<'a>(
     counters.flops += flops;
     counters.writes += writes;
     counters.iterations += iterations;
+
+    if telemetry::enabled() {
+        let metrics = telemetry::global();
+        for (kind, n) in telemetry::BODY_KINDS.iter().zip(dispatch) {
+            if n > 0 {
+                metrics.fused(*kind).add(n);
+            }
+        }
+    }
 }
 
 pub(crate) fn execute(
@@ -2254,6 +2294,9 @@ pub(crate) fn execute(
     parallelism: Parallelism,
     out_counters: &mut Counters,
 ) -> Result<(), ExecError> {
+    // Run-phase telemetry: one clock read on entry, one on success.
+    // When telemetry is off the clock is never touched.
+    let run_start = telemetry::enabled().then(std::time::Instant::now);
     // Bind tensor slots, validating that shapes still match the plan.
     // The tables live on the stack (inline for typical plan sizes) so
     // the steady-state path never allocates.
@@ -2344,6 +2387,11 @@ pub(crate) fn execute(
                 mode,
             );
         }
+    }
+    if let Some(start) = run_start {
+        let metrics = telemetry::global();
+        metrics.vm_runs.inc();
+        metrics.vm_run_ns.add(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
     Ok(())
 }

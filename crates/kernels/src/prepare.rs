@@ -32,6 +32,7 @@ use systec_core::{CompileOptions, Compiler, SymmetrySpec};
 use systec_exec::{alloc_outputs, hoist_conditions, lower, prepare_variants, run_lowered};
 use systec_exec::{Counters, ExecError, LoweredProgram};
 use systec_ir::Stmt;
+use systec_telemetry as telemetry;
 use systec_tensor::{DenseTensor, Tensor};
 
 use crate::KernelDef;
@@ -75,6 +76,7 @@ impl KernelPlan {
         inputs: &HashMap<String, Tensor>,
     ) -> Result<(KernelPlan, HashMap<String, Tensor>, HashMap<String, DenseTensor>), ExecError>
     {
+        let lower_span = telemetry::span(telemetry::Phase::Lower);
         let main = hoist_conditions(main);
         let replication = replication.map(hoist_conditions);
         let mut all_inputs = inputs.clone();
@@ -85,6 +87,8 @@ impl KernelPlan {
             Some(rep) => Some(lower(rep, &all_inputs, &outputs_init)?),
             None => None,
         };
+        drop(lower_span);
+        let bytecode_span = telemetry::span(telemetry::Phase::Bytecode);
         let main_compiled =
             systec_codegen::CompiledKernel::compile(&lowered_main, &all_inputs, &outputs_init)?;
         let rep_compiled = match &lowered_rep {
@@ -93,6 +97,7 @@ impl KernelPlan {
             }
             None => None,
         };
+        drop(bytecode_span);
         let plan = KernelPlan {
             main_stmt: main,
             rep_stmt: replication,
@@ -257,9 +262,11 @@ impl Prepared {
             inputs,
         );
         let (plan, bindings) = cached_plan(key, || {
+            let symmetrize_span = telemetry::span(telemetry::Phase::Symmetrize);
             let kernel = Compiler::with_options(options)
                 .compile(einsum, symmetry)
                 .map_err(|e| ExecError::InvalidKernel { message: e.to_string() })?;
+            drop(symmetrize_span);
             KernelPlan::build(kernel.main, kernel.replication, inputs)
         })?;
         Self::from_cache(plan, bindings, inputs)
@@ -289,7 +296,9 @@ impl Prepared {
     ) -> Result<Self, ExecError> {
         let key = PlanKey::new(format!("naive::{einsum}"), String::new(), inputs);
         let (plan, bindings) = cached_plan(key, || {
+            let symmetrize_span = telemetry::span(telemetry::Phase::Symmetrize);
             let program = Compiler::new().naive(einsum);
+            drop(symmetrize_span);
             KernelPlan::build(program, None, inputs)
         })?;
         Self::from_cache(plan, bindings, inputs)

@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::relock;
 
@@ -31,54 +31,57 @@ use systec_codegen::{ContextPool, Parallelism, PooledContext};
 use systec_exec::{Counters, ExecError};
 use systec_ir::parse_einsum;
 use systec_kernels::{parse_symmetry, plan_cache_stats, serial_fallback_note, Prepared};
+use systec_telemetry::{self as telemetry, Histogram, Snapshot};
 use systec_tensor::{csf, CooTensor, DenseTensor, SparseTensor, Tensor};
 
 use crate::protocol::{
-    CachePayload, CounterPayload, ErrorCode, KernelStatPayload, OutputPayload, Request,
-    RequestCountsPayload, Response, StorageFormat, TensorPayload, Variant,
+    CachePayload, CounterPayload, ErrorCode, KernelStatPayload, OutputPayload, PoolPayload,
+    Request, RequestCountsPayload, Response, SlowRunPayload, StorageFormat, TensorPayload, Variant,
+    Warning, WarningKind,
 };
 
-/// Latency samples over a fixed-size ring (preallocated, so recording
-/// is allocation-free on the run path).
+/// Runs slower than this are counted as slow and logged (overridable
+/// via [`Engine::with_slow_threshold`]).
+const DEFAULT_SLOW_THRESHOLD: Duration = Duration::from_millis(10);
+
+/// Capacity of the engine-wide slow-run log.
+const SLOW_LOG_CAPACITY: usize = 32;
+
+/// A fixed-capacity ring of the most recent over-threshold runs. The
+/// buffer is allocated once at engine construction, so appending on
+/// the run path is a lock plus an index write — no allocation.
 #[derive(Debug)]
-struct LatencyRing {
-    samples: Vec<u64>,
+struct SlowLog {
+    entries: Vec<SlowRunPayload>,
     next: usize,
     recorded: u64,
 }
 
-const LATENCY_WINDOW: usize = 512;
-
-impl LatencyRing {
-    fn new() -> LatencyRing {
-        LatencyRing { samples: vec![0; LATENCY_WINDOW], next: 0, recorded: 0 }
+impl SlowLog {
+    fn new() -> SlowLog {
+        SlowLog { entries: Vec::with_capacity(SLOW_LOG_CAPACITY), next: 0, recorded: 0 }
     }
 
-    fn record(&mut self, nanos: u64) {
-        self.samples[self.next] = nanos;
-        self.next = (self.next + 1) % self.samples.len();
+    fn record(&mut self, entry: SlowRunPayload) {
+        if self.entries.len() < SLOW_LOG_CAPACITY {
+            self.entries.push(entry);
+        } else {
+            self.entries[self.next] = entry;
+        }
+        self.next = (self.next + 1) % SLOW_LOG_CAPACITY;
         self.recorded += 1;
     }
 
-    fn median_us(&self) -> Option<f64> {
-        let filled = usize::try_from(self.recorded).unwrap_or(usize::MAX).min(self.samples.len());
-        if filled == 0 {
-            return None;
+    /// The retained entries, oldest first.
+    fn snapshot(&self) -> Vec<SlowRunPayload> {
+        if self.recorded as usize <= self.entries.len() {
+            self.entries.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.entries.len());
+            out.extend_from_slice(&self.entries[self.next..]);
+            out.extend_from_slice(&self.entries[..self.next]);
+            out
         }
-        // Off the hot path: stats requests may allocate.
-        let mut window: Vec<u64> = if self.recorded as usize <= self.samples.len() {
-            self.samples[..filled].to_vec()
-        } else {
-            self.samples.clone()
-        };
-        window.sort_unstable();
-        let mid = window.len() / 2;
-        let median = if window.len() % 2 == 1 {
-            window[mid] as f64
-        } else {
-            (window[mid - 1] as f64 + window[mid] as f64) / 2.0
-        };
-        Some(median / 1_000.0)
     }
 }
 
@@ -99,8 +102,12 @@ struct KernelEntry {
     dedup: String,
     prepared: Prepared,
     slots: Mutex<Vec<RunSlot>>,
-    latencies: Mutex<LatencyRing>,
+    /// Run latencies in nanoseconds: a fixed array of atomic buckets,
+    /// so recording is wait-free and allocation-free.
+    latency: Histogram,
     runs: AtomicU64,
+    /// Runs that exceeded the engine's slow threshold.
+    slow: AtomicU64,
 }
 
 /// A completed execution, borrowing nothing: holds the kernel entry, the
@@ -140,6 +147,7 @@ struct RequestCounts {
     prepare: AtomicU64,
     run: AtomicU64,
     stats: AtomicU64,
+    metrics: AtomicU64,
     ping: AtomicU64,
     errors: AtomicU64,
 }
@@ -167,6 +175,8 @@ pub struct Engine {
     contexts: ContextPool,
     counts: RequestCounts,
     default_parallelism: Parallelism,
+    slow_threshold_ns: u64,
+    slow_log: Mutex<SlowLog>,
 }
 
 impl Default for Engine {
@@ -192,7 +202,17 @@ impl Engine {
             contexts: ContextPool::new(),
             counts: RequestCounts::default(),
             default_parallelism,
+            slow_threshold_ns: u64::try_from(DEFAULT_SLOW_THRESHOLD.as_nanos()).unwrap_or(u64::MAX),
+            slow_log: Mutex::new(SlowLog::new()),
         }
+    }
+
+    /// Overrides the slow-run threshold (default 10 ms): runs at or
+    /// above it bump the per-kernel `slow` count and enter the
+    /// engine-wide slow log reported by `stats`.
+    pub fn with_slow_threshold(mut self, threshold: Duration) -> Engine {
+        self.slow_threshold_ns = u64::try_from(threshold.as_nanos()).unwrap_or(u64::MAX);
+        self
     }
 
     /// Handles one request, returning the response to write back.
@@ -214,6 +234,10 @@ impl Engine {
             Request::Stats => {
                 self.counts.stats.fetch_add(1, Ordering::Relaxed);
                 Ok(self.stats())
+            }
+            Request::Metrics => {
+                self.counts.metrics.fetch_add(1, Ordering::Relaxed);
+                Ok(Response::Metrics { text: self.metrics_text() })
             }
             Request::Ping => {
                 self.counts.ping.fetch_add(1, Ordering::Relaxed);
@@ -315,10 +339,12 @@ impl Engine {
         variant: Variant,
         threads: Option<usize>,
     ) -> Result<Response, EngineError> {
+        let parse_span = telemetry::span(telemetry::Phase::Parse);
         let einsum = parse_einsum(einsum_text)
             .map_err(|e| EngineError::new(ErrorCode::InvalidKernel, e.to_string()))?;
         let symmetry = parse_symmetry(&einsum, sym)
             .map_err(|message| EngineError::new(ErrorCode::InvalidKernel, message))?;
+        drop(parse_span);
 
         // Resolve einsum tensor names to registered data. Unmapped names
         // default to themselves.
@@ -379,14 +405,15 @@ impl Engine {
         let parallelism = threads.map_or(self.default_parallelism, Parallelism::threads);
         let prepared = prepared.with_parallelism(parallelism);
         let splittable = prepared.splittable();
-        let note = serial_fallback_note(parallelism, splittable);
+        let warning = fallback_warning(parallelism, splittable);
         let entry = Arc::new(KernelEntry {
             spec: format!("{variant_tag}::{einsum}"),
             dedup,
             prepared,
             slots: Mutex::new(Vec::new()),
-            latencies: Mutex::new(LatencyRing::new()),
+            latency: Histogram::new(),
             runs: AtomicU64::new(0),
+            slow: AtomicU64::new(0),
         });
 
         let mut kernels = self.kernels.write().unwrap_or_else(PoisonError::into_inner);
@@ -397,11 +424,11 @@ impl Engine {
             return Ok(Response::Prepared {
                 kernel: k as u64,
                 splittable: existing.prepared.splittable(),
-                note: note.clone(),
+                warning: warning.clone(),
             });
         }
         kernels.push(entry);
-        Ok(Response::Prepared { kernel: (kernels.len() - 1) as u64, splittable, note })
+        Ok(Response::Prepared { kernel: (kernels.len() - 1) as u64, splittable, warning })
     }
 
     fn find_kernel(&self, dedup: &str) -> Option<Response> {
@@ -409,7 +436,7 @@ impl Engine {
         kernels.iter().position(|k| k.dedup == dedup).map(|k| Response::Prepared {
             kernel: k as u64,
             splittable: kernels[k].prepared.splittable(),
-            note: serial_fallback_note(
+            warning: fallback_warning(
                 kernels[k].prepared.parallelism(),
                 kernels[k].prepared.splittable(),
             ),
@@ -440,16 +467,25 @@ impl Engine {
         let entry = self.entry(kernel)?;
         let mut slot = relock(&entry.slots).pop().unwrap_or_default();
         let mut ctx = self.contexts.checkout();
-        let started = Instant::now();
+        // With telemetry off the clock is never read: the run path is
+        // then byte-for-byte the pre-telemetry one (the alloc tier's
+        // parity test).
+        let started = telemetry::enabled().then(Instant::now);
         let result = entry.prepared.run_timed_into(&mut slot.outputs, &mut ctx, &mut slot.counters);
-        let elapsed = started.elapsed();
         if let Err(e) = result {
             // Return the slot before surfacing the failure.
             relock(&entry.slots).push(slot);
             return Err(EngineError::new(ErrorCode::Internal, e.to_string()));
         }
         entry.runs.fetch_add(1, Ordering::Relaxed);
-        relock(&entry.latencies).record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        if let Some(started) = started {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            entry.latency.record(nanos);
+            if nanos >= self.slow_threshold_ns {
+                entry.slow.fetch_add(1, Ordering::Relaxed);
+                relock(&self.slow_log).record(SlowRunPayload { kernel, us: nanos / 1_000 });
+            }
+        }
         Ok(RunLease { entry, slot: Some(slot), _ctx: ctx })
     }
 
@@ -463,9 +499,10 @@ impl Engine {
                 .run_full()
                 .map_err(|e| EngineError::new(ErrorCode::Internal, e.to_string()))?;
             entry.runs.fetch_add(1, Ordering::Relaxed);
-            // Deliberately NOT recorded in the latency ring: `median_us`
-            // reports the paper's timed region (pooled main-program
-            // runs), and replication + fresh allocation would skew it.
+            // Deliberately NOT recorded in the latency histogram: the
+            // quantiles report the paper's timed region (pooled
+            // main-program runs), and replication + fresh allocation
+            // would skew them.
             return Ok(ran_response(&outputs, &counters));
         }
         let lease = self.execute(kernel)?;
@@ -474,15 +511,23 @@ impl Engine {
 
     fn stats(&self) -> Response {
         let cache = plan_cache_stats();
+        let pool = rayon::pool_stats();
         let kernels = self.kernels.read().unwrap_or_else(PoisonError::into_inner);
         let kernel_stats = kernels
             .iter()
             .enumerate()
-            .map(|(k, entry)| KernelStatPayload {
-                kernel: k as u64,
-                spec: entry.spec.clone(),
-                runs: entry.runs.load(Ordering::Relaxed),
-                median_us: relock(&entry.latencies).median_us(),
+            .map(|(k, entry)| {
+                let snapshot = entry.latency.snapshot();
+                KernelStatPayload {
+                    kernel: k as u64,
+                    spec: entry.spec.clone(),
+                    runs: entry.runs.load(Ordering::Relaxed),
+                    median_us: quantile_us(&snapshot, 0.5),
+                    p90_us: quantile_us(&snapshot, 0.9),
+                    p99_us: quantile_us(&snapshot, 0.99),
+                    max_us: (snapshot.count > 0).then(|| snapshot.max as f64 / 1_000.0),
+                    slow: entry.slow.load(Ordering::Relaxed),
+                }
             })
             .collect();
         Response::Stats {
@@ -491,6 +536,7 @@ impl Engine {
                 misses: cache.misses,
                 builds: cache.builds,
                 evictions: cache.evictions,
+                waits: cache.waits,
                 entries: cache.entries as u64,
             },
             requests: RequestCountsPayload {
@@ -498,17 +544,233 @@ impl Engine {
                 prepare: self.counts.prepare.load(Ordering::Relaxed),
                 run: self.counts.run.load(Ordering::Relaxed),
                 stats: self.counts.stats.load(Ordering::Relaxed),
+                metrics: self.counts.metrics.load(Ordering::Relaxed),
                 ping: self.counts.ping.load(Ordering::Relaxed),
                 errors: self.counts.errors.load(Ordering::Relaxed),
             },
+            pool: PoolPayload {
+                workers: pool.workers_spawned as u64,
+                submitted: pool.tasks_submitted as u64,
+                executed: pool.tasks_executed as u64,
+                helped: pool.tasks_helped as u64,
+                parks: pool.parks as u64,
+                wakeups: pool.wakeups as u64,
+            },
             kernels: kernel_stats,
+            slow: relock(&self.slow_log).snapshot(),
         }
+    }
+
+    /// Renders the Prometheus text exposition (format 0.0.4). Families
+    /// appear in sorted name order and every value is an integer, so
+    /// two scrapes of an idle server are byte-identical — the `metrics`
+    /// verb's own request count is deliberately excluded from
+    /// `systec_requests_total` for exactly that reason.
+    fn metrics_text(&self) -> String {
+        let m = telemetry::global();
+        let cache = plan_cache_stats();
+        let pool = rayon::pool_stats();
+        let mut w = telemetry::prom::PromWriter::new();
+
+        // -- compile phases ------------------------------------------
+        w.family(
+            "systec_compile_phase_max_ns",
+            "gauge",
+            "Longest recorded span of each compile phase, in nanoseconds.",
+        );
+        for phase in telemetry::PHASES {
+            w.sample(
+                "systec_compile_phase_max_ns",
+                &[("phase", phase.name())],
+                m.phase(phase).max_ns(),
+            );
+        }
+        w.family(
+            "systec_compile_phase_ns_total",
+            "counter",
+            "Total nanoseconds spent in each compile phase.",
+        );
+        for phase in telemetry::PHASES {
+            w.sample(
+                "systec_compile_phase_ns_total",
+                &[("phase", phase.name())],
+                m.phase(phase).total_ns(),
+            );
+        }
+        w.family("systec_compile_phase_total", "counter", "Spans recorded for each compile phase.");
+        for phase in telemetry::PHASES {
+            w.sample(
+                "systec_compile_phase_total",
+                &[("phase", phase.name())],
+                m.phase(phase).count(),
+            );
+        }
+
+        // -- standalone counters -------------------------------------
+        w.family(
+            "systec_fallback_serial_total",
+            "counter",
+            "Prepare responses that degraded a parallel request to serial.",
+        );
+        w.sample("systec_fallback_serial_total", &[], m.fallback_serial.get());
+        w.family(
+            "systec_fused_dispatch_total",
+            "counter",
+            "VM vector-loop dispatches by fused-body kind.",
+        );
+        for kind in telemetry::BODY_KINDS {
+            w.sample("systec_fused_dispatch_total", &[("kind", kind.name())], m.fused(kind).get());
+        }
+
+        // -- per-kernel ----------------------------------------------
+        let kernels = self.kernels.read().unwrap_or_else(PoisonError::into_inner);
+        w.family(
+            "systec_kernel_latency_ns",
+            "histogram",
+            "Pooled main-program run latency per kernel handle, in nanoseconds.",
+        );
+        for (k, entry) in kernels.iter().enumerate() {
+            let label = k.to_string();
+            w.histogram(
+                "systec_kernel_latency_ns",
+                &[("kernel", &label)],
+                &entry.latency.snapshot(),
+            );
+        }
+        w.family("systec_kernel_runs_total", "counter", "Completed runs per kernel handle.");
+        for (k, entry) in kernels.iter().enumerate() {
+            let label = k.to_string();
+            w.sample(
+                "systec_kernel_runs_total",
+                &[("kernel", &label)],
+                entry.runs.load(Ordering::Relaxed),
+            );
+        }
+        w.family(
+            "systec_kernel_slow_total",
+            "counter",
+            "Runs over the slow threshold per kernel handle.",
+        );
+        for (k, entry) in kernels.iter().enumerate() {
+            let label = k.to_string();
+            w.sample(
+                "systec_kernel_slow_total",
+                &[("kernel", &label)],
+                entry.slow.load(Ordering::Relaxed),
+            );
+        }
+        drop(kernels);
+
+        // -- plan cache ----------------------------------------------
+        w.family("systec_plan_cache_builds_total", "counter", "Plan builds actually executed.");
+        w.sample("systec_plan_cache_builds_total", &[], cache.builds);
+        w.family("systec_plan_cache_entries", "gauge", "Plans currently cached.");
+        w.sample("systec_plan_cache_entries", &[], cache.entries as u64);
+        w.family(
+            "systec_plan_cache_evictions_total",
+            "counter",
+            "Plans evicted by the LRU policy.",
+        );
+        w.sample("systec_plan_cache_evictions_total", &[], cache.evictions);
+        w.family(
+            "systec_plan_cache_hits_total",
+            "counter",
+            "Plan-cache lookups served from cache.",
+        );
+        w.sample("systec_plan_cache_hits_total", &[], cache.hits);
+        w.family("systec_plan_cache_misses_total", "counter", "Plan-cache lookups that missed.");
+        w.sample("systec_plan_cache_misses_total", &[], cache.misses);
+        w.family(
+            "systec_plan_cache_waits_total",
+            "counter",
+            "Single-flight lookups that blocked on another thread's build.",
+        );
+        w.sample("systec_plan_cache_waits_total", &[], cache.waits);
+
+        // -- worker pool ---------------------------------------------
+        w.family("systec_pool_executed_total", "counter", "Tasks executed by pool worker threads.");
+        w.sample("systec_pool_executed_total", &[], pool.tasks_executed as u64);
+        w.family(
+            "systec_pool_helped_total",
+            "counter",
+            "Tasks drained by the submitting thread (chunk-imbalance signal).",
+        );
+        w.sample("systec_pool_helped_total", &[], pool.tasks_helped as u64);
+        w.family("systec_pool_parks_total", "counter", "Times a worker parked waiting for work.");
+        w.sample("systec_pool_parks_total", &[], pool.parks as u64);
+        w.family("systec_pool_submitted_total", "counter", "Tasks handed to the worker pool.");
+        w.sample("systec_pool_submitted_total", &[], pool.tasks_submitted as u64);
+        w.family("systec_pool_wakeups_total", "counter", "Times a parked worker was woken.");
+        w.sample("systec_pool_wakeups_total", &[], pool.wakeups as u64);
+        w.family("systec_pool_workers", "gauge", "Worker threads spawned so far.");
+        w.sample("systec_pool_workers", &[], pool.workers_spawned as u64);
+
+        // -- requests ------------------------------------------------
+        w.family(
+            "systec_requests_total",
+            "counter",
+            "Requests handled by verb; the metrics verb itself is excluded \
+             so idle scrapes are byte-stable.",
+        );
+        w.sample(
+            "systec_requests_total",
+            &[("verb", "errors")],
+            self.counts.errors.load(Ordering::Relaxed),
+        );
+        w.sample(
+            "systec_requests_total",
+            &[("verb", "ping")],
+            self.counts.ping.load(Ordering::Relaxed),
+        );
+        w.sample(
+            "systec_requests_total",
+            &[("verb", "prepare")],
+            self.counts.prepare.load(Ordering::Relaxed),
+        );
+        w.sample(
+            "systec_requests_total",
+            &[("verb", "register_tensor")],
+            self.counts.register_tensor.load(Ordering::Relaxed),
+        );
+        w.sample(
+            "systec_requests_total",
+            &[("verb", "run")],
+            self.counts.run.load(Ordering::Relaxed),
+        );
+        w.sample(
+            "systec_requests_total",
+            &[("verb", "stats")],
+            self.counts.stats.load(Ordering::Relaxed),
+        );
+
+        // -- VM ------------------------------------------------------
+        w.family("systec_vm_run_ns_total", "counter", "Total wall nanoseconds inside VM execute.");
+        w.sample("systec_vm_run_ns_total", &[], m.vm_run_ns.get());
+        w.family("systec_vm_runs_total", "counter", "VM execute entries.");
+        w.sample("systec_vm_runs_total", &[], m.vm_runs.get());
+
+        w.finish()
     }
 
     /// The execution-context pool (observability for tests).
     pub fn context_pool(&self) -> &ContextPool {
         &self.contexts
     }
+}
+
+/// Converts a histogram quantile (nanoseconds) to microseconds for the
+/// stats payload; `None` before the first recorded run.
+fn quantile_us(snapshot: &Snapshot, q: f64) -> Option<f64> {
+    snapshot.quantile(q).map(|ns| ns as f64 / 1_000.0)
+}
+
+/// The structured serial-fallback warning for a degraded prepare, also
+/// bumping the `fallback_serial` counter when one is issued.
+fn fallback_warning(parallelism: Parallelism, splittable: bool) -> Option<Warning> {
+    serial_fallback_note(parallelism, splittable).map(|message| {
+        telemetry::global().fallback_serial.inc();
+        Warning { kind: WarningKind::SerialFallback, message }
+    })
 }
 
 /// Builds the deterministic run response: outputs and read counters in
@@ -705,6 +967,148 @@ mod tests {
         let a = engine.execute(serial).unwrap().outputs()["y"].clone();
         let b = engine.execute(inherit).unwrap().outputs()["y"].clone();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degraded_parallel_prepare_carries_a_structured_warning() {
+        let engine = Engine::new();
+        register(&engine, "A", &[4, 4], &[(vec![0, 1], 2.0), (vec![1, 0], 2.0)]);
+        let fallbacks_before = telemetry::global().fallback_serial.get();
+        // A transpose's scattered overwrites keep the plan serial, so
+        // asking for threads must be called out (kernels has the same
+        // fixture for `serial_fallback_note`).
+        let resp = engine.handle(&Request::Prepare {
+            einsum: "for i, j: C[j, i] = A[i, j]".into(),
+            sym: vec![],
+            inputs: vec![],
+            variant: Variant::Naive,
+            threads: Some(4),
+        });
+        let Response::Prepared { splittable, warning, .. } = resp else { panic!("{resp:?}") };
+        assert!(!splittable, "transpose must not be splittable");
+        let warning = warning.expect("threads on a non-splittable plan must warn");
+        assert_eq!(warning.kind, WarningKind::SerialFallback);
+        assert!(warning.message.contains("--threads 4"), "{}", warning.message);
+        assert!(
+            telemetry::global().fallback_serial.get() > fallbacks_before,
+            "the fallback counter must record the degradation"
+        );
+        // A satisfiable request stays quiet.
+        register_dense(&engine, "x", &[4], &[1.0, 2.0, 3.0, 4.0]);
+        let resp = engine.handle(&Request::Prepare {
+            einsum: "for i, j: y[i] += A[i, j] * x[j]".into(),
+            sym: vec!["A".into()],
+            inputs: vec![],
+            variant: Variant::Systec,
+            threads: Some(1),
+        });
+        let Response::Prepared { warning, .. } = resp else { panic!("{resp:?}") };
+        assert!(warning.is_none(), "{warning:?}");
+    }
+
+    #[test]
+    fn stats_report_latency_quantiles_from_the_histogram() {
+        let engine = ssymv_engine();
+        let kernel = prepare(&engine);
+        let Response::Stats { kernels, .. } = engine.handle(&Request::Stats) else {
+            panic!("stats failed")
+        };
+        assert_eq!(kernels[0].runs, 0);
+        assert!(kernels[0].median_us.is_none(), "no samples before the first run");
+        assert!(kernels[0].max_us.is_none());
+        for _ in 0..5 {
+            drop(engine.execute(kernel).unwrap());
+        }
+        let Response::Stats { kernels, slow, .. } = engine.handle(&Request::Stats) else {
+            panic!("stats failed")
+        };
+        let k = &kernels[0];
+        assert_eq!(k.runs, 5);
+        let (median, p90, p99, max) = (
+            k.median_us.expect("median after runs"),
+            k.p90_us.expect("p90 after runs"),
+            k.p99_us.expect("p99 after runs"),
+            k.max_us.expect("max after runs"),
+        );
+        assert!(median > 0.0 && median <= p90 && p90 <= p99, "{k:?}");
+        // Quantiles are bucket upper bounds capped at the observed max.
+        assert!(p99 <= max, "{k:?}");
+        // A 12×12 tridiagonal SSYMV finishes far under the 10ms slow
+        // threshold on any machine that can run the suite.
+        assert_eq!(k.slow, 0, "{k:?}");
+        assert!(slow.is_empty(), "{slow:?}");
+    }
+
+    #[test]
+    fn slow_runs_enter_the_log_and_per_kernel_count() {
+        let engine = ssymv_engine().with_slow_threshold(Duration::ZERO);
+        let kernel = prepare(&engine);
+        for _ in 0..3 {
+            drop(engine.execute(kernel).unwrap());
+        }
+        let Response::Stats { kernels, slow, .. } = engine.handle(&Request::Stats) else {
+            panic!("stats failed")
+        };
+        assert_eq!(kernels[0].slow, 3, "threshold 0 marks every run slow");
+        assert_eq!(slow.len(), 3, "{slow:?}");
+        assert!(slow.iter().all(|s| s.kernel == kernel), "{slow:?}");
+    }
+
+    #[test]
+    fn metrics_exposition_carries_the_required_families() {
+        let engine = ssymv_engine();
+        let kernel = prepare(&engine);
+        drop(engine.execute(kernel).unwrap());
+        let Response::Metrics { text } = engine.handle(&Request::Metrics) else {
+            panic!("metrics failed")
+        };
+        for family in [
+            "systec_compile_phase_ns_total",
+            "systec_compile_phase_total",
+            "systec_fallback_serial_total",
+            "systec_fused_dispatch_total",
+            "systec_kernel_latency_ns_bucket",
+            "systec_kernel_latency_ns_count",
+            "systec_kernel_runs_total",
+            "systec_plan_cache_hits_total",
+            "systec_plan_cache_misses_total",
+            "systec_pool_submitted_total",
+            "systec_requests_total",
+            "systec_vm_runs_total",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        assert!(
+            text.contains("systec_kernel_latency_ns_count{kernel=\"0\"} 1\n"),
+            "one pooled run must be in the kernel histogram:\n{text}"
+        );
+        assert!(
+            text.contains("systec_kernel_latency_ns_bucket{kernel=\"0\",le=\"+Inf\"} 1\n"),
+            "{text}"
+        );
+        // Families are emitted in sorted name order (scrape stability).
+        let families: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .filter_map(|l| l.split(' ').next())
+            .collect();
+        let mut sorted = families.clone();
+        sorted.sort_unstable();
+        assert_eq!(families, sorted);
+        // Engine-local families are byte-stable across idle scrapes
+        // (global ones may move under concurrent tests in this
+        // process; the CI smoke asserts whole-document stability
+        // against a dedicated idle server).
+        let Response::Metrics { text: again } = engine.handle(&Request::Metrics) else {
+            panic!("metrics failed")
+        };
+        let local = |t: &str| -> Vec<String> {
+            t.lines()
+                .filter(|l| l.starts_with("systec_kernel_") || l.starts_with("systec_requests_"))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(local(&text), local(&again), "metrics scrapes must not perturb themselves");
     }
 
     #[test]

@@ -10,11 +10,23 @@
 //! | verb | request fields | response fields |
 //! |---|---|---|
 //! | `register_tensor` | `name`, `dims`, `dense` *or* `coo` \[, `format`\] | `reply:"registered"`, `name`, `nnz` |
-//! | `prepare` | `einsum` \[, `sym`, `inputs`, `variant`, `threads`\] | `reply:"prepared"`, `kernel`, `splittable` \[, `note`\] |
+//! | `prepare` | `einsum` \[, `sym`, `inputs`, `variant`, `threads`\] | `reply:"prepared"`, `kernel`, `splittable` \[, `warning`\] |
 //! | `run` | `kernel` \[, `full`\] | `reply:"run"`, `outputs`, `counters` |
-//! | `stats` | — | `reply:"stats"`, `cache`, `requests`, `kernels` |
+//! | `stats` | — | `reply:"stats"`, `cache`, `requests`, `pool`, `kernels`, `slow` |
+//! | `metrics` | — | `reply:"metrics"`, `text` (Prometheus exposition) |
 //! | `ping` | — | `reply:"pong"` |
 //! | `shutdown` | — | `reply:"shutting_down"` |
+//!
+//! The `prepare` `warning` field, when present, is an object with a
+//! stable machine-readable `kind` (currently only `"serial_fallback"`)
+//! and a human-readable `message`. The `stats` reply extends the
+//! original schema with per-kernel latency quantiles (`median_us`,
+//! `p90_us`, `p99_us`, `max_us` — derived from a log-bucketed
+//! histogram, absent before the first run), a `slow` count and log of
+//! over-threshold runs, a `pool` section mirroring the worker-pool
+//! counters, and a cache `waits` count (single-flight lookups that
+//! blocked on another thread's build). The `metrics` reply carries the
+//! same data as Prometheus text exposition format 0.0.4 in `text`.
 //!
 //! Determinism: run responses contain **no timing** (latency lives in
 //! `stats` medians), output/counter maps are serialized in sorted name
@@ -130,6 +142,41 @@ pub enum Variant {
     Naive,
 }
 
+/// Kind of a structured warning attached to an otherwise-successful
+/// response, echoed on the wire as a stable machine-readable string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarningKind {
+    /// Worker threads were requested but the plan is not
+    /// row-splittable; the kernel runs serially.
+    SerialFallback,
+}
+
+impl WarningKind {
+    /// The stable wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WarningKind::SerialFallback => "serial_fallback",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<WarningKind> {
+        match s {
+            "serial_fallback" => Some(WarningKind::SerialFallback),
+            _ => None,
+        }
+    }
+}
+
+/// A structured warning: a stable `kind` for machines plus a
+/// human-readable `message`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Warning {
+    /// Machine-readable warning kind.
+    pub kind: WarningKind,
+    /// Human-readable description.
+    pub message: String,
+}
+
 /// A client request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -171,6 +218,8 @@ pub enum Request {
     },
     /// Server statistics.
     Stats,
+    /// Prometheus text exposition of the server's metrics.
+    Metrics,
     /// Liveness check.
     Ping,
     /// Stop the server.
@@ -213,8 +262,38 @@ pub struct CachePayload {
     pub builds: u64,
     /// Plans evicted by the LRU policy.
     pub evictions: u64,
+    /// Single-flight lookups that blocked on another thread's build.
+    pub waits: u64,
     /// Plans currently cached.
     pub entries: u64,
+}
+
+/// Worker-pool statistics in a stats response (process-wide counters
+/// from the vendored pool; all monotonic except `workers`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct PoolPayload {
+    /// Worker threads spawned so far.
+    pub workers: u64,
+    /// Tasks handed to the pool.
+    pub submitted: u64,
+    /// Tasks executed by worker threads.
+    pub executed: u64,
+    /// Tasks drained by the submitting thread while it waited (a
+    /// chunk-imbalance signal: helpers pick up leftover work).
+    pub helped: u64,
+    /// Times a worker parked waiting for work.
+    pub parks: u64,
+    /// Times a parked worker was woken.
+    pub wakeups: u64,
+}
+
+/// One over-threshold run in a stats response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlowRunPayload {
+    /// The kernel handle.
+    pub kernel: u64,
+    /// The run's latency in microseconds.
+    pub us: u64,
 }
 
 /// Request counts in a stats response.
@@ -228,6 +307,8 @@ pub struct RequestCountsPayload {
     pub run: u64,
     /// `stats` requests handled.
     pub stats: u64,
+    /// `metrics` requests handled.
+    pub metrics: u64,
     /// `ping` requests handled.
     pub ping: u64,
     /// Requests answered with an error (including parse failures).
@@ -243,9 +324,17 @@ pub struct KernelStatPayload {
     pub spec: String,
     /// Completed runs.
     pub runs: u64,
-    /// Median run latency over a sliding window, in microseconds
-    /// (`None` before the first run).
+    /// Median run latency in microseconds, from the kernel's latency
+    /// histogram (`None` before the first run).
     pub median_us: Option<f64>,
+    /// 90th-percentile run latency in microseconds.
+    pub p90_us: Option<f64>,
+    /// 99th-percentile run latency in microseconds.
+    pub p99_us: Option<f64>,
+    /// Maximum observed run latency in microseconds.
+    pub max_us: Option<f64>,
+    /// Runs that exceeded the server's slow-run threshold.
+    pub slow: u64,
 }
 
 /// A server response.
@@ -264,9 +353,9 @@ pub enum Response {
         kernel: u64,
         /// Whether executions can dispatch worker threads.
         splittable: bool,
-        /// The serial-fallback note, when threads were requested on a
-        /// non-splittable plan.
-        note: Option<String>,
+        /// A structured warning (currently only the serial fallback,
+        /// when threads were requested on a non-splittable plan).
+        warning: Option<Warning>,
     },
     /// `run` succeeded.
     Ran {
@@ -281,8 +370,18 @@ pub enum Response {
         cache: CachePayload,
         /// Request counts.
         requests: RequestCountsPayload,
+        /// Worker-pool statistics.
+        pool: PoolPayload,
         /// Per-kernel statistics, sorted by handle.
         kernels: Vec<KernelStatPayload>,
+        /// Most recent over-threshold runs, oldest first.
+        slow: Vec<SlowRunPayload>,
+    },
+    /// `metrics` payload.
+    Metrics {
+        /// Prometheus text exposition (format 0.0.4); multi-line, so
+        /// it rides the wire as one JSON-escaped string.
+        text: String,
     },
     /// `ping` reply.
     Pong,
@@ -416,6 +515,7 @@ impl Request {
                 Json::obj(pairs)
             }
             Request::Stats => Json::obj([("op", Json::Str("stats".into()))]),
+            Request::Metrics => Json::obj([("op", Json::Str("metrics".into()))]),
             Request::Ping => Json::obj([("op", Json::Str("ping".into()))]),
             Request::Shutdown => Json::obj([("op", Json::Str("shutdown".into()))]),
         };
@@ -545,6 +645,7 @@ impl Request {
                 Ok(Request::Run { kernel, full })
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtoError::new(format!("unknown op `{other}`"))),
@@ -557,6 +658,16 @@ fn require_str(json: &Json, field: &str) -> Result<String, ProtoError> {
         .and_then(Json::as_str)
         .map(str::to_string)
         .ok_or_else(|| ProtoError::new(format!("missing string field `{field}`")))
+}
+
+fn optional_f64(json: &Json, field: &str) -> Result<Option<f64>, ProtoError> {
+    match json.get(field) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ProtoError::new(format!("`{field}` must be a number"))),
+    }
 }
 
 fn usize_array(json: &Json, field: &str) -> Result<Vec<usize>, ProtoError> {
@@ -595,15 +706,21 @@ impl Response {
                 ("name", Json::Str(name.clone())),
                 ("nnz", Json::num_u64(*nnz)),
             ]),
-            Response::Prepared { kernel, splittable, note } => {
+            Response::Prepared { kernel, splittable, warning } => {
                 let mut pairs = vec![
                     ("ok", Json::Bool(true)),
                     ("reply", Json::Str("prepared".into())),
                     ("kernel", Json::num_u64(*kernel)),
                     ("splittable", Json::Bool(*splittable)),
                 ];
-                if let Some(note) = note {
-                    pairs.push(("note", Json::Str(note.clone())));
+                if let Some(warning) = warning {
+                    pairs.push((
+                        "warning",
+                        Json::obj([
+                            ("kind", Json::Str(warning.kind.as_str().into())),
+                            ("message", Json::Str(warning.message.clone())),
+                        ]),
+                    ));
                 }
                 Json::obj(pairs)
             }
@@ -646,7 +763,7 @@ impl Response {
                     ]),
                 ),
             ]),
-            Response::Stats { cache, requests, kernels } => Json::obj([
+            Response::Stats { cache, requests, pool, kernels, slow } => Json::obj([
                 ("ok", Json::Bool(true)),
                 ("reply", Json::Str("stats".into())),
                 (
@@ -656,6 +773,7 @@ impl Response {
                         ("misses", Json::num_u64(cache.misses)),
                         ("builds", Json::num_u64(cache.builds)),
                         ("evictions", Json::num_u64(cache.evictions)),
+                        ("waits", Json::num_u64(cache.waits)),
                         ("entries", Json::num_u64(cache.entries)),
                     ]),
                 ),
@@ -666,8 +784,20 @@ impl Response {
                         ("prepare", Json::num_u64(requests.prepare)),
                         ("run", Json::num_u64(requests.run)),
                         ("stats", Json::num_u64(requests.stats)),
+                        ("metrics", Json::num_u64(requests.metrics)),
                         ("ping", Json::num_u64(requests.ping)),
                         ("errors", Json::num_u64(requests.errors)),
+                    ]),
+                ),
+                (
+                    "pool",
+                    Json::obj([
+                        ("workers", Json::num_u64(pool.workers)),
+                        ("submitted", Json::num_u64(pool.submitted)),
+                        ("executed", Json::num_u64(pool.executed)),
+                        ("helped", Json::num_u64(pool.helped)),
+                        ("parks", Json::num_u64(pool.parks)),
+                        ("wakeups", Json::num_u64(pool.wakeups)),
                     ]),
                 ),
                 (
@@ -684,11 +814,39 @@ impl Response {
                                 if let Some(m) = k.median_us {
                                     pairs.push(("median_us", Json::Num(m)));
                                 }
+                                if let Some(m) = k.p90_us {
+                                    pairs.push(("p90_us", Json::Num(m)));
+                                }
+                                if let Some(m) = k.p99_us {
+                                    pairs.push(("p99_us", Json::Num(m)));
+                                }
+                                if let Some(m) = k.max_us {
+                                    pairs.push(("max_us", Json::Num(m)));
+                                }
+                                pairs.push(("slow", Json::num_u64(k.slow)));
                                 Json::obj(pairs)
                             })
                             .collect(),
                     ),
                 ),
+                (
+                    "slow",
+                    Json::Arr(
+                        slow.iter()
+                            .map(|s| {
+                                Json::obj([
+                                    ("kernel", Json::num_u64(s.kernel)),
+                                    ("us", Json::num_u64(s.us)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Metrics { text } => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("reply", Json::Str("metrics".into())),
+                ("text", Json::Str(text.clone())),
             ]),
             Response::Pong => {
                 Json::obj([("ok", Json::Bool(true)), ("reply", Json::Str("pong".into()))])
@@ -747,13 +905,16 @@ impl Response {
                     .get("splittable")
                     .and_then(Json::as_bool)
                     .ok_or_else(|| ProtoError::new("prepared reply needs boolean `splittable`"))?,
-                note: match json.get("note") {
+                warning: match json.get("warning") {
                     None => None,
-                    Some(n) => Some(
-                        n.as_str()
-                            .map(str::to_string)
-                            .ok_or_else(|| ProtoError::new("`note` must be a string"))?,
-                    ),
+                    Some(w) => {
+                        let kind = w
+                            .get("kind")
+                            .and_then(Json::as_str)
+                            .and_then(WarningKind::from_str)
+                            .ok_or_else(|| ProtoError::new("`warning` needs a known `kind`"))?;
+                        Some(Warning { kind, message: require_str(w, "message")? })
+                    }
                 },
             }),
             "run" => {
@@ -815,6 +976,7 @@ impl Response {
                     misses: g("misses")?,
                     builds: g("builds")?,
                     evictions: g("evictions")?,
+                    waits: g("waits")?,
                     entries: g("entries")?,
                 };
                 let req_json = json
@@ -831,8 +993,25 @@ impl Response {
                     prepare: r("prepare")?,
                     run: r("run")?,
                     stats: r("stats")?,
+                    metrics: r("metrics")?,
                     ping: r("ping")?,
                     errors: r("errors")?,
+                };
+                let pool_json =
+                    json.get("pool").ok_or_else(|| ProtoError::new("stats reply needs `pool`"))?;
+                let p = |field: &str| {
+                    pool_json
+                        .get(field)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ProtoError::new(format!("pool needs integer `{field}`")))
+                };
+                let pool = PoolPayload {
+                    workers: p("workers")?,
+                    submitted: p("submitted")?,
+                    executed: p("executed")?,
+                    helped: p("helped")?,
+                    parks: p("parks")?,
+                    wakeups: p("wakeups")?,
                 };
                 let kernels = json
                     .get("kernels")
@@ -850,17 +1029,34 @@ impl Response {
                                 .get("runs")
                                 .and_then(Json::as_u64)
                                 .ok_or_else(|| ProtoError::new("kernel stat needs `runs`"))?,
-                            median_us: match k.get("median_us") {
-                                None => None,
-                                Some(m) => Some(m.as_f64().ok_or_else(|| {
-                                    ProtoError::new("`median_us` must be a number")
-                                })?),
-                            },
+                            median_us: optional_f64(k, "median_us")?,
+                            p90_us: optional_f64(k, "p90_us")?,
+                            p99_us: optional_f64(k, "p99_us")?,
+                            max_us: optional_f64(k, "max_us")?,
+                            slow: k
+                                .get("slow")
+                                .and_then(Json::as_u64)
+                                .ok_or_else(|| ProtoError::new("kernel stat needs `slow`"))?,
                         })
                     })
                     .collect::<Result<Vec<KernelStatPayload>, ProtoError>>()?;
-                Ok(Response::Stats { cache, requests, kernels })
+                let slow = json
+                    .get("slow")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ProtoError::new("stats reply needs a `slow` array"))?
+                    .iter()
+                    .map(|s| {
+                        let f = |field: &str| {
+                            s.get(field).and_then(Json::as_u64).ok_or_else(|| {
+                                ProtoError::new(format!("slow entry needs integer `{field}`"))
+                            })
+                        };
+                        Ok(SlowRunPayload { kernel: f("kernel")?, us: f("us")? })
+                    })
+                    .collect::<Result<Vec<SlowRunPayload>, ProtoError>>()?;
+                Ok(Response::Stats { cache, requests, pool, kernels, slow })
             }
+            "metrics" => Ok(Response::Metrics { text: require_str(&json, "text")? }),
             "pong" => Ok(Response::Pong),
             "shutting_down" => Ok(Response::ShuttingDown),
             other => Err(ProtoError::new(format!("unknown reply tag `{other}`"))),
@@ -913,6 +1109,7 @@ mod tests {
             Request::Run { kernel: 3, full: true },
             Request::Run { kernel: 0, full: false },
             Request::Stats,
+            Request::Metrics,
             Request::Ping,
             Request::Shutdown,
         ];
@@ -927,8 +1124,15 @@ mod tests {
     fn response_encodings_roundtrip() {
         let resps = [
             Response::Registered { name: "A".into(), nnz: 12 },
-            Response::Prepared { kernel: 7, splittable: true, note: None },
-            Response::Prepared { kernel: 0, splittable: false, note: Some("note".into()) },
+            Response::Prepared { kernel: 7, splittable: true, warning: None },
+            Response::Prepared {
+                kernel: 0,
+                splittable: false,
+                warning: Some(Warning {
+                    kind: WarningKind::SerialFallback,
+                    message: "running serially".into(),
+                }),
+            },
             Response::Ran {
                 outputs: vec![OutputPayload {
                     name: "y".into(),
@@ -943,21 +1147,60 @@ mod tests {
                 },
             },
             Response::Stats {
-                cache: CachePayload { hits: 1, misses: 2, builds: 2, evictions: 0, entries: 2 },
+                cache: CachePayload {
+                    hits: 1,
+                    misses: 2,
+                    builds: 2,
+                    evictions: 0,
+                    waits: 1,
+                    entries: 2,
+                },
                 requests: RequestCountsPayload {
                     register_tensor: 1,
                     prepare: 2,
                     run: 30,
                     stats: 1,
+                    metrics: 2,
                     ping: 0,
                     errors: 3,
                 },
-                kernels: vec![KernelStatPayload {
-                    kernel: 0,
-                    spec: "systec::for i: y[i] = x[i]".into(),
-                    runs: 30,
-                    median_us: Some(12.5),
-                }],
+                pool: PoolPayload {
+                    workers: 4,
+                    submitted: 128,
+                    executed: 120,
+                    helped: 8,
+                    parks: 17,
+                    wakeups: 17,
+                },
+                kernels: vec![
+                    KernelStatPayload {
+                        kernel: 0,
+                        spec: "systec::for i: y[i] = x[i]".into(),
+                        runs: 30,
+                        median_us: Some(12.5),
+                        p90_us: Some(15.75),
+                        p99_us: Some(31.0),
+                        max_us: Some(40.25),
+                        slow: 1,
+                    },
+                    KernelStatPayload {
+                        kernel: 1,
+                        spec: "naive::for i: y[i] = x[i]".into(),
+                        runs: 0,
+                        median_us: None,
+                        p90_us: None,
+                        p99_us: None,
+                        max_us: None,
+                        slow: 0,
+                    },
+                ],
+                slow: vec![SlowRunPayload { kernel: 0, us: 40 }],
+            },
+            Response::Metrics {
+                text: "# HELP systec_runs_total Completed runs.\n\
+                       # TYPE systec_runs_total counter\n\
+                       systec_runs_total 30\n"
+                    .into(),
             },
             Response::Pong,
             Response::ShuttingDown,

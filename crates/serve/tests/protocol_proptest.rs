@@ -8,8 +8,9 @@
 
 use proptest::prelude::*;
 use systec_serve::protocol::{
-    CachePayload, CounterPayload, ErrorCode, KernelStatPayload, OutputPayload, Request,
-    RequestCountsPayload, Response, StorageFormat, TensorPayload, Variant,
+    CachePayload, CounterPayload, ErrorCode, KernelStatPayload, OutputPayload, PoolPayload,
+    Request, RequestCountsPayload, Response, SlowRunPayload, StorageFormat, TensorPayload, Variant,
+    Warning, WarningKind,
 };
 
 // ---------------------------------------------------------------------
@@ -97,6 +98,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         prepare,
         run,
         Just(Request::Stats),
+        Just(Request::Metrics),
         Just(Request::Ping),
         Just(Request::Shutdown),
     ]
@@ -141,48 +143,77 @@ fn response_strategy() -> impl Strategy<Value = Response> {
     let registered =
         (name_strategy(), 0u64..100_000).prop_map(|(name, nnz)| Response::Registered { name, nnz });
     let prepared = (0u64..1000, any::<bool>(), any::<bool>(), name_strategy()).prop_map(
-        |(kernel, splittable, with_note, note)| Response::Prepared {
+        |(kernel, splittable, with_warning, message)| Response::Prepared {
             kernel,
             splittable,
-            note: with_note.then_some(note),
+            warning: with_warning.then_some(Warning { kind: WarningKind::SerialFallback, message }),
         },
     );
     let ran = (outputs_strategy(), counters_strategy())
         .prop_map(|(outputs, counters)| Response::Ran { outputs, counters });
-    let stats = (
-        (0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000),
-        (0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000),
-        prop::collection::vec(
-            (0u64..100, name_strategy(), 0u64..9000, any::<bool>(), 0.0f64..5000.0),
-            0..3,
-        ),
+    let kernel_stat = (
+        0u64..100,
+        name_strategy(),
+        0u64..9000,
+        any::<bool>(),
+        (0.0f64..5000.0, 0.0f64..5000.0, 0.0f64..5000.0, 0.0f64..5000.0),
+        0u64..50,
     )
-        .prop_map(|(c, r, ks)| Response::Stats {
+        .prop_map(|(kernel, spec, runs, with_quantiles, q, slow)| KernelStatPayload {
+            kernel,
+            spec,
+            runs,
+            median_us: with_quantiles.then_some(q.0),
+            p90_us: with_quantiles.then_some(q.1),
+            p99_us: with_quantiles.then_some(q.2),
+            max_us: with_quantiles.then_some(q.3),
+            slow,
+        });
+    let stats = (
+        (0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000),
+        (0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000),
+        (0u64..64, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000),
+        prop::collection::vec(kernel_stat, 0..3),
+        prop::collection::vec((0u64..100, 0u64..1_000_000), 0..4),
+    )
+        .prop_map(|(c, r, p, kernels, slow)| Response::Stats {
             cache: CachePayload {
                 hits: c.0,
                 misses: c.1,
                 builds: c.2,
                 evictions: c.3,
-                entries: c.4,
+                waits: c.4,
+                entries: c.5,
             },
             requests: RequestCountsPayload {
                 register_tensor: r.0,
                 prepare: r.1,
                 run: r.2,
                 stats: r.3,
-                ping: r.4,
-                errors: r.5,
+                metrics: r.4,
+                ping: r.5,
+                errors: r.6,
             },
-            kernels: ks
-                .into_iter()
-                .map(|(kernel, spec, runs, with_median, median)| KernelStatPayload {
-                    kernel,
-                    spec,
-                    runs,
-                    median_us: with_median.then_some(median),
-                })
-                .collect(),
+            pool: PoolPayload {
+                workers: p.0,
+                submitted: p.1,
+                executed: p.2,
+                helped: p.3,
+                parks: p.4,
+                wakeups: p.5,
+            },
+            kernels,
+            slow: slow.into_iter().map(|(kernel, us)| SlowRunPayload { kernel, us }).collect(),
         });
+    let metrics = name_strategy().prop_map(|salt| Response::Metrics {
+        // Realistic multi-line exposition text plus escaping stress
+        // from the name strategy (quotes, backslashes, newlines).
+        text: format!(
+            "# HELP systec_requests_total Requests by verb.\n\
+             # TYPE systec_requests_total counter\n\
+             systec_requests_total{{verb=\"{salt}\"}} 3\n"
+        ),
+    });
     let error = (0usize..6, name_strategy()).prop_map(|(code, message)| Response::Error {
         code: [
             ErrorCode::Parse,
@@ -199,6 +230,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         prepared,
         ran,
         stats,
+        metrics,
         Just(Response::Pong),
         Just(Response::ShuttingDown),
         error,

@@ -95,6 +95,10 @@ fn warmed_engine() -> (Engine, u64) {
 #[test]
 fn warmed_server_worker_executes_allocation_free() {
     let _serialized = measurement_lock();
+    // Telemetry explicitly ON: latency-histogram recording (atomic
+    // bucket increments) and the slow-threshold check live inside the
+    // measured region and must not cost an allocation.
+    systec_telemetry::set_mode(systec_telemetry::TelemetryMode::On);
     let (engine, kernel) = warmed_engine();
     // Warm the pooled state: the first runs size the run slot, the
     // execution context, and the counters map.
@@ -150,5 +154,50 @@ fn interleaving_kernels_stays_allocation_free_once_both_are_warm() {
         0,
         "per-kernel slots keep interleaved serving allocation-free (saw {})",
         after - before
+    );
+}
+
+#[test]
+fn telemetry_off_freezes_recording_without_changing_results() {
+    use systec_telemetry::{set_mode, TelemetryMode};
+
+    // Mirrors the exact-parity counters' `CounterMode::Off` test: the
+    // global switch must change *observability only* — served bytes
+    // stay identical — while histograms and counters freeze. Runs
+    // under the measurement lock because the mode is process-global.
+    let _serialized = measurement_lock();
+    let (engine, kernel) = warmed_engine();
+
+    set_mode(TelemetryMode::On);
+    let on_line = engine.handle(&Request::Run { kernel, full: false }).encode();
+    let counted_while_on = {
+        // One recorded sample per pooled run while On.
+        let Response::Stats { kernels, .. } = engine.handle(&Request::Stats) else {
+            panic!("stats failed")
+        };
+        assert!(kernels[0].median_us.is_some(), "On mode records latencies");
+        kernels[0].runs
+    };
+
+    set_mode(TelemetryMode::Off);
+    let off_line = engine.handle(&Request::Run { kernel, full: false }).encode();
+    let Response::Stats { kernels, .. } = engine.handle(&Request::Stats) else {
+        panic!("stats failed")
+    };
+    set_mode(TelemetryMode::On);
+
+    assert_eq!(on_line, off_line, "telemetry mode must not change served bytes");
+    assert_eq!(kernels[0].runs, counted_while_on + 1, "run accounting is mode-independent");
+    // The histogram froze: the Off run left no new sample, so the
+    // engine-side latency count (exposed via the Prometheus text)
+    // still matches the On-mode run count.
+    let Response::Metrics { text } = engine.handle(&Request::Metrics) else {
+        panic!("metrics failed")
+    };
+    assert!(
+        text.contains(&format!(
+            "systec_kernel_latency_ns_count{{kernel=\"0\"}} {counted_while_on}"
+        )),
+        "Off-mode runs must not enter the latency histogram:\n{text}"
     );
 }

@@ -278,7 +278,7 @@ fn thirty_two_connections_hundred_requests_byte_deterministic() {
 
     // Server-side accounting is exact.
     let stats_resp = setup.request(&Request::Stats).unwrap();
-    let Response::Stats { cache, requests, kernels } = stats_resp else {
+    let Response::Stats { cache, requests, kernels, .. } = stats_resp else {
         panic!("stats failed: {stats_resp:?}")
     };
     assert_eq!(cache.builds, all_cases.len() as u64);
@@ -293,7 +293,38 @@ fn thirty_two_connections_hundred_requests_byte_deterministic() {
     for k in &kernels {
         assert_eq!(k.runs, (CLIENTS * RUNS_PER_KERNEL) as u64, "{}", k.spec);
         assert!(k.median_us.is_some(), "{} has latency samples", k.spec);
+        assert!(k.p90_us.is_some() && k.p99_us.is_some() && k.max_us.is_some(), "{}", k.spec);
     }
+
+    // The Prometheus exposition over the same socket: required families
+    // present, and — with all clients joined and the pool quiescent —
+    // two consecutive scrapes of the idle server are byte-identical
+    // (the metrics verb's own request count is excluded by design).
+    let metrics_resp = setup.request(&Request::Metrics).unwrap();
+    let Response::Metrics { text } = metrics_resp else {
+        panic!("metrics failed: {metrics_resp:?}")
+    };
+    for family in [
+        "systec_compile_phase_ns_total",
+        "systec_kernel_latency_ns_bucket",
+        "systec_kernel_runs_total",
+        "systec_plan_cache_builds_total",
+        "systec_pool_submitted_total",
+        "systec_requests_total",
+    ] {
+        assert!(text.contains(family), "missing {family}");
+    }
+    assert!(
+        text.contains(&format!(
+            "systec_kernel_latency_ns_count{{kernel=\"0\"}} {}",
+            CLIENTS * RUNS_PER_KERNEL
+        )),
+        "kernel 0 histogram must hold every pooled run"
+    );
+    let Response::Metrics { text: again } = setup.request(&Request::Metrics).unwrap() else {
+        panic!("second metrics scrape failed")
+    };
+    assert_eq!(text, again, "idle scrapes must be byte-identical");
 
     // Clean shutdown over the wire.
     let resp = setup.request(&Request::Shutdown).unwrap();

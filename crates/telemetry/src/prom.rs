@@ -1,0 +1,144 @@
+//! A minimal Prometheus text-exposition writer.
+//!
+//! Emits version 0.0.4 text format: `# HELP` / `# TYPE` headers
+//! followed by samples. Determinism is the point — every value written
+//! through this module is an integer, label values are escaped per the
+//! spec, and samples appear exactly in the order the caller writes
+//! them — so two scrapes of an idle process produce byte-identical
+//! documents. The serve crate composes families in sorted name order.
+
+use crate::Snapshot;
+
+/// Accumulates an exposition document.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the `# HELP` and `# TYPE` headers for a family. `kind`
+    /// is one of `counter`, `gauge`, or `histogram`.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Writes one sample line: `name{labels} value`.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.out.push_str(name);
+        self.write_labels(labels);
+        self.out.push(' ');
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
+    }
+
+    /// Writes a full histogram family body for one label set: the
+    /// cumulative `_bucket` ladder (rungs from
+    /// [`crate::export_ladder`] plus `+Inf`), `_sum`, and `_count`.
+    /// `labels` are prepended before the `le` label on bucket lines.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snapshot: &Snapshot) {
+        let rungs: Vec<(u64, String)> =
+            crate::export_ladder().map(|r| (r, r.to_string())).collect();
+        for (rung, le) in &rungs {
+            let mut bucket_labels: Vec<(&str, &str)> = labels.to_vec();
+            bucket_labels.push(("le", le));
+            self.sample(&format!("{name}_bucket"), &bucket_labels, snapshot.cumulative_le(*rung));
+        }
+        let mut inf_labels: Vec<(&str, &str)> = labels.to_vec();
+        inf_labels.push(("le", "+Inf"));
+        self.sample(&format!("{name}_bucket"), &inf_labels, snapshot.count);
+        self.sample(&format!("{name}_sum"), labels, snapshot.sum);
+        self.sample(&format!("{name}_count"), labels, snapshot.count);
+    }
+
+    fn write_labels(&mut self, labels: &[(&str, &str)]) {
+        if labels.is_empty() {
+            return;
+        }
+        self.out.push('{');
+        for (i, (key, value)) in labels.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(key);
+            self.out.push_str("=\"");
+            self.out.push_str(&escape_label(value));
+            self.out.push('"');
+        }
+        self.out.push('}');
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn renders_counter_family() {
+        let mut w = PromWriter::new();
+        w.family("systec_x_total", "counter", "Test counter.");
+        w.sample("systec_x_total", &[("verb", "run")], 3);
+        assert_eq!(
+            w.finish(),
+            "# HELP systec_x_total Test counter.\n# TYPE systec_x_total counter\n\
+             systec_x_total{verb=\"run\"} 3\n"
+        );
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let h = Histogram::new();
+        h.record_always(100); // below the first 255ns rung
+        h.record_always(300); // in (255, 511]
+        h.record_always(u64::MAX); // only counted by +Inf
+        let mut w = PromWriter::new();
+        w.histogram("systec_lat_ns", &[("kernel", "0")], &h.snapshot());
+        let text = w.finish();
+        assert!(text.contains("systec_lat_ns_bucket{kernel=\"0\",le=\"255\"} 1\n"));
+        assert!(text.contains("systec_lat_ns_bucket{kernel=\"0\",le=\"511\"} 2\n"));
+        assert!(text.contains("systec_lat_ns_bucket{kernel=\"0\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("systec_lat_ns_count{kernel=\"0\"} 3\n"));
+        // Two renders of the same data are byte-identical.
+        let mut w2 = PromWriter::new();
+        w2.histogram("systec_lat_ns", &[("kernel", "0")], &h.snapshot());
+        assert_eq!(text, w2.finish());
+    }
+}

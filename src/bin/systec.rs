@@ -22,6 +22,7 @@ use systec::compiler::{Compiler, SymmetrySpec};
 use systec::exec::reference::reference_einsum;
 use systec::ir::{parse_einsum, Einsum};
 use systec::kernels::{parse_symmetry, serial_fallback_note, Backend, Parallelism, Prepared};
+use systec::serve::protocol::{Request, Response};
 use systec::serve::{serve, Client, Engine};
 use systec::tensor::generate::{random_dense, rng};
 use systec::tensor::{csf, CooTensor, SparseTensor, Tensor};
@@ -67,7 +68,12 @@ fn usage() -> &'static str {
        systec client --addr HOST:PORT [REQUEST...]\n\
                              send request lines (or stdin, one request per line)\n\
                              and print each response; exits non-zero if any\n\
-                             response reports ok:false\n"
+                             response reports ok:false\n\
+       systec top --addr HOST:PORT [--interval-ms N] [--iters K]\n\
+                             poll a server's stats and render a per-kernel latency\n\
+                             table (runs, p50/p90/p99/max, slow runs) plus cache\n\
+                             and worker-pool counters, every N ms (default 1000).\n\
+                             --iters K stops after K refreshes (0 = forever)\n"
 }
 
 fn serve_main(args: &[String]) -> ExitCode {
@@ -156,6 +162,108 @@ fn client_main(args: &[String]) -> ExitCode {
     }
 }
 
+fn top_main(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut interval_ms = 1000u64;
+    let mut iters = 0u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => return fail("--addr needs HOST:PORT"),
+            },
+            "--interval-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => interval_ms = v,
+                None => return fail("--interval-ms needs a number"),
+            },
+            "--iters" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => iters = v,
+                None => return fail("--iters needs a number"),
+            },
+            other => return fail(&format!("unknown top option `{other}`\n\n{}", usage())),
+        }
+    }
+    let Some(addr) = addr else {
+        return fail("systec top needs --addr HOST:PORT");
+    };
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
+    };
+    let mut round = 0u64;
+    loop {
+        let resp = match client.request(&Request::Stats) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("stats request failed: {e}")),
+        };
+        let Response::Stats { cache, requests, pool, kernels, slow } = resp else {
+            return fail(&format!("unexpected stats reply: {resp:?}"));
+        };
+        render_top(&addr, &cache, &requests, &pool, &kernels, &slow);
+        round += 1;
+        if iters != 0 && round >= iters {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// One `systec top` refresh: a per-kernel latency table plus one-line
+/// cache / pool / request summaries.
+fn render_top(
+    addr: &str,
+    cache: &systec::serve::protocol::CachePayload,
+    requests: &systec::serve::protocol::RequestCountsPayload,
+    pool: &systec::serve::protocol::PoolPayload,
+    kernels: &[systec::serve::protocol::KernelStatPayload],
+    slow: &[systec::serve::protocol::SlowRunPayload],
+) {
+    let us = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.1}"));
+    println!("systec top — {addr}");
+    println!(
+        "requests: register={} prepare={} run={} stats={} metrics={} ping={} errors={}",
+        requests.register_tensor,
+        requests.prepare,
+        requests.run,
+        requests.stats,
+        requests.metrics,
+        requests.ping,
+        requests.errors
+    );
+    println!(
+        "cache: hits={} misses={} builds={} evictions={} waits={} entries={}",
+        cache.hits, cache.misses, cache.builds, cache.evictions, cache.waits, cache.entries
+    );
+    println!(
+        "pool: workers={} submitted={} executed={} helped={} parks={} wakeups={}",
+        pool.workers, pool.submitted, pool.executed, pool.helped, pool.parks, pool.wakeups
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}  spec",
+        "kernel", "runs", "p50us", "p90us", "p99us", "maxus", "slow"
+    );
+    for k in kernels {
+        println!(
+            "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}  {}",
+            k.kernel,
+            k.runs,
+            us(k.median_us),
+            us(k.p90_us),
+            us(k.p99_us),
+            us(k.max_us),
+            k.slow,
+            k.spec
+        );
+    }
+    if !slow.is_empty() {
+        let entries: Vec<String> =
+            slow.iter().map(|s| format!("kernel {} {}us", s.kernel, s.us)).collect();
+        println!("recent slow runs: {}", entries.join(", "));
+    }
+    println!();
+}
+
 fn fail(msg: &str) -> ExitCode {
     eprintln!("{msg}");
     ExitCode::FAILURE
@@ -215,6 +323,7 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("serve") => return serve_main(&argv[1..]),
         Some("client") => return client_main(&argv[1..]),
+        Some("top") => return top_main(&argv[1..]),
         _ => {}
     }
     let opts = match parse_args(argv.into_iter()) {

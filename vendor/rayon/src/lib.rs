@@ -55,6 +55,19 @@ struct Pool {
     work_cv: Condvar,
     /// Total workers ever spawned (observability / tests).
     spawned: AtomicUsize,
+    /// Tasks ever submitted to the queue.
+    submitted: AtomicUsize,
+    /// Tasks executed by pool workers.
+    executed: AtomicUsize,
+    /// Tasks executed by a waiting scope's own thread (help-drain).
+    /// A high ratio of helped to executed tasks signals chunk
+    /// imbalance: the caller kept stealing work back because the
+    /// workers were saturated or slow to wake.
+    helped: AtomicUsize,
+    /// Times a worker parked on the condition variable.
+    parks: AtomicUsize,
+    /// Times a parked worker woke (spurious wakeups included).
+    wakeups: AtomicUsize,
 }
 
 struct PoolState {
@@ -72,6 +85,11 @@ fn pool() -> &'static Pool {
         state: Mutex::new(PoolState { queue: VecDeque::new(), workers: 0, idle: 0 }),
         work_cv: Condvar::new(),
         spawned: AtomicUsize::new(0),
+        submitted: AtomicUsize::new(0),
+        executed: AtomicUsize::new(0),
+        helped: AtomicUsize::new(0),
+        parks: AtomicUsize::new(0),
+        wakeups: AtomicUsize::new(0),
     })
 }
 
@@ -79,6 +97,7 @@ impl Pool {
     /// Enqueues a job, growing the pool by one worker when nobody is
     /// idle to take it (and the cap allows).
     fn submit(&'static self, job: Job) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
         let grow = {
             let mut st = self.state.lock().expect("pool lock");
             st.queue.push_back(job);
@@ -101,8 +120,13 @@ impl Pool {
     }
 
     /// Pops one job if any is queued (used by waiting scopes to help).
+    /// Counted as a helped task — the caller always runs what it pops.
     fn try_pop(&self) -> Option<Job> {
-        self.state.lock().expect("pool lock").queue.pop_front()
+        let job = self.state.lock().expect("pool lock").queue.pop_front();
+        if job.is_some() {
+            self.helped.fetch_add(1, Ordering::Relaxed);
+        }
+        job
     }
 
     /// A worker's life: pop a job or park; never exits (workers are
@@ -116,10 +140,13 @@ impl Pool {
                         break job;
                     }
                     st.idle += 1;
+                    self.parks.fetch_add(1, Ordering::Relaxed);
                     st = self.work_cv.wait(st).expect("pool lock");
+                    self.wakeups.fetch_add(1, Ordering::Relaxed);
                     st.idle -= 1;
                 }
             };
+            self.executed.fetch_add(1, Ordering::Relaxed);
             // Task panics are caught inside the job wrapper
             // (Scope::spawn), so `job()` only unwinds if the wrapper
             // itself is broken — in which case crashing the worker is
@@ -257,6 +284,40 @@ pub fn pool_workers_spawned() -> usize {
     pool().spawned.load(Ordering::Relaxed)
 }
 
+/// A snapshot of the pool's monotone utilization counters (all counts
+/// are process-lifetime totals, never reset).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Workers ever spawned.
+    pub workers_spawned: usize,
+    /// Tasks ever submitted.
+    pub tasks_submitted: usize,
+    /// Tasks executed by pool workers.
+    pub tasks_executed: usize,
+    /// Tasks executed by a waiting scope's own thread while its spawns
+    /// were in flight. Persistent growth relative to `tasks_executed`
+    /// signals chunk imbalance — the caller keeps stealing work back.
+    pub tasks_helped: usize,
+    /// Times a worker parked waiting for work.
+    pub parks: usize,
+    /// Times a parked worker woke (spurious wakeups included).
+    pub wakeups: usize,
+}
+
+/// Reads the pool's utilization counters. Once every submitted scope
+/// has joined, `tasks_submitted == tasks_executed + tasks_helped`.
+pub fn pool_stats() -> PoolStats {
+    let p = pool();
+    PoolStats {
+        workers_spawned: p.spawned.load(Ordering::Relaxed),
+        tasks_submitted: p.submitted.load(Ordering::Relaxed),
+        tasks_executed: p.executed.load(Ordering::Relaxed),
+        tasks_helped: p.helped.load(Ordering::Relaxed),
+        parks: p.parks.load(Ordering::Relaxed),
+        wakeups: p.wakeups.load(Ordering::Relaxed),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,5 +427,31 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_stats_account_every_task() {
+        // Other tests in this binary share the pool, so assert on
+        // deltas and lower bounds only. `executed`/`helped` increment
+        // before a task body runs and a scope joins only after every
+        // body finished, so by the time `scope` returns all four of our
+        // tasks are counted.
+        let before = pool_stats();
+        let ran = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 4);
+        let after = pool_stats();
+        assert!(after.tasks_submitted >= before.tasks_submitted + 4);
+        assert!(
+            after.tasks_executed + after.tasks_helped
+                >= before.tasks_executed + before.tasks_helped + 4,
+            "every finished task is attributed to a worker or a helper"
+        );
     }
 }
