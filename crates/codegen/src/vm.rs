@@ -2464,8 +2464,11 @@ fn run_parallel<'a>(
     let heads = split.heads.as_slice();
     let reduced_meta_ref = &reduced_meta;
     rayon::scope(|s| {
-        for (bank, chunks) in banks.iter_mut().zip(worker_chunks) {
-            s.spawn(move |_| {
+        // One batched submission for the whole fan-out: a k-worker
+        // dispatch costs one pool lock and one wakeup round instead of
+        // k of each (the spawn traffic dominated sub-200µs kernels).
+        s.spawn_batch(banks.iter_mut().zip(worker_chunks).map(|(bank, chunks)| {
+            move |_: &rayon::Scope<'_, '_>| {
                 bank.counters.reset(n_slots);
                 for (r, &(_, op, len)) in reduced_meta_ref.iter().enumerate() {
                     let identity = op.identity().expect("reduced outputs use reducing ops");
@@ -2498,8 +2501,8 @@ fn run_parallel<'a>(
                         mode,
                     );
                 }
-            });
-        }
+            }
+        }));
     });
 
     // Merge in fixed worker order: integer counter sums match the

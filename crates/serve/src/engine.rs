@@ -36,8 +36,8 @@ use systec_tensor::{csf, CooTensor, DenseTensor, SparseTensor, Tensor};
 
 use crate::protocol::{
     CachePayload, CounterPayload, ErrorCode, KernelStatPayload, OutputPayload, PoolPayload,
-    Request, RequestCountsPayload, Response, SlowRunPayload, StorageFormat, TensorPayload, Variant,
-    Warning, WarningKind,
+    Request, RequestCountsPayload, Response, ServePayload, SlowRunPayload, StorageFormat,
+    TensorPayload, Variant, Warning, WarningKind,
 };
 
 /// Runs slower than this are counted as slow and logged (overridable
@@ -69,12 +69,15 @@ impl SlowLog {
             self.entries[self.next] = entry;
         }
         self.next = (self.next + 1) % SLOW_LOG_CAPACITY;
-        self.recorded += 1;
+        self.recorded = self.recorded.saturating_add(1);
     }
 
-    /// The retained entries, oldest first.
+    /// The retained entries, oldest first. The all-time `recorded`
+    /// count is compared in u64 — casting it *down* to usize, as an
+    /// earlier revision did, would wrap on 32-bit targets after 2^32
+    /// slow runs and misreport a long-rotated ring as unrotated.
     fn snapshot(&self) -> Vec<SlowRunPayload> {
-        if self.recorded as usize <= self.entries.len() {
+        if self.recorded <= self.entries.len() as u64 {
             self.entries.clone()
         } else {
             let mut out = Vec::with_capacity(self.entries.len());
@@ -108,6 +111,13 @@ struct KernelEntry {
     runs: AtomicU64,
     /// Runs that exceeded the engine's slow threshold.
     slow: AtomicU64,
+    /// Registry pins: each bound input's registered name and the
+    /// generation whose data this kernel cloned at prepare time.
+    pinned: Vec<(String, u64)>,
+    /// Registry epoch at which the pins were last verified fresh. A
+    /// matching load lets the run path skip the registry entirely —
+    /// the epoch only moves on (re-)registration.
+    valid_epoch: AtomicU64,
 }
 
 /// A completed execution, borrowing nothing: holds the kernel entry, the
@@ -144,12 +154,94 @@ impl Drop for RunLease {
 #[derive(Debug, Default)]
 struct RequestCounts {
     register_tensor: AtomicU64,
+    unregister: AtomicU64,
     prepare: AtomicU64,
     run: AtomicU64,
     stats: AtomicU64,
     metrics: AtomicU64,
     ping: AtomicU64,
     errors: AtomicU64,
+}
+
+/// One registered tensor plus its lifecycle bookkeeping.
+#[derive(Debug)]
+struct TensorEntry {
+    data: Tensor,
+    /// 0 on first registration of the name, +1 per re-registration;
+    /// survives unregister and eviction (see [`Registry::generations`]).
+    generation: u64,
+    /// Estimated payload size charged against the byte cap.
+    bytes: u64,
+    /// Logical clock of the last registration or prepare binding —
+    /// the LRU eviction order.
+    last_used: u64,
+}
+
+/// The tensor registry: live tensors, the per-name generation history,
+/// and the pin refcounts held by prepared kernels.
+#[derive(Debug, Default)]
+struct Registry {
+    tensors: HashMap<String, TensorEntry>,
+    /// Highest generation ever assigned per name. Kept after eviction
+    /// and unregister so a name can never be reborn at a generation a
+    /// stale kernel still pins (the classic ABA).
+    generations: HashMap<String, u64>,
+    /// Refcounts of `(name, generation)` pins held by kernel entries;
+    /// a tensor pinned at its current generation is never evicted.
+    pins: HashMap<(String, u64), u64>,
+    /// Total estimated bytes of live tensors.
+    bytes: u64,
+    /// LRU evictions performed to admit new registrations.
+    evictions: u64,
+    /// Logical clock driving `last_used`.
+    clock: u64,
+}
+
+impl Registry {
+    /// Marks `name` as just used (registration or prepare binding).
+    fn touch(&mut self, name: &str) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(entry) = self.tensors.get_mut(name) {
+            entry.last_used = clock;
+        }
+    }
+
+    /// The least-recently-used live tensor that is not pinned at its
+    /// current generation, excluding `keep` (the name being replaced —
+    /// its bytes are already credited, so evicting it would
+    /// double-count).
+    fn lru_unpinned(&self, keep: &str) -> Option<String> {
+        self.tensors
+            .iter()
+            .filter(|(name, e)| {
+                name.as_str() != keep && !self.pins.contains_key(&((*name).clone(), e.generation))
+            })
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(name, _)| name.clone())
+    }
+
+    /// Total bytes the LRU policy could free for a registration of
+    /// `keep` (every live, unpinned tensor except `keep` itself).
+    fn evictable_bytes(&self, keep: &str) -> u64 {
+        self.tensors
+            .iter()
+            .filter(|(name, e)| {
+                name.as_str() != keep && !self.pins.contains_key(&((*name).clone(), e.generation))
+            })
+            .map(|(_, e)| e.bytes)
+            .sum()
+    }
+}
+
+/// Estimated payload bytes of a registered tensor — the unit of the
+/// `--max-bytes` admission cap. Dense values cost 8 bytes each; sparse
+/// entries charge one value plus one coordinate per level.
+fn tensor_bytes(tensor: &Tensor) -> u64 {
+    match tensor {
+        Tensor::Dense(d) => 8 * d.as_slice().len() as u64,
+        Tensor::Sparse(s) => (8 + 8 * s.dims().len() as u64) * s.nnz() as u64,
+    }
 }
 
 /// An engine-level failure, mapped onto a protocol error response.
@@ -170,10 +262,21 @@ impl EngineError {
 /// The protocol-independent serving core. Shared across connections
 /// behind an `Arc`; all methods take `&self`.
 pub struct Engine {
-    registry: RwLock<HashMap<String, Tensor>>,
+    registry: RwLock<Registry>,
+    /// Bumped on every (re-)registration. Kernel entries cache the
+    /// epoch at which their pins last verified fresh, so steady-state
+    /// runs check freshness with two relaxed atomic loads and no lock.
+    registry_epoch: AtomicU64,
     kernels: RwLock<Vec<Arc<KernelEntry>>>,
     contexts: ContextPool,
     counts: RequestCounts,
+    /// Per-engine serving metrics (batching, admission, registry
+    /// lifecycle); owned here so parallel tests never bleed into each
+    /// other's scrapes.
+    serve: telemetry::ServeMetrics,
+    /// Admission cap on total estimated registered bytes (`None` =
+    /// unlimited).
+    max_registered_bytes: Option<u64>,
     default_parallelism: Parallelism,
     slow_threshold_ns: u64,
     slow_log: Mutex<SlowLog>,
@@ -197,14 +300,26 @@ impl Engine {
     /// split run serially either way).
     pub fn with_parallelism(default_parallelism: Parallelism) -> Engine {
         Engine {
-            registry: RwLock::new(HashMap::new()),
+            registry: RwLock::new(Registry::default()),
+            registry_epoch: AtomicU64::new(0),
             kernels: RwLock::new(Vec::new()),
             contexts: ContextPool::new(),
             counts: RequestCounts::default(),
+            serve: telemetry::ServeMetrics::new(),
+            max_registered_bytes: None,
             default_parallelism,
             slow_threshold_ns: u64::try_from(DEFAULT_SLOW_THRESHOLD.as_nanos()).unwrap_or(u64::MAX),
             slow_log: Mutex::new(SlowLog::new()),
         }
+    }
+
+    /// Caps the total estimated bytes of registered tensors (admission
+    /// control): a registration that cannot fit even after LRU-evicting
+    /// every unpinned tensor is refused with `admission_rejected`, and
+    /// nothing is evicted for a refused registration.
+    pub fn with_max_registered_bytes(mut self, cap: u64) -> Engine {
+        self.max_registered_bytes = Some(cap);
+        self
     }
 
     /// Overrides the slow-run threshold (default 10 ms): runs at or
@@ -223,13 +338,17 @@ impl Engine {
                 self.counts.register_tensor.fetch_add(1, Ordering::Relaxed);
                 self.register(name, dims, payload, *format)
             }
+            Request::Unregister { name } => {
+                self.counts.unregister.fetch_add(1, Ordering::Relaxed);
+                self.unregister(name)
+            }
             Request::Prepare { einsum, sym, inputs, variant, threads } => {
                 self.counts.prepare.fetch_add(1, Ordering::Relaxed);
                 self.prepare(einsum, sym, inputs, *variant, *threads)
             }
             Request::Run { kernel, full } => {
                 self.counts.run.fetch_add(1, Ordering::Relaxed);
-                self.run(*kernel, *full)
+                self.run_coalesced(*kernel, *full, 1)
             }
             Request::Stats => {
                 self.counts.stats.fetch_add(1, Ordering::Relaxed);
@@ -291,11 +410,7 @@ impl Engine {
                     let dense = DenseTensor::from_vec(dims.to_vec(), values.clone())
                         .map_err(|e| bad(e.to_string()))?;
                     let nnz = values.len() as u64;
-                    self.registry
-                        .write()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .insert(name.to_string(), Tensor::Dense(dense));
-                    return Ok(Response::Registered { name: name.to_string(), nnz });
+                    return self.insert_tensor(name, Tensor::Dense(dense), nnz);
                 }
                 let dense = DenseTensor::from_vec(dims.to_vec(), values.clone())
                     .map_err(|e| bad(e.to_string()))?;
@@ -312,11 +427,7 @@ impl Engine {
                 if format == StorageFormat::Dense {
                     let dense = coo.to_dense();
                     let nnz = dense.as_slice().len() as u64;
-                    self.registry
-                        .write()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .insert(name.to_string(), Tensor::Dense(dense));
-                    return Ok(Response::Registered { name: name.to_string(), nnz });
+                    return self.insert_tensor(name, Tensor::Dense(dense), nnz);
                 }
                 coo
             }
@@ -324,11 +435,79 @@ impl Engine {
         let sparse = SparseTensor::from_coo(&coo, &csf(dims.len()))
             .map_err(|e| bad(format!("packing to CSF: {e}")))?;
         let nnz = sparse.nnz() as u64;
-        self.registry
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(name.to_string(), Tensor::Sparse(sparse));
-        Ok(Response::Registered { name: name.to_string(), nnz })
+        self.insert_tensor(name, Tensor::Sparse(sparse), nnz)
+    }
+
+    /// Admits validated tensor data under `name`: charges its estimated
+    /// bytes against the registry cap (LRU-evicting unpinned tensors to
+    /// make room), assigns the next generation for the name, and
+    /// publishes the new registry epoch so kernels pinning an older
+    /// generation fail their next freshness check loudly.
+    fn insert_tensor(&self, name: &str, data: Tensor, nnz: u64) -> Result<Response, EngineError> {
+        let bytes = tensor_bytes(&data);
+        let mut reg = self.registry.write().unwrap_or_else(PoisonError::into_inner);
+        // A replacement frees the old entry's bytes before the cap
+        // check, and the replaced name itself is never an LRU victim.
+        let freed = reg.tensors.get(name).map_or(0, |e| e.bytes);
+        if let Some(cap) = self.max_registered_bytes {
+            let mut projected = (reg.bytes - freed).saturating_add(bytes);
+            if projected > cap {
+                // Decide feasibility up front so a refused registration
+                // has no side effects — rejection must not evict.
+                if projected.saturating_sub(reg.evictable_bytes(name)) > cap {
+                    self.serve.admission_rejected_bytes.inc_always();
+                    return Err(EngineError::new(
+                        ErrorCode::AdmissionRejected,
+                        format!(
+                            "registering `{name}` ({bytes} bytes) would exceed the \
+                             registered-bytes cap ({cap} bytes) even after evicting \
+                             every unpinned tensor"
+                        ),
+                    ));
+                }
+                while projected > cap {
+                    let victim = reg.lru_unpinned(name).expect("evictable bytes checked above");
+                    let evicted = reg.tensors.remove(&victim).expect("victim is live");
+                    reg.bytes -= evicted.bytes;
+                    projected -= evicted.bytes;
+                    reg.evictions += 1;
+                    self.serve.registry_evictions.inc_always();
+                }
+            }
+        }
+        let generation = reg.generations.get(name).map_or(0, |g| g + 1);
+        reg.generations.insert(name.to_string(), generation);
+        reg.bytes = (reg.bytes - freed) + bytes;
+        reg.clock += 1;
+        let last_used = reg.clock;
+        reg.tensors.insert(name.to_string(), TensorEntry { data, generation, bytes, last_used });
+        self.serve.registry_bytes.set(reg.bytes);
+        self.serve.registry_tensors.set(reg.tensors.len() as u64);
+        drop(reg);
+        // Publish after the registry write: a run that observes the new
+        // epoch re-verifies its pins under the registry lock and is
+        // guaranteed to see the new generation there.
+        self.registry_epoch.fetch_add(1, Ordering::Release);
+        Ok(Response::Registered { name: name.to_string(), nnz, generation })
+    }
+
+    fn unregister(&self, name: &str) -> Result<Response, EngineError> {
+        let mut reg = self.registry.write().unwrap_or_else(PoisonError::into_inner);
+        let existed = match reg.tensors.remove(name) {
+            Some(entry) => {
+                reg.bytes -= entry.bytes;
+                true
+            }
+            None => false,
+        };
+        self.serve.registry_bytes.set(reg.bytes);
+        self.serve.registry_tensors.set(reg.tensors.len() as u64);
+        drop(reg);
+        // `generations` is deliberately retained: a later re-register
+        // still advances the name's generation, and kernels pinning the
+        // removed data keep serving their own snapshot — removal
+        // invalidates nothing, so the epoch does not move either.
+        Ok(Response::Unregistered { name: name.to_string(), existed })
     }
 
     fn prepare(
@@ -361,29 +540,44 @@ impl Engine {
             bindings.push((tensor, registered));
         }
         bindings.sort();
-        let inputs = {
-            let registry = self.registry.read().unwrap_or_else(PoisonError::into_inner);
+        // Snapshot the epoch BEFORE reading the bindings: if a
+        // re-register lands in between, the cached epoch is already
+        // behind and the first run re-verifies the pins (never the
+        // reverse, which would let a stale pin ride a fresh epoch).
+        let epoch_at_prepare = self.registry_epoch.load(Ordering::Acquire);
+        let (inputs, pinned) = {
+            let mut registry = self.registry.write().unwrap_or_else(PoisonError::into_inner);
             let mut inputs: HashMap<String, Tensor> = HashMap::new();
+            let mut pinned: Vec<(String, u64)> = Vec::new();
             for (tensor, registered) in &bindings {
-                let data = registry.get(registered).ok_or_else(|| {
-                    EngineError::new(
-                        ErrorCode::UnknownTensor,
-                        format!("tensor `{registered}` (for `{tensor}`) is not registered"),
-                    )
-                })?;
-                inputs.insert(tensor.clone(), data.clone());
+                let (data, generation) = match registry.tensors.get(registered) {
+                    Some(entry) => (entry.data.clone(), entry.generation),
+                    None => {
+                        return Err(EngineError::new(
+                            ErrorCode::UnknownTensor,
+                            format!("tensor `{registered}` (for `{tensor}`) is not registered"),
+                        ))
+                    }
+                };
+                inputs.insert(tensor.clone(), data);
+                if !pinned.iter().any(|(n, g)| n == registered && *g == generation) {
+                    pinned.push((registered.clone(), generation));
+                }
+                registry.touch(registered);
             }
-            inputs
+            (inputs, pinned)
         };
 
         // Canonical identity for handle dedup: the einsum re-rendered,
-        // the declarations as sent, the bindings, the variant, threads.
+        // the declarations as sent, the bindings *and the generations
+        // they resolved to* (so a prepare after a re-register mints a
+        // fresh handle over the new data), the variant, threads.
         let variant_tag = match variant {
             Variant::Systec => "systec",
             Variant::Naive => "naive",
         };
         let dedup = format!(
-            "{variant_tag}::{einsum}::sym={sym:?}::inputs={bindings:?}::threads={threads:?}"
+            "{variant_tag}::{einsum}::sym={sym:?}::inputs={bindings:?}::gens={pinned:?}::threads={threads:?}"
         );
         if let Some(found) = self.find_kernel(&dedup) {
             return Ok(found);
@@ -414,6 +608,8 @@ impl Engine {
             latency: Histogram::new(),
             runs: AtomicU64::new(0),
             slow: AtomicU64::new(0),
+            pinned,
+            valid_epoch: AtomicU64::new(epoch_at_prepare),
         });
 
         let mut kernels = self.kernels.write().unwrap_or_else(PoisonError::into_inner);
@@ -427,8 +623,18 @@ impl Engine {
                 warning: warning.clone(),
             });
         }
-        kernels.push(entry);
-        Ok(Response::Prepared { kernel: (kernels.len() - 1) as u64, splittable, warning })
+        kernels.push(Arc::clone(&entry));
+        let kernel = (kernels.len() - 1) as u64;
+        drop(kernels);
+        // Pin the bound generations only after winning the insert race:
+        // the losing duplicate above never pinned, so the refcounts
+        // track exactly the kernel entries that hold a data snapshot.
+        let mut reg = self.registry.write().unwrap_or_else(PoisonError::into_inner);
+        for (name, generation) in &entry.pinned {
+            *reg.pins.entry((name.clone(), *generation)).or_insert(0) += 1;
+        }
+        drop(reg);
+        Ok(Response::Prepared { kernel, splittable, warning })
     }
 
     fn find_kernel(&self, dedup: &str) -> Option<Response> {
@@ -464,7 +670,16 @@ impl Engine {
     /// surface as [`ErrorCode::Internal`] (not expected after successful
     /// preparation).
     pub fn execute(&self, kernel: u64) -> Result<RunLease, EngineError> {
+        self.execute_coalesced(kernel, 1)
+    }
+
+    /// [`Engine::execute`] for a coalesced batch: one execution that
+    /// accounts for `n` identical requests — `runs += n`, `n` latency
+    /// samples of the shared wall time, and at most one slow-log entry
+    /// (the batch was one slow event, not `n`).
+    fn execute_coalesced(&self, kernel: u64, n: u64) -> Result<RunLease, EngineError> {
         let entry = self.entry(kernel)?;
+        self.ensure_fresh(&entry)?;
         let mut slot = relock(&entry.slots).pop().unwrap_or_default();
         let mut ctx = self.contexts.checkout();
         // With telemetry off the clock is never read: the run path is
@@ -477,35 +692,82 @@ impl Engine {
             relock(&entry.slots).push(slot);
             return Err(EngineError::new(ErrorCode::Internal, e.to_string()));
         }
-        entry.runs.fetch_add(1, Ordering::Relaxed);
+        entry.runs.fetch_add(n, Ordering::Relaxed);
         if let Some(started) = started {
             let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            entry.latency.record(nanos);
+            for _ in 0..n {
+                entry.latency.record(nanos);
+            }
             if nanos >= self.slow_threshold_ns {
-                entry.slow.fetch_add(1, Ordering::Relaxed);
+                entry.slow.fetch_add(n, Ordering::Relaxed);
                 relock(&self.slow_log).record(SlowRunPayload { kernel, us: nanos / 1_000 });
             }
         }
         Ok(RunLease { entry, slot: Some(slot), _ctx: ctx })
     }
 
-    fn run(&self, kernel: u64, full: bool) -> Result<Response, EngineError> {
+    /// Verifies the kernel's pinned tensors are still the current
+    /// generations. Steady state is two relaxed-ish atomic loads: the
+    /// registry epoch only moves on (re-)registration, so a matching
+    /// cached epoch proves nothing was re-registered since the last
+    /// check. On an epoch change the pins re-verify under the registry
+    /// lock; an *unregistered* name does not invalidate (the kernel
+    /// keeps serving its snapshot), a *re-registered* one does.
+    fn ensure_fresh(&self, entry: &KernelEntry) -> Result<(), EngineError> {
+        let epoch = self.registry_epoch.load(Ordering::Acquire);
+        if entry.valid_epoch.load(Ordering::Relaxed) == epoch {
+            return Ok(());
+        }
+        let reg = self.registry.read().unwrap_or_else(PoisonError::into_inner);
+        for (name, pinned) in &entry.pinned {
+            let current = reg.generations.get(name).copied().unwrap_or(*pinned);
+            if current != *pinned {
+                drop(reg);
+                self.serve.stale_runs.inc_always();
+                return Err(EngineError::new(
+                    ErrorCode::StaleTensor,
+                    format!(
+                        "tensor `{name}` was re-registered (now generation {current}; this \
+                         kernel pinned generation {pinned}) — re-prepare to pick up the new data"
+                    ),
+                ));
+            }
+        }
+        drop(reg);
+        entry.valid_epoch.store(epoch, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Handles `n` coalesced identical `run` requests with a single
+    /// execution and returns the one response every requester receives.
+    /// Request and error accounting both count all `n`, so wire-level
+    /// totals are indistinguishable from `n` serial requests.
+    pub fn run_batch(&self, kernel: u64, full: bool, n: u64) -> Response {
+        self.counts.run.fetch_add(n, Ordering::Relaxed);
+        self.run_coalesced(kernel, full, n).unwrap_or_else(|e| {
+            self.counts.errors.fetch_add(n, Ordering::Relaxed);
+            Response::error(e.code, e.message)
+        })
+    }
+
+    fn run_coalesced(&self, kernel: u64, full: bool, n: u64) -> Result<Response, EngineError> {
         if full {
             // The complete result (main + output replication): a fresh
             // allocation per request, documented as off the hot path.
             let entry = self.entry(kernel)?;
+            self.ensure_fresh(&entry)?;
             let (outputs, counters) = entry
                 .prepared
                 .run_full()
                 .map_err(|e| EngineError::new(ErrorCode::Internal, e.to_string()))?;
-            entry.runs.fetch_add(1, Ordering::Relaxed);
+            entry.runs.fetch_add(n, Ordering::Relaxed);
             // Deliberately NOT recorded in the latency histogram: the
             // quantiles report the paper's timed region (pooled
             // main-program runs), and replication + fresh allocation
             // would skew them.
             return Ok(ran_response(&outputs, &counters));
         }
-        let lease = self.execute(kernel)?;
+        let lease = self.execute_coalesced(kernel, n)?;
         Ok(ran_response(lease.outputs(), lease.counters()))
     }
 
@@ -546,6 +808,7 @@ impl Engine {
                 stats: self.counts.stats.load(Ordering::Relaxed),
                 metrics: self.counts.metrics.load(Ordering::Relaxed),
                 ping: self.counts.ping.load(Ordering::Relaxed),
+                unregister: self.counts.unregister.load(Ordering::Relaxed),
                 errors: self.counts.errors.load(Ordering::Relaxed),
             },
             pool: PoolPayload {
@@ -556,9 +819,35 @@ impl Engine {
                 parks: pool.parks as u64,
                 wakeups: pool.wakeups as u64,
             },
+            serve: self.serve_payload(),
             kernels: kernel_stats,
             slow: relock(&self.slow_log).snapshot(),
         }
+    }
+
+    fn serve_payload(&self) -> ServePayload {
+        let reg = self.registry.read().unwrap_or_else(PoisonError::into_inner);
+        ServePayload {
+            registry_tensors: reg.tensors.len() as u64,
+            registry_bytes: reg.bytes,
+            registry_evictions: reg.evictions,
+            pinned: reg.pins.len() as u64,
+            batch_dispatches: self.serve.batch_dispatches.get(),
+            batched_runs: self.serve.batched_runs.get(),
+            queued: self.serve.queue_depth.get(),
+            rejected_conns: self.serve.admission_rejected_conns.get(),
+            rejected_bytes: self.serve.admission_rejected_bytes.get(),
+            deadline_exceeded: self.serve.deadline_exceeded.get(),
+            stale_runs: self.serve.stale_runs.get(),
+        }
+    }
+
+    /// Per-engine serving metrics (batching, admission, registry
+    /// lifecycle). The transport and scheduler record into these; the
+    /// counters use the ungated paths so — like request counts — the
+    /// accounting survives `--telemetry off`.
+    pub fn serve_metrics(&self) -> &telemetry::ServeMetrics {
+        &self.serve
     }
 
     /// Renders the Prometheus text exposition (format 0.0.4). Families
@@ -571,6 +860,28 @@ impl Engine {
         let cache = plan_cache_stats();
         let pool = rayon::pool_stats();
         let mut w = telemetry::prom::PromWriter::new();
+
+        // -- admission control ---------------------------------------
+        w.family(
+            "systec_admission_rejects_total",
+            "counter",
+            "Requests refused by admission control, by reason.",
+        );
+        w.sample(
+            "systec_admission_rejects_total",
+            &[("reason", "deadline")],
+            self.serve.deadline_exceeded.get(),
+        );
+        w.sample(
+            "systec_admission_rejects_total",
+            &[("reason", "max_bytes")],
+            self.serve.admission_rejected_bytes.get(),
+        );
+        w.sample(
+            "systec_admission_rejects_total",
+            &[("reason", "max_conns")],
+            self.serve.admission_rejected_conns.get(),
+        );
 
         // -- compile phases ------------------------------------------
         w.family(
@@ -705,6 +1016,18 @@ impl Engine {
         w.family("systec_pool_workers", "gauge", "Worker threads spawned so far.");
         w.sample("systec_pool_workers", &[], pool.workers_spawned as u64);
 
+        // -- tensor registry -----------------------------------------
+        w.family("systec_registry_bytes", "gauge", "Estimated bytes of live registered tensors.");
+        w.sample("systec_registry_bytes", &[], self.serve.registry_bytes.get());
+        w.family(
+            "systec_registry_evictions_total",
+            "counter",
+            "Tensors LRU-evicted to admit new registrations.",
+        );
+        w.sample("systec_registry_evictions_total", &[], self.serve.registry_evictions.get());
+        w.family("systec_registry_tensors", "gauge", "Tensors currently registered.");
+        w.sample("systec_registry_tensors", &[], self.serve.registry_tensors.get());
+
         // -- requests ------------------------------------------------
         w.family(
             "systec_requests_total",
@@ -742,6 +1065,35 @@ impl Engine {
             &[("verb", "stats")],
             self.counts.stats.load(Ordering::Relaxed),
         );
+        w.sample(
+            "systec_requests_total",
+            &[("verb", "unregister")],
+            self.counts.unregister.load(Ordering::Relaxed),
+        );
+
+        // -- serving -------------------------------------------------
+        w.family(
+            "systec_serve_batch_dispatches_total",
+            "counter",
+            "Coalesced pool dispatches (each covers one or more runs).",
+        );
+        w.sample("systec_serve_batch_dispatches_total", &[], self.serve.batch_dispatches.get());
+        w.family(
+            "systec_serve_batch_runs_total",
+            "counter",
+            "Run requests served through coalesced dispatches.",
+        );
+        w.sample("systec_serve_batch_runs_total", &[], self.serve.batched_runs.get());
+        w.family("systec_serve_batch_size", "histogram", "Runs coalesced per dispatch.");
+        w.histogram("systec_serve_batch_size", &[], &self.serve.batch_size.snapshot());
+        w.family("systec_serve_queue_depth", "gauge", "Requests waiting in the scheduler queue.");
+        w.sample("systec_serve_queue_depth", &[], self.serve.queue_depth.get());
+        w.family(
+            "systec_serve_stale_runs_total",
+            "counter",
+            "Runs refused because a pinned tensor was re-registered.",
+        );
+        w.sample("systec_serve_stale_runs_total", &[], self.serve.stale_runs.get());
 
         // -- VM ------------------------------------------------------
         w.family("systec_vm_run_ns_total", "counter", "Total wall nanoseconds inside VM execute.");
@@ -1157,5 +1509,212 @@ mod tests {
         let c = |o: &[OutputPayload], i: usize, j: usize| o[0].values[i * 3 + j];
         assert_eq!(c(&full, 1, 0), c(&full, 0, 1));
         assert!(c(&timed, 1, 0) != c(&full, 1, 0) || c(&full, 0, 1) == 0.0);
+    }
+
+    fn slow_entry(k: u64) -> SlowRunPayload {
+        SlowRunPayload { kernel: k, us: k }
+    }
+
+    #[test]
+    fn slow_log_at_exact_capacity_is_unrotated_and_oldest_first() {
+        let mut log = SlowLog::new();
+        for k in 0..SLOW_LOG_CAPACITY as u64 {
+            log.record(slow_entry(k));
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), SLOW_LOG_CAPACITY);
+        assert_eq!(snap.first().unwrap().kernel, 0, "nothing rotated out yet");
+        assert_eq!(snap.last().unwrap().kernel, SLOW_LOG_CAPACITY as u64 - 1);
+    }
+
+    #[test]
+    fn slow_log_one_past_capacity_rotates_out_exactly_the_oldest() {
+        let mut log = SlowLog::new();
+        for k in 0..=SLOW_LOG_CAPACITY as u64 {
+            log.record(slow_entry(k));
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), SLOW_LOG_CAPACITY, "capacity is a hard bound");
+        assert_eq!(snap.first().unwrap().kernel, 1, "entry 0 rotated out");
+        assert_eq!(snap.last().unwrap().kernel, SLOW_LOG_CAPACITY as u64);
+        // Oldest-first across the wrap point.
+        for pair in snap.windows(2) {
+            assert!(pair[0].kernel < pair[1].kernel, "{snap:?}");
+        }
+    }
+
+    #[test]
+    fn slow_log_recorded_counter_saturates_instead_of_wrapping() {
+        let mut log = SlowLog::new();
+        for k in 0..SLOW_LOG_CAPACITY as u64 {
+            log.record(slow_entry(k));
+        }
+        log.recorded = u64::MAX;
+        log.record(slow_entry(99));
+        assert_eq!(log.recorded, u64::MAX, "the all-time count must saturate");
+        // Saturated counts still classify the ring as rotated.
+        assert_eq!(log.snapshot().len(), SLOW_LOG_CAPACITY);
+    }
+
+    #[test]
+    fn re_registration_staleness_regression() {
+        // The PR 7 bug: `Prepared` clones its inputs at prepare time, so
+        // a re-registered tensor was silently ignored by existing
+        // kernels. Now the kernel must fail loudly until re-prepared.
+        let engine = ssymv_engine();
+        let kernel = prepare(&engine);
+        let resp = engine.handle(&Request::Run { kernel, full: false });
+        assert!(matches!(resp, Response::Ran { .. }), "{resp:?}");
+
+        let resp = engine.handle(&Request::RegisterTensor {
+            name: "x".into(),
+            dims: vec![4],
+            payload: TensorPayload::Dense(vec![4.0, 3.0, 2.0, 1.0]),
+            format: StorageFormat::Auto,
+        });
+        let Response::Registered { generation, .. } = resp else { panic!("{resp:?}") };
+        assert_eq!(generation, 1, "re-registration advances the generation");
+
+        let resp = engine.handle(&Request::Run { kernel, full: false });
+        assert!(
+            matches!(resp, Response::Error { code: ErrorCode::StaleTensor, .. }),
+            "a run over a re-registered input must fail loudly: {resp:?}"
+        );
+
+        // Re-preparing mints a fresh handle pinned to the new data.
+        let fresh = prepare(&engine);
+        assert_ne!(fresh, kernel, "new generations must not dedup onto the stale handle");
+        let Response::Ran { outputs, .. } =
+            engine.handle(&Request::Run { kernel: fresh, full: false })
+        else {
+            panic!("fresh kernel must run")
+        };
+        // y = A x with x re-registered as [4, 3, 2, 1].
+        let expect = [2.0 * 3.0, 2.0 * 4.0 + 0.5 * 3.0, 1.5 * 1.0, 1.5 * 2.0];
+        for (got, want) in outputs[0].values.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-12, "{:?}", outputs[0].values);
+        }
+
+        let Response::Stats { serve, .. } = engine.handle(&Request::Stats) else {
+            panic!("stats failed")
+        };
+        assert_eq!(serve.stale_runs, 1);
+    }
+
+    #[test]
+    fn unregister_keeps_pinned_kernels_serving_and_is_idempotent() {
+        let engine = ssymv_engine();
+        let kernel = prepare(&engine);
+        let before = engine.handle(&Request::Run { kernel, full: false }).encode();
+
+        let resp = engine.handle(&Request::Unregister { name: "x".into() });
+        assert!(matches!(resp, Response::Unregistered { existed: true, .. }), "{resp:?}");
+        // The kernel holds its own snapshot: runs keep working,
+        // byte-identically — removal is not re-registration.
+        assert_eq!(engine.handle(&Request::Run { kernel, full: false }).encode(), before);
+
+        let resp = engine.handle(&Request::Unregister { name: "x".into() });
+        assert!(matches!(resp, Response::Unregistered { existed: false, .. }), "{resp:?}");
+
+        // A new (non-deduped) prepare binding x now fails: the data is
+        // gone for future kernels.
+        let resp = engine.handle(&Request::Prepare {
+            einsum: "for i, j: y[i] += A[i, j] * x[j]".into(),
+            sym: vec![],
+            inputs: vec![],
+            variant: Variant::Naive,
+            threads: Some(1),
+        });
+        assert!(matches!(resp, Response::Error { code: ErrorCode::UnknownTensor, .. }), "{resp:?}");
+
+        // Re-registering after unregister still advances the
+        // generation: the name cannot be reborn at a pinned generation.
+        let resp = engine.handle(&Request::RegisterTensor {
+            name: "x".into(),
+            dims: vec![4],
+            payload: TensorPayload::Dense(vec![1.0, 2.0, 3.0, 4.0]),
+            format: StorageFormat::Auto,
+        });
+        let Response::Registered { generation, .. } = resp else { panic!("{resp:?}") };
+        assert_eq!(generation, 1, "generations survive unregister (no ABA)");
+
+        let Response::Stats { requests, .. } = engine.handle(&Request::Stats) else {
+            panic!("stats failed")
+        };
+        assert_eq!(requests.unregister, 2);
+    }
+
+    #[test]
+    fn byte_cap_evicts_lru_unpinned_and_rejects_without_side_effects() {
+        let engine = Engine::new().with_max_registered_bytes(100);
+        // Each dense [4] vector is 32 estimated bytes.
+        for name in ["a", "b", "c"] {
+            register_dense(&engine, name, &[4], &[1.0, 2.0, 3.0, 4.0]);
+        }
+        // 96/100 held; a fourth 32-byte tensor evicts the LRU ("a").
+        register_dense(&engine, "d", &[4], &[1.0, 2.0, 3.0, 4.0]);
+        let Response::Stats { serve, .. } = engine.handle(&Request::Stats) else { panic!() };
+        assert_eq!(serve.registry_tensors, 3);
+        assert_eq!(serve.registry_bytes, 96);
+        assert_eq!(serve.registry_evictions, 1);
+        let resp = engine.handle(&Request::Prepare {
+            einsum: "for i: y[i] = a[i]".into(),
+            sym: vec![],
+            inputs: vec![],
+            variant: Variant::Naive,
+            threads: Some(1),
+        });
+        assert!(
+            matches!(resp, Response::Error { code: ErrorCode::UnknownTensor, .. }),
+            "the LRU tensor must be gone: {resp:?}"
+        );
+
+        // Pin "b" via a prepared kernel: eviction must now skip it.
+        let resp = engine.handle(&Request::Prepare {
+            einsum: "for i: y[i] = b[i]".into(),
+            sym: vec![],
+            inputs: vec![],
+            variant: Variant::Naive,
+            threads: Some(1),
+        });
+        let Response::Prepared { kernel, .. } = resp else { panic!("{resp:?}") };
+        // A 64-byte tensor forces out both unpinned entries ("c", "d")
+        // while pinned "b" survives.
+        register_dense(&engine, "e", &[8], &[1.0; 8]);
+        let Response::Stats { serve, .. } = engine.handle(&Request::Stats) else { panic!() };
+        assert_eq!(serve.registry_tensors, 2, "b (pinned) + e");
+        assert_eq!(serve.registry_bytes, 96);
+        assert_eq!(serve.registry_evictions, 3);
+        assert_eq!(serve.pinned, 1);
+        let resp = engine.handle(&Request::Run { kernel, full: false });
+        assert!(matches!(resp, Response::Ran { .. }), "the pinned kernel keeps serving: {resp:?}");
+
+        // A tensor that cannot fit even after evicting everything
+        // unpinned is refused — and refusal evicts nothing.
+        let resp = engine.handle(&Request::RegisterTensor {
+            name: "f".into(),
+            dims: vec![16],
+            payload: TensorPayload::Dense(vec![1.0; 16]),
+            format: StorageFormat::Auto,
+        });
+        assert!(
+            matches!(resp, Response::Error { code: ErrorCode::AdmissionRejected, .. }),
+            "{resp:?}"
+        );
+        let Response::Stats { serve, .. } = engine.handle(&Request::Stats) else { panic!() };
+        assert_eq!(serve.registry_tensors, 2, "a refused registration must not evict");
+        assert_eq!(serve.rejected_bytes, 1);
+        assert_eq!(serve.registry_evictions, 3);
+
+        // Re-registering the evicted "a" resumes its generation
+        // sequence: eviction does not reset history either.
+        let resp = engine.handle(&Request::RegisterTensor {
+            name: "a".into(),
+            dims: vec![4],
+            payload: TensorPayload::Dense(vec![9.0, 9.0, 9.0, 9.0]),
+            format: StorageFormat::Auto,
+        });
+        let Response::Registered { generation, .. } = resp else { panic!("{resp:?}") };
+        assert_eq!(generation, 1, "generations survive eviction");
     }
 }

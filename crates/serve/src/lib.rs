@@ -21,7 +21,7 @@
 //!
 //! ```text
 //! > {"op":"register_tensor","name":"A","dims":[4,4],"coo":[[0,1,2.0],[1,0,2.0]]}
-//! < {"ok":true,"reply":"registered","name":"A","nnz":2}
+//! < {"ok":true,"reply":"registered","name":"A","nnz":2,"generation":0}
 //! > {"op":"prepare","einsum":"for i, j: y[i] += A[i, j] * x[j]","sym":["A"]}
 //! < {"ok":true,"reply":"prepared","kernel":0,"splittable":true}
 //! > {"op":"run","kernel":0}
@@ -49,6 +49,7 @@ pub mod client;
 pub mod engine;
 pub mod json;
 pub mod protocol;
+pub mod scheduler;
 pub mod server;
 
 /// Recovers a mutex even when a panic elsewhere poisoned it: every
@@ -61,4 +62,4 @@ pub(crate) fn relock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T>
 
 pub use client::{Client, ClientError};
 pub use engine::{oracle_response, Engine, EngineError, RunLease};
-pub use server::{serve, RunningServer};
+pub use server::{serve, serve_with, RunningServer, ServerConfig};

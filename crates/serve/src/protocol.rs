@@ -9,10 +9,11 @@
 //!
 //! | verb | request fields | response fields |
 //! |---|---|---|
-//! | `register_tensor` | `name`, `dims`, `dense` *or* `coo` \[, `format`\] | `reply:"registered"`, `name`, `nnz` |
+//! | `register_tensor` | `name`, `dims`, `dense` *or* `coo` \[, `format`\] | `reply:"registered"`, `name`, `nnz`, `generation` |
+//! | `unregister` | `name` | `reply:"unregistered"`, `name`, `existed` |
 //! | `prepare` | `einsum` \[, `sym`, `inputs`, `variant`, `threads`\] | `reply:"prepared"`, `kernel`, `splittable` \[, `warning`\] |
 //! | `run` | `kernel` \[, `full`\] | `reply:"run"`, `outputs`, `counters` |
-//! | `stats` | — | `reply:"stats"`, `cache`, `requests`, `pool`, `kernels`, `slow` |
+//! | `stats` | — | `reply:"stats"`, `cache`, `requests`, `pool`, `serve`, `kernels`, `slow` |
 //! | `metrics` | — | `reply:"metrics"`, `text` (Prometheus exposition) |
 //! | `ping` | — | `reply:"pong"` |
 //! | `shutdown` | — | `reply:"shutting_down"` |
@@ -52,6 +53,19 @@ pub enum ErrorCode {
     InvalidKernel,
     /// Registered tensor data failed validation (dims, bounds, finiteness).
     BadTensor,
+    /// The request line exceeded the server's size cap. The connection
+    /// receives this reply and is then closed after the reply drains.
+    LineTooLong,
+    /// The request sat in the scheduler past the server's per-request
+    /// deadline and was answered without being executed.
+    DeadlineExceeded,
+    /// Admission control refused the work: the connection cap or the
+    /// registered-bytes cap was reached.
+    AdmissionRejected,
+    /// A tensor pinned by this prepared kernel was re-registered since
+    /// `prepare`; the kernel's snapshot is stale. Re-`prepare` to bind
+    /// the new generation.
+    StaleTensor,
     /// Anything else (executor failures after successful preparation —
     /// not expected in practice).
     Internal,
@@ -66,6 +80,10 @@ impl ErrorCode {
             ErrorCode::UnknownKernel => "unknown_kernel",
             ErrorCode::InvalidKernel => "invalid_kernel",
             ErrorCode::BadTensor => "bad_tensor",
+            ErrorCode::LineTooLong => "line_too_long",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::AdmissionRejected => "admission_rejected",
+            ErrorCode::StaleTensor => "stale_tensor",
             ErrorCode::Internal => "internal",
         }
     }
@@ -77,6 +95,10 @@ impl ErrorCode {
             "unknown_kernel" => ErrorCode::UnknownKernel,
             "invalid_kernel" => ErrorCode::InvalidKernel,
             "bad_tensor" => ErrorCode::BadTensor,
+            "line_too_long" => ErrorCode::LineTooLong,
+            "deadline_exceeded" => ErrorCode::DeadlineExceeded,
+            "admission_rejected" => ErrorCode::AdmissionRejected,
+            "stale_tensor" => ErrorCode::StaleTensor,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
@@ -190,6 +212,13 @@ pub enum Request {
         payload: TensorPayload,
         /// Storage selection.
         format: StorageFormat,
+    },
+    /// Remove a named tensor from the registry. Prepared kernels keep
+    /// their pinned snapshot and continue to serve; only future
+    /// `prepare`s stop resolving the name.
+    Unregister {
+        /// Registry name to remove.
+        name: String,
     },
     /// Compile (or fetch from the plan cache) a kernel and bind it to
     /// registered tensors; yields a kernel handle.
@@ -311,8 +340,39 @@ pub struct RequestCountsPayload {
     pub metrics: u64,
     /// `ping` requests handled.
     pub ping: u64,
+    /// `unregister` requests handled.
+    pub unregister: u64,
     /// Requests answered with an error (including parse failures).
     pub errors: u64,
+}
+
+/// Serving-engine statistics in a stats response: registry lifecycle,
+/// run-batch coalescing, and admission control.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct ServePayload {
+    /// Tensors currently registered.
+    pub registry_tensors: u64,
+    /// Estimated bytes currently held by the registry.
+    pub registry_bytes: u64,
+    /// Unpinned tensors evicted by the LRU policy (monotonic).
+    pub registry_evictions: u64,
+    /// Live (name, generation) pins held by prepared kernels.
+    pub pinned: u64,
+    /// Worker-pool dispatches issued by the run scheduler (each may
+    /// carry several coalesced runs).
+    pub batch_dispatches: u64,
+    /// Run requests served through batched dispatches.
+    pub batched_runs: u64,
+    /// Requests currently queued in the scheduler.
+    pub queued: u64,
+    /// Connections refused at accept (`max-conns`).
+    pub rejected_conns: u64,
+    /// Registrations refused by the bytes cap (`max-bytes`).
+    pub rejected_bytes: u64,
+    /// Requests answered with `deadline_exceeded` before execution.
+    pub deadline_exceeded: u64,
+    /// Runs refused with `stale_tensor` (pinned data re-registered).
+    pub stale_runs: u64,
 }
 
 /// Per-kernel statistics in a stats response.
@@ -338,6 +398,11 @@ pub struct KernelStatPayload {
 }
 
 /// A server response.
+///
+/// `Stats` is much larger than the hot variants (`Ran`, `Error`), but
+/// responses are built transiently — encoded to a line and dropped, one
+/// per request, never collected — so the size skew costs nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
     /// `register_tensor` succeeded.
@@ -346,6 +411,19 @@ pub enum Response {
         name: String,
         /// Stored nonzeros (dense: the element count).
         nnz: u64,
+        /// The name's registration generation (0 for a first
+        /// registration, +1 per re-registration — persists across
+        /// unregister, so a kernel pinned to an old generation can
+        /// always detect staleness).
+        generation: u64,
+    },
+    /// `unregister` succeeded.
+    Unregistered {
+        /// The removed name.
+        name: String,
+        /// Whether the name was registered (`false` is still success:
+        /// unregister is idempotent).
+        existed: bool,
     },
     /// `prepare` succeeded.
     Prepared {
@@ -372,6 +450,8 @@ pub enum Response {
         requests: RequestCountsPayload,
         /// Worker-pool statistics.
         pool: PoolPayload,
+        /// Serving-engine statistics (registry, batching, admission).
+        serve: ServePayload,
         /// Per-kernel statistics, sorted by handle.
         kernels: Vec<KernelStatPayload>,
         /// Most recent over-threshold runs, oldest first.
@@ -479,6 +559,10 @@ impl Request {
                 }
                 Json::obj(pairs)
             }
+            Request::Unregister { name } => Json::obj([
+                ("op", Json::Str("unregister".into())),
+                ("name", Json::Str(name.clone())),
+            ]),
             Request::Prepare { einsum, sym, inputs, variant, threads } => {
                 let mut pairs = vec![
                     ("op", Json::Str("prepare".into())),
@@ -586,6 +670,7 @@ impl Request {
                 };
                 Ok(Request::RegisterTensor { name, dims, payload, format })
             }
+            "unregister" => Ok(Request::Unregister { name: require_str(&json, "name")? }),
             "prepare" => {
                 let einsum = require_str(&json, "einsum")?;
                 let sym = match json.get("sym") {
@@ -700,11 +785,18 @@ impl Response {
     /// encode byte-identically.
     pub fn encode(&self) -> String {
         let json = match self {
-            Response::Registered { name, nnz } => Json::obj([
+            Response::Registered { name, nnz, generation } => Json::obj([
                 ("ok", Json::Bool(true)),
                 ("reply", Json::Str("registered".into())),
                 ("name", Json::Str(name.clone())),
                 ("nnz", Json::num_u64(*nnz)),
+                ("generation", Json::num_u64(*generation)),
+            ]),
+            Response::Unregistered { name, existed } => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("reply", Json::Str("unregistered".into())),
+                ("name", Json::Str(name.clone())),
+                ("existed", Json::Bool(*existed)),
             ]),
             Response::Prepared { kernel, splittable, warning } => {
                 let mut pairs = vec![
@@ -763,7 +855,7 @@ impl Response {
                     ]),
                 ),
             ]),
-            Response::Stats { cache, requests, pool, kernels, slow } => Json::obj([
+            Response::Stats { cache, requests, pool, serve, kernels, slow } => Json::obj([
                 ("ok", Json::Bool(true)),
                 ("reply", Json::Str("stats".into())),
                 (
@@ -786,6 +878,7 @@ impl Response {
                         ("stats", Json::num_u64(requests.stats)),
                         ("metrics", Json::num_u64(requests.metrics)),
                         ("ping", Json::num_u64(requests.ping)),
+                        ("unregister", Json::num_u64(requests.unregister)),
                         ("errors", Json::num_u64(requests.errors)),
                     ]),
                 ),
@@ -798,6 +891,22 @@ impl Response {
                         ("helped", Json::num_u64(pool.helped)),
                         ("parks", Json::num_u64(pool.parks)),
                         ("wakeups", Json::num_u64(pool.wakeups)),
+                    ]),
+                ),
+                (
+                    "serve",
+                    Json::obj([
+                        ("registry_tensors", Json::num_u64(serve.registry_tensors)),
+                        ("registry_bytes", Json::num_u64(serve.registry_bytes)),
+                        ("registry_evictions", Json::num_u64(serve.registry_evictions)),
+                        ("pinned", Json::num_u64(serve.pinned)),
+                        ("batch_dispatches", Json::num_u64(serve.batch_dispatches)),
+                        ("batched_runs", Json::num_u64(serve.batched_runs)),
+                        ("queued", Json::num_u64(serve.queued)),
+                        ("rejected_conns", Json::num_u64(serve.rejected_conns)),
+                        ("rejected_bytes", Json::num_u64(serve.rejected_bytes)),
+                        ("deadline_exceeded", Json::num_u64(serve.deadline_exceeded)),
+                        ("stale_runs", Json::num_u64(serve.stale_runs)),
                     ]),
                 ),
                 (
@@ -895,6 +1004,16 @@ impl Response {
                     .get("nnz")
                     .and_then(Json::as_u64)
                     .ok_or_else(|| ProtoError::new("registered reply needs integer `nnz`"))?,
+                generation: json.get("generation").and_then(Json::as_u64).ok_or_else(|| {
+                    ProtoError::new("registered reply needs integer `generation`")
+                })?,
+            }),
+            "unregistered" => Ok(Response::Unregistered {
+                name: require_str(&json, "name")?,
+                existed: json
+                    .get("existed")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| ProtoError::new("unregistered reply needs boolean `existed`"))?,
             }),
             "prepared" => Ok(Response::Prepared {
                 kernel: json
@@ -995,6 +1114,7 @@ impl Response {
                     stats: r("stats")?,
                     metrics: r("metrics")?,
                     ping: r("ping")?,
+                    unregister: r("unregister")?,
                     errors: r("errors")?,
                 };
                 let pool_json =
@@ -1012,6 +1132,28 @@ impl Response {
                     helped: p("helped")?,
                     parks: p("parks")?,
                     wakeups: p("wakeups")?,
+                };
+                let serve_json = json
+                    .get("serve")
+                    .ok_or_else(|| ProtoError::new("stats reply needs `serve`"))?;
+                let sv = |field: &str| {
+                    serve_json
+                        .get(field)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ProtoError::new(format!("serve needs integer `{field}`")))
+                };
+                let serve = ServePayload {
+                    registry_tensors: sv("registry_tensors")?,
+                    registry_bytes: sv("registry_bytes")?,
+                    registry_evictions: sv("registry_evictions")?,
+                    pinned: sv("pinned")?,
+                    batch_dispatches: sv("batch_dispatches")?,
+                    batched_runs: sv("batched_runs")?,
+                    queued: sv("queued")?,
+                    rejected_conns: sv("rejected_conns")?,
+                    rejected_bytes: sv("rejected_bytes")?,
+                    deadline_exceeded: sv("deadline_exceeded")?,
+                    stale_runs: sv("stale_runs")?,
                 };
                 let kernels = json
                     .get("kernels")
@@ -1054,7 +1196,7 @@ impl Response {
                         Ok(SlowRunPayload { kernel: f("kernel")?, us: f("us")? })
                     })
                     .collect::<Result<Vec<SlowRunPayload>, ProtoError>>()?;
-                Ok(Response::Stats { cache, requests, pool, kernels, slow })
+                Ok(Response::Stats { cache, requests, pool, serve, kernels, slow })
             }
             "metrics" => Ok(Response::Metrics { text: require_str(&json, "text")? }),
             "pong" => Ok(Response::Pong),
@@ -1106,6 +1248,8 @@ mod tests {
                 // inherits the server default).
                 threads: Some(1),
             },
+            Request::Unregister { name: "big_matrix".into() },
+            Request::Unregister { name: "weird \"name\"\n".into() },
             Request::Run { kernel: 3, full: true },
             Request::Run { kernel: 0, full: false },
             Request::Stats,
@@ -1123,7 +1267,10 @@ mod tests {
     #[test]
     fn response_encodings_roundtrip() {
         let resps = [
-            Response::Registered { name: "A".into(), nnz: 12 },
+            Response::Registered { name: "A".into(), nnz: 12, generation: 0 },
+            Response::Registered { name: "A".into(), nnz: 9, generation: 3 },
+            Response::Unregistered { name: "A".into(), existed: true },
+            Response::Unregistered { name: "gone".into(), existed: false },
             Response::Prepared { kernel: 7, splittable: true, warning: None },
             Response::Prepared {
                 kernel: 0,
@@ -1162,6 +1309,7 @@ mod tests {
                     stats: 1,
                     metrics: 2,
                     ping: 0,
+                    unregister: 1,
                     errors: 3,
                 },
                 pool: PoolPayload {
@@ -1171,6 +1319,19 @@ mod tests {
                     helped: 8,
                     parks: 17,
                     wakeups: 17,
+                },
+                serve: ServePayload {
+                    registry_tensors: 2,
+                    registry_bytes: 4096,
+                    registry_evictions: 1,
+                    pinned: 3,
+                    batch_dispatches: 12,
+                    batched_runs: 30,
+                    queued: 0,
+                    rejected_conns: 2,
+                    rejected_bytes: 1,
+                    deadline_exceeded: 4,
+                    stale_runs: 1,
                 },
                 kernels: vec![
                     KernelStatPayload {
@@ -1257,6 +1418,8 @@ mod tests {
             r#"{"op":"register_tensor","name":"A","dims":[2],"dense":[1],"coo":[]}"#,
             r#"{"op":"register_tensor","name":"A","dims":[2,2],"coo":[[0,1]]}"#,
             r#"{"op":"register_tensor","name":"A","dims":[2],"dense":["x"]}"#,
+            r#"{"op":"unregister"}"#,
+            r#"{"op":"unregister","name":7}"#,
             r#"{"op":"prepare"}"#,
             r#"{"op":"prepare","einsum":"e","sym":"A"}"#,
             r#"{"op":"prepare","einsum":"e","variant":"fast"}"#,
@@ -1274,6 +1437,10 @@ mod tests {
             ErrorCode::UnknownKernel,
             ErrorCode::InvalidKernel,
             ErrorCode::BadTensor,
+            ErrorCode::LineTooLong,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::AdmissionRejected,
+            ErrorCode::StaleTensor,
             ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::from_str(code.as_str()), Some(code));

@@ -1,0 +1,417 @@
+//! The request scheduler: a small executor pool that **coalesces
+//! concurrent `run` requests for the same prepared kernel** into one
+//! engine dispatch.
+//!
+//! The transport ([`crate::server`]) never blocks on the engine: it
+//! submits decoded requests here tagged with a connection id and gets
+//! the encoded response line back through a completion callback. Run
+//! requests are keyed by `(kernel, full)`; when an executor picks a key
+//! it drains up to `max_batch` queued requests and serves them with a
+//! **single** [`Engine::run_batch`] execution — one pool dispatch, one
+//! wakeup round, one response encoding — then replicates the shared
+//! line to every requester. Responses stay byte-deterministic because
+//! identical runs of a prepared kernel are byte-deterministic (PR 2),
+//! so serving N requests one execution is indistinguishable on the
+//! wire from serving them N executions.
+//!
+//! Deadlines are enforced at dequeue: a request that waited longer than
+//! the configured per-request deadline is answered with a structured
+//! `deadline_exceeded` error instead of being dispatched. With no
+//! deadline configured nothing ever expires.
+
+use std::collections::{HashMap, VecDeque};
+#[cfg(test)]
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::engine::Engine;
+use crate::protocol::{ErrorCode, Request, Response};
+use crate::relock;
+
+/// Called with `(connection id, encoded response line)` when a
+/// submitted request completes. The line has no trailing newline; the
+/// transport appends it on write. Batched requests share one `Arc`.
+pub type Completion = Arc<dyn Fn(u64, Arc<String>) + Send + Sync>;
+
+/// One queued request.
+struct Task {
+    conn: u64,
+    request: Request,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct SchedState {
+    /// Non-run requests, strictly FIFO.
+    general: VecDeque<Task>,
+    /// Run requests bucketed by `(kernel, full)` — the coalescing key.
+    run_queues: HashMap<(u64, bool), VecDeque<Task>>,
+    /// Round-robin order over the non-empty run buckets, so one hot
+    /// kernel cannot starve another.
+    run_order: VecDeque<(u64, bool)>,
+    /// Total queued tasks (mirrors the `queue_depth` gauge).
+    depth: usize,
+    /// While `true`, executors leave the queues alone (tests use this
+    /// to build a deterministic batch before releasing it).
+    paused: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    state: Mutex<SchedState>,
+    work: Condvar,
+    max_batch: usize,
+    deadline: Option<Duration>,
+    complete: Completion,
+}
+
+/// What an executor pulled out of the queues in one lock acquisition.
+enum Work {
+    One(Task),
+    Batch((u64, bool), Vec<Task>),
+}
+
+/// The coalescing request scheduler. Owns its executor threads; they
+/// drain outstanding work and exit on [`Scheduler::shutdown`] (or
+/// drop).
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Starts `executors` executor threads over `engine`. Run requests
+    /// for the same `(kernel, full)` key coalesce up to `max_batch` per
+    /// dispatch; `deadline`, when set, bounds how long any request may
+    /// wait in queue before it is refused.
+    pub fn new(
+        engine: Arc<Engine>,
+        executors: usize,
+        max_batch: usize,
+        deadline: Option<Duration>,
+        complete: Completion,
+    ) -> Scheduler {
+        let shared = Arc::new(Shared {
+            engine,
+            state: Mutex::new(SchedState::default()),
+            work: Condvar::new(),
+            max_batch: max_batch.max(1),
+            deadline,
+            complete,
+        });
+        let executors = (0..executors.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("systec-serve-exec-{i}"))
+                    .spawn(move || executor(&shared))
+                    .expect("spawn scheduler executor")
+            })
+            .collect();
+        Scheduler { shared, executors }
+    }
+
+    /// Enqueues one decoded request from connection `conn`. The
+    /// response arrives through the completion callback, possibly on
+    /// another thread, possibly before this returns.
+    pub fn submit(&self, conn: u64, request: Request) {
+        let mut st = relock(&self.shared.state);
+        let task = Task { conn, request, enqueued: Instant::now() };
+        match task.request {
+            Request::Run { kernel, full } => {
+                let key = (kernel, full);
+                if st.run_queues.entry(key).or_default().is_empty() {
+                    st.run_order.push_back(key);
+                }
+                st.run_queues.get_mut(&key).expect("just inserted").push_back(task);
+            }
+            _ => st.general.push_back(task),
+        }
+        st.depth += 1;
+        self.shared.engine.serve_metrics().queue_depth.set(st.depth as u64);
+        drop(st);
+        self.shared.work.notify_one();
+    }
+
+    /// Stops executors from dequeuing, letting submissions pile up into
+    /// deterministic batches (test hook; admission keeps running).
+    pub fn pause(&self) {
+        relock(&self.shared.state).paused = true;
+    }
+
+    /// Releases a [`Scheduler::pause`].
+    pub fn resume(&self) {
+        relock(&self.shared.state).paused = false;
+        self.shared.work.notify_all();
+    }
+
+    /// Drains outstanding work, stops the executors, and joins them.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for handle in self.executors.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        let mut st = relock(&self.shared.state);
+        st.shutdown = true;
+        // Shutdown overrides pause: a paused scheduler must still
+        // drain and exit rather than hang its joiner.
+        st.paused = false;
+        drop(st);
+        self.shared.work.notify_all();
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.executors.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn executor(shared: &Shared) {
+    loop {
+        let mut st = relock(&shared.state);
+        let work = loop {
+            if !st.paused {
+                if let Some(task) = st.general.pop_front() {
+                    st.depth -= 1;
+                    shared.engine.serve_metrics().queue_depth.set(st.depth as u64);
+                    break Work::One(task);
+                }
+                if let Some(key) = st.run_order.pop_front() {
+                    let queue = st.run_queues.get_mut(&key).expect("ordered key has a queue");
+                    let take = queue.len().min(shared.max_batch);
+                    let batch: Vec<Task> = queue.drain(..take).collect();
+                    if queue.is_empty() {
+                        st.run_queues.remove(&key);
+                    } else {
+                        // Leftovers keep their place in the rotation.
+                        st.run_order.push_back(key);
+                    }
+                    st.depth -= batch.len();
+                    shared.engine.serve_metrics().queue_depth.set(st.depth as u64);
+                    break Work::Batch(key, batch);
+                }
+            }
+            if st.shutdown {
+                return;
+            }
+            st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+        };
+        drop(st);
+        match work {
+            Work::One(task) => {
+                let line = if expired(shared, &task) {
+                    deadline_reply(shared, &task)
+                } else {
+                    Arc::new(shared.engine.handle(&task.request).encode())
+                };
+                (shared.complete)(task.conn, line);
+            }
+            Work::Batch((kernel, full), batch) => {
+                let mut live = Vec::with_capacity(batch.len());
+                for task in batch {
+                    if expired(shared, &task) {
+                        let line = deadline_reply(shared, &task);
+                        (shared.complete)(task.conn, line);
+                    } else {
+                        live.push(task);
+                    }
+                }
+                if live.is_empty() {
+                    continue;
+                }
+                let n = live.len() as u64;
+                let m = shared.engine.serve_metrics();
+                m.batch_dispatches.inc_always();
+                m.batched_runs.add_always(n);
+                m.batch_size.record(n);
+                let line = Arc::new(shared.engine.run_batch(kernel, full, n).encode());
+                for task in live {
+                    (shared.complete)(task.conn, Arc::clone(&line));
+                }
+            }
+        }
+    }
+}
+
+fn expired(shared: &Shared, task: &Task) -> bool {
+    shared.deadline.is_some_and(|limit| task.enqueued.elapsed() >= limit)
+}
+
+fn deadline_reply(shared: &Shared, task: &Task) -> Arc<String> {
+    let limit = shared.deadline.expect("only expired tasks get here");
+    shared.engine.count_error();
+    shared.engine.serve_metrics().deadline_exceeded.inc_always();
+    Arc::new(
+        Response::error(
+            ErrorCode::DeadlineExceeded,
+            format!(
+                "request waited {}ms in queue, over the {}ms deadline",
+                task.enqueued.elapsed().as_millis(),
+                limit.as_millis()
+            ),
+        )
+        .encode(),
+    )
+}
+
+/// A completion sink for tests: collects `(conn, line)` pairs and
+/// counts them, so callers can wait for a known number of completions
+/// without sleeping blind.
+#[cfg(test)]
+pub(crate) struct CompletionLog {
+    entries: Mutex<Vec<(u64, Arc<String>)>>,
+    count: AtomicU64,
+}
+
+#[cfg(test)]
+impl CompletionLog {
+    pub(crate) fn new() -> Arc<CompletionLog> {
+        Arc::new(CompletionLog { entries: Mutex::new(Vec::new()), count: AtomicU64::new(0) })
+    }
+
+    pub(crate) fn sink(self: &Arc<Self>) -> Completion {
+        let log = Arc::clone(self);
+        Arc::new(move |conn, line| {
+            relock(&log.entries).push((conn, line));
+            log.count.fetch_add(1, Ordering::Release);
+        })
+    }
+
+    /// Blocks (politely) until `n` completions arrived or ~5s passed.
+    pub(crate) fn wait_for(&self, n: u64) -> Vec<(u64, Arc<String>)> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.count.load(Ordering::Acquire) < n && Instant::now() < deadline {
+            std::thread::yield_now();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        relock(&self.entries).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{StorageFormat, TensorPayload, Variant};
+
+    fn warmed_engine() -> (Arc<Engine>, u64) {
+        let engine = Arc::new(Engine::new());
+        let resp = engine.handle(&Request::RegisterTensor {
+            name: "A".into(),
+            dims: vec![4, 4],
+            payload: TensorPayload::Coo(vec![
+                (vec![0, 1], 2.0),
+                (vec![1, 0], 2.0),
+                (vec![2, 3], 1.5),
+                (vec![3, 2], 1.5),
+            ]),
+            format: StorageFormat::Auto,
+        });
+        assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+        let resp = engine.handle(&Request::RegisterTensor {
+            name: "x".into(),
+            dims: vec![4],
+            payload: TensorPayload::Dense(vec![1.0, 2.0, 3.0, 4.0]),
+            format: StorageFormat::Auto,
+        });
+        assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+        let resp = engine.handle(&Request::Prepare {
+            einsum: "for i, j: y[i] += A[i, j] * x[j]".into(),
+            sym: vec!["A".into()],
+            inputs: vec![],
+            variant: Variant::Systec,
+            threads: Some(1),
+        });
+        let Response::Prepared { kernel, .. } = resp else { panic!("{resp:?}") };
+        (engine, kernel)
+    }
+
+    #[test]
+    fn paused_submissions_coalesce_into_one_byte_identical_dispatch() {
+        let (engine, kernel) = warmed_engine();
+        let oracle = engine.handle(&Request::Run { kernel, full: false }).encode();
+        let dispatches_before = engine.serve_metrics().batch_dispatches.get();
+
+        let log = CompletionLog::new();
+        let scheduler = Scheduler::new(Arc::clone(&engine), 1, 32, None, log.sink());
+        scheduler.pause();
+        for conn in 0..5 {
+            scheduler.submit(conn, Request::Run { kernel, full: false });
+        }
+        assert_eq!(engine.serve_metrics().queue_depth.get(), 5);
+        scheduler.resume();
+        let completions = log.wait_for(5);
+        assert_eq!(completions.len(), 5, "every requester must be answered");
+        for (_, line) in &completions {
+            assert_eq!(**line, oracle, "coalesced responses must match the serial oracle");
+        }
+        let m = engine.serve_metrics();
+        assert_eq!(m.batch_dispatches.get() - dispatches_before, 1, "5 runs, one dispatch");
+        assert_eq!(m.batched_runs.get(), 5);
+        assert_eq!(m.queue_depth.get(), 0, "queue drained");
+        scheduler.shutdown();
+        // Request accounting is indistinguishable from serial serving:
+        // the oracle run plus the 5 coalesced ones.
+        let Response::Stats { requests, .. } = engine.handle(&Request::Stats) else { panic!() };
+        assert_eq!(requests.run, 6);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce_together() {
+        let (engine, kernel) = warmed_engine();
+        let log = CompletionLog::new();
+        let scheduler = Scheduler::new(Arc::clone(&engine), 1, 32, None, log.sink());
+        scheduler.pause();
+        // Same kernel, but `full` differs: two keys, two dispatches.
+        scheduler.submit(0, Request::Run { kernel, full: false });
+        scheduler.submit(1, Request::Run { kernel, full: true });
+        scheduler.submit(2, Request::Run { kernel, full: false });
+        // A general request rides alongside without joining any batch.
+        scheduler.submit(3, Request::Ping);
+        scheduler.resume();
+        let completions = log.wait_for(4);
+        assert_eq!(completions.len(), 4);
+        let pong = completions.iter().find(|(conn, _)| *conn == 3).expect("ping answered");
+        assert_eq!(Response::decode(&pong.1).unwrap(), Response::Pong);
+        let m = engine.serve_metrics();
+        assert_eq!(m.batch_dispatches.get(), 2, "one per (kernel, full) key");
+        assert_eq!(m.batched_runs.get(), 3);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_refuses_every_queued_run_structurally() {
+        let (engine, kernel) = warmed_engine();
+        let log = CompletionLog::new();
+        let scheduler =
+            Scheduler::new(Arc::clone(&engine), 1, 32, Some(Duration::ZERO), log.sink());
+        for conn in 0..3 {
+            scheduler.submit(conn, Request::Run { kernel, full: false });
+        }
+        let completions = log.wait_for(3);
+        assert_eq!(completions.len(), 3);
+        for (_, line) in &completions {
+            let resp = Response::decode(line).unwrap();
+            assert!(
+                matches!(resp, Response::Error { code: ErrorCode::DeadlineExceeded, .. }),
+                "{resp:?}"
+            );
+        }
+        let m = engine.serve_metrics();
+        assert_eq!(m.deadline_exceeded.get(), 3);
+        assert_eq!(m.batch_dispatches.get(), 0, "nothing was dispatched");
+        scheduler.shutdown();
+        let Response::Stats { requests, .. } = engine.handle(&Request::Stats) else { panic!() };
+        assert_eq!(requests.errors, 3, "deadline refusals count as errors");
+        assert_eq!(requests.run, 0, "refused runs never reached the engine");
+    }
+}

@@ -1,281 +1,524 @@
-//! The TCP transport: a long-lived listener speaking the line protocol.
+//! The TCP transport: a nonblocking event loop speaking the line
+//! protocol.
 //!
-//! One handler thread per connection (requests on a connection are
-//! processed in order; connections are independent), all sharing one
-//! [`Engine`]. A request that fails to parse gets an error response and
-//! the connection **stays open** — fault isolation between connections
-//! is a test tier (`tests/fault_isolation.rs`).
+//! One loop thread owns the listener and every connection (std sockets
+//! in nonblocking mode, parked on the vendored [`polling`] shim), and a
+//! small executor pool ([`crate::scheduler`]) runs the engine work. The
+//! loop reads request lines, submits them to the scheduler tagged with
+//! a connection id, and writes completed response lines back; at most
+//! **one request per connection is in flight at a time**, so responses
+//! on a connection always come back in request order, while `run`
+//! requests from *different* connections hitting the same prepared
+//! kernel coalesce into one engine dispatch.
+//!
+//! ## Admission control
+//!
+//! First-class engine-side backpressure, all structurally reported:
+//!
+//! * `max_conns` — a connection over the cap receives one
+//!   `admission_rejected` error line and is closed;
+//! * `max_registered_bytes` (an [`Engine`] builder) — an over-cap
+//!   `register_tensor` is refused with `admission_rejected` after LRU
+//!   eviction of unpinned tensors fails to make room;
+//! * `deadline` — a request that waits in queue past the per-request
+//!   deadline is answered `deadline_exceeded` instead of dispatched;
+//! * an over-long request line gets a `line_too_long` error reply which
+//!   is fully flushed before the connection closes — never a silent
+//!   mid-stream drop (its framing is lost, so it cannot resynchronize).
+//!
+//! A request that fails to parse gets an error response and the
+//! connection **stays open** — fault isolation between connections is a
+//! test tier (`tests/fault_isolation.rs`).
 //!
 //! ## Shutdown
 //!
-//! A `shutdown` request (or [`RunningServer::shutdown`]) flips the flag,
-//! wakes the accept loop with a loopback connection, and shuts down
-//! every live client socket, which unblocks the handler threads;
-//! [`RunningServer::wait`]/[`RunningServer::join`] then join every
-//! thread — no worker leaks (asserted by the fault tier via
-//! [`RunningServer::active_connections`]).
+//! A `shutdown` request queues its acknowledgement, and the loop exits
+//! once that line is flushed, severing the remaining connections;
+//! [`RunningServer::shutdown`] exits the loop directly. Either way
+//! [`RunningServer::wait`]/[`RunningServer::join`] join the loop thread
+//! and the scheduler executors — no thread leaks (asserted by the
+//! fault tier via [`RunningServer::active_connections`]).
 
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::engine::Engine;
 use crate::protocol::{ErrorCode, Request, Response};
 use crate::relock;
+use crate::scheduler::Scheduler;
 
 /// Upper bound on one request line. Large enough for a multi-megabyte
 /// tensor registration, small enough that a client streaming bytes
 /// without a newline cannot grow server memory without bound — past
-/// the cap the connection gets an error response and is closed (its
-/// request framing is lost, so resynchronization is impossible).
+/// the cap the connection gets a structured `line_too_long` error
+/// response, which is drained to the socket before the connection is
+/// closed (its request framing is lost, so resynchronization is
+/// impossible).
 pub const MAX_REQUEST_LINE: usize = 64 * 1024 * 1024;
+
+/// Shortest idle park between event-loop sweeps; doubles per idle
+/// sweep up to [`PARK_MAX`], and any progress (or a scheduler
+/// completion's wakeup) resets it.
+const PARK_MIN: Duration = Duration::from_micros(50);
+/// Longest idle park — bounds worst-case latency for newly arrived
+/// bytes, since the poll shim cannot observe socket readiness itself.
+const PARK_MAX: Duration = Duration::from_millis(2);
+
+/// Transport tuning for [`serve_with`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Admission cap on concurrently served connections; a connection
+    /// over the cap is refused with one `admission_rejected` line.
+    /// `None` (the default) accepts without bound.
+    pub max_conns: Option<usize>,
+    /// Most `run` requests coalesced into one engine dispatch.
+    pub max_batch: usize,
+    /// Scheduler executor threads.
+    pub executors: usize,
+    /// Per-request queueing deadline; a request waiting longer is
+    /// answered `deadline_exceeded` instead of dispatched. `None` (the
+    /// default) never expires requests.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { max_conns: None, max_batch: 32, executors: 2, deadline: None }
+    }
+}
 
 struct Shared {
     engine: Arc<Engine>,
     addr: SocketAddr,
+    /// Programmatic shutdown flag ([`RunningServer::shutdown`]).
     shutdown: AtomicBool,
-    /// Live client sockets by connection id, shut down to unblock their
-    /// handlers when the server stops.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    next_conn: AtomicU64,
+    /// Connections currently owned by the event loop.
     active: AtomicUsize,
-    handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// Parks the event loop between sweeps; completions and shutdown
+    /// notify it.
+    poller: polling::Poller,
+    /// Completed `(conn, line)` pairs from the scheduler executors,
+    /// drained by the loop each sweep.
+    completions: Mutex<Vec<(u64, Arc<String>)>>,
 }
 
-impl Shared {
-    fn trigger_shutdown(&self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return; // already shutting down
-        }
-        // Wake the accept loop; it re-checks the flag per connection.
-        let _ = TcpStream::connect(self.addr);
-        // Unblock every handler parked in a read. Connections racing
-        // with this sweep re-check the flag after registering
-        // themselves (see `accept_loop`), so none slips through.
-        let conns = relock(&self.conns);
-        for stream in conns.values() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-    }
-}
-
-/// A serving instance bound to an address, accepting in a background
-/// thread. Dropping without [`RunningServer::join`] leaves the threads
-/// running (they exit on shutdown); tests should `join`.
+/// A serving instance bound to an address, running its event loop in a
+/// background thread. Dropping without [`RunningServer::join`] leaves
+/// the threads running (they exit on shutdown); tests should `join`.
 pub struct RunningServer {
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
 }
 
-/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
-/// accepting connections against `engine`.
+/// Binds `addr` with default [`ServerConfig`] — see [`serve_with`].
 ///
 /// # Errors
 ///
 /// Propagates socket errors from binding.
 pub fn serve(addr: impl ToSocketAddrs, engine: Engine) -> std::io::Result<RunningServer> {
+    serve_with(addr, engine, ServerConfig::default())
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+/// the event loop and scheduler against `engine`.
+///
+/// # Errors
+///
+/// Propagates socket errors from binding.
+pub fn serve_with(
+    addr: impl ToSocketAddrs,
+    engine: Engine,
+    config: ServerConfig,
+) -> std::io::Result<RunningServer> {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         engine: Arc::new(engine),
         addr,
         shutdown: AtomicBool::new(false),
-        conns: Mutex::new(HashMap::new()),
-        next_conn: AtomicU64::new(0),
         active: AtomicUsize::new(0),
-        handlers: Mutex::new(Vec::new()),
+        poller: polling::Poller::new(),
+        completions: Mutex::new(Vec::new()),
     });
-    let accept_shared = Arc::clone(&shared);
-    let accept = std::thread::Builder::new()
-        .name("systec-serve-accept".into())
-        .spawn(move || accept_loop(&listener, &accept_shared))?;
-    Ok(RunningServer { shared, accept: Some(accept) })
+    let sink_shared = Arc::clone(&shared);
+    let scheduler = Scheduler::new(
+        Arc::clone(&shared.engine),
+        config.executors,
+        config.max_batch,
+        config.deadline,
+        Arc::new(move |conn, line| {
+            relock(&sink_shared.completions).push((conn, line));
+            sink_shared.poller.notify();
+        }),
+    );
+    let loop_shared = Arc::clone(&shared);
+    let event_loop = std::thread::Builder::new()
+        .name("systec-serve-loop".into())
+        .spawn(move || event_loop(&listener, &loop_shared, &config, &scheduler))?;
+    Ok(RunningServer { shared, event_loop: Some(event_loop) })
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                // Persistent accept errors (fd exhaustion) must not
-                // busy-spin a core; back off briefly and retry.
-                std::thread::sleep(std::time::Duration::from_millis(10));
-                continue;
-            }
-        };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return; // the wake-up connection, or a late client
-        }
-        // A tracked clone is mandatory: it is what trigger_shutdown
-        // severs to unblock the handler, so an untrackable connection
-        // is dropped rather than served unstoppably.
-        let Ok(tracked) = stream.try_clone() else {
-            continue;
-        };
-        let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-        relock(&shared.conns).insert(id, tracked);
-        // Re-check AFTER registering: a shutdown between the flag check
-        // above and the insert has already swept `conns` without seeing
-        // this connection, so sever it ourselves instead of leaving a
-        // handler parked in a read forever (wait() would never join it).
-        if shared.shutdown.load(Ordering::SeqCst) {
-            let _ = stream.shutdown(Shutdown::Both);
-            relock(&shared.conns).remove(&id);
-            return;
-        }
-        shared.active.fetch_add(1, Ordering::SeqCst);
-        let conn_shared = Arc::clone(shared);
-        let spawned =
-            std::thread::Builder::new().name(format!("systec-serve-conn-{id}")).spawn(move || {
-                handle_connection(stream, id, &conn_shared);
-                relock(&conn_shared.conns).remove(&id);
-                conn_shared.active.fetch_sub(1, Ordering::SeqCst);
-            });
-        match spawned {
-            Ok(handle) => {
-                let mut handlers = relock(&shared.handlers);
-                // Reap finished handlers so a long-lived server does not
-                // accumulate joinable thread handles forever.
-                let mut k = 0;
-                while k < handlers.len() {
-                    if handlers[k].is_finished() {
-                        let _ = handlers.swap_remove(k).join();
-                    } else {
-                        k += 1;
-                    }
-                }
-                handlers.push(handle);
-            }
-            Err(_) => {
-                shared.active.fetch_sub(1, Ordering::SeqCst);
-                relock(&shared.conns).remove(&id);
-            }
-        }
-    }
-}
-
-/// Outcome of reading one request line with a size cap.
-enum LineRead {
-    /// A complete line (terminator stripped is up to the caller).
-    Line,
-    /// EOF / disconnect / severed socket.
-    Closed,
-    /// The line exceeded [`MAX_REQUEST_LINE`] before a newline arrived.
+/// One complete input unit extracted from a connection's byte stream.
+enum InEvent {
+    /// A newline-terminated (or EOF-terminated) request line.
+    Line(String),
+    /// The stream exceeded [`MAX_REQUEST_LINE`] without a newline.
     TooLong,
 }
 
-/// Like `read_line`, but gives up once the line exceeds the cap —
-/// otherwise one client streaming newline-free bytes would grow server
-/// memory without bound.
-fn read_bounded_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> LineRead {
-    line.clear();
-    let mut buf = Vec::new();
-    loop {
-        let chunk = match reader.fill_buf() {
-            Ok([]) => {
-                return if buf.is_empty() { LineRead::Closed } else { finish(buf, line) };
-            }
-            Ok(chunk) => chunk,
-            Err(_) => return LineRead::Closed,
-        };
-        match chunk.iter().position(|&b| b == b'\n') {
-            Some(nl) => {
-                let take = nl + 1;
-                if buf.len() + take > MAX_REQUEST_LINE {
-                    reader.consume(take);
-                    return LineRead::TooLong;
-                }
-                buf.extend_from_slice(&chunk[..take]);
-                reader.consume(take);
-                return finish(buf, line);
-            }
-            None => {
-                let take = chunk.len();
-                if buf.len() + take > MAX_REQUEST_LINE {
-                    reader.consume(take);
-                    return LineRead::TooLong;
-                }
-                buf.extend_from_slice(chunk);
-                reader.consume(take);
-            }
-        }
-    }
+/// A queued outgoing line; the terminating newline is written when
+/// `written` passes the line length.
+struct OutMsg {
+    line: Arc<String>,
+    written: usize,
 }
 
-fn finish(buf: Vec<u8>, line: &mut String) -> LineRead {
-    match String::from_utf8(buf) {
-        Ok(s) => {
-            *line = s;
-            LineRead::Line
-        }
-        // Non-UTF-8 bytes become a line that fails request parsing (a
-        // structured error, not a dropped connection).
-        Err(e) => {
-            *line = String::from_utf8_lossy(e.as_bytes()).into_owned();
-            LineRead::Line
-        }
-    }
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet split into lines.
+    buf: Vec<u8>,
+    /// Prefix of `buf` already scanned and known newline-free; keeps
+    /// line-splitting linear when one line spans many read sweeps.
+    scanned: usize,
+    /// Complete input units awaiting processing.
+    pending: VecDeque<InEvent>,
+    /// Outgoing response lines, written in order.
+    out: VecDeque<OutMsg>,
+    /// A request was submitted to the scheduler and its response has
+    /// not yet come back — per-connection ordering gate.
+    in_flight: bool,
+    /// Close once `out` drains; no further input is processed.
+    closing: bool,
+    /// Input after an over-long line is discarded (framing is lost).
+    discarding: bool,
+    /// The peer finished sending (EOF seen).
+    eof: bool,
+    /// Hard socket error; drop without further IO.
+    dead: bool,
 }
 
-fn handle_connection(stream: TcpStream, _id: u64, shared: &Arc<Shared>) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        match read_bounded_line(&mut reader, &mut line) {
-            LineRead::Closed => return, // EOF, disconnect, or shutdown
-            LineRead::TooLong => {
-                // The connection's framing is unrecoverable mid-line;
-                // answer once and hang up.
-                shared.engine.count_error();
-                let _ = write_response(
-                    &mut writer,
-                    &Response::error(
-                        ErrorCode::Parse,
-                        format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
-                    ),
-                );
-                return;
-            }
-            LineRead::Line => {}
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            scanned: 0,
+            pending: VecDeque::new(),
+            out: VecDeque::new(),
+            in_flight: false,
+            closing: false,
+            discarding: false,
+            eof: false,
+            dead: false,
         }
-        let trimmed = line.trim_end_matches(['\n', '\r']);
-        if trimmed.is_empty() {
-            continue; // blank keep-alive lines are not requests
+    }
+
+    /// Nonblocking read sweep: drains the socket into `buf` and splits
+    /// complete lines into `pending`. Returns whether bytes arrived.
+    fn read_input(&mut self, scratch: &mut [u8]) -> bool {
+        if self.eof || self.dead {
+            return false;
         }
-        let response = match Request::decode(trimmed) {
-            Ok(Request::Shutdown) => {
-                // Acknowledge, then stop the whole server.
-                let _ = write_response(&mut writer, &Response::ShuttingDown);
-                shared.trigger_shutdown();
-                return;
+        let mut progress = false;
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.eof = true;
+                    // A trailing unterminated line still parses: EOF is
+                    // its terminator (a structured parse error beats a
+                    // silent drop).
+                    if !self.buf.is_empty() && !self.discarding {
+                        let line = std::mem::take(&mut self.buf);
+                        self.pending.push_back(InEvent::Line(lossy(line)));
+                        progress = true;
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    progress = true;
+                    self.ingest(&scratch[..n]);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
             }
-            Ok(request) => shared.engine.handle(&request),
-            Err(e) => {
-                shared.engine.count_error();
-                Response::error(ErrorCode::Parse, e.message)
-            }
-        };
-        if write_response(&mut writer, &response).is_err() {
+        }
+        progress
+    }
+
+    fn ingest(&mut self, bytes: &[u8]) {
+        if self.discarding {
             return;
         }
+        self.buf.extend_from_slice(bytes);
+        loop {
+            // Scan only bytes no earlier sweep has covered: a cap-sized
+            // newline-free flood arrives in socket-buffer-sized reads,
+            // and rescanning from the front each read is quadratic.
+            let fresh = self.buf[self.scanned..].iter().position(|&b| b == b'\n');
+            match fresh.map(|p| self.scanned + p) {
+                Some(nl) if nl > MAX_REQUEST_LINE => break self.give_up_on_framing(),
+                Some(nl) => {
+                    let line: Vec<u8> = self.buf.drain(..=nl).collect();
+                    self.scanned = 0;
+                    self.pending.push_back(InEvent::Line(lossy(line)));
+                }
+                None => {
+                    self.scanned = self.buf.len();
+                    if self.buf.len() > MAX_REQUEST_LINE {
+                        self.give_up_on_framing();
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The line cap was breached: drop the buffered bytes, discard all
+    /// further input, and queue the structural `TooLong` event.
+    fn give_up_on_framing(&mut self) {
+        self.buf = Vec::new();
+        self.scanned = 0;
+        self.discarding = true;
+        self.pending.push_back(InEvent::TooLong);
+    }
+
+    fn push_line(&mut self, line: Arc<String>) {
+        self.out.push_back(OutMsg { line, written: 0 });
+    }
+
+    /// Nonblocking write sweep over the outgoing queue. Returns whether
+    /// bytes were written.
+    fn write_output(&mut self) -> bool {
+        if self.dead {
+            return false;
+        }
+        let mut progress = false;
+        while let Some(front) = self.out.front_mut() {
+            let bytes = front.line.as_bytes();
+            let chunk: &[u8] =
+                if front.written < bytes.len() { &bytes[front.written..] } else { b"\n" };
+            match self.stream.write(chunk) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    progress = true;
+                    front.written += n;
+                    if front.written > bytes.len() {
+                        self.out.pop_front();
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Nothing left to do for this connection: closed by error, or all
+    /// input consumed and all output delivered after EOF/closing.
+    fn done(&self) -> bool {
+        self.dead
+            || (!self.in_flight
+                && self.pending.is_empty()
+                && self.out.is_empty()
+                && (self.eof || self.closing))
     }
 }
 
-fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let mut encoded = response.encode();
-    encoded.push('\n');
-    writer.write_all(encoded.as_bytes())?;
-    writer.flush()
+fn lossy(bytes: Vec<u8>) -> String {
+    match String::from_utf8(bytes) {
+        Ok(s) => s,
+        // Non-UTF-8 bytes become a line that fails request parsing (a
+        // structured error, not a dropped connection).
+        Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
+    }
+}
+
+fn event_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    config: &ServerConfig,
+    scheduler: &Scheduler,
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let mut events: Vec<polling::Event> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut park = PARK_MIN;
+    // Set when a client sent `shutdown`; the loop exits once that
+    // connection's acknowledgement has been flushed and it is gone.
+    let mut ack_conn: Option<u64> = None;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut progress = false;
+
+        // 1. Deliver scheduler completions to their connections.
+        let completed: Vec<(u64, Arc<String>)> = std::mem::take(&mut *relock(&shared.completions));
+        for (conn_id, line) in completed {
+            progress = true;
+            if let Some(conn) = conns.get_mut(&conn_id) {
+                conn.in_flight = false;
+                conn.push_line(line);
+            }
+            // A completion for a connection that died in the meantime
+            // is dropped; its work was already accounted.
+        }
+
+        // 2. Accept sweep, with connection admission.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    if ack_conn.is_some() {
+                        continue; // shutting down: late connections drop
+                    }
+                    if config.max_conns.is_some_and(|cap| conns.len() >= cap) {
+                        reject_connection(shared, stream, conns.len());
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let id = next_id;
+                    next_id += 1;
+                    // Tokens are bookkeeping for the poll shim's source
+                    // set; the sweep below visits every connection and
+                    // treats `WouldBlock` as not-ready.
+                    shared.poller.register(token(id));
+                    conns.insert(id, Conn::new(stream));
+                    shared.active.store(conns.len(), Ordering::SeqCst);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break, // transient accept failure; retry next sweep
+            }
+        }
+
+        // 3. Per-connection IO and request processing.
+        let mut finished: Vec<u64> = Vec::new();
+        for (&id, conn) in &mut conns {
+            progress |= conn.read_input(&mut scratch);
+            while !conn.in_flight && !conn.closing {
+                let Some(event) = conn.pending.pop_front() else { break };
+                progress = true;
+                match event {
+                    InEvent::TooLong => {
+                        shared.engine.count_error();
+                        conn.push_line(Arc::new(
+                            Response::error(
+                                ErrorCode::LineTooLong,
+                                format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+                            )
+                            .encode(),
+                        ));
+                        // The reply drains below; then the conn closes.
+                        conn.closing = true;
+                    }
+                    InEvent::Line(text) => {
+                        let trimmed = text.trim_end_matches(['\n', '\r']);
+                        if trimmed.is_empty() {
+                            continue; // blank keep-alive lines are not requests
+                        }
+                        match Request::decode(trimmed) {
+                            Ok(Request::Shutdown) => {
+                                // Acknowledge, flush, then stop the server.
+                                conn.push_line(Arc::new(Response::ShuttingDown.encode()));
+                                conn.closing = true;
+                                ack_conn = Some(id);
+                            }
+                            Ok(request) => {
+                                conn.in_flight = true;
+                                scheduler.submit(id, request);
+                            }
+                            Err(e) => {
+                                // Parse errors answer inline — they never
+                                // reach the scheduler, and ordering holds
+                                // because nothing from this connection is
+                                // in flight here.
+                                shared.engine.count_error();
+                                conn.push_line(Arc::new(
+                                    Response::error(ErrorCode::Parse, e.message).encode(),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            progress |= conn.write_output();
+            if conn.done() {
+                finished.push(id);
+            }
+        }
+        for id in finished {
+            progress = true;
+            conns.remove(&id);
+            shared.poller.deregister(token(id));
+        }
+        shared.active.store(conns.len(), Ordering::SeqCst);
+
+        // 4. A requested shutdown completes once its ack is delivered.
+        if let Some(id) = ack_conn {
+            if !conns.contains_key(&id) {
+                break;
+            }
+        }
+
+        if progress {
+            park = PARK_MIN;
+            continue;
+        }
+        // The shim cannot observe socket readiness, so idle sweeps park
+        // briefly and back off; completions and shutdown cut the park
+        // short via `notify`.
+        shared.poller.wait(&mut events, Some(park));
+        park = park.saturating_mul(2).min(PARK_MAX);
+    }
+    // Sever everything; dropping the streams closes them, and the
+    // scheduler (dropped by the caller) drains and joins its executors.
+    for id in conns.keys() {
+        shared.poller.deregister(token(*id));
+    }
+    conns.clear();
+    shared.active.store(0, Ordering::SeqCst);
+}
+
+/// The poll-shim token for a connection id (token 0 is reserved for
+/// the listener by convention).
+fn token(conn: u64) -> usize {
+    usize::try_from(conn).unwrap_or(usize::MAX).saturating_add(1)
+}
+
+/// Answers an over-cap connection with one structured error line and
+/// closes it. The write is best-effort and nonblocking — a fresh
+/// socket's send buffer always holds one short line.
+fn reject_connection(shared: &Arc<Shared>, stream: TcpStream, live: usize) {
+    shared.engine.serve_metrics().admission_rejected_conns.inc_always();
+    shared.engine.count_error();
+    let mut line = Response::error(
+        ErrorCode::AdmissionRejected,
+        format!("connection limit reached ({live} active); retry later"),
+    )
+    .encode();
+    line.push('\n');
+    let mut stream = stream;
+    let _ = stream.write_all(line.as_bytes());
 }
 
 impl RunningServer {
@@ -289,26 +532,24 @@ impl RunningServer {
         &self.shared.engine
     }
 
-    /// Connections currently being served.
+    /// Connections currently owned by the event loop.
     pub fn active_connections(&self) -> usize {
         self.shared.active.load(Ordering::SeqCst)
     }
 
-    /// Initiates shutdown (idempotent): stops accepting, unblocks every
-    /// handler. Does not wait — see [`RunningServer::wait`].
+    /// Initiates shutdown (idempotent): the event loop exits its next
+    /// sweep, severing every connection. Does not wait — see
+    /// [`RunningServer::wait`].
     pub fn shutdown(&self) {
-        self.shared.trigger_shutdown();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.poller.notify();
     }
 
     /// Blocks until the server has shut down (a client sent `shutdown`,
-    /// or [`RunningServer::shutdown`] was called) and every thread has
-    /// been joined.
+    /// or [`RunningServer::shutdown`] was called) and the event loop
+    /// and scheduler executors have been joined.
     pub fn wait(mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        let handlers: Vec<JoinHandle<()>> = std::mem::take(&mut *relock(&self.shared.handlers));
-        for handle in handlers {
+        if let Some(handle) = self.event_loop.take() {
             let _ = handle.join();
         }
     }

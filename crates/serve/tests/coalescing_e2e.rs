@@ -1,0 +1,161 @@
+//! Coalescing end-to-end tier: hammer one hot kernel from 16 concurrent
+//! connections through a single-executor server and assert that
+//!
+//! * the scheduler **coalesced** concurrent identical runs — the
+//!   dispatch counter is strictly below the run counter (while the lone
+//!   executor is busy, same-key arrivals pile into one bucket and drain
+//!   as a batch on the next dispatch);
+//! * every one of the 480 responses is **byte-identical** to a serial
+//!   direct-execution oracle serialized through the same codec — a
+//!   batched dispatch is wire-indistinguishable from serial service;
+//! * accounting is exact: `batched_runs` equals the run count, nothing
+//!   expired, went stale, or was rejected, and the queue drained.
+//!
+//! Single `#[test]`: the assertions read engine-wide scheduler counters,
+//! which a concurrently running sibling test would perturb.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use systec_codegen::{ExecContext, Parallelism};
+use systec_exec::Counters;
+use systec_ir::parse_einsum;
+use systec_kernels::{parse_symmetry, Prepared};
+use systec_serve::protocol::{Request, Response, StorageFormat, TensorPayload, Variant};
+use systec_serve::{oracle_response, serve_with, Client, Engine, ServerConfig};
+use systec_tensor::generate::{random_dense, rng, symmetric_erdos_renyi};
+use systec_tensor::{csf, SparseTensor, Tensor};
+
+const CLIENTS: usize = 16;
+const RUNS_PER_CLIENT: usize = 30;
+const EINSUM: &str = "for i, j: y[i] += A[i, j] * x[j]";
+
+#[test]
+fn concurrent_identical_runs_coalesce_and_stay_byte_identical() {
+    // One executor, generous batch: while the executor serves one
+    // dispatch, every same-key arrival queues behind it and the next
+    // dispatch drains them together.
+    let config = ServerConfig { max_conns: None, max_batch: 16, executors: 1, deadline: None };
+    let server = serve_with("127.0.0.1:0", Engine::new(), config).expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // A moderately heavy SSYMV so each dispatch occupies the executor
+    // long enough for the other clients' next runs to queue up.
+    let n = 256;
+    let mut r = rng(0xC0A1);
+    let a = symmetric_erdos_renyi(n, 2, 0.08, &mut r);
+    let x = random_dense(vec![n], &mut r);
+
+    let mut setup = Client::connect(addr).unwrap();
+    let reg_a = Request::RegisterTensor {
+        name: "A".into(),
+        dims: vec![n, n],
+        payload: TensorPayload::Coo(a.entries().map(|(c, v)| (c.to_vec(), v)).collect()),
+        format: StorageFormat::Auto,
+    };
+    let reg_x = Request::RegisterTensor {
+        name: "x".into(),
+        dims: vec![n],
+        payload: TensorPayload::Dense(x.as_slice().to_vec()),
+        format: StorageFormat::Auto,
+    };
+    for req in [&reg_a, &reg_x] {
+        let resp = setup.request(req).unwrap();
+        assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+    }
+    let prepare = Request::Prepare {
+        einsum: EINSUM.into(),
+        sym: vec!["A".into()],
+        inputs: vec![],
+        variant: Variant::Systec,
+        threads: Some(1),
+    };
+
+    // The serial oracle: same plan path, direct execution, same codec.
+    let expected = {
+        let einsum = parse_einsum(EINSUM).unwrap();
+        let mut local = HashMap::new();
+        local.insert("A".to_string(), Tensor::Sparse(SparseTensor::from_coo(&a, &csf(2)).unwrap()));
+        local.insert("x".to_string(), Tensor::Dense(x.clone()));
+        let sym = parse_symmetry(&einsum, &["A".to_string()]).unwrap();
+        let prepared = Prepared::compile_einsum(&einsum, &sym, &local)
+            .unwrap()
+            .with_parallelism(Parallelism::threads(1));
+        let mut outputs = HashMap::new();
+        let mut ctx = ExecContext::new();
+        let mut counters = Counters::new();
+        prepared.run_timed_into(&mut outputs, &mut ctx, &mut counters).unwrap();
+        oracle_response(&outputs, &counters).encode()
+    };
+
+    // 16 clients prepare (deduping to one handle) and then, from a
+    // barrier, keep one run in flight each until 480 runs have served.
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mut workers = Vec::new();
+    for client_id in 0..CLIENTS {
+        let barrier = Arc::clone(&barrier);
+        let prepare = prepare.encode();
+        workers.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let line = client.send_raw(&prepare).expect("prepare");
+            let kernel = match Response::decode(&line).expect("prepared reply decodes") {
+                Response::Prepared { kernel, .. } => kernel,
+                other => panic!("client {client_id}: prepare failed: {other:?}"),
+            };
+            let run = Request::Run { kernel, full: false }.encode();
+            barrier.wait();
+            let mut lines = Vec::with_capacity(RUNS_PER_CLIENT);
+            for round in 0..RUNS_PER_CLIENT {
+                let line = client
+                    .send_raw(&run)
+                    .unwrap_or_else(|e| panic!("client {client_id} round {round}: {e}"));
+                lines.push(line);
+            }
+            (kernel, lines)
+        }));
+    }
+    let results: Vec<(u64, Vec<String>)> =
+        workers.into_iter().map(|w| w.join().expect("client thread")).collect();
+
+    // Byte-identical to the serial oracle, on every line of every
+    // connection — batching never leaks into the wire format.
+    let first_kernel = results[0].0;
+    let mut served = 0usize;
+    for (kernel, lines) in &results {
+        assert_eq!(*kernel, first_kernel, "identical prepares share one handle");
+        for line in lines {
+            assert_eq!(*line, expected, "batched responses must match the serial oracle");
+            served += 1;
+        }
+    }
+    let total = CLIENTS * RUNS_PER_CLIENT;
+    assert_eq!(served, total);
+
+    // Telemetry: fewer dispatches than runs is the coalescing win.
+    let stats_resp = setup.request(&Request::Stats).unwrap();
+    let Response::Stats { requests, serve: srv, kernels, .. } = stats_resp else {
+        panic!("stats failed: {stats_resp:?}")
+    };
+    assert_eq!(requests.run, total as u64);
+    assert_eq!(requests.errors, 0, "a clean workload answers no errors");
+    assert_eq!(srv.batched_runs, total as u64, "every run dispatches through the scheduler");
+    assert!(
+        srv.batch_dispatches >= 1 && srv.batch_dispatches < total as u64,
+        "a single executor under 16 concurrent clients must coalesce \
+         ({} dispatches for {total} runs)",
+        srv.batch_dispatches,
+    );
+    assert_eq!(srv.queued, 0, "queue drains once clients join");
+    assert_eq!(srv.deadline_exceeded, 0);
+    assert_eq!(srv.stale_runs, 0);
+    assert_eq!(srv.rejected_conns, 0);
+    assert_eq!(srv.rejected_bytes, 0);
+    assert_eq!(kernels.len(), 1, "one hot kernel");
+    assert_eq!(kernels[0].runs, total as u64, "per-kernel run accounting covers batches");
+
+    // Clean shutdown over the wire.
+    let resp = setup.request(&Request::Shutdown).unwrap();
+    assert_eq!(resp, Response::ShuttingDown);
+    server.wait();
+}

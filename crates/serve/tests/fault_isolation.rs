@@ -195,7 +195,7 @@ fn oversized_request_lines_are_answered_and_cut_off() {
     let mut reply = String::new();
     reader.read_line(&mut reply).unwrap();
     match Response::decode(reply.trim_end()) {
-        Ok(Response::Error { code: ErrorCode::Parse, message }) => {
+        Ok(Response::Error { code: ErrorCode::LineTooLong, message }) => {
             assert!(message.contains("exceeds"), "{message}");
         }
         other => panic!("expected a parse error for the oversized line, got {other:?}"),

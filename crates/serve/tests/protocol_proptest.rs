@@ -9,8 +9,8 @@
 use proptest::prelude::*;
 use systec_serve::protocol::{
     CachePayload, CounterPayload, ErrorCode, KernelStatPayload, OutputPayload, PoolPayload,
-    Request, RequestCountsPayload, Response, SlowRunPayload, StorageFormat, TensorPayload, Variant,
-    Warning, WarningKind,
+    Request, RequestCountsPayload, Response, ServePayload, SlowRunPayload, StorageFormat,
+    TensorPayload, Variant, Warning, WarningKind,
 };
 
 // ---------------------------------------------------------------------
@@ -93,10 +93,12 @@ fn request_strategy() -> impl Strategy<Value = Request> {
             }
         });
     let run = (0u64..1000, any::<bool>()).prop_map(|(kernel, full)| Request::Run { kernel, full });
+    let unregister = name_strategy().prop_map(|name| Request::Unregister { name });
     prop_oneof![
         register,
         prepare,
         run,
+        unregister,
         Just(Request::Stats),
         Just(Request::Metrics),
         Just(Request::Ping),
@@ -140,8 +142,10 @@ fn counters_strategy() -> impl Strategy<Value = CounterPayload> {
 }
 
 fn response_strategy() -> impl Strategy<Value = Response> {
-    let registered =
-        (name_strategy(), 0u64..100_000).prop_map(|(name, nnz)| Response::Registered { name, nnz });
+    let registered = (name_strategy(), 0u64..100_000, 0u64..10)
+        .prop_map(|(name, nnz, generation)| Response::Registered { name, nnz, generation });
+    let unregistered = (name_strategy(), any::<bool>())
+        .prop_map(|(name, existed)| Response::Unregistered { name, existed });
     let prepared = (0u64..1000, any::<bool>(), any::<bool>(), name_strategy()).prop_map(
         |(kernel, splittable, with_warning, message)| Response::Prepared {
             kernel,
@@ -171,12 +175,22 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         });
     let stats = (
         (0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000),
-        (0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000),
+        (
+            0u64..9000,
+            0u64..9000,
+            0u64..9000,
+            0u64..9000,
+            0u64..9000,
+            0u64..9000,
+            0u64..9000,
+            0u64..9000,
+        ),
         (0u64..64, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000),
+        prop::collection::vec(0u64..9000, 11),
         prop::collection::vec(kernel_stat, 0..3),
         prop::collection::vec((0u64..100, 0u64..1_000_000), 0..4),
     )
-        .prop_map(|(c, r, p, kernels, slow)| Response::Stats {
+        .prop_map(|(c, r, p, s, kernels, slow)| Response::Stats {
             cache: CachePayload {
                 hits: c.0,
                 misses: c.1,
@@ -189,10 +203,11 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                 register_tensor: r.0,
                 prepare: r.1,
                 run: r.2,
-                stats: r.3,
-                metrics: r.4,
-                ping: r.5,
-                errors: r.6,
+                unregister: r.3,
+                stats: r.4,
+                metrics: r.5,
+                ping: r.6,
+                errors: r.7,
             },
             pool: PoolPayload {
                 workers: p.0,
@@ -201,6 +216,19 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                 helped: p.3,
                 parks: p.4,
                 wakeups: p.5,
+            },
+            serve: ServePayload {
+                registry_tensors: s[0],
+                registry_bytes: s[1],
+                registry_evictions: s[2],
+                pinned: s[3],
+                batch_dispatches: s[4],
+                batched_runs: s[5],
+                queued: s[6],
+                rejected_conns: s[7],
+                rejected_bytes: s[8],
+                deadline_exceeded: s[9],
+                stale_runs: s[10],
             },
             kernels,
             slow: slow.into_iter().map(|(kernel, us)| SlowRunPayload { kernel, us }).collect(),
@@ -214,7 +242,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
              systec_requests_total{{verb=\"{salt}\"}} 3\n"
         ),
     });
-    let error = (0usize..6, name_strategy()).prop_map(|(code, message)| Response::Error {
+    let error = (0usize..10, name_strategy()).prop_map(|(code, message)| Response::Error {
         code: [
             ErrorCode::Parse,
             ErrorCode::UnknownTensor,
@@ -222,11 +250,16 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             ErrorCode::InvalidKernel,
             ErrorCode::BadTensor,
             ErrorCode::Internal,
+            ErrorCode::LineTooLong,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::AdmissionRejected,
+            ErrorCode::StaleTensor,
         ][code],
         message,
     });
     prop_oneof![
         registered,
+        unregistered,
         prepared,
         ran,
         stats,

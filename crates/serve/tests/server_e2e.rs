@@ -278,7 +278,7 @@ fn thirty_two_connections_hundred_requests_byte_deterministic() {
 
     // Server-side accounting is exact.
     let stats_resp = setup.request(&Request::Stats).unwrap();
-    let Response::Stats { cache, requests, kernels, .. } = stats_resp else {
+    let Response::Stats { cache, requests, serve: srv, kernels, .. } = stats_resp else {
         panic!("stats failed: {stats_resp:?}")
     };
     assert_eq!(cache.builds, all_cases.len() as u64);
@@ -287,6 +287,27 @@ fn thirty_two_connections_hundred_requests_byte_deterministic() {
     assert_eq!(requests.prepare, (CLIENTS * all_cases.len()) as u64);
     assert_eq!(requests.run, (CLIENTS * RUNS_PER_KERNEL * all_cases.len()) as u64);
     assert_eq!(requests.errors, 0, "a clean workload answers no errors");
+
+    // Every run traveled the coalescing scheduler, the queue drained,
+    // and nothing expired, went stale, or was rejected. With 32 clients
+    // keeping one request in flight each against 2 executors, at least
+    // some dispatches must have carried more than one run.
+    let total_runs = (CLIENTS * RUNS_PER_KERNEL * all_cases.len()) as u64;
+    assert_eq!(srv.batched_runs, total_runs, "every run dispatches through the scheduler");
+    assert!(
+        srv.batch_dispatches >= 1 && srv.batch_dispatches < total_runs,
+        "coalescing must collapse concurrent identical runs ({} dispatches for {} runs)",
+        srv.batch_dispatches,
+        total_runs
+    );
+    assert_eq!(srv.queued, 0, "queue drains once clients join");
+    assert_eq!(srv.deadline_exceeded, 0);
+    assert_eq!(srv.stale_runs, 0);
+    assert_eq!(srv.rejected_conns, 0);
+    assert_eq!(srv.rejected_bytes, 0);
+    assert_eq!(srv.registry_tensors, data.requests.len() as u64);
+    assert_eq!(srv.registry_evictions, 0, "no byte cap configured, nothing evicts");
+    assert_eq!(srv.pinned, 4, "A, G, x, d each pinned at generation 0");
     assert_eq!(kernels.len(), all_cases.len(), "prepares dedupe to one handle per kernel");
     let total_runs: u64 = kernels.iter().map(|k| k.runs).sum();
     assert_eq!(total_runs, (CLIENTS * RUNS_PER_KERNEL * all_cases.len()) as u64);
@@ -305,12 +326,17 @@ fn thirty_two_connections_hundred_requests_byte_deterministic() {
         panic!("metrics failed: {metrics_resp:?}")
     };
     for family in [
+        "systec_admission_rejects_total",
         "systec_compile_phase_ns_total",
         "systec_kernel_latency_ns_bucket",
         "systec_kernel_runs_total",
         "systec_plan_cache_builds_total",
         "systec_pool_submitted_total",
+        "systec_registry_bytes",
         "systec_requests_total",
+        "systec_serve_batch_dispatches_total",
+        "systec_serve_batch_size_bucket",
+        "systec_serve_queue_depth",
     ] {
         assert!(text.contains(family), "missing {family}");
     }

@@ -104,6 +104,23 @@ impl Counter {
         }
     }
 
+    /// Adds one regardless of the global mode. For counters that are
+    /// request *accounting* rather than observability — admission
+    /// rejections, batch dispatches — where freezing under
+    /// [`TelemetryMode::Off`] would break exactness invariants the
+    /// serving tests rely on (mirrors [`Gauge`]'s ungated rationale).
+    #[inline]
+    pub fn inc_always(&self) {
+        self.add_always(1);
+    }
+
+    /// Adds `n` regardless of the global mode (see
+    /// [`Counter::inc_always`]).
+    #[inline]
+    pub fn add_always(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -316,6 +333,69 @@ impl BodyKind {
 }
 
 // ---------------------------------------------------------------------------
+// Serving metrics
+// ---------------------------------------------------------------------------
+
+/// Metrics for one serving engine: request batching, queue depth,
+/// admission control, and tensor-registry lifecycle. Owned per-engine
+/// (not in the global registry) so engines in the same process — e.g.
+/// parallel tests — never bleed into each other's scrapes.
+///
+/// The counters here are **accounting**, not sampling: admission
+/// rejections and batch dispatches must stay exact even under
+/// [`TelemetryMode::Off`] (the serving tests assert arithmetic
+/// identities over them), so recording uses the ungated
+/// [`Counter::add_always`] paths. The one exception is
+/// [`ServeMetrics::batch_size`]: a latency-class histogram, gated like
+/// every other histogram.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Worker-pool dispatches issued by the run scheduler (each may
+    /// carry several coalesced run requests).
+    pub batch_dispatches: Counter,
+    /// Run requests served through batched dispatches.
+    pub batched_runs: Counter,
+    /// Distribution of runs per dispatch (gated on the global mode).
+    pub batch_size: Histogram,
+    /// Requests currently queued in the scheduler.
+    pub queue_depth: Gauge,
+    /// Connections refused because `--max-conns` was reached.
+    pub admission_rejected_conns: Counter,
+    /// Registrations refused because `--max-bytes` was reached.
+    pub admission_rejected_bytes: Counter,
+    /// Requests answered with `deadline_exceeded` before dispatch.
+    pub deadline_exceeded: Counter,
+    /// Runs refused because a pinned tensor was re-registered since
+    /// the kernel was prepared (`stale_tensor` errors).
+    pub stale_runs: Counter,
+    /// Unpinned tensors evicted from the registry by the LRU policy.
+    pub registry_evictions: Counter,
+    /// Estimated bytes currently held by the tensor registry.
+    pub registry_bytes: Gauge,
+    /// Tensors currently registered.
+    pub registry_tensors: Gauge,
+}
+
+impl ServeMetrics {
+    /// A zeroed set.
+    pub const fn new() -> Self {
+        Self {
+            batch_dispatches: Counter::new(),
+            batched_runs: Counter::new(),
+            batch_size: Histogram::new(),
+            queue_depth: Gauge::new(),
+            admission_rejected_conns: Counter::new(),
+            admission_rejected_bytes: Counter::new(),
+            deadline_exceeded: Counter::new(),
+            stale_runs: Counter::new(),
+            registry_evictions: Counter::new(),
+            registry_bytes: Gauge::new(),
+            registry_tensors: Gauge::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Global registry
 // ---------------------------------------------------------------------------
 
@@ -410,6 +490,20 @@ mod tests {
             let _s = span(Phase::Parse);
         }
         assert!(global().phase(Phase::Parse).count() > before);
+    }
+
+    #[test]
+    fn ungated_counter_ops_ignore_mode() {
+        let _serialized = mode_lock();
+        let serve = ServeMetrics::new();
+        set_mode(TelemetryMode::Off);
+        serve.admission_rejected_conns.inc_always();
+        serve.batched_runs.add_always(4);
+        serve.batch_size.record(4); // gated: frozen while Off
+        set_mode(TelemetryMode::On);
+        assert_eq!(serve.admission_rejected_conns.get(), 1);
+        assert_eq!(serve.batched_runs.get(), 4);
+        assert_eq!(serve.batch_size.count(), 0, "histograms stay gated");
     }
 
     #[test]

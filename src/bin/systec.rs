@@ -23,7 +23,7 @@ use systec::exec::reference::reference_einsum;
 use systec::ir::{parse_einsum, Einsum};
 use systec::kernels::{parse_symmetry, serial_fallback_note, Backend, Parallelism, Prepared};
 use systec::serve::protocol::{Request, Response};
-use systec::serve::{serve, Client, Engine};
+use systec::serve::{serve_with, Client, Engine, ServerConfig};
 use systec::tensor::generate::{random_dense, rng};
 use systec::tensor::{csf, CooTensor, SparseTensor, Tensor};
 
@@ -60,11 +60,20 @@ fn usage() -> &'static str {
        --seed S              RNG seed (default 42)\n\
      \n\
      subcommands:\n\
-       systec serve --addr HOST:PORT [--threads T]\n\
+       systec serve --addr HOST:PORT [--threads T] [--max-conns N]\n\
+                    [--max-bytes B] [--deadline-ms D] [--batch K] [--executors E]\n\
                              run the long-lived einsum server (line-delimited JSON\n\
                              over TCP; see the README's Serving section). --threads\n\
                              sets the default per-run parallelism for splittable\n\
-                             plans. Runs until a client sends {\"op\":\"shutdown\"}\n\
+                             plans. --max-conns caps concurrent connections and\n\
+                             --max-bytes caps registered tensor bytes (over-cap\n\
+                             requests get structured admission_rejected errors);\n\
+                             --deadline-ms bounds how long a queued request may\n\
+                             wait before a deadline_exceeded error. --batch caps\n\
+                             how many identical queued runs coalesce into one\n\
+                             dispatch (default 32); --executors sets scheduler\n\
+                             threads (default 2). Runs until a client sends\n\
+                             {\"op\":\"shutdown\"}\n\
        systec client --addr HOST:PORT [REQUEST...]\n\
                              send request lines (or stdin, one request per line)\n\
                              and print each response; exits non-zero if any\n\
@@ -79,6 +88,8 @@ fn usage() -> &'static str {
 fn serve_main(args: &[String]) -> ExitCode {
     let mut addr = "127.0.0.1:7171".to_string();
     let mut threads = 1usize;
+    let mut max_bytes: Option<u64> = None;
+    let mut config = ServerConfig::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -90,11 +101,34 @@ fn serve_main(args: &[String]) -> ExitCode {
                 Some(v) => threads = v,
                 None => return fail("--threads needs a number"),
             },
+            "--max-conns" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.max_conns = Some(v),
+                None => return fail("--max-conns needs a number"),
+            },
+            "--max-bytes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_bytes = Some(v),
+                None => return fail("--max-bytes needs a number"),
+            },
+            "--deadline-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.deadline = Some(std::time::Duration::from_millis(v)),
+                None => return fail("--deadline-ms needs a number"),
+            },
+            "--batch" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 1 => config.max_batch = v,
+                _ => return fail("--batch needs a number >= 1"),
+            },
+            "--executors" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 1 => config.executors = v,
+                _ => return fail("--executors needs a number >= 1"),
+            },
             other => return fail(&format!("unknown serve option `{other}`\n\n{}", usage())),
         }
     }
-    let engine = Engine::with_parallelism(Parallelism::threads(threads));
-    let running = match serve(addr.as_str(), engine) {
+    let mut engine = Engine::with_parallelism(Parallelism::threads(threads));
+    if let Some(cap) = max_bytes {
+        engine = engine.with_max_registered_bytes(cap);
+    }
+    let running = match serve_with(addr.as_str(), engine, config) {
         Ok(r) => r,
         Err(e) => return fail(&format!("cannot bind {addr}: {e}")),
     };
@@ -197,10 +231,10 @@ fn top_main(args: &[String]) -> ExitCode {
             Ok(r) => r,
             Err(e) => return fail(&format!("stats request failed: {e}")),
         };
-        let Response::Stats { cache, requests, pool, kernels, slow } = resp else {
+        let Response::Stats { cache, requests, pool, serve, kernels, slow } = resp else {
             return fail(&format!("unexpected stats reply: {resp:?}"));
         };
-        render_top(&addr, &cache, &requests, &pool, &kernels, &slow);
+        render_top(&addr, &cache, &requests, &pool, &serve, &kernels, &slow);
         round += 1;
         if iters != 0 && round >= iters {
             return ExitCode::SUCCESS;
@@ -216,16 +250,18 @@ fn render_top(
     cache: &systec::serve::protocol::CachePayload,
     requests: &systec::serve::protocol::RequestCountsPayload,
     pool: &systec::serve::protocol::PoolPayload,
+    serve: &systec::serve::protocol::ServePayload,
     kernels: &[systec::serve::protocol::KernelStatPayload],
     slow: &[systec::serve::protocol::SlowRunPayload],
 ) {
     let us = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.1}"));
     println!("systec top — {addr}");
     println!(
-        "requests: register={} prepare={} run={} stats={} metrics={} ping={} errors={}",
+        "requests: register={} prepare={} run={} unregister={} stats={} metrics={} ping={} errors={}",
         requests.register_tensor,
         requests.prepare,
         requests.run,
+        requests.unregister,
         requests.stats,
         requests.metrics,
         requests.ping,
@@ -238,6 +274,21 @@ fn render_top(
     println!(
         "pool: workers={} submitted={} executed={} helped={} parks={} wakeups={}",
         pool.workers, pool.submitted, pool.executed, pool.helped, pool.parks, pool.wakeups
+    );
+    println!(
+        "registry: tensors={} bytes={} evictions={} pinned={}",
+        serve.registry_tensors, serve.registry_bytes, serve.registry_evictions, serve.pinned
+    );
+    println!(
+        "serve: dispatches={} batched_runs={} queued={} rejected_conns={} rejected_bytes={} \
+         deadline_exceeded={} stale_runs={}",
+        serve.batch_dispatches,
+        serve.batched_runs,
+        serve.queued,
+        serve.rejected_conns,
+        serve.rejected_bytes,
+        serve.deadline_exceeded,
+        serve.stale_runs
     );
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}  spec",

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `polling` crate (the build environment has
+//! no network access, so the real epoll/kqueue-backed crate cannot be
+//! pulled in — and the workspace policy keeps networking deps out
+//! anyway).
+//!
+//! The real crate wraps an OS readiness selector. This shim keeps the
+//! same *shape* — register interest under a token, wait for events,
+//! wake the waiter from another thread — but emulates readiness at
+//! level granularity: [`Poller::wait`] reports **every** registered
+//! token as possibly ready, and the caller is expected to perform
+//! nonblocking try-IO on each source, treating `WouldBlock` as "not
+//! actually ready". What the shim does provide for real:
+//!
+//! * a bounded, interruptible park: `wait` blocks on a condvar for at
+//!   most the supplied timeout, so an event loop can idle cheaply
+//!   instead of spinning;
+//! * a cross-thread [`Poller::notify`] that wakes (or pre-empts) the
+//!   park — completion queues and shutdown paths use it to bound
+//!   response latency to a wakeup instead of a poll interval;
+//! * token bookkeeping, so the loop's source set and the poller's view
+//!   cannot drift apart.
+//!
+//! Notifications are **sticky**: a `notify` delivered while no thread
+//! is waiting causes the next `wait` to return immediately instead of
+//! being lost. This mirrors the real crate's semantics and is what
+//! makes the completion-queue handshake race-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// A readiness event: the token of a source that may be ready. The
+/// caller must confirm with nonblocking IO (`WouldBlock` means it was
+/// not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the source was registered under.
+    pub token: usize,
+}
+
+#[derive(Debug, Default)]
+struct PollerState {
+    /// Registered interest tokens, ordered so `wait` reports a
+    /// deterministic sweep order.
+    tokens: BTreeSet<usize>,
+    /// A notify arrived while nobody was waiting (sticky wakeup).
+    notified: bool,
+}
+
+/// The emulated readiness selector. One per event loop; `notify` may be
+/// called from any thread.
+#[derive(Debug, Default)]
+pub struct Poller {
+    state: Mutex<PollerState>,
+    wakeup: Condvar,
+}
+
+impl Poller {
+    /// An empty poller with no registered sources.
+    pub fn new() -> Poller {
+        Poller::default()
+    }
+
+    /// Registers interest in a source under `token`. Registering an
+    /// already-registered token is a no-op (level semantics: the source
+    /// is reported each sweep regardless).
+    pub fn register(&self, token: usize) {
+        self.lock().tokens.insert(token);
+    }
+
+    /// Drops interest in `token`. Unknown tokens are ignored.
+    pub fn deregister(&self, token: usize) {
+        self.lock().tokens.remove(&token);
+    }
+
+    /// Number of currently registered sources.
+    pub fn registered(&self) -> usize {
+        self.lock().tokens.len()
+    }
+
+    /// Fills `events` with every registered token (level-triggered
+    /// emulation) and returns the count. If a sticky notification is
+    /// pending, returns immediately and clears it; otherwise parks for
+    /// at most `timeout` (`None` parks until the next [`Poller::notify`]).
+    ///
+    /// An empty return means the park timed out with no sources
+    /// registered and no notification.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> usize {
+        events.clear();
+        let mut state = self.lock();
+        if !state.notified {
+            state = match timeout {
+                Some(t) => self
+                    .wakeup
+                    .wait_timeout(state, t)
+                    .map(|(s, _)| s)
+                    .unwrap_or_else(|e| e.into_inner().0),
+                None => self.wakeup.wait(state).unwrap_or_else(PoisonError::into_inner),
+            };
+        }
+        state.notified = false;
+        events.extend(state.tokens.iter().map(|&token| Event { token }));
+        events.len()
+    }
+
+    /// Wakes the thread parked in [`Poller::wait`], or arms a sticky
+    /// wakeup if none is parked, so the next `wait` returns at once.
+    pub fn notify(&self) {
+        self.lock().notified = true;
+        self.wakeup.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PollerState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn wait_reports_every_registered_token_in_order() {
+        let poller = Poller::new();
+        poller.register(7);
+        poller.register(3);
+        poller.register(3);
+        assert_eq!(poller.registered(), 2);
+        let mut events = Vec::new();
+        poller.notify();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(100)));
+        assert_eq!(n, 2);
+        assert_eq!(events, vec![Event { token: 3 }, Event { token: 7 }]);
+        poller.deregister(3);
+        poller.notify();
+        poller.wait(&mut events, Some(Duration::from_millis(100)));
+        assert_eq!(events, vec![Event { token: 7 }]);
+    }
+
+    #[test]
+    fn wait_times_out_without_a_notification() {
+        let poller = Poller::new();
+        poller.register(1);
+        let started = Instant::now();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(20)));
+        assert!(started.elapsed() >= Duration::from_millis(10));
+        // Tokens are still reported after a timeout (level emulation).
+        assert_eq!(events, vec![Event { token: 1 }]);
+    }
+
+    #[test]
+    fn notify_before_wait_is_sticky_and_consumed_once() {
+        let poller = Poller::new();
+        poller.notify();
+        let mut events = Vec::new();
+        let started = Instant::now();
+        poller.wait(&mut events, Some(Duration::from_secs(5)));
+        assert!(started.elapsed() < Duration::from_secs(1), "sticky notify must not park");
+        // Consumed: the next wait parks for the full timeout again.
+        let started = Instant::now();
+        poller.wait(&mut events, Some(Duration::from_millis(20)));
+        assert!(started.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn cross_thread_notify_interrupts_a_park() {
+        let poller = Arc::new(Poller::new());
+        let waker = Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.notify();
+        });
+        let mut events = Vec::new();
+        let started = Instant::now();
+        poller.wait(&mut events, Some(Duration::from_secs(30)));
+        assert!(started.elapsed() < Duration::from_secs(10), "notify must cut the park short");
+        handle.join().unwrap();
+    }
+}
