@@ -1,15 +1,17 @@
-//! Criterion benches: every paper kernel across four axes — symmetric
+//! Criterion benches: every paper kernel across five axes — symmetric
 //! vs naive (the paper's comparison), compiled VM vs tree-walking
 //! interpreter (this reproduction's backend ablation), a threads axis
-//! on the compiled backend (row-parallel dispatch), and a counter-off
+//! on the compiled backend (row-parallel dispatch), a counter-off
 //! cell (`CounterMode::Off`, skipping per-hit counter bumps in the
-//! fused-body runners) — at a small fixed size (the figure binaries
-//! sweep the real workloads; these keep `cargo bench` fast and
-//! regression-friendly).
+//! fused-body runners), and a lanes axis (the default cells run the
+//! explicit-lane runners; `-scalar` cells pin `LaneMode::Scalar`) — at
+//! a small fixed size (the figure binaries sweep the real workloads;
+//! these keep `cargo bench` fast and regression-friendly).
 //!
-//! Series names are `<kernel>/<variant>-<backend>[-tN|-nocount]`, e.g.
-//! `ssymv/systec-compiled` (serial) or `ssymv/systec-compiled-t4`
-//! (four workers). All cells run over reused output buffers and a
+//! Series names are `<kernel>/<variant>-<backend>[-tN|-nocount|-scalar]`,
+//! e.g. `ssymv/systec-compiled` (serial, lane mode) or
+//! `ssymv/systec-compiled-scalar` (serial, scalar folds). All cells
+//! run over reused output buffers and a
 //! reused execution context (`run_timed_into`) so the numbers measure
 //! kernel work, not allocator traffic.
 //!
@@ -24,10 +26,12 @@ use std::collections::{BTreeMap, HashMap};
 
 use criterion::{criterion_group, Criterion};
 use systec_kernels::{
-    defs, Backend, CounterMode, Counters, ExecContext, KernelDef, Parallelism, Prepared,
+    defs, Backend, CounterMode, Counters, ExecContext, KernelDef, LaneMode, Parallelism, Prepared,
 };
-use systec_tensor::generate::{random_dense, rng, sprand, symmetric_erdos_renyi};
-use systec_tensor::Tensor;
+use systec_tensor::generate::{
+    random_dense, rng, sprand, symmetric_block_plateau, symmetric_erdos_renyi,
+};
+use systec_tensor::{LevelFormat, SparseTensor, Tensor};
 
 fn bench_grid(c: &mut Criterion, name: &str, def: &KernelDef, inputs: &HashMap<String, Tensor>) {
     let systec = Prepared::compile(def, inputs).expect("prepare systec");
@@ -78,30 +82,59 @@ fn bench_grid(c: &mut Criterion, name: &str, def: &KernelDef, inputs: &HashMap<S
                 })
             });
         }
+        // Lanes axis: the same serial compiled path with the
+        // explicit-lane runners switched off, isolating what the lane
+        // accumulators buy over the loop-carried scalar folds.
+        if variant == "systec" {
+            let runner = prepared.clone().with_backend(Backend::Compiled);
+            let mut outputs = HashMap::new();
+            let mut ctx = ExecContext::new().with_lane_mode(LaneMode::Scalar);
+            let mut counters = Counters::new();
+            group.bench_function(&format!("{variant}-compiled-scalar"), |b| {
+                b.iter(|| {
+                    runner.run_timed_into(&mut outputs, &mut ctx, &mut counters).expect("run")
+                })
+            });
+        }
     }
     group.finish();
 }
 
 fn benches(c: &mut Criterion) {
-    // SSYMV / Bellman-Ford / SYPRD share a 2500x2500 symmetric matrix.
+    // SSYMV / Bellman-Ford / SYPRD share a 1600x1600 symmetric
+    // block-plateau matrix packed `[Dense, RunLength]` — these are the
+    // dense/RLE-dominated kernels, and run-structured rows (FEM/stencil
+    // plateau structure, ~80 nonzeros per row in runs of 32) are the
+    // storage where their inner loops are contiguous window folds
+    // rather than per-coordinate gathers. Sized so the working set
+    // stays cache-resident: the lanes axis then measures the fold
+    // chain, not memory bandwidth.
     let mut r = rng(1);
-    let a2 = symmetric_erdos_renyi(2500, 2, 3e-3, &mut r);
-    let x = random_dense(vec![2500], &mut r);
+    let a2 = symmetric_block_plateau(1600, 32, 0.05, &mut r);
+    let a2 = Tensor::Sparse(
+        SparseTensor::from_coo(&a2, &[LevelFormat::Dense, LevelFormat::RunLength])
+            .expect("pack plateau matrix"),
+    );
+    let x = random_dense(vec![1600], &mut r);
 
     let def = defs::ssymv();
-    let inputs = def.inputs([("A", a2.clone().into()), ("x", x.clone().into())]).unwrap();
+    let inputs =
+        HashMap::from([("A".to_string(), a2.clone()), ("x".to_string(), x.clone().into())]);
     bench_grid(c, "ssymv", &def, &inputs);
 
     let def = defs::bellman_ford();
-    let inputs = def.inputs([("A", a2.clone().into()), ("d", x.clone().into())]).unwrap();
+    let inputs =
+        HashMap::from([("A".to_string(), a2.clone()), ("d".to_string(), x.clone().into())]);
     bench_grid(c, "bellman_ford", &def, &inputs);
 
     let def = defs::syprd();
-    let inputs = def.inputs([("A", a2.into()), ("x", x.into())]).unwrap();
+    let inputs = HashMap::from([("A".to_string(), a2), ("x".to_string(), x.into())]);
     bench_grid(c, "syprd", &def, &inputs);
 
+    // ~40 nonzeros per row: the intersection dots run long enough to
+    // engage the lane kernels.
     let def = defs::ssyrk();
-    let a = sprand(200, 200, 2_000, &mut r);
+    let a = sprand(200, 200, 8_000, &mut r);
     let inputs = def.inputs([("A", a.into())]).unwrap();
     bench_grid(c, "ssyrk", &def, &inputs);
 

@@ -1,0 +1,122 @@
+//! Scratch probe: lane vs scalar serial medians for the three
+//! dense/RLE-dominated kernels across working-set sizes. Not part of
+//! the checked-in bench surface; used to pick `benches/kernels.rs`
+//! sizes where the fold chain (not memory bandwidth) is what the lanes
+//! axis measures.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use systec_kernels::{defs, Backend, Counters, ExecContext, KernelDef, LaneMode, Prepared};
+use systec_tensor::generate::{
+    random_dense, rng, sprand, symmetric_block_plateau, symmetric_erdos_renyi,
+};
+use systec_tensor::{LevelFormat, SparseTensor, Tensor};
+
+fn median_ns(f: &mut dyn FnMut()) -> f64 {
+    // Warm up, then time enough reps to dominate timer noise.
+    for _ in 0..3 {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let reps = 8;
+            let t = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / reps as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn probe(name: &str, def: &KernelDef, inputs: &HashMap<String, Tensor>) -> (f64, f64) {
+    let prepared = Prepared::compile(def, inputs).expect("prepare");
+    let mut out = HashMap::new();
+    let mut counters = Counters::new();
+    let lanes = {
+        let runner = prepared.clone().with_backend(Backend::Compiled);
+        let mut ctx = ExecContext::new();
+        median_ns(&mut || {
+            runner.run_timed_into(&mut out, &mut ctx, &mut counters).expect("run");
+        })
+    };
+    let scalar = {
+        let runner = prepared.clone().with_backend(Backend::Compiled);
+        let mut ctx = ExecContext::new().with_lane_mode(LaneMode::Scalar);
+        median_ns(&mut || {
+            runner.run_timed_into(&mut out, &mut ctx, &mut counters).expect("run");
+        })
+    };
+    println!(
+        "  {name:14} lanes {:>9.0}ns scalar {:>9.0}ns ratio {:.3}",
+        lanes,
+        scalar,
+        scalar / lanes
+    );
+    (lanes, scalar)
+}
+
+fn main() {
+    for (n, block, pb) in
+        [(1000usize, 32usize, 0.08f64), (1600, 32, 0.05), (2000, 32, 0.035), (2500, 32, 0.025)]
+    {
+        let mut r = rng(1);
+        let a2 = symmetric_block_plateau(n, block, pb, &mut r);
+        let nnz = a2.entries().count();
+        let x = random_dense(vec![n], &mut r);
+        let a_rle = Tensor::Sparse(
+            SparseTensor::from_coo(&a2, &[LevelFormat::Dense, LevelFormat::RunLength]).unwrap(),
+        );
+        println!("RLE n={n} block={block} pb={pb} (~{:.0} nnz/row)", nnz as f64 / n as f64);
+        let mut ratios = Vec::new();
+        let def = defs::ssymv();
+        let inputs =
+            HashMap::from([("A".to_string(), a_rle.clone()), ("x".to_string(), x.clone().into())]);
+        let (l, s) = probe("ssymv", &def, &inputs);
+        ratios.push(s / l);
+        let def = defs::bellman_ford();
+        let inputs =
+            HashMap::from([("A".to_string(), a_rle.clone()), ("d".to_string(), x.clone().into())]);
+        let (l, s) = probe("bellman_ford", &def, &inputs);
+        ratios.push(s / l);
+        let def = defs::syprd();
+        let inputs = HashMap::from([("A".to_string(), a_rle), ("x".to_string(), x.into())]);
+        let (l, s) = probe("syprd", &def, &inputs);
+        ratios.push(s / l);
+        let geo: f64 = ratios.iter().product::<f64>().powf(1.0 / ratios.len() as f64);
+        println!("  geomean {geo:.3}");
+    }
+    {
+        // SSYRK (intersection-probe dominated): is the lane path a net
+        // win at the bench's workload shape?
+        let mut r = rng(1);
+        let def = defs::ssyrk();
+        let a = sprand(200, 200, 8_000, &mut r);
+        let inputs = def.inputs([("A", a.into())]).unwrap();
+        probe("ssyrk", &def, &inputs);
+    }
+    for (n, p) in [(400usize, 0.16f64), (2500, 0.024)] {
+        let mut r = rng(1);
+        let a2 = symmetric_erdos_renyi(n, 2, p, &mut r);
+        let x = random_dense(vec![n], &mut r);
+        println!("n={n} p={p} (~{:.0} nnz/row)", n as f64 * p);
+        let mut ratios = Vec::new();
+        let def = defs::ssymv();
+        let inputs = def.inputs([("A", a2.clone().into()), ("x", x.clone().into())]).unwrap();
+        let (l, s) = probe("ssymv", &def, &inputs);
+        ratios.push(s / l);
+        let def = defs::bellman_ford();
+        let inputs = def.inputs([("A", a2.clone().into()), ("d", x.clone().into())]).unwrap();
+        let (l, s) = probe("bellman_ford", &def, &inputs);
+        ratios.push(s / l);
+        let def = defs::syprd();
+        let inputs = def.inputs([("A", a2.into()), ("x", x.into())]).unwrap();
+        let (l, s) = probe("syprd", &def, &inputs);
+        ratios.push(s / l);
+        let geo: f64 = ratios.iter().product::<f64>().powf(1.0 / ratios.len() as f64);
+        println!("  geomean {geo:.3}");
+    }
+}

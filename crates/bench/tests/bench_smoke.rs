@@ -1,17 +1,21 @@
 //! CI smoke for the perf path: drives every bench kernel once at tiny
 //! sizes across the same axes as `benches/kernels.rs` — both variants
-//! (symmetric / naive), both backends, a threads cell, and the
-//! counter-off mode — so a panic on a hot path fails the build instead
-//! of the next bench run. Output agreement between backends rides
-//! along (byte-identical, as in the differential tiers).
+//! (symmetric / naive), both backends, a threads cell, the counter-off
+//! mode, and the scalar lane-mode cell — so a panic on a hot path
+//! fails the build instead of the next bench run. Output agreement
+//! between backends rides along (byte-identical at these tiny sizes:
+//! every fiber is below the lane kernels' short-fiber cutover, so even
+//! the default lane mode folds in interpreter order).
 
 use std::collections::HashMap;
 
 use systec_kernels::{
-    defs, Backend, CounterMode, Counters, ExecContext, KernelDef, Parallelism, Prepared,
+    defs, Backend, CounterMode, Counters, ExecContext, KernelDef, LaneMode, Parallelism, Prepared,
 };
-use systec_tensor::generate::{random_dense, rng, sprand, symmetric_erdos_renyi};
-use systec_tensor::Tensor;
+use systec_tensor::generate::{
+    random_dense, rng, sprand, symmetric_block_plateau, symmetric_erdos_renyi,
+};
+use systec_tensor::{LevelFormat, SparseTensor, Tensor};
 
 fn drive(name: &str, def: &KernelDef, inputs: &HashMap<String, Tensor>) {
     for prepared in [
@@ -62,6 +66,22 @@ fn drive(name: &str, def: &KernelDef, inputs: &HashMap<String, Tensor>) {
                 );
             }
         }
+
+        // The lanes axis: the serial compiled path with the explicit
+        // lane runners pinned off, as in the `-scalar` bench cells.
+        let scalar = prepared.clone().with_backend(Backend::Compiled);
+        let mut outputs = HashMap::new();
+        let mut ctx = ExecContext::new().with_lane_mode(LaneMode::Scalar);
+        let mut counters = Counters::new();
+        scalar.run_timed_into(&mut outputs, &mut ctx, &mut counters).expect("scalar run");
+        if let Some(expected) = &reference {
+            for (out_name, t) in expected {
+                assert_eq!(
+                    &outputs[out_name], t,
+                    "{name}: scalar lane-mode outputs diverge on {out_name}"
+                );
+            }
+        }
     }
 }
 
@@ -82,6 +102,32 @@ fn every_bench_kernel_runs_at_tiny_size() {
     let def = defs::syprd();
     let inputs = def.inputs([("A", a2.into()), ("x", x.into())]).unwrap();
     drive("syprd", &def, &inputs);
+
+    // The benches feed these three kernels a run-length-packed plateau
+    // matrix (the RLE dot / dot-axpy runners); mirror that storage here.
+    // n stays below the lane cutover so every clamped window span folds
+    // in interpreter order and the byte-equality asserts still hold.
+    let mut r = rng(9);
+    let plateau = symmetric_block_plateau(12, 4, 0.4, &mut r);
+    let plateau = Tensor::Sparse(
+        SparseTensor::from_coo(&plateau, &[LevelFormat::Dense, LevelFormat::RunLength])
+            .expect("pack plateau matrix"),
+    );
+    let xs = random_dense(vec![12], &mut r);
+
+    let def = defs::ssymv();
+    let inputs =
+        HashMap::from([("A".to_string(), plateau.clone()), ("x".to_string(), xs.clone().into())]);
+    drive("ssymv-rle", &def, &inputs);
+
+    let def = defs::bellman_ford();
+    let inputs =
+        HashMap::from([("A".to_string(), plateau.clone()), ("d".to_string(), xs.clone().into())]);
+    drive("bellman_ford-rle", &def, &inputs);
+
+    let def = defs::syprd();
+    let inputs = HashMap::from([("A".to_string(), plateau), ("x".to_string(), xs.into())]);
+    drive("syprd-rle", &def, &inputs);
 
     let def = defs::ssyrk();
     let a = sprand(12, 12, 30, &mut r);

@@ -305,7 +305,13 @@ pub(crate) enum FLoad {
     Dense { tensor: usize, base: Box<[Term]>, stride: usize },
     /// Random-access gather — same contract (and cursor scratch slot)
     /// as [`VStep::LoadGather`]; counted per hit.
-    Gather { tensor: usize, id: usize, modes: Box<[usize]>, leaf_only: bool, set_miss: bool },
+    Gather {
+        tensor: usize,
+        id: usize,
+        modes: Box<[usize]>,
+        var_mode: Option<usize>,
+        set_miss: bool,
+    },
 }
 
 /// One operand of a fused fold.
@@ -376,6 +382,15 @@ pub(crate) struct Fused {
     /// shape) — lets the VM skip every entry-time shape check on a loop
     /// it may enter tens of thousands of times per run.
     pub isect_dot: Option<(usize, BinOp, AssignOp, usize)>,
+    /// Virtual lane count the runners use under
+    /// [`crate::LaneMode::Lanes`]: [`crate::vm::LANES`] when every
+    /// register-held fold of the body reduces through an operator with
+    /// an identity (so lanes can be seeded and merged in fixed order
+    /// without changing which elements participate), `1` when any fold
+    /// pins the body to strict scalar order. Purely descriptive in the
+    /// bytecode (disassembly/goldens); the runners re-derive legality
+    /// from it at dispatch.
+    pub lanes: u8,
 }
 
 /// One step of a vector-loop body. `base`-bearing steps carry a scratch
@@ -409,18 +424,22 @@ pub(crate) enum VStep {
     LoadProbe { dst: usize, tensor: usize, set_miss: bool },
     /// Non-concordant (`ReadSparseRandom`) read inside a vector loop:
     /// a per-level search from the tensor's root at the current index
-    /// values. When the innermost-varying subscript is the tensor's
-    /// leaf mode (`leaf_only`), the invariant prefix path resolves once
-    /// at loop entry and the leaf search advances a monotone gallop
-    /// cursor in the scratch slot `id`; otherwise every coordinate
-    /// searches the full path. Counted on a hit; fill + miss flag
-    /// (when `set_miss`) otherwise.
+    /// values. When the loop index appears in exactly one subscript
+    /// position (`var_mode = Some(k)`, the position of that mode in
+    /// `modes`), the invariant prefix path `modes[..k]` resolves once
+    /// at loop entry, position `k` advances a monotone cursor in the
+    /// scratch slot `id` (a gallop for compressed levels, a run cursor
+    /// for run-length levels, direct addressing for dense levels), and
+    /// the loop-invariant suffix `modes[k+1..]` descends per hit.
+    /// `var_mode = None` (the index appears in several positions)
+    /// searches the full path per coordinate. Counted on a hit; fill +
+    /// miss flag (when `set_miss`) otherwise.
     LoadGather {
         dst: usize,
         tensor: usize,
         id: usize,
         modes: Box<[usize]>,
-        leaf_only: bool,
+        var_mode: Option<usize>,
         set_miss: bool,
     },
     /// `out[bases[id] + coord*stride] op= fold(bin, f[srcs])`; with

@@ -918,17 +918,15 @@ impl Compiler<'_> {
             None if probe.is_some() => return false,
             None => None,
         };
-        // The probed side of an intersection must walk a compressed
-        // level (run-length and dense probes keep the general path).
+        // The probed side of an intersection may walk any level format:
+        // the VM's forward-only probe cursor handles compressed, dense
+        // and run-length fibers alike.
         let probe_info = match probe {
             Some(p) => {
                 let tensor = self.program.accesses[p.access].tensor;
-                let SlotLayout::Sparse { formats } = &self.layouts[tensor] else {
+                let SlotLayout::Sparse { .. } = &self.layouts[tensor] else {
                     return false;
                 };
-                if formats[p.level] != LevelFormat::Sparse {
-                    return false;
-                }
                 Some(VecAccess { access: p.access, level: p.level, tensor })
             }
             None => None,
@@ -1176,11 +1174,14 @@ impl Compiler<'_> {
                 false
             }
             LExpr::ReadSparseRandom { tensor, modes, annihilator } => {
-                // The gather's prefix path is loop-invariant exactly when
-                // the loop index appears only as the leaf subscript.
-                let leaf_only = modes
-                    .split_last()
-                    .is_some_and(|(last, prefix)| *last == idx && prefix.iter().all(|&m| m != idx));
+                // A monotone cursor exists exactly when the loop index
+                // appears at one subscript position: the prefix path is
+                // loop-invariant (cached at entry) and the suffix
+                // descends per hit. Multiple occurrences fall back to
+                // the full per-coordinate search.
+                let occurrences = modes.iter().filter(|&&m| m == idx).count();
+                let var_mode =
+                    (occurrences == 1).then(|| modes.iter().position(|&m| m == idx).unwrap());
                 let set_miss = in_assign && *annihilator;
                 *missable |= set_miss;
                 let id = self.alloc_vec_gather();
@@ -1189,7 +1190,7 @@ impl Compiler<'_> {
                     tensor: *tensor,
                     id,
                     modes: modes.iter().copied().collect(),
-                    leaf_only,
+                    var_mode,
                     set_miss,
                 });
                 true

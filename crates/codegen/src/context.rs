@@ -45,15 +45,60 @@ pub enum CounterMode {
     Off,
 }
 
-/// Per-vector-loop gather state: the invariant prefix position a
-/// leaf-varying `LoadGather` resolved at loop entry (or the miss
-/// sentinel), and the monotone merge cursor into the leaf fiber.
-#[derive(Clone, Copy, Debug, Default)]
-pub(crate) struct Gather {
+/// Which execution mode the fused-body runners use for their
+/// reduction accumulators.
+///
+/// [`LaneMode::Lanes`] (the default) spreads register-held reductions
+/// across a **fixed virtual lane count** ([`crate::vm::LANES`] = 8
+/// `f64` accumulators) and merges the lanes in a **fixed order** (lane
+/// 0 → 7) after the loop. Element *k* of a span always lands in lane
+/// `k % 8` regardless of thread count or chunking, so results are
+/// bit-deterministic across machines, thread counts and repeated runs
+/// — they are simply a *different* fixed association than the scalar
+/// left fold (within 1e-9 of the interpreter, exact counter parity).
+/// Breaking the loop-carried FP dependency is what lets the
+/// autovectorizer keep the accumulators in ymm/zmm.
+///
+/// [`LaneMode::Scalar`] keeps the strict left-to-right fold of the
+/// tree-walking interpreter — use it when bit-for-bit agreement with
+/// the scalar reference association matters more than speed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LaneMode {
+    /// Strict left-to-right scalar accumulation.
+    Scalar,
+    /// Eight-lane deterministic accumulation (the default).
+    #[default]
+    Lanes,
+}
+
+/// Per-vector-loop gather state in structure-of-arrays layout: for
+/// gather slot `i`, `prefix[i]` is the invariant-prefix position a
+/// mode-varying `LoadGather` resolved at loop entry (or the miss
+/// sentinel) and `cursor[i]` is the monotone merge cursor into the
+/// varying-mode fiber. Splitting the two keeps the per-coordinate
+/// cursor updates on a dense `usize` stream the vectorizer can
+/// address with one base register.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct GatherBank {
     /// Position after descending the invariant prefix levels.
-    pub prefix: usize,
-    /// Absolute position of the leaf-level gallop cursor.
-    pub cursor: usize,
+    pub prefix: Vec<usize>,
+    /// Absolute position of the varying-mode cursor.
+    pub cursor: Vec<usize>,
+}
+
+impl GatherBank {
+    /// Resets both arrays to `n` zeroed slots, reusing capacity.
+    pub fn reset(&mut self, n: usize) {
+        self.prefix.clear();
+        self.prefix.resize(n, 0);
+        self.cursor.clear();
+        self.cursor.resize(n, 0);
+    }
+
+    /// Number of gather slots.
+    pub fn len(&self) -> usize {
+        self.prefix.len()
+    }
 }
 
 /// Per-worker execution state: register files, vector-loop scratch, a
@@ -68,8 +113,9 @@ pub(crate) struct Bank {
     pub vec_pass: Vec<bool>,
     /// Vector-loop cached base offsets.
     pub vec_bases: Vec<usize>,
-    /// Vector-loop gather cursors (probe state for `LoadGather` steps).
-    pub gathers: Vec<Gather>,
+    /// Vector-loop gather cursors (probe state for `LoadGather` steps),
+    /// SoA so the per-coordinate cursor stream stays lane-friendly.
+    pub gathers: GatherBank,
     /// This worker's work counters.
     pub counters: CounterBank,
     /// Private buffers for reduction-merged outputs, by reduced-output
@@ -107,10 +153,12 @@ impl Bank {
 pub struct ExecContext {
     banks: Vec<Bank>,
     counter_mode: CounterMode,
+    lane_mode: LaneMode,
 }
 
 impl ExecContext {
-    /// A fresh context with no warmed buffers (and [`CounterMode::Exact`]).
+    /// A fresh context with no warmed buffers (and [`CounterMode::Exact`],
+    /// [`LaneMode::Lanes`]).
     pub fn new() -> Self {
         ExecContext::default()
     }
@@ -129,6 +177,23 @@ impl ExecContext {
     #[must_use]
     pub fn with_counter_mode(mut self, mode: CounterMode) -> Self {
         self.counter_mode = mode;
+        self
+    }
+
+    /// The lane mode runs through this context use.
+    pub fn lane_mode(&self) -> LaneMode {
+        self.lane_mode
+    }
+
+    /// Sets the lane mode for subsequent runs (see [`LaneMode`]).
+    pub fn set_lane_mode(&mut self, mode: LaneMode) {
+        self.lane_mode = mode;
+    }
+
+    /// Builder-style [`ExecContext::set_lane_mode`].
+    #[must_use]
+    pub fn with_lane_mode(mut self, mode: LaneMode) -> Self {
+        self.lane_mode = mode;
         self
     }
 
@@ -154,8 +219,9 @@ impl ExecContext {
 /// `Mutex<Vec>` pop/push — **no allocation** once as many contexts exist
 /// as there are concurrent callers.
 ///
-/// Returned contexts keep their configuration ([`CounterMode`]); callers
-/// that change it should set it explicitly after checkout.
+/// Returned contexts keep their configuration ([`CounterMode`],
+/// [`LaneMode`]); callers that change it should set it explicitly after
+/// checkout.
 #[derive(Clone, Debug, Default)]
 pub struct ContextPool {
     inner: Arc<PoolInner>,
@@ -278,8 +344,15 @@ mod tests {
         {
             let mut ctx = pool.checkout();
             ctx.set_counter_mode(CounterMode::Off);
+            ctx.set_lane_mode(LaneMode::Scalar);
         }
         let ctx = pool.checkout();
         assert_eq!(ctx.counter_mode(), CounterMode::Off, "contexts keep their configuration");
+        assert_eq!(ctx.lane_mode(), LaneMode::Scalar, "lane mode survives the round trip");
+    }
+
+    #[test]
+    fn lane_mode_defaults_to_lanes() {
+        assert_eq!(ExecContext::new().lane_mode(), LaneMode::Lanes);
     }
 }

@@ -151,7 +151,7 @@ pub(crate) fn fuse_item(steps: &[VStep]) -> Option<Fused> {
                     pending_miss.push(local);
                 }
             }
-            VStep::LoadGather { dst, tensor, id, modes, leaf_only, set_miss } => {
+            VStep::LoadGather { dst, tensor, id, modes, var_mode, set_miss } => {
                 let local = push_load(
                     &mut loads,
                     &mut local_of,
@@ -160,7 +160,7 @@ pub(crate) fn fuse_item(steps: &[VStep]) -> Option<Fused> {
                         tensor: *tensor,
                         id: *id,
                         modes: modes.clone(),
-                        leaf_only: *leaf_only,
+                        var_mode: *var_mode,
                         set_miss: *set_miss,
                     },
                 )?;
@@ -223,7 +223,37 @@ pub(crate) fn fuse_item(steps: &[VStep]) -> Option<Fused> {
         }
         _ => None,
     };
-    Some(Fused { kind, loads: loads.into(), folds: folds.into(), bulk, isect_dot })
+    let lanes = lane_count(&folds);
+    Some(Fused { kind, loads: loads.into(), folds: folds.into(), bulk, isect_dot, lanes })
+}
+
+/// The virtual lane count the runners may use for this body under
+/// [`crate::LaneMode::Lanes`].
+///
+/// A fold whose accumulator is **register-held** across the loop — a
+/// scalar slot, or the single fold's loop-invariant output cell
+/// (`stride == 0`; the same condition `vm::resolve` uses to hold a
+/// cell in a register) — is laneable only when its reduction operator
+/// has an identity: the lanes are seeded with the identity and merged
+/// lane 0 → 7 after the loop, which changes the association but not
+/// the participant set. `Overwrite` accumulations (last-write-wins)
+/// and operators without an identity pin the body to one lane.
+/// Elementwise (strided) folds store per coordinate in original order
+/// either way, so they never constrain the lane count.
+fn lane_count(folds: &[FFold]) -> u8 {
+    let single_fold = folds.len() == 1;
+    let lane_ok = folds.iter().all(|fold| {
+        let register_held = match &fold.acc {
+            FAcc::Scalar { .. } => true,
+            FAcc::Out { stride, .. } => *stride == 0 && single_fold,
+        };
+        !register_held || fold.op.identity().is_some()
+    });
+    if lane_ok {
+        crate::vm::LANES as u8
+    } else {
+        1
+    }
 }
 
 /// Maps fold operands through the load table / invariance check,

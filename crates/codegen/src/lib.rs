@@ -116,7 +116,7 @@ use systec_exec::{Counters, ExecError, LoweredProgram};
 use systec_tensor::{DenseTensor, Tensor};
 
 pub use cache::{BindingSig, CacheStats, PlanCache, PlanKey, SharedPlanCache};
-pub use context::{ContextPool, CounterMode, ExecContext, PooledContext};
+pub use context::{ContextPool, CounterMode, ExecContext, LaneMode, PooledContext};
 
 /// How many workers execute a kernel invocation.
 ///
@@ -573,8 +573,8 @@ mod tests {
         inputs.insert("x".to_string(), dense_vec(&[1.0, 10.0, 100.0]));
         let dis = disassembly(&prog, &inputs);
         assert!(
-            dis.contains("leaf_only: true"),
-            "leaf-varying gathers must take the cached-prefix path:\n{dis}"
+            dis.contains("var_mode: Some(2)"),
+            "leaf-varying gathers must take the cached-prefix cursor path:\n{dis}"
         );
         let (out, _) = both(&prog, &inputs);
         assert_eq!(out["s"].get(&[]), 2.0 * 1.0 + 3.0 * 100.0 + 5.0 * 10.0);

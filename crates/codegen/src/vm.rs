@@ -48,7 +48,7 @@ use crate::bytecode::{
     Bound, BytecodeProgram, FAcc, FFold, FLoad, FOp, Fused, FusedBody, Instr, ParOut, SplitInfo,
     Term, VItem, VStep, MISS,
 };
-use crate::context::{Bank, CounterMode, ExecContext, Gather};
+use crate::context::{Bank, CounterMode, ExecContext, GatherBank, LaneMode};
 use crate::fuse::{MAX_FUSED_FOLDS, MAX_FUSED_LOADS, MAX_FUSED_SRCS};
 use crate::Parallelism;
 
@@ -63,6 +63,26 @@ const MAX_OUTS: usize = 8;
 /// Coordinate chunks dealt per worker (over-decomposition for static
 /// load balance; round-robin assignment keeps the merge deterministic).
 const CHUNKS_PER_WORKER: usize = 8;
+/// The virtual lane count of the fused runners under
+/// [`LaneMode::Lanes`]: register-held reductions accumulate into a
+/// fixed-size `[f64; LANES]` array (element `k` of the drive window
+/// lands in lane `k % LANES`), merged in fixed lane order at loop exit.
+/// The width is a *virtual* constant — independent of the machine's
+/// vector registers — so results are bit-deterministic across machines,
+/// thread counts, and repeated runs; the autovectorizer maps the
+/// straight-line lane bodies onto whatever ymm/zmm width exists.
+pub(crate) const LANES: usize = 8;
+/// Largest drive window the lane kernels still decline under
+/// [`LaneMode::Lanes`]: at two full chunks or fewer the lane-merge /
+/// restructure tax outweighs any ILP win (measured: 16-wide dense
+/// factor loops lose ~10% laned), so those windows fold serially
+/// (identical to [`LaneMode::Scalar`]) and the kernels engage only
+/// strictly above it. The cutover is a pure function of the
+/// clamped window — not of thread count or timing — so determinism is
+/// unaffected: owned rows never split across chunks and always see the
+/// same window length, and reduced accumulators were already
+/// deterministic only per fixed thread count.
+pub(crate) const LANE_MIN: usize = 2 * LANES;
 
 /// A scratch table backed by inline storage for typical plan sizes,
 /// falling back to the heap for outsized plans (correct either way; the
@@ -305,7 +325,7 @@ struct VecRun<'r, 'a, 'o> {
     idx: usize,
     pass: &'r [bool],
     bases: &'r [usize],
-    gathers: &'r mut [Gather],
+    gathers: &'r mut GatherBank,
     u: &'r mut [usize],
     f: &'r mut [f64],
     dense: &'r [&'a [f64]],
@@ -323,20 +343,21 @@ struct VecRun<'r, 'a, 'o> {
     miss: bool,
 }
 
-/// Resolves the invariant prefix position (and leaf gallop cursor) of
-/// one leaf-varying gather at loop entry.
+/// Resolves the invariant prefix position (and forward cursor at the
+/// varying mode) of one single-varying-mode gather at loop entry.
+#[allow(clippy::too_many_arguments)]
 fn init_gather_cursor(
     levels: &[Option<LevelView<'_>>],
     lvl_base: &[usize],
     u: &[usize],
-    gathers: &mut [Gather],
+    gathers: &mut GatherBank,
     tensor: usize,
     id: usize,
     modes: &[usize],
+    var_mode: usize,
 ) {
-    let (_, prefix_modes) = modes.split_last().expect("leaf gathers have modes");
     let mut p = 0usize;
-    for (lv, &m) in prefix_modes.iter().enumerate() {
+    for (lv, &m) in modes.iter().enumerate().take(var_mode) {
         match level(levels, lvl_base, tensor, lv).find(p, u[m]) {
             Some(next) => p = next,
             None => {
@@ -348,64 +369,91 @@ fn init_gather_cursor(
     let cursor = if p == MISS {
         0
     } else {
-        match level(levels, lvl_base, tensor, modes.len() - 1) {
-            LevelView::Sparse { pos, .. } => pos[p],
-            _ => 0,
+        match level(levels, lvl_base, tensor, var_mode) {
+            LevelView::Sparse { pos, .. } | LevelView::RunLength { pos, .. } => pos[p],
+            LevelView::Dense { .. } => 0,
         }
     };
-    gathers[id] = Gather { prefix: p, cursor };
+    gathers.prefix[id] = p;
+    gathers.cursor[id] = cursor;
 }
 
-/// Resolves a gather at `coord`: the cached-prefix gallop for
-/// leaf-varying gathers, a full per-level search otherwise.
+/// Resolves a gather at `coord`. With `var_mode: Some(k)` the loop
+/// index appears at exactly one subscript position `k`: the invariant
+/// prefix position is cached ([`init_gather_cursor`]), position `k`
+/// advances a forward-only cursor (sparse gallop / run-length run
+/// cursor / dense direct index), and the invariant suffix descends per
+/// hit. With `None` the index appears at several positions, so no
+/// single monotone cursor exists and the full path is searched.
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn gather_find(
     levels: &[Option<LevelView<'_>>],
     lvl_base: &[usize],
     u: &[usize],
-    gathers: &mut [Gather],
+    gathers: &mut GatherBank,
     tensor: usize,
     id: usize,
     modes: &[usize],
-    leaf_only: bool,
+    var_mode: Option<usize>,
     coord: usize,
 ) -> Option<usize> {
-    if leaf_only {
-        let g = &mut gathers[id];
-        if g.prefix == MISS {
-            return None;
-        }
-        match level(levels, lvl_base, tensor, modes.len() - 1) {
-            LevelView::Sparse { pos, crd, .. } => {
-                // Coordinates are monotone within the loop, so the
-                // cursor only moves forward; the remainder search
-                // gallops past gaps in one partition_point.
-                let end = pos[g.prefix + 1];
-                if g.cursor < end && crd[g.cursor] < coord {
-                    g.cursor += crd[g.cursor..end].partition_point(|&c| c < coord);
-                }
-                (g.cursor < end && crd[g.cursor] == coord).then_some(g.cursor)
-            }
-            view => view.find(g.prefix, coord),
-        }
-    } else {
+    let Some(vm) = var_mode else {
         let mut p = 0usize;
         for (lv, &m) in modes.iter().enumerate() {
-            match level(levels, lvl_base, tensor, lv).find(p, u[m]) {
-                Some(next) => p = next,
-                None => return None,
+            p = level(levels, lvl_base, tensor, lv).find(p, u[m])?;
+        }
+        return Some(p);
+    };
+    let prefix = gathers.prefix[id];
+    if prefix == MISS {
+        return None;
+    }
+    let mut p = match level(levels, lvl_base, tensor, vm) {
+        LevelView::Sparse { pos, crd, .. } => {
+            // Coordinates are monotone within the loop, so the cursor
+            // only moves forward; the remainder search gallops past
+            // gaps in one partition_point.
+            let cur = &mut gathers.cursor[id];
+            let end = pos[prefix + 1];
+            if *cur < end && crd[*cur] < coord {
+                *cur += crd[*cur..end].partition_point(|&c| c < coord);
+            }
+            if *cur < end && crd[*cur] == coord {
+                *cur
+            } else {
+                return None;
             }
         }
-        Some(p)
+        LevelView::RunLength { pos, run_start, run_end, .. } => {
+            // Runs are sorted and disjoint: walk forward one run at a
+            // time (runs passed once are never revisited).
+            let cur = &mut gathers.cursor[id];
+            let end = pos[prefix + 1];
+            while *cur < end && run_end[*cur] < coord {
+                *cur += 1;
+            }
+            if *cur < end && run_start[*cur] <= coord {
+                *cur
+            } else {
+                return None;
+            }
+        }
+        view => view.find(prefix, coord)?,
+    };
+    // Middle-mode-varying gathers descend the invariant suffix per hit
+    // (leaf-varying gathers have an empty suffix, so this is free).
+    for (lv, &m) in modes.iter().enumerate().skip(vm + 1) {
+        p = level(levels, lvl_base, tensor, lv).find(p, u[m])?;
     }
+    Some(p)
 }
 
 impl<'a> VecRun<'_, 'a, '_> {
-    /// Resolves the invariant prefix position (and leaf gallop cursor)
-    /// of every leaf-varying gather once per loop entry.
+    /// Resolves the invariant prefix position (and varying-mode cursor)
+    /// of every single-varying-mode gather once per loop entry.
     fn init_gathers(&mut self) {
-        if self.gathers.is_empty() {
+        if self.gathers.len() == 0 {
             // No gathers anywhere in the plan (all eight paper
             // kernels): skip the step scan on every loop entry.
             return;
@@ -416,7 +464,7 @@ impl<'a> VecRun<'_, 'a, '_> {
                 continue;
             }
             for step in item.steps.iter() {
-                let VStep::LoadGather { tensor, id, modes, leaf_only: true, .. } = step else {
+                let VStep::LoadGather { tensor, id, modes, var_mode: Some(vm), .. } = step else {
                     continue;
                 };
                 init_gather_cursor(
@@ -427,6 +475,7 @@ impl<'a> VecRun<'_, 'a, '_> {
                     *tensor,
                     *id,
                     modes,
+                    *vm,
                 );
             }
         }
@@ -471,8 +520,8 @@ impl<'a> VecRun<'_, 'a, '_> {
                             }
                         }
                     }
-                    VStep::LoadGather { dst, tensor, id, modes, leaf_only, set_miss } => {
-                        match self.gather(*tensor, *id, modes, *leaf_only, coord) {
+                    VStep::LoadGather { dst, tensor, id, modes, var_mode, set_miss } => {
+                        match self.gather(*tensor, *id, modes, *var_mode, coord) {
                             Some(pos) => {
                                 self.f[*dst] = self.vals[*tensor][pos];
                                 self.reads[*tensor] += 1;
@@ -514,15 +563,15 @@ impl<'a> VecRun<'_, 'a, '_> {
         }
     }
 
-    /// Resolves a gather at `coord`: the cached-prefix gallop for
-    /// leaf-varying gathers, a full per-level search otherwise.
+    /// Resolves a gather at `coord`: the cached-prefix cursor walk for
+    /// single-varying-mode gathers, a full per-level search otherwise.
     #[inline]
     fn gather(
         &mut self,
         tensor: usize,
         id: usize,
         modes: &[usize],
-        leaf_only: bool,
+        var_mode: Option<usize>,
         coord: usize,
     ) -> Option<usize> {
         gather_find(
@@ -533,7 +582,7 @@ impl<'a> VecRun<'_, 'a, '_> {
             tensor,
             id,
             modes,
-            leaf_only,
+            var_mode,
             coord,
         )
     }
@@ -597,6 +646,73 @@ impl Semi for DynSemi {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Lane primitives
+// ---------------------------------------------------------------------------
+
+/// The invariant prefix of a dot chain: `[lead ∘] a [∘ mid]`.
+#[inline(always)]
+fn chain_prefix<S: Semi>(s: S, bin: BinOp, lead: Option<f64>, a: f64, mid: Option<f64>) -> f64 {
+    let mut v = match lead {
+        Some(l) => s.bin(bin, l, a),
+        None => a,
+    };
+    if let Some(k) = mid {
+        v = s.bin(bin, v, k);
+    }
+    v
+}
+
+/// One lane step over a full chunk: `lanes[k] op= va[k] bin xa[k]` for
+/// every lane. Both formulations apply the same operations in the same
+/// order per lane, so outputs are bit-identical across the feature
+/// gate; the `simd` build expresses the step as whole-array maps — the
+/// exact shape a `std::simd` drop-in would take — which the optimizer
+/// keeps in vector registers more reliably on some toolchains.
+#[cfg(not(feature = "simd"))]
+#[inline(always)]
+fn lane_accumulate<S: Semi>(
+    s: S,
+    bin: BinOp,
+    op: AssignOp,
+    lanes: &mut [f64; LANES],
+    va: [f64; LANES],
+    xa: [f64; LANES],
+) {
+    for k in 0..LANES {
+        lanes[k] = s.red(op, lanes[k], s.bin(bin, va[k], xa[k]));
+    }
+}
+
+/// One lane step over a full chunk (whole-array formulation; see the
+/// default build's doc for the bit-identity argument).
+#[cfg(feature = "simd")]
+#[inline(always)]
+fn lane_accumulate<S: Semi>(
+    s: S,
+    bin: BinOp,
+    op: AssignOp,
+    lanes: &mut [f64; LANES],
+    va: [f64; LANES],
+    xa: [f64; LANES],
+) {
+    let prod: [f64; LANES] = std::array::from_fn(|k| s.bin(bin, va[k], xa[k]));
+    *lanes = std::array::from_fn(|k| s.red(op, lanes[k], prod[k]));
+}
+
+/// Merges the lane accumulators into the caller's scalar accumulator in
+/// fixed lane order (`acc0`, then lane `0 → LANES-1`) — the one place
+/// lane values recombine, so the merge order alone fixes the result
+/// bits for a given lane assignment.
+#[inline(always)]
+fn lane_merge<S: Semi>(s: S, op: AssignOp, acc0: f64, lanes: &[f64; LANES]) -> f64 {
+    let mut acc = acc0;
+    for &l in lanes {
+        acc = s.red(op, acc, l);
+    }
+    acc
+}
+
 /// An entry-resolved per-coordinate load: dense operands are concrete
 /// slices with their invariant base offsets folded in.
 #[derive(Clone, Copy)]
@@ -608,7 +724,7 @@ enum RLoad<'a, 'p> {
     /// `slice[base + coord * stride]`.
     Dense { slice: &'a [f64], base: usize, stride: usize },
     /// Random-access gather (shares [`gather_find`] with the step path).
-    Gather { tensor: usize, id: usize, modes: &'p [usize], leaf_only: bool, set_miss: bool },
+    Gather { tensor: usize, id: usize, modes: &'p [usize], var_mode: Option<usize>, set_miss: bool },
 }
 
 /// An entry-resolved fold operand: loop-invariant registers become
@@ -644,6 +760,10 @@ struct RFold {
     acc: RAcc,
     /// Register accumulator for `Slot` / `Cell` targets.
     accv: f64,
+    /// Lane accumulators for `Slot` / `Cell` targets under
+    /// [`LaneMode::Lanes`], seeded with the fold op's identity and
+    /// merged into `accv` in fixed lane order at loop exit.
+    lanev: [f64; LANES],
     bin: BinOp,
     op: AssignOp,
     check_miss: bool,
@@ -664,6 +784,14 @@ struct RBody<'a, 'p> {
     /// full-search gather reads it; set once at exit otherwise).
     idx: usize,
     needs_u_idx: bool,
+    /// Whether register-held folds accumulate into [`RFold::lanev`]
+    /// (the body's plan-level lane count is > 1 and the context asked
+    /// for [`LaneMode::Lanes`]).
+    use_lanes: bool,
+    /// The lane the *next* coordinate's folds land in. Advances once
+    /// per executed coordinate — including all-miss coordinates — so
+    /// the lane assignment is a pure function of the drive window.
+    lane_k: usize,
 }
 
 /// How a fused loop iterates its coordinates — one variant per
@@ -686,17 +814,97 @@ enum FDrive<'a> {
         hi: usize,
     },
     /// Two-way intersection: the driver window merged against the
-    /// probed fiber with a forward-only galloping cursor.
+    /// probed fiber with a forward-only cursor ([`ProbeCur`]).
     Isect {
         vals: &'a [f64],
         crd: &'a [usize],
         start: usize,
         stop: usize,
         bvals: &'a [f64],
-        bcrd: &'a [usize],
-        bcur: usize,
-        bend: usize,
+        probe: ProbeCur<'a>,
     },
+}
+
+/// Upper bound on the number of coordinates a drive window executes —
+/// the generic fused path's lane cutover measure (compressed and
+/// intersection drivers count stored positions; dense drivers count
+/// the clamped coordinate span; run-length drivers measure against the
+/// run extents via [`rle_extent`]).
+fn drive_span(drive: &FDrive<'_>) -> usize {
+    match drive {
+        FDrive::Range { lo, hi } => hi.saturating_add(1).saturating_sub(*lo),
+        FDrive::Crd { start, stop, .. } | FDrive::Isect { start, stop, .. } => {
+            stop.saturating_sub(*start)
+        }
+        FDrive::Rle { run_start, run_end, start, stop, lo, hi, .. } => {
+            rle_extent(run_start, run_end, *start, *stop, *lo, *hi)
+        }
+    }
+}
+
+/// Upper bound on the coordinates a run-length window covers: first
+/// selected run's clamped start through last selected run's clamped
+/// end. Unclamped loops carry a sentinel `hi` (`i64::MAX`), so the raw
+/// `[lo, hi]` span saturates and would put every tiny fiber over the
+/// lane cutover; bounding by the run extents keeps the cutover a real
+/// measure of work.
+fn rle_extent(
+    run_start: &[usize],
+    run_end: &[usize],
+    start: usize,
+    stop: usize,
+    lo: usize,
+    hi: usize,
+) -> usize {
+    if start >= stop {
+        return 0;
+    }
+    let first = run_start[start].max(lo);
+    let last = run_end[stop - 1].min(hi);
+    last.saturating_add(1).saturating_sub(first)
+}
+
+/// Forward-only cursor over the probed side of an intersection drive —
+/// one variant per level format, so probes into dense and run-length
+/// levels reach the fused tier through the same merge loop as
+/// compressed probes. Driver coordinates are monotone, so every
+/// variant's cursor only moves forward.
+#[derive(Clone, Copy)]
+enum ProbeCur<'a> {
+    /// The probed path prefix is unstored: every probe misses (the
+    /// driver still iterates, as in the interpreter).
+    Empty,
+    /// Compressed fiber: gallop over `crd[cur..end]`.
+    Crd { crd: &'a [usize], cur: usize, end: usize },
+    /// Dense fiber: direct index, hit iff `coord < size`.
+    Dense { base: usize, size: usize },
+    /// Run-length fiber: walk runs `cur..end`, hit iff the current
+    /// run covers `coord`; the hit position is the run index.
+    Runs { run_start: &'a [usize], run_end: &'a [usize], cur: usize, end: usize },
+}
+
+impl ProbeCur<'_> {
+    /// Advances the cursor to `coord` and returns the value position on
+    /// a hit.
+    #[inline(always)]
+    fn find(&mut self, coord: usize) -> Option<usize> {
+        match self {
+            ProbeCur::Empty => None,
+            ProbeCur::Crd { crd, cur, end } => {
+                if *cur < *end && crd[*cur] < coord {
+                    *cur += crd[*cur..*end].partition_point(|&x| x < coord);
+                }
+                (*cur < *end && crd[*cur] == coord).then_some(*cur)
+            }
+            ProbeCur::Dense { base, size } => (coord < *size).then(|| *base + coord),
+            ProbeCur::Runs { run_start, run_end, cur, end } => {
+                while *cur < *end && run_end[*cur] < coord {
+                    *cur += 1;
+                }
+                (*cur < *end && run_start[*cur] <= coord).then_some(*cur)
+            }
+        }
+    }
 }
 
 #[inline(always)]
@@ -714,7 +922,7 @@ fn src_val(src: RSrc, locals: &[f64; MAX_FUSED_LOADS]) -> f64 {
 struct FusedRun<'r, 'a, 'o> {
     u: &'r mut [usize],
     f: &'r mut [f64],
-    gathers: &'r mut [Gather],
+    gathers: &'r mut GatherBank,
     dense: &'r [&'a [f64]],
     vals: &'r [&'a [f64]],
     levels: &'r [Option<LevelView<'a>>],
@@ -724,6 +932,9 @@ struct FusedRun<'r, 'a, 'o> {
     reads: &'r mut [u64],
     flops: u64,
     writes: u64,
+    /// The context's [`LaneMode`], as a bool: lane execution applies
+    /// only where the body's plan-level lane count also allows it.
+    lanes: bool,
 }
 
 impl<'a> FusedRun<'_, 'a, '_> {
@@ -758,14 +969,21 @@ impl<'a> FusedRun<'_, 'a, '_> {
         // the compile-time form — entry cost is a handful of scalar
         // resolutions, which matters for short fibers entered many
         // times (SSYRK's intersection).
+        //
+        // The short-fiber cutover applies to the generic path too: a
+        // window below [`LANE_MIN`] folds serially (in interpreter
+        // order), so the lane-merge tax is never paid on fibers too
+        // short to amortize it. The gate is a pure function of the
+        // drive window — deterministic, like the special runners'.
+        let use_lanes = self.lanes && fu.lanes > 1 && drive_span(&drive) > LANE_MIN;
         if matches!(fu.kind, FusedBody::Dot | FusedBody::DotAxpy)
-            && self.run_special::<COUNT>(fu, &drive, idx)
+            && self.run_special::<COUNT>(fu, &drive, idx, use_lanes)
         {
             return;
         }
-        let mut body = self.resolve(fu, idx);
+        let mut body = self.resolve(fu, idx, use_lanes);
         for ld in fu.loads.iter() {
-            if let FLoad::Gather { tensor, id, modes, leaf_only: true, .. } = ld {
+            if let FLoad::Gather { tensor, id, modes, var_mode: Some(vm), .. } = ld {
                 init_gather_cursor(
                     self.levels,
                     self.lvl_base,
@@ -774,6 +992,7 @@ impl<'a> FusedRun<'_, 'a, '_> {
                     *tensor,
                     *id,
                     modes,
+                    *vm,
                 );
             }
         }
@@ -783,21 +1002,32 @@ impl<'a> FusedRun<'_, 'a, '_> {
         let uniform = folds.iter().all(|fo| fo.bin == bin0 && fo.op == op0);
         match (uniform, bin0, op0) {
             (true, BinOp::Mul, AssignOp::Add) => {
-                self.drive::<MulAddSemi, COUNT>(&mut body, MulAddSemi, drive)
+                self.drive_shape::<MulAddSemi, COUNT>(&mut body, MulAddSemi, drive)
             }
             (true, BinOp::Add, AssignOp::Min) => {
-                self.drive::<AddMinSemi, COUNT>(&mut body, AddMinSemi, drive)
+                self.drive_shape::<AddMinSemi, COUNT>(&mut body, AddMinSemi, drive)
             }
-            _ => self.drive::<DynSemi, COUNT>(&mut body, DynSemi, drive),
+            _ => self.drive_shape::<DynSemi, COUNT>(&mut body, DynSemi, drive),
         }
-        // Flush register-held accumulators.
+        // Flush register-held accumulators: under lanes, merge the lane
+        // array into the entry-seeded accumulator in fixed lane order.
+        // `op.apply` is exactly the reduction the loop ran (the
+        // semiring dispatch above proved the op pair), so the merge is
+        // bit-identical whichever `Semi` drove the loop.
+        let use_lanes = body.use_lanes;
         for fold in &body.folds[..body.n_folds] {
+            let mut acc = fold.accv;
+            if use_lanes {
+                for &l in &fold.lanev {
+                    acc = fold.op.apply(acc, l);
+                }
+            }
             match fold.acc {
-                RAcc::Slot { slot } => self.f[slot] = fold.accv,
+                RAcc::Slot { slot } => self.f[slot] = acc,
                 RAcc::Cell { ord, off } => {
                     let ob = self.outs[ord].as_mut().expect("output bound");
                     let i = off - ob.base;
-                    ob.data[i] = fold.accv;
+                    ob.data[i] = acc;
                 }
                 RAcc::Out { .. } => {}
             }
@@ -806,8 +1036,9 @@ impl<'a> FusedRun<'_, 'a, '_> {
 
     /// Resolves a fused body against the current bindings: dense bases
     /// and invariant registers are snapshot once, accumulators load
-    /// their starting values.
-    fn resolve<'p>(&mut self, fu: &'p Fused, idx: usize) -> RBody<'a, 'p> {
+    /// their starting values (lane accumulators seed with the fold op's
+    /// identity under lane mode).
+    fn resolve<'p>(&mut self, fu: &'p Fused, idx: usize, use_lanes: bool) -> RBody<'a, 'p> {
         let mut body = RBody {
             loads: [RLoad::Val; MAX_FUSED_LOADS],
             n_loads: fu.loads.len(),
@@ -818,6 +1049,7 @@ impl<'a> FusedRun<'_, 'a, '_> {
                 n_srcs: 0,
                 acc: RAcc::Slot { slot: 0 },
                 accv: 0.0,
+                lanev: [0.0; LANES],
                 bin: BinOp::Add,
                 op: AssignOp::Add,
                 check_miss: false,
@@ -828,6 +1060,8 @@ impl<'a> FusedRun<'_, 'a, '_> {
             n_folds: fu.folds.len(),
             idx,
             needs_u_idx: false,
+            use_lanes,
+            lane_k: 0,
         };
         for (i, ld) in fu.loads.iter().enumerate() {
             body.loads[i] = match ld {
@@ -840,13 +1074,13 @@ impl<'a> FusedRun<'_, 'a, '_> {
                     base: offset(self.u, base),
                     stride: *stride,
                 },
-                FLoad::Gather { tensor, id, modes, leaf_only, set_miss } => {
-                    body.needs_u_idx |= !*leaf_only;
+                FLoad::Gather { tensor, id, modes, var_mode, set_miss } => {
+                    body.needs_u_idx |= var_mode.is_none();
                     RLoad::Gather {
                         tensor: *tensor,
                         id: *id,
                         modes,
-                        leaf_only: *leaf_only,
+                        var_mode: *var_mode,
                         set_miss: *set_miss,
                     }
                 }
@@ -893,6 +1127,7 @@ impl<'a> FusedRun<'_, 'a, '_> {
                 }
                 RAcc::Out { .. } => 0.0,
             };
+            rf.lanev = [fold.op.identity().unwrap_or(0.0); LANES];
             rf.bin = fold.bin;
             rf.op = fold.op;
             rf.check_miss = fold.check_miss;
@@ -903,10 +1138,30 @@ impl<'a> FusedRun<'_, 'a, '_> {
         body
     }
 
-    /// Drives the body over the loop's coordinates: closed-form
-    /// specializations for the canonical dot / dot-axpy / intersection
-    /// shapes, the lean generic loop otherwise.
-    fn drive<S: Semi, const COUNT: bool>(
+    /// Shape dispatch for the generic fused loop: the common small
+    /// (loads, folds) shapes — `Jam` bodies in particular — get
+    /// per-shape unrolled instantiations of [`Self::drive`] whose inner
+    /// loops have compile-time trip counts; `(0, 0)` is the dynamic
+    /// fallback for everything else.
+    fn drive_shape<S: Semi, const COUNT: bool>(
+        &mut self,
+        body: &mut RBody<'a, '_>,
+        s: S,
+        drive: FDrive<'a>,
+    ) {
+        match (body.n_loads, body.n_folds) {
+            (2, 1) => self.drive::<S, COUNT, 2, 1>(body, s, drive),
+            (3, 2) => self.drive::<S, COUNT, 3, 2>(body, s, drive),
+            (4, 3) => self.drive::<S, COUNT, 4, 3>(body, s, drive),
+            (5, 4) => self.drive::<S, COUNT, 5, 4>(body, s, drive),
+            _ => self.drive::<S, COUNT, 0, 0>(body, s, drive),
+        }
+    }
+
+    /// Drives the body over the loop's coordinates. `NL` / `NF` pin the
+    /// load and fold counts at compile time (0 = read them from the
+    /// body at runtime).
+    fn drive<S: Semi, const COUNT: bool, const NL: usize, const NF: usize>(
         &mut self,
         body: &mut RBody<'a, '_>,
         s: S,
@@ -915,13 +1170,13 @@ impl<'a> FusedRun<'_, 'a, '_> {
         match drive {
             FDrive::Range { lo, hi } => {
                 for c in lo..=hi {
-                    self.coord::<S, COUNT>(body, s, c, None, None);
+                    self.coord::<S, COUNT, NL, NF>(body, s, c, None, None);
                 }
                 self.u[body.idx] = hi;
             }
             FDrive::Crd { vals, crd, start, stop } => {
                 for (pos, &c) in crd.iter().enumerate().take(stop).skip(start) {
-                    self.coord::<S, COUNT>(body, s, c, Some((vals, pos)), None);
+                    self.coord::<S, COUNT, NL, NF>(body, s, c, Some((vals, pos)), None);
                 }
                 self.u[body.idx] = crd[stop - 1];
             }
@@ -934,19 +1189,22 @@ impl<'a> FusedRun<'_, 'a, '_> {
                     }
                     let c_hi = run_end[r].min(hi);
                     for c in c_lo..=c_hi {
-                        self.coord::<S, COUNT>(body, s, c, Some((vals, r)), None);
+                        self.coord::<S, COUNT, NL, NF>(body, s, c, Some((vals, r)), None);
                     }
                     last = c_hi;
                 }
                 self.u[body.idx] = last;
             }
-            FDrive::Isect { vals, crd, start, stop, bvals, bcrd, mut bcur, bend } => {
+            FDrive::Isect { vals, crd, start, stop, bvals, mut probe } => {
                 for (pos, &c) in crd.iter().enumerate().take(stop).skip(start) {
-                    if bcur < bend && bcrd[bcur] < c {
-                        bcur += bcrd[bcur..bend].partition_point(|&x| x < c);
-                    }
-                    let pmatch = (bcur < bend && bcrd[bcur] == c).then_some(bcur);
-                    self.coord::<S, COUNT>(body, s, c, Some((vals, pos)), Some((bvals, pmatch)));
+                    let pmatch = probe.find(c);
+                    self.coord::<S, COUNT, NL, NF>(
+                        body,
+                        s,
+                        c,
+                        Some((vals, pos)),
+                        Some((bvals, pmatch)),
+                    );
                 }
                 self.u[body.idx] = crd[stop - 1];
             }
@@ -956,7 +1214,7 @@ impl<'a> FusedRun<'_, 'a, '_> {
     /// Executes the body for one coordinate (the generic fused path:
     /// loads once into locals, then the straight-line folds).
     #[inline(always)]
-    fn coord<S: Semi, const COUNT: bool>(
+    fn coord<S: Semi, const COUNT: bool, const NL: usize, const NF: usize>(
         &mut self,
         body: &mut RBody<'a, '_>,
         s: S,
@@ -967,9 +1225,13 @@ impl<'a> FusedRun<'_, 'a, '_> {
         if body.needs_u_idx {
             self.u[body.idx] = coord;
         }
+        let n_loads = if NL == 0 { body.n_loads } else { NL };
+        let n_folds = if NF == 0 { body.n_folds } else { NF };
+        let use_lanes = body.use_lanes;
+        let lane_k = body.lane_k;
         let mut locals = [0f64; MAX_FUSED_LOADS];
         let mut miss: u32 = 0;
-        for (i, ld) in body.loads[..body.n_loads].iter().enumerate() {
+        for (i, ld) in body.loads[..n_loads].iter().enumerate() {
             match *ld {
                 RLoad::Val => {
                     let (v, pos) = leaf.expect("driver value in a driven fused loop");
@@ -993,7 +1255,7 @@ impl<'a> FusedRun<'_, 'a, '_> {
                         }
                     }
                 }
-                RLoad::Gather { tensor, id, modes, leaf_only, set_miss } => {
+                RLoad::Gather { tensor, id, modes, var_mode, set_miss } => {
                     let found = gather_find(
                         self.levels,
                         self.lvl_base,
@@ -1002,7 +1264,7 @@ impl<'a> FusedRun<'_, 'a, '_> {
                         tensor,
                         id,
                         modes,
-                        leaf_only,
+                        var_mode,
                         coord,
                     );
                     match found {
@@ -1020,7 +1282,7 @@ impl<'a> FusedRun<'_, 'a, '_> {
                 }
             }
         }
-        for fold in body.folds[..body.n_folds].iter_mut() {
+        for fold in body.folds[..n_folds].iter_mut() {
             let mut k = 0usize;
             let mut v = if fold.has_lead {
                 fold.lead
@@ -1035,7 +1297,16 @@ impl<'a> FusedRun<'_, 'a, '_> {
             if !(fold.check_miss && (miss & fold.miss_mask) != 0) {
                 match fold.acc {
                     RAcc::Slot { .. } | RAcc::Cell { .. } => {
-                        fold.accv = s.red(fold.op, fold.accv, v);
+                        // Under lane mode, register-held reductions go
+                        // through the per-coordinate lane instead of the
+                        // loop-carried scalar — breaking the serial FP
+                        // dependency chain. Elementwise stores below are
+                        // untouched (distinct cells, original order).
+                        if use_lanes {
+                            fold.lanev[lane_k] = s.red(fold.op, fold.lanev[lane_k], v);
+                        } else {
+                            fold.accv = s.red(fold.op, fold.accv, v);
+                        }
                     }
                     RAcc::Out { ord, off, stride } => {
                         let ob = self.outs[ord].as_mut().expect("output bound");
@@ -1048,6 +1319,9 @@ impl<'a> FusedRun<'_, 'a, '_> {
                     self.flops += u64::from(fold.hit_flop);
                 }
             }
+        }
+        if use_lanes {
+            body.lane_k = (lane_k + 1) & (LANES - 1);
         }
     }
 
@@ -1062,11 +1336,14 @@ impl<'a> FusedRun<'_, 'a, '_> {
         fu: &Fused,
         drive: &FDrive<'a>,
         idx: usize,
+        lanes: bool,
     ) -> bool {
         match (fu.kind, fu.folds.as_ref()) {
-            (FusedBody::Dot, [fold]) => self.special_dot::<COUNT>(fold, &fu.loads, drive, idx),
+            (FusedBody::Dot, [fold]) => {
+                self.special_dot::<COUNT>(fold, &fu.loads, drive, idx, lanes)
+            }
             (FusedBody::DotAxpy, [dot, axpy]) => {
-                self.special_dot_axpy::<COUNT>(dot, axpy, &fu.loads, drive, idx)
+                self.special_dot_axpy::<COUNT>(dot, axpy, &fu.loads, drive, idx, lanes)
             }
             _ => false,
         }
@@ -1083,6 +1360,7 @@ impl<'a> FusedRun<'_, 'a, '_> {
         loads: &[FLoad],
         drive: &FDrive<'a>,
         idx: usize,
+        lanes: bool,
     ) -> bool {
         if loads.len() != 2 {
             return false;
@@ -1108,6 +1386,10 @@ impl<'a> FusedRun<'_, 'a, '_> {
             _ => unreachable!(),
         };
         let (bin, op) = (fold.bin, fold.op);
+        // Lane mode applies when the fold's reduction has an identity
+        // to seed the lanes with (always true for the proven-uniform
+        // semirings; checked for the dynamic fallback).
+        let lane_ident = if lanes { op.identity() } else { None };
         let acc = match &loads[b] {
             FLoad::Dense { tensor, base, stride } if !fold.check_miss => {
                 let xs = self.dense[*tensor];
@@ -1116,31 +1398,17 @@ impl<'a> FusedRun<'_, 'a, '_> {
                 match *drive {
                     FDrive::Crd { vals, crd, start, stop } => {
                         let (crd, avals) = (&crd[start..stop], &vals[start..stop]);
-                        let acc = match (bin, op) {
-                            (BinOp::Mul, AssignOp::Add) => dot_crd(
-                                MulAddSemi, bin, op, lead, mid, acc0, crd, avals, xs, xb, xst,
-                            ),
-                            (BinOp::Add, AssignOp::Min) => dot_crd(
-                                AddMinSemi, bin, op, lead, mid, acc0, crd, avals, xs, xb, xst,
-                            ),
-                            _ => {
-                                dot_crd(DynSemi, bin, op, lead, mid, acc0, crd, avals, xs, xb, xst)
-                            }
-                        };
+                        let acc = dot_crd_dispatch(
+                            bin, op, lane_ident, lead, mid, acc0, crd, avals, xs, xb, xst,
+                        );
                         self.u[idx] = crd[crd.len() - 1];
                         acc
                     }
                     FDrive::Rle { vals, run_start, run_end, start, stop, lo, hi } => {
                         let args = RleArgs { vals, run_start, run_end, start, stop, lo, hi };
-                        let (acc, last) = match (bin, op) {
-                            (BinOp::Mul, AssignOp::Add) => {
-                                dot_rle(MulAddSemi, bin, op, lead, mid, acc0, &args, xs, xb, xst)
-                            }
-                            (BinOp::Add, AssignOp::Min) => {
-                                dot_rle(AddMinSemi, bin, op, lead, mid, acc0, &args, xs, xb, xst)
-                            }
-                            _ => dot_rle(DynSemi, bin, op, lead, mid, acc0, &args, xs, xb, xst),
-                        };
+                        let (acc, last) = dot_rle_dispatch(
+                            bin, op, lane_ident, lead, mid, acc0, &args, xs, xb, xst,
+                        );
                         self.u[idx] = last;
                         acc
                     }
@@ -1150,21 +1418,13 @@ impl<'a> FusedRun<'_, 'a, '_> {
             FLoad::Probe { tensor: pt, set_miss: true }
                 if fold.check_miss && fold.miss.as_ref() == [b] =>
             {
-                let FDrive::Isect { vals, crd, start, stop, bvals, bcrd, bcur, bend } = *drive
-                else {
+                let FDrive::Isect { vals, crd, start, stop, bvals, probe } = *drive else {
                     return false;
                 };
                 let (crd, avals) = (&crd[start..stop], &vals[start..stop]);
-                let probe = IsectArgs { bvals, bcrd, bcur, bend };
-                let (acc, hits) = match (bin, op) {
-                    (BinOp::Mul, AssignOp::Add) => {
-                        isect_dot(MulAddSemi, bin, op, lead, mid, acc0, crd, avals, &probe)
-                    }
-                    (BinOp::Add, AssignOp::Min) => {
-                        isect_dot(AddMinSemi, bin, op, lead, mid, acc0, crd, avals, &probe)
-                    }
-                    _ => isect_dot(DynSemi, bin, op, lead, mid, acc0, crd, avals, &probe),
-                };
+                let (acc, hits) = isect_dot_dispatch(
+                    bin, op, lane_ident, lead, mid, acc0, crd, avals, bvals, probe,
+                );
                 if COUNT {
                     // Per hit: one probe read plus the store side of the
                     // miss-checked fold.
@@ -1193,9 +1453,9 @@ impl<'a> FusedRun<'_, 'a, '_> {
         true
     }
 
-    /// SSYMV's symmetric pair over a compressed driver: a register-held
-    /// scalar dot plus a strided reducing store, sharing the driver
-    /// value (`w ∘= a ∘ x[c]; y[c] ∘= a ∘ k`).
+    /// SSYMV's symmetric pair over a compressed or run-length driver:
+    /// a register-held scalar dot plus a strided reducing store,
+    /// sharing the driver value (`w ∘= a ∘ x[c]; y[c] ∘= a ∘ k`).
     fn special_dot_axpy<const COUNT: bool>(
         &mut self,
         dot: &FFold,
@@ -1203,10 +1463,11 @@ impl<'a> FusedRun<'_, 'a, '_> {
         loads: &[FLoad],
         drive: &FDrive<'a>,
         idx: usize,
+        lanes: bool,
     ) -> bool {
-        let FDrive::Crd { vals, crd, start, stop } = *drive else {
+        if !matches!(drive, FDrive::Crd { .. } | FDrive::Rle { .. }) {
             return false;
-        };
+        }
         if loads.len() != 2 || dot.check_miss || axpy.check_miss {
             return false;
         }
@@ -1236,31 +1497,66 @@ impl<'a> FusedRun<'_, 'a, '_> {
         let ooff = offset(self.u, obase);
         let ord = self.oo[*ot];
         let ob = self.outs[ord].as_mut().expect("output bound");
-        let args = DotAxpyArgs {
-            k,
-            k_first,
-            crd: &crd[start..stop],
-            avals: &vals[start..stop],
-            xs,
-            xb,
-            xst: *xst,
-            ooff,
-            ob_base: ob.base,
-            ost: *ost,
-        };
         let acc0 = self.f[slot];
+        // Only the dot side is register-held, so only its reduction
+        // needs an identity for lane mode; the axpy stores stay
+        // elementwise in original order either way.
+        let lane_ident = if lanes { dot.op.identity() } else { None };
         let uniform = dot.bin == axpy.bin && dot.op == axpy.op;
-        let acc = match (uniform, dot.bin, dot.op) {
-            (true, BinOp::Mul, AssignOp::Add) => {
-                dot_axpy_crd(MulAddSemi, dot, axpy, acc0, &args, ob.data)
+        match *drive {
+            FDrive::Crd { vals, crd, start, stop } => {
+                let args = DotAxpyArgs {
+                    k,
+                    k_first,
+                    crd: &crd[start..stop],
+                    avals: &vals[start..stop],
+                    xs,
+                    xb,
+                    xst: *xst,
+                    ooff,
+                    ob_base: ob.base,
+                    ost: *ost,
+                };
+                let acc = match (uniform, dot.bin, dot.op) {
+                    (true, BinOp::Mul, AssignOp::Add) => {
+                        dot_axpy_dispatch(MulAddSemi, dot, axpy, lane_ident, acc0, &args, ob.data)
+                    }
+                    (true, BinOp::Add, AssignOp::Min) => {
+                        dot_axpy_dispatch(AddMinSemi, dot, axpy, lane_ident, acc0, &args, ob.data)
+                    }
+                    _ => dot_axpy_dispatch(DynSemi, dot, axpy, lane_ident, acc0, &args, ob.data),
+                };
+                self.f[slot] = acc;
+                self.u[idx] = crd[stop - 1];
             }
-            (true, BinOp::Add, AssignOp::Min) => {
-                dot_axpy_crd(AddMinSemi, dot, axpy, acc0, &args, ob.data)
+            FDrive::Rle { vals, run_start, run_end, start, stop, lo, hi } => {
+                let args = DotAxpyRleArgs {
+                    k,
+                    k_first,
+                    rle: RleArgs { vals, run_start, run_end, start, stop, lo, hi },
+                    xs,
+                    xb,
+                    xst: *xst,
+                    ooff,
+                    ob_base: ob.base,
+                    ost: *ost,
+                };
+                let (acc, last) = match (uniform, dot.bin, dot.op) {
+                    (true, BinOp::Mul, AssignOp::Add) => dot_axpy_rle_dispatch(
+                        MulAddSemi, dot, axpy, lane_ident, acc0, &args, ob.data,
+                    ),
+                    (true, BinOp::Add, AssignOp::Min) => dot_axpy_rle_dispatch(
+                        AddMinSemi, dot, axpy, lane_ident, acc0, &args, ob.data,
+                    ),
+                    _ => {
+                        dot_axpy_rle_dispatch(DynSemi, dot, axpy, lane_ident, acc0, &args, ob.data)
+                    }
+                };
+                self.f[slot] = acc;
+                self.u[idx] = last;
             }
-            _ => dot_axpy_crd(DynSemi, dot, axpy, acc0, &args, ob.data),
-        };
-        self.f[slot] = acc;
-        self.u[idx] = crd[stop - 1];
+            _ => unreachable!("drive shape checked above"),
+        }
         true
     }
 }
@@ -1312,17 +1608,12 @@ fn dot_chain<S: Semi>(
     mid: Option<f64>,
     b: f64,
 ) -> f64 {
-    let mut v = match lead {
-        Some(l) => s.bin(bin, l, a),
-        None => a,
-    };
-    if let Some(k) = mid {
-        v = s.bin(bin, v, k);
-    }
+    let v = chain_prefix(s, bin, lead, a, mid);
     s.red(op, acc, s.bin(bin, v, b))
 }
 
-/// Dot over a compressed driver window.
+/// Dot over a compressed driver window (strict left-to-right scalar
+/// accumulation — [`LaneMode::Scalar`]).
 #[allow(clippy::too_many_arguments)]
 fn dot_crd<S: Semi>(
     s: S,
@@ -1344,6 +1635,98 @@ fn dot_crd<S: Semi>(
     acc
 }
 
+/// Lane-mode dot over a compressed driver window: element `k` of the
+/// window reduces into lane `k % LANES`; the chunked main loop is the
+/// straight-line shape the autovectorizer keeps in vector registers,
+/// the remainder continues from lane 0 (window length mod `LANES`
+/// elements, so lane assignment stays position-pure).
+#[allow(clippy::too_many_arguments)]
+fn dot_crd_lanes<S: Semi>(
+    s: S,
+    bin: BinOp,
+    op: AssignOp,
+    ident: f64,
+    lead: Option<f64>,
+    mid: Option<f64>,
+    acc0: f64,
+    crd: &[usize],
+    avals: &[f64],
+    xs: &[f64],
+    xb: usize,
+    xst: usize,
+) -> f64 {
+    let mut lanes = [ident; LANES];
+    let n = crd.len().min(avals.len());
+    // Fixed-size chunk references (`&[T; LANES]`) let the per-element
+    // bounds checks fold away; the gather into `xs` is the one load the
+    // optimizer still has to check.
+    let mut base = 0;
+    while base + LANES <= n {
+        let c8: &[usize; LANES] = crd[base..base + LANES].try_into().expect("exact chunk");
+        let a8: &[f64; LANES] = avals[base..base + LANES].try_into().expect("exact chunk");
+        let va: [f64; LANES] = std::array::from_fn(|k| chain_prefix(s, bin, lead, a8[k], mid));
+        let xa: [f64; LANES] = std::array::from_fn(|k| xs[xb + c8[k] * xst]);
+        lane_accumulate(s, bin, op, &mut lanes, va, xa);
+        base += LANES;
+    }
+    for (k, p) in (base..n).enumerate() {
+        lanes[k] = dot_chain(s, bin, op, lanes[k], lead, avals[p], mid, xs[xb + crd[p] * xst]);
+    }
+    lane_merge(s, op, acc0, &lanes)
+}
+
+/// Selects the semiring instantiation and lane/scalar variant of the
+/// compressed-driver dot. `lane_ident` is the lane seed under
+/// [`LaneMode::Lanes`] (`None` = scalar accumulation); windows shorter
+/// than [`LANE_MIN`] fold serially even in lane mode.
+#[allow(clippy::too_many_arguments)]
+fn dot_crd_dispatch(
+    bin: BinOp,
+    op: AssignOp,
+    lane_ident: Option<f64>,
+    lead: Option<f64>,
+    mid: Option<f64>,
+    acc0: f64,
+    crd: &[usize],
+    avals: &[f64],
+    xs: &[f64],
+    xb: usize,
+    xst: usize,
+) -> f64 {
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn go<S: Semi>(
+        s: S,
+        bin: BinOp,
+        op: AssignOp,
+        lane_ident: Option<f64>,
+        lead: Option<f64>,
+        mid: Option<f64>,
+        acc0: f64,
+        crd: &[usize],
+        avals: &[f64],
+        xs: &[f64],
+        xb: usize,
+        xst: usize,
+    ) -> f64 {
+        match lane_ident {
+            Some(id) if crd.len() > LANE_MIN => {
+                dot_crd_lanes(s, bin, op, id, lead, mid, acc0, crd, avals, xs, xb, xst)
+            }
+            _ => dot_crd(s, bin, op, lead, mid, acc0, crd, avals, xs, xb, xst),
+        }
+    }
+    match (bin, op) {
+        (BinOp::Mul, AssignOp::Add) => {
+            go(MulAddSemi, bin, op, lane_ident, lead, mid, acc0, crd, avals, xs, xb, xst)
+        }
+        (BinOp::Add, AssignOp::Min) => {
+            go(AddMinSemi, bin, op, lane_ident, lead, mid, acc0, crd, avals, xs, xb, xst)
+        }
+        _ => go(DynSemi, bin, op, lane_ident, lead, mid, acc0, crd, avals, xs, xb, xst),
+    }
+}
+
 /// The run-length drive window (bundled to keep signatures readable).
 struct RleArgs<'a> {
     vals: &'a [f64],
@@ -1355,8 +1738,16 @@ struct RleArgs<'a> {
     hi: usize,
 }
 
+impl RleArgs<'_> {
+    /// See [`rle_extent`] — the lane cutover measure for this window.
+    fn extent(&self) -> usize {
+        rle_extent(self.run_start, self.run_end, self.start, self.stop, self.lo, self.hi)
+    }
+}
+
 /// Dot over a run-length driver window: the driver value is constant
 /// per run, so its chain prefix hoists out of the inner strided loop.
+/// Strict left-to-right scalar accumulation ([`LaneMode::Scalar`]).
 #[allow(clippy::too_many_arguments)]
 fn dot_rle<S: Semi>(
     s: S,
@@ -1378,14 +1769,7 @@ fn dot_rle<S: Semi>(
             break;
         }
         let c_hi = args.run_end[r].min(args.hi);
-        let a = args.vals[r];
-        let mut v = match lead {
-            Some(l) => s.bin(bin, l, a),
-            None => a,
-        };
-        if let Some(k) = mid {
-            v = s.bin(bin, v, k);
-        }
+        let v = chain_prefix(s, bin, lead, args.vals[r], mid);
         for c in c_lo..=c_hi {
             acc = s.red(op, acc, s.bin(bin, v, xs[xb + c * xst]));
         }
@@ -1394,19 +1778,113 @@ fn dot_rle<S: Semi>(
     (acc, last)
 }
 
-/// The probed fiber of an intersection drive.
-struct IsectArgs<'a> {
-    bvals: &'a [f64],
-    bcrd: &'a [usize],
-    bcur: usize,
-    bend: usize,
+/// Lane-mode dot over a run-length driver window: within each clamped
+/// run, offset `d` from the run's clamped start reduces into lane
+/// `d % LANES` (the hoisted run value broadcast across the chunk), so
+/// the lane assignment depends only on the clamped run layout.
+#[allow(clippy::too_many_arguments)]
+fn dot_rle_lanes<S: Semi>(
+    s: S,
+    bin: BinOp,
+    op: AssignOp,
+    ident: f64,
+    lead: Option<f64>,
+    mid: Option<f64>,
+    acc0: f64,
+    args: &RleArgs<'_>,
+    xs: &[f64],
+    xb: usize,
+    xst: usize,
+) -> (f64, usize) {
+    let mut lanes = [ident; LANES];
+    let mut last = args.lo;
+    for r in args.start..args.stop {
+        let c_lo = args.run_start[r].max(args.lo);
+        if c_lo > args.hi {
+            break;
+        }
+        let c_hi = args.run_end[r].min(args.hi);
+        let v = chain_prefix(s, bin, lead, args.vals[r], mid);
+        let va = [v; LANES];
+        let mut c = c_lo;
+        while c + LANES <= c_hi + 1 {
+            // Unit stride reads a contiguous chunk — the one laned load
+            // the optimizer can turn into straight vector loads.
+            let xa: [f64; LANES] = if xst == 1 {
+                *<&[f64; LANES]>::try_from(&xs[xb + c..xb + c + LANES]).expect("exact chunk")
+            } else {
+                std::array::from_fn(|k| xs[xb + (c + k) * xst])
+            };
+            lane_accumulate(s, bin, op, &mut lanes, va, xa);
+            c += LANES;
+        }
+        let mut k = 0usize;
+        while c <= c_hi {
+            lanes[k] = s.red(op, lanes[k], s.bin(bin, v, xs[xb + c * xst]));
+            k += 1;
+            c += 1;
+        }
+        last = c_hi;
+    }
+    (lane_merge(s, op, acc0, &lanes), last)
+}
+
+/// Selects the semiring instantiation and lane/scalar variant of the
+/// run-length dot (see [`dot_crd_dispatch`]).
+#[allow(clippy::too_many_arguments)]
+fn dot_rle_dispatch(
+    bin: BinOp,
+    op: AssignOp,
+    lane_ident: Option<f64>,
+    lead: Option<f64>,
+    mid: Option<f64>,
+    acc0: f64,
+    args: &RleArgs<'_>,
+    xs: &[f64],
+    xb: usize,
+    xst: usize,
+) -> (f64, usize) {
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn go<S: Semi>(
+        s: S,
+        bin: BinOp,
+        op: AssignOp,
+        lane_ident: Option<f64>,
+        lead: Option<f64>,
+        mid: Option<f64>,
+        acc0: f64,
+        args: &RleArgs<'_>,
+        xs: &[f64],
+        xb: usize,
+        xst: usize,
+    ) -> (f64, usize) {
+        // The run extent bounds the element count from above; runs
+        // sparser than the extent still fold fast in the lane kernel.
+        match lane_ident {
+            Some(id) if args.extent() > LANE_MIN => {
+                dot_rle_lanes(s, bin, op, id, lead, mid, acc0, args, xs, xb, xst)
+            }
+            _ => dot_rle(s, bin, op, lead, mid, acc0, args, xs, xb, xst),
+        }
+    }
+    match (bin, op) {
+        (BinOp::Mul, AssignOp::Add) => {
+            go(MulAddSemi, bin, op, lane_ident, lead, mid, acc0, args, xs, xb, xst)
+        }
+        (BinOp::Add, AssignOp::Min) => {
+            go(AddMinSemi, bin, op, lane_ident, lead, mid, acc0, args, xs, xb, xst)
+        }
+        _ => go(DynSemi, bin, op, lane_ident, lead, mid, acc0, args, xs, xb, xst),
+    }
 }
 
 /// Intersection dot: the driver window merged against the probed fiber
-/// with a forward-only galloping cursor; on a miss the fold's value is
-/// unused and the store skipped, so the merge skips computing it
-/// without changing any state. Returns the accumulator and the hit
-/// count (for per-hit probe-read / store-side accounting).
+/// with a forward-only cursor; on a miss the fold's value is unused and
+/// the store skipped, so the merge skips computing it without changing
+/// any state. Returns the accumulator and the hit count (for per-hit
+/// probe-read / store-side accounting). Strict left-to-right scalar
+/// accumulation ([`LaneMode::Scalar`]).
 #[allow(clippy::too_many_arguments)]
 fn isect_dot<S: Semi>(
     s: S,
@@ -1417,22 +1895,119 @@ fn isect_dot<S: Semi>(
     acc0: f64,
     crd: &[usize],
     avals: &[f64],
-    probe: &IsectArgs<'_>,
+    bvals: &[f64],
+    mut probe: ProbeCur<'_>,
 ) -> (f64, u64) {
     let mut acc = acc0;
     let mut hits = 0u64;
-    let (bvals, bcrd, bend) = (probe.bvals, probe.bcrd, probe.bend);
-    let mut bcur = probe.bcur;
     for (&c, &a) in crd.iter().zip(avals) {
-        if bcur < bend && bcrd[bcur] < c {
-            bcur += bcrd[bcur..bend].partition_point(|&x| x < c);
-        }
-        if bcur < bend && bcrd[bcur] == c {
-            acc = dot_chain(s, bin, op, acc, lead, a, mid, bvals[bcur]);
+        if let Some(p) = probe.find(c) {
+            acc = dot_chain(s, bin, op, acc, lead, a, mid, bvals[p]);
             hits += 1;
         }
     }
     (acc, hits)
+}
+
+/// Lane-mode intersection dot: driver position `p` reduces into lane
+/// `p % LANES` — a pure function of the driver window, independent of
+/// where misses fall (a missed position simply leaves its lane
+/// untouched that round). Position-keyed lanes keep the chunked loop's
+/// lane indices compile-time constants, so the accumulators live in
+/// registers even though hits are data-dependent. Dispatched only for
+/// dense probes, where hits are the common case (see
+/// [`isect_dot_dispatch`]).
+#[allow(clippy::too_many_arguments)]
+fn isect_dot_lanes<S: Semi>(
+    s: S,
+    bin: BinOp,
+    op: AssignOp,
+    ident: f64,
+    lead: Option<f64>,
+    mid: Option<f64>,
+    acc0: f64,
+    crd: &[usize],
+    avals: &[f64],
+    bvals: &[f64],
+    mut probe: ProbeCur<'_>,
+) -> (f64, u64) {
+    let mut lanes = [ident; LANES];
+    let mut hits = 0u64;
+    let n = crd.len().min(avals.len());
+    let mut base = 0;
+    while base + LANES <= n {
+        let c8: &[usize; LANES] = crd[base..base + LANES].try_into().expect("exact chunk");
+        let a8: &[f64; LANES] = avals[base..base + LANES].try_into().expect("exact chunk");
+        for k in 0..LANES {
+            if let Some(p) = probe.find(c8[k]) {
+                lanes[k] = dot_chain(s, bin, op, lanes[k], lead, a8[k], mid, bvals[p]);
+                hits += 1;
+            }
+        }
+        base += LANES;
+    }
+    for (k, p) in (base..n).enumerate() {
+        if let Some(q) = probe.find(crd[p]) {
+            lanes[k] = dot_chain(s, bin, op, lanes[k], lead, avals[p], mid, bvals[q]);
+            hits += 1;
+        }
+    }
+    (lane_merge(s, op, acc0, &lanes), hits)
+}
+
+/// Selects the semiring instantiation and lane/scalar variant of the
+/// intersection dot (see [`dot_crd_dispatch`]).
+#[allow(clippy::too_many_arguments)]
+fn isect_dot_dispatch(
+    bin: BinOp,
+    op: AssignOp,
+    lane_ident: Option<f64>,
+    lead: Option<f64>,
+    mid: Option<f64>,
+    acc0: f64,
+    crd: &[usize],
+    avals: &[f64],
+    bvals: &[f64],
+    probe: ProbeCur<'_>,
+) -> (f64, u64) {
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn go<S: Semi>(
+        s: S,
+        bin: BinOp,
+        op: AssignOp,
+        lane_ident: Option<f64>,
+        lead: Option<f64>,
+        mid: Option<f64>,
+        acc0: f64,
+        crd: &[usize],
+        avals: &[f64],
+        bvals: &[f64],
+        probe: ProbeCur<'_>,
+    ) -> (f64, u64) {
+        // Lanes pay off only when the probe is a constant-time dense
+        // index (near-every position hits, so the fold chain is what's
+        // on the critical path). Against galloping compressed or
+        // run-walking probes the serial cursor advance dominates and
+        // hits are sparse — the lane merge is pure tax there (measured
+        // ~10% loss on SSYRK), so those fold serially. The gate is a
+        // pure function of the probed level's format: deterministic.
+        match (lane_ident, probe) {
+            (Some(id), ProbeCur::Dense { .. }) if crd.len() > LANE_MIN => {
+                isect_dot_lanes(s, bin, op, id, lead, mid, acc0, crd, avals, bvals, probe)
+            }
+            _ => isect_dot(s, bin, op, lead, mid, acc0, crd, avals, bvals, probe),
+        }
+    }
+    match (bin, op) {
+        (BinOp::Mul, AssignOp::Add) => {
+            go(MulAddSemi, bin, op, lane_ident, lead, mid, acc0, crd, avals, bvals, probe)
+        }
+        (BinOp::Add, AssignOp::Min) => {
+            go(AddMinSemi, bin, op, lane_ident, lead, mid, acc0, crd, avals, bvals, probe)
+        }
+        _ => go(DynSemi, bin, op, lane_ident, lead, mid, acc0, crd, avals, bvals, probe),
+    }
 }
 
 /// The dot-axpy drive window (bundled to keep signatures readable).
@@ -1450,6 +2025,7 @@ struct DotAxpyArgs<'a> {
 }
 
 /// The symmetric dot + axpy pair over a compressed driver window.
+/// Strict left-to-right scalar accumulation ([`LaneMode::Scalar`]).
 fn dot_axpy_crd<S: Semi>(
     s: S,
     dot: &FFold,
@@ -1466,6 +2042,200 @@ fn dot_axpy_crd<S: Semi>(
         *cell = s.red(axpy.op, *cell, v);
     }
     acc
+}
+
+/// Lane-mode dot + axpy: the dot side lanes by window position
+/// (element `p` → lane `p % LANES`); the axpy side keeps its
+/// per-element stores in original order (the scattered cells are
+/// distinct — driver coordinates are strictly increasing — so store
+/// order carries no FP dependency anyway).
+fn dot_axpy_crd_lanes<S: Semi>(
+    s: S,
+    dot: &FFold,
+    axpy: &FFold,
+    ident: f64,
+    acc0: f64,
+    args: &DotAxpyArgs<'_>,
+    data: &mut [f64],
+) -> f64 {
+    let mut lanes = [ident; LANES];
+    let n = args.crd.len().min(args.avals.len());
+    // Chunked so `lanes[k]` is a compile-time index (register-resident
+    // accumulators); element `base + k` lands in lane `k`, the same
+    // position-pure `p % LANES` assignment as the remainder loop.
+    let mut base = 0;
+    while base + LANES <= n {
+        let c8: &[usize; LANES] = args.crd[base..base + LANES].try_into().expect("exact chunk");
+        let a8: &[f64; LANES] = args.avals[base..base + LANES].try_into().expect("exact chunk");
+        for k in 0..LANES {
+            let (c, a) = (c8[k], a8[k]);
+            lanes[k] = s.red(dot.op, lanes[k], s.bin(dot.bin, a, args.xs[args.xb + c * args.xst]));
+            let v =
+                if args.k_first { s.bin(axpy.bin, args.k, a) } else { s.bin(axpy.bin, a, args.k) };
+            let cell = &mut data[args.ooff + c * args.ost - args.ob_base];
+            *cell = s.red(axpy.op, *cell, v);
+        }
+        base += LANES;
+    }
+    for (k, p) in (base..n).enumerate() {
+        let (c, a) = (args.crd[p], args.avals[p]);
+        lanes[k] = s.red(dot.op, lanes[k], s.bin(dot.bin, a, args.xs[args.xb + c * args.xst]));
+        let v = if args.k_first { s.bin(axpy.bin, args.k, a) } else { s.bin(axpy.bin, a, args.k) };
+        let cell = &mut data[args.ooff + c * args.ost - args.ob_base];
+        *cell = s.red(axpy.op, *cell, v);
+    }
+    lane_merge(s, dot.op, acc0, &lanes)
+}
+
+/// Selects the lane/scalar variant of the dot + axpy pair (the
+/// semiring is already chosen at the call site).
+fn dot_axpy_dispatch<S: Semi>(
+    s: S,
+    dot: &FFold,
+    axpy: &FFold,
+    lane_ident: Option<f64>,
+    acc0: f64,
+    args: &DotAxpyArgs<'_>,
+    data: &mut [f64],
+) -> f64 {
+    match lane_ident {
+        Some(id) if args.crd.len() > LANE_MIN => {
+            dot_axpy_crd_lanes(s, dot, axpy, id, acc0, args, data)
+        }
+        _ => dot_axpy_crd(s, dot, axpy, acc0, args, data),
+    }
+}
+
+/// The run-length dot + axpy window: the compressed-driver bundle's
+/// scalars plus the clamped run layout.
+struct DotAxpyRleArgs<'a> {
+    k: f64,
+    k_first: bool,
+    rle: RleArgs<'a>,
+    xs: &'a [f64],
+    xb: usize,
+    xst: usize,
+    ooff: usize,
+    ob_base: usize,
+    ost: usize,
+}
+
+/// The symmetric dot + axpy pair over a run-length driver: both sides
+/// share the run's constant driver value, so the axpy contribution
+/// (`a ∘ k`) hoists out of the inner loop entirely. Strict
+/// left-to-right scalar accumulation ([`LaneMode::Scalar`]).
+fn dot_axpy_rle<S: Semi>(
+    s: S,
+    dot: &FFold,
+    axpy: &FFold,
+    acc0: f64,
+    args: &DotAxpyRleArgs<'_>,
+    data: &mut [f64],
+) -> (f64, usize) {
+    let r = &args.rle;
+    let mut acc = acc0;
+    let mut last = r.lo;
+    for run in r.start..r.stop {
+        let c_lo = r.run_start[run].max(r.lo);
+        if c_lo > r.hi {
+            break;
+        }
+        let c_hi = r.run_end[run].min(r.hi);
+        let a = r.vals[run];
+        let v = if args.k_first { s.bin(axpy.bin, args.k, a) } else { s.bin(axpy.bin, a, args.k) };
+        for c in c_lo..=c_hi {
+            acc = s.red(dot.op, acc, s.bin(dot.bin, a, args.xs[args.xb + c * args.xst]));
+            let cell = &mut data[args.ooff + c * args.ost - args.ob_base];
+            *cell = s.red(axpy.op, *cell, v);
+        }
+        last = c_hi;
+    }
+    (acc, last)
+}
+
+/// Lane-mode dot + axpy over a run-length driver: the dot side lanes
+/// exactly like [`dot_rle_lanes`] (offset `d` from each clamped run's
+/// start → lane `d % LANES`, run value broadcast); the axpy side stays
+/// elementwise in original order — with a unit-stride output the store
+/// loop is a contiguous read-modify-write of one hoisted constant, the
+/// shape the autovectorizer turns into straight vector ops.
+fn dot_axpy_rle_lanes<S: Semi>(
+    s: S,
+    dot: &FFold,
+    axpy: &FFold,
+    ident: f64,
+    acc0: f64,
+    args: &DotAxpyRleArgs<'_>,
+    data: &mut [f64],
+) -> (f64, usize) {
+    let r = &args.rle;
+    let mut lanes = [ident; LANES];
+    let mut last = r.lo;
+    for run in r.start..r.stop {
+        let c_lo = r.run_start[run].max(r.lo);
+        if c_lo > r.hi {
+            break;
+        }
+        let c_hi = r.run_end[run].min(r.hi);
+        let a = r.vals[run];
+        let va = [a; LANES];
+        let v = if args.k_first { s.bin(axpy.bin, args.k, a) } else { s.bin(axpy.bin, a, args.k) };
+        let mut c = c_lo;
+        while c + LANES <= c_hi + 1 {
+            let xa: [f64; LANES] = if args.xst == 1 {
+                *<&[f64; LANES]>::try_from(&args.xs[args.xb + c..args.xb + c + LANES])
+                    .expect("exact chunk")
+            } else {
+                std::array::from_fn(|kk| args.xs[args.xb + (c + kk) * args.xst])
+            };
+            lane_accumulate(s, dot.bin, dot.op, &mut lanes, va, xa);
+            if args.ost == 1 {
+                let o = args.ooff + c - args.ob_base;
+                let d8: &mut [f64; LANES] =
+                    (&mut data[o..o + LANES]).try_into().expect("exact chunk");
+                for cell in d8 {
+                    *cell = s.red(axpy.op, *cell, v);
+                }
+            } else {
+                for kk in 0..LANES {
+                    let cell = &mut data[args.ooff + (c + kk) * args.ost - args.ob_base];
+                    *cell = s.red(axpy.op, *cell, v);
+                }
+            }
+            c += LANES;
+        }
+        let mut kk = 0usize;
+        while c <= c_hi {
+            lanes[kk] =
+                s.red(dot.op, lanes[kk], s.bin(dot.bin, a, args.xs[args.xb + c * args.xst]));
+            let cell = &mut data[args.ooff + c * args.ost - args.ob_base];
+            *cell = s.red(axpy.op, *cell, v);
+            kk += 1;
+            c += 1;
+        }
+        last = c_hi;
+    }
+    (lane_merge(s, dot.op, acc0, &lanes), last)
+}
+
+/// Selects the lane/scalar variant of the run-length dot + axpy pair
+/// (the semiring is already chosen at the call site); the run extent
+/// gates the cutover exactly like [`dot_rle_dispatch`].
+fn dot_axpy_rle_dispatch<S: Semi>(
+    s: S,
+    dot: &FFold,
+    axpy: &FFold,
+    lane_ident: Option<f64>,
+    acc0: f64,
+    args: &DotAxpyRleArgs<'_>,
+    data: &mut [f64],
+) -> (f64, usize) {
+    match lane_ident {
+        Some(id) if args.rle.extent() > LANE_MIN => {
+            dot_axpy_rle_lanes(s, dot, axpy, id, acc0, args, data)
+        }
+        _ => dot_axpy_rle(s, dot, axpy, acc0, args, data),
+    }
 }
 
 #[inline]
@@ -1506,10 +2276,11 @@ fn run_range<'a>(
     f: &mut Vec<f64>,
     vec_pass: &mut Vec<bool>,
     vec_bases: &mut Vec<usize>,
-    gathers: &mut Vec<Gather>,
+    gathers: &mut GatherBank,
     counters: &mut CounterBank,
     chunk: Option<Chunk<'_>>,
     mode: CounterMode,
+    lanes: bool,
 ) {
     // Reset register files and vector-loop scratch (reusing capacity).
     u.clear();
@@ -1520,13 +2291,11 @@ fn run_range<'a>(
     vec_pass.resize(program.n_vec_items, false);
     vec_bases.clear();
     vec_bases.resize(program.n_vec_bases, 0);
-    gathers.clear();
-    gathers.resize(program.n_vec_gathers, Gather::default());
+    gathers.reset(program.n_vec_gathers);
     let u = u.as_mut_slice();
     let f = f.as_mut_slice();
     let vec_pass = vec_pass.as_mut_slice();
     let vec_bases = vec_bases.as_mut_slice();
-    let gathers = gathers.as_mut_slice();
     let mut fibers_t: Scratch<Fiber<'a>, MAX_CACHES> = Scratch::new(program.n_caches);
     let fibers = fibers_t.as_mut_slice();
     let lvl_base = program.level_base.as_slice();
@@ -1586,6 +2355,7 @@ fn run_range<'a>(
                 reads: &mut reads[..],
                 flops: 0,
                 writes: 0,
+                lanes,
             }
         };
     }
@@ -2176,20 +2946,33 @@ fn run_range<'a>(
                                 &mut writes,
                             );
                         }
-                        // The probed fiber: empty when its own path
-                        // prefix is unstored (every probe misses, but
-                        // the driver still iterates, as in the
-                        // interpreter).
+                        // The probed fiber as a forward-only cursor —
+                        // empty when its own path prefix is unstored
+                        // (every probe misses, but the driver still
+                        // iterates, as in the interpreter). All three
+                        // level formats probe through the same cursor.
                         let pb = u[*probe_parent];
-                        let (bvals, bcrd, mut bcur, bend) = if pb == MISS {
-                            (&[][..], &[][..], 0usize, 0usize)
+                        let (bvals, probe_cur) = if pb == MISS {
+                            (&[][..], ProbeCur::Empty)
                         } else {
-                            let LevelView::Sparse { pos: bpos, crd: bcrd, .. } =
-                                level(levels, lvl_base, *probe_tensor, *probe_level)
-                            else {
-                                unreachable!("probed side of an intersection is compressed");
-                            };
-                            (vals[*probe_tensor], bcrd, bpos[pb], bpos[pb + 1])
+                            let bv = vals[*probe_tensor];
+                            match level(levels, lvl_base, *probe_tensor, *probe_level) {
+                                LevelView::Sparse { pos, crd, .. } => {
+                                    (bv, ProbeCur::Crd { crd, cur: pos[pb], end: pos[pb + 1] })
+                                }
+                                LevelView::Dense { size } => {
+                                    (bv, ProbeCur::Dense { base: pb * size, size })
+                                }
+                                LevelView::RunLength { pos, run_start, run_end, .. } => (
+                                    bv,
+                                    ProbeCur::Runs {
+                                        run_start,
+                                        run_end,
+                                        cur: pos[pb],
+                                        end: pos[pb + 1],
+                                    },
+                                ),
+                            }
                         };
                         let tvals = vals[*tensor];
                         if let Some(fu) = fused {
@@ -2205,20 +2988,13 @@ fn run_range<'a>(
                                     }
                                     flops += fu.bulk.flops * iters;
                                 }
-                                let probe = IsectArgs { bvals, bcrd, bcur, bend };
                                 let (cw, aw) = (&crd[start..stop], &tvals[start..stop]);
                                 let acc0 = f[slot];
-                                let (acc, hits) = match (bin, op) {
-                                    (BinOp::Mul, AssignOp::Add) => isect_dot(
-                                        MulAddSemi, bin, op, None, None, acc0, cw, aw, &probe,
-                                    ),
-                                    (BinOp::Add, AssignOp::Min) => isect_dot(
-                                        AddMinSemi, bin, op, None, None, acc0, cw, aw, &probe,
-                                    ),
-                                    _ => isect_dot(
-                                        DynSemi, bin, op, None, None, acc0, cw, aw, &probe,
-                                    ),
-                                };
+                                let lane_ident =
+                                    if lanes && fu.lanes > 1 { op.identity() } else { None };
+                                let (acc, hits) = isect_dot_dispatch(
+                                    bin, op, lane_ident, None, None, acc0, cw, aw, bvals, probe_cur,
+                                );
                                 f[slot] = acc;
                                 u[*idx] = crd[stop - 1];
                                 if count {
@@ -2235,9 +3011,7 @@ fn run_range<'a>(
                                     start,
                                     stop,
                                     bvals,
-                                    bcrd,
-                                    bcur,
-                                    bend,
+                                    probe: probe_cur,
                                 };
                                 fr.run_mode(mode, fu, drive, *idx, iters);
                                 flops += fr.flops;
@@ -2246,17 +3020,13 @@ fn run_range<'a>(
                         } else if n_pass > 0 {
                             let mut vr = vec_run!(items, *idx);
                             vr.init_gathers();
-                            // Galloping merge: both coordinate lists are
-                            // sorted, so the probe cursor only moves
-                            // forward; the remainder search skips gaps
-                            // in one partition_point instead of the
-                            // general path's full-fiber binary search
-                            // per step.
+                            // Forward-only merge: both sides are sorted,
+                            // so the probe cursor never revisits — one
+                            // gallop / run-walk per step instead of the
+                            // general path's full-fiber binary search.
+                            let mut probe = probe_cur;
                             for (posa, &c) in crd.iter().enumerate().take(stop).skip(start) {
-                                if bcur < bend && bcrd[bcur] < c {
-                                    bcur += bcrd[bcur..bend].partition_point(|&x| x < c);
-                                }
-                                let pmatch = (bcur < bend && bcrd[bcur] == c).then_some(bcur);
+                                let pmatch = probe.find(c);
                                 vr.exec_coord(c, Some((tvals, posa)), Some((bvals, pmatch)));
                             }
                             flops += vr.flops;
@@ -2361,6 +3131,7 @@ pub(crate) fn execute(
     };
 
     let mode = ctx.counter_mode();
+    let lanes = ctx.lane_mode() == LaneMode::Lanes;
     match plan {
         None => {
             let bank = &mut ctx.banks(1)[0];
@@ -2368,7 +3139,7 @@ pub(crate) fn execute(
             let Bank { u, f, vec_pass, vec_bases, gathers, counters, .. } = bank;
             run_range(
                 program, dense, vals, levels, outs, u, f, vec_pass, vec_bases, gathers, counters,
-                None, mode,
+                None, mode, lanes,
             );
             bank.counters.write_to(program.tensors.iter().map(|t| t.name.as_str()), out_counters);
         }
@@ -2385,6 +3156,7 @@ pub(crate) fn execute(
                 threads,
                 out_counters,
                 mode,
+                lanes,
             );
         }
     }
@@ -2419,6 +3191,7 @@ fn run_parallel<'a>(
     threads: usize,
     out_counters: &mut Counters,
     mode: CounterMode,
+    lanes: bool,
 ) {
     let n_slots = program.tensors.len();
     let oo = program.out_ordinal.as_slice();
@@ -2499,6 +3272,7 @@ fn run_parallel<'a>(
                         counters,
                         Some(chunk),
                         mode,
+                        lanes,
                     );
                 }
             }

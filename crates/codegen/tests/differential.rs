@@ -2,13 +2,17 @@
 //! over randomized storage formats (CSR, CSF, run-length, all-sparse,
 //! all-dense), the bytecode VM must agree with the tree-walking
 //! interpreter and with brute-force reference evaluation to 1e-9, and
-//! the work counters must match the interpreter exactly.
+//! the work counters must match the interpreter exactly. The VM runs
+//! in both lane modes: the default explicit-lane runners reassociate
+//! register-held folds (so values agree within 1e-9), while scalar
+//! mode keeps the original bit-for-bit guarantee against the
+//! interpreter. Counters are exact in both modes.
 
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use systec_codegen::CompiledKernel;
+use systec_codegen::{CompiledKernel, ExecContext, LaneMode, Parallelism};
 use systec_core::{Compiler, SymmetrySpec};
 use systec_exec::reference::reference_einsum;
 use systec_exec::{
@@ -20,8 +24,10 @@ use systec_tensor::{CooTensor, DenseTensor, LevelFormat, SparseTensor, Tensor};
 
 const TOL: f64 = 1e-9;
 
-/// Runs a (hoisted) program on both backends, asserting byte-identical
-/// outputs and counters; returns the outputs and counters.
+/// Runs a (hoisted) program on both backends: the interpreter anchors
+/// the expectation; the scalar-mode VM must match it bit-for-bit; the
+/// lane-mode VM (the default) must match within [`TOL`]. Counters are
+/// exact in both modes. Returns the lane-mode outputs and counters.
 fn run_both(
     prog: &Stmt,
     inputs: &HashMap<String, Tensor>,
@@ -34,14 +40,25 @@ fn run_both(
 
     let mut out_vm = outputs_init.clone();
     let c_vm = compiled.run(inputs, &mut out_vm).expect(label);
+
+    let mut scalar_ctx = ExecContext::new().with_lane_mode(LaneMode::Scalar);
+    let mut out_scalar = outputs_init.clone();
+    let mut c_scalar = Counters::new();
+    compiled
+        .run_with(inputs, &mut out_scalar, &mut scalar_ctx, Parallelism::Serial, &mut c_scalar)
+        .expect(label);
+
     let mut out_interp = outputs_init;
     let c_interp = run_lowered(&lowered, inputs, &mut out_interp).expect(label);
 
     assert_eq!(out_vm.len(), out_interp.len(), "{label}: output sets differ");
     for (name, t) in &out_interp {
-        assert_eq!(&out_vm[name], t, "{label}: output {name} differs between backends");
+        assert_eq!(&out_scalar[name], t, "{label}: scalar-mode output {name} differs bit-for-bit");
+        let diff = out_vm[name].max_abs_diff(t).expect(label);
+        assert!(diff < TOL, "{label}: lane-mode output {name} off by {diff:e}");
     }
-    assert_eq!(c_vm, c_interp, "{label}: counter parity violated");
+    assert_eq!(c_vm, c_interp, "{label}: lane-mode counter parity violated");
+    assert_eq!(c_scalar, c_interp, "{label}: scalar-mode counter parity violated");
     (out_vm, c_vm)
 }
 
@@ -286,34 +303,39 @@ fn symmetric_compiled_kernels_agree_on_both_backends() {
         ),
     ];
     for (name, einsum, spec) in &cases {
-        for seed in 0..3u64 {
+        for (fk, formats) in MATRIX_FORMATS.iter().enumerate() {
+            let seed = fk as u64 % 3;
             let mut r = StdRng::seed_from_u64(6000 + seed);
             let n = 8 + 2 * seed as usize;
-            // Symmetrize data for declared symmetries.
+            // Symmetrize data for declared symmetries; quantized values
+            // plus run extension so RunLength leaves form real runs.
             let mut coo = CooTensor::new(vec![n, n]);
             for _ in 0..(2 * n) {
                 let (i, j) = (r.gen_range(0..n), r.gen_range(0..n));
-                let v = r.gen_range(0.1..1.0);
-                if spec.is_empty() {
-                    coo.set(&[i, j], v);
-                } else {
-                    coo.set(&[i, j], v);
-                    coo.set(&[j, i], v);
+                let v = [0.25, 0.5, 0.75][r.gen_range(0usize..3)];
+                let mut set_sym = |i: usize, j: usize| {
+                    if spec.is_empty() {
+                        coo.set(&[i, j], v);
+                    } else {
+                        coo.set(&[i, j], v);
+                        coo.set(&[j, i], v);
+                    }
+                };
+                set_sym(i, j);
+                if r.gen_bool(0.5) && j + 1 < n {
+                    set_sym(i, j + 1);
                 }
             }
             let mut inputs = HashMap::new();
             inputs.insert(
                 "A".to_string(),
-                Tensor::Sparse(
-                    SparseTensor::from_coo(&coo, &[LevelFormat::Dense, LevelFormat::Sparse])
-                        .unwrap(),
-                ),
+                Tensor::Sparse(SparseTensor::from_coo(&coo, formats).unwrap()),
             );
             if einsum.rhs.accesses().iter().any(|a| a.tensor.name == "x") {
                 inputs.insert("x".to_string(), random_dense_vec(n, &mut r));
             }
             let kernel = Compiler::new().compile(einsum, spec).expect("compiles");
-            let label = format!("systec {name} seed={seed}");
+            let label = format!("systec {name} formats={formats:?} seed={seed}");
 
             // Main + replication, both backends, against the reference.
             let main = hoist_conditions(kernel.main.clone());

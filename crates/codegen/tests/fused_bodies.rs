@@ -1,10 +1,11 @@
 //! Differential ladders for the fused-body specialization layer: one
 //! ladder per recognized pattern (dot, axpy, scale-store, gather-dot,
 //! RLE-strided dot, the symmetric dot-axpy pair), each asserting the
-//! selection *by name* in the disassembly and then exact agreement —
-//! byte-identical outputs and counters — between the bytecode VM (which
-//! takes the fused path) and the tree-walking interpreter (which has no
-//! fused path at all), across storage formats and random data. A
+//! selection *by name* in the disassembly and then agreement between
+//! the bytecode VM (which takes the fused path) and the tree-walking
+//! interpreter (which has no fused path at all) — byte-identical in
+//! scalar lane mode, within 1e-9 in the default lane mode, counters
+//! exact in both — across storage formats and random data. A
 //! fallback ladder proves bodies the selector rejects still execute the
 //! general step list with identical results.
 
@@ -12,15 +13,17 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use systec_codegen::{CompiledKernel, CounterMode, ExecContext, Parallelism};
+use systec_codegen::{CompiledKernel, CounterMode, ExecContext, LaneMode, Parallelism};
 use systec_exec::{alloc_outputs, hoist_conditions, lower, run_lowered, Counters};
 use systec_ir::build::*;
 use systec_ir::{AssignOp, Stmt};
 use systec_tensor::{CooTensor, DenseTensor, LevelFormat, SparseTensor, Tensor};
 
 /// Compiles `prog`, asserting every `needle` appears in the
-/// disassembly, then runs both backends on it: byte-identical outputs
-/// and counters. Returns the outputs.
+/// disassembly, then runs both backends on it: the scalar-mode VM must
+/// be byte-identical to the interpreter, the lane-mode VM (the
+/// default) within 1e-9, and counters exact in both modes. Returns the
+/// lane-mode outputs.
 fn select_and_match(
     prog: &Stmt,
     inputs: &HashMap<String, Tensor>,
@@ -38,12 +41,23 @@ fn select_and_match(
 
     let mut out_vm = outputs_init.clone();
     let c_vm = compiled.run(inputs, &mut out_vm).expect(label);
+
+    let mut scalar_ctx = ExecContext::new().with_lane_mode(LaneMode::Scalar);
+    let mut out_scalar = outputs_init.clone();
+    let mut c_scalar = Counters::new();
+    compiled
+        .run_with(inputs, &mut out_scalar, &mut scalar_ctx, Parallelism::Serial, &mut c_scalar)
+        .expect(label);
+
     let mut out_interp = outputs_init;
     let c_interp = run_lowered(&lowered, inputs, &mut out_interp).expect(label);
     for (name, t) in &out_interp {
-        assert_eq!(&out_vm[name], t, "{label}: output {name} differs between backends");
+        assert_eq!(&out_scalar[name], t, "{label}: scalar-mode output {name} differs");
+        let diff = out_vm[name].max_abs_diff(t).expect(label);
+        assert!(diff < 1e-9, "{label}: lane-mode output {name} off by {diff:e}");
     }
-    assert_eq!(c_vm, c_interp, "{label}: counter parity violated");
+    assert_eq!(c_vm, c_interp, "{label}: lane-mode counter parity violated");
+    assert_eq!(c_scalar, c_interp, "{label}: scalar-mode counter parity violated");
     out_vm
 }
 

@@ -3,14 +3,14 @@
 //! sets, single-run RLE, duplicate-free scatter vs. dense-ish overlap —
 //! drive the two-way intersection and run-length vector loops, checked
 //! against a plain scalar oracle computed from the raw coordinates and
-//! against the tree-walking interpreter (bit-equal values, exact
-//! counters).
+//! against the tree-walking interpreter (bit-equal values in scalar
+//! lane mode, 1e-9 in the default lane mode, exact counters in both).
 
 use std::collections::HashMap;
 
 use proptest::prelude::*;
-use systec_codegen::CompiledKernel;
-use systec_exec::{alloc_outputs, hoist_conditions, lower, run_lowered};
+use systec_codegen::{CompiledKernel, ExecContext, LaneMode, Parallelism};
+use systec_exec::{alloc_outputs, hoist_conditions, lower, run_lowered, Counters};
 use systec_ir::build::*;
 use systec_ir::Stmt;
 use systec_tensor::{CooTensor, DenseTensor, LevelFormat, SparseTensor, Tensor};
@@ -47,20 +47,34 @@ fn pack_1d(entries: &[(usize, f64)], n: usize, format: LevelFormat) -> Tensor {
     Tensor::Sparse(SparseTensor::from_coo(&coo, &[format]).unwrap())
 }
 
-/// Runs `prog` on both backends, asserting exact agreement, and returns
-/// the scalar output.
+/// Runs `prog` on both backends: the scalar-mode VM must agree with
+/// the interpreter exactly (the bit-exact value is returned for the
+/// oracle comparison), the lane-mode VM within 1e-9, and counters are
+/// exact in both modes.
 fn run_both(prog: &Stmt, inputs: &HashMap<String, Tensor>, out: &str) -> f64 {
     let hoisted = hoist_conditions(prog.clone());
     let outputs_init = alloc_outputs(&hoisted, inputs).unwrap();
     let lowered = lower(&hoisted, inputs, &outputs_init).unwrap();
     let compiled = CompiledKernel::compile(&lowered, inputs, &outputs_init).unwrap();
-    let mut out_vm = outputs_init.clone();
-    let c_vm = compiled.run(inputs, &mut out_vm).unwrap();
+
+    let mut out_lane = outputs_init.clone();
+    let c_lane = compiled.run(inputs, &mut out_lane).unwrap();
+
+    let mut scalar_ctx = ExecContext::new().with_lane_mode(LaneMode::Scalar);
+    let mut out_scalar = outputs_init.clone();
+    let mut c_scalar = Counters::new();
+    compiled
+        .run_with(inputs, &mut out_scalar, &mut scalar_ctx, Parallelism::Serial, &mut c_scalar)
+        .unwrap();
+
     let mut out_interp = outputs_init;
     let c_interp = run_lowered(&lowered, inputs, &mut out_interp).unwrap();
-    assert_eq!(out_vm[out], out_interp[out], "backends disagree on values");
-    assert_eq!(c_vm, c_interp, "backends disagree on counters");
-    out_vm[out].get(&[])
+    assert_eq!(out_scalar[out], out_interp[out], "scalar mode disagrees on values");
+    let diff = out_lane[out].max_abs_diff(&out_interp[out]).unwrap();
+    assert!(diff < 1e-9, "lane mode off by {diff:e}");
+    assert_eq!(c_lane, c_interp, "lane mode disagrees on counters");
+    assert_eq!(c_scalar, c_interp, "scalar mode disagrees on counters");
+    out_scalar[out].get(&[])
 }
 
 /// The property cases must actually drive the vectorized loops, not a
@@ -141,6 +155,115 @@ proptest! {
             }
         }
         prop_assert_eq!(got.to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn rle_window_clamps_match_oracle(
+        n in 2usize..24,
+        runs in prop::collection::vec((0usize..24, 0usize..24, 1usize..25, 0usize..3), 0..12),
+        full_row in 0usize..24,
+        single in (0usize..24, 0usize..24),
+    ) {
+        // Adversarial run structures for the run-length vector loop's
+        // width clamping: random runs, a run spanning an entire row
+        // (so triangular windows and chunk windows always cut it), and
+        // a single-element run (width-1 clamps at both edges). Every
+        // case checks outputs AND the bulk counter recipes against the
+        // interpreter, serial and under parallel chunk splits.
+        let vals = [0.5, 1.0, 2.0];
+        let mut coo = CooTensor::new(vec![n, n]);
+        for &(row, start, len, vi) in &runs {
+            let (row, start) = (row % n, start % n);
+            for j in start..(start + len).min(n) {
+                coo.set(&[row, j], vals[vi]);
+            }
+        }
+        let fr = full_row % n;
+        for j in 0..n {
+            coo.set(&[fr, j], 1.0);
+        }
+        coo.set(&[single.0 % n, single.1 % n], 2.0);
+        let a = Tensor::Sparse(
+            SparseTensor::from_coo(
+                &coo,
+                &[LevelFormat::Dense, LevelFormat::RunLength],
+            )
+            .unwrap(),
+        );
+        let xs: Vec<f64> = (0..n).map(|j| 0.25 + j as f64 * 0.5).collect();
+        let x = Tensor::Dense(DenseTensor::from_vec(vec![n], xs.clone()).unwrap());
+        let mut inputs = HashMap::new();
+        inputs.insert("A".to_string(), a);
+        inputs.insert("x".to_string(), x);
+
+        // y[i] = sum_{j <= i} A[i,j]·x[j]: the triangular guard clamps
+        // the inner run-length drive window coordinate-exactly.
+        let prog = Stmt::loops(
+            [idx("i"), idx("j")],
+            Stmt::guarded(
+                le("j", "i"),
+                assign(
+                    access("y", ["i"]),
+                    mul([access("A", ["i", "j"]), access("x", ["j"])]),
+                ),
+            ),
+        );
+        let hoisted = hoist_conditions(prog.clone());
+        let outputs_init = alloc_outputs(&hoisted, &inputs).unwrap();
+        let lowered = lower(&hoisted, &inputs, &outputs_init).unwrap();
+        let compiled = CompiledKernel::compile(&lowered, &inputs, &outputs_init).unwrap();
+        prop_assert!(
+            compiled.disassemble().contains("VecRleLoop"),
+            "windowed rle case must take the rle vector loop"
+        );
+
+        let mut out_interp = outputs_init.clone();
+        let c_interp = run_lowered(&lowered, &inputs, &mut out_interp).unwrap();
+
+        // Coordinate-order oracle computed from the raw coordinates:
+        // matches the scalar fold order, so equality is bit-exact.
+        let amap: HashMap<(usize, usize), f64> = {
+            let mut m = HashMap::new();
+            for i in 0..n {
+                for j in 0..n {
+                    let v = coo.get(&[i, j]);
+                    if v != 0.0 {
+                        m.insert((i, j), v);
+                    }
+                }
+            }
+            m
+        };
+        for i in 0..n {
+            let mut expected = 0.0f64;
+            for (j, &xj) in xs.iter().enumerate().take(i + 1) {
+                if let Some(&v) = amap.get(&(i, j)) {
+                    expected += v * xj;
+                }
+            }
+            prop_assert_eq!(out_interp["y"].get(&[i]).to_bits(), expected.to_bits());
+        }
+
+        let mut lane_ctx = ExecContext::new();
+        let mut scalar_ctx = ExecContext::new().with_lane_mode(LaneMode::Scalar);
+        for threads in [1usize, 2, 3, 5] {
+            for (ctx, mode) in [(&mut lane_ctx, "lanes"), (&mut scalar_ctx, "scalar")] {
+                let mut out = outputs_init.clone();
+                let mut counters = Counters::new();
+                compiled
+                    .run_with(&inputs, &mut out, ctx, Parallelism::threads(threads), &mut counters)
+                    .unwrap();
+                assert_eq!(
+                    counters, c_interp,
+                    "t={threads} {mode}: clamped bulk counters must match exactly"
+                );
+                let diff = out["y"].max_abs_diff(&out_interp["y"]).unwrap();
+                prop_assert!(diff < 1e-9, "t={threads} {mode}: outputs off by {diff:e}");
+                if threads == 1 && mode == "scalar" {
+                    assert_eq!(out["y"], out_interp["y"], "serial scalar mode must clamp bit-exactly");
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use systec_codegen::{CompiledKernel, ExecContext, Parallelism};
+use systec_codegen::{CompiledKernel, ExecContext, LaneMode, Parallelism};
 use systec_core::{Compiler, SymmetrySpec};
 use systec_exec::reference::reference_einsum;
 use systec_exec::{
@@ -37,10 +37,11 @@ fn thread_counts() -> Vec<usize> {
 }
 
 /// Compiles `prog` once and runs it on every backend × thread-count
-/// cell: the interpreter anchors the expectation, the serial VM must
-/// match it bit-for-bit (the PR 1 guarantee), and every parallel run
-/// must match within [`TOL`] with exactly equal counters. Returns the
-/// serial outputs and counters.
+/// cell: the interpreter anchors the expectation, the scalar-mode
+/// serial VM must match it bit-for-bit (the PR 1 guarantee, preserved
+/// in scalar mode), the lane-mode serial VM must match within [`TOL`],
+/// and every parallel run must match within [`TOL`] with exactly equal
+/// counters. Returns the serial lane-mode outputs and counters.
 fn run_matrix(
     prog: &Stmt,
     inputs: &HashMap<String, Tensor>,
@@ -58,7 +59,19 @@ fn run_matrix(
     let c_serial = kernel.run(inputs, &mut out_serial).expect(label);
     assert_eq!(c_serial, c_interp, "{label}: serial VM counter parity");
     for (name, t) in &out_interp {
-        assert_eq!(&out_serial[name], t, "{label}: serial VM output {name}");
+        let diff = out_serial[name].max_abs_diff(t).expect(label);
+        assert!(diff < TOL, "{label}: serial lane-mode output {name} off by {diff:e}");
+    }
+
+    let mut scalar_ctx = ExecContext::new().with_lane_mode(LaneMode::Scalar);
+    let mut out_scalar = outputs_init.clone();
+    let mut c_scalar = Counters::new();
+    kernel
+        .run_with(inputs, &mut out_scalar, &mut scalar_ctx, Parallelism::Serial, &mut c_scalar)
+        .expect(label);
+    assert_eq!(c_scalar, c_interp, "{label}: scalar-mode counter parity");
+    for (name, t) in &out_interp {
+        assert_eq!(&out_scalar[name], t, "{label}: scalar-mode VM output {name}");
     }
 
     let mut ctx = ExecContext::new();
@@ -466,6 +479,107 @@ fn plain_row_kernels_are_splittable() {
         &inputs,
         "transpose stays serial",
     );
+}
+
+#[test]
+fn chunked_gathers_survive_hostile_window_splits() {
+    // The gather bank's monotone gallop cursors are re-derived at every
+    // vector-loop entry, including entries whose drive window was
+    // clamped by a parallel chunk split, and worker contexts are reused
+    // across consecutive chunks. This ladder makes those boundaries
+    // hostile — thread counts that leave single-row and empty chunks on
+    // tiny and prime-sized iteration spaces — across every gather
+    // shape: root-varying with a gallop cursor, leaf-varying under an
+    // invariant prefix, middle-varying with both an invariant prefix
+    // and a per-hit suffix descent, and the diagonal self-gather whose
+    // two varying positions force the stateless full-path search.
+    let hostile = |prog: &Stmt, inputs: &HashMap<String, Tensor>, label: &str| {
+        let hoisted = hoist_conditions(prog.clone());
+        let outputs_init = alloc_outputs(&hoisted, inputs).expect(label);
+        let lowered = lower(&hoisted, inputs, &outputs_init).expect(label);
+        let kernel = CompiledKernel::compile(&lowered, inputs, &outputs_init).expect(label);
+        let mut out_interp = outputs_init.clone();
+        let c_interp = run_lowered(&lowered, inputs, &mut out_interp).expect(label);
+        let mut ctx = ExecContext::new();
+        let mut scalar_ctx = ExecContext::new().with_lane_mode(LaneMode::Scalar);
+        for threads in [1usize, 2, 3, 4, 5, 7, 9] {
+            for (mode, c) in [(&mut ctx, "lanes"), (&mut scalar_ctx, "scalar")] {
+                let mut out = outputs_init.clone();
+                let mut counters = Counters::new();
+                kernel
+                    .run_with(inputs, &mut out, mode, Parallelism::threads(threads), &mut counters)
+                    .expect(label);
+                assert_eq!(counters, c_interp, "{label}: t={threads} {c} counter parity");
+                for (name, t) in &out_interp {
+                    let diff = out[name].max_abs_diff(t).expect(label);
+                    assert!(diff < TOL, "{label}: t={threads} {c} output {name} off by {diff:e}");
+                }
+            }
+        }
+    };
+
+    for n in [3usize, 7, 13] {
+        for (k, formats) in MATRIX_FORMATS.iter().enumerate() {
+            let mut r = StdRng::seed_from_u64(13_000 + 100 * n as u64 + k as u64);
+            let mut inputs = HashMap::new();
+            inputs.insert("A".to_string(), random_matrix(n, 2 * n, formats, &mut r));
+            inputs.insert("B".to_string(), random_matrix(n, 2 * n, MATRIX_FORMATS[1], &mut r));
+            inputs.insert("x".to_string(), random_dense_vec(n, &mut r));
+
+            // Root-varying gather: B's cursor gallops along j per row.
+            let driven = Einsum::new(
+                access("y", ["i"]),
+                AssignOp::Add,
+                mul([access("A", ["i", "j"]), access("B", ["j", "i"])]),
+                [idx("i"), idx("j")],
+            );
+            hostile(
+                &driven.naive_program(),
+                &inputs,
+                &format!("hostile-driven n={n} formats={formats:?}"),
+            );
+
+            // Diagonal self-gather: j occurs at both of B's positions,
+            // so there is no cursor — every coordinate is a full search.
+            let diag = Einsum::new(
+                access("y", ["i"]),
+                AssignOp::Add,
+                mul([access("A", ["i", "j"]), access("B", ["j", "j"])]),
+                [idx("i"), idx("j")],
+            );
+            hostile(
+                &diag.naive_program(),
+                &inputs,
+                &format!("hostile-diag n={n} formats={formats:?}"),
+            );
+        }
+
+        // Leaf-varying (empty suffix) and middle-varying (prefix and
+        // suffix both non-empty) gathers into 3-d CSF storage.
+        let csf: &[LevelFormat] = &[LevelFormat::Dense, LevelFormat::Sparse, LevelFormat::Sparse];
+        let mut r = StdRng::seed_from_u64(13_500 + n as u64);
+        let mut inputs = HashMap::new();
+        inputs.insert("A".to_string(), random_matrix(n, 2 * n, csf, &mut r));
+        inputs.insert("T".to_string(), random_matrix(n, 2 * n, csf, &mut r));
+        inputs.insert("M".to_string(), random_matrix(n, 2 * n, MATRIX_FORMATS[0], &mut r));
+        inputs.insert("x".to_string(), random_dense_vec(n, &mut r));
+
+        let leaf = Einsum::new(
+            access("s", [] as [&str; 0]),
+            AssignOp::Add,
+            mul([access("A", ["k", "i", "j"]), access("x", ["j"])]),
+            [idx("i"), idx("k"), idx("j")],
+        );
+        hostile(&leaf.naive_program(), &inputs, &format!("hostile-leaf n={n}"));
+
+        let middle = Einsum::new(
+            access("y", ["i"]),
+            AssignOp::Add,
+            mul([access("M", ["i", "j"]), access("T", ["i", "j", "i"])]),
+            [idx("i"), idx("j")],
+        );
+        hostile(&middle.naive_program(), &inputs, &format!("hostile-middle n={n}"));
+    }
 }
 
 #[test]

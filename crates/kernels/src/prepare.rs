@@ -608,10 +608,22 @@ mod tests {
         let compiled = Prepared::compile(&def, &inputs).unwrap();
         let interp = compiled.clone().with_backend(Backend::Interpreter);
         assert_eq!(compiled.backend(), Backend::Compiled);
+        // The default lane mode reassociates register-held folds:
+        // values agree within 1e-9, counters exactly.
         let (yc, cc) = compiled.run_full().unwrap();
         let (yi, ci) = interp.run_full().unwrap();
-        assert_eq!(yc["y"], yi["y"], "backends must agree bit-for-bit");
+        assert!(yc["y"].max_abs_diff(&yi["y"]).unwrap() < 1e-9, "lane-mode values");
         assert_eq!(cc, ci, "counter parity across backends");
+        // Scalar lane mode keeps the bit-for-bit guarantee (timed
+        // region: replication runs outside the caller-owned context).
+        let mut ctx =
+            systec_codegen::ExecContext::new().with_lane_mode(systec_codegen::LaneMode::Scalar);
+        let mut ys = HashMap::new();
+        let mut cs = Counters::new();
+        compiled.run_timed_into(&mut ys, &mut ctx, &mut cs).unwrap();
+        let (yt, ct) = interp.run_timed().unwrap();
+        assert_eq!(ys["y"], yt["y"], "scalar mode must agree bit-for-bit");
+        assert_eq!(cs, ct, "scalar-mode counter parity");
     }
 
     #[test]

@@ -834,6 +834,7 @@ impl Engine {
             pinned: reg.pins.len() as u64,
             batch_dispatches: self.serve.batch_dispatches.get(),
             batched_runs: self.serve.batched_runs.get(),
+            offloaded_replications: self.serve.offloaded_replications.get(),
             queued: self.serve.queue_depth.get(),
             rejected_conns: self.serve.admission_rejected_conns.get(),
             rejected_bytes: self.serve.admission_rejected_bytes.get(),
@@ -1086,6 +1087,16 @@ impl Engine {
         w.sample("systec_serve_batch_runs_total", &[], self.serve.batched_runs.get());
         w.family("systec_serve_batch_size", "histogram", "Runs coalesced per dispatch.");
         w.histogram("systec_serve_batch_size", &[], &self.serve.batch_size.snapshot());
+        w.family(
+            "systec_serve_offloaded_replications_total",
+            "counter",
+            "Large batch responses encoded and fanned out on the replicator thread.",
+        );
+        w.sample(
+            "systec_serve_offloaded_replications_total",
+            &[],
+            self.serve.offloaded_replications.get(),
+        );
         w.family("systec_serve_queue_depth", "gauge", "Requests waiting in the scheduler queue.");
         w.sample("systec_serve_queue_depth", &[], self.serve.queue_depth.get());
         w.family(

@@ -363,6 +363,9 @@ pub struct ServePayload {
     pub batch_dispatches: u64,
     /// Run requests served through batched dispatches.
     pub batched_runs: u64,
+    /// Batch responses large enough to be encoded and fanned out on
+    /// the dedicated replicator thread instead of the executor.
+    pub offloaded_replications: u64,
     /// Requests currently queued in the scheduler.
     pub queued: u64,
     /// Connections refused at accept (`max-conns`).
@@ -902,6 +905,7 @@ impl Response {
                         ("pinned", Json::num_u64(serve.pinned)),
                         ("batch_dispatches", Json::num_u64(serve.batch_dispatches)),
                         ("batched_runs", Json::num_u64(serve.batched_runs)),
+                        ("offloaded_replications", Json::num_u64(serve.offloaded_replications)),
                         ("queued", Json::num_u64(serve.queued)),
                         ("rejected_conns", Json::num_u64(serve.rejected_conns)),
                         ("rejected_bytes", Json::num_u64(serve.rejected_bytes)),
@@ -1149,6 +1153,7 @@ impl Response {
                     pinned: sv("pinned")?,
                     batch_dispatches: sv("batch_dispatches")?,
                     batched_runs: sv("batched_runs")?,
+                    offloaded_replications: sv("offloaded_replications")?,
                     queued: sv("queued")?,
                     rejected_conns: sv("rejected_conns")?,
                     rejected_bytes: sv("rejected_bytes")?,
@@ -1327,6 +1332,7 @@ mod tests {
                     pinned: 3,
                     batch_dispatches: 12,
                     batched_runs: 30,
+                    offloaded_replications: 2,
                     queued: 0,
                     rejected_conns: 2,
                     rejected_bytes: 1,

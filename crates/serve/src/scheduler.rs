@@ -18,11 +18,19 @@
 //! the configured per-request deadline is answered with a structured
 //! `deadline_exceeded` error instead of being dispatched. With no
 //! deadline configured nothing ever expires.
+//!
+//! Very large batch responses do not monopolize the executor: when a
+//! coalesced run's output crosses [`LARGE_OUTPUT_ELEMS`] elements, the
+//! executor hands the un-encoded response and the requester list to a
+//! dedicated replicator thread, which encodes the line once and fans
+//! it out. The executor is immediately free to dispatch the next
+//! batch; small responses (the overwhelmingly common case) are encoded
+//! inline to keep their latency minimal.
 
 use std::collections::{HashMap, VecDeque};
 #[cfg(test)]
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -34,6 +42,27 @@ use crate::relock;
 /// submitted request completes. The line has no trailing newline; the
 /// transport appends it on write. Batched requests share one `Arc`.
 pub type Completion = Arc<dyn Fn(u64, Arc<String>) + Send + Sync>;
+
+/// Output element count past which a batch response is encoded and
+/// replicated on the dedicated replicator thread instead of the
+/// executor (64K f64s ≈ a 1.5MB response line: encoding it inline
+/// would stall every batch queued behind it).
+const LARGE_OUTPUT_ELEMS: usize = 64 * 1024;
+
+/// A large batch response in flight to the replicator thread: the
+/// un-encoded response plus every requester awaiting the shared line.
+struct ReplicateJob {
+    response: Response,
+    conns: Vec<u64>,
+}
+
+/// Total output elements of a response (0 for non-run responses).
+fn response_elems(response: &Response) -> usize {
+    match response {
+        Response::Ran { outputs, .. } => outputs.iter().map(|o| o.values.len()).sum(),
+        _ => 0,
+    }
+}
 
 /// One queued request.
 struct Task {
@@ -66,6 +95,9 @@ struct Shared {
     max_batch: usize,
     deadline: Option<Duration>,
     complete: Completion,
+    /// Sender half of the replicator channel; `None` once shutdown has
+    /// hung up (late large responses then fall back to inline encoding).
+    large: Mutex<Option<mpsc::Sender<ReplicateJob>>>,
 }
 
 /// What an executor pulled out of the queues in one lock acquisition.
@@ -80,6 +112,7 @@ enum Work {
 pub struct Scheduler {
     shared: Arc<Shared>,
     executors: Vec<JoinHandle<()>>,
+    replicator: Option<JoinHandle<()>>,
 }
 
 impl Scheduler {
@@ -94,6 +127,7 @@ impl Scheduler {
         deadline: Option<Duration>,
         complete: Completion,
     ) -> Scheduler {
+        let (tx, rx) = mpsc::channel::<ReplicateJob>();
         let shared = Arc::new(Shared {
             engine,
             state: Mutex::new(SchedState::default()),
@@ -101,7 +135,22 @@ impl Scheduler {
             max_batch: max_batch.max(1),
             deadline,
             complete,
+            large: Mutex::new(Some(tx)),
         });
+        let replicator = {
+            let complete = Arc::clone(&shared.complete);
+            std::thread::Builder::new()
+                .name("systec-serve-replicate".to_string())
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let line = Arc::new(job.response.encode());
+                        for conn in job.conns {
+                            (complete)(conn, Arc::clone(&line));
+                        }
+                    }
+                })
+                .expect("spawn scheduler replicator")
+        };
         let executors = (0..executors.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -111,7 +160,7 @@ impl Scheduler {
                     .expect("spawn scheduler executor")
             })
             .collect();
-        Scheduler { shared, executors }
+        Scheduler { shared, executors, replicator: Some(replicator) }
     }
 
     /// Enqueues one decoded request from connection `conn`. The
@@ -148,10 +197,22 @@ impl Scheduler {
         self.shared.work.notify_all();
     }
 
-    /// Drains outstanding work, stops the executors, and joins them.
+    /// Drains outstanding work, stops the executors and the replicator,
+    /// and joins them (in-flight large responses are fully fanned out
+    /// before the replicator exits).
     pub fn shutdown(mut self) {
         self.begin_shutdown();
         for handle in self.executors.drain(..) {
+            let _ = handle.join();
+        }
+        self.join_replicator();
+    }
+
+    /// Hangs up the replicator channel (executors are already joined,
+    /// so no new jobs can arrive) and joins the thread.
+    fn join_replicator(&mut self) {
+        relock(&self.shared.large).take();
+        if let Some(handle) = self.replicator.take() {
             let _ = handle.join();
         }
     }
@@ -173,6 +234,7 @@ impl Drop for Scheduler {
         for handle in self.executors.drain(..) {
             let _ = handle.join();
         }
+        self.join_replicator();
     }
 }
 
@@ -234,7 +296,29 @@ fn executor(shared: &Shared) {
                 m.batch_dispatches.inc_always();
                 m.batched_runs.add_always(n);
                 m.batch_size.record(n);
-                let line = Arc::new(shared.engine.run_batch(kernel, full, n).encode());
+                let response = shared.engine.run_batch(kernel, full, n);
+                let response = if response_elems(&response) >= LARGE_OUTPUT_ELEMS {
+                    // Hand the body off: encoding a multi-megabyte line
+                    // and fanning it out would stall this executor.
+                    let job =
+                        ReplicateJob { response, conns: live.iter().map(|t| t.conn).collect() };
+                    let sent = match relock(&shared.large).as_ref() {
+                        Some(tx) => tx.send(job).map_err(|mpsc::SendError(j)| j),
+                        None => Err(job),
+                    };
+                    match sent {
+                        Ok(()) => {
+                            m.offloaded_replications.inc_always();
+                            continue;
+                        }
+                        // Channel already hung up (shutdown race):
+                        // encode inline after all.
+                        Err(job) => job.response,
+                    }
+                } else {
+                    response
+                };
+                let line = Arc::new(response.encode());
                 for task in live {
                     (shared.complete)(task.conn, Arc::clone(&line));
                 }

@@ -1,0 +1,170 @@
+//! Large-output coalescing tier: like `coalescing_e2e`, but the hot
+//! kernel's output (a dense 260x260 matrix, 67 600 elements) crosses
+//! the scheduler's `LARGE_OUTPUT_ELEMS` replication threshold, so every
+//! batch response is encoded and fanned out on the dedicated replicator
+//! thread instead of the executor. Asserts that
+//!
+//! * coalescing still happens — dispatches stay strictly below runs
+//!   (offloading the multi-megabyte encode *frees* the executor; it
+//!   must not serialize behind the replicator);
+//! * every response is **byte-identical** to the serial oracle — the
+//!   replicator thread shares the codec path, so offloading is
+//!   wire-invisible;
+//! * `offloaded_replications` matches the dispatch count exactly: every
+//!   batch of this kernel is large, so every one takes the offload
+//!   path, and accounting stays exact (runs served, nothing expired,
+//!   queue drained).
+//!
+//! Single `#[test]`: the assertions read engine-wide scheduler
+//! counters, which a concurrently running sibling test would perturb.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use systec_codegen::{ExecContext, Parallelism};
+use systec_exec::Counters;
+use systec_ir::parse_einsum;
+use systec_kernels::{parse_symmetry, Prepared};
+use systec_serve::protocol::{Request, Response, StorageFormat, TensorPayload, Variant};
+use systec_serve::{oracle_response, serve_with, Client, Engine, ServerConfig};
+use systec_tensor::generate::{random_dense, rng, sprand};
+use systec_tensor::{csf, SparseTensor, Tensor};
+
+const CLIENTS: usize = 8;
+const RUNS_PER_CLIENT: usize = 8;
+const EINSUM: &str = "for i, k, j: Y[i, j] += A[i, k] * B[k, j]";
+
+#[test]
+fn large_outputs_replicate_off_the_executor_and_stay_byte_identical() {
+    let config = ServerConfig { max_conns: None, max_batch: 16, executors: 1, deadline: None };
+    let server = serve_with("127.0.0.1:0", Engine::new(), config).expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // A sparse-times-dense product: heavy enough per dispatch that
+    // same-key arrivals queue behind the busy executor, with a dense
+    // n x n output that crosses the large-response threshold.
+    let n = 260;
+    let mut r = rng(0xB16);
+    let a = sprand(n, n, 8_000, &mut r);
+    let b = random_dense(vec![n, n], &mut r);
+
+    let mut setup = Client::connect(addr).unwrap();
+    let reg_a = Request::RegisterTensor {
+        name: "A".into(),
+        dims: vec![n, n],
+        payload: TensorPayload::Coo(a.entries().map(|(c, v)| (c.to_vec(), v)).collect()),
+        format: StorageFormat::Auto,
+    };
+    let reg_b = Request::RegisterTensor {
+        name: "B".into(),
+        dims: vec![n, n],
+        payload: TensorPayload::Dense(b.as_slice().to_vec()),
+        format: StorageFormat::Auto,
+    };
+    for req in [&reg_a, &reg_b] {
+        let resp = setup.request(req).unwrap();
+        assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+    }
+    let prepare = Request::Prepare {
+        einsum: EINSUM.into(),
+        sym: vec![],
+        inputs: vec![],
+        variant: Variant::Systec,
+        threads: Some(1),
+    };
+
+    // The serial oracle: same plan path, direct execution, same codec.
+    let expected = {
+        let einsum = parse_einsum(EINSUM).unwrap();
+        let mut local = HashMap::new();
+        local.insert("A".to_string(), Tensor::Sparse(SparseTensor::from_coo(&a, &csf(2)).unwrap()));
+        local.insert("B".to_string(), Tensor::Dense(b.clone()));
+        let sym = parse_symmetry(&einsum, &[] as &[&str]).unwrap();
+        let prepared = Prepared::compile_einsum(&einsum, &sym, &local)
+            .unwrap()
+            .with_parallelism(Parallelism::threads(1));
+        let mut outputs = HashMap::new();
+        let mut ctx = ExecContext::new();
+        let mut counters = Counters::new();
+        prepared.run_timed_into(&mut outputs, &mut ctx, &mut counters).unwrap();
+        Arc::new(oracle_response(&outputs, &counters).encode())
+    };
+
+    // Each worker compares its multi-megabyte reply lines against the
+    // oracle in place (hoarding 64 copies would dominate the test's
+    // memory), returning only the match count.
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mut workers = Vec::new();
+    for client_id in 0..CLIENTS {
+        let barrier = Arc::clone(&barrier);
+        let expected = Arc::clone(&expected);
+        let prepare = prepare.encode();
+        workers.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let line = client.send_raw(&prepare).expect("prepare");
+            let kernel = match Response::decode(&line).expect("prepared reply decodes") {
+                Response::Prepared { kernel, .. } => kernel,
+                other => panic!("client {client_id}: prepare failed: {other:?}"),
+            };
+            let run = Request::Run { kernel, full: false }.encode();
+            barrier.wait();
+            let mut matched = 0usize;
+            for round in 0..RUNS_PER_CLIENT {
+                let line = client
+                    .send_raw(&run)
+                    .unwrap_or_else(|e| panic!("client {client_id} round {round}: {e}"));
+                assert_eq!(
+                    line, *expected,
+                    "client {client_id} round {round}: replicated reply must match the oracle"
+                );
+                matched += 1;
+            }
+            (kernel, matched)
+        }));
+    }
+    let results: Vec<(u64, usize)> =
+        workers.into_iter().map(|w| w.join().expect("client thread")).collect();
+
+    let first_kernel = results[0].0;
+    let total = CLIENTS * RUNS_PER_CLIENT;
+    let served: usize = results
+        .iter()
+        .map(|(kernel, matched)| {
+            assert_eq!(*kernel, first_kernel, "identical prepares share one handle");
+            *matched
+        })
+        .sum();
+    assert_eq!(served, total);
+
+    // Telemetry: the executor coalesced, and every (large) dispatch
+    // was replicated on the offload thread.
+    let stats_resp = setup.request(&Request::Stats).unwrap();
+    let Response::Stats { requests, serve: srv, kernels, .. } = stats_resp else {
+        panic!("stats failed: {stats_resp:?}")
+    };
+    assert_eq!(requests.run, total as u64);
+    assert_eq!(requests.errors, 0, "a clean workload answers no errors");
+    assert_eq!(srv.batched_runs, total as u64, "every run dispatches through the scheduler");
+    assert!(
+        srv.batch_dispatches >= 1 && srv.batch_dispatches < total as u64,
+        "a single executor under {CLIENTS} concurrent clients must coalesce \
+         ({} dispatches for {total} runs)",
+        srv.batch_dispatches,
+    );
+    assert_eq!(
+        srv.offloaded_replications, srv.batch_dispatches,
+        "every dispatch of a large-output kernel takes the replicator thread"
+    );
+    assert_eq!(srv.queued, 0, "queue drains once clients join");
+    assert_eq!(srv.deadline_exceeded, 0);
+    assert_eq!(srv.stale_runs, 0);
+    assert_eq!(srv.rejected_conns, 0);
+    assert_eq!(srv.rejected_bytes, 0);
+    assert_eq!(kernels.len(), 1, "one hot kernel");
+    assert_eq!(kernels[0].runs, total as u64, "per-kernel run accounting covers batches");
+
+    let resp = setup.request(&Request::Shutdown).unwrap();
+    assert_eq!(resp, Response::ShuttingDown);
+    server.wait();
+}

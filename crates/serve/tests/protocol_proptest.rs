@@ -186,7 +186,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             0u64..9000,
         ),
         (0u64..64, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000),
-        prop::collection::vec(0u64..9000, 11),
+        prop::collection::vec(0u64..9000, 12),
         prop::collection::vec(kernel_stat, 0..3),
         prop::collection::vec((0u64..100, 0u64..1_000_000), 0..4),
     )
@@ -224,11 +224,12 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                 pinned: s[3],
                 batch_dispatches: s[4],
                 batched_runs: s[5],
-                queued: s[6],
-                rejected_conns: s[7],
-                rejected_bytes: s[8],
-                deadline_exceeded: s[9],
-                stale_runs: s[10],
+                offloaded_replications: s[6],
+                queued: s[7],
+                rejected_conns: s[8],
+                rejected_bytes: s[9],
+                deadline_exceeded: s[10],
+                stale_runs: s[11],
             },
             kernels,
             slow: slow.into_iter().map(|(kernel, us)| SlowRunPayload { kernel, us }).collect(),

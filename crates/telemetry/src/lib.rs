@@ -365,6 +365,9 @@ pub struct ServeMetrics {
     pub admission_rejected_bytes: Counter,
     /// Requests answered with `deadline_exceeded` before dispatch.
     pub deadline_exceeded: Counter,
+    /// Batch responses large enough to be encoded and fanned out on
+    /// the dedicated replicator thread instead of the executor.
+    pub offloaded_replications: Counter,
     /// Runs refused because a pinned tensor was re-registered since
     /// the kernel was prepared (`stale_tensor` errors).
     pub stale_runs: Counter,
@@ -387,6 +390,7 @@ impl ServeMetrics {
             admission_rejected_conns: Counter::new(),
             admission_rejected_bytes: Counter::new(),
             deadline_exceeded: Counter::new(),
+            offloaded_replications: Counter::new(),
             stale_runs: Counter::new(),
             registry_evictions: Counter::new(),
             registry_bytes: Gauge::new(),

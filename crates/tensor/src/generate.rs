@@ -108,6 +108,42 @@ pub fn banded_sprand(
     out
 }
 
+/// Generates a symmetric sparse matrix whose value depends only on the
+/// block pair `(i / block, j / block)`: each block pair is present with
+/// probability `p_block`, and a present block contributes `block`
+/// consecutive equal-valued columns to each of its rows — an RLE run of
+/// length `block` once packed with a `RunLength` leaf level. This
+/// mimics the plateau/banded structure of FEM and circuit matrices
+/// (long stretches of repeated stencil coefficients), the shape where
+/// run-length storage beats compressed coordinates.
+///
+/// Values are uniform in `(0, 1]`; symmetry holds exactly because the
+/// value is drawn once per canonical (upper-triangle) block pair.
+pub fn symmetric_block_plateau(
+    n: usize,
+    block: usize,
+    p_block: f64,
+    rng: &mut impl Rng,
+) -> CooTensor {
+    let block = block.max(1);
+    let nb = n / block;
+    let mut out = CooTensor::new(vec![n, n]);
+    for bi in 0..nb {
+        for bj in bi..nb {
+            if rng.gen_range(0.0..1.0) < p_block {
+                let v = rng.gen_range(f64::EPSILON..=1.0);
+                for i in bi * block..(bi + 1) * block {
+                    for j in bj * block..(bj + 1) * block {
+                        out.set(&[i, j], v);
+                        out.set(&[j, i], v);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Generates a dense tensor with values uniform in `[0, 1)`.
 pub fn random_dense(dims: Vec<usize>, rng: &mut impl Rng) -> DenseTensor {
     let len: usize = dims.iter().product();
@@ -147,6 +183,24 @@ mod tests {
         let t = symmetric_erdos_renyi(5, 4, 0.05, &mut rng(3));
         assert!(t.is_fully_symmetric());
         assert_eq!(t.dims(), &[5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn block_plateau_is_symmetric_and_run_structured() {
+        let a = symmetric_block_plateau(48, 8, 0.3, &mut rng(5));
+        let b = symmetric_block_plateau(48, 8, 0.3, &mut rng(5));
+        assert_eq!(a, b, "same seed must reproduce the matrix");
+        assert!(a.is_fully_symmetric());
+        assert!(a.nnz() > 0);
+        // Every stored entry equals its whole block: packing the leaf
+        // as RunLength must merge each block's columns into one run.
+        let packed = crate::SparseTensor::from_coo(
+            &a,
+            &[crate::LevelFormat::Dense, crate::LevelFormat::RunLength],
+        )
+        .unwrap();
+        // RunLength stores one value per run.
+        assert_eq!(packed.nnz() * 8, a.nnz(), "each run should cover one full block width");
     }
 
     #[test]
