@@ -274,6 +274,18 @@ pub struct PooledContext {
     ctx: Option<ExecContext>,
 }
 
+impl PooledContext {
+    /// Consumes the guard *without* returning the context to the pool.
+    /// For callers that caught a panic mid-execution: the context's
+    /// buffers may hold torn intermediate state, and repooling it would
+    /// leak that state into an unrelated run. The next checkout simply
+    /// creates a fresh context (`created` advances — the quarantine
+    /// tax, visible to the zero-alloc tests).
+    pub fn discard(mut self) {
+        self.ctx = None;
+    }
+}
+
 impl Deref for PooledContext {
     type Target = ExecContext;
 

@@ -1,10 +1,18 @@
 //! A small blocking client for the line protocol — used by the `systec
 //! client` subcommand and the test tiers.
+//!
+//! [`RetryPolicy`] adds fault tolerance on top of [`Client`]: capped
+//! exponential backoff with deterministic jitter on connect failures,
+//! dropped connections, and the retryable error codes
+//! ([`crate::protocol::ErrorCode::retryable`] — `deadline_exceeded`,
+//! `admission_rejected`, `internal_error`). `kernel_quarantined` is
+//! deliberately *not* retried: the handle is dead until re-`prepare`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-use crate::protocol::{ProtoError, Request, Response};
+use crate::protocol::{ErrorCode, ProtoError, Request, Response};
 
 /// A connected client. Requests are answered in order on the same
 /// connection.
@@ -85,5 +93,158 @@ impl Client {
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
         let line = self.send_raw(&request.encode())?;
         Response::decode(&line).map_err(ClientError::Protocol)
+    }
+
+    /// Connects with capped exponential backoff: up to `policy.attempts`
+    /// tries, sleeping `policy.delay(attempt)` between failures.
+    ///
+    /// # Errors
+    ///
+    /// The last connect error once every attempt is exhausted.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<Client> {
+        let attempts = policy.attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            match Client::connect(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(policy.delay(attempt));
+            }
+        }
+        Err(last.expect("at least one connect attempt was made"))
+    }
+}
+
+/// Retry schedule for connects and retryable requests: capped
+/// exponential backoff plus deterministic jitter.
+///
+/// The delay before retry `attempt` (0-based) is
+/// `min(cap, base << attempt) + jitter`, where jitter is drawn from a
+/// seeded xorshift stream over `[0, base)` — deterministic for a given
+/// `(seed, attempt)`, so test tiers replay identical schedules while
+/// independent clients (different seeds) still decorrelate.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try plus retries). Clamped to ≥ 1.
+    pub attempts: u32,
+    /// Base delay; doubled each retry.
+    pub base: Duration,
+    /// Ceiling on the exponential component.
+    pub cap: Duration,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: 0x5353_5445_4331_2e30, // "SSTEC1.0"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy making `attempts` total tries with the default backoff.
+    #[must_use]
+    pub fn with_attempts(attempts: u32) -> RetryPolicy {
+        RetryPolicy { attempts, ..RetryPolicy::default() }
+    }
+
+    /// Whether a decoded error response should be retried under this
+    /// policy (delegates to [`ErrorCode::retryable`]).
+    #[must_use]
+    pub fn should_retry(&self, code: ErrorCode) -> bool {
+        code.retryable()
+    }
+
+    /// The delay before retry `attempt` (0-based):
+    /// `min(cap, base * 2^attempt) + jitter(seed, attempt)` with jitter
+    /// in `[0, base)`.
+    #[must_use]
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let base_ms = self.base.as_millis().min(u128::from(u64::MAX)) as u64;
+        let cap_ms = self.cap.as_millis().min(u128::from(u64::MAX)) as u64;
+        let exp = base_ms.checked_shl(attempt.min(32)).unwrap_or(u64::MAX).min(cap_ms);
+        let jitter = if base_ms == 0 {
+            0
+        } else {
+            // One splitmix64 step keyed by (seed, attempt): stateless, so
+            // delay(n) is a pure function and replays identically.
+            let mut z =
+                self.seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            z % base_ms
+        };
+        Duration::from_millis(exp.saturating_add(jitter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            seed: 7,
+        };
+        for attempt in 0..8 {
+            let d = p.delay(attempt).as_millis() as u64;
+            let exp = (10u64 << attempt).min(100);
+            assert!(
+                d >= exp && d < exp + 10,
+                "attempt {attempt}: delay {d}ms outside [{exp}, {})",
+                exp + 10
+            );
+        }
+        // Deterministic: same (seed, attempt) → same delay.
+        assert_eq!(p.delay(3), p.delay(3));
+        // Different seeds decorrelate at least one attempt.
+        let q = RetryPolicy { seed: 8, ..p.clone() };
+        assert!((0..8).any(|a| p.delay(a) != q.delay(a)));
+    }
+
+    #[test]
+    fn zero_base_never_divides_by_zero() {
+        let p = RetryPolicy {
+            attempts: 2,
+            base: Duration::ZERO,
+            cap: Duration::from_millis(5),
+            seed: 1,
+        };
+        assert_eq!(p.delay(0), Duration::ZERO);
+        assert_eq!(p.delay(63), Duration::ZERO);
+    }
+
+    #[test]
+    fn retryable_codes_follow_protocol_policy() {
+        let p = RetryPolicy::default();
+        assert!(p.should_retry(ErrorCode::Internal));
+        assert!(p.should_retry(ErrorCode::DeadlineExceeded));
+        assert!(p.should_retry(ErrorCode::AdmissionRejected));
+        assert!(!p.should_retry(ErrorCode::KernelQuarantined));
+        assert!(!p.should_retry(ErrorCode::UnknownKernel));
+    }
+
+    #[test]
+    fn connect_with_retry_surfaces_the_last_error() {
+        // Port 1 on localhost is essentially never listening; keep the
+        // schedule instant so the test doesn't sleep.
+        let p = RetryPolicy { attempts: 2, base: Duration::ZERO, cap: Duration::ZERO, seed: 1 };
+        let err = Client::connect_with_retry("127.0.0.1:1", &p);
+        assert!(err.is_err());
     }
 }

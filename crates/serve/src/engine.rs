@@ -21,10 +21,15 @@
 //! after the lease is taken and is allowed to allocate.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
+use crate::durability::{Durability, Record, Recovery, DEFAULT_SNAPSHOT_EVERY};
+use crate::fault::{FaultPlan, FaultSite};
 use crate::relock;
 
 use systec_codegen::{ContextPool, Parallelism, PooledContext};
@@ -118,6 +123,11 @@ struct KernelEntry {
     /// matching load lets the run path skip the registry entirely —
     /// the epoch only moves on (re-)registration.
     valid_epoch: AtomicU64,
+    /// Set when a run of this handle panicked. A quarantined handle
+    /// never executes again (`kernel_quarantined`), and the dedup
+    /// searches skip it so re-`prepare` mints a fresh handle over the
+    /// same spec.
+    quarantined: AtomicBool,
 }
 
 /// A completed execution, borrowing nothing: holds the kernel entry, the
@@ -244,6 +254,46 @@ fn tensor_bytes(tensor: &Tensor) -> u64 {
     }
 }
 
+/// The dimensions of a stored tensor (for durable records).
+fn tensor_dims(tensor: &Tensor) -> Vec<usize> {
+    match tensor {
+        Tensor::Dense(d) => d.dims().to_vec(),
+        Tensor::Sparse(s) => s.dims().to_vec(),
+    }
+}
+
+/// Serializes stored tensor data for a durable record: dense stays a
+/// value list, sparse enumerates COO entries. The payload kind encodes
+/// the storage, so replay rebuilds the same representation.
+fn tensor_payload(tensor: &Tensor) -> TensorPayload {
+    match tensor {
+        Tensor::Dense(d) => TensorPayload::Dense(d.as_slice().to_vec()),
+        Tensor::Sparse(s) => {
+            let coo = s.to_coo();
+            TensorPayload::Coo(coo.entries().map(|(c, v)| (c.to_vec(), v)).collect())
+        }
+    }
+}
+
+/// Rebuilds stored tensor data from a recovered record; `None` if the
+/// record does not describe a valid tensor (skipped during replay —
+/// the record passed its CRC, so this would indicate a writer bug, and
+/// recovery must still never panic).
+fn rebuild_tensor(dims: &[usize], payload: &TensorPayload) -> Option<Tensor> {
+    match payload {
+        TensorPayload::Dense(values) => {
+            DenseTensor::from_vec(dims.to_vec(), values.clone()).ok().map(Tensor::Dense)
+        }
+        TensorPayload::Coo(entries) => {
+            let mut coo = CooTensor::new(dims.to_vec());
+            for (coords, v) in entries {
+                coo.try_push(coords, *v).ok()?;
+            }
+            SparseTensor::from_coo(&coo, &csf(dims.len())).ok().map(Tensor::Sparse)
+        }
+    }
+}
+
 /// An engine-level failure, mapped onto a protocol error response.
 #[derive(Debug)]
 pub struct EngineError {
@@ -280,6 +330,15 @@ pub struct Engine {
     default_parallelism: Parallelism,
     slow_threshold_ns: u64,
     slow_log: Mutex<SlowLog>,
+    /// Optional durable registry (`--data-dir`): a write-ahead journal
+    /// consulted *before* every registry mutation is applied.
+    durability: Option<Mutex<Durability>>,
+    /// Snapshot cadence handed to [`Durability`] at `with_data_dir`.
+    snapshot_every: u64,
+    /// Kernel handles quarantined so far (drives the gauge).
+    quarantined_count: AtomicU64,
+    /// Optional deterministic fault schedule (chaos tests only).
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for Engine {
@@ -310,6 +369,10 @@ impl Engine {
             default_parallelism,
             slow_threshold_ns: u64::try_from(DEFAULT_SLOW_THRESHOLD.as_nanos()).unwrap_or(u64::MAX),
             slow_log: Mutex::new(SlowLog::new()),
+            durability: None,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            quarantined_count: AtomicU64::new(0),
+            fault_plan: None,
         }
     }
 
@@ -328,6 +391,133 @@ impl Engine {
     pub fn with_slow_threshold(mut self, threshold: Duration) -> Engine {
         self.slow_threshold_ns = u64::try_from(threshold.as_nanos()).unwrap_or(u64::MAX);
         self
+    }
+
+    /// Overrides the journal→snapshot fold cadence (records between
+    /// snapshots). Call before [`Engine::with_data_dir`].
+    pub fn with_snapshot_every(mut self, records: u64) -> Engine {
+        self.snapshot_every = records.max(1);
+        self
+    }
+
+    /// Installs a deterministic fault schedule (chaos tests). Without a
+    /// plan every injection site is a single `Option` load.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Engine {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The installed fault schedule, if any — read by the scheduler and
+    /// transport so one plan drives every seam.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Makes the registry durable under `dir`: recovers the snapshot +
+    /// journal written by a previous process (truncating any torn
+    /// tail), then journals every subsequent mutation write-ahead.
+    /// Generation counters are part of the records, so stale-pin
+    /// semantics survive the restart.
+    pub fn with_data_dir(mut self, dir: impl AsRef<Path>) -> io::Result<Engine> {
+        let (durability, recovery) = Durability::open(dir.as_ref(), self.snapshot_every)?;
+        self.apply_recovery(recovery);
+        self.durability = Some(Mutex::new(durability));
+        Ok(self)
+    }
+
+    /// Replays recovered records into the (still single-owner) registry.
+    fn apply_recovery(&mut self, recovery: Recovery) {
+        let mut replayed = 0u64;
+        {
+            let reg = self.registry.get_mut().unwrap_or_else(PoisonError::into_inner);
+            for record in recovery.records {
+                match record {
+                    Record::Register { name, dims, generation, payload } => {
+                        let Some(data) = rebuild_tensor(&dims, &payload) else { continue };
+                        let bytes = tensor_bytes(&data);
+                        let freed = reg.tensors.get(&name).map_or(0, |e| e.bytes);
+                        reg.bytes = (reg.bytes - freed) + bytes;
+                        let prior = reg.generations.get(&name).copied();
+                        reg.generations
+                            .insert(name.clone(), prior.map_or(generation, |g| g.max(generation)));
+                        reg.clock += 1;
+                        let last_used = reg.clock;
+                        reg.tensors
+                            .insert(name, TensorEntry { data, generation, bytes, last_used });
+                    }
+                    Record::Unregister { name } => {
+                        if let Some(entry) = reg.tensors.remove(&name) {
+                            reg.bytes -= entry.bytes;
+                        }
+                    }
+                    Record::Generations { generations } => {
+                        for (name, generation) in generations {
+                            let prior = reg.generations.get(&name).copied();
+                            reg.generations
+                                .insert(name, prior.map_or(generation, |g| g.max(generation)));
+                        }
+                    }
+                }
+                replayed += 1;
+            }
+            self.serve.registry_bytes.set(reg.bytes);
+            self.serve.registry_tensors.set(reg.tensors.len() as u64);
+        }
+        self.serve.recovery_replayed.add_always(replayed);
+        self.serve.recovery_truncated.add_always(recovery.truncated);
+    }
+
+    /// Appends one record to the journal (write-ahead) and fsyncs it,
+    /// honoring an injected `JournalWrite` fault. No-op without
+    /// `--data-dir`.
+    fn journal_append(&self, dur: &mut Durability, record: &Record) -> io::Result<()> {
+        if let Some(plan) = &self.fault_plan {
+            if plan.fire(FaultSite::JournalWrite) {
+                return Err(io::Error::other("injected journal write failure"));
+            }
+        }
+        let bytes = dur.append(record)?;
+        self.serve.journal_records.inc_always();
+        self.serve.journal_bytes.add_always(bytes);
+        self.serve.journal_fsyncs.inc_always();
+        Ok(())
+    }
+
+    /// Folds the journal into a snapshot when due. Snapshot failure is
+    /// non-fatal: the journal remains the source of truth.
+    fn maybe_snapshot(&self, dur: &mut Durability, reg: &Registry) {
+        if !dur.wants_snapshot() {
+            return;
+        }
+        let mut generations: Vec<(String, u64)> =
+            reg.generations.iter().map(|(n, g)| (n.clone(), *g)).collect();
+        generations.sort();
+        let mut records = vec![Record::Generations { generations }];
+        let mut names: Vec<&String> = reg.tensors.keys().collect();
+        names.sort();
+        for name in names {
+            let entry = &reg.tensors[name];
+            records.push(Record::Register {
+                name: name.clone(),
+                dims: tensor_dims(&entry.data),
+                generation: entry.generation,
+                payload: tensor_payload(&entry.data),
+            });
+        }
+        if let Ok((bytes, fsyncs)) = dur.write_snapshot(&records) {
+            self.serve.journal_bytes.add_always(bytes);
+            self.serve.journal_fsyncs.add_always(fsyncs);
+        }
+    }
+
+    /// Fsyncs the journal if one is open (graceful-drain hook; every
+    /// append already syncs, so this is cheap).
+    pub fn flush_journal(&self) {
+        if let Some(dur) = &self.durability {
+            if relock(dur).sync().is_ok() {
+                self.serve.journal_fsyncs.inc_always();
+            }
+        }
     }
 
     /// Handles one request, returning the response to write back.
@@ -449,6 +639,10 @@ impl Engine {
         // A replacement frees the old entry's bytes before the cap
         // check, and the replaced name itself is never an LRU victim.
         let freed = reg.tensors.get(name).map_or(0, |e| e.bytes);
+        // Victims are *staged* (removed but held aside) rather than
+        // dropped: if the journal append below fails, they go back and
+        // the refused registration has no side effects at all.
+        let mut victims: Vec<(String, TensorEntry)> = Vec::new();
         if let Some(cap) = self.max_registered_bytes {
             let mut projected = (reg.bytes - freed).saturating_add(bytes);
             if projected > cap {
@@ -470,12 +664,48 @@ impl Engine {
                     let evicted = reg.tensors.remove(&victim).expect("victim is live");
                     reg.bytes -= evicted.bytes;
                     projected -= evicted.bytes;
-                    reg.evictions += 1;
-                    self.serve.registry_evictions.inc_always();
+                    victims.push((victim, evicted));
                 }
             }
         }
         let generation = reg.generations.get(name).map_or(0, |g| g + 1);
+        // Write-ahead: evictions and the registration hit the journal
+        // (fsynced) before any of it becomes visible. A failed append
+        // restores the staged victims and changes nothing.
+        if let Some(dur) = &self.durability {
+            let mut dur = relock(dur);
+            let result = victims
+                .iter()
+                .try_for_each(|(victim, _)| {
+                    self.journal_append(&mut dur, &Record::Unregister { name: victim.clone() })
+                })
+                .and_then(|()| {
+                    self.journal_append(
+                        &mut dur,
+                        &Record::Register {
+                            name: name.to_string(),
+                            dims: tensor_dims(&data),
+                            generation,
+                            payload: tensor_payload(&data),
+                        },
+                    )
+                });
+            if let Err(e) = result {
+                for (victim, entry) in victims {
+                    reg.bytes += entry.bytes;
+                    reg.tensors.insert(victim, entry);
+                }
+                return Err(EngineError::new(
+                    ErrorCode::Internal,
+                    format!("journal write failed, registration not applied: {e}"),
+                ));
+            }
+        }
+        for (_, _) in &victims {
+            reg.evictions += 1;
+            self.serve.registry_evictions.inc_always();
+        }
+        drop(victims);
         reg.generations.insert(name.to_string(), generation);
         reg.bytes = (reg.bytes - freed) + bytes;
         reg.clock += 1;
@@ -483,6 +713,12 @@ impl Engine {
         reg.tensors.insert(name.to_string(), TensorEntry { data, generation, bytes, last_used });
         self.serve.registry_bytes.set(reg.bytes);
         self.serve.registry_tensors.set(reg.tensors.len() as u64);
+        // Fold the journal into a snapshot only after the mutation is
+        // visible in `reg` — the snapshot replaces the journal, so it
+        // must contain everything journaled so far.
+        if let Some(dur) = &self.durability {
+            self.maybe_snapshot(&mut relock(dur), &reg);
+        }
         drop(reg);
         // Publish after the registry write: a run that observes the new
         // epoch re-verifies its pins under the registry lock and is
@@ -493,6 +729,22 @@ impl Engine {
 
     fn unregister(&self, name: &str) -> Result<Response, EngineError> {
         let mut reg = self.registry.write().unwrap_or_else(PoisonError::into_inner);
+        // Write-ahead: journal the removal before applying it. A name
+        // that was never registered journals nothing.
+        if reg.tensors.contains_key(name) {
+            if let Some(dur) = &self.durability {
+                self.journal_append(
+                    &mut relock(dur),
+                    &Record::Unregister { name: name.to_string() },
+                )
+                .map_err(|e| {
+                    EngineError::new(
+                        ErrorCode::Internal,
+                        format!("journal write failed, unregister not applied: {e}"),
+                    )
+                })?;
+            }
+        }
         let existed = match reg.tensors.remove(name) {
             Some(entry) => {
                 reg.bytes -= entry.bytes;
@@ -502,6 +754,11 @@ impl Engine {
         };
         self.serve.registry_bytes.set(reg.bytes);
         self.serve.registry_tensors.set(reg.tensors.len() as u64);
+        if existed {
+            if let Some(dur) = &self.durability {
+                self.maybe_snapshot(&mut relock(dur), &reg);
+            }
+        }
         drop(reg);
         // `generations` is deliberately retained: a later re-register
         // still advances the name's generation, and kernels pinning the
@@ -610,12 +867,18 @@ impl Engine {
             slow: AtomicU64::new(0),
             pinned,
             valid_epoch: AtomicU64::new(epoch_at_prepare),
+            quarantined: AtomicBool::new(false),
         });
 
         let mut kernels = self.kernels.write().unwrap_or_else(PoisonError::into_inner);
         // Re-check under the write lock: a racing prepare of the same
-        // spec may have inserted between our check and here.
-        if let Some(k) = kernels.iter().position(|k| k.dedup == entry.dedup) {
+        // spec may have inserted between our check and here. Quarantined
+        // handles are invisible to dedup — re-preparing a panicked spec
+        // must mint a fresh handle.
+        if let Some(k) = kernels
+            .iter()
+            .position(|k| k.dedup == entry.dedup && !k.quarantined.load(Ordering::Acquire))
+        {
             let existing = &kernels[k];
             return Ok(Response::Prepared {
                 kernel: k as u64,
@@ -639,14 +902,16 @@ impl Engine {
 
     fn find_kernel(&self, dedup: &str) -> Option<Response> {
         let kernels = self.kernels.read().unwrap_or_else(PoisonError::into_inner);
-        kernels.iter().position(|k| k.dedup == dedup).map(|k| Response::Prepared {
-            kernel: k as u64,
-            splittable: kernels[k].prepared.splittable(),
-            warning: fallback_warning(
-                kernels[k].prepared.parallelism(),
-                kernels[k].prepared.splittable(),
-            ),
-        })
+        kernels.iter().position(|k| k.dedup == dedup && !k.quarantined.load(Ordering::Acquire)).map(
+            |k| Response::Prepared {
+                kernel: k as u64,
+                splittable: kernels[k].prepared.splittable(),
+                warning: fallback_warning(
+                    kernels[k].prepared.parallelism(),
+                    kernels[k].prepared.splittable(),
+                ),
+            },
+        )
     }
 
     fn entry(&self, kernel: u64) -> Result<Arc<KernelEntry>, EngineError> {
@@ -679,6 +944,7 @@ impl Engine {
     /// (the batch was one slow event, not `n`).
     fn execute_coalesced(&self, kernel: u64, n: u64) -> Result<RunLease, EngineError> {
         let entry = self.entry(kernel)?;
+        self.check_quarantine(kernel, &entry)?;
         self.ensure_fresh(&entry)?;
         let mut slot = relock(&entry.slots).pop().unwrap_or_default();
         let mut ctx = self.contexts.checkout();
@@ -686,7 +952,25 @@ impl Engine {
         // then byte-for-byte the pre-telemetry one (the alloc tier's
         // parity test).
         let started = telemetry::enabled().then(Instant::now);
-        let result = entry.prepared.run_timed_into(&mut slot.outputs, &mut ctx, &mut slot.counters);
+        // The catch covers the vendored rayon pool too: its workers
+        // catch task panics and resume them on the joining caller, so a
+        // parallel run's panic lands right here. `AssertUnwindSafe` is
+        // sound because a panicking run's slot and context are
+        // discarded below, never repooled.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.inject_exec_faults();
+            entry.prepared.run_timed_into(&mut slot.outputs, &mut ctx, &mut slot.counters)
+        }));
+        let result = match result {
+            Ok(result) => result,
+            Err(_panic) => {
+                // Poisoned intermediate state: drop the slot and the
+                // context rather than returning them to their pools.
+                drop(slot);
+                ctx.discard();
+                return Err(self.quarantine(kernel, &entry));
+            }
+        };
         if let Err(e) = result {
             // Return the slot before surfacing the failure.
             relock(&entry.slots).push(slot);
@@ -704,6 +988,52 @@ impl Engine {
             }
         }
         Ok(RunLease { entry, slot: Some(slot), _ctx: ctx })
+    }
+
+    /// Refuses execution of a quarantined handle with the structured
+    /// `kernel_quarantined` code.
+    fn check_quarantine(&self, kernel: u64, entry: &KernelEntry) -> Result<(), EngineError> {
+        if entry.quarantined.load(Ordering::Acquire) {
+            return Err(EngineError::new(
+                ErrorCode::KernelQuarantined,
+                format!(
+                    "kernel {kernel} was quarantined after a panicking run — \
+                     re-prepare the same spec to mint a fresh handle"
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Quarantines a handle whose run panicked and builds the
+    /// `internal_error` reply for the victims. The first quarantining
+    /// thread bumps the gauge; every caught panic bumps the counter.
+    fn quarantine(&self, kernel: u64, entry: &KernelEntry) -> EngineError {
+        self.serve.panics_caught.inc_always();
+        if !entry.quarantined.swap(true, Ordering::AcqRel) {
+            let n = self.quarantined_count.fetch_add(1, Ordering::Relaxed) + 1;
+            self.serve.quarantined_kernels.set(n);
+        }
+        EngineError::new(
+            ErrorCode::Internal,
+            format!(
+                "execution of kernel {kernel} panicked; the handle is quarantined — \
+                 re-prepare to mint a fresh one"
+            ),
+        )
+    }
+
+    /// Chaos-test hooks on the execution path: a forced slow run and a
+    /// forced panic. Without a plan this is one branch on a `None`.
+    fn inject_exec_faults(&self) {
+        if let Some(plan) = &self.fault_plan {
+            if plan.fire(FaultSite::ExecDelay) {
+                std::thread::sleep(plan.delay());
+            }
+            if plan.fire(FaultSite::ExecPanic) {
+                panic!("injected kernel execution panic");
+            }
+        }
     }
 
     /// Verifies the kernel's pinned tensors are still the current
@@ -755,11 +1085,14 @@ impl Engine {
             // The complete result (main + output replication): a fresh
             // allocation per request, documented as off the hot path.
             let entry = self.entry(kernel)?;
+            self.check_quarantine(kernel, &entry)?;
             self.ensure_fresh(&entry)?;
-            let (outputs, counters) = entry
-                .prepared
-                .run_full()
-                .map_err(|e| EngineError::new(ErrorCode::Internal, e.to_string()))?;
+            let (outputs, counters) = catch_unwind(AssertUnwindSafe(|| {
+                self.inject_exec_faults();
+                entry.prepared.run_full()
+            }))
+            .map_err(|_panic| self.quarantine(kernel, &entry))?
+            .map_err(|e| EngineError::new(ErrorCode::Internal, e.to_string()))?;
             entry.runs.fetch_add(n, Ordering::Relaxed);
             // Deliberately NOT recorded in the latency histogram: the
             // quantiles report the paper's timed region (pooled
@@ -840,6 +1173,13 @@ impl Engine {
             rejected_bytes: self.serve.admission_rejected_bytes.get(),
             deadline_exceeded: self.serve.deadline_exceeded.get(),
             stale_runs: self.serve.stale_runs.get(),
+            panics_caught: self.serve.panics_caught.get(),
+            quarantined_kernels: self.serve.quarantined_kernels.get(),
+            journal_records: self.serve.journal_records.get(),
+            journal_bytes: self.serve.journal_bytes.get(),
+            journal_fsyncs: self.serve.journal_fsyncs.get(),
+            recovery_replayed: self.serve.recovery_replayed.get(),
+            recovery_truncated: self.serve.recovery_truncated.get(),
         }
     }
 
@@ -926,6 +1266,18 @@ impl Engine {
         );
         w.sample("systec_fallback_serial_total", &[], m.fallback_serial.get());
         w.family(
+            "systec_faults_injected_total",
+            "counter",
+            "Faults injected by the installed fault plan, by site (all zero in production).",
+        );
+        for site in crate::fault::FAULT_SITES {
+            w.sample(
+                "systec_faults_injected_total",
+                &[("site", site.name())],
+                self.fault_plan.as_ref().map_or(0, |p| p.injected(site)),
+            );
+        }
+        w.family(
             "systec_fused_dispatch_total",
             "counter",
             "VM vector-loop dispatches by fused-body kind.",
@@ -933,6 +1285,24 @@ impl Engine {
         for kind in telemetry::BODY_KINDS {
             w.sample("systec_fused_dispatch_total", &[("kind", kind.name())], m.fused(kind).get());
         }
+        w.family(
+            "systec_journal_bytes_total",
+            "counter",
+            "Bytes appended to the durability write-ahead journal.",
+        );
+        w.sample("systec_journal_bytes_total", &[], self.serve.journal_bytes.get());
+        w.family(
+            "systec_journal_fsyncs_total",
+            "counter",
+            "fsyncs issued by the journal/snapshot writer.",
+        );
+        w.sample("systec_journal_fsyncs_total", &[], self.serve.journal_fsyncs.get());
+        w.family(
+            "systec_journal_records_total",
+            "counter",
+            "Records appended to the durability write-ahead journal.",
+        );
+        w.sample("systec_journal_records_total", &[], self.serve.journal_records.get());
 
         // -- per-kernel ----------------------------------------------
         let kernels = self.kernels.read().unwrap_or_else(PoisonError::into_inner);
@@ -972,6 +1342,14 @@ impl Engine {
             );
         }
         drop(kernels);
+
+        // -- fault tolerance -----------------------------------------
+        w.family(
+            "systec_panics_caught_total",
+            "counter",
+            "Executor panics caught and answered with internal_error.",
+        );
+        w.sample("systec_panics_caught_total", &[], self.serve.panics_caught.get());
 
         // -- plan cache ----------------------------------------------
         w.family("systec_plan_cache_builds_total", "counter", "Plan builds actually executed.");
@@ -1016,6 +1394,26 @@ impl Engine {
         w.sample("systec_pool_wakeups_total", &[], pool.wakeups as u64);
         w.family("systec_pool_workers", "gauge", "Worker threads spawned so far.");
         w.sample("systec_pool_workers", &[], pool.workers_spawned as u64);
+
+        // -- quarantine + recovery -----------------------------------
+        w.family(
+            "systec_quarantined_kernels",
+            "gauge",
+            "Kernel handles quarantined after a caught panic.",
+        );
+        w.sample("systec_quarantined_kernels", &[], self.serve.quarantined_kernels.get());
+        w.family(
+            "systec_recovery_replayed_total",
+            "counter",
+            "Durable records replayed at startup recovery.",
+        );
+        w.sample("systec_recovery_replayed_total", &[], self.serve.recovery_replayed.get());
+        w.family(
+            "systec_recovery_truncated_total",
+            "counter",
+            "Torn-tail bytes truncated from the journal at recovery.",
+        );
+        w.sample("systec_recovery_truncated_total", &[], self.serve.recovery_truncated.get());
 
         // -- tensor registry -----------------------------------------
         w.family("systec_registry_bytes", "gauge", "Estimated bytes of live registered tensors.");
@@ -1193,10 +1591,9 @@ mod tests {
         assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
     }
 
-    fn ssymv_engine() -> Engine {
-        let engine = Engine::new();
+    fn ssymv_inputs(engine: &Engine) {
         register(
-            &engine,
+            engine,
             "A",
             &[4, 4],
             &[
@@ -1207,7 +1604,12 @@ mod tests {
                 (vec![1, 1], 0.5),
             ],
         );
-        register_dense(&engine, "x", &[4], &[1.0, 2.0, 3.0, 4.0]);
+        register_dense(engine, "x", &[4], &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    fn ssymv_engine() -> Engine {
+        let engine = Engine::new();
+        ssymv_inputs(&engine);
         engine
     }
 
@@ -1727,5 +2129,121 @@ mod tests {
         });
         let Response::Registered { generation, .. } = resp else { panic!("{resp:?}") };
         assert_eq!(generation, 1, "generations survive eviction");
+    }
+
+    #[test]
+    fn panicking_run_quarantines_the_handle_until_a_reprepare() {
+        let oracle = {
+            let clean = ssymv_engine();
+            let k = prepare(&clean);
+            clean.handle(&Request::Run { kernel: k, full: false }).encode()
+        };
+        let plan = Arc::new(FaultPlan::seeded(5).nth(FaultSite::ExecPanic, 1));
+        let engine = Engine::new().with_fault_plan(Arc::clone(&plan));
+        ssymv_inputs(&engine);
+        let kernel = prepare(&engine);
+        // The injected panic surfaces as a structured internal_error,
+        // not an abort.
+        let resp = engine.handle(&Request::Run { kernel, full: false });
+        assert!(matches!(resp, Response::Error { code: ErrorCode::Internal, .. }), "{resp:?}");
+        assert_eq!(plan.injected(FaultSite::ExecPanic), 1);
+        // The handle is now quarantined: refused structurally, not
+        // retried into the same poisoned state.
+        let resp = engine.handle(&Request::Run { kernel, full: false });
+        assert!(
+            matches!(resp, Response::Error { code: ErrorCode::KernelQuarantined, .. }),
+            "{resp:?}"
+        );
+        assert_eq!(engine.serve_metrics().panics_caught.get(), 1);
+        assert_eq!(engine.serve_metrics().quarantined_kernels.get(), 1);
+        // Re-preparing the identical spec mints a fresh handle — the
+        // quarantined one is invisible to dedup — and the fresh handle
+        // serves byte-identically to a never-faulted engine.
+        let fresh = prepare(&engine);
+        assert_ne!(fresh, kernel, "quarantined handles must not satisfy prepare dedup");
+        let resp = engine.handle(&Request::Run { kernel: fresh, full: false }).encode();
+        assert_eq!(resp, oracle);
+        // Exactly one injection: the fresh handle ran clean.
+        assert_eq!(plan.injected(FaultSite::ExecPanic), 1);
+    }
+
+    #[test]
+    fn full_run_panic_takes_the_same_quarantine_path() {
+        let plan = Arc::new(FaultPlan::seeded(9).nth(FaultSite::ExecPanic, 1));
+        let engine = Engine::new().with_fault_plan(plan);
+        ssymv_inputs(&engine);
+        let kernel = prepare(&engine);
+        let resp = engine.handle(&Request::Run { kernel, full: true });
+        assert!(matches!(resp, Response::Error { code: ErrorCode::Internal, .. }), "{resp:?}");
+        let resp = engine.handle(&Request::Run { kernel, full: true });
+        assert!(
+            matches!(resp, Response::Error { code: ErrorCode::KernelQuarantined, .. }),
+            "{resp:?}"
+        );
+        assert_eq!(engine.serve_metrics().panics_caught.get(), 1);
+    }
+
+    #[test]
+    fn journal_write_failure_refuses_mutations_without_side_effects() {
+        let dir = std::env::temp_dir().join(format!("systec-engine-jfail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = Arc::new(FaultPlan::seeded(2).nth(FaultSite::JournalWrite, 2));
+        let engine = Engine::new()
+            .with_fault_plan(Arc::clone(&plan))
+            .with_data_dir(&dir)
+            .expect("open data dir");
+        // First registration journals cleanly.
+        register_dense(&engine, "a", &[4], &[1.0, 2.0, 3.0, 4.0]);
+        // The second append is the injected failure: the registration
+        // must be refused and the registry left exactly as before.
+        let resp = engine.handle(&Request::RegisterTensor {
+            name: "b".into(),
+            dims: vec![4],
+            payload: TensorPayload::Dense(vec![9.0; 4]),
+            format: StorageFormat::Auto,
+        });
+        assert!(matches!(resp, Response::Error { code: ErrorCode::Internal, .. }), "{resp:?}");
+        let Response::Stats { serve, .. } = engine.handle(&Request::Stats) else { panic!() };
+        assert_eq!(serve.registry_tensors, 1, "a refused registration must not apply");
+        assert_eq!(plan.injected(FaultSite::JournalWrite), 1);
+        // The journal on disk holds exactly the applied mutation: a
+        // restart recovers "a" and nothing else.
+        drop(engine);
+        let recovered = Engine::new().with_data_dir(&dir).expect("reopen data dir");
+        let Response::Stats { serve, .. } = recovered.handle(&Request::Stats) else { panic!() };
+        assert_eq!(serve.registry_tensors, 1);
+        assert_eq!(serve.recovery_replayed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_registry_survives_reopen_with_generations() {
+        let dir = std::env::temp_dir().join(format!("systec-engine-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let oracle = {
+            let engine = Engine::new().with_data_dir(&dir).expect("open data dir");
+            ssymv_inputs(&engine);
+            // Bump x so the recovered generation counter is nontrivial.
+            register_dense(&engine, "x", &[4], &[1.0, 2.0, 3.0, 4.0]);
+            let k = prepare(&engine);
+            engine.handle(&Request::Run { kernel: k, full: false }).encode()
+        };
+        let engine = Engine::new().with_data_dir(&dir).expect("reopen data dir");
+        let Response::Stats { serve, .. } = engine.handle(&Request::Stats) else { panic!() };
+        assert_eq!(serve.registry_tensors, 2);
+        assert!(serve.recovery_replayed >= 2, "{}", serve.recovery_replayed);
+        // Generations resume, not reset: the next x supersedes gen 1.
+        let resp = engine.handle(&Request::RegisterTensor {
+            name: "x".into(),
+            dims: vec![4],
+            payload: TensorPayload::Dense(vec![1.0, 2.0, 3.0, 4.0]),
+            format: StorageFormat::Auto,
+        });
+        let Response::Registered { generation, .. } = resp else { panic!("{resp:?}") };
+        assert_eq!(generation, 2, "generation counters must survive restart");
+        // And the recovered tensors serve byte-identically.
+        let k = prepare(&engine);
+        assert_eq!(engine.handle(&Request::Run { kernel: k, full: false }).encode(), oracle);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

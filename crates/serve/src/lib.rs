@@ -46,7 +46,9 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod durability;
 pub mod engine;
+pub mod fault;
 pub mod json;
 pub mod protocol;
 pub mod scheduler;
@@ -60,6 +62,7 @@ pub(crate) fn relock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T>
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use engine::{oracle_response, Engine, EngineError, RunLease};
+pub use fault::{FaultPlan, FaultSite};
 pub use server::{serve, serve_with, RunningServer, ServerConfig};

@@ -66,9 +66,15 @@ pub enum ErrorCode {
     /// `prepare`; the kernel's snapshot is stale. Re-`prepare` to bind
     /// the new generation.
     StaleTensor,
-    /// Anything else (executor failures after successful preparation —
-    /// not expected in practice).
+    /// The executor hit an unexpected failure (including a caught panic)
+    /// while serving this request. The request was not executed — or its
+    /// output was discarded — and may be retried after the offending
+    /// kernel is re-prepared.
     Internal,
+    /// The kernel handle was quarantined after a panic during a previous
+    /// run. The handle never serves again; `prepare` the same spec again
+    /// to mint a fresh handle.
+    KernelQuarantined,
 }
 
 impl ErrorCode {
@@ -84,7 +90,8 @@ impl ErrorCode {
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::AdmissionRejected => "admission_rejected",
             ErrorCode::StaleTensor => "stale_tensor",
-            ErrorCode::Internal => "internal",
+            ErrorCode::Internal => "internal_error",
+            ErrorCode::KernelQuarantined => "kernel_quarantined",
         }
     }
 
@@ -99,9 +106,22 @@ impl ErrorCode {
             "deadline_exceeded" => ErrorCode::DeadlineExceeded,
             "admission_rejected" => ErrorCode::AdmissionRejected,
             "stale_tensor" => ErrorCode::StaleTensor,
-            "internal" => ErrorCode::Internal,
+            "internal_error" => ErrorCode::Internal,
+            "kernel_quarantined" => ErrorCode::KernelQuarantined,
             _ => return None,
         })
+    }
+
+    /// Whether a client may transparently retry the same request after a
+    /// backoff. Transient conditions (queueing past the deadline,
+    /// admission pressure, an executor fault that quarantined a kernel
+    /// mid-flight) are retryable; `kernel_quarantined` is not — the
+    /// handle is dead until the client re-`prepare`s.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::DeadlineExceeded | ErrorCode::AdmissionRejected | ErrorCode::Internal
+        )
     }
 }
 
@@ -376,6 +396,23 @@ pub struct ServePayload {
     pub deadline_exceeded: u64,
     /// Runs refused with `stale_tensor` (pinned data re-registered).
     pub stale_runs: u64,
+    /// Executor panics caught and converted into `internal_error`
+    /// replies (monotonic). The process never aborts on these.
+    pub panics_caught: u64,
+    /// Kernel handles quarantined after a caught panic. Quarantined
+    /// handles answer `kernel_quarantined` until re-`prepare`d.
+    pub quarantined_kernels: u64,
+    /// Records appended to the write-ahead journal (monotonic; zero
+    /// when the server runs without `--data-dir`).
+    pub journal_records: u64,
+    /// Bytes appended to the write-ahead journal (monotonic).
+    pub journal_bytes: u64,
+    /// fsync calls issued by the journal/snapshot writer (monotonic).
+    pub journal_fsyncs: u64,
+    /// Durable records replayed at the last startup recovery.
+    pub recovery_replayed: u64,
+    /// Torn-tail bytes truncated from the journal at the last recovery.
+    pub recovery_truncated: u64,
 }
 
 /// Per-kernel statistics in a stats response.
@@ -490,7 +527,7 @@ impl Response {
 // Encoding
 // ---------------------------------------------------------------------
 
-fn dims_json(dims: &[usize]) -> Json {
+pub(crate) fn dims_json(dims: &[usize]) -> Json {
     Json::Arr(dims.iter().map(|&d| Json::num_usize(d)).collect())
 }
 
@@ -499,7 +536,7 @@ fn dims_json(dims: &[usize]) -> Json {
 /// never-updated identity `inf`), so those encode as the strings
 /// `"inf"`, `"-inf"`, `"nan"` and decode back exactly (all NaNs decode
 /// to the canonical `f64::NAN`).
-fn value_json(v: f64) -> Json {
+pub(crate) fn value_json(v: f64) -> Json {
     if v.is_finite() {
         Json::Num(v)
     } else if v.is_nan() {
@@ -511,7 +548,7 @@ fn value_json(v: f64) -> Json {
     }
 }
 
-fn value_from_json(v: &Json) -> Option<f64> {
+pub(crate) fn value_from_json(v: &Json) -> Option<f64> {
     match v {
         Json::Num(n) => Some(*n),
         Json::Str(s) => match s.as_str() {
@@ -524,7 +561,7 @@ fn value_from_json(v: &Json) -> Option<f64> {
     }
 }
 
-fn values_json(values: &[f64]) -> Json {
+pub(crate) fn values_json(values: &[f64]) -> Json {
     Json::Arr(values.iter().map(|&v| value_json(v)).collect())
 }
 
@@ -758,7 +795,7 @@ fn optional_f64(json: &Json, field: &str) -> Result<Option<f64>, ProtoError> {
     }
 }
 
-fn usize_array(json: &Json, field: &str) -> Result<Vec<usize>, ProtoError> {
+pub(crate) fn usize_array(json: &Json, field: &str) -> Result<Vec<usize>, ProtoError> {
     json.get(field)
         .and_then(Json::as_arr)
         .ok_or_else(|| ProtoError::new(format!("missing array field `{field}`")))?
@@ -771,7 +808,7 @@ fn usize_array(json: &Json, field: &str) -> Result<Vec<usize>, ProtoError> {
         .collect()
 }
 
-fn f64_array(v: &Json, field: &str) -> Result<Vec<f64>, ProtoError> {
+pub(crate) fn f64_array(v: &Json, field: &str) -> Result<Vec<f64>, ProtoError> {
     v.as_arr()
         .ok_or_else(|| ProtoError::new(format!("`{field}` must be an array of numbers")))?
         .iter()
@@ -911,6 +948,13 @@ impl Response {
                         ("rejected_bytes", Json::num_u64(serve.rejected_bytes)),
                         ("deadline_exceeded", Json::num_u64(serve.deadline_exceeded)),
                         ("stale_runs", Json::num_u64(serve.stale_runs)),
+                        ("panics_caught", Json::num_u64(serve.panics_caught)),
+                        ("quarantined_kernels", Json::num_u64(serve.quarantined_kernels)),
+                        ("journal_records", Json::num_u64(serve.journal_records)),
+                        ("journal_bytes", Json::num_u64(serve.journal_bytes)),
+                        ("journal_fsyncs", Json::num_u64(serve.journal_fsyncs)),
+                        ("recovery_replayed", Json::num_u64(serve.recovery_replayed)),
+                        ("recovery_truncated", Json::num_u64(serve.recovery_truncated)),
                     ]),
                 ),
                 (
@@ -1159,6 +1203,13 @@ impl Response {
                     rejected_bytes: sv("rejected_bytes")?,
                     deadline_exceeded: sv("deadline_exceeded")?,
                     stale_runs: sv("stale_runs")?,
+                    panics_caught: sv("panics_caught")?,
+                    quarantined_kernels: sv("quarantined_kernels")?,
+                    journal_records: sv("journal_records")?,
+                    journal_bytes: sv("journal_bytes")?,
+                    journal_fsyncs: sv("journal_fsyncs")?,
+                    recovery_replayed: sv("recovery_replayed")?,
+                    recovery_truncated: sv("recovery_truncated")?,
                 };
                 let kernels = json
                     .get("kernels")
@@ -1338,6 +1389,13 @@ mod tests {
                     rejected_bytes: 1,
                     deadline_exceeded: 4,
                     stale_runs: 1,
+                    panics_caught: 1,
+                    quarantined_kernels: 1,
+                    journal_records: 9,
+                    journal_bytes: 2048,
+                    journal_fsyncs: 10,
+                    recovery_replayed: 5,
+                    recovery_truncated: 13,
                 },
                 kernels: vec![
                     KernelStatPayload {
@@ -1448,9 +1506,26 @@ mod tests {
             ErrorCode::AdmissionRejected,
             ErrorCode::StaleTensor,
             ErrorCode::Internal,
+            ErrorCode::KernelQuarantined,
         ] {
             assert_eq!(ErrorCode::from_str(code.as_str()), Some(code));
         }
         assert_eq!(ErrorCode::from_str("nope"), None);
+        assert_eq!(ErrorCode::from_str("internal"), None, "renamed wire code");
+    }
+
+    #[test]
+    fn retryable_codes_match_the_documented_policy() {
+        for (code, retry) in [
+            (ErrorCode::DeadlineExceeded, true),
+            (ErrorCode::AdmissionRejected, true),
+            (ErrorCode::Internal, true),
+            (ErrorCode::KernelQuarantined, false),
+            (ErrorCode::Parse, false),
+            (ErrorCode::StaleTensor, false),
+            (ErrorCode::UnknownKernel, false),
+        ] {
+            assert_eq!(code.retryable(), retry, "{code}");
+        }
     }
 }

@@ -28,6 +28,7 @@
 //! inline to keep their latency minimal.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 #[cfg(test)]
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
@@ -35,6 +36,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::engine::Engine;
+use crate::fault::FaultSite;
 use crate::protocol::{ErrorCode, Request, Response};
 use crate::relock;
 
@@ -269,16 +271,22 @@ fn executor(shared: &Shared) {
             st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
         };
         drop(st);
+        // Every dequeued task is answered exactly once, even when the
+        // work panics out from under it: a panic reaching this frame
+        // would otherwise kill the executor thread and silently drop
+        // the completions, wedging every victim connection's
+        // one-in-flight gate forever.
         match work {
             Work::One(task) => {
-                let line = if expired(shared, &task) {
-                    deadline_reply(shared, &task)
-                } else {
-                    Arc::new(shared.engine.handle(&task.request).encode())
-                };
+                let line = catch_unwind(AssertUnwindSafe(|| one_reply(shared, &task)))
+                    .unwrap_or_else(|_panic| {
+                        shared.engine.serve_metrics().panics_caught.inc_always();
+                        shared.engine.count_error();
+                        internal_reply()
+                    });
                 (shared.complete)(task.conn, line);
             }
-            Work::Batch((kernel, full), batch) => {
+            Work::Batch(key, batch) => {
                 let mut live = Vec::with_capacity(batch.len());
                 for task in batch {
                     if expired(shared, &task) {
@@ -291,39 +299,105 @@ fn executor(shared: &Shared) {
                 if live.is_empty() {
                     continue;
                 }
-                let n = live.len() as u64;
-                let m = shared.engine.serve_metrics();
-                m.batch_dispatches.inc_always();
-                m.batched_runs.add_always(n);
-                m.batch_size.record(n);
-                let response = shared.engine.run_batch(kernel, full, n);
-                let response = if response_elems(&response) >= LARGE_OUTPUT_ELEMS {
-                    // Hand the body off: encoding a multi-megabyte line
-                    // and fanning it out would stall this executor.
-                    let job =
-                        ReplicateJob { response, conns: live.iter().map(|t| t.conn).collect() };
-                    let sent = match relock(&shared.large).as_ref() {
-                        Some(tx) => tx.send(job).map_err(|mpsc::SendError(j)| j),
-                        None => Err(job),
-                    };
-                    match sent {
-                        Ok(()) => {
-                            m.offloaded_replications.inc_always();
-                            continue;
-                        }
-                        // Channel already hung up (shutdown race):
-                        // encode inline after all.
-                        Err(job) => job.response,
+                // `dispatch_batch` removes tasks from `live` as it
+                // answers them; whatever a panic leaves behind gets a
+                // structured internal_error so no requester ever hangs.
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| dispatch_batch(shared, key, &mut live)));
+                if outcome.is_err() {
+                    shared.engine.serve_metrics().panics_caught.inc_always();
+                    let line = internal_reply();
+                    for task in live.drain(..) {
+                        shared.engine.count_error();
+                        (shared.complete)(task.conn, Arc::clone(&line));
                     }
-                } else {
-                    response
-                };
-                let line = Arc::new(response.encode());
-                for task in live {
-                    (shared.complete)(task.conn, Arc::clone(&line));
                 }
             }
         }
+    }
+}
+
+/// Serves one non-coalesced task and returns its encoded reply.
+fn one_reply(shared: &Shared, task: &Task) -> Arc<String> {
+    if expired(shared, task) {
+        deadline_reply(shared, task)
+    } else {
+        Arc::new(shared.engine.handle(&task.request).encode())
+    }
+}
+
+/// The reply for a request orphaned by an executor panic. The code is
+/// retryable: the panic quarantined whatever caused it, so a retried
+/// request either succeeds or gets a precise `kernel_quarantined`.
+fn internal_reply() -> Arc<String> {
+    Arc::new(
+        Response::error(
+            ErrorCode::Internal,
+            "executor panicked while serving this request; it was not completed",
+        )
+        .encode(),
+    )
+}
+
+/// Dispatches one coalesced batch, answering and removing every task in
+/// `live`. Split out of [`executor`] so its caller can catch a panic
+/// and account for exactly the tasks left unanswered.
+fn dispatch_batch(shared: &Shared, (kernel, full): (u64, bool), live: &mut Vec<Task>) {
+    if let Some(plan) = shared.engine.fault_plan() {
+        if plan.fire(FaultSite::DispatchDelay) {
+            std::thread::sleep(plan.delay());
+        }
+        if plan.fire(FaultSite::ExecutorPanic) {
+            panic!("injected executor panic");
+        }
+    }
+    // Deadline re-check immediately *before* dispatch: the check at
+    // dequeue happened an arbitrary scheduling delay ago (the executor
+    // may have stalled on the previous batch), and a batch assembled
+    // just under the wire must not run arbitrarily late.
+    let mut i = 0;
+    while i < live.len() {
+        if expired(shared, &live[i]) {
+            let task = live.remove(i);
+            let line = deadline_reply(shared, &task);
+            (shared.complete)(task.conn, line);
+        } else {
+            i += 1;
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let n = live.len() as u64;
+    let m = shared.engine.serve_metrics();
+    m.batch_dispatches.inc_always();
+    m.batched_runs.add_always(n);
+    m.batch_size.record(n);
+    let response = shared.engine.run_batch(kernel, full, n);
+    let response = if response_elems(&response) >= LARGE_OUTPUT_ELEMS {
+        // Hand the body off: encoding a multi-megabyte line
+        // and fanning it out would stall this executor.
+        let job = ReplicateJob { response, conns: live.iter().map(|t| t.conn).collect() };
+        let sent = match relock(&shared.large).as_ref() {
+            Some(tx) => tx.send(job).map_err(|mpsc::SendError(j)| j),
+            None => Err(job),
+        };
+        match sent {
+            Ok(()) => {
+                m.offloaded_replications.inc_always();
+                live.clear();
+                return;
+            }
+            // Channel already hung up (shutdown race):
+            // encode inline after all.
+            Err(job) => job.response,
+        }
+    } else {
+        response
+    };
+    let line = Arc::new(response.encode());
+    for task in live.drain(..) {
+        (shared.complete)(task.conn, Arc::clone(&line));
     }
 }
 
@@ -388,7 +462,11 @@ mod tests {
     use crate::protocol::{StorageFormat, TensorPayload, Variant};
 
     fn warmed_engine() -> (Arc<Engine>, u64) {
-        let engine = Arc::new(Engine::new());
+        warm(Arc::new(Engine::new()))
+    }
+
+    /// Registers the SSYMV fixture and prepares its kernel on `engine`.
+    fn warm(engine: Arc<Engine>) -> (Arc<Engine>, u64) {
         let resp = engine.handle(&Request::RegisterTensor {
             name: "A".into(),
             dims: vec![4, 4],
@@ -470,6 +548,73 @@ mod tests {
         assert_eq!(m.batch_dispatches.get(), 2, "one per (kernel, full) key");
         assert_eq!(m.batched_runs.get(), 3);
         scheduler.shutdown();
+    }
+
+    #[test]
+    fn executor_panic_answers_every_victim_and_keeps_serving() {
+        use crate::fault::{FaultPlan, FaultSite};
+        let engine = Arc::new(
+            Engine::new()
+                .with_fault_plan(Arc::new(FaultPlan::seeded(11).nth(FaultSite::ExecutorPanic, 1))),
+        );
+        let (engine, kernel) = warm(engine);
+        let oracle = engine.handle(&Request::Run { kernel, full: false }).encode();
+
+        let log = CompletionLog::new();
+        let scheduler = Scheduler::new(Arc::clone(&engine), 1, 32, None, log.sink());
+        scheduler.pause();
+        for conn in 0..3 {
+            scheduler.submit(conn, Request::Run { kernel, full: false });
+        }
+        scheduler.resume();
+        // Regression: before the catch, the injected panic killed the
+        // sole executor thread and these three completions never came —
+        // the victims' one-in-flight gates stayed wedged forever.
+        let completions = log.wait_for(3);
+        assert_eq!(completions.len(), 3, "every victim of the panic is answered");
+        for (_, line) in &completions {
+            let resp = Response::decode(line).unwrap();
+            assert!(matches!(resp, Response::Error { code: ErrorCode::Internal, .. }), "{resp:?}");
+        }
+        assert_eq!(engine.serve_metrics().panics_caught.get(), 1);
+        // The same executor thread keeps serving byte-identically.
+        scheduler.submit(7, Request::Run { kernel, full: false });
+        let completions = log.wait_for(4);
+        let after = completions.iter().find(|(conn, _)| *conn == 7).expect("served after panic");
+        assert_eq!(**after.1, *oracle);
+        scheduler.shutdown();
+        let Response::Stats { requests, .. } = engine.handle(&Request::Stats) else { panic!() };
+        assert_eq!(requests.errors, 3, "one error per orphaned victim");
+    }
+
+    #[test]
+    fn deadline_is_rechecked_immediately_before_dispatch() {
+        use crate::fault::{FaultPlan, FaultSite};
+        // The dequeue-time check passes (the task just arrived), then an
+        // injected stall pushes the batch past the deadline: the
+        // pre-dispatch re-check must refuse it instead of running late.
+        let plan = FaultPlan::seeded(3)
+            .nth(FaultSite::DispatchDelay, 1)
+            .delay_for(Duration::from_millis(80));
+        let engine = Arc::new(Engine::new().with_fault_plan(Arc::new(plan)));
+        let (engine, kernel) = warm(engine);
+        let log = CompletionLog::new();
+        let scheduler =
+            Scheduler::new(Arc::clone(&engine), 1, 32, Some(Duration::from_millis(20)), log.sink());
+        scheduler.submit(0, Request::Run { kernel, full: false });
+        let completions = log.wait_for(1);
+        assert_eq!(completions.len(), 1);
+        let resp = Response::decode(&completions[0].1).unwrap();
+        assert!(
+            matches!(resp, Response::Error { code: ErrorCode::DeadlineExceeded, .. }),
+            "{resp:?}"
+        );
+        let m = engine.serve_metrics();
+        assert_eq!(m.deadline_exceeded.get(), 1);
+        assert_eq!(m.batch_dispatches.get(), 0, "refused before the dispatch was counted");
+        scheduler.shutdown();
+        let Response::Stats { requests, .. } = engine.handle(&Request::Stats) else { panic!() };
+        assert_eq!(requests.run, 0, "the refused run never reached the engine");
     }
 
     #[test]

@@ -30,11 +30,17 @@
 //! connection **stays open** — fault isolation between connections is a
 //! test tier (`tests/fault_isolation.rs`).
 //!
-//! ## Shutdown
+//! ## Shutdown and drain
 //!
-//! A `shutdown` request queues its acknowledgement, and the loop exits
-//! once that line is flushed, severing the remaining connections;
-//! [`RunningServer::shutdown`] exits the loop directly. Either way
+//! Both shutdown paths — a client's `shutdown` request and
+//! [`RunningServer::shutdown`] — first **drain**: the loop stops
+//! accepting connections and stops consuming new request lines, but
+//! keeps delivering scheduler completions and flushing queued response
+//! bytes until no request is in flight and every output queue is
+//! empty, bounded by [`ServerConfig::drain_timeout`]. Only then are the
+//! remaining connections severed and (when the registry is durable)
+//! the journal flushed. A request answered before the drain deadline is
+//! therefore never lost to shutdown. Afterward
 //! [`RunningServer::wait`]/[`RunningServer::join`] join the loop thread
 //! and the scheduler executors — no thread leaks (asserted by the
 //! fault tier via [`RunningServer::active_connections`]).
@@ -45,9 +51,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::engine::Engine;
+use crate::fault::FaultSite;
 use crate::protocol::{ErrorCode, Request, Response};
 use crate::relock;
 use crate::scheduler::Scheduler;
@@ -84,11 +91,21 @@ pub struct ServerConfig {
     /// answered `deadline_exceeded` instead of dispatched. `None` (the
     /// default) never expires requests.
     pub deadline: Option<Duration>,
+    /// Bound on the graceful drain: after shutdown is requested,
+    /// in-flight requests get this long to complete and flush before
+    /// the remaining connections are severed.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
-        ServerConfig { max_conns: None, max_batch: 32, executors: 2, deadline: None }
+        ServerConfig {
+            max_conns: None,
+            max_batch: 32,
+            executors: 2,
+            deadline: None,
+            drain_timeout: Duration::from_secs(5),
+        }
     }
 }
 
@@ -361,13 +378,17 @@ fn event_loop(
     let mut events: Vec<polling::Event> = Vec::new();
     let mut scratch = vec![0u8; 64 * 1024];
     let mut park = PARK_MIN;
-    // Set when a client sent `shutdown`; the loop exits once that
-    // connection's acknowledgement has been flushed and it is gone.
-    let mut ack_conn: Option<u64> = None;
+    let faults = shared.engine.fault_plan().cloned();
+    // Set when shutdown was requested (by verb or programmatically):
+    // the drain deadline. While draining, no new connections are
+    // accepted and no new request lines consumed, but completions keep
+    // flowing out until everything in flight is answered and flushed.
+    let mut drain_deadline: Option<Instant> = None;
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
+        if shared.shutdown.load(Ordering::SeqCst) && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + config.drain_timeout);
         }
+        let draining = drain_deadline.is_some();
         let mut progress = false;
 
         // 1. Deliver scheduler completions to their connections.
@@ -387,8 +408,11 @@ fn event_loop(
             match listener.accept() {
                 Ok((stream, _)) => {
                     progress = true;
-                    if ack_conn.is_some() {
+                    if draining {
                         continue; // shutting down: late connections drop
+                    }
+                    if faults.as_ref().is_some_and(|p| p.fire(FaultSite::Accept)) {
+                        continue; // injected accept failure: drop the socket
                     }
                     if config.max_conns.is_some_and(|cap| conns.len() >= cap) {
                         reject_connection(shared, stream, conns.len());
@@ -411,11 +435,24 @@ fn event_loop(
             }
         }
 
-        // 3. Per-connection IO and request processing.
+        // 3. Per-connection IO and request processing. A draining loop
+        // stops consuming input — completions and writes only.
         let mut finished: Vec<u64> = Vec::new();
         for (&id, conn) in &mut conns {
-            progress |= conn.read_input(&mut scratch);
-            while !conn.in_flight && !conn.closing {
+            if !draining {
+                let read = conn.read_input(&mut scratch);
+                // An injected read fault severs the connection exactly
+                // as a peer reset would — the isolation the chaos tier
+                // asserts is that *other* connections never notice. It
+                // fires only on sweeps that actually carried bytes, so
+                // the Nth injection is the Nth data-bearing read.
+                if read && faults.as_ref().is_some_and(|p| p.fire(FaultSite::ConnRead)) {
+                    conn.dead = true;
+                    conn.pending.clear();
+                }
+                progress |= read;
+            }
+            while !draining && !conn.in_flight && !conn.closing {
                 let Some(event) = conn.pending.pop_front() else { break };
                 progress = true;
                 match event {
@@ -438,10 +475,12 @@ fn event_loop(
                         }
                         match Request::decode(trimmed) {
                             Ok(Request::Shutdown) => {
-                                // Acknowledge, flush, then stop the server.
+                                // Acknowledge, then enter the drain: the
+                                // ack and every in-flight response flush
+                                // before the loop exits.
                                 conn.push_line(Arc::new(Response::ShuttingDown.encode()));
                                 conn.closing = true;
-                                ack_conn = Some(id);
+                                shared.shutdown.store(true, Ordering::SeqCst);
                             }
                             Ok(request) => {
                                 conn.in_flight = true;
@@ -461,6 +500,14 @@ fn event_loop(
                     }
                 }
             }
+            // An injected write fault severs the connection before its
+            // queued bytes go out, as a peer reset mid-response would.
+            if !conn.dead
+                && !conn.out.is_empty()
+                && faults.as_ref().is_some_and(|p| p.fire(FaultSite::ConnWrite))
+            {
+                conn.dead = true;
+            }
             progress |= conn.write_output();
             if conn.done() {
                 finished.push(id);
@@ -473,9 +520,12 @@ fn event_loop(
         }
         shared.active.store(conns.len(), Ordering::SeqCst);
 
-        // 4. A requested shutdown completes once its ack is delivered.
-        if let Some(id) = ack_conn {
-            if !conns.contains_key(&id) {
+        // 4. The drain completes once every in-flight request has been
+        // answered and every queued response byte flushed — or the
+        // deadline passes and the stragglers are severed.
+        if let Some(deadline) = drain_deadline {
+            let quiesced = conns.values().all(|c| c.dead || (!c.in_flight && c.out.is_empty()));
+            if quiesced || Instant::now() >= deadline {
                 break;
             }
         }
@@ -497,6 +547,9 @@ fn event_loop(
     }
     conns.clear();
     shared.active.store(0, Ordering::SeqCst);
+    // The drain is over: make the durable registry state current on
+    // disk before the process counts as stopped.
+    shared.engine.flush_journal();
 }
 
 /// The poll-shim token for a connection id (token 0 is reserved for

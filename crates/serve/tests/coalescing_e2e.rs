@@ -36,7 +36,7 @@ fn concurrent_identical_runs_coalesce_and_stay_byte_identical() {
     // One executor, generous batch: while the executor serves one
     // dispatch, every same-key arrival queues behind it and the next
     // dispatch drains them together.
-    let config = ServerConfig { max_conns: None, max_batch: 16, executors: 1, deadline: None };
+    let config = ServerConfig { max_batch: 16, executors: 1, ..ServerConfig::default() };
     let server = serve_with("127.0.0.1:0", Engine::new(), config).expect("bind ephemeral port");
     let addr = server.addr();
 

@@ -1,5 +1,6 @@
-//! Fault-isolation tier: misbehaving connections must not disturb
-//! well-behaved ones, and shutdown must leak no workers.
+//! Fault-isolation tier (on the shared `common` harness, like the
+//! chaos tier): misbehaving connections must not disturb well-behaved
+//! ones, and shutdown must leak no workers.
 //!
 //! * garbage lines get a structured `parse` error and the connection
 //!   **stays open**;
@@ -12,6 +13,8 @@
 //!   steady-state run traffic spawned **zero** extra `rayon` pool
 //!   workers beyond warmup.
 
+mod common;
+
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -19,70 +22,22 @@ use std::sync::Arc;
 
 use systec_serve::protocol::{ErrorCode, Request, Response, StorageFormat, TensorPayload, Variant};
 use systec_serve::{serve, Client, Engine};
-use systec_tensor::generate::{random_dense, rng, symmetric_erdos_renyi};
-
-fn setup_server() -> (systec_serve::RunningServer, u64) {
-    let server = serve("127.0.0.1:0", Engine::new()).expect("bind");
-    let mut setup = Client::connect(server.addr()).unwrap();
-    let n = 24;
-    let mut r = rng(0xFA017);
-    let a = symmetric_erdos_renyi(n, 2, 0.2, &mut r);
-    let x = random_dense(vec![n], &mut r);
-    let resp = setup
-        .request(&Request::RegisterTensor {
-            name: "A".into(),
-            dims: vec![n, n],
-            payload: TensorPayload::Coo(a.entries().map(|(c, v)| (c.to_vec(), v)).collect()),
-            format: StorageFormat::Auto,
-        })
-        .unwrap();
-    assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
-    let resp = setup
-        .request(&Request::RegisterTensor {
-            name: "x".into(),
-            dims: vec![n],
-            payload: TensorPayload::Dense(x.as_slice().to_vec()),
-            format: StorageFormat::Auto,
-        })
-        .unwrap();
-    assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
-    // Prepare with threads=2 so runs exercise the worker pool.
-    let resp = setup
-        .request(&Request::Prepare {
-            einsum: "for i, j: y[i] += A[i, j] * x[j]".into(),
-            sym: vec!["A".into()],
-            inputs: vec![],
-            variant: Variant::Systec,
-            threads: Some(2),
-        })
-        .unwrap();
-    let Response::Prepared { kernel, splittable, .. } = resp else {
-        panic!("prepare failed: {resp:?}")
-    };
-    assert!(splittable, "ssymv splits; threads=2 dispatches the pool");
-    (server, kernel)
-}
 
 #[test]
 fn faulty_connections_are_isolated_and_shutdown_leaks_nothing() {
-    let (server, kernel) = setup_server();
+    let common::Harness { server, kernel, oracle } = common::warmed_server();
     let addr = server.addr();
 
     // A well-behaved connection runs continuously in the background
-    // while the faults below happen, checking every response.
+    // while the faults below happen, checking every response against
+    // the harness oracle (captured on a separate, never-faulted
+    // engine).
     let stop = Arc::new(AtomicBool::new(false));
     let victim_stop = Arc::clone(&stop);
     let victim = std::thread::spawn(move || {
         let mut client = Client::connect(addr).unwrap();
-        let expected = {
-            let first = client.send_raw(&Request::Run { kernel, full: false }.encode()).unwrap();
-            assert!(
-                matches!(Response::decode(&first), Ok(Response::Ran { .. })),
-                "first run must succeed: {first}"
-            );
-            first
-        };
-        let mut completed = 1u64;
+        let expected = oracle;
+        let mut completed = 0u64;
         while !victim_stop.load(Ordering::SeqCst) {
             let line = client.send_raw(&Request::Run { kernel, full: false }.encode()).unwrap();
             assert_eq!(line, expected, "in-flight runs must be untouched by faulty peers");

@@ -37,7 +37,7 @@ const EINSUM: &str = "for i, k, j: Y[i, j] += A[i, k] * B[k, j]";
 
 #[test]
 fn large_outputs_replicate_off_the_executor_and_stay_byte_identical() {
-    let config = ServerConfig { max_conns: None, max_batch: 16, executors: 1, deadline: None };
+    let config = ServerConfig { max_batch: 16, executors: 1, ..ServerConfig::default() };
     let server = serve_with("127.0.0.1:0", Engine::new(), config).expect("bind ephemeral port");
     let addr = server.addr();
 

@@ -186,7 +186,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             0u64..9000,
         ),
         (0u64..64, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000, 0u64..9000),
-        prop::collection::vec(0u64..9000, 12),
+        prop::collection::vec(0u64..9000, 19),
         prop::collection::vec(kernel_stat, 0..3),
         prop::collection::vec((0u64..100, 0u64..1_000_000), 0..4),
     )
@@ -230,6 +230,13 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                 rejected_bytes: s[9],
                 deadline_exceeded: s[10],
                 stale_runs: s[11],
+                panics_caught: s[12],
+                quarantined_kernels: s[13],
+                journal_records: s[14],
+                journal_bytes: s[15],
+                journal_fsyncs: s[16],
+                recovery_replayed: s[17],
+                recovery_truncated: s[18],
             },
             kernels,
             slow: slow.into_iter().map(|(kernel, us)| SlowRunPayload { kernel, us }).collect(),
@@ -243,7 +250,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
              systec_requests_total{{verb=\"{salt}\"}} 3\n"
         ),
     });
-    let error = (0usize..10, name_strategy()).prop_map(|(code, message)| Response::Error {
+    let error = (0usize..11, name_strategy()).prop_map(|(code, message)| Response::Error {
         code: [
             ErrorCode::Parse,
             ErrorCode::UnknownTensor,
@@ -255,6 +262,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             ErrorCode::DeadlineExceeded,
             ErrorCode::AdmissionRejected,
             ErrorCode::StaleTensor,
+            ErrorCode::KernelQuarantined,
         ][code],
         message,
     });

@@ -377,6 +377,23 @@ pub struct ServeMetrics {
     pub registry_bytes: Gauge,
     /// Tensors currently registered.
     pub registry_tensors: Gauge,
+    /// Executor panics caught and converted into structured
+    /// `internal_error` replies. Accounting — counted unconditionally,
+    /// like the admission counters, because a caught panic must never
+    /// disappear from view when recording is off.
+    pub panics_caught: Counter,
+    /// Kernel handles currently quarantined after a caught panic.
+    pub quarantined_kernels: Gauge,
+    /// Records appended to the durability write-ahead journal.
+    pub journal_records: Counter,
+    /// Bytes appended to the durability write-ahead journal.
+    pub journal_bytes: Counter,
+    /// fsyncs issued by the journal/snapshot writer.
+    pub journal_fsyncs: Counter,
+    /// Durable records replayed during startup recovery.
+    pub recovery_replayed: Counter,
+    /// Torn-tail bytes truncated from the journal during recovery.
+    pub recovery_truncated: Counter,
 }
 
 impl ServeMetrics {
@@ -395,6 +412,13 @@ impl ServeMetrics {
             registry_evictions: Counter::new(),
             registry_bytes: Gauge::new(),
             registry_tensors: Gauge::new(),
+            panics_caught: Counter::new(),
+            quarantined_kernels: Gauge::new(),
+            journal_records: Counter::new(),
+            journal_bytes: Counter::new(),
+            journal_fsyncs: Counter::new(),
+            recovery_replayed: Counter::new(),
+            recovery_truncated: Counter::new(),
         }
     }
 }

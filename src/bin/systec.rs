@@ -23,7 +23,7 @@ use systec::exec::reference::reference_einsum;
 use systec::ir::{parse_einsum, Einsum};
 use systec::kernels::{parse_symmetry, serial_fallback_note, Backend, Parallelism, Prepared};
 use systec::serve::protocol::{Request, Response};
-use systec::serve::{serve_with, Client, Engine, ServerConfig};
+use systec::serve::{serve_with, Client, Engine, RetryPolicy, ServerConfig};
 use systec::tensor::generate::{random_dense, rng};
 use systec::tensor::{csf, CooTensor, SparseTensor, Tensor};
 
@@ -62,6 +62,7 @@ fn usage() -> &'static str {
      subcommands:\n\
        systec serve --addr HOST:PORT [--threads T] [--max-conns N]\n\
                     [--max-bytes B] [--deadline-ms D] [--batch K] [--executors E]\n\
+                    [--data-dir PATH]\n\
                              run the long-lived einsum server (line-delimited JSON\n\
                              over TCP; see the README's Serving section). --threads\n\
                              sets the default per-run parallelism for splittable\n\
@@ -72,12 +73,21 @@ fn usage() -> &'static str {
                              wait before a deadline_exceeded error. --batch caps\n\
                              how many identical queued runs coalesce into one\n\
                              dispatch (default 32); --executors sets scheduler\n\
-                             threads (default 2). Runs until a client sends\n\
-                             {\"op\":\"shutdown\"}\n\
-       systec client --addr HOST:PORT [REQUEST...]\n\
+                             threads (default 2). --data-dir makes the tensor\n\
+                             registry durable: mutations are journaled write-ahead\n\
+                             under PATH and recovered on restart (generations\n\
+                             included). Runs until a client sends\n\
+                             {\"op\":\"shutdown\"}, then drains in-flight work and\n\
+                             flushes the journal before exiting\n\
+       systec client --addr HOST:PORT [--retry N] [REQUEST...]\n\
                              send request lines (or stdin, one request per line)\n\
                              and print each response; exits non-zero if any\n\
-                             response reports ok:false\n\
+                             response reports ok:false. --retry N retries connect\n\
+                             failures, dropped connections, and retryable error\n\
+                             codes (deadline_exceeded, admission_rejected,\n\
+                             internal_error) up to N times with exponential\n\
+                             backoff; note a retried mutation (register) is\n\
+                             re-applied, bumping the generation again\n\
        systec top --addr HOST:PORT [--interval-ms N] [--iters K]\n\
                              poll a server's stats and render a per-kernel latency\n\
                              table (runs, p50/p90/p99/max, slow runs) plus cache\n\
@@ -89,6 +99,7 @@ fn serve_main(args: &[String]) -> ExitCode {
     let mut addr = "127.0.0.1:7171".to_string();
     let mut threads = 1usize;
     let mut max_bytes: Option<u64> = None;
+    let mut data_dir: Option<String> = None;
     let mut config = ServerConfig::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -121,12 +132,22 @@ fn serve_main(args: &[String]) -> ExitCode {
                 Some(v) if v >= 1 => config.executors = v,
                 _ => return fail("--executors needs a number >= 1"),
             },
+            "--data-dir" => match it.next() {
+                Some(v) => data_dir = Some(v.clone()),
+                None => return fail("--data-dir needs a directory path"),
+            },
             other => return fail(&format!("unknown serve option `{other}`\n\n{}", usage())),
         }
     }
     let mut engine = Engine::with_parallelism(Parallelism::threads(threads));
     if let Some(cap) = max_bytes {
         engine = engine.with_max_registered_bytes(cap);
+    }
+    if let Some(dir) = &data_dir {
+        engine = match engine.with_data_dir(dir) {
+            Ok(e) => e,
+            Err(e) => return fail(&format!("cannot open data dir {dir}: {e}")),
+        };
     }
     let running = match serve_with(addr.as_str(), engine, config) {
         Ok(r) => r,
@@ -140,6 +161,7 @@ fn serve_main(args: &[String]) -> ExitCode {
 
 fn client_main(args: &[String]) -> ExitCode {
     let mut addr: Option<String> = None;
+    let mut retry = 0u32;
     let mut requests: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -148,23 +170,54 @@ fn client_main(args: &[String]) -> ExitCode {
                 Some(v) => addr = Some(v.clone()),
                 None => return fail("--addr needs HOST:PORT"),
             },
+            "--retry" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => retry = v,
+                None => return fail("--retry needs a number"),
+            },
             other => requests.push(other.to_string()),
         }
     }
     let Some(addr) = addr else {
         return fail("systec client needs --addr HOST:PORT");
     };
-    let mut client = match Client::connect(addr.as_str()) {
+    let policy = RetryPolicy::with_attempts(retry + 1);
+    let mut client = match Client::connect_with_retry(addr.as_str(), &policy) {
         Ok(c) => c,
         Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
     };
     let mut all_ok = true;
     let exchange = |client: &mut Client, line: &str| -> Result<bool, String> {
-        let response = client.send_raw(line).map_err(|e| e.to_string())?;
-        println!("{response}");
-        // `ok:false` responses flip the exit code (scripted smoke tests
-        // assert on it), but the exchange continues.
-        Ok(!response.starts_with("{\"ok\":false"))
+        let mut attempt = 0u32;
+        loop {
+            match client.send_raw(line) {
+                Ok(response) => {
+                    // Retryable error codes (deadline_exceeded,
+                    // admission_rejected, internal_error) re-send the
+                    // same line after backoff; everything else prints.
+                    if attempt < retry && is_retryable_error_line(&response) {
+                        std::thread::sleep(policy.delay(attempt));
+                        attempt += 1;
+                        continue;
+                    }
+                    println!("{response}");
+                    // `ok:false` responses flip the exit code (scripted
+                    // smoke tests assert on it), but the exchange
+                    // continues.
+                    return Ok(!response.starts_with("{\"ok\":false"));
+                }
+                Err(_) if attempt < retry => {
+                    // The connection dropped mid-exchange: back off,
+                    // reconnect, and re-send the same line. A failed
+                    // reconnect is reported by the next send attempt.
+                    std::thread::sleep(policy.delay(attempt));
+                    attempt += 1;
+                    if let Ok(fresh) = Client::connect(addr.as_str()) {
+                        *client = fresh;
+                    }
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
     };
     if requests.is_empty() {
         let stdin = std::io::stdin();
@@ -291,6 +344,17 @@ fn render_top(
         serve.stale_runs
     );
     println!(
+        "faults: panics_caught={} quarantined={} journal: records={} bytes={} fsyncs={} \
+         recovery: replayed={} truncated={}",
+        serve.panics_caught,
+        serve.quarantined_kernels,
+        serve.journal_records,
+        serve.journal_bytes,
+        serve.journal_fsyncs,
+        serve.recovery_replayed,
+        serve.recovery_truncated
+    );
+    println!(
         "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}  spec",
         "kernel", "runs", "p50us", "p90us", "p99us", "maxus", "slow"
     );
@@ -313,6 +377,15 @@ fn render_top(
         println!("recent slow runs: {}", entries.join(", "));
     }
     println!();
+}
+
+/// Whether a raw response line decodes to an error with a retryable
+/// code ([`systec::serve::protocol::ErrorCode::retryable`]).
+fn is_retryable_error_line(line: &str) -> bool {
+    matches!(
+        Response::decode(line),
+        Ok(Response::Error { code, .. }) if code.retryable()
+    )
 }
 
 fn fail(msg: &str) -> ExitCode {

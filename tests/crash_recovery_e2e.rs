@@ -1,0 +1,165 @@
+//! Crash-recovery end-to-end: the real `systec serve` binary, a real
+//! `kill -9`, and a restart on the same `--data-dir`.
+//!
+//! The sequence the durable registry promises to survive:
+//!
+//! 1. serve with `--data-dir`, register tensors, prepare, run — and
+//!    capture the run response as the byte-identical oracle;
+//! 2. `SIGKILL` the server process (no drain, no journal flush beyond
+//!    the write-ahead appends themselves);
+//! 3. restart on the same `--data-dir`: every registered tensor is
+//!    recovered, generation counters resume (not reset), and a
+//!    re-prepared kernel reproduces the oracle byte-for-byte.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const REGISTER_A: &str = r#"{"op":"register_tensor","name":"A","dims":[4,4],"coo":[[0,1,2.0],[1,0,2.0],[2,3,1.5],[3,2,1.5],[1,1,0.5]]}"#;
+const REGISTER_X: &str =
+    r#"{"op":"register_tensor","name":"x","dims":[4],"dense":[1.0,2.0,3.0,4.0]}"#;
+const PREPARE: &str =
+    r#"{"op":"prepare","einsum":"for i, j: y[i] += A[i, j] * x[j]","sym":["A"],"threads":1}"#;
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    /// Spawns `systec serve --data-dir dir` on an OS-assigned port and
+    /// waits for its "listening on" banner.
+    fn spawn(dir: &std::path::Path) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_systec"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--data-dir",
+                dir.to_str().expect("utf-8 temp path"),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn systec serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let banner =
+            lines.next().expect("server prints its listening banner").expect("readable banner");
+        let addr = banner.rsplit(' ').next().expect("banner ends with the address").to_string();
+        assert!(addr.contains(':'), "unexpected banner: {banner}");
+        Server { child, addr }
+    }
+
+    fn connect(&self) -> TcpStream {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpStream::connect(&self.addr) {
+                Ok(s) => return s,
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("cannot connect to {}: {e}", self.addr),
+            }
+        }
+    }
+
+    /// `kill -9`: no drain, no flush, no destructors.
+    fn kill_dash_nine(&mut self) {
+        self.child.kill().expect("SIGKILL the server");
+        self.child.wait().expect("reap the server");
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One request line in, one response line out.
+fn exchange(stream: &mut TcpStream, line: &str) -> String {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    response.trim_end().to_string()
+}
+
+fn field_u64(json: &str, key: &str) -> u64 {
+    let tag = format!("\"{key}\":");
+    let rest = &json[json.find(&tag).unwrap_or_else(|| panic!("no {key} in {json}")) + tag.len()..];
+    rest.chars().take_while(char::is_ascii_digit).collect::<String>().parse().unwrap()
+}
+
+#[test]
+fn kill_nine_then_restart_recovers_tensors_generations_and_bytes() {
+    let dir = std::env::temp_dir().join(format!("systec-crash-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Phase 1: register, prepare, run; capture the oracle.
+    let mut server = Server::spawn(&dir);
+    let (oracle, generation_before) = {
+        let mut conn = server.connect();
+        let r = exchange(&mut conn, REGISTER_A);
+        assert!(r.starts_with("{\"ok\":true"), "{r}");
+        let r = exchange(&mut conn, REGISTER_X);
+        assert!(r.starts_with("{\"ok\":true"), "{r}");
+        // Re-register x so the recovered generation counter is > 0.
+        let r = exchange(&mut conn, REGISTER_X);
+        assert!(r.starts_with("{\"ok\":true"), "{r}");
+        let generation = field_u64(&r, "generation");
+        assert_eq!(generation, 1, "second registration bumps the generation");
+        let p = exchange(&mut conn, PREPARE);
+        assert!(p.starts_with("{\"ok\":true"), "{p}");
+        let kernel = field_u64(&p, "kernel");
+        let oracle = exchange(&mut conn, &format!("{{\"op\":\"run\",\"kernel\":{kernel}}}"));
+        assert!(oracle.starts_with("{\"ok\":true"), "{oracle}");
+        (oracle, generation)
+    };
+
+    // Phase 2: kill -9. The process gets no chance to clean up.
+    server.kill_dash_nine();
+
+    // Phase 3: restart on the same --data-dir.
+    let server = Server::spawn(&dir);
+    let mut conn = server.connect();
+
+    // Recovery is visible in stats: both tensors replayed.
+    let stats = exchange(&mut conn, "{\"op\":\"stats\"}");
+    assert!(stats.starts_with("{\"ok\":true"), "{stats}");
+    assert_eq!(field_u64(&stats, "registry_tensors"), 2, "{stats}");
+    assert!(field_u64(&stats, "recovery_replayed") >= 2, "{stats}");
+
+    // Prepared kernels are process state, not registry state: the old
+    // handle is gone, and re-preparing the same spec works against the
+    // recovered tensors.
+    let p = exchange(&mut conn, PREPARE);
+    assert!(p.starts_with("{\"ok\":true"), "{p}");
+    let kernel = field_u64(&p, "kernel");
+
+    // The recovered data serves byte-identically to the pre-crash run.
+    let rerun = exchange(&mut conn, &format!("{{\"op\":\"run\",\"kernel\":{kernel}}}"));
+    assert_eq!(rerun, oracle, "post-recovery run must be byte-identical");
+
+    // Generation counters resumed: the next x supersedes the pre-crash
+    // generation instead of restarting from zero.
+    let r = exchange(&mut conn, REGISTER_X);
+    assert!(r.starts_with("{\"ok\":true"), "{r}");
+    assert_eq!(
+        field_u64(&r, "generation"),
+        generation_before + 1,
+        "generation counters must survive kill -9: {r}"
+    );
+
+    // Clean shutdown this time; the drain acknowledges before exit.
+    let bye = exchange(&mut conn, "{\"op\":\"shutdown\"}");
+    assert!(bye.contains("shutting_down"), "{bye}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
