@@ -118,6 +118,29 @@ use systec_tensor::{DenseTensor, Tensor};
 pub use cache::{BindingSig, CacheStats, PlanCache, PlanKey, SharedPlanCache};
 pub use context::{ContextPool, CounterMode, ExecContext, LaneMode, PooledContext};
 
+use systec_ir::AssignOp;
+
+/// How one output of a row-splittable plan recombines when coordinate
+/// chunks of the outermost loops execute on *separate* workers — the
+/// PR 2 splittability proof exposed for cross-process merges.
+///
+/// A shard that executes chunk `k` of `n` (see
+/// [`CompiledKernel::run_chunk_with`]) produces a full-shape output
+/// buffer; this classification tells the merging side how to combine
+/// the `n` buffers into the single-process result.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MergeKind {
+    /// Row-owned: chunk `k` wrote exactly rows
+    /// `[k*extent/n, (k+1)*extent/n)` of the output (the leading
+    /// subscript is the split loop's index), so the merged result
+    /// concatenates each shard's window rows in shard order.
+    Rows,
+    /// Reduction-merged: every chunk accumulated a partial through this
+    /// operator over identity-initialized cells; the merged result folds
+    /// the partials elementwise in fixed shard order.
+    Reduce(AssignOp),
+}
+
 /// How many workers execute a kernel invocation.
 ///
 /// Parallel execution requires the compiler to have proved the plan
@@ -226,12 +249,71 @@ impl CompiledKernel {
         vm::execute(&self.program, inputs, outputs, ctx, parallelism, counters)
     }
 
+    /// Executes coordinate chunk `k` of `n` serially: the split loops
+    /// are clamped to `[k*extent/n, (k+1)*extent/n)` and all outputs
+    /// are bound at full shape — row-owned outputs receive only their
+    /// window rows, reduced outputs accumulate this chunk's partial on
+    /// top of the caller's initial values. Running every chunk and
+    /// merging per [`CompiledKernel::split_outputs`] (counters by
+    /// integer sums) reproduces the serial run exactly; this is the
+    /// cross-process analogue of [`Parallelism::Threads`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::InvalidKernel`] when the plan is not
+    /// [splittable](CompiledKernel::splittable) or `(k, n)` is not a
+    /// valid chunk ordinal; binding errors as in
+    /// [`CompiledKernel::run_with`].
+    pub fn run_chunk_with(
+        &self,
+        inputs: &HashMap<String, Tensor>,
+        outputs: &mut HashMap<String, DenseTensor>,
+        ctx: &mut ExecContext,
+        counters: &mut Counters,
+        k: usize,
+        n: usize,
+    ) -> Result<(), ExecError> {
+        if self.program.split.is_none() {
+            return Err(ExecError::InvalidKernel {
+                message: "plan is not splittable; chunked execution is not legal".into(),
+            });
+        }
+        if n == 0 || k >= n {
+            return Err(ExecError::InvalidKernel {
+                message: format!("chunk ordinal {k} of {n} is out of range"),
+            });
+        }
+        vm::execute_chunk(&self.program, inputs, outputs, ctx, counters, k, n)
+    }
+
     /// Whether the compiler proved this plan row-parallelizable (the
     /// outermost loops write disjoint output slices or reduce through a
     /// mergeable operator). Non-splittable plans execute serially
     /// regardless of the requested [`Parallelism`].
     pub fn splittable(&self) -> bool {
         self.program.split.is_some()
+    }
+
+    /// The per-output merge classification of a splittable plan —
+    /// `(output name, merge kind)` for every output the split loops
+    /// touch, in plan order — or `None` when the plan is not
+    /// splittable. This is the contract a cross-process merger needs to
+    /// recombine the buffers produced by
+    /// [`CompiledKernel::run_chunk_with`].
+    pub fn split_outputs(&self) -> Option<Vec<(String, MergeKind)>> {
+        self.program.split.as_ref().map(|split| {
+            split
+                .outputs
+                .iter()
+                .map(|&(slot, mode)| {
+                    let kind = match mode {
+                        bytecode::ParOut::Owned => MergeKind::Rows,
+                        bytecode::ParOut::Reduced(op) => MergeKind::Reduce(op),
+                    };
+                    (self.program.tensors[slot].name.clone(), kind)
+                })
+                .collect()
+        })
     }
 
     /// Number of bytecode instructions (observability / tests).
@@ -578,6 +660,138 @@ mod tests {
         );
         let (out, _) = both(&prog, &inputs);
         assert_eq!(out["s"].get(&[]), 2.0 * 1.0 + 3.0 * 100.0 + 5.0 * 10.0);
+    }
+
+    #[test]
+    fn chunked_execution_merges_to_the_serial_result() {
+        // One program with both output classes: y[i] is row-owned by
+        // the split loop, s[] reduces through +. Running every chunk
+        // serially and merging per split_outputs must reproduce the
+        // serial run bit-for-bit, with counters summing exactly.
+        let prog = Stmt::loops(
+            [idx("i"), idx("j")],
+            Stmt::block([
+                assign(access("y", ["i"]), mul([access("A", ["i", "j"]), access("x", ["j"])])),
+                assign(access("s", [] as [&str; 0]), access("A", ["i", "j"]).into()),
+            ]),
+        );
+        let mut inputs = HashMap::new();
+        inputs.insert(
+            "A".to_string(),
+            csr(&[(0, 1, 2.0), (1, 0, 3.0), (1, 3, 5.0), (2, 2, 4.0), (3, 0, 7.0)], 4),
+        );
+        inputs.insert("x".to_string(), dense_vec(&[1.0, 10.0, 100.0, 1000.0]));
+        let hoisted = hoist_conditions(prog);
+        let outputs_init = alloc_outputs(&hoisted, &inputs).unwrap();
+        let lowered = lower(&hoisted, &inputs, &outputs_init).unwrap();
+        let kernel = CompiledKernel::compile(&lowered, &inputs, &outputs_init).unwrap();
+        assert!(kernel.splittable());
+        let classes = kernel.split_outputs().expect("splittable plans classify outputs");
+        assert!(classes.contains(&("y".to_string(), MergeKind::Rows)), "{classes:?}");
+        assert!(
+            classes.contains(&("s".to_string(), MergeKind::Reduce(AssignOp::Add))),
+            "{classes:?}"
+        );
+
+        let mut serial = outputs_init.clone();
+        let serial_c = kernel.run(&inputs, &mut serial).unwrap();
+
+        for n in [1usize, 2, 3, 4] {
+            let mut merged = outputs_init.clone();
+            let mut merged_c = Counters::new();
+            let mut first_reduce = true;
+            for k in 0..n {
+                let mut outs = outputs_init.clone();
+                let mut ctx = ExecContext::new();
+                let mut c = Counters::new();
+                kernel.run_chunk_with(&inputs, &mut outs, &mut ctx, &mut c, k, n).unwrap();
+                merged_c.flops += c.flops;
+                merged_c.writes += c.writes;
+                merged_c.iterations += c.iterations;
+                for (name, reads) in &c.reads {
+                    *merged_c.reads.entry(name.clone()).or_insert(0) += reads;
+                }
+                for (name, kind) in &classes {
+                    let partial = &outs[name];
+                    match kind {
+                        MergeKind::Rows => {
+                            let extent = partial.dims()[0];
+                            let stride = partial.as_slice().len() / extent;
+                            let (lo, hi) = (k * extent / n * stride, (k + 1) * extent / n * stride);
+                            let target = merged.get_mut(name).unwrap();
+                            target.as_mut_slice()[lo..hi]
+                                .copy_from_slice(&partial.as_slice()[lo..hi]);
+                        }
+                        MergeKind::Reduce(op) => {
+                            let target = merged.get_mut(name).unwrap();
+                            if first_reduce {
+                                target.as_mut_slice().copy_from_slice(partial.as_slice());
+                            } else {
+                                for (cell, v) in
+                                    target.as_mut_slice().iter_mut().zip(partial.as_slice())
+                                {
+                                    *cell = op.apply(*cell, *v);
+                                }
+                            }
+                        }
+                    }
+                }
+                first_reduce = false;
+            }
+            for (name, t) in &serial {
+                assert_eq!(merged[name], *t, "output {name} differs at n={n}");
+            }
+            assert_eq!(merged_c, serial_c, "counters differ at n={n}");
+        }
+    }
+
+    #[test]
+    fn chunked_execution_rejects_unsplittable_plans_and_bad_ordinals() {
+        // A transpose's scattered overwrites are not splittable.
+        let prog = Stmt::loops(
+            [idx("i"), idx("j")],
+            Stmt::Assign {
+                lhs: systec_ir::Lhs::Tensor(access("C", ["j", "i"])),
+                op: AssignOp::Overwrite,
+                rhs: access("A", ["i", "j"]).into(),
+            },
+        );
+        let mut inputs = HashMap::new();
+        inputs.insert("A".to_string(), csr(&[(0, 1, 2.0)], 2));
+        let hoisted = hoist_conditions(prog);
+        let outputs_init = alloc_outputs(&hoisted, &inputs).unwrap();
+        let lowered = lower(&hoisted, &inputs, &outputs_init).unwrap();
+        let kernel = CompiledKernel::compile(&lowered, &inputs, &outputs_init).unwrap();
+        assert!(!kernel.splittable());
+        assert!(kernel.split_outputs().is_none());
+        let mut outs = outputs_init.clone();
+        let mut ctx = ExecContext::new();
+        let mut c = Counters::new();
+        assert!(matches!(
+            kernel.run_chunk_with(&inputs, &mut outs, &mut ctx, &mut c, 0, 2),
+            Err(ExecError::InvalidKernel { .. })
+        ));
+
+        // A splittable plan still rejects out-of-range ordinals.
+        let prog = Stmt::loops(
+            [idx("i"), idx("j")],
+            assign(access("y", ["i"]), mul([access("A", ["i", "j"]), access("x", ["j"])])),
+        );
+        inputs.insert("x".to_string(), dense_vec(&[1.0, 2.0]));
+        let hoisted = hoist_conditions(prog);
+        let outputs_init = alloc_outputs(&hoisted, &inputs).unwrap();
+        let lowered = lower(&hoisted, &inputs, &outputs_init).unwrap();
+        let kernel = CompiledKernel::compile(&lowered, &inputs, &outputs_init).unwrap();
+        assert!(kernel.splittable());
+        let mut outs = outputs_init.clone();
+        assert!(matches!(
+            kernel.run_chunk_with(&inputs, &mut outs, &mut ctx, &mut c, 2, 2),
+            Err(ExecError::InvalidKernel { .. })
+        ));
+        assert!(matches!(
+            kernel.run_chunk_with(&inputs, &mut outs, &mut ctx, &mut c, 0, 0),
+            Err(ExecError::InvalidKernel { .. })
+        ));
     }
 
     #[test]

@@ -3064,6 +3064,37 @@ pub(crate) fn execute(
     parallelism: Parallelism,
     out_counters: &mut Counters,
 ) -> Result<(), ExecError> {
+    execute_inner(program, inputs, outputs, ctx, parallelism, out_counters, None)
+}
+
+/// Serial execution of one coordinate chunk `k` of `n`: the split heads
+/// are clamped to `[k*extent/n, (k+1)*extent/n)` and every output is
+/// bound at its full buffer — owned outputs receive only their window
+/// rows, reduced outputs accumulate the chunk's partial on top of the
+/// caller-provided initial values. The caller must have verified the
+/// plan is splittable (`program.split.is_some()`).
+pub(crate) fn execute_chunk(
+    program: &BytecodeProgram,
+    inputs: &HashMap<String, Tensor>,
+    outputs: &mut HashMap<String, DenseTensor>,
+    ctx: &mut ExecContext,
+    out_counters: &mut Counters,
+    k: usize,
+    n: usize,
+) -> Result<(), ExecError> {
+    execute_inner(program, inputs, outputs, ctx, Parallelism::Serial, out_counters, Some((k, n)))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_inner(
+    program: &BytecodeProgram,
+    inputs: &HashMap<String, Tensor>,
+    outputs: &mut HashMap<String, DenseTensor>,
+    ctx: &mut ExecContext,
+    parallelism: Parallelism,
+    out_counters: &mut Counters,
+    shard: Option<(usize, usize)>,
+) -> Result<(), ExecError> {
     // Run-phase telemetry: one clock read on entry, one on success.
     // When telemetry is off the clock is never touched.
     let run_start = telemetry::enabled().then(std::time::Instant::now);
@@ -3119,9 +3150,10 @@ pub(crate) fn execute(
 
     // Decide the execution shape: chunked workers when the plan is
     // splittable and more than one thread was requested, serial
-    // otherwise (including degenerate domains).
+    // otherwise (including degenerate domains). A shard-chunk run is
+    // always serial — the caller is the unit of parallelism.
     let plan = match (parallelism, &program.split) {
-        (Parallelism::Threads(n), Some(split)) if n >= 2 => {
+        (Parallelism::Threads(n), Some(split)) if n >= 2 && shard.is_none() => {
             let max_extent = split.heads.iter().map(|&(_, e)| e).max().unwrap_or(0);
             let n_chunks = max_extent.min(n * CHUNKS_PER_WORKER);
             let threads = n.min(n_chunks);
@@ -3134,12 +3166,16 @@ pub(crate) fn execute(
     let lanes = ctx.lane_mode() == LaneMode::Lanes;
     match plan {
         None => {
+            let chunk = match (&program.split, shard) {
+                (Some(split), Some((k, n))) => Some(Chunk { heads: &split.heads, k, n }),
+                _ => None,
+            };
             let bank = &mut ctx.banks(1)[0];
             bank.counters.reset(n_slots);
             let Bank { u, f, vec_pass, vec_bases, gathers, counters, .. } = bank;
             run_range(
                 program, dense, vals, levels, outs, u, f, vec_pass, vec_bases, gathers, counters,
-                None, mode, lanes,
+                chunk, mode, lanes,
             );
             bank.counters.write_to(program.tensors.iter().map(|t| t.name.as_str()), out_counters);
         }

@@ -27,7 +27,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
-use systec_codegen::{CacheStats, ExecContext, Parallelism, PlanKey, SharedPlanCache};
+use systec_codegen::{CacheStats, ExecContext, MergeKind, Parallelism, PlanKey, SharedPlanCache};
 use systec_core::{CompileOptions, Compiler, SymmetrySpec};
 use systec_exec::{alloc_outputs, hoist_conditions, lower, prepare_variants, run_lowered};
 use systec_exec::{Counters, ExecError, LoweredProgram};
@@ -519,6 +519,50 @@ impl Prepared {
             }
         }
         self.exec_main(outputs, ctx, counters)
+    }
+
+    /// Like [`Prepared::run_timed_into`], but executes only coordinate
+    /// chunk `k` of `n` of the main program (always on the compiled
+    /// backend — chunked execution is a bytecode-VM capability). The
+    /// outputs are re-initialized and bound at full shape: row-owned
+    /// outputs receive exactly their window rows, reduction-merged
+    /// outputs hold this shard's partial. Merging all `n` shards per
+    /// [`Prepared::split_outputs`] (and summing counters) reproduces
+    /// the serial run — the cross-process analogue of
+    /// [`Parallelism::Threads`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::InvalidKernel`] when the plan is not
+    /// [splittable](Prepared::splittable) or `(k, n)` is out of range;
+    /// executor failures otherwise.
+    pub fn run_shard_into(
+        &self,
+        outputs: &mut HashMap<String, DenseTensor>,
+        ctx: &mut ExecContext,
+        counters: &mut Counters,
+        k: usize,
+        n: usize,
+    ) -> Result<(), ExecError> {
+        for (name, init) in &self.outputs_init {
+            match outputs.get_mut(name) {
+                Some(existing) if existing.dims() == init.dims() => {
+                    existing.as_mut_slice().copy_from_slice(init.as_slice());
+                }
+                _ => {
+                    outputs.insert(name.clone(), init.clone());
+                }
+            }
+        }
+        self.plan.main_compiled.run_chunk_with(&self.inputs, outputs, ctx, counters, k, n)
+    }
+
+    /// The per-output merge classification of a splittable main program
+    /// (`None` when not splittable) — how a cross-process merger must
+    /// recombine the shard buffers produced by
+    /// [`Prepared::run_shard_into`].
+    pub fn split_outputs(&self) -> Option<Vec<(String, MergeKind)>> {
+        self.plan.main_compiled.split_outputs()
     }
 
     /// Runs everything — main loops *and* output replication — returning

@@ -1,0 +1,152 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! Tensor names map to shard ordinals through a classic consistent-hash
+//! ring: every shard owns [`DEFAULT_VNODES`] pseudo-random points on a
+//! `u64` circle, and a key belongs to the shard owning the first point
+//! at or clockwise after the key's hash. The properties the router (and
+//! the property tier) rely on:
+//!
+//! * **deterministic** — the ring is a pure function of the shard
+//!   count, so every router instance over the same shard list agrees on
+//!   every placement, across processes and restarts;
+//! * **bounded** — `shard_for` always returns an ordinal `< shards`;
+//! * **minimal disruption** — growing an `n`-shard ring to `n + 1`
+//!   only moves keys *onto* the new shard (the old shards' points are a
+//!   prefix of the new ring), and shrinking only moves keys *off* the
+//!   removed shard;
+//! * **hash tags** — a name containing `{tag}` is routed by `tag`
+//!   alone, so clients can co-locate the operands of one kernel
+//!   (`"{job7}A"`, `"{job7}x"`) without replicating them everywhere.
+
+/// Virtual nodes per shard. 64 keeps the per-shard key share within a
+/// few percent of uniform while the ring stays small enough to rebuild
+/// on every topology change.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// The consistent-hash ring: sorted `(point, shard)` pairs.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    points: Vec<(u64, usize)>,
+    shards: usize,
+    vnodes: usize,
+}
+
+/// The substring a key is routed by: the contents of the first
+/// non-empty `{…}` group if present, the whole name otherwise (the
+/// same convention Redis Cluster uses for multi-key operations).
+pub fn routing_key(name: &str) -> &str {
+    if let Some(open) = name.find('{') {
+        if let Some(len) = name[open + 1..].find('}') {
+            if len > 0 {
+                return &name[open + 1..open + 1 + len];
+            }
+        }
+    }
+    name
+}
+
+/// FNV-1a over the bytes, then a splitmix64 finalizer: FNV alone
+/// clusters short sequential names (`t0`, `t1`, …) on nearby points;
+/// the finalizer scatters them.
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl HashRing {
+    /// A ring over `shards` shards with [`DEFAULT_VNODES`] points each.
+    ///
+    /// # Panics
+    ///
+    /// With zero shards — an empty ring can place nothing.
+    #[must_use]
+    pub fn new(shards: usize) -> HashRing {
+        HashRing::with_vnodes(shards, DEFAULT_VNODES)
+    }
+
+    /// A ring with an explicit per-shard vnode count (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// With zero shards or zero vnodes.
+    #[must_use]
+    pub fn with_vnodes(shards: usize, vnodes: usize) -> HashRing {
+        assert!(shards > 0, "a hash ring needs at least one shard");
+        assert!(vnodes > 0, "a hash ring needs at least one vnode per shard");
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for vnode in 0..vnodes {
+                points.push((hash_bytes(format!("shard:{shard}:vnode:{vnode}").as_bytes()), shard));
+            }
+        }
+        // Ties (astronomically unlikely 64-bit collisions) resolve to
+        // the lower shard ordinal so the ring stays deterministic.
+        points.sort_unstable();
+        HashRing { points, shards, vnodes }
+    }
+
+    /// The owning shard for `name` (routed by [`routing_key`]).
+    #[must_use]
+    pub fn shard_for(&self, name: &str) -> usize {
+        let point = hash_bytes(routing_key(name).as_bytes());
+        let at = self.points.partition_point(|&(p, _)| p < point);
+        // Clockwise wrap: past the last point lands on the first.
+        self.points[at % self.points.len()].1
+    }
+
+    /// The shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Virtual nodes per shard.
+    #[must_use]
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Per-shard share of the hash circle, in points-owned terms: for
+    /// each shard, how many of the ring's arcs it terminates. Equal to
+    /// `vnodes()` for every shard by construction; exposed so cluster
+    /// stats report the ring's actual occupancy rather than assuming
+    /// it.
+    #[must_use]
+    pub fn occupancy(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.shards];
+        for &(_, shard) in &self.points {
+            counts[shard] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_tags_colocate_and_plain_names_use_the_whole_string() {
+        let ring = HashRing::new(5);
+        assert_eq!(ring.shard_for("{job7}A"), ring.shard_for("{job7}x"));
+        assert_eq!(ring.shard_for("{job7}A"), ring.shard_for("job7"));
+        // Empty or unclosed groups fall back to the whole name.
+        assert_eq!(routing_key("{}A"), "{}A");
+        assert_eq!(routing_key("{A"), "{A");
+        assert_eq!(routing_key("A}"), "A}");
+        assert_eq!(routing_key("{t}rest{u}"), "t");
+    }
+
+    #[test]
+    fn occupancy_matches_the_vnode_budget() {
+        let ring = HashRing::with_vnodes(3, 16);
+        assert_eq!(ring.occupancy(), vec![16, 16, 16]);
+    }
+}

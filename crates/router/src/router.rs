@@ -1,0 +1,1074 @@
+//! The cluster front process: one TCP endpoint speaking the exact
+//! line protocol of a single `systec-serve` worker, fanning work out
+//! across N workers ("shards").
+//!
+//! ## Placement
+//!
+//! * `register_tensor` with the default `"placement":"hash"` is
+//!   forwarded verbatim to the shard owning the name on the
+//!   [`HashRing`] (hash tags `{tag}` co-locate related names);
+//!   `"placement":"replicate"` broadcasts the registration to every
+//!   shard so row-range sharded kernels can read it anywhere.
+//! * `prepare` routes to the shard owning its referenced tensors, and
+//!   the kernel handle in the reply is rewritten into the router's own
+//!   arrival-ordered handle space — shards mint handles independently,
+//!   so shard-local handles would collide at the front.
+//!   `"sharded":true` broadcasts the prepare to every shard and
+//!   records the advertised merge schedule.
+//! * `run` on a shard-prepared kernel fans out one row-range
+//!   sub-request per shard (`"shard":[k,n]`), pipelined — all requests
+//!   written before any response is read — then merges the partials in
+//!   fixed shard order: row-owned outputs window-concatenate,
+//!   reduction outputs fold with the advertised operator. Because
+//!   every worker initializes reduced outputs to the fold identity and
+//!   counters are integers, the merged response is **byte-identical**
+//!   to a single process running the whole kernel.
+//!
+//! ## Fault surface
+//!
+//! A shard that drops its connection is marked down; requests owned by
+//! it answer a retryable `shard_unavailable` error while every other
+//! shard keeps serving byte-identical responses. The next request
+//! owned by the shard attempts one reconnect; success bumps the
+//! shard's *epoch*, which invalidates kernel handles minted before the
+//! restart (workers keep prepared kernels in memory, so they did not
+//! survive) — stale handles answer `unknown_kernel` and clients
+//! re-prepare against the recovered durable registry.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use systec_serve::protocol::{
+    CounterPayload, ErrorCode, MergeRule, OutputPayload, Placement, Request, Response,
+    RouterCountsPayload, ShardStatPayload,
+};
+use systec_serve::RetryPolicy;
+use systec_telemetry::RouterMetrics;
+
+use crate::relock;
+use crate::ring::{HashRing, DEFAULT_VNODES};
+
+/// Router tunables.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Backoff schedule for the *initial* shard connects (workers may
+    /// still be printing their banners when the router starts).
+    /// Mid-flight reconnects after a shard failure are single-shot:
+    /// the retry loop belongs to the client, which sees a retryable
+    /// `shard_unavailable` in the meantime.
+    pub connect_retry: RetryPolicy,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig { vnodes: DEFAULT_VNODES, connect_retry: RetryPolicy::default() }
+    }
+}
+
+/// One upstream worker connection: split write/read halves of the same
+/// stream so fan-outs can pipeline (write all, then read all).
+struct ShardConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ShardConn {
+    fn connect(addr: &str) -> std::io::Result<ShardConn> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(ShardConn { writer, reader })
+    }
+
+    fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    fn recv_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "shard closed the connection",
+            ));
+        }
+        while line.ends_with(['\n', '\r']) {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+/// Router-side view of one worker.
+struct Shard {
+    addr: String,
+    conn: Option<ShardConn>,
+    /// Bumped on every reconnect: kernel handles minted under an older
+    /// epoch are stale (the worker's prepare cache died with it).
+    epoch: u64,
+    /// Requests forwarded to this shard (relays, broadcast legs, and
+    /// fan-out legs alike).
+    forwarded: u64,
+    /// Error responses relayed from, or transport failures talking
+    /// to, this shard.
+    errors: u64,
+}
+
+/// A router-space kernel handle's routing record.
+enum HandleEntry {
+    /// Prepared on one shard; runs forward there whole.
+    Single { shard: usize, epoch: u64, handle: u64 },
+    /// Prepared on every shard; runs fan out row ranges and merge.
+    /// `handles[k]` is shard `k`'s `(epoch, handle)` pair.
+    Sharded { handles: Vec<(u64, u64)>, merge: Vec<(String, MergeRule)> },
+}
+
+/// Reverse map key: which upstream handle(s) a router handle stands
+/// for. Epochs are part of the key so a restarted shard's recycled
+/// handle numbers never collide with pre-restart entries.
+#[derive(PartialEq, Eq, Hash)]
+enum HandleKey {
+    Single(usize, u64, u64),
+    Sharded(Vec<(u64, u64)>),
+}
+
+#[derive(Default)]
+struct Counts {
+    register_tensor: u64,
+    prepare: u64,
+    run: u64,
+    sharded_runs: u64,
+    fanouts: u64,
+    replicated: u64,
+    errors: u64,
+}
+
+struct State {
+    shards: Vec<Shard>,
+    handles: Vec<HandleEntry>,
+    dedup: HashMap<HandleKey, u64>,
+    placements: HashMap<String, Placement>,
+    counts: Counts,
+}
+
+/// The shared router core: ring, upstream state, metrics.
+///
+/// All upstream traffic serializes behind one state lock — cross-shard
+/// fan-out and the handle tables stay trivially consistent, and the
+/// differential tier's byte-identity claim does not depend on request
+/// interleavings. Per-shard concurrency is a throughput optimization
+/// this crate deliberately leaves out.
+pub struct Router {
+    ring: HashRing,
+    state: Mutex<State>,
+    metrics: RouterMetrics,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Router {
+    /// Connects to every shard and builds the routing core.
+    ///
+    /// # Errors
+    ///
+    /// The first shard that stays unreachable through the configured
+    /// connect retries.
+    pub fn connect(shard_addrs: &[String], config: &RouterConfig) -> std::io::Result<Router> {
+        assert!(!shard_addrs.is_empty(), "a router needs at least one shard");
+        let mut shards = Vec::with_capacity(shard_addrs.len());
+        for addr in shard_addrs {
+            let mut conn = None;
+            let attempts = config.connect_retry.attempts.max(1);
+            let mut last: Option<std::io::Error> = None;
+            for attempt in 0..attempts {
+                match ShardConn::connect(addr) {
+                    Ok(c) => {
+                        conn = Some(c);
+                        break;
+                    }
+                    Err(e) => last = Some(e),
+                }
+                if attempt + 1 < attempts {
+                    std::thread::sleep(config.connect_retry.delay(attempt));
+                }
+            }
+            match conn {
+                Some(c) => shards.push(Shard {
+                    addr: addr.clone(),
+                    conn: Some(c),
+                    epoch: 0,
+                    forwarded: 0,
+                    errors: 0,
+                }),
+                None => return Err(last.expect("at least one connect attempt was made")),
+            }
+        }
+        Ok(Router {
+            ring: HashRing::with_vnodes(shard_addrs.len(), config.vnodes),
+            state: Mutex::new(State {
+                shards,
+                handles: Vec::new(),
+                dedup: HashMap::new(),
+                placements: HashMap::new(),
+                counts: Counts::default(),
+            }),
+            metrics: RouterMetrics::new(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// Whether a `shutdown` request has been accepted. Supervisors use
+    /// this to tell a deliberate worker exit from a crash.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Answers one request line with one response line — the whole
+    /// router, seen from a connection thread.
+    pub fn respond(&self, line: &str) -> String {
+        let response = match Request::decode(line) {
+            // Same inline parse answer as a worker's transport, so a
+            // garbage line gets byte-identical treatment in front of a
+            // cluster and in front of one process.
+            Err(e) => Response::error(ErrorCode::Parse, e.message).encode(),
+            Ok(request) => self.dispatch(&request, line),
+        };
+        if response.starts_with("{\"ok\":false") {
+            relock(&self.state).counts.errors += 1;
+        }
+        response
+    }
+
+    fn dispatch(&self, request: &Request, line: &str) -> String {
+        let st = &mut *relock(&self.state);
+        match request {
+            Request::RegisterTensor { name, placement, .. } => {
+                st.counts.register_tensor += 1;
+                st.placements.insert(name.clone(), *placement);
+                match placement {
+                    Placement::Hash => {
+                        let owner = self.ring.shard_for(name);
+                        self.forward(st, owner, line)
+                    }
+                    Placement::Replicate => {
+                        st.counts.replicated += 1;
+                        self.broadcast(st, line)
+                    }
+                }
+            }
+            Request::Unregister { name } => {
+                match st.placements.get(name) {
+                    Some(Placement::Replicate) => self.broadcast(st, line),
+                    // Hash-placed and never-registered names both route
+                    // by the ring, so the owner's idempotent
+                    // `existed:false` reply matches a single process.
+                    _ => {
+                        let owner = self.ring.shard_for(name);
+                        self.forward(st, owner, line)
+                    }
+                }
+            }
+            Request::Prepare { einsum, inputs, sharded, .. } => {
+                st.counts.prepare += 1;
+                if *sharded {
+                    self.prepare_sharded(st, einsum, inputs, line)
+                } else {
+                    self.prepare_single(st, einsum, inputs, line)
+                }
+            }
+            Request::Run { kernel, full, shard } => {
+                st.counts.run += 1;
+                if shard.is_some() {
+                    return Response::error(
+                        ErrorCode::InvalidKernel,
+                        "`shard` is router-internal: clients address the cluster and the \
+                         router fans the row ranges out itself",
+                    )
+                    .encode();
+                }
+                self.run(st, *kernel, *full)
+            }
+            Request::Stats => self.cluster_stats(st),
+            Request::Metrics => self.metrics_text(st),
+            Request::Ping => Response::Pong.encode(),
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                // Best-effort broadcast; a dead shard is already down
+                // and the supervisor sees the flag before reaping.
+                self.metrics.broadcasts.inc_always();
+                for k in 0..st.shards.len() {
+                    if self.shard_send(st, k, line).is_ok() {
+                        let _ = self.shard_recv(st, k);
+                    }
+                }
+                Response::ShuttingDown.encode()
+            }
+        }
+    }
+
+    // -- upstream transport ------------------------------------------
+
+    /// Ensures shard `k` has a live connection, attempting one
+    /// reconnect if not. A successful reconnect bumps the epoch.
+    fn shard_ensure(&self, st: &mut State, k: usize) -> std::io::Result<()> {
+        if st.shards[k].conn.is_none() {
+            let conn = ShardConn::connect(&st.shards[k].addr).inspect_err(|_| {
+                self.metrics.shard_errors.inc_always();
+            })?;
+            st.shards[k].conn = Some(conn);
+            st.shards[k].epoch += 1;
+            self.metrics.reconnects.inc_always();
+        }
+        Ok(())
+    }
+
+    fn shard_send(&self, st: &mut State, k: usize, line: &str) -> std::io::Result<()> {
+        self.shard_ensure(st, k)?;
+        let shard = &mut st.shards[k];
+        match shard.conn.as_mut().expect("ensured above").send_line(line) {
+            Ok(()) => {
+                shard.forwarded += 1;
+                Ok(())
+            }
+            Err(e) => {
+                shard.conn = None;
+                self.metrics.shard_errors.inc_always();
+                Err(e)
+            }
+        }
+    }
+
+    fn shard_recv(&self, st: &mut State, k: usize) -> std::io::Result<String> {
+        let shard = &mut st.shards[k];
+        let Some(conn) = shard.conn.as_mut() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "shard connection already down",
+            ));
+        };
+        match conn.recv_line() {
+            Ok(line) => {
+                if line.starts_with("{\"ok\":false") {
+                    shard.errors += 1;
+                }
+                Ok(line)
+            }
+            Err(e) => {
+                shard.conn = None;
+                self.metrics.shard_errors.inc_always();
+                Err(e)
+            }
+        }
+    }
+
+    /// One request/response round trip with shard `k`, relaying the
+    /// response bytes verbatim; transport failure becomes a retryable
+    /// `shard_unavailable`.
+    fn forward(&self, st: &mut State, k: usize, line: &str) -> String {
+        self.metrics.forwarded.inc_always();
+        match self.shard_send(st, k, line).and_then(|()| self.shard_recv(st, k)) {
+            Ok(response) => response,
+            Err(_) => self.unavailable(st, k),
+        }
+    }
+
+    /// Sends `line` to every shard (pipelined), reads every response,
+    /// and relays shard 0's bytes — the legs are deterministic, so the
+    /// replies agree. Any transport failure answers
+    /// `shard_unavailable` after the surviving legs were drained (the
+    /// per-shard streams must stay in lockstep).
+    fn broadcast(&self, st: &mut State, line: &str) -> String {
+        st.counts.fanouts += 1;
+        self.metrics.broadcasts.inc_always();
+        match self.fan_out_lines(st, |_| line.to_string()) {
+            Ok(mut responses) => responses.swap_remove(0),
+            Err(k) => self.unavailable(st, k),
+        }
+    }
+
+    /// The pipelined fan-out primitive: writes `line_for(k)` to every
+    /// shard, then reads one response per shard in fixed shard order.
+    /// Returns the first failed shard ordinal on any transport error.
+    fn fan_out_lines(
+        &self,
+        st: &mut State,
+        line_for: impl Fn(usize) -> String,
+    ) -> Result<Vec<String>, usize> {
+        let n = st.shards.len();
+        let mut failed: Option<usize> = None;
+        let sent: Vec<bool> = (0..n)
+            .map(|k| match self.shard_send(st, k, &line_for(k)) {
+                Ok(()) => true,
+                Err(_) => {
+                    failed = failed.or(Some(k));
+                    false
+                }
+            })
+            .collect();
+        let mut responses = Vec::with_capacity(n);
+        for (k, sent) in sent.iter().enumerate() {
+            if !sent {
+                continue;
+            }
+            match self.shard_recv(st, k) {
+                Ok(line) => responses.push(line),
+                Err(_) => failed = failed.or(Some(k)),
+            }
+        }
+        match failed {
+            Some(k) => Err(k),
+            None => Ok(responses),
+        }
+    }
+
+    fn unavailable(&self, st: &mut State, k: usize) -> String {
+        self.metrics.shard_unavailable.inc_always();
+        st.shards[k].errors += 1;
+        let addr = &st.shards[k].addr;
+        Response::error(
+            ErrorCode::ShardUnavailable,
+            format!("shard {k} ({addr}) is unavailable; retry once it rejoins"),
+        )
+        .encode()
+    }
+
+    // -- prepare routing ---------------------------------------------
+
+    /// Routes a plain prepare to the single shard owning its inputs
+    /// and rewrites the handle into router space.
+    fn prepare_single(
+        &self,
+        st: &mut State,
+        einsum: &str,
+        inputs: &[(String, String)],
+        line: &str,
+    ) -> String {
+        let owner = match self.prepare_owner(st, einsum, inputs) {
+            Ok(owner) => owner,
+            Err(response) => return response,
+        };
+        self.metrics.forwarded.inc_always();
+        let response =
+            match self.shard_send(st, owner, line).and_then(|()| self.shard_recv(st, owner)) {
+                Ok(r) => r,
+                Err(_) => return self.unavailable(st, owner),
+            };
+        match Response::decode(&response) {
+            Ok(Response::Prepared { kernel, splittable, split, warning }) => {
+                let epoch = st.shards[owner].epoch;
+                let router_handle =
+                    self.intern(st, HandleKey::Single(owner, epoch, kernel), || {
+                        HandleEntry::Single { shard: owner, epoch, handle: kernel }
+                    });
+                Response::Prepared { kernel: router_handle, splittable, split, warning }.encode()
+            }
+            // Errors (and anything unexpected) relay verbatim — the
+            // worker's bytes are the canonical bytes.
+            _ => response,
+        }
+    }
+
+    /// Broadcasts a `"sharded":true` prepare to every shard, records
+    /// the merge schedule, and rewrites the handle.
+    fn prepare_sharded(
+        &self,
+        st: &mut State,
+        einsum: &str,
+        inputs: &[(String, String)],
+        line: &str,
+    ) -> String {
+        let names = match referenced_inputs(einsum, inputs) {
+            Some(names) => names,
+            // Unparseable einsums take the single-shard path so the
+            // worker's canonical compile error comes back.
+            None => return self.prepare_single(st, einsum, inputs, line),
+        };
+        if let Some(name) =
+            names.iter().find(|name| st.placements.get(*name) != Some(&Placement::Replicate))
+        {
+            return Response::error(
+                ErrorCode::InvalidKernel,
+                format!(
+                    "sharded kernels read their inputs on every shard: register `{name}` \
+                     with \"placement\":\"replicate\" before preparing with \"sharded\":true"
+                ),
+            )
+            .encode();
+        }
+        st.counts.fanouts += 1;
+        self.metrics.broadcasts.inc_always();
+        let responses = match self.fan_out_lines(st, |_| line.to_string()) {
+            Ok(responses) => responses,
+            Err(k) => return self.unavailable(st, k),
+        };
+        let decoded = Response::decode(&responses[0]);
+        let Ok(Response::Prepared { splittable, split, warning, .. }) = decoded else {
+            // A compile error is identical on every shard; relay leg 0.
+            return responses.into_iter().next().expect("at least one shard");
+        };
+        let mut handles = Vec::with_capacity(responses.len());
+        for (k, response) in responses.iter().enumerate() {
+            match Response::decode(response) {
+                Ok(Response::Prepared { kernel, .. }) => handles.push((st.shards[k].epoch, kernel)),
+                _ => {
+                    return Response::error(
+                        ErrorCode::Internal,
+                        format!("shard {k} disagreed with shard 0 about a broadcast prepare"),
+                    )
+                    .encode()
+                }
+            }
+        }
+        let router_handle =
+            match split.clone() {
+                // Splittable with a merge schedule: runs fan out.
+                Some(merge) => {
+                    // Alias the entry under the shard that a *plain*
+                    // prepare of this spec would route to, so sharded and
+                    // plain prepares of one spec dedup to one handle —
+                    // exactly like a single process, whose dedup key
+                    // ignores `sharded`.
+                    let owner = self.replicated_owner(einsum);
+                    let single = HandleKey::Single(owner, handles[owner].0, handles[owner].1);
+                    if let Some(&existing) = st.dedup.get(&HandleKey::Sharded(handles.clone())) {
+                        existing
+                    } else if let Some(&existing) = st.dedup.get(&single) {
+                        st.handles[usize::try_from(existing).expect("router handles fit usize")] =
+                            HandleEntry::Sharded { handles: handles.clone(), merge };
+                        st.dedup.insert(HandleKey::Sharded(handles), existing);
+                        existing
+                    } else {
+                        let minted = st.handles.len() as u64;
+                        st.handles.push(HandleEntry::Sharded { handles: handles.clone(), merge });
+                        st.dedup.insert(HandleKey::Sharded(handles), minted);
+                        st.dedup.insert(single, minted);
+                        minted
+                    }
+                }
+                // Not splittable: every shard compiled it, but runs
+                // forward whole to the plain-prepare owner.
+                None => {
+                    let owner = self.replicated_owner(einsum);
+                    let (epoch, handle) = handles[owner];
+                    self.intern(st, HandleKey::Single(owner, epoch, handle), || {
+                        HandleEntry::Single { shard: owner, epoch, handle }
+                    })
+                }
+            };
+        Response::Prepared { kernel: router_handle, splittable, split, warning }.encode()
+    }
+
+    /// The shard a plain prepare routes to: the owner of its
+    /// hash-placed inputs, which must agree. Specs reading only
+    /// replicated tensors run anywhere; the ring picks a deterministic
+    /// home from the spec text itself.
+    fn prepare_owner(
+        &self,
+        st: &State,
+        einsum: &str,
+        inputs: &[(String, String)],
+    ) -> Result<usize, String> {
+        let Some(names) = referenced_inputs(einsum, inputs) else {
+            // Unparseable: any worker reproduces the canonical error.
+            return Ok(self.replicated_owner(einsum));
+        };
+        let mut owners: Vec<(usize, &str)> = Vec::new();
+        for name in &names {
+            if st.placements.get(name) == Some(&Placement::Replicate) {
+                continue;
+            }
+            let owner = self.ring.shard_for(name);
+            if !owners.iter().any(|&(o, _)| o == owner) {
+                owners.push((owner, name));
+            }
+        }
+        match owners.as_slice() {
+            [] => Ok(self.replicated_owner(einsum)),
+            [(owner, _)] => Ok(*owner),
+            [(_, a), (_, b), ..] => Err(Response::error(
+                ErrorCode::InvalidKernel,
+                format!(
+                    "tensors `{a}` and `{b}` live on different shards: co-locate them with a \
+                     shared {{tag}} hash tag, register them with \"placement\":\"replicate\", \
+                     or prepare with \"sharded\":true"
+                ),
+            )
+            .encode()),
+        }
+    }
+
+    fn replicated_owner(&self, einsum: &str) -> usize {
+        self.ring.shard_for(einsum)
+    }
+
+    fn intern(&self, st: &mut State, key: HandleKey, entry: impl FnOnce() -> HandleEntry) -> u64 {
+        if let Some(&existing) = st.dedup.get(&key) {
+            return existing;
+        }
+        let minted = st.handles.len() as u64;
+        st.handles.push(entry());
+        st.dedup.insert(key, minted);
+        minted
+    }
+
+    // -- run routing --------------------------------------------------
+
+    fn run(&self, st: &mut State, kernel: u64, full: bool) -> String {
+        let Some(entry) = usize::try_from(kernel).ok().filter(|&k| k < st.handles.len()) else {
+            // The router's handle space advances in lockstep with a
+            // single process fed the same stream, so even this error
+            // is byte-identical to the engine's.
+            return Response::error(
+                ErrorCode::UnknownKernel,
+                format!("no kernel with handle {kernel} (have {})", st.handles.len()),
+            )
+            .encode();
+        };
+        match &st.handles[entry] {
+            HandleEntry::Single { shard, epoch, handle } => {
+                let (shard, epoch, handle) = (*shard, *epoch, *handle);
+                if st.shards[shard].epoch != epoch {
+                    return self.stale_handle(kernel, shard);
+                }
+                let line = Request::Run { kernel: handle, full, shard: None }.encode();
+                self.forward(st, shard, &line)
+            }
+            HandleEntry::Sharded { handles, merge } => {
+                let (handles, merge) = (handles.clone(), merge.clone());
+                if let Some(k) = (0..handles.len()).find(|&k| st.shards[k].epoch != handles[k].0) {
+                    return self.stale_handle(kernel, k);
+                }
+                if full {
+                    // Output replication wants the whole result; the
+                    // inputs are replicated, so one shard can run the
+                    // entire kernel. Spread by handle, deterministically.
+                    let shard = entry % handles.len();
+                    let line =
+                        Request::Run { kernel: handles[shard].1, full, shard: None }.encode();
+                    return self.forward(st, shard, &line);
+                }
+                self.run_sharded(st, &handles, &merge)
+            }
+        }
+    }
+
+    fn stale_handle(&self, kernel: u64, shard: usize) -> String {
+        Response::error(
+            ErrorCode::UnknownKernel,
+            format!(
+                "kernel {kernel} was prepared on shard {shard} before it restarted; \
+                 prepare the spec again to mint a live handle"
+            ),
+        )
+        .encode()
+    }
+
+    /// The sharded hot path: pipelined row-range fan-out, then the
+    /// deterministic merge.
+    fn run_sharded(
+        &self,
+        st: &mut State,
+        handles: &[(u64, u64)],
+        merge: &[(String, MergeRule)],
+    ) -> String {
+        st.counts.sharded_runs += 1;
+        self.metrics.fanouts.inc_always();
+        let n = handles.len() as u64;
+        let responses = match self.fan_out_lines(st, |k| {
+            Request::Run { kernel: handles[k].1, full: false, shard: Some((k as u64, n)) }.encode()
+        }) {
+            Ok(responses) => responses,
+            Err(k) => return self.unavailable(st, k),
+        };
+        let started = Instant::now();
+        let mut legs = Vec::with_capacity(responses.len());
+        for (k, response) in responses.iter().enumerate() {
+            match Response::decode(response) {
+                Ok(Response::Ran { outputs, counters }) => legs.push((outputs, counters)),
+                // A failed leg answers for the whole run: the first
+                // failing shard's structured error relays verbatim, so
+                // a panic on one shard is still a retryable
+                // internal_error at the front.
+                Ok(Response::Error { .. }) => return response.clone(),
+                _ => {
+                    return Response::error(
+                        ErrorCode::Internal,
+                        format!("shard {k} answered a row-range run with the wrong reply kind"),
+                    )
+                    .encode()
+                }
+            }
+        }
+        let merged = match merge_legs(legs, merge) {
+            Ok(response) => response.encode(),
+            Err(message) => Response::error(ErrorCode::Internal, message).encode(),
+        };
+        self.metrics.merges.inc_always();
+        let us = started.elapsed().as_micros();
+        self.metrics.merge_us.record(u64::try_from(us).unwrap_or(u64::MAX));
+        merged
+    }
+
+    // -- introspection ------------------------------------------------
+
+    fn cluster_stats(&self, st: &mut State) -> String {
+        let occupancy = self.ring.occupancy();
+        let router = RouterCountsPayload {
+            register_tensor: st.counts.register_tensor,
+            prepare: st.counts.prepare,
+            run: st.counts.run,
+            sharded_runs: st.counts.sharded_runs,
+            fanouts: st.counts.fanouts,
+            replicated: st.counts.replicated,
+            errors: st.counts.errors,
+        };
+        let shards = st
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(k, shard)| ShardStatPayload {
+                shard: k as u64,
+                addr: shard.addr.clone(),
+                healthy: shard.conn.is_some(),
+                vnodes: occupancy[k],
+                keys: st
+                    .placements
+                    .iter()
+                    .filter(|(name, placement)| {
+                        **placement == Placement::Hash && self.ring.shard_for(name) == k
+                    })
+                    .count() as u64,
+                forwarded: shard.forwarded,
+                errors: shard.errors,
+            })
+            .collect();
+        Response::ClusterStats { router, shards }.encode()
+    }
+
+    /// The router's own Prometheus exposition — families in sorted
+    /// name order, integer values, byte-identical across idle scrapes,
+    /// like the worker's.
+    fn metrics_text(&self, st: &mut State) -> String {
+        let healthy = st.shards.iter().filter(|s| s.conn.is_some()).count() as u64;
+        self.metrics.shards_healthy.set(healthy);
+        let m = &self.metrics;
+        let mut w = systec_telemetry::prom::PromWriter::new();
+        w.family("systec_router_broadcasts_total", "counter", "Requests broadcast to every shard.");
+        w.sample("systec_router_broadcasts_total", &[], m.broadcasts.get());
+        w.family(
+            "systec_router_fanouts_total",
+            "counter",
+            "Sharded runs fanned out as row-range sub-requests.",
+        );
+        w.sample("systec_router_fanouts_total", &[], m.fanouts.get());
+        w.family(
+            "systec_router_forwarded_total",
+            "counter",
+            "Requests forwarded to a single owning shard.",
+        );
+        w.sample("systec_router_forwarded_total", &[], m.forwarded.get());
+        w.family(
+            "systec_router_merge_us",
+            "histogram",
+            "Sharded-run merge latency in microseconds.",
+        );
+        w.histogram("systec_router_merge_us", &[], &m.merge_us.snapshot());
+        w.family("systec_router_merges_total", "counter", "Sharded-run merges performed.");
+        w.sample("systec_router_merges_total", &[], m.merges.get());
+        w.family(
+            "systec_router_reconnects_total",
+            "counter",
+            "Successful shard reconnects (each invalidates the shard's handles).",
+        );
+        w.sample("systec_router_reconnects_total", &[], m.reconnects.get());
+        w.family(
+            "systec_router_shard_errors_total",
+            "counter",
+            "Transport failures talking to shards.",
+        );
+        w.sample("systec_router_shard_errors_total", &[], m.shard_errors.get());
+        w.family(
+            "systec_router_shard_unavailable_total",
+            "counter",
+            "Requests refused because the owning shard was down.",
+        );
+        w.sample("systec_router_shard_unavailable_total", &[], m.shard_unavailable.get());
+        w.family("systec_router_shards_healthy", "gauge", "Shards currently connected.");
+        w.sample("systec_router_shards_healthy", &[], m.shards_healthy.get());
+        Response::Metrics { text: w.finish() }.encode()
+    }
+}
+
+/// The registered tensor names a prepare reads: every access on the
+/// einsum's right-hand side, remapped through the request's input
+/// bindings. `None` when the einsum does not parse.
+fn referenced_inputs(einsum: &str, bindings: &[(String, String)]) -> Option<Vec<String>> {
+    let parsed = systec_ir::parse_einsum(einsum).ok()?;
+    let mut names: Vec<String> = parsed
+        .rhs
+        .accesses()
+        .iter()
+        .map(|access| {
+            let name = access.tensor.name.as_str();
+            bindings
+                .iter()
+                .find(|(einsum_name, _)| einsum_name == name)
+                .map_or_else(|| name.to_string(), |(_, registered)| registered.clone())
+        })
+        .collect();
+    names.sort();
+    names.dedup();
+    Some(names)
+}
+
+/// Merges per-shard `Ran` legs into the single-process response:
+/// row-owned outputs take each shard's row window, reduction outputs
+/// fold in fixed shard order starting from leg 0 (exact, because every
+/// worker initializes reduced outputs to the fold identity), counters
+/// sum (exact, integers).
+fn merge_legs(
+    legs: Vec<(Vec<OutputPayload>, CounterPayload)>,
+    merge: &[(String, MergeRule)],
+) -> Result<Response, String> {
+    let shards = legs.len();
+    let mut legs = legs.into_iter();
+    let (mut outputs, mut counters) = legs.next().ok_or("a fan-out needs at least one leg")?;
+    for (k, (leg_outputs, leg_counters)) in legs.enumerate() {
+        let k = k + 1; // leg 0 seeded the accumulators
+        if leg_outputs.len() != outputs.len() {
+            return Err(format!("shard {k} returned a different output set than shard 0"));
+        }
+        for (accumulated, leg) in outputs.iter_mut().zip(leg_outputs) {
+            if leg.name != accumulated.name
+                || leg.dims != accumulated.dims
+                || leg.values.len() != accumulated.values.len()
+            {
+                return Err(format!(
+                    "shard {k} returned a mismatched shape for output `{}`",
+                    accumulated.name
+                ));
+            }
+            let rule = merge
+                .iter()
+                .find(|(name, _)| *name == accumulated.name)
+                .map(|(_, rule)| *rule)
+                .ok_or_else(|| format!("no merge rule for output `{}`", accumulated.name))?;
+            match rule {
+                MergeRule::Rows => {
+                    // Shard k owns head rows [k*E/n, (k+1)*E/n) — the
+                    // same integer window arithmetic the workers chunk
+                    // by, so concatenation is exact.
+                    let rows = accumulated.dims.first().copied().unwrap_or(1).max(1);
+                    let stride = accumulated.values.len() / rows.max(1);
+                    let lo = k * rows / shards * stride;
+                    let hi = (k + 1) * rows / shards * stride;
+                    accumulated.values[lo..hi].copy_from_slice(&leg.values[lo..hi]);
+                }
+                MergeRule::Add => {
+                    for (a, v) in accumulated.values.iter_mut().zip(&leg.values) {
+                        *a += v;
+                    }
+                }
+                MergeRule::Min => {
+                    for (a, v) in accumulated.values.iter_mut().zip(&leg.values) {
+                        *a = a.min(*v);
+                    }
+                }
+                MergeRule::Max => {
+                    for (a, v) in accumulated.values.iter_mut().zip(&leg.values) {
+                        *a = a.max(*v);
+                    }
+                }
+            }
+        }
+        counters.flops += leg_counters.flops;
+        counters.writes += leg_counters.writes;
+        counters.iterations += leg_counters.iterations;
+        for (name, count) in leg_counters.reads {
+            match counters.reads.iter_mut().find(|(have, _)| *have == name) {
+                Some((_, total)) => *total += count,
+                None => counters.reads.push((name, count)),
+            }
+        }
+    }
+    // A leg only reports tensors its row window touched, so the union
+    // can arrive in any order; the single process sorts by name.
+    counters.reads.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(Response::Ran { outputs, counters })
+}
+
+// ---------------------------------------------------------------------
+// The listening front
+// ---------------------------------------------------------------------
+
+/// A running router bound to a socket. Dropping it does **not** stop
+/// the accept loop; send `{"op":"shutdown"}` (which also shuts the
+/// shards down) and call [`RunningRouter::wait`].
+pub struct RunningRouter {
+    addr: SocketAddr,
+    router: Arc<Router>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RunningRouter {
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared routing core (for supervisors checking the shutdown
+    /// flag).
+    #[must_use]
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// Blocks until the accept loop exits (after a `shutdown` request).
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds `addr`, connects to every shard, and serves the cluster.
+///
+/// # Errors
+///
+/// Bind failures and unreachable shards.
+pub fn route(
+    addr: &str,
+    shard_addrs: &[String],
+    config: RouterConfig,
+) -> std::io::Result<RunningRouter> {
+    let router = Arc::new(Router::connect(shard_addrs, &config)?);
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let accept_router = Arc::clone(&router);
+    let accept = std::thread::Builder::new()
+        .name("systec-router-accept".into())
+        .spawn(move || accept_loop(&listener, bound, &accept_router))
+        .expect("spawn router accept thread");
+    Ok(RunningRouter { addr: bound, router, accept: Some(accept) })
+}
+
+fn accept_loop(listener: &TcpListener, bound: SocketAddr, router: &Arc<Router>) {
+    for stream in listener.incoming() {
+        if router.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_router = Arc::clone(router);
+        let _ = std::thread::Builder::new()
+            .name("systec-router-conn".into())
+            .spawn(move || serve_conn(&stream, &conn_router));
+        let _ = bound; // connections carry their own copy of the core
+    }
+}
+
+fn serve_conn(stream: &TcpStream, router: &Arc<Router>) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        let response = router.respond(&line);
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+        if router.shutdown.load(Ordering::SeqCst) {
+            // Wake the accept loop so `wait` can return; the
+            // connection that requested shutdown got its ack above.
+            let _ = TcpStream::connect(stream.local_addr().expect("bound socket"));
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_folds_reduced_outputs_and_windows_row_outputs() {
+        let out = |values: Vec<f64>| OutputPayload { name: "y".into(), dims: vec![4], values };
+        let rows = |values: Vec<f64>| OutputPayload { name: "z".into(), dims: vec![4, 2], values };
+        let counters = |flops| CounterPayload {
+            flops,
+            writes: 1,
+            iterations: 2,
+            reads: vec![("A".into(), 3)],
+        };
+        let legs = vec![
+            (vec![out(vec![1.0, 2.0, 0.0, 0.0]), rows(vec![9.0; 8])], counters(10)),
+            (
+                vec![
+                    out(vec![0.0, 1.0, 3.0, 4.0]),
+                    rows(vec![0.0, 0.0, 0.0, 0.0, 5.0, 6.0, 7.0, 8.0]),
+                ],
+                counters(5),
+            ),
+        ];
+        let merge = vec![("y".to_string(), MergeRule::Add), ("z".to_string(), MergeRule::Rows)];
+        let Ok(Response::Ran { outputs, counters }) = merge_legs(legs, &merge) else {
+            panic!("merge failed")
+        };
+        assert_eq!(outputs[0].values, vec![1.0, 3.0, 3.0, 4.0]);
+        // Shard 1 owns rows 2..4 of the 4×2 output: its last four
+        // values replace shard 0's window.
+        assert_eq!(outputs[1].values, vec![9.0, 9.0, 9.0, 9.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(counters.flops, 15);
+        assert_eq!(counters.writes, 2);
+        assert_eq!(counters.iterations, 4);
+        assert_eq!(counters.reads, vec![("A".to_string(), 6)]);
+    }
+
+    #[test]
+    fn merge_min_and_max_fold_through_identities() {
+        let out = |name: &str, values: Vec<f64>| OutputPayload {
+            name: name.into(),
+            dims: vec![2],
+            values,
+        };
+        let counters = CounterPayload::default();
+        let legs = vec![
+            (
+                vec![out("lo", vec![3.0, f64::INFINITY]), out("hi", vec![1.0, f64::NEG_INFINITY])],
+                counters.clone(),
+            ),
+            (
+                vec![out("lo", vec![f64::INFINITY, 2.0]), out("hi", vec![f64::NEG_INFINITY, 4.0])],
+                counters,
+            ),
+        ];
+        let merge = vec![("hi".to_string(), MergeRule::Max), ("lo".to_string(), MergeRule::Min)];
+        let Ok(Response::Ran { outputs, .. }) = merge_legs(legs, &merge) else {
+            panic!("merge failed")
+        };
+        assert_eq!(outputs[0].values, vec![3.0, 2.0]);
+        assert_eq!(outputs[1].values, vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn referenced_inputs_remap_bindings_and_dedup() {
+        let names = referenced_inputs(
+            "for i, j: y[i] += A[i, j] * x[j] + A[i, j]",
+            &[("x".to_string(), "weights".to_string())],
+        )
+        .expect("parses");
+        assert_eq!(names, vec!["A".to_string(), "weights".to_string()]);
+        assert!(referenced_inputs("for i j nonsense", &[]).is_none());
+    }
+}

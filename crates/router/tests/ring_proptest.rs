@@ -1,0 +1,124 @@
+//! Hash-ring property tier (vendored `proptest`): the contracts the
+//! router's placement — and therefore the cluster differential tier's
+//! byte-identity claim — stands on.
+//!
+//! * **deterministic** — independently built rings over the same shard
+//!   count agree on every placement;
+//! * **bounded** — every placement is a live shard ordinal;
+//! * **roughly uniform** — no shard is starved or wildly overloaded
+//!   across a large key population;
+//! * **minimal disruption** — adding a shard only moves keys *onto*
+//!   the new shard; removing the last shard only moves keys that lived
+//!   on it;
+//! * **hash tags** — `{tag}` routes by the tag alone, so co-located
+//!   names stay co-located whatever surrounds the tag.
+
+use proptest::prelude::*;
+use systec_router::{routing_key, HashRing};
+
+fn shard_count() -> impl Strategy<Value = usize> {
+    1usize..9
+}
+
+fn key() -> impl Strategy<Value = String> {
+    (0u64..1_000_000).prop_map(|v| format!("tensor-{v}"))
+}
+
+fn keys() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(key(), 1..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn placements_are_deterministic_across_ring_builds(
+        shards in shard_count(),
+        keys in keys(),
+    ) {
+        let a = HashRing::new(shards);
+        let b = HashRing::new(shards);
+        for key in &keys {
+            prop_assert_eq!(a.shard_for(key), b.shard_for(key));
+        }
+    }
+
+    #[test]
+    fn placements_stay_in_bounds(shards in shard_count(), keys in keys()) {
+        let ring = HashRing::new(shards);
+        for key in &keys {
+            prop_assert!(ring.shard_for(key) < shards);
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_only_moves_keys_onto_the_new_shard(
+        shards in shard_count(),
+        keys in keys(),
+    ) {
+        let before = HashRing::new(shards);
+        let after = HashRing::new(shards + 1);
+        for key in &keys {
+            let (old, new) = (before.shard_for(key), after.shard_for(key));
+            prop_assert!(
+                old == new || new == shards,
+                "key {} moved shard {} -> {} when shard {} joined",
+                key, old, new, shards
+            );
+        }
+    }
+
+    #[test]
+    fn shrinking_the_ring_only_moves_the_removed_shards_keys(
+        shards in 2usize..9,
+        keys in keys(),
+    ) {
+        let before = HashRing::new(shards);
+        let after = HashRing::new(shards - 1);
+        for key in &keys {
+            let (old, new) = (before.shard_for(key), after.shard_for(key));
+            prop_assert!(
+                old == new || old == shards - 1,
+                "key {} moved shard {} -> {} but shard {} was the one removed",
+                key, old, new, shards - 1
+            );
+        }
+    }
+
+    #[test]
+    fn hash_tags_route_by_the_tag_alone(
+        shards in shard_count(),
+        tag in (0u64..10_000).prop_map(|v| format!("job{v}")),
+        suffix in (0u64..10_000).prop_map(|v| format!("t{v}")),
+    ) {
+        let ring = HashRing::new(shards);
+        let tagged = format!("{{{tag}}}{suffix}");
+        prop_assert_eq!(routing_key(&tagged), tag.as_str());
+        prop_assert_eq!(ring.shard_for(&tagged), ring.shard_for(&tag));
+        // Two different names sharing the tag land together.
+        let sibling = format!("prefix-{suffix}{{{tag}}}");
+        prop_assert_eq!(ring.shard_for(&sibling), ring.shard_for(&tagged));
+    }
+}
+
+/// Uniformity over a fixed large population: deterministic (the ring
+/// and the key set are both pure functions), so this is a plain test —
+/// a property run would recheck the same instance 256 times.
+#[test]
+fn key_shares_are_roughly_uniform() {
+    for shards in [2usize, 3, 5, 8] {
+        let ring = HashRing::new(shards);
+        let mut counts = vec![0usize; shards];
+        let population = 20_000usize;
+        for k in 0..population {
+            counts[ring.shard_for(&format!("tensor-{k}"))] += 1;
+        }
+        let fair = population / shards;
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                count * 2 >= fair && count <= fair * 2,
+                "shard {shard}/{shards} owns {count} of {population} keys (fair share {fair})"
+            );
+        }
+    }
+}

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
@@ -32,17 +32,17 @@ use crate::durability::{Durability, Record, Recovery, DEFAULT_SNAPSHOT_EVERY};
 use crate::fault::{FaultPlan, FaultSite};
 use crate::relock;
 
-use systec_codegen::{ContextPool, Parallelism, PooledContext};
+use systec_codegen::{ContextPool, MergeKind, Parallelism, PooledContext};
 use systec_exec::{Counters, ExecError};
-use systec_ir::parse_einsum;
+use systec_ir::{parse_einsum, AssignOp};
 use systec_kernels::{parse_symmetry, plan_cache_stats, serial_fallback_note, Prepared};
 use systec_telemetry::{self as telemetry, Histogram, Snapshot};
 use systec_tensor::{csf, CooTensor, DenseTensor, SparseTensor, Tensor};
 
 use crate::protocol::{
-    CachePayload, CounterPayload, ErrorCode, KernelStatPayload, OutputPayload, PoolPayload,
-    Request, RequestCountsPayload, Response, ServePayload, SlowRunPayload, StorageFormat,
-    TensorPayload, Variant, Warning, WarningKind,
+    CachePayload, CounterPayload, ErrorCode, KernelStatPayload, MergeRule, OutputPayload,
+    PoolPayload, Request, RequestCountsPayload, Response, ServePayload, SlowRunPayload,
+    StorageFormat, TensorPayload, Variant, Warning, WarningKind,
 };
 
 /// Runs slower than this are counted as slow and logged (overridable
@@ -51,6 +51,11 @@ const DEFAULT_SLOW_THRESHOLD: Duration = Duration::from_millis(10);
 
 /// Capacity of the engine-wide slow-run log.
 const SLOW_LOG_CAPACITY: usize = 32;
+
+/// Consecutive panicking runs of one spec before `prepare` itself is
+/// circuit-broken (overridable via [`Engine::with_panic_budget`]). A
+/// successful run of the spec resets the count.
+const DEFAULT_PANIC_BUDGET: u32 = 3;
 
 /// A fixed-capacity ring of the most recent over-threshold runs. The
 /// buffer is allocated once at engine construction, so appending on
@@ -128,6 +133,11 @@ struct KernelEntry {
     /// searches skip it so re-`prepare` mints a fresh handle over the
     /// same spec.
     quarantined: AtomicBool,
+    /// Consecutive panics of this handle's *spec* (shared across the
+    /// handles a re-prepared spec mints): quarantine increments it, a
+    /// successful run resets it, and `prepare` circuit-breaks the spec
+    /// once it reaches the engine's panic budget.
+    panic_count: Arc<AtomicU32>,
 }
 
 /// A completed execution, borrowing nothing: holds the kernel entry, the
@@ -337,6 +347,12 @@ pub struct Engine {
     snapshot_every: u64,
     /// Kernel handles quarantined so far (drives the gauge).
     quarantined_count: AtomicU64,
+    /// Consecutive panicking runs per spec dedup key, shared with the
+    /// spec's kernel entries. Bounds the quarantine → re-prepare →
+    /// panic bounce: at `panic_budget` the spec is refused at `prepare`.
+    panic_counts: Mutex<HashMap<String, Arc<AtomicU32>>>,
+    /// Consecutive panics after which a spec is circuit-broken.
+    panic_budget: u32,
     /// Optional deterministic fault schedule (chaos tests only).
     fault_plan: Option<Arc<FaultPlan>>,
 }
@@ -372,8 +388,19 @@ impl Engine {
             durability: None,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
             quarantined_count: AtomicU64::new(0),
+            panic_counts: Mutex::new(HashMap::new()),
+            panic_budget: DEFAULT_PANIC_BUDGET,
             fault_plan: None,
         }
+    }
+
+    /// Overrides the per-spec panic budget (default 3): once a spec's
+    /// runs panic that many times without an intervening success, its
+    /// `prepare` is refused with `kernel_quarantined` instead of
+    /// minting yet another doomed handle.
+    pub fn with_panic_budget(mut self, budget: u32) -> Engine {
+        self.panic_budget = budget.max(1);
+        self
     }
 
     /// Caps the total estimated bytes of registered tensors (admission
@@ -524,7 +551,9 @@ impl Engine {
     /// `shutdown` is acknowledged here but acted on by the transport.
     pub fn handle(&self, request: &Request) -> Response {
         let result = match request {
-            Request::RegisterTensor { name, dims, payload, format } => {
+            // `placement` is a routing concern: a single worker stores
+            // every tensor it is asked to, wherever a router would put it.
+            Request::RegisterTensor { name, dims, payload, format, placement: _ } => {
                 self.counts.register_tensor.fetch_add(1, Ordering::Relaxed);
                 self.register(name, dims, payload, *format)
             }
@@ -532,13 +561,13 @@ impl Engine {
                 self.counts.unregister.fetch_add(1, Ordering::Relaxed);
                 self.unregister(name)
             }
-            Request::Prepare { einsum, sym, inputs, variant, threads } => {
+            Request::Prepare { einsum, sym, inputs, variant, threads, sharded } => {
                 self.counts.prepare.fetch_add(1, Ordering::Relaxed);
-                self.prepare(einsum, sym, inputs, *variant, *threads)
+                self.prepare(einsum, sym, inputs, *variant, *threads, *sharded)
             }
-            Request::Run { kernel, full } => {
+            Request::Run { kernel, full, shard } => {
                 self.counts.run.fetch_add(1, Ordering::Relaxed);
-                self.run_coalesced(*kernel, *full, 1)
+                self.run_coalesced(*kernel, *full, *shard, 1)
             }
             Request::Stats => {
                 self.counts.stats.fetch_add(1, Ordering::Relaxed);
@@ -774,6 +803,7 @@ impl Engine {
         input_map: &[(String, String)],
         variant: Variant,
         threads: Option<usize>,
+        sharded: bool,
     ) -> Result<Response, EngineError> {
         let parse_span = telemetry::span(telemetry::Phase::Parse);
         let einsum = parse_einsum(einsum_text)
@@ -836,7 +866,26 @@ impl Engine {
         let dedup = format!(
             "{variant_tag}::{einsum}::sym={sym:?}::inputs={bindings:?}::gens={pinned:?}::threads={threads:?}"
         );
-        if let Some(found) = self.find_kernel(&dedup) {
+        // Circuit breaker on the quarantine → re-prepare bounce: a spec
+        // whose runs panicked `panic_budget` consecutive times is refused
+        // here, before compiling yet another doomed handle. The count is
+        // shared with every handle the spec mints and resets on any
+        // successful run.
+        let panic_count = {
+            let mut counts = relock(&self.panic_counts);
+            Arc::clone(counts.entry(dedup.clone()).or_default())
+        };
+        let panics = panic_count.load(Ordering::Acquire);
+        if panics >= self.panic_budget {
+            return Err(EngineError::new(
+                ErrorCode::KernelQuarantined,
+                format!(
+                    "this spec panicked on {panics} consecutive runs and is circuit-broken — \
+                     re-register its data (or fix the spec) before preparing it again"
+                ),
+            ));
+        }
+        if let Some(found) = self.find_kernel(&dedup, sharded) {
             return Ok(found);
         }
 
@@ -868,6 +917,7 @@ impl Engine {
             pinned,
             valid_epoch: AtomicU64::new(epoch_at_prepare),
             quarantined: AtomicBool::new(false),
+            panic_count,
         });
 
         let mut kernels = self.kernels.write().unwrap_or_else(PoisonError::into_inner);
@@ -883,6 +933,7 @@ impl Engine {
             return Ok(Response::Prepared {
                 kernel: k as u64,
                 splittable: existing.prepared.splittable(),
+                split: sharded.then(|| split_payload(&existing.prepared)).flatten(),
                 warning: warning.clone(),
             });
         }
@@ -897,15 +948,21 @@ impl Engine {
             *reg.pins.entry((name.clone(), *generation)).or_insert(0) += 1;
         }
         drop(reg);
-        Ok(Response::Prepared { kernel, splittable, warning })
+        Ok(Response::Prepared {
+            kernel,
+            splittable,
+            split: sharded.then(|| split_payload(&entry.prepared)).flatten(),
+            warning,
+        })
     }
 
-    fn find_kernel(&self, dedup: &str) -> Option<Response> {
+    fn find_kernel(&self, dedup: &str, sharded: bool) -> Option<Response> {
         let kernels = self.kernels.read().unwrap_or_else(PoisonError::into_inner);
         kernels.iter().position(|k| k.dedup == dedup && !k.quarantined.load(Ordering::Acquire)).map(
             |k| Response::Prepared {
                 kernel: k as u64,
                 splittable: kernels[k].prepared.splittable(),
+                split: sharded.then(|| split_payload(&kernels[k].prepared)).flatten(),
                 warning: fallback_warning(
                     kernels[k].prepared.parallelism(),
                     kernels[k].prepared.splittable(),
@@ -935,17 +992,31 @@ impl Engine {
     /// surface as [`ErrorCode::Internal`] (not expected after successful
     /// preparation).
     pub fn execute(&self, kernel: u64) -> Result<RunLease, EngineError> {
-        self.execute_coalesced(kernel, 1)
+        self.execute_coalesced(kernel, None, 1)
     }
 
     /// [`Engine::execute`] for a coalesced batch: one execution that
     /// accounts for `n` identical requests — `runs += n`, `n` latency
     /// samples of the shared wall time, and at most one slow-log entry
-    /// (the batch was one slow event, not `n`).
-    fn execute_coalesced(&self, kernel: u64, n: u64) -> Result<RunLease, EngineError> {
+    /// (the batch was one slow event, not `n`). With a `shard`, only
+    /// that top-level row range executes (row-owned outputs keep their
+    /// initialization outside the window; reduced outputs accumulate
+    /// the range's contribution onto it).
+    fn execute_coalesced(
+        &self,
+        kernel: u64,
+        shard: Option<(usize, usize)>,
+        n: u64,
+    ) -> Result<RunLease, EngineError> {
         let entry = self.entry(kernel)?;
         self.check_quarantine(kernel, &entry)?;
         self.ensure_fresh(&entry)?;
+        if shard.is_some() && entry.prepared.split_outputs().is_none() {
+            return Err(EngineError::new(
+                ErrorCode::InvalidKernel,
+                format!("kernel {kernel} is not row-splittable; `shard` needs a splittable plan"),
+            ));
+        }
         let mut slot = relock(&entry.slots).pop().unwrap_or_default();
         let mut ctx = self.contexts.checkout();
         // With telemetry off the clock is never read: the run path is
@@ -959,7 +1030,18 @@ impl Engine {
         // discarded below, never repooled.
         let result = catch_unwind(AssertUnwindSafe(|| {
             self.inject_exec_faults();
-            entry.prepared.run_timed_into(&mut slot.outputs, &mut ctx, &mut slot.counters)
+            match shard {
+                None => {
+                    entry.prepared.run_timed_into(&mut slot.outputs, &mut ctx, &mut slot.counters)
+                }
+                Some((k, shards)) => entry.prepared.run_shard_into(
+                    &mut slot.outputs,
+                    &mut ctx,
+                    &mut slot.counters,
+                    k,
+                    shards,
+                ),
+            }
         }));
         let result = match result {
             Ok(result) => result,
@@ -977,6 +1059,7 @@ impl Engine {
             return Err(EngineError::new(ErrorCode::Internal, e.to_string()));
         }
         entry.runs.fetch_add(n, Ordering::Relaxed);
+        entry.panic_count.store(0, Ordering::Release);
         if let Some(started) = started {
             let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             for _ in 0..n {
@@ -1013,6 +1096,9 @@ impl Engine {
         if !entry.quarantined.swap(true, Ordering::AcqRel) {
             let n = self.quarantined_count.fetch_add(1, Ordering::Relaxed) + 1;
             self.serve.quarantined_kernels.set(n);
+            // One spec-level strike per quarantined handle (not per
+            // victim request racing into this panic).
+            entry.panic_count.fetch_add(1, Ordering::AcqRel);
         }
         EngineError::new(
             ErrorCode::Internal,
@@ -1072,15 +1158,41 @@ impl Engine {
     /// execution and returns the one response every requester receives.
     /// Request and error accounting both count all `n`, so wire-level
     /// totals are indistinguishable from `n` serial requests.
-    pub fn run_batch(&self, kernel: u64, full: bool, n: u64) -> Response {
+    pub fn run_batch(
+        &self,
+        kernel: u64,
+        full: bool,
+        shard: Option<(u64, u64)>,
+        n: u64,
+    ) -> Response {
         self.counts.run.fetch_add(n, Ordering::Relaxed);
-        self.run_coalesced(kernel, full, n).unwrap_or_else(|e| {
+        self.run_coalesced(kernel, full, shard, n).unwrap_or_else(|e| {
             self.counts.errors.fetch_add(n, Ordering::Relaxed);
             Response::error(e.code, e.message)
         })
     }
 
-    fn run_coalesced(&self, kernel: u64, full: bool, n: u64) -> Result<Response, EngineError> {
+    fn run_coalesced(
+        &self,
+        kernel: u64,
+        full: bool,
+        shard: Option<(u64, u64)>,
+        n: u64,
+    ) -> Result<Response, EngineError> {
+        let shard = match shard {
+            None => None,
+            Some(_) if full => {
+                return Err(EngineError::new(
+                    ErrorCode::InvalidKernel,
+                    "`shard` cannot be combined with `full`: output replication needs the \
+                     complete result, not one row range",
+                ))
+            }
+            Some((k, shards)) => Some((
+                usize::try_from(k).map_err(|_| shard_overflow(k))?,
+                usize::try_from(shards).map_err(|_| shard_overflow(shards))?,
+            )),
+        };
         if full {
             // The complete result (main + output replication): a fresh
             // allocation per request, documented as off the hot path.
@@ -1094,13 +1206,14 @@ impl Engine {
             .map_err(|_panic| self.quarantine(kernel, &entry))?
             .map_err(|e| EngineError::new(ErrorCode::Internal, e.to_string()))?;
             entry.runs.fetch_add(n, Ordering::Relaxed);
+            entry.panic_count.store(0, Ordering::Release);
             // Deliberately NOT recorded in the latency histogram: the
             // quantiles report the paper's timed region (pooled
             // main-program runs), and replication + fresh allocation
             // would skew them.
             return Ok(ran_response(&outputs, &counters));
         }
-        let lease = self.execute_coalesced(kernel, n)?;
+        let lease = self.execute_coalesced(kernel, shard, n)?;
         Ok(ran_response(lease.outputs(), lease.counters()))
     }
 
@@ -1527,6 +1640,33 @@ fn quantile_us(snapshot: &Snapshot, q: f64) -> Option<f64> {
 
 /// The structured serial-fallback warning for a degraded prepare, also
 /// bumping the `fallback_serial` counter when one is issued.
+/// Maps a splittable plan's per-output classification onto wire merge
+/// rules for a `"sharded":true` prepare, sorted by output name. `None`
+/// when the plan is not splittable — or reduces with an op that has no
+/// identity (overwrite), which no fixed-order fold can merge exactly.
+fn split_payload(prepared: &Prepared) -> Option<Vec<(String, MergeRule)>> {
+    let mut split: Vec<(String, MergeRule)> = Vec::new();
+    for (name, kind) in prepared.split_outputs()? {
+        let rule = match kind {
+            MergeKind::Rows => MergeRule::Rows,
+            MergeKind::Reduce(AssignOp::Add) => MergeRule::Add,
+            MergeKind::Reduce(AssignOp::Min) => MergeRule::Min,
+            MergeKind::Reduce(AssignOp::Max) => MergeRule::Max,
+            MergeKind::Reduce(AssignOp::Overwrite) => return None,
+        };
+        split.push((name, rule));
+    }
+    split.sort_by(|a, b| a.0.cmp(&b.0));
+    Some(split)
+}
+
+fn shard_overflow(value: u64) -> EngineError {
+    EngineError::new(
+        ErrorCode::InvalidKernel,
+        format!("shard value {value} does not fit this platform's usize"),
+    )
+}
+
 fn fallback_warning(parallelism: Parallelism, splittable: bool) -> Option<Warning> {
     serial_fallback_note(parallelism, splittable).map(|message| {
         telemetry::global().fallback_serial.inc();
@@ -1570,6 +1710,7 @@ pub fn oracle_response(outputs: &HashMap<String, DenseTensor>, counters: &Counte
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::Placement;
 
     fn register(engine: &Engine, name: &str, dims: &[usize], entries: &[(Vec<usize>, f64)]) {
         let resp = engine.handle(&Request::RegisterTensor {
@@ -1577,6 +1718,7 @@ mod tests {
             dims: dims.to_vec(),
             payload: TensorPayload::Coo(entries.to_vec()),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         });
         assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
     }
@@ -1587,6 +1729,7 @@ mod tests {
             dims: dims.to_vec(),
             payload: TensorPayload::Dense(values.to_vec()),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         });
         assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
     }
@@ -1620,6 +1763,7 @@ mod tests {
             inputs: vec![],
             variant: Variant::Systec,
             threads: Some(1),
+            sharded: false,
         });
         match resp {
             Response::Prepared { kernel, .. } => kernel,
@@ -1631,7 +1775,7 @@ mod tests {
     fn register_prepare_run_produces_the_reference_result() {
         let engine = ssymv_engine();
         let kernel = prepare(&engine);
-        let resp = engine.handle(&Request::Run { kernel, full: false });
+        let resp = engine.handle(&Request::Run { kernel, full: false, shard: None });
         let Response::Ran { outputs, counters } = resp else {
             panic!("run failed");
         };
@@ -1651,8 +1795,8 @@ mod tests {
         let k1 = prepare(&engine);
         let k2 = prepare(&engine);
         assert_eq!(k1, k2, "identical prepares dedupe to one handle");
-        let r1 = engine.handle(&Request::Run { kernel: k1, full: false }).encode();
-        let r2 = engine.handle(&Request::Run { kernel: k1, full: false }).encode();
+        let r1 = engine.handle(&Request::Run { kernel: k1, full: false, shard: None }).encode();
+        let r2 = engine.handle(&Request::Run { kernel: k1, full: false, shard: None }).encode();
         assert_eq!(r1, r2, "repeated runs must serialize byte-identically");
     }
 
@@ -1665,9 +1809,10 @@ mod tests {
             inputs: vec![("A".into(), "missing".into())],
             variant: Variant::Systec,
             threads: Some(1),
+            sharded: false,
         });
         assert!(matches!(resp, Response::Error { code: ErrorCode::UnknownTensor, .. }), "{resp:?}");
-        let resp = engine.handle(&Request::Run { kernel: 99, full: false });
+        let resp = engine.handle(&Request::Run { kernel: 99, full: false, shard: None });
         assert!(matches!(resp, Response::Error { code: ErrorCode::UnknownKernel, .. }), "{resp:?}");
         let resp = engine.handle(&Request::Prepare {
             einsum: "for i j y += nonsense".into(),
@@ -1675,6 +1820,7 @@ mod tests {
             inputs: vec![],
             variant: Variant::Systec,
             threads: Some(1),
+            sharded: false,
         });
         assert!(matches!(resp, Response::Error { code: ErrorCode::InvalidKernel, .. }), "{resp:?}");
         // Errors are visible in stats.
@@ -1700,6 +1846,7 @@ mod tests {
                 inputs: vec![],
                 variant: Variant::Systec,
                 threads,
+                sharded: false,
             });
             match resp {
                 Response::Prepared { kernel, splittable, .. } => {
@@ -1748,6 +1895,7 @@ mod tests {
             inputs: vec![],
             variant: Variant::Naive,
             threads: Some(4),
+            sharded: false,
         });
         let Response::Prepared { splittable, warning, .. } = resp else { panic!("{resp:?}") };
         assert!(!splittable, "transpose must not be splittable");
@@ -1766,6 +1914,7 @@ mod tests {
             inputs: vec![],
             variant: Variant::Systec,
             threads: Some(1),
+            sharded: false,
         });
         let Response::Prepared { warning, .. } = resp else { panic!("{resp:?}") };
         assert!(warning.is_none(), "{warning:?}");
@@ -1890,6 +2039,7 @@ mod tests {
                 dims,
                 payload,
                 format: StorageFormat::Auto,
+                placement: Placement::Hash,
             });
             assert!(matches!(resp, Response::Error { code: ErrorCode::BadTensor, .. }), "{resp:?}");
         }
@@ -1905,15 +2055,16 @@ mod tests {
             inputs: vec![],
             variant: Variant::Systec,
             threads: Some(1),
+            sharded: false,
         });
         let Response::Prepared { kernel, .. } = resp else { panic!("{resp:?}") };
         let Response::Ran { outputs: timed, .. } =
-            engine.handle(&Request::Run { kernel, full: false })
+            engine.handle(&Request::Run { kernel, full: false, shard: None })
         else {
             panic!("run failed")
         };
         let Response::Ran { outputs: full, .. } =
-            engine.handle(&Request::Run { kernel, full: true })
+            engine.handle(&Request::Run { kernel, full: true, shard: None })
         else {
             panic!("full run failed")
         };
@@ -1976,7 +2127,7 @@ mod tests {
         // kernels. Now the kernel must fail loudly until re-prepared.
         let engine = ssymv_engine();
         let kernel = prepare(&engine);
-        let resp = engine.handle(&Request::Run { kernel, full: false });
+        let resp = engine.handle(&Request::Run { kernel, full: false, shard: None });
         assert!(matches!(resp, Response::Ran { .. }), "{resp:?}");
 
         let resp = engine.handle(&Request::RegisterTensor {
@@ -1984,11 +2135,12 @@ mod tests {
             dims: vec![4],
             payload: TensorPayload::Dense(vec![4.0, 3.0, 2.0, 1.0]),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         });
         let Response::Registered { generation, .. } = resp else { panic!("{resp:?}") };
         assert_eq!(generation, 1, "re-registration advances the generation");
 
-        let resp = engine.handle(&Request::Run { kernel, full: false });
+        let resp = engine.handle(&Request::Run { kernel, full: false, shard: None });
         assert!(
             matches!(resp, Response::Error { code: ErrorCode::StaleTensor, .. }),
             "a run over a re-registered input must fail loudly: {resp:?}"
@@ -1998,7 +2150,7 @@ mod tests {
         let fresh = prepare(&engine);
         assert_ne!(fresh, kernel, "new generations must not dedup onto the stale handle");
         let Response::Ran { outputs, .. } =
-            engine.handle(&Request::Run { kernel: fresh, full: false })
+            engine.handle(&Request::Run { kernel: fresh, full: false, shard: None })
         else {
             panic!("fresh kernel must run")
         };
@@ -2018,13 +2170,16 @@ mod tests {
     fn unregister_keeps_pinned_kernels_serving_and_is_idempotent() {
         let engine = ssymv_engine();
         let kernel = prepare(&engine);
-        let before = engine.handle(&Request::Run { kernel, full: false }).encode();
+        let before = engine.handle(&Request::Run { kernel, full: false, shard: None }).encode();
 
         let resp = engine.handle(&Request::Unregister { name: "x".into() });
         assert!(matches!(resp, Response::Unregistered { existed: true, .. }), "{resp:?}");
         // The kernel holds its own snapshot: runs keep working,
         // byte-identically — removal is not re-registration.
-        assert_eq!(engine.handle(&Request::Run { kernel, full: false }).encode(), before);
+        assert_eq!(
+            engine.handle(&Request::Run { kernel, full: false, shard: None }).encode(),
+            before
+        );
 
         let resp = engine.handle(&Request::Unregister { name: "x".into() });
         assert!(matches!(resp, Response::Unregistered { existed: false, .. }), "{resp:?}");
@@ -2037,6 +2192,7 @@ mod tests {
             inputs: vec![],
             variant: Variant::Naive,
             threads: Some(1),
+            sharded: false,
         });
         assert!(matches!(resp, Response::Error { code: ErrorCode::UnknownTensor, .. }), "{resp:?}");
 
@@ -2047,6 +2203,7 @@ mod tests {
             dims: vec![4],
             payload: TensorPayload::Dense(vec![1.0, 2.0, 3.0, 4.0]),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         });
         let Response::Registered { generation, .. } = resp else { panic!("{resp:?}") };
         assert_eq!(generation, 1, "generations survive unregister (no ABA)");
@@ -2076,6 +2233,7 @@ mod tests {
             inputs: vec![],
             variant: Variant::Naive,
             threads: Some(1),
+            sharded: false,
         });
         assert!(
             matches!(resp, Response::Error { code: ErrorCode::UnknownTensor, .. }),
@@ -2089,6 +2247,7 @@ mod tests {
             inputs: vec![],
             variant: Variant::Naive,
             threads: Some(1),
+            sharded: false,
         });
         let Response::Prepared { kernel, .. } = resp else { panic!("{resp:?}") };
         // A 64-byte tensor forces out both unpinned entries ("c", "d")
@@ -2099,7 +2258,7 @@ mod tests {
         assert_eq!(serve.registry_bytes, 96);
         assert_eq!(serve.registry_evictions, 3);
         assert_eq!(serve.pinned, 1);
-        let resp = engine.handle(&Request::Run { kernel, full: false });
+        let resp = engine.handle(&Request::Run { kernel, full: false, shard: None });
         assert!(matches!(resp, Response::Ran { .. }), "the pinned kernel keeps serving: {resp:?}");
 
         // A tensor that cannot fit even after evicting everything
@@ -2109,6 +2268,7 @@ mod tests {
             dims: vec![16],
             payload: TensorPayload::Dense(vec![1.0; 16]),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         });
         assert!(
             matches!(resp, Response::Error { code: ErrorCode::AdmissionRejected, .. }),
@@ -2126,6 +2286,7 @@ mod tests {
             dims: vec![4],
             payload: TensorPayload::Dense(vec![9.0, 9.0, 9.0, 9.0]),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         });
         let Response::Registered { generation, .. } = resp else { panic!("{resp:?}") };
         assert_eq!(generation, 1, "generations survive eviction");
@@ -2136,7 +2297,7 @@ mod tests {
         let oracle = {
             let clean = ssymv_engine();
             let k = prepare(&clean);
-            clean.handle(&Request::Run { kernel: k, full: false }).encode()
+            clean.handle(&Request::Run { kernel: k, full: false, shard: None }).encode()
         };
         let plan = Arc::new(FaultPlan::seeded(5).nth(FaultSite::ExecPanic, 1));
         let engine = Engine::new().with_fault_plan(Arc::clone(&plan));
@@ -2144,12 +2305,12 @@ mod tests {
         let kernel = prepare(&engine);
         // The injected panic surfaces as a structured internal_error,
         // not an abort.
-        let resp = engine.handle(&Request::Run { kernel, full: false });
+        let resp = engine.handle(&Request::Run { kernel, full: false, shard: None });
         assert!(matches!(resp, Response::Error { code: ErrorCode::Internal, .. }), "{resp:?}");
         assert_eq!(plan.injected(FaultSite::ExecPanic), 1);
         // The handle is now quarantined: refused structurally, not
         // retried into the same poisoned state.
-        let resp = engine.handle(&Request::Run { kernel, full: false });
+        let resp = engine.handle(&Request::Run { kernel, full: false, shard: None });
         assert!(
             matches!(resp, Response::Error { code: ErrorCode::KernelQuarantined, .. }),
             "{resp:?}"
@@ -2161,7 +2322,8 @@ mod tests {
         // serves byte-identically to a never-faulted engine.
         let fresh = prepare(&engine);
         assert_ne!(fresh, kernel, "quarantined handles must not satisfy prepare dedup");
-        let resp = engine.handle(&Request::Run { kernel: fresh, full: false }).encode();
+        let resp =
+            engine.handle(&Request::Run { kernel: fresh, full: false, shard: None }).encode();
         assert_eq!(resp, oracle);
         // Exactly one injection: the fresh handle ran clean.
         assert_eq!(plan.injected(FaultSite::ExecPanic), 1);
@@ -2173,14 +2335,213 @@ mod tests {
         let engine = Engine::new().with_fault_plan(plan);
         ssymv_inputs(&engine);
         let kernel = prepare(&engine);
-        let resp = engine.handle(&Request::Run { kernel, full: true });
+        let resp = engine.handle(&Request::Run { kernel, full: true, shard: None });
         assert!(matches!(resp, Response::Error { code: ErrorCode::Internal, .. }), "{resp:?}");
-        let resp = engine.handle(&Request::Run { kernel, full: true });
+        let resp = engine.handle(&Request::Run { kernel, full: true, shard: None });
         assert!(
             matches!(resp, Response::Error { code: ErrorCode::KernelQuarantined, .. }),
             "{resp:?}"
         );
         assert_eq!(engine.serve_metrics().panics_caught.get(), 1);
+    }
+
+    #[test]
+    fn panic_budget_circuit_breaks_the_spec_after_consecutive_panics() {
+        // Every run of this spec panics. Without a budget, a client
+        // bounces forever: prepare → panic → quarantine → fresh
+        // prepare → panic. After `DEFAULT_PANIC_BUDGET` strikes the
+        // *spec* is refused at prepare time, not just the handle.
+        let plan = Arc::new(FaultPlan::seeded(3).rate(FaultSite::ExecPanic, 1_000_000));
+        let engine = Engine::new().with_fault_plan(plan);
+        ssymv_inputs(&engine);
+        let mut handles = Vec::new();
+        for _ in 0..DEFAULT_PANIC_BUDGET {
+            let kernel = prepare(&engine);
+            assert!(!handles.contains(&kernel), "quarantined handles must not satisfy dedup");
+            handles.push(kernel);
+            let resp = engine.handle(&Request::Run { kernel, full: false, shard: None });
+            assert!(matches!(resp, Response::Error { code: ErrorCode::Internal, .. }), "{resp:?}");
+        }
+        // Strike three: the bounce is broken before another doomed
+        // compile, with a structured (retryable=false) refusal.
+        let resp = engine.handle(&Request::Prepare {
+            einsum: "for i, j: y[i] += A[i, j] * x[j]".into(),
+            sym: vec!["A".into()],
+            inputs: vec![],
+            variant: Variant::Systec,
+            threads: Some(1),
+            sharded: false,
+        });
+        let Response::Error { code, message, .. } = resp else { panic!("{resp:?}") };
+        assert_eq!(code, ErrorCode::KernelQuarantined);
+        assert!(message.contains("circuit-broken"), "{message}");
+        // Re-registering an input bumps its pinned generation, which
+        // re-keys the spec and re-opens the breaker.
+        register_dense(&engine, "x", &[4], &[1.0, 2.0, 3.0, 4.0]);
+        let kernel = prepare(&engine);
+        assert!(!handles.contains(&kernel));
+    }
+
+    #[test]
+    fn a_clean_run_resets_the_panic_streak() {
+        let plan = Arc::new(FaultPlan::seeded(4).nth(FaultSite::ExecPanic, 1));
+        let engine = Engine::new().with_fault_plan(plan).with_panic_budget(2);
+        ssymv_inputs(&engine);
+        let first = prepare(&engine);
+        let resp = engine.handle(&Request::Run { kernel: first, full: false, shard: None });
+        assert!(matches!(resp, Response::Error { code: ErrorCode::Internal, .. }), "{resp:?}");
+        // One strike is below the budget, so the spec re-prepares...
+        let second = prepare(&engine);
+        assert_ne!(second, first);
+        // ...and a clean run wipes the streak — the budget counts
+        // *consecutive* panics, not lifetime panics.
+        let resp = engine.handle(&Request::Run { kernel: second, full: false, shard: None });
+        assert!(matches!(resp, Response::Ran { .. }), "{resp:?}");
+        let counts = relock(&engine.panic_counts);
+        assert!(
+            counts.values().all(|c| c.load(Ordering::Acquire) == 0),
+            "a successful run must zero the spec's streak"
+        );
+    }
+
+    #[test]
+    fn a_zero_panic_budget_clamps_to_one_strike() {
+        let plan = Arc::new(FaultPlan::seeded(6).nth(FaultSite::ExecPanic, 1));
+        let engine = Engine::new().with_fault_plan(plan).with_panic_budget(0);
+        ssymv_inputs(&engine);
+        let kernel = prepare(&engine);
+        let resp = engine.handle(&Request::Run { kernel, full: false, shard: None });
+        assert!(matches!(resp, Response::Error { code: ErrorCode::Internal, .. }), "{resp:?}");
+        let resp = engine.handle(&Request::Prepare {
+            einsum: "for i, j: y[i] += A[i, j] * x[j]".into(),
+            sym: vec!["A".into()],
+            inputs: vec![],
+            variant: Variant::Systec,
+            threads: Some(1),
+            sharded: false,
+        });
+        assert!(
+            matches!(resp, Response::Error { code: ErrorCode::KernelQuarantined, .. }),
+            "{resp:?}"
+        );
+    }
+
+    /// Prepare the ssymv spec with `sharded: true`, returning the
+    /// handle and the advertised merge schedule.
+    fn prepare_sharded(engine: &Engine) -> (u64, Vec<(String, MergeRule)>) {
+        let resp = engine.handle(&Request::Prepare {
+            einsum: "for i, j: y[i] += A[i, j] * x[j]".into(),
+            sym: vec!["A".into()],
+            inputs: vec![],
+            variant: Variant::Systec,
+            threads: Some(1),
+            sharded: true,
+        });
+        match resp {
+            Response::Prepared { kernel, split, .. } => {
+                (kernel, split.expect("ssymv must advertise a merge schedule"))
+            }
+            other => panic!("prepare failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_prepare_advertises_the_merge_schedule() {
+        let engine = ssymv_engine();
+        let (kernel, split) = prepare_sharded(&engine);
+        // The symmetric ssymv scatters y[j] updates outside the owned
+        // row, so shard partials must be folded with `+`, not
+        // concatenated.
+        assert_eq!(split, vec![("y".to_string(), MergeRule::Add)]);
+        // `sharded` is advisory — the same spec dedupes to the same
+        // handle as a plain prepare, and the plain response carries no
+        // split payload, keeping non-sharded bytes unchanged.
+        let plain = prepare(&engine);
+        assert_eq!(kernel, plain, "`sharded` must not fork the dedup key");
+        let resp = engine.handle(&Request::Prepare {
+            einsum: "for i, j: y[i] += A[i, j] * x[j]".into(),
+            sym: vec!["A".into()],
+            inputs: vec![],
+            variant: Variant::Systec,
+            threads: Some(1),
+            sharded: false,
+        });
+        let Response::Prepared { split, .. } = resp else { panic!("{resp:?}") };
+        assert!(split.is_none(), "plain prepares must not grow a split payload");
+    }
+
+    #[test]
+    fn shard_runs_merge_to_the_full_result_with_exact_counters() {
+        let engine = ssymv_engine();
+        let (kernel, split) = prepare_sharded(&engine);
+        assert_eq!(split[0].1, MergeRule::Add);
+        let resp = engine.handle(&Request::Run { kernel, full: false, shard: None });
+        let Response::Ran { outputs: full, counters: serial } = resp else { panic!("{resp:?}") };
+        // Run both halves and fold them the way the router does:
+        // partial 0 first, later shards applied in fixed shard order.
+        let mut partials = Vec::new();
+        let mut summed = CounterPayload::default();
+        for k in 0..2 {
+            let resp = engine.handle(&Request::Run { kernel, full: false, shard: Some((k, 2)) });
+            let Response::Ran { outputs, counters } = resp else { panic!("{resp:?}") };
+            assert_eq!(outputs.len(), 1);
+            assert_eq!(outputs[0].dims, full[0].dims, "shard partials keep the full shape");
+            summed.flops += counters.flops;
+            summed.writes += counters.writes;
+            summed.iterations += counters.iterations;
+            for (name, n) in counters.reads {
+                match summed.reads.iter_mut().find(|(have, _)| *have == name) {
+                    Some((_, total)) => *total += n,
+                    None => summed.reads.push((name, n)),
+                }
+            }
+            partials.push(outputs.into_iter().next().unwrap().values);
+        }
+        let merged: Vec<u64> =
+            partials[0].iter().zip(&partials[1]).map(|(a, b)| (a + b).to_bits()).collect();
+        let want: Vec<u64> = full[0].values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(merged, want, "folded shard partials must be bit-identical to the full run");
+        // Counters are integers, so the shard sum is exact — the
+        // cluster's merged counters must equal a single process's.
+        summed.reads.sort();
+        let mut serial_reads = serial.reads.clone();
+        serial_reads.sort();
+        assert_eq!(summed.flops, serial.flops);
+        assert_eq!(summed.writes, serial.writes);
+        assert_eq!(summed.iterations, serial.iterations);
+        assert_eq!(summed.reads, serial_reads);
+    }
+
+    #[test]
+    fn shard_requests_are_validated_structurally() {
+        let engine = ssymv_engine();
+        let (kernel, _) = prepare_sharded(&engine);
+        // `shard` + `full` is contradictory: output replication wants
+        // the complete result, a shard computes one row range.
+        let resp = engine.handle(&Request::Run { kernel, full: true, shard: Some((0, 2)) });
+        assert!(matches!(resp, Response::Error { code: ErrorCode::InvalidKernel, .. }), "{resp:?}");
+        // A non-splittable plan has no row ranges to shard, and its
+        // sharded prepare advertises no merge schedule.
+        let resp = engine.handle(&Request::Prepare {
+            einsum: "for i, j: C[j, i] = A[i, j]".into(),
+            sym: vec![],
+            inputs: vec![],
+            variant: Variant::Naive,
+            threads: None,
+            sharded: true,
+        });
+        let Response::Prepared { kernel: transpose, splittable, split, .. } = resp else {
+            panic!("{resp:?}")
+        };
+        assert!(!splittable);
+        assert!(split.is_none(), "non-splittable plans must not advertise a merge schedule");
+        let resp =
+            engine.handle(&Request::Run { kernel: transpose, full: false, shard: Some((0, 2)) });
+        assert!(matches!(resp, Response::Error { code: ErrorCode::InvalidKernel, .. }), "{resp:?}");
+        // The refusals are structural, not stateful: a legal shard run
+        // on the splittable kernel still serves afterwards.
+        let resp = engine.handle(&Request::Run { kernel, full: false, shard: Some((1, 2)) });
+        assert!(matches!(resp, Response::Ran { .. }), "{resp:?}");
     }
 
     #[test]
@@ -2201,6 +2562,7 @@ mod tests {
             dims: vec![4],
             payload: TensorPayload::Dense(vec![9.0; 4]),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         });
         assert!(matches!(resp, Response::Error { code: ErrorCode::Internal, .. }), "{resp:?}");
         let Response::Stats { serve, .. } = engine.handle(&Request::Stats) else { panic!() };
@@ -2226,7 +2588,7 @@ mod tests {
             // Bump x so the recovered generation counter is nontrivial.
             register_dense(&engine, "x", &[4], &[1.0, 2.0, 3.0, 4.0]);
             let k = prepare(&engine);
-            engine.handle(&Request::Run { kernel: k, full: false }).encode()
+            engine.handle(&Request::Run { kernel: k, full: false, shard: None }).encode()
         };
         let engine = Engine::new().with_data_dir(&dir).expect("reopen data dir");
         let Response::Stats { serve, .. } = engine.handle(&Request::Stats) else { panic!() };
@@ -2238,12 +2600,16 @@ mod tests {
             dims: vec![4],
             payload: TensorPayload::Dense(vec![1.0, 2.0, 3.0, 4.0]),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         });
         let Response::Registered { generation, .. } = resp else { panic!("{resp:?}") };
         assert_eq!(generation, 2, "generation counters must survive restart");
         // And the recovered tensors serve byte-identically.
         let k = prepare(&engine);
-        assert_eq!(engine.handle(&Request::Run { kernel: k, full: false }).encode(), oracle);
+        assert_eq!(
+            engine.handle(&Request::Run { kernel: k, full: false, shard: None }).encode(),
+            oracle
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -9,14 +9,32 @@
 //!
 //! | verb | request fields | response fields |
 //! |---|---|---|
-//! | `register_tensor` | `name`, `dims`, `dense` *or* `coo` \[, `format`\] | `reply:"registered"`, `name`, `nnz`, `generation` |
+//! | `register_tensor` | `name`, `dims`, `dense` *or* `coo` \[, `format`, `placement`\] | `reply:"registered"`, `name`, `nnz`, `generation` |
 //! | `unregister` | `name` | `reply:"unregistered"`, `name`, `existed` |
-//! | `prepare` | `einsum` \[, `sym`, `inputs`, `variant`, `threads`\] | `reply:"prepared"`, `kernel`, `splittable` \[, `warning`\] |
-//! | `run` | `kernel` \[, `full`\] | `reply:"run"`, `outputs`, `counters` |
+//! | `prepare` | `einsum` \[, `sym`, `inputs`, `variant`, `threads`, `sharded`\] | `reply:"prepared"`, `kernel`, `splittable` \[, `split`, `warning`\] |
+//! | `run` | `kernel` \[, `full`, `shard`\] | `reply:"run"`, `outputs`, `counters` |
 //! | `stats` | — | `reply:"stats"`, `cache`, `requests`, `pool`, `serve`, `kernels`, `slow` |
 //! | `metrics` | — | `reply:"metrics"`, `text` (Prometheus exposition) |
 //! | `ping` | — | `reply:"pong"` |
 //! | `shutdown` | — | `reply:"shutting_down"` |
+//!
+//! Sharded serving adds three optional request fields and one reply. A
+//! `register_tensor` `placement` of `"replicate"` asks a router to copy
+//! the tensor to every shard instead of hashing it to one owner (a
+//! single worker accepts and ignores it). A `prepare` with
+//! `"sharded":true` asks for the cross-process merge classification:
+//! when the plan is splittable the reply carries `split`, an object
+//! mapping each output name to its merge rule — `"rows"` (each shard
+//! owns a disjoint row range; concatenate in shard order) or
+//! `"add"`/`"min"`/`"max"` (fold per-shard partials elementwise in
+//! fixed shard order). A `run` with `"shard":[k, n]` executes only the
+//! k-th of n top-level row ranges (0-based, `k < n`), reporting that
+//! sub-range's outputs and exact counters; it is rejected with
+//! `invalid_kernel` when combined with `full` or when the plan is not
+//! splittable. A router answering for a dead worker uses the retryable
+//! code `shard_unavailable`, and its `stats` verb answers with
+//! `reply:"cluster_stats"` (`router` counters + a `shards` array)
+//! instead of a worker's `reply:"stats"`.
 //!
 //! The `prepare` `warning` field, when present, is an object with a
 //! stable machine-readable `kind` (currently only `"serial_fallback"`)
@@ -75,6 +93,10 @@ pub enum ErrorCode {
     /// run. The handle never serves again; `prepare` the same spec again
     /// to mint a fresh handle.
     KernelQuarantined,
+    /// The shard that owns the requested key is down. Emitted by a
+    /// router, never by a worker; retryable — the shard supervisor
+    /// restarts dead workers and recovered tensors rejoin the ring.
+    ShardUnavailable,
 }
 
 impl ErrorCode {
@@ -92,6 +114,7 @@ impl ErrorCode {
             ErrorCode::StaleTensor => "stale_tensor",
             ErrorCode::Internal => "internal_error",
             ErrorCode::KernelQuarantined => "kernel_quarantined",
+            ErrorCode::ShardUnavailable => "shard_unavailable",
         }
     }
 
@@ -108,6 +131,7 @@ impl ErrorCode {
             "stale_tensor" => ErrorCode::StaleTensor,
             "internal_error" => ErrorCode::Internal,
             "kernel_quarantined" => ErrorCode::KernelQuarantined,
+            "shard_unavailable" => ErrorCode::ShardUnavailable,
             _ => return None,
         })
     }
@@ -115,12 +139,16 @@ impl ErrorCode {
     /// Whether a client may transparently retry the same request after a
     /// backoff. Transient conditions (queueing past the deadline,
     /// admission pressure, an executor fault that quarantined a kernel
-    /// mid-flight) are retryable; `kernel_quarantined` is not — the
-    /// handle is dead until the client re-`prepare`s.
+    /// mid-flight, a shard that the supervisor will restart) are
+    /// retryable; `kernel_quarantined` is not — the handle is dead
+    /// until the client re-`prepare`s.
     pub fn retryable(self) -> bool {
         matches!(
             self,
-            ErrorCode::DeadlineExceeded | ErrorCode::AdmissionRejected | ErrorCode::Internal
+            ErrorCode::DeadlineExceeded
+                | ErrorCode::AdmissionRejected
+                | ErrorCode::Internal
+                | ErrorCode::ShardUnavailable
         )
     }
 }
@@ -172,6 +200,58 @@ pub enum StorageFormat {
     Dense,
     /// Force compressed (CSF) storage.
     Csf,
+}
+
+/// Where a router places a registered tensor. A single worker accepts
+/// the field and ignores it (placement is a routing concern).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Consistent-hash the name to one owning shard (default).
+    #[default]
+    Hash,
+    /// Copy the tensor to every shard, as sharded kernels require for
+    /// their inputs.
+    Replicate,
+}
+
+/// How a router combines one output's per-shard results into the
+/// single-process answer, as reported by a `"sharded":true` prepare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeRule {
+    /// Each shard owns a disjoint top-level row range: take shard k's
+    /// rows `[k·E/n, (k+1)·E/n)` and concatenate in shard order.
+    Rows,
+    /// Fold per-shard partials elementwise with `+` in fixed shard
+    /// order.
+    Add,
+    /// Fold per-shard partials elementwise with `min` in fixed shard
+    /// order.
+    Min,
+    /// Fold per-shard partials elementwise with `max` in fixed shard
+    /// order.
+    Max,
+}
+
+impl MergeRule {
+    /// The stable wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MergeRule::Rows => "rows",
+            MergeRule::Add => "add",
+            MergeRule::Min => "min",
+            MergeRule::Max => "max",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<MergeRule> {
+        Some(match s {
+            "rows" => MergeRule::Rows,
+            "add" => MergeRule::Add,
+            "min" => MergeRule::Min,
+            "max" => MergeRule::Max,
+            _ => return None,
+        })
+    }
 }
 
 /// Which compilation the `prepare` verb performs.
@@ -232,6 +312,8 @@ pub enum Request {
         payload: TensorPayload,
         /// Storage selection.
         format: StorageFormat,
+        /// Routing placement (router-interpreted; workers ignore it).
+        placement: Placement,
     },
     /// Remove a named tensor from the registry. Prepared kernels keep
     /// their pinned snapshot and continue to serve; only future
@@ -256,6 +338,9 @@ pub enum Request {
         /// default parallelism; `Some(1)` forces serial, `Some(0)` all
         /// cores, `Some(n)` n workers.
         threads: Option<usize>,
+        /// Ask for the cross-process merge classification: the reply
+        /// carries `split` when the plan is splittable.
+        sharded: bool,
     },
     /// Execute a prepared kernel.
     Run {
@@ -264,6 +349,9 @@ pub enum Request {
         /// Also apply output replication (`run_full` semantics). Off the
         /// pooled zero-allocation path.
         full: bool,
+        /// Execute only the k-th of n top-level row ranges (`(k, n)`,
+        /// 0-based). Requires a splittable plan and `full: false`.
+        shard: Option<(u64, u64)>,
     },
     /// Server statistics.
     Stats,
@@ -437,6 +525,46 @@ pub struct KernelStatPayload {
     pub slow: u64,
 }
 
+/// Router-level request counts in a cluster-stats response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct RouterCountsPayload {
+    /// `register_tensor` requests routed.
+    pub register_tensor: u64,
+    /// `prepare` requests routed.
+    pub prepare: u64,
+    /// `run` requests routed.
+    pub run: u64,
+    /// Runs that fanned out as per-shard sub-ranges and were merged.
+    pub sharded_runs: u64,
+    /// Requests broadcast to every shard (replicated registrations and
+    /// sharded prepares).
+    pub fanouts: u64,
+    /// Tensor registrations replicated to every shard.
+    pub replicated: u64,
+    /// Requests answered with an error (including `shard_unavailable`).
+    pub errors: u64,
+}
+
+/// One shard's row in a cluster-stats response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardStatPayload {
+    /// Shard ordinal (fixed merge order).
+    pub shard: u64,
+    /// The worker's listen address.
+    pub addr: String,
+    /// Whether the router currently holds a live connection.
+    pub healthy: bool,
+    /// Virtual nodes this shard occupies on the hash ring.
+    pub vnodes: u64,
+    /// Hash-placed tensors currently owned by this shard.
+    pub keys: u64,
+    /// Requests forwarded to this shard.
+    pub forwarded: u64,
+    /// Forwarded requests that failed at the transport (connection
+    /// refused, reset, or timed out).
+    pub errors: u64,
+}
+
 /// A server response.
 ///
 /// `Stats` is much larger than the hot variants (`Ran`, `Error`), but
@@ -471,6 +599,10 @@ pub enum Response {
         kernel: u64,
         /// Whether executions can dispatch worker threads.
         splittable: bool,
+        /// Output name → cross-process merge rule, sorted by name.
+        /// Present only for a `"sharded":true` prepare of a splittable
+        /// plan.
+        split: Option<Vec<(String, MergeRule)>>,
         /// A structured warning (currently only the serial fallback,
         /// when threads were requested on a non-splittable plan).
         warning: Option<Warning>,
@@ -496,6 +628,14 @@ pub enum Response {
         kernels: Vec<KernelStatPayload>,
         /// Most recent over-threshold runs, oldest first.
         slow: Vec<SlowRunPayload>,
+    },
+    /// `stats` payload from a router: cluster-wide health instead of a
+    /// single worker's engine counters.
+    ClusterStats {
+        /// Router-level request counts.
+        router: RouterCountsPayload,
+        /// Per-shard health and traffic, sorted by shard ordinal.
+        shards: Vec<ShardStatPayload>,
     },
     /// `metrics` payload.
     Metrics {
@@ -569,7 +709,7 @@ impl Request {
     /// Serializes to one line (no trailing newline).
     pub fn encode(&self) -> String {
         let json = match self {
-            Request::RegisterTensor { name, dims, payload, format } => {
+            Request::RegisterTensor { name, dims, payload, format, placement } => {
                 let mut pairs = vec![
                     ("op", Json::Str("register_tensor".into())),
                     ("name", Json::Str(name.clone())),
@@ -597,13 +737,16 @@ impl Request {
                     StorageFormat::Dense => pairs.push(("format", Json::Str("dense".into()))),
                     StorageFormat::Csf => pairs.push(("format", Json::Str("csf".into()))),
                 }
+                if *placement == Placement::Replicate {
+                    pairs.push(("placement", Json::Str("replicate".into())));
+                }
                 Json::obj(pairs)
             }
             Request::Unregister { name } => Json::obj([
                 ("op", Json::Str("unregister".into())),
                 ("name", Json::Str(name.clone())),
             ]),
-            Request::Prepare { einsum, sym, inputs, variant, threads } => {
+            Request::Prepare { einsum, sym, inputs, variant, threads, sharded } => {
                 let mut pairs = vec![
                     ("op", Json::Str("prepare".into())),
                     ("einsum", Json::Str(einsum.clone())),
@@ -628,13 +771,19 @@ impl Request {
                 if let Some(threads) = threads {
                     pairs.push(("threads", Json::num_usize(*threads)));
                 }
+                if *sharded {
+                    pairs.push(("sharded", Json::Bool(true)));
+                }
                 Json::obj(pairs)
             }
-            Request::Run { kernel, full } => {
+            Request::Run { kernel, full, shard } => {
                 let mut pairs =
                     vec![("op", Json::Str("run".into())), ("kernel", Json::num_u64(*kernel))];
                 if *full {
                     pairs.push(("full", Json::Bool(true)));
+                }
+                if let Some((k, n)) = shard {
+                    pairs.push(("shard", Json::Arr(vec![Json::num_u64(*k), Json::num_u64(*n)])));
                 }
                 Json::obj(pairs)
             }
@@ -708,7 +857,16 @@ impl Request {
                         )))
                     }
                 };
-                Ok(Request::RegisterTensor { name, dims, payload, format })
+                let placement = match json.get("placement").map(|p| p.as_str()) {
+                    None | Some(Some("hash")) => Placement::Hash,
+                    Some(Some("replicate")) => Placement::Replicate,
+                    Some(other) => {
+                        return Err(ProtoError::new(format!(
+                            "unknown `placement` {other:?} (expected \"hash\" or \"replicate\")"
+                        )))
+                    }
+                };
+                Ok(Request::RegisterTensor { name, dims, payload, format, placement })
             }
             "unregister" => Ok(Request::Unregister { name: require_str(&json, "name")? }),
             "prepare" => {
@@ -754,7 +912,13 @@ impl Request {
                         ProtoError::new("`threads` must be a non-negative integer")
                     })?),
                 };
-                Ok(Request::Prepare { einsum, sym, inputs, variant, threads })
+                let sharded = match json.get("sharded") {
+                    None => false,
+                    Some(s) => {
+                        s.as_bool().ok_or_else(|| ProtoError::new("`sharded` must be a boolean"))?
+                    }
+                };
+                Ok(Request::Prepare { einsum, sym, inputs, variant, threads, sharded })
             }
             "run" => {
                 let kernel = json
@@ -767,7 +931,26 @@ impl Request {
                         f.as_bool().ok_or_else(|| ProtoError::new("`full` must be a boolean"))?
                     }
                 };
-                Ok(Request::Run { kernel, full })
+                let shard = match json.get("shard") {
+                    None => None,
+                    Some(s) => {
+                        let pair = s
+                            .as_arr()
+                            .filter(|pair| pair.len() == 2)
+                            .and_then(|pair| Some((pair[0].as_u64()?, pair[1].as_u64()?)))
+                            .ok_or_else(|| {
+                                ProtoError::new("`shard` must be a `[k, n]` pair of integers")
+                            })?;
+                        if pair.1 == 0 || pair.0 >= pair.1 {
+                            return Err(ProtoError::new(format!(
+                                "`shard` ordinal {} of {} is out of range",
+                                pair.0, pair.1
+                            )));
+                        }
+                        Some(pair)
+                    }
+                };
+                Ok(Request::Run { kernel, full, shard })
             }
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
@@ -838,13 +1021,24 @@ impl Response {
                 ("name", Json::Str(name.clone())),
                 ("existed", Json::Bool(*existed)),
             ]),
-            Response::Prepared { kernel, splittable, warning } => {
+            Response::Prepared { kernel, splittable, split, warning } => {
                 let mut pairs = vec![
                     ("ok", Json::Bool(true)),
                     ("reply", Json::Str("prepared".into())),
                     ("kernel", Json::num_u64(*kernel)),
                     ("splittable", Json::Bool(*splittable)),
                 ];
+                if let Some(split) = split {
+                    pairs.push((
+                        "split",
+                        Json::Obj(
+                            split
+                                .iter()
+                                .map(|(name, rule)| (name.clone(), Json::Str(rule.as_str().into())))
+                                .collect(),
+                        ),
+                    ));
+                }
                 if let Some(warning) = warning {
                     pairs.push((
                         "warning",
@@ -1000,6 +1194,41 @@ impl Response {
                     ),
                 ),
             ]),
+            Response::ClusterStats { router, shards } => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("reply", Json::Str("cluster_stats".into())),
+                (
+                    "router",
+                    Json::obj([
+                        ("register_tensor", Json::num_u64(router.register_tensor)),
+                        ("prepare", Json::num_u64(router.prepare)),
+                        ("run", Json::num_u64(router.run)),
+                        ("sharded_runs", Json::num_u64(router.sharded_runs)),
+                        ("fanouts", Json::num_u64(router.fanouts)),
+                        ("replicated", Json::num_u64(router.replicated)),
+                        ("errors", Json::num_u64(router.errors)),
+                    ]),
+                ),
+                (
+                    "shards",
+                    Json::Arr(
+                        shards
+                            .iter()
+                            .map(|s| {
+                                Json::obj([
+                                    ("shard", Json::num_u64(s.shard)),
+                                    ("addr", Json::Str(s.addr.clone())),
+                                    ("healthy", Json::Bool(s.healthy)),
+                                    ("vnodes", Json::num_u64(s.vnodes)),
+                                    ("keys", Json::num_u64(s.keys)),
+                                    ("forwarded", Json::num_u64(s.forwarded)),
+                                    ("errors", Json::num_u64(s.errors)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
             Response::Metrics { text } => Json::obj([
                 ("ok", Json::Bool(true)),
                 ("reply", Json::Str("metrics".into())),
@@ -1072,6 +1301,23 @@ impl Response {
                     .get("splittable")
                     .and_then(Json::as_bool)
                     .ok_or_else(|| ProtoError::new("prepared reply needs boolean `splittable`"))?,
+                split: match json.get("split") {
+                    None => None,
+                    Some(s) => Some(
+                        s.as_obj()
+                            .ok_or_else(|| ProtoError::new("`split` must be an object"))?
+                            .iter()
+                            .map(|(name, rule)| {
+                                rule.as_str()
+                                    .and_then(MergeRule::from_str)
+                                    .map(|rule| (name.clone(), rule))
+                                    .ok_or_else(|| {
+                                        ProtoError::new("`split` values must be known merge rules")
+                                    })
+                            })
+                            .collect::<Result<Vec<(String, MergeRule)>, ProtoError>>()?,
+                    ),
+                },
                 warning: match json.get("warning") {
                     None => None,
                     Some(w) => {
@@ -1254,6 +1500,51 @@ impl Response {
                     .collect::<Result<Vec<SlowRunPayload>, ProtoError>>()?;
                 Ok(Response::Stats { cache, requests, pool, serve, kernels, slow })
             }
+            "cluster_stats" => {
+                let router_json = json
+                    .get("router")
+                    .ok_or_else(|| ProtoError::new("cluster_stats reply needs `router`"))?;
+                let rc = |field: &str| {
+                    router_json
+                        .get(field)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ProtoError::new(format!("router needs integer `{field}`")))
+                };
+                let router = RouterCountsPayload {
+                    register_tensor: rc("register_tensor")?,
+                    prepare: rc("prepare")?,
+                    run: rc("run")?,
+                    sharded_runs: rc("sharded_runs")?,
+                    fanouts: rc("fanouts")?,
+                    replicated: rc("replicated")?,
+                    errors: rc("errors")?,
+                };
+                let shards = json
+                    .get("shards")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ProtoError::new("cluster_stats reply needs a `shards` array"))?
+                    .iter()
+                    .map(|s| {
+                        let f = |field: &str| {
+                            s.get(field).and_then(Json::as_u64).ok_or_else(|| {
+                                ProtoError::new(format!("shard entry needs integer `{field}`"))
+                            })
+                        };
+                        Ok(ShardStatPayload {
+                            shard: f("shard")?,
+                            addr: require_str(s, "addr")?,
+                            healthy: s.get("healthy").and_then(Json::as_bool).ok_or_else(|| {
+                                ProtoError::new("shard entry needs boolean `healthy`")
+                            })?,
+                            vnodes: f("vnodes")?,
+                            keys: f("keys")?,
+                            forwarded: f("forwarded")?,
+                            errors: f("errors")?,
+                        })
+                    })
+                    .collect::<Result<Vec<ShardStatPayload>, ProtoError>>()?;
+                Ok(Response::ClusterStats { router, shards })
+            }
             "metrics" => Ok(Response::Metrics { text: require_str(&json, "text")? }),
             "pong" => Ok(Response::Pong),
             "shutting_down" => Ok(Response::ShuttingDown),
@@ -1274,12 +1565,14 @@ mod tests {
                 dims: vec![4, 4],
                 payload: TensorPayload::Coo(vec![(vec![0, 1], 2.5), (vec![1, 0], 2.5)]),
                 format: StorageFormat::Auto,
+                placement: Placement::Hash,
             },
             Request::RegisterTensor {
                 name: "weird \"name\"\n".into(),
                 dims: vec![3],
                 payload: TensorPayload::Dense(vec![1.0, -0.5, 3.25]),
                 format: StorageFormat::Csf,
+                placement: Placement::Replicate,
             },
             Request::Prepare {
                 einsum: "for i, j: y[i] += A[i, j] * x[j]".into(),
@@ -1287,6 +1580,7 @@ mod tests {
                 inputs: vec![("A".into(), "big".into()), ("x".into(), "vec".into())],
                 variant: Variant::Naive,
                 threads: Some(4),
+                sharded: false,
             },
             Request::Prepare {
                 einsum: "for i: y[i] = x[i]".into(),
@@ -1294,6 +1588,7 @@ mod tests {
                 inputs: vec![],
                 variant: Variant::Systec,
                 threads: None,
+                sharded: true,
             },
             Request::Prepare {
                 einsum: "for i: y[i] = x[i]".into(),
@@ -1303,11 +1598,14 @@ mod tests {
                 // An explicit 1 is encoded (it FORCES serial; absence
                 // inherits the server default).
                 threads: Some(1),
+                sharded: false,
             },
             Request::Unregister { name: "big_matrix".into() },
             Request::Unregister { name: "weird \"name\"\n".into() },
-            Request::Run { kernel: 3, full: true },
-            Request::Run { kernel: 0, full: false },
+            Request::Run { kernel: 3, full: true, shard: None },
+            Request::Run { kernel: 0, full: false, shard: None },
+            Request::Run { kernel: 5, full: false, shard: Some((0, 3)) },
+            Request::Run { kernel: 5, full: false, shard: Some((2, 3)) },
             Request::Stats,
             Request::Metrics,
             Request::Ping,
@@ -1327,14 +1625,25 @@ mod tests {
             Response::Registered { name: "A".into(), nnz: 9, generation: 3 },
             Response::Unregistered { name: "A".into(), existed: true },
             Response::Unregistered { name: "gone".into(), existed: false },
-            Response::Prepared { kernel: 7, splittable: true, warning: None },
+            Response::Prepared { kernel: 7, splittable: true, split: None, warning: None },
             Response::Prepared {
                 kernel: 0,
                 splittable: false,
+                split: None,
                 warning: Some(Warning {
                     kind: WarningKind::SerialFallback,
                     message: "running serially".into(),
                 }),
+            },
+            Response::Prepared {
+                kernel: 2,
+                splittable: true,
+                split: Some(vec![
+                    ("s".into(), MergeRule::Add),
+                    ("y".into(), MergeRule::Rows),
+                    ("z".into(), MergeRule::Min),
+                ]),
+                warning: None,
             },
             Response::Ran {
                 outputs: vec![OutputPayload {
@@ -1421,6 +1730,37 @@ mod tests {
                 ],
                 slow: vec![SlowRunPayload { kernel: 0, us: 40 }],
             },
+            Response::ClusterStats {
+                router: RouterCountsPayload {
+                    register_tensor: 6,
+                    prepare: 2,
+                    run: 40,
+                    sharded_runs: 10,
+                    fanouts: 4,
+                    replicated: 2,
+                    errors: 1,
+                },
+                shards: vec![
+                    ShardStatPayload {
+                        shard: 0,
+                        addr: "127.0.0.1:4101".into(),
+                        healthy: true,
+                        vnodes: 64,
+                        keys: 3,
+                        forwarded: 25,
+                        errors: 0,
+                    },
+                    ShardStatPayload {
+                        shard: 1,
+                        addr: "127.0.0.1:4102".into(),
+                        healthy: false,
+                        vnodes: 64,
+                        keys: 1,
+                        forwarded: 21,
+                        errors: 1,
+                    },
+                ],
+            },
             Response::Metrics {
                 text: "# HELP systec_runs_total Completed runs.\n\
                        # TYPE systec_runs_total counter\n\
@@ -1488,6 +1828,13 @@ mod tests {
             r#"{"op":"prepare","einsum":"e","sym":"A"}"#,
             r#"{"op":"prepare","einsum":"e","variant":"fast"}"#,
             r#"{"op":"prepare","einsum":"e","threads":-2}"#,
+            r#"{"op":"prepare","einsum":"e","sharded":"yes"}"#,
+            r#"{"op":"register_tensor","name":"A","dims":[2],"dense":[1,2],"placement":"mirror"}"#,
+            r#"{"op":"run","kernel":1,"shard":[0]}"#,
+            r#"{"op":"run","kernel":1,"shard":[0,1,2]}"#,
+            r#"{"op":"run","kernel":1,"shard":[2,2]}"#,
+            r#"{"op":"run","kernel":1,"shard":[0,0]}"#,
+            r#"{"op":"run","kernel":1,"shard":[-1,2]}"#,
         ] {
             assert!(Request::decode(bad).is_err(), "`{bad}` must not decode");
         }
@@ -1507,6 +1854,7 @@ mod tests {
             ErrorCode::StaleTensor,
             ErrorCode::Internal,
             ErrorCode::KernelQuarantined,
+            ErrorCode::ShardUnavailable,
         ] {
             assert_eq!(ErrorCode::from_str(code.as_str()), Some(code));
         }
@@ -1515,11 +1863,21 @@ mod tests {
     }
 
     #[test]
+    fn merge_rules_are_stable_strings() {
+        for rule in [MergeRule::Rows, MergeRule::Add, MergeRule::Min, MergeRule::Max] {
+            assert_eq!(MergeRule::from_str(rule.as_str()), Some(rule));
+        }
+        assert_eq!(MergeRule::from_str("concat"), None);
+        assert_eq!(MergeRule::from_str("overwrite"), None, "not a mergeable reduction");
+    }
+
+    #[test]
     fn retryable_codes_match_the_documented_policy() {
         for (code, retry) in [
             (ErrorCode::DeadlineExceeded, true),
             (ErrorCode::AdmissionRejected, true),
             (ErrorCode::Internal, true),
+            (ErrorCode::ShardUnavailable, true),
             (ErrorCode::KernelQuarantined, false),
             (ErrorCode::Parse, false),
             (ErrorCode::StaleTensor, false),

@@ -77,11 +77,11 @@ struct Task {
 struct SchedState {
     /// Non-run requests, strictly FIFO.
     general: VecDeque<Task>,
-    /// Run requests bucketed by `(kernel, full)` — the coalescing key.
-    run_queues: HashMap<(u64, bool), VecDeque<Task>>,
+    /// Run requests bucketed by [`RunKey`].
+    run_queues: HashMap<RunKey, VecDeque<Task>>,
     /// Round-robin order over the non-empty run buckets, so one hot
     /// kernel cannot starve another.
-    run_order: VecDeque<(u64, bool)>,
+    run_order: VecDeque<RunKey>,
     /// Total queued tasks (mirrors the `queue_depth` gauge).
     depth: usize,
     /// While `true`, executors leave the queues alone (tests use this
@@ -102,10 +102,15 @@ struct Shared {
     large: Mutex<Option<mpsc::Sender<ReplicateJob>>>,
 }
 
+/// The coalescing key: `(kernel, full, shard)`. Only byte-identical
+/// run requests share a bucket — a sharded sub-range run never
+/// coalesces with a different range or the unsharded whole.
+type RunKey = (u64, bool, Option<(u64, u64)>);
+
 /// What an executor pulled out of the queues in one lock acquisition.
 enum Work {
     One(Task),
-    Batch((u64, bool), Vec<Task>),
+    Batch(RunKey, Vec<Task>),
 }
 
 /// The coalescing request scheduler. Owns its executor threads; they
@@ -172,8 +177,8 @@ impl Scheduler {
         let mut st = relock(&self.shared.state);
         let task = Task { conn, request, enqueued: Instant::now() };
         match task.request {
-            Request::Run { kernel, full } => {
-                let key = (kernel, full);
+            Request::Run { kernel, full, shard } => {
+                let key = (kernel, full, shard);
                 if st.run_queues.entry(key).or_default().is_empty() {
                     st.run_order.push_back(key);
                 }
@@ -342,7 +347,7 @@ fn internal_reply() -> Arc<String> {
 /// Dispatches one coalesced batch, answering and removing every task in
 /// `live`. Split out of [`executor`] so its caller can catch a panic
 /// and account for exactly the tasks left unanswered.
-fn dispatch_batch(shared: &Shared, (kernel, full): (u64, bool), live: &mut Vec<Task>) {
+fn dispatch_batch(shared: &Shared, (kernel, full, shard): RunKey, live: &mut Vec<Task>) {
     if let Some(plan) = shared.engine.fault_plan() {
         if plan.fire(FaultSite::DispatchDelay) {
             std::thread::sleep(plan.delay());
@@ -373,7 +378,7 @@ fn dispatch_batch(shared: &Shared, (kernel, full): (u64, bool), live: &mut Vec<T
     m.batch_dispatches.inc_always();
     m.batched_runs.add_always(n);
     m.batch_size.record(n);
-    let response = shared.engine.run_batch(kernel, full, n);
+    let response = shared.engine.run_batch(kernel, full, shard, n);
     let response = if response_elems(&response) >= LARGE_OUTPUT_ELEMS {
         // Hand the body off: encoding a multi-megabyte line
         // and fanning it out would stall this executor.
@@ -459,7 +464,7 @@ impl CompletionLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{StorageFormat, TensorPayload, Variant};
+    use crate::protocol::{Placement, StorageFormat, TensorPayload, Variant};
 
     fn warmed_engine() -> (Arc<Engine>, u64) {
         warm(Arc::new(Engine::new()))
@@ -477,6 +482,7 @@ mod tests {
                 (vec![3, 2], 1.5),
             ]),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         });
         assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
         let resp = engine.handle(&Request::RegisterTensor {
@@ -484,6 +490,7 @@ mod tests {
             dims: vec![4],
             payload: TensorPayload::Dense(vec![1.0, 2.0, 3.0, 4.0]),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         });
         assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
         let resp = engine.handle(&Request::Prepare {
@@ -492,6 +499,7 @@ mod tests {
             inputs: vec![],
             variant: Variant::Systec,
             threads: Some(1),
+            sharded: false,
         });
         let Response::Prepared { kernel, .. } = resp else { panic!("{resp:?}") };
         (engine, kernel)
@@ -500,14 +508,14 @@ mod tests {
     #[test]
     fn paused_submissions_coalesce_into_one_byte_identical_dispatch() {
         let (engine, kernel) = warmed_engine();
-        let oracle = engine.handle(&Request::Run { kernel, full: false }).encode();
+        let oracle = engine.handle(&Request::Run { kernel, full: false, shard: None }).encode();
         let dispatches_before = engine.serve_metrics().batch_dispatches.get();
 
         let log = CompletionLog::new();
         let scheduler = Scheduler::new(Arc::clone(&engine), 1, 32, None, log.sink());
         scheduler.pause();
         for conn in 0..5 {
-            scheduler.submit(conn, Request::Run { kernel, full: false });
+            scheduler.submit(conn, Request::Run { kernel, full: false, shard: None });
         }
         assert_eq!(engine.serve_metrics().queue_depth.get(), 5);
         scheduler.resume();
@@ -534,9 +542,9 @@ mod tests {
         let scheduler = Scheduler::new(Arc::clone(&engine), 1, 32, None, log.sink());
         scheduler.pause();
         // Same kernel, but `full` differs: two keys, two dispatches.
-        scheduler.submit(0, Request::Run { kernel, full: false });
-        scheduler.submit(1, Request::Run { kernel, full: true });
-        scheduler.submit(2, Request::Run { kernel, full: false });
+        scheduler.submit(0, Request::Run { kernel, full: false, shard: None });
+        scheduler.submit(1, Request::Run { kernel, full: true, shard: None });
+        scheduler.submit(2, Request::Run { kernel, full: false, shard: None });
         // A general request rides alongside without joining any batch.
         scheduler.submit(3, Request::Ping);
         scheduler.resume();
@@ -558,13 +566,13 @@ mod tests {
                 .with_fault_plan(Arc::new(FaultPlan::seeded(11).nth(FaultSite::ExecutorPanic, 1))),
         );
         let (engine, kernel) = warm(engine);
-        let oracle = engine.handle(&Request::Run { kernel, full: false }).encode();
+        let oracle = engine.handle(&Request::Run { kernel, full: false, shard: None }).encode();
 
         let log = CompletionLog::new();
         let scheduler = Scheduler::new(Arc::clone(&engine), 1, 32, None, log.sink());
         scheduler.pause();
         for conn in 0..3 {
-            scheduler.submit(conn, Request::Run { kernel, full: false });
+            scheduler.submit(conn, Request::Run { kernel, full: false, shard: None });
         }
         scheduler.resume();
         // Regression: before the catch, the injected panic killed the
@@ -578,7 +586,7 @@ mod tests {
         }
         assert_eq!(engine.serve_metrics().panics_caught.get(), 1);
         // The same executor thread keeps serving byte-identically.
-        scheduler.submit(7, Request::Run { kernel, full: false });
+        scheduler.submit(7, Request::Run { kernel, full: false, shard: None });
         let completions = log.wait_for(4);
         let after = completions.iter().find(|(conn, _)| *conn == 7).expect("served after panic");
         assert_eq!(**after.1, *oracle);
@@ -601,7 +609,7 @@ mod tests {
         let log = CompletionLog::new();
         let scheduler =
             Scheduler::new(Arc::clone(&engine), 1, 32, Some(Duration::from_millis(20)), log.sink());
-        scheduler.submit(0, Request::Run { kernel, full: false });
+        scheduler.submit(0, Request::Run { kernel, full: false, shard: None });
         let completions = log.wait_for(1);
         assert_eq!(completions.len(), 1);
         let resp = Response::decode(&completions[0].1).unwrap();
@@ -624,7 +632,7 @@ mod tests {
         let scheduler =
             Scheduler::new(Arc::clone(&engine), 1, 32, Some(Duration::ZERO), log.sink());
         for conn in 0..3 {
-            scheduler.submit(conn, Request::Run { kernel, full: false });
+            scheduler.submit(conn, Request::Run { kernel, full: false, shard: None });
         }
         let completions = log.wait_for(3);
         assert_eq!(completions.len(), 3);

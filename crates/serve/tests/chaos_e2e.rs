@@ -23,7 +23,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use systec_serve::protocol::{ErrorCode, Request, Response, StorageFormat, TensorPayload};
+use systec_serve::protocol::{
+    ErrorCode, Placement, Request, Response, StorageFormat, TensorPayload,
+};
 use systec_serve::{Client, Engine, FaultSite, RetryPolicy, ServerConfig};
 
 const CONNS: usize = 16;
@@ -63,8 +65,9 @@ fn injected_panics_never_abort_and_survivors_stay_byte_identical() {
                 let mut budget = 10_000u32; // no silent infinite loop
                 while successes < RUNS_PER_CONN {
                     budget = budget.checked_sub(1).expect("no convergence");
-                    let line =
-                        client.send_raw(&Request::Run { kernel, full: false }.encode()).unwrap();
+                    let line = client
+                        .send_raw(&Request::Run { kernel, full: false, shard: None }.encode())
+                        .unwrap();
                     match Response::decode(&line).unwrap() {
                         Response::Ran { .. } => {
                             assert_eq!(line, *oracle, "successful runs must be byte-identical");
@@ -138,7 +141,9 @@ fn injected_io_faults_sever_only_their_victims() {
                 let mut budget = 10_000u32;
                 while successes < RUNS_PER_CONN {
                     budget = budget.checked_sub(1).expect("no convergence");
-                    match client.send_raw(&Request::Run { kernel, full: false }.encode()) {
+                    match client
+                        .send_raw(&Request::Run { kernel, full: false, shard: None }.encode())
+                    {
                         Ok(line) => {
                             assert_eq!(line, *oracle, "severed peers must not corrupt survivors");
                             successes += 1;
@@ -202,6 +207,7 @@ fn journal_faults_and_torn_tails_recover_every_applied_tensor() {
                 dims: vec![3],
                 payload: TensorPayload::Dense(vec![i as f64, 1.0, -1.0]),
                 format: StorageFormat::Auto,
+                placement: Placement::Hash,
             })
             .unwrap();
         match resp {
@@ -248,6 +254,7 @@ fn journal_faults_and_torn_tails_recover_every_applied_tensor() {
             dims: vec![3],
             payload: TensorPayload::Dense(vec![0.0, 0.0, 0.0]),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         });
         let Response::Registered { generation: next, .. } = resp else { panic!("{resp:?}") };
         assert_eq!(next, generation + 1, "generation counter for {name} must survive recovery");

@@ -22,7 +22,7 @@ use systec_codegen::{ExecContext, Parallelism};
 use systec_exec::Counters;
 use systec_ir::parse_einsum;
 use systec_kernels::{parse_symmetry, Prepared};
-use systec_serve::protocol::{Request, Response, StorageFormat, TensorPayload, Variant};
+use systec_serve::protocol::{Placement, Request, Response, StorageFormat, TensorPayload, Variant};
 use systec_serve::{oracle_response, serve_with, Client, Engine, ServerConfig};
 use systec_tensor::generate::{random_dense, rng, symmetric_erdos_renyi};
 use systec_tensor::{csf, SparseTensor, Tensor};
@@ -53,12 +53,14 @@ fn concurrent_identical_runs_coalesce_and_stay_byte_identical() {
         dims: vec![n, n],
         payload: TensorPayload::Coo(a.entries().map(|(c, v)| (c.to_vec(), v)).collect()),
         format: StorageFormat::Auto,
+        placement: Placement::Hash,
     };
     let reg_x = Request::RegisterTensor {
         name: "x".into(),
         dims: vec![n],
         payload: TensorPayload::Dense(x.as_slice().to_vec()),
         format: StorageFormat::Auto,
+        placement: Placement::Hash,
     };
     for req in [&reg_a, &reg_x] {
         let resp = setup.request(req).unwrap();
@@ -70,6 +72,7 @@ fn concurrent_identical_runs_coalesce_and_stay_byte_identical() {
         inputs: vec![],
         variant: Variant::Systec,
         threads: Some(1),
+        sharded: false,
     };
 
     // The serial oracle: same plan path, direct execution, same codec.
@@ -103,7 +106,7 @@ fn concurrent_identical_runs_coalesce_and_stay_byte_identical() {
                 Response::Prepared { kernel, .. } => kernel,
                 other => panic!("client {client_id}: prepare failed: {other:?}"),
             };
-            let run = Request::Run { kernel, full: false }.encode();
+            let run = Request::Run { kernel, full: false, shard: None }.encode();
             barrier.wait();
             let mut lines = Vec::with_capacity(RUNS_PER_CLIENT);
             for round in 0..RUNS_PER_CLIENT {

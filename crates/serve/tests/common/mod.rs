@@ -7,7 +7,7 @@
 // different subset of it.
 #![allow(dead_code)]
 
-use systec_serve::protocol::{Request, Response, StorageFormat, TensorPayload, Variant};
+use systec_serve::protocol::{Placement, Request, Response, StorageFormat, TensorPayload, Variant};
 use systec_serve::{serve_with, Client, Engine, FaultPlan, RunningServer, ServerConfig};
 use systec_tensor::generate::{random_dense, rng, symmetric_erdos_renyi};
 
@@ -46,12 +46,14 @@ fn input_requests() -> Vec<Request> {
             dims: vec![n, n],
             payload: TensorPayload::Coo(a.entries().map(|(c, v)| (c.to_vec(), v)).collect()),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         },
         Request::RegisterTensor {
             name: "x".into(),
             dims: vec![n],
             payload: TensorPayload::Dense(x.as_slice().to_vec()),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         },
     ]
 }
@@ -65,6 +67,7 @@ fn prepare_request() -> Request {
         inputs: vec![],
         variant: Variant::Systec,
         threads: Some(2),
+        sharded: false,
     }
 }
 
@@ -112,7 +115,7 @@ pub fn oracle_line() -> String {
     let engine = Engine::new();
     register_inputs_engine(&engine);
     let kernel = prepare_kernel_engine(&engine);
-    let line = engine.handle(&Request::Run { kernel, full: false }).encode();
+    let line = engine.handle(&Request::Run { kernel, full: false, shard: None }).encode();
     assert!(matches!(Response::decode(&line), Ok(Response::Ran { .. })), "{line}");
     line
 }

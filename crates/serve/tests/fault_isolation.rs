@@ -20,7 +20,9 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use systec_serve::protocol::{ErrorCode, Request, Response, StorageFormat, TensorPayload, Variant};
+use systec_serve::protocol::{
+    ErrorCode, Placement, Request, Response, StorageFormat, TensorPayload, Variant,
+};
 use systec_serve::{serve, Client, Engine};
 
 #[test]
@@ -39,7 +41,9 @@ fn faulty_connections_are_isolated_and_shutdown_leaks_nothing() {
         let expected = oracle;
         let mut completed = 0u64;
         while !victim_stop.load(Ordering::SeqCst) {
-            let line = client.send_raw(&Request::Run { kernel, full: false }.encode()).unwrap();
+            let line = client
+                .send_raw(&Request::Run { kernel, full: false, shard: None }.encode())
+                .unwrap();
             assert_eq!(line, expected, "in-flight runs must be untouched by faulty peers");
             completed += 1;
         }
@@ -75,10 +79,11 @@ fn faulty_connections_are_isolated_and_shutdown_leaks_nothing() {
             inputs: vec![("z".into(), "never_registered".into())],
             variant: Variant::Systec,
             threads: Some(1),
+            sharded: false,
         })
         .unwrap();
     assert!(matches!(resp, Response::Error { code: ErrorCode::UnknownTensor, .. }), "{resp:?}");
-    let resp = faulty.request(&Request::Run { kernel: 4096, full: false }).unwrap();
+    let resp = faulty.request(&Request::Run { kernel: 4096, full: false, shard: None }).unwrap();
     assert!(matches!(resp, Response::Error { code: ErrorCode::UnknownKernel, .. }), "{resp:?}");
     let resp = faulty
         .request(&Request::RegisterTensor {
@@ -86,6 +91,7 @@ fn faulty_connections_are_isolated_and_shutdown_leaks_nothing() {
             dims: vec![2, 2],
             payload: TensorPayload::Coo(vec![(vec![9, 9], 1.0)]),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         })
         .unwrap();
     assert!(matches!(resp, Response::Error { code: ErrorCode::BadTensor, .. }), "{resp:?}");
@@ -97,7 +103,8 @@ fn faulty_connections_are_isolated_and_shutdown_leaks_nothing() {
     let workers_after_warmup = rayon::pool_workers_spawned();
     let mut churn = Client::connect(addr).unwrap();
     for _ in 0..50 {
-        let line = churn.send_raw(&Request::Run { kernel, full: false }.encode()).unwrap();
+        let line =
+            churn.send_raw(&Request::Run { kernel, full: false, shard: None }.encode()).unwrap();
         assert!(matches!(Response::decode(&line), Ok(Response::Ran { .. })));
     }
     assert_eq!(
@@ -193,4 +200,60 @@ fn programmatic_shutdown_joins_all_handlers() {
     for c in &mut idle {
         assert!(c.request(&Request::Ping).is_err(), "sockets are shut down");
     }
+}
+
+#[test]
+fn a_panicking_spec_is_circuit_broken_at_prepare_over_the_wire() {
+    use std::sync::Arc;
+    use systec_serve::{FaultSite, ServerConfig};
+
+    // Every run of the harness spec panics. Budget 2: two full
+    // prepare → panic → quarantine bounces, then the *spec* is refused
+    // at prepare time with a structured, non-retryable error — over
+    // the wire, exactly like the engine-level unit tier promises.
+    let plan = Arc::new(common::plan(0xB0DCE7).rate(FaultSite::ExecPanic, 1_000_000));
+    let engine = Engine::new().with_fault_plan(plan).with_panic_budget(2);
+    let common::Harness { server, kernel, .. } =
+        common::warmed_server_with(engine, ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let strike = |client: &mut Client, kernel: u64| {
+        let resp = client.request(&Request::Run { kernel, full: false, shard: None }).unwrap();
+        assert!(
+            matches!(resp, Response::Error { code: ErrorCode::Internal, .. }),
+            "a panicking run answers internal_error: {resp:?}"
+        );
+    };
+    strike(&mut client, kernel);
+    // The quarantine bounce: a fresh prepare mints a fresh handle
+    // (the quarantined one must not satisfy dedup) and panics again.
+    let bounced = common::prepare_kernel(&mut client);
+    assert_ne!(bounced, kernel, "quarantined handles must not satisfy dedup");
+    strike(&mut client, bounced);
+
+    // Budget exhausted: the bounce is broken before another doomed
+    // compile.
+    let resp = client
+        .request(&Request::Prepare {
+            einsum: "for i, j: y[i] += A[i, j] * x[j]".into(),
+            sym: vec!["A".into()],
+            inputs: vec![],
+            variant: Variant::Systec,
+            threads: Some(2),
+            sharded: false,
+        })
+        .unwrap();
+    let Response::Error { code, message } = resp else { panic!("{resp:?}") };
+    assert_eq!(code, ErrorCode::KernelQuarantined);
+    assert!(message.contains("circuit-broken"), "{message}");
+
+    // Re-registering the data bumps its generation, which re-keys the
+    // spec and re-opens the breaker: clients with fresh data are not
+    // locked out by the old spec's strikes.
+    common::register_inputs(&mut client);
+    let reopened = common::prepare_kernel(&mut client);
+    assert_ne!(reopened, bounced);
+
+    assert_eq!(client.request(&Request::Shutdown).unwrap(), Response::ShuttingDown);
+    server.wait();
 }

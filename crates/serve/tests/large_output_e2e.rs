@@ -26,7 +26,7 @@ use systec_codegen::{ExecContext, Parallelism};
 use systec_exec::Counters;
 use systec_ir::parse_einsum;
 use systec_kernels::{parse_symmetry, Prepared};
-use systec_serve::protocol::{Request, Response, StorageFormat, TensorPayload, Variant};
+use systec_serve::protocol::{Placement, Request, Response, StorageFormat, TensorPayload, Variant};
 use systec_serve::{oracle_response, serve_with, Client, Engine, ServerConfig};
 use systec_tensor::generate::{random_dense, rng, sprand};
 use systec_tensor::{csf, SparseTensor, Tensor};
@@ -55,12 +55,14 @@ fn large_outputs_replicate_off_the_executor_and_stay_byte_identical() {
         dims: vec![n, n],
         payload: TensorPayload::Coo(a.entries().map(|(c, v)| (c.to_vec(), v)).collect()),
         format: StorageFormat::Auto,
+        placement: Placement::Hash,
     };
     let reg_b = Request::RegisterTensor {
         name: "B".into(),
         dims: vec![n, n],
         payload: TensorPayload::Dense(b.as_slice().to_vec()),
         format: StorageFormat::Auto,
+        placement: Placement::Hash,
     };
     for req in [&reg_a, &reg_b] {
         let resp = setup.request(req).unwrap();
@@ -72,6 +74,7 @@ fn large_outputs_replicate_off_the_executor_and_stay_byte_identical() {
         inputs: vec![],
         variant: Variant::Systec,
         threads: Some(1),
+        sharded: false,
     };
 
     // The serial oracle: same plan path, direct execution, same codec.
@@ -107,7 +110,7 @@ fn large_outputs_replicate_off_the_executor_and_stay_byte_identical() {
                 Response::Prepared { kernel, .. } => kernel,
                 other => panic!("client {client_id}: prepare failed: {other:?}"),
             };
-            let run = Request::Run { kernel, full: false }.encode();
+            let run = Request::Run { kernel, full: false, shard: None }.encode();
             barrier.wait();
             let mut matched = 0usize;
             for round in 0..RUNS_PER_CLIENT {

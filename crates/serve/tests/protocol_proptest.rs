@@ -8,9 +8,10 @@
 
 use proptest::prelude::*;
 use systec_serve::protocol::{
-    CachePayload, CounterPayload, ErrorCode, KernelStatPayload, OutputPayload, PoolPayload,
-    Request, RequestCountsPayload, Response, ServePayload, SlowRunPayload, StorageFormat,
-    TensorPayload, Variant, Warning, WarningKind,
+    CachePayload, CounterPayload, ErrorCode, KernelStatPayload, MergeRule, OutputPayload,
+    Placement, PoolPayload, Request, RequestCountsPayload, Response, RouterCountsPayload,
+    ServePayload, ShardStatPayload, SlowRunPayload, StorageFormat, TensorPayload, Variant, Warning,
+    WarningKind,
 };
 
 // ---------------------------------------------------------------------
@@ -63,12 +64,13 @@ fn payload_strategy() -> impl Strategy<Value = (Vec<usize>, TensorPayload)> {
 }
 
 fn request_strategy() -> impl Strategy<Value = Request> {
-    let register = (name_strategy(), payload_strategy(), 0usize..3).prop_map(
-        |(name, (dims, payload), fmt)| Request::RegisterTensor {
+    let register = (name_strategy(), payload_strategy(), 0usize..3, any::<bool>()).prop_map(
+        |(name, (dims, payload), fmt, replicate)| Request::RegisterTensor {
             name,
             dims,
             payload,
             format: [StorageFormat::Auto, StorageFormat::Dense, StorageFormat::Csf][fmt],
+            placement: if replicate { Placement::Replicate } else { Placement::Hash },
         },
     );
     let prepare = (
@@ -78,8 +80,9 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         any::<bool>(),
         any::<bool>(),
         0usize..5,
+        any::<bool>(),
     )
-        .prop_map(|(einsum, sym, mut inputs, naive, with_threads, threads)| {
+        .prop_map(|(einsum, sym, mut inputs, naive, with_threads, threads, sharded)| {
             // Duplicate mapping keys decode ambiguously by design; make
             // keys unique for the round-trip property.
             inputs.sort();
@@ -90,9 +93,19 @@ fn request_strategy() -> impl Strategy<Value = Request> {
                 inputs,
                 variant: if naive { Variant::Naive } else { Variant::Systec },
                 threads: with_threads.then_some(threads),
+                sharded,
             }
         });
-    let run = (0u64..1000, any::<bool>()).prop_map(|(kernel, full)| Request::Run { kernel, full });
+    let run = (0u64..1000, any::<bool>(), any::<bool>(), 1u64..8, 0u64..8).prop_map(
+        |(kernel, full, with_shard, shards, k)| Request::Run {
+            kernel,
+            // `shard` and `full` are mutually exclusive on the engine but
+            // both shapes must ride the wire; keep the strategy legal at
+            // the protocol level only (k < n).
+            full: full && !with_shard,
+            shard: with_shard.then_some((k % shards, shards)),
+        },
+    );
     let unregister = name_strategy().prop_map(|name| Request::Unregister { name });
     prop_oneof![
         register,
@@ -146,13 +159,26 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         .prop_map(|(name, nnz, generation)| Response::Registered { name, nnz, generation });
     let unregistered = (name_strategy(), any::<bool>())
         .prop_map(|(name, existed)| Response::Unregistered { name, existed });
-    let prepared = (0u64..1000, any::<bool>(), any::<bool>(), name_strategy()).prop_map(
-        |(kernel, splittable, with_warning, message)| Response::Prepared {
-            kernel,
-            splittable,
-            warning: with_warning.then_some(Warning { kind: WarningKind::SerialFallback, message }),
+    let split_strategy = prop::collection::vec((name_strategy(), 0usize..4), 0..3).prop_map(
+        |mut entries| -> Vec<(String, MergeRule)> {
+            entries.sort();
+            entries.dedup_by(|a, b| a.0 == b.0);
+            entries
+                .into_iter()
+                .map(|(name, rule)| {
+                    (name, [MergeRule::Rows, MergeRule::Add, MergeRule::Min, MergeRule::Max][rule])
+                })
+                .collect()
         },
     );
+    let prepared = (0u64..1000, any::<bool>(), any::<bool>(), split_strategy, name_strategy())
+        .prop_map(|(kernel, splittable, with_split, split, message)| Response::Prepared {
+            kernel,
+            splittable,
+            split: with_split.then_some(split),
+            warning: (!with_split)
+                .then_some(Warning { kind: WarningKind::SerialFallback, message }),
+        });
     let ran = (outputs_strategy(), counters_strategy())
         .prop_map(|(outputs, counters)| Response::Ran { outputs, counters });
     let kernel_stat = (
@@ -250,7 +276,34 @@ fn response_strategy() -> impl Strategy<Value = Response> {
              systec_requests_total{{verb=\"{salt}\"}} 3\n"
         ),
     });
-    let error = (0usize..11, name_strategy()).prop_map(|(code, message)| Response::Error {
+    let shard_stat =
+        (0u64..8, name_strategy(), any::<bool>(), prop::collection::vec(0u64..9000, 4)).prop_map(
+            |(shard, addr, healthy, v)| ShardStatPayload {
+                shard,
+                addr,
+                healthy,
+                vnodes: v[0],
+                keys: v[1],
+                forwarded: v[2],
+                errors: v[3],
+            },
+        );
+    let cluster_stats =
+        (prop::collection::vec(0u64..9000, 7), prop::collection::vec(shard_stat, 0..4)).prop_map(
+            |(r, shards)| Response::ClusterStats {
+                router: RouterCountsPayload {
+                    register_tensor: r[0],
+                    prepare: r[1],
+                    run: r[2],
+                    sharded_runs: r[3],
+                    fanouts: r[4],
+                    replicated: r[5],
+                    errors: r[6],
+                },
+                shards,
+            },
+        );
+    let error = (0usize..12, name_strategy()).prop_map(|(code, message)| Response::Error {
         code: [
             ErrorCode::Parse,
             ErrorCode::UnknownTensor,
@@ -263,6 +316,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             ErrorCode::AdmissionRejected,
             ErrorCode::StaleTensor,
             ErrorCode::KernelQuarantined,
+            ErrorCode::ShardUnavailable,
         ][code],
         message,
     });
@@ -272,6 +326,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         prepared,
         ran,
         stats,
+        cluster_stats,
         metrics,
         Just(Response::Pong),
         Just(Response::ShuttingDown),

@@ -11,7 +11,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use systec_serve::protocol::{Request, Response, StorageFormat, TensorPayload, Variant};
+use systec_serve::protocol::{Placement, Request, Response, StorageFormat, TensorPayload, Variant};
 use systec_serve::Engine;
 
 struct CountingAlloc;
@@ -72,6 +72,7 @@ fn warmed_engine() -> (Engine, u64) {
         dims: vec![n, n],
         payload: TensorPayload::Coo(entries),
         format: StorageFormat::Auto,
+        placement: Placement::Hash,
     });
     assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
     let resp = engine.handle(&Request::RegisterTensor {
@@ -79,6 +80,7 @@ fn warmed_engine() -> (Engine, u64) {
         dims: vec![n],
         payload: TensorPayload::Dense((0..n).map(|k| 1.0 + k as f64 / 7.0).collect()),
         format: StorageFormat::Auto,
+        placement: Placement::Hash,
     });
     assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
     let resp = engine.handle(&Request::Prepare {
@@ -87,6 +89,7 @@ fn warmed_engine() -> (Engine, u64) {
         inputs: vec![],
         variant: Variant::Systec,
         threads: Some(1),
+        sharded: false,
     });
     let Response::Prepared { kernel, .. } = resp else { panic!("prepare failed: {resp:?}") };
     (engine, kernel)
@@ -137,6 +140,7 @@ fn interleaving_kernels_stays_allocation_free_once_both_are_warm() {
         inputs: vec![],
         variant: Variant::Systec,
         threads: Some(1),
+        sharded: false,
     });
     let Response::Prepared { kernel: syprd, .. } = resp else { panic!("{resp:?}") };
     for _ in 0..3 {
@@ -169,7 +173,7 @@ fn telemetry_off_freezes_recording_without_changing_results() {
     let (engine, kernel) = warmed_engine();
 
     set_mode(TelemetryMode::On);
-    let on_line = engine.handle(&Request::Run { kernel, full: false }).encode();
+    let on_line = engine.handle(&Request::Run { kernel, full: false, shard: None }).encode();
     let counted_while_on = {
         // One recorded sample per pooled run while On.
         let Response::Stats { kernels, .. } = engine.handle(&Request::Stats) else {
@@ -180,7 +184,7 @@ fn telemetry_off_freezes_recording_without_changing_results() {
     };
 
     set_mode(TelemetryMode::Off);
-    let off_line = engine.handle(&Request::Run { kernel, full: false }).encode();
+    let off_line = engine.handle(&Request::Run { kernel, full: false, shard: None }).encode();
     let Response::Stats { kernels, .. } = engine.handle(&Request::Stats) else {
         panic!("stats failed")
     };

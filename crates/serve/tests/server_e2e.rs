@@ -24,7 +24,7 @@ use systec_codegen::{ExecContext, Parallelism};
 use systec_exec::Counters;
 use systec_ir::parse_einsum;
 use systec_kernels::{clear_plan_cache, parse_symmetry, plan_cache_stats, Prepared};
-use systec_serve::protocol::{Request, Response, StorageFormat, TensorPayload, Variant};
+use systec_serve::protocol::{Placement, Request, Response, StorageFormat, TensorPayload, Variant};
 use systec_serve::{oracle_response, serve, Client, Engine};
 use systec_tensor::generate::{random_dense, rng, sprand, symmetric_erdos_renyi};
 use systec_tensor::{csf, CooTensor, DenseTensor, Tensor};
@@ -91,6 +91,7 @@ fn prepare_request(case: &KernelCase) -> Request {
         inputs: vec![],
         variant: case.variant,
         threads: Some(case.threads),
+        sharded: false,
     }
 }
 
@@ -132,6 +133,7 @@ fn dataset() -> Dataset {
         dims: t.dims().to_vec(),
         payload: TensorPayload::Dense(t.as_slice().to_vec()),
         format: StorageFormat::Auto,
+        placement: Placement::Hash,
     };
     let requests = vec![
         Request::RegisterTensor {
@@ -139,12 +141,14 @@ fn dataset() -> Dataset {
             dims: vec![n, n],
             payload: coo_payload(&a),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         },
         Request::RegisterTensor {
             name: "G".into(),
             dims: vec![n, n],
             payload: coo_payload(&g),
             format: StorageFormat::Auto,
+            placement: Placement::Hash,
         },
         dense_req("x", &x),
         dense_req("d", &d),
@@ -225,7 +229,7 @@ fn thirty_two_connections_hundred_requests_byte_deterministic() {
             let mut lines: Vec<Vec<String>> = vec![Vec::new(); all_cases.len()];
             for round in 0..RUNS_PER_KERNEL {
                 for (k, &handle) in handles.iter().enumerate() {
-                    let req = Request::Run { kernel: handle, full: false };
+                    let req = Request::Run { kernel: handle, full: false, shard: None };
                     let line = client
                         .send_raw(&req.encode())
                         .unwrap_or_else(|e| panic!("client {client_id} round {round}: {e}"));

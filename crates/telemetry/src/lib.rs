@@ -423,6 +423,62 @@ impl ServeMetrics {
     }
 }
 
+/// Cluster-router metrics, owned by one `systec-router` instance (the
+/// same ownership model as [`ServeMetrics`]): the router holds one set
+/// and renders it through the `metrics` verb. Traffic counters use the
+/// ungated paths so the accounting survives `--telemetry off`; the
+/// merge-latency histogram stays gated like every other histogram.
+#[derive(Debug)]
+pub struct RouterMetrics {
+    /// Requests forwarded to a single owning shard.
+    pub forwarded: Counter,
+    /// Sharded runs fanned out to every shard.
+    pub fanouts: Counter,
+    /// Requests broadcast to all shards (replicated registers,
+    /// sharded prepares, shutdown).
+    pub broadcasts: Counter,
+    /// Sharded-run merges performed (one per fan-out that came back
+    /// healthy on every shard).
+    pub merges: Counter,
+    /// Merge latency in microseconds (split extraction + reduction
+    /// fold + re-encode), gated on the global mode.
+    pub merge_us: Histogram,
+    /// Transport failures talking to shards (dropped connections,
+    /// refused connects).
+    pub shard_errors: Counter,
+    /// Requests answered `shard_unavailable` because the owning shard
+    /// was down.
+    pub shard_unavailable: Counter,
+    /// Successful shard reconnects (each bumps the shard's handle
+    /// epoch, invalidating handles minted before the restart).
+    pub reconnects: Counter,
+    /// Shards currently connected.
+    pub shards_healthy: Gauge,
+}
+
+impl RouterMetrics {
+    /// A zeroed set.
+    pub const fn new() -> Self {
+        Self {
+            forwarded: Counter::new(),
+            fanouts: Counter::new(),
+            broadcasts: Counter::new(),
+            merges: Counter::new(),
+            merge_us: Histogram::new(),
+            shard_errors: Counter::new(),
+            shard_unavailable: Counter::new(),
+            reconnects: Counter::new(),
+            shards_healthy: Gauge::new(),
+        }
+    }
+}
+
+impl Default for RouterMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Global registry
 // ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@
 //! systec "for i, j: y[i] += A[i, j] * x[j]" --sym A:0-1      # explicit partition
 //! systec serve --addr 127.0.0.1:7171 --threads 2             # einsum server
 //! systec client --addr 127.0.0.1:7171 '{"op":"ping"}'        # scripted exchange
+//! systec cluster --shards 3 --listen 127.0.0.1:7070          # sharded cluster
 //! ```
 
 use std::collections::HashMap;
@@ -92,7 +93,25 @@ fn usage() -> &'static str {
                              poll a server's stats and render a per-kernel latency\n\
                              table (runs, p50/p90/p99/max, slow runs) plus cache\n\
                              and worker-pool counters, every N ms (default 1000).\n\
-                             --iters K stops after K refreshes (0 = forever)\n"
+                             --iters K stops after K refreshes (0 = forever)\n\
+       systec route --listen HOST:PORT --shard HOST:PORT [--shard HOST:PORT ...]\n\
+                    [--vnodes N] [--retry N]\n\
+                             front a cluster of running systec-serve workers: one\n\
+                             endpoint speaking the worker protocol, consistent-hash\n\
+                             routing by tensor name ({tag} hash tags co-locate),\n\
+                             \"placement\":\"replicate\" broadcasts, \"sharded\":true\n\
+                             prepares fan runs out as row ranges and merge them\n\
+                             deterministically (see the README's Sharded serving\n\
+                             section). --vnodes sets virtual nodes per shard\n\
+                             (default 64); --retry N retries the initial shard\n\
+                             connects\n\
+       systec cluster --shards N [--listen HOST:PORT] [--threads T]\n\
+                      [--data-dir PATH] [--vnodes V]\n\
+                             spawn N systec-serve workers on loopback ports plus a\n\
+                             router fronting them, and supervise: a worker that\n\
+                             dies is respawned on its old port (with its old\n\
+                             --data-dir PATH/shard-K, so the durable registry\n\
+                             recovers) until a client sends {\"op\":\"shutdown\"}\n"
 }
 
 fn serve_main(args: &[String]) -> ExitCode {
@@ -247,6 +266,194 @@ fn client_main(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn route_main(args: &[String]) -> ExitCode {
+    let mut listen = "127.0.0.1:7070".to_string();
+    let mut shards: Vec<String> = Vec::new();
+    let mut config = systec::router::RouterConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => match it.next() {
+                Some(v) => listen = v.clone(),
+                None => return fail("--listen needs HOST:PORT"),
+            },
+            "--shard" => match it.next() {
+                Some(v) => shards.push(v.clone()),
+                None => return fail("--shard needs HOST:PORT"),
+            },
+            "--vnodes" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 1 => config.vnodes = v,
+                _ => return fail("--vnodes needs a number >= 1"),
+            },
+            "--retry" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(v) => config.connect_retry = RetryPolicy::with_attempts(v + 1),
+                None => return fail("--retry needs a number"),
+            },
+            other => return fail(&format!("unknown route option `{other}`\n\n{}", usage())),
+        }
+    }
+    if shards.is_empty() {
+        return fail("systec route needs at least one --shard HOST:PORT");
+    }
+    let running = match systec::router::route(listen.as_str(), &shards, config) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("cannot start router on {listen}: {e}")),
+    };
+    println!("systec-router listening on {}", running.addr());
+    running.wait();
+    println!("systec-router stopped");
+    ExitCode::SUCCESS
+}
+
+/// One supervised worker process of `systec cluster`.
+struct ClusterWorker {
+    child: std::process::Child,
+    /// The concrete loopback address the worker bound (port 0 resolved
+    /// at first spawn; respawns reuse it so the ring stays stable).
+    addr: String,
+    data_dir: Option<String>,
+}
+
+/// Spawns one `systec serve` worker and reads its banner for the bound
+/// address. The rest of its stdout is drained by a detached thread so
+/// the worker's shutdown message never blocks or breaks the pipe.
+fn spawn_cluster_worker(
+    exe: &std::path::Path,
+    addr: &str,
+    threads: usize,
+    data_dir: Option<&str>,
+) -> Result<(std::process::Child, String), String> {
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("serve")
+        .arg("--addr")
+        .arg(addr)
+        .arg("--threads")
+        .arg(threads.to_string())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit());
+    if let Some(dir) = data_dir {
+        cmd.arg("--data-dir").arg(dir);
+    }
+    let mut child = cmd.spawn().map_err(|e| format!("cannot spawn worker: {e}"))?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut banner = String::new();
+    if reader.read_line(&mut banner).map_err(|e| format!("reading worker banner: {e}"))? == 0 {
+        let _ = child.wait();
+        return Err(format!("worker on {addr} exited before its banner"));
+    }
+    let bound = banner
+        .trim()
+        .rsplit(' ')
+        .next()
+        .ok_or_else(|| format!("malformed worker banner: {banner:?}"))?
+        .to_string();
+    std::thread::spawn(move || {
+        let _ = std::io::copy(&mut reader, &mut std::io::sink());
+    });
+    Ok((child, bound))
+}
+
+fn cluster_main(args: &[String]) -> ExitCode {
+    let mut shards = 2usize;
+    let mut listen = "127.0.0.1:7070".to_string();
+    let mut threads = 1usize;
+    let mut data_dir: Option<String> = None;
+    let mut config = systec::router::RouterConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--shards" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 1 => shards = v,
+                _ => return fail("--shards needs a number >= 1"),
+            },
+            "--listen" => match it.next() {
+                Some(v) => listen = v.clone(),
+                None => return fail("--listen needs HOST:PORT"),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threads = v,
+                None => return fail("--threads needs a number"),
+            },
+            "--data-dir" => match it.next() {
+                Some(v) => data_dir = Some(v.clone()),
+                None => return fail("--data-dir needs a directory path"),
+            },
+            "--vnodes" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 1 => config.vnodes = v,
+                _ => return fail("--vnodes needs a number >= 1"),
+            },
+            other => return fail(&format!("unknown cluster option `{other}`\n\n{}", usage())),
+        }
+    }
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => return fail(&format!("cannot locate the systec binary: {e}")),
+    };
+    let mut workers = Vec::with_capacity(shards);
+    for k in 0..shards {
+        let dir = data_dir.as_ref().map(|base| format!("{base}/shard-{k}"));
+        match spawn_cluster_worker(&exe, "127.0.0.1:0", threads, dir.as_deref()) {
+            Ok((child, addr)) => {
+                println!("cluster shard {k}: {addr}");
+                workers.push(ClusterWorker { child, addr, data_dir: dir });
+            }
+            Err(e) => return fail(&format!("shard {k}: {e}")),
+        }
+    }
+    let shard_addrs: Vec<String> = workers.iter().map(|w| w.addr.clone()).collect();
+    let running = match systec::router::route(listen.as_str(), &shard_addrs, config) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("cannot start router on {listen}: {e}")),
+    };
+    println!("systec-router listening on {}", running.addr());
+    let shutdown = running.router().shutdown_flag();
+    let workers = std::sync::Arc::new(std::sync::Mutex::new(workers));
+    let supervised = std::sync::Arc::clone(&workers);
+    let supervisor_exe = exe.clone();
+    let supervisor = std::thread::spawn(move || {
+        while !shutdown.load(std::sync::atomic::Ordering::SeqCst) {
+            {
+                let mut workers =
+                    supervised.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                for (k, worker) in workers.iter_mut().enumerate() {
+                    let exited = matches!(worker.child.try_wait(), Ok(Some(_)));
+                    if !exited {
+                        continue;
+                    }
+                    // The worker died without a shutdown: respawn it on
+                    // its old port (and old durable registry) so the
+                    // router's next reconnect finds it rejoined.
+                    eprintln!("cluster shard {k} ({}) died; respawning", worker.addr);
+                    match spawn_cluster_worker(
+                        &supervisor_exe,
+                        &worker.addr,
+                        threads,
+                        worker.data_dir.as_deref(),
+                    ) {
+                        Ok((child, addr)) => {
+                            worker.child = child;
+                            worker.addr = addr;
+                            eprintln!("cluster shard {k} rejoined on {}", worker.addr);
+                        }
+                        Err(e) => eprintln!("cluster shard {k} respawn failed: {e}"),
+                    }
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+    });
+    running.wait();
+    let _ = supervisor.join();
+    // The shutdown broadcast already reached every live worker; reap.
+    let mut workers = workers.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    for worker in workers.iter_mut() {
+        let _ = worker.child.wait();
+    }
+    println!("systec-cluster stopped");
+    ExitCode::SUCCESS
 }
 
 fn top_main(args: &[String]) -> ExitCode {
@@ -447,6 +654,8 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("serve") => return serve_main(&argv[1..]),
         Some("client") => return client_main(&argv[1..]),
+        Some("route") => return route_main(&argv[1..]),
+        Some("cluster") => return cluster_main(&argv[1..]),
         Some("top") => return top_main(&argv[1..]),
         _ => {}
     }

@@ -18,6 +18,9 @@
 //!   the prepare/run harness.
 //! * [`serve`] — the long-lived einsum server: line-delimited JSON over
 //!   TCP, pooled execution state, single-flight plan builds.
+//! * [`router`] — the sharded-serving front: consistent-hash routing
+//!   across `systec-serve` workers, row-range fan-out, deterministic
+//!   reduction merges.
 //!
 //! ## Example
 //!
@@ -42,5 +45,6 @@ pub use systec_exec as exec;
 pub use systec_ir as ir;
 pub use systec_kernels as kernels;
 pub use systec_rewrite as rewrite;
+pub use systec_router as router;
 pub use systec_serve as serve;
 pub use systec_tensor as tensor;

@@ -1,0 +1,243 @@
+//! Cluster chaos tier: `kill -9` one shard of a live cluster
+//! mid-stream and watch the blast radius stay contained.
+//!
+//! * requests owned by the dead shard answer a **retryable**
+//!   `shard_unavailable` error — structured, never a dropped client
+//!   connection;
+//! * requests owned by the survivors keep serving **byte-identically**
+//!   to their pre-crash responses;
+//! * the restarted shard (same port, same `--data-dir`) rejoins: the
+//!   router reconnects, the durable registry recovers the replicated
+//!   tensors (generation counters resumed, not reset), and a
+//!   re-prepared sharded kernel merges byte-identically to before the
+//!   crash.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use systec::router::{route, HashRing, RouterConfig};
+
+struct Worker {
+    child: Child,
+    addr: String,
+    data_dir: std::path::PathBuf,
+}
+
+impl Worker {
+    /// Spawns `systec serve` on `addr` with a durable registry in
+    /// `dir`; `127.0.0.1:0` asks the OS for a port, a concrete `addr`
+    /// rebinds it (the restart path).
+    fn spawn(addr: &str, dir: &std::path::Path) -> Worker {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_systec"))
+            .args(["serve", "--addr", addr, "--data-dir", dir.to_str().expect("utf-8 temp path")])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn systec serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut banner = String::new();
+        reader.read_line(&mut banner).expect("readable banner");
+        let bound =
+            banner.trim().rsplit(' ').next().expect("banner ends with the address").to_string();
+        assert!(bound.contains(':'), "unexpected banner: {banner}");
+        std::thread::spawn(move || {
+            let _ = std::io::copy(&mut reader, &mut std::io::sink());
+        });
+        Worker { child, addr: bound, data_dir: dir.to_path_buf() }
+    }
+
+    /// `kill -9`: no drain, no journal flush, no goodbye to the router.
+    fn kill_dash_nine(&mut self) {
+        self.child.kill().expect("SIGKILL the worker");
+        self.child.wait().expect("reap the worker");
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn exchange(stream: &mut TcpStream, line: &str) -> String {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(response.ends_with('\n'), "response line truncated: {response:?}");
+    response.pop();
+    response
+}
+
+fn field_u64(json: &str, key: &str) -> u64 {
+    let tag = format!("\"{key}\":");
+    let rest = &json[json.find(&tag).unwrap_or_else(|| panic!("no {key} in {json}")) + tag.len()..];
+    rest.chars().take_while(char::is_ascii_digit).collect::<String>().parse().unwrap()
+}
+
+const REGISTER_A2: &str = r#"{"op":"register_tensor","name":"A2","dims":[4,4],"coo":[[0,1,2.0],[1,0,2.0],[2,3,3.0],[3,2,3.0],[2,2,5.0]],"placement":"replicate"}"#;
+const REGISTER_X2: &str = r#"{"op":"register_tensor","name":"x2","dims":[4],"dense":[1.0,2.0,3.0,4.0],"placement":"replicate"}"#;
+const PREPARE_SHARDED: &str = r#"{"op":"prepare","einsum":"for i, j: y[i] += A2[i, j] * x2[j]","sym":["A2"],"threads":1,"sharded":true}"#;
+
+#[test]
+fn kill_nine_one_shard_contains_the_blast_and_rejoins() {
+    let base = std::env::temp_dir().join(format!("systec-cluster-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+
+    let mut workers: Vec<Worker> =
+        (0..3).map(|k| Worker::spawn("127.0.0.1:0", &base.join(format!("shard-{k}")))).collect();
+    let shard_addrs: Vec<String> = workers.iter().map(|w| w.addr.clone()).collect();
+    let running =
+        route("127.0.0.1:0", &shard_addrs, RouterConfig::default()).expect("start router");
+    let mut conn = TcpStream::connect(running.addr()).unwrap();
+
+    // Pick the victim by the ring: `doomed` names the shard we will
+    // kill, `safe` names some survivor.
+    let ring = HashRing::new(3);
+    let victim = ring.shard_for("doomed");
+    let safe = (0..1000)
+        .map(|k| format!("safe{k}"))
+        .find(|name| ring.shard_for(name) != victim)
+        .expect("some name lands on a survivor");
+
+    // Pre-crash traffic: replicated operands, a sharded kernel, a
+    // hash-placed tensor on the victim, a single-shard kernel on a
+    // survivor — and the byte oracles for both kernels.
+    for line in [REGISTER_A2, REGISTER_X2] {
+        let r = exchange(&mut conn, line);
+        assert!(r.starts_with("{\"ok\":true"), "{r}");
+    }
+    let doomed_register =
+        r#"{"op":"register_tensor","name":"doomed","dims":[2],"dense":[1.0,2.0]}"#.to_string();
+    let r = exchange(&mut conn, &doomed_register);
+    assert!(r.starts_with("{\"ok\":true"), "{r}");
+    assert_eq!(field_u64(&r, "generation"), 0, "{r}");
+    let safe_register = format!(
+        r#"{{"op":"register_tensor","name":"{safe}","dims":[4],"dense":[1.0,2.0,3.0,4.0]}}"#
+    );
+    let r = exchange(&mut conn, &safe_register);
+    assert!(r.starts_with("{\"ok\":true"), "{r}");
+
+    let p = exchange(&mut conn, PREPARE_SHARDED);
+    assert!(p.starts_with("{\"ok\":true"), "{p}");
+    let sharded_kernel = field_u64(&p, "kernel");
+    let sharded_run = format!(r#"{{"op":"run","kernel":{sharded_kernel}}}"#);
+    let sharded_oracle = exchange(&mut conn, &sharded_run);
+    assert!(sharded_oracle.starts_with("{\"ok\":true"), "{sharded_oracle}");
+
+    let safe_prepare = format!(
+        r#"{{"op":"prepare","einsum":"for i: c[i] += S[i] * S[i]","inputs":{{"S":"{safe}"}},"threads":1}}"#
+    );
+    let p = exchange(&mut conn, &safe_prepare);
+    assert!(p.starts_with("{\"ok\":true"), "{p}");
+    let safe_kernel = field_u64(&p, "kernel");
+    let safe_run = format!(r#"{{"op":"run","kernel":{safe_kernel}}}"#);
+    let safe_oracle = exchange(&mut conn, &safe_run);
+    assert!(safe_oracle.starts_with("{\"ok\":true"), "{safe_oracle}");
+
+    // A single-shard kernel living on the victim, for the stale-handle
+    // check after the rejoin.
+    let doomed_prepare = r#"{"op":"prepare","einsum":"for i: d[i] += D[i] * D[i]","inputs":{"D":"doomed"},"threads":1}"#;
+    let p = exchange(&mut conn, doomed_prepare);
+    assert!(p.starts_with("{\"ok\":true"), "{p}");
+    let doomed_kernel = field_u64(&p, "kernel");
+    let doomed_run = format!(r#"{{"op":"run","kernel":{doomed_kernel}}}"#);
+    let doomed_oracle = exchange(&mut conn, &doomed_run);
+    assert!(doomed_oracle.starts_with("{\"ok\":true"), "{doomed_oracle}");
+
+    // Chaos: kill -9 the victim shard, mid-session.
+    let victim_addr = workers[victim].addr.clone();
+    let victim_dir = workers[victim].data_dir.clone();
+    workers[victim].kill_dash_nine();
+
+    // Requests owned by the dead shard answer retryable structured
+    // errors — the client connection itself never drops.
+    let r = exchange(&mut conn, &sharded_run);
+    assert!(r.contains("\"code\":\"shard_unavailable\""), "{r}");
+    let r = exchange(&mut conn, &doomed_register);
+    assert!(r.contains("\"code\":\"shard_unavailable\""), "{r}");
+    assert!(
+        systec::serve::protocol::ErrorCode::ShardUnavailable.retryable(),
+        "shard_unavailable must be advertised as retryable"
+    );
+
+    // Survivors keep serving byte-identically.
+    for _ in 0..3 {
+        assert_eq!(exchange(&mut conn, &safe_run), safe_oracle, "survivor diverged post-crash");
+    }
+
+    // Cluster stats see the hole.
+    let stats = exchange(&mut conn, r#"{"op":"stats"}"#);
+    assert!(stats.contains("\"reply\":\"cluster_stats\""), "{stats}");
+    assert_eq!(stats.matches("\"healthy\":false").count(), 1, "{stats}");
+
+    // Rejoin: same port, same --data-dir. The durable registry brings
+    // the replicated operands and the victim's hash-placed tensor
+    // back; the router reconnects on the next request that needs it.
+    workers[victim] = Worker::spawn(&victim_addr, &victim_dir);
+    assert_eq!(workers[victim].addr, victim_addr, "restart must rebind the old port");
+
+    // Prepared kernels were process state on the victim, so the router
+    // refuses the stale handle; re-preparing mints a live one and the
+    // merged result is byte-identical to the pre-crash oracle.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let p = loop {
+        let p = exchange(&mut conn, PREPARE_SHARDED);
+        if p.starts_with("{\"ok\":true") || Instant::now() > deadline {
+            break p;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(p.starts_with("{\"ok\":true"), "re-prepare after rejoin: {p}");
+    let rejoined_kernel = field_u64(&p, "kernel");
+    let rejoined_run = format!(r#"{{"op":"run","kernel":{rejoined_kernel}}}"#);
+    assert_eq!(
+        exchange(&mut conn, &rejoined_run),
+        sharded_oracle,
+        "post-rejoin sharded merge must be byte-identical to pre-crash"
+    );
+
+    // The victim's kernel handles died with its process: the router
+    // refuses the pre-crash handle with a structured error instead of
+    // letting the restarted worker misinterpret a recycled number.
+    let r = exchange(&mut conn, &doomed_run);
+    assert!(r.contains("\"code\":\"unknown_kernel\"") && r.contains("before it restarted"), "{r}");
+    let p = exchange(&mut conn, doomed_prepare);
+    assert!(p.starts_with("{\"ok\":true"), "{p}");
+    let relive = field_u64(&p, "kernel");
+    let r = exchange(&mut conn, &format!(r#"{{"op":"run","kernel":{relive}}}"#));
+    assert_eq!(
+        r, doomed_oracle,
+        "recovered single-shard kernel must reproduce the pre-crash bytes"
+    );
+
+    // The victim's durable registry recovered: re-registering `doomed`
+    // resumes its generation counter instead of restarting at zero.
+    let r = exchange(&mut conn, &doomed_register);
+    assert!(r.starts_with("{\"ok\":true"), "{r}");
+    assert_eq!(field_u64(&r, "generation"), 1, "generation must survive kill -9: {r}");
+
+    // The router counted the round trip: one reconnect, a healthy ring.
+    let stats = exchange(&mut conn, r#"{"op":"stats"}"#);
+    assert_eq!(stats.matches("\"healthy\":true").count(), 3, "{stats}");
+    let metrics = exchange(&mut conn, r#"{"op":"metrics"}"#);
+    assert!(metrics.contains("systec_router_reconnects_total 1"), "{metrics}");
+    assert!(metrics.contains("systec_router_shard_unavailable_total"), "{metrics}");
+
+    // Clean shutdown through the router reaches all three workers.
+    let bye = exchange(&mut conn, r#"{"op":"shutdown"}"#);
+    assert!(bye.contains("shutting_down"), "{bye}");
+    running.wait();
+    for mut worker in workers {
+        let status = worker.child.wait().expect("reap worker");
+        assert!(status.success(), "worker exited {status:?} after shutdown broadcast");
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
